@@ -1,0 +1,23 @@
+//! Micro-benchmark of the per-iteration random coloring (Alg. 1 line 4) —
+//! it runs once per iteration over the whole vertex set, so it must stay a
+//! negligible fraction of the DP.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fascia_core::coloring::random_coloring;
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_coloring");
+    for n in [10_000usize, 100_000, 1_000_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| random_coloring(black_box(n), 12, 42))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_coloring
+}
+criterion_main!(benches);

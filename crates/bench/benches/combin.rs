@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the combinatorial number system (§III-B ablation):
+//! explicit color-set index computation vs precomputed split-table lookup —
+//! the paper's "replace explicit computation of these indexes with memory
+//! lookups".
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fascia_combin::{index_of_set, BinomialTable, ColorSetIter, SplitTable};
+
+fn bench_index_computation(c: &mut Criterion) {
+    let binom = BinomialTable::default();
+    let sets: Vec<Vec<u8>> = ColorSetIter::new(12, 6).collect_all();
+    c.bench_function("cns_index_of_set_924x", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for s in &sets {
+                acc = acc.wrapping_add(index_of_set(black_box(s), &binom));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_split_enumeration_explicit(c: &mut Criterion) {
+    // Explicit split: for each 6-set, enumerate 3-subsets and rank both
+    // halves by arithmetic (what the paper replaced).
+    let binom = BinomialTable::default();
+    let sets: Vec<Vec<u8>> = ColorSetIter::new(12, 6).collect_all();
+    c.bench_function("split_explicit_rank", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for s in &sets {
+                let mut positions = ColorSetIter::new(6, 3);
+                while let Some(pos) = positions.next() {
+                    let mut ca = [0u8; 3];
+                    let mut cp = [0u8; 3];
+                    let (mut ai, mut pi) = (0, 0);
+                    let mut pit = pos.iter().peekable();
+                    for (i, &color) in s.iter().enumerate() {
+                        if pit.peek() == Some(&&(i as u8)) {
+                            pit.next();
+                            ca[ai] = color;
+                            ai += 1;
+                        } else {
+                            cp[pi] = color;
+                            pi += 1;
+                        }
+                    }
+                    acc = acc
+                        .wrapping_add(index_of_set(&ca, &binom))
+                        .wrapping_add(index_of_set(&cp, &binom));
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_split_table_lookup(c: &mut Criterion) {
+    let binom = BinomialTable::default();
+    let table = SplitTable::new(12, 6, 3, &binom);
+    c.bench_function("split_table_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..table.num_sets() {
+                for sp in table.splits(black_box(i)) {
+                    acc = acc.wrapping_add(sp.active as u64 + sp.passive as u64);
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn bench_split_table_build(c: &mut Criterion) {
+    let binom = BinomialTable::default();
+    c.bench_function("split_table_build_k12_h6_a3", |b| {
+        b.iter(|| SplitTable::new(black_box(12), 6, 3, &binom))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_index_computation,
+              bench_split_enumeration_explicit,
+              bench_split_table_lookup,
+              bench_split_table_build
+}
+criterion_main!(benches);

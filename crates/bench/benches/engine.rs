@@ -1,0 +1,84 @@
+//! End-to-end single-iteration benchmarks of the counting engine: table
+//! layouts, partition strategies, and labeled vs unlabeled — the knobs
+//! §III claims matter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fascia_core::engine::{count_template, count_template_labeled, CountConfig};
+use fascia_core::parallel::ParallelMode;
+use fascia_graph::gen::gnm;
+use fascia_graph::random_labels;
+use fascia_table::TableKind;
+use fascia_template::{NamedTemplate, PartitionStrategy};
+
+fn base_cfg() -> CountConfig {
+    CountConfig {
+        iterations: 1,
+        parallel: ParallelMode::Serial,
+        seed: 7,
+        ..CountConfig::default()
+    }
+}
+
+fn bench_table_kinds(c: &mut Criterion) {
+    let g = gnm(10_000, 50_000, 3);
+    let t = NamedTemplate::U5_2.template();
+    let mut group = c.benchmark_group("engine_iteration_table");
+    for kind in TableKind::all() {
+        let cfg = CountConfig {
+            table: kind,
+            ..base_cfg()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &cfg, |b, cfg| {
+            b.iter(|| count_template(&g, &t, cfg).unwrap().estimate)
+        });
+    }
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let g = gnm(5_000, 25_000, 5);
+    let t = NamedTemplate::U7_2.template();
+    let mut group = c.benchmark_group("engine_iteration_strategy");
+    for strategy in [PartitionStrategy::OneAtATime, PartitionStrategy::Balanced] {
+        let cfg = CountConfig {
+            strategy,
+            ..base_cfg()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &cfg,
+            |b, cfg| b.iter(|| count_template(&g, &t, cfg).unwrap().estimate),
+        );
+    }
+    group.finish();
+}
+
+fn bench_labeled_speedup(c: &mut Criterion) {
+    let g = gnm(10_000, 50_000, 9);
+    let labels = random_labels(10_000, 8, 11);
+    let t = NamedTemplate::U7_2.template();
+    let tl = NamedTemplate::U7_2
+        .template()
+        .with_labels(vec![0, 1, 2, 3, 4, 5, 6])
+        .unwrap();
+    let cfg = base_cfg();
+    let mut group = c.benchmark_group("engine_labeled");
+    group.bench_function("unlabeled_U7-2", |b| {
+        b.iter(|| count_template(&g, &t, &cfg).unwrap().estimate)
+    });
+    group.bench_function("labeled_U7-2", |b| {
+        b.iter(|| {
+            count_template_labeled(&g, &labels, &tl, &cfg)
+                .unwrap()
+                .estimate
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table_kinds, bench_strategies, bench_labeled_speedup
+}
+criterion_main!(benches);

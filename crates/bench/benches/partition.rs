@@ -1,0 +1,38 @@
+//! Micro-benchmarks of template partitioning (§III-D ablation): build cost
+//! per strategy and free-tree generation for the motif scans.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fascia_template::{NamedTemplate, PartitionStrategy, PartitionTree};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_build");
+    for named in [NamedTemplate::U7_2, NamedTemplate::U12_1, NamedTemplate::U12_2] {
+        let t = named.template();
+        for strategy in [PartitionStrategy::OneAtATime, PartitionStrategy::Balanced] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{strategy:?}"), named.name()),
+                &t,
+                |b, t| b.iter(|| PartitionTree::build(black_box(t), strategy).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_free_tree_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("free_trees");
+    group.sample_size(10);
+    for n in [7usize, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| fascia_template::gen::all_free_trees(black_box(n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_build, bench_free_tree_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the three dynamic-table layouts (§III-C ablation):
+//! construction and random access cost for dense / lazy / hash at equal
+//! logical content.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fascia_table::{CountTable, DenseTable, HashCountTable, LazyTable, Rows};
+
+fn make_rows(n: usize, nc: usize, density_pct: usize) -> Rows {
+    (0..n)
+        .map(|v| {
+            if v % 100 < density_pct {
+                let mut row = vec![0.0f64; nc].into_boxed_slice();
+                for (cs, slot) in row.iter_mut().enumerate() {
+                    if (v + cs) % 3 == 0 {
+                        *slot = (v + cs) as f64;
+                    }
+                }
+                Some(row)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let n = 20_000;
+    let nc = 126; // C(9, 4)
+    let mut group = c.benchmark_group("table_build");
+    for density in [10usize, 90] {
+        let rows = make_rows(n, nc, density);
+        group.bench_with_input(BenchmarkId::new("dense", density), &rows, |b, rows| {
+            b.iter(|| DenseTable::from_rows(n, nc, rows.clone()))
+        });
+        group.bench_with_input(BenchmarkId::new("lazy", density), &rows, |b, rows| {
+            b.iter(|| LazyTable::from_rows(n, nc, rows.clone()))
+        });
+        group.bench_with_input(BenchmarkId::new("hash", density), &rows, |b, rows| {
+            b.iter(|| HashCountTable::from_rows(n, nc, rows.clone()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let n = 20_000;
+    let nc = 126;
+    let rows = make_rows(n, nc, 50);
+    let dense = DenseTable::from_rows(n, nc, rows.clone());
+    let lazy = LazyTable::from_rows(n, nc, rows.clone());
+    let hash = HashCountTable::from_rows(n, nc, rows);
+    let mut group = c.benchmark_group("table_get_100k");
+    let probe = |t: &dyn Fn(usize, usize) -> f64| {
+        let mut acc = 0.0;
+        let mut x = 12345usize;
+        for _ in 0..100_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = (x >> 16) % n;
+            let cs = (x >> 40) % nc;
+            acc += t(v, cs);
+        }
+        acc
+    };
+    group.bench_function("dense", |b| {
+        b.iter(|| probe(&|v, cs| dense.get(black_box(v), cs)))
+    });
+    group.bench_function("lazy", |b| {
+        b.iter(|| probe(&|v, cs| lazy.get(black_box(v), cs)))
+    });
+    group.bench_function("hash", |b| {
+        b.iter(|| probe(&|v, cs| hash.get(black_box(v), cs)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_build, bench_get
+}
+criterion_main!(benches);

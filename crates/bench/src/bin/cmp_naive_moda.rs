@@ -1,0 +1,105 @@
+//! §V-C — FASCIA vs the naive exact counter vs an enumeration tool, on the
+//! electrical circuit network, over all 11 size-7 tree templates.
+//!
+//! The paper (all codes serial): naive 147 s, MODA 32 s, FASCIA with 1000
+//! iterations 22 s at ~1% average error. We substitute our pruned
+//! enumerator for the closed-source MODA; the shape to reproduce is
+//! naive > enumerator > FASCIA with FASCIA's error ~1%.
+//!
+//! Run: `cargo run --release -p fascia-bench --bin cmp_naive_moda`
+
+use fascia_bench::{timed, BenchOpts, Report};
+use fascia_core::engine::{count_template, CountConfig};
+use fascia_core::enumerate::count_exact_pruned;
+use fascia_core::exact::count_exact;
+use fascia_core::parallel::{with_threads, ParallelMode};
+use fascia_graph::Dataset;
+use fascia_template::gen::all_free_trees;
+
+const ITERS: usize = 1000;
+
+fn main() {
+    let opts = BenchOpts::from_env_and_args();
+    let g = opts.load(Dataset::Circuit);
+    let templates = all_free_trees(7);
+    let mut report = Report::new("V-C: circuit network, all 11 size-7 trees", "seconds");
+
+    // All serial, as in the paper's comparison.
+    with_threads(1, || {
+        let (exact_counts, naive_secs) = timed(|| {
+            templates
+                .iter()
+                .map(|t| count_exact(&g, t))
+                .collect::<Vec<_>>()
+        });
+        report.push("naive exact", "total", naive_secs);
+
+        let (pruned_counts, moda_secs) = timed(|| {
+            templates
+                .iter()
+                .map(|t| count_exact_pruned(&g, t))
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(exact_counts, pruned_counts, "baselines must agree");
+        report.push("pruned enumerator", "total", moda_secs);
+
+        let cfg = CountConfig {
+            iterations: ITERS,
+            parallel: ParallelMode::Serial,
+            ..opts.base_config()
+        };
+        let (estimates, fascia_secs) = timed(|| {
+            templates
+                .iter()
+                .map(|t| count_template(&g, t, &cfg).expect("count").estimate)
+                .collect::<Vec<f64>>()
+        });
+        report.push("FASCIA (1000 iters)", "total", fascia_secs);
+
+        let mut err_sum = 0.0;
+        let mut err_n = 0usize;
+        for (est, &ex) in estimates.iter().zip(&exact_counts) {
+            if ex > 0 {
+                err_sum += (est - ex as f64).abs() / ex as f64;
+                err_n += 1;
+            }
+        }
+        let mean_err = err_sum / err_n.max(1) as f64;
+        report.push("FASCIA mean error", "fraction", mean_err);
+        eprintln!(
+            "[cmp] naive {naive_secs:.2}s, enumerator {moda_secs:.2}s, FASCIA {fascia_secs:.2}s, mean error {:.3}%",
+            100.0 * mean_err
+        );
+    });
+    report.print();
+
+    // Crossover demonstration: enumeration cost grows with the number of
+    // embeddings (exponential in k), while color coding stays polynomial.
+    // On the paper's 2011 hardware the crossover sat at the 252-vertex
+    // circuit; on modern hardware it moves up — this section locates it by
+    // racing both approaches on an Enron-scale network for growing path
+    // templates. FASCIA uses 100 iterations (error ~1% at this size,
+    // Fig. 10).
+    let g = opts.load(Dataset::Enron);
+    let mut cross = Report::new("V-C crossover: exact vs FASCIA on Enron, paths", "seconds");
+    with_threads(1, || {
+        for k in [3usize, 4, 5] {
+            let t = fascia_template::Template::path(k);
+            let (exact, exact_secs) = timed(|| count_exact_pruned(&g, &t));
+            let cfg = CountConfig {
+                iterations: 100,
+                parallel: ParallelMode::Serial,
+                ..opts.base_config()
+            };
+            let (r, fascia_secs) = timed(|| count_template(&g, &t, &cfg).expect("count"));
+            let err = (r.estimate - exact as f64).abs() / exact as f64;
+            cross.push("exact enumeration", format!("P{k}"), exact_secs);
+            cross.push("FASCIA (100 iters)", format!("P{k}"), fascia_secs);
+            eprintln!(
+                "[cmp] P{k}: exact {exact_secs:.2}s ({exact} occurrences), FASCIA {fascia_secs:.2}s (err {:.2}%)",
+                100.0 * err
+            );
+        }
+    });
+    cross.print();
+}

@@ -1,0 +1,59 @@
+//! Extension experiment — distributed-memory projection (paper §VI future
+//! work): communication volume and load balance of PARSE/SAHAD-style
+//! vertex-partitioned execution, swept over rank counts and partitioning
+//! schemes on a social network and a road mesh.
+//!
+//! Run: `cargo run --release -p fascia-bench --bin ext_distributed`
+
+use fascia_bench::{BenchOpts, Report};
+use fascia_core::distsim::{count_distributed, DistConfig, PartitionScheme};
+use fascia_core::engine::CountConfig;
+use fascia_core::parallel::ParallelMode;
+use fascia_graph::Dataset;
+use fascia_template::NamedTemplate;
+
+fn main() {
+    let opts = BenchOpts::from_env_and_args();
+    let t = NamedTemplate::U5_2.template();
+    let count = CountConfig {
+        iterations: 2,
+        parallel: ParallelMode::Serial,
+        ..opts.base_config()
+    };
+    let mut report = Report::new("Ext: distributed projection, U5-2", "comm bytes");
+    for (ds, scale) in [(Dataset::Enron, 4usize), (Dataset::PaRoad, 64)] {
+        let spec = ds.spec();
+        let g = if spec.scalable {
+            ds.generate(scale.max(opts.scale), opts.seed)
+        } else {
+            // Shrink Enron via its generator for a quick sweep.
+            let n = spec.n / scale;
+            let m = spec.m / scale;
+            fascia_graph::gen::barabasi_albert(n, (m / n).max(1), m, opts.seed)
+        };
+        eprintln!("[ext] {}: n={} m={}", spec.name, g.num_vertices(), g.num_edges());
+        for ranks in [2usize, 4, 8, 16, 32] {
+            for scheme in [PartitionScheme::Block, PartitionScheme::Hash] {
+                let cfg = DistConfig {
+                    ranks,
+                    scheme,
+                    count: count.clone(),
+                };
+                let r = count_distributed(&g, &t, &cfg).expect("distributed");
+                report.push(
+                    format!("{} {:?}", spec.name, scheme),
+                    format!("{ranks} ranks"),
+                    r.comm_bytes as f64,
+                );
+                eprintln!(
+                    "[ext] {} {scheme:?} {ranks} ranks: {} ghost rows, {} bytes, imbalance {:.2}",
+                    spec.name,
+                    r.ghost_rows,
+                    r.comm_bytes,
+                    r.imbalance(ranks)
+                );
+            }
+        }
+    }
+    report.print();
+}

@@ -1,0 +1,33 @@
+//! Figure 2 — the template gallery.
+//!
+//! Renders every named template with its structural invariants
+//! (automorphism count, partition classes, estimated DP cost), reproducing
+//! the paper's template figure in text form.
+//!
+//! Run: `cargo run --release -p fascia-bench --bin fig02_templates`
+
+use fascia_template::automorphism::automorphisms;
+use fascia_template::named::ascii_art;
+use fascia_template::{NamedTemplate, PartitionStrategy, PartitionTree};
+
+fn main() {
+    for named in NamedTemplate::all() {
+        let t = named.template();
+        println!("==== {} ====", named.name());
+        print!("{}", ascii_art(&t));
+        println!("tree: {}", t.is_tree());
+        println!("automorphisms: {}", automorphisms(&t));
+        for strategy in [PartitionStrategy::OneAtATime, PartitionStrategy::Balanced] {
+            let pt = PartitionTree::build(&t, strategy).expect("named templates partition");
+            println!(
+                "partition[{strategy:?}]: {} nodes, {} classes, est ops {} (k = {}), peak live tables {}",
+                pt.nodes().len(),
+                pt.num_canon_classes(),
+                pt.estimated_ops(t.size()),
+                t.size(),
+                pt.peak_live_tables(),
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 3 — single-iteration execution times for the ten unlabeled
+//! templates on the Portland network.
+//!
+//! The paper's observation to reproduce: time is dominated by template
+//! size, rises steeply toward k = 12, varies only ~2x across same-size
+//! structures, and U12-2 (the partition stress test) is the most expensive.
+//!
+//! Run: `cargo run --release -p fascia-bench --bin fig03_unlabeled_times [--full]`
+
+use fascia_bench::{BenchOpts, Report};
+use fascia_core::engine::{count_template, CountConfig};
+use fascia_core::parallel::ParallelMode;
+use fascia_graph::Dataset;
+use fascia_template::NamedTemplate;
+
+fn main() {
+    let opts = BenchOpts::from_env_and_args();
+    let g = opts.load(Dataset::Portland);
+    let mut report = Report::new("Fig 3: single-iteration time, Portland", "seconds");
+    for named in NamedTemplate::all() {
+        let t = named.template();
+        let cfg = CountConfig {
+            iterations: 1,
+            parallel: ParallelMode::InnerLoop,
+            ..opts.base_config()
+        };
+        let r = count_template(&g, &t, &cfg).expect("count");
+        report.push("unlabeled", named.name(), r.per_iteration_time.as_secs_f64());
+        eprintln!(
+            "[fig03] {}: {:?}/iter, estimate {:.3e}, peak {} MB",
+            named.name(),
+            r.per_iteration_time,
+            r.estimate,
+            r.peak_table_bytes / (1 << 20)
+        );
+    }
+    report.print();
+}

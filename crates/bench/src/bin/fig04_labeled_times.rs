@@ -1,0 +1,44 @@
+//! Figure 4 — single-iteration times for the ten templates with vertex
+//! labels on the Portland network.
+//!
+//! Labels (8 values: the paper's 2 genders x 4 age groups, assigned
+//! uniformly at random) prune the search space; the paper reports runtimes
+//! dropping from minutes to fractions of a second. The shape to reproduce:
+//! labeled times are orders of magnitude below Figure 3's.
+//!
+//! Run: `cargo run --release -p fascia-bench --bin fig04_labeled_times [--full]`
+
+use fascia_bench::{BenchOpts, Report};
+use fascia_core::engine::{count_template_labeled, CountConfig};
+use fascia_core::parallel::ParallelMode;
+use fascia_graph::{random_labels, Dataset};
+use fascia_template::NamedTemplate;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let opts = BenchOpts::from_env_and_args();
+    let g = opts.load(Dataset::Portland);
+    let graph_labels = random_labels(g.num_vertices(), 8, opts.seed ^ 0x1ABE15);
+    let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x7E3);
+    let mut report = Report::new("Fig 4: single-iteration time, labeled, Portland", "seconds");
+    for named in NamedTemplate::all() {
+        let labels: Vec<u8> = (0..named.size()).map(|_| rng.gen_range(0..8)).collect();
+        let t = named.template().with_labels(labels).expect("label len");
+        let cfg = CountConfig {
+            iterations: 1,
+            parallel: ParallelMode::InnerLoop,
+            ..opts.base_config()
+        };
+        let r = count_template_labeled(&g, &graph_labels, &t, &cfg).expect("count");
+        report.push("labeled", named.name(), r.per_iteration_time.as_secs_f64());
+        eprintln!(
+            "[fig04] {}: {:?}/iter, estimate {:.3e}, peak {} MB",
+            named.name(),
+            r.per_iteration_time,
+            r.estimate,
+            r.peak_table_bytes / (1 << 20)
+        );
+    }
+    report.print();
+}

@@ -1,0 +1,46 @@
+//! Figure 5 — per-iteration motif-finding times on the four PPI networks.
+//!
+//! The paper scans all tree topologies of size 7 (11), 10 (106), and 12
+//! (551); per-iteration times are sub-second for k = 7, seconds for
+//! k = 10, and minutes for k = 12. Size 12 takes a while single-threaded,
+//! so it only runs with `--full`.
+//!
+//! Run: `cargo run --release -p fascia-bench --bin fig05_motif_times [--full]`
+
+use fascia_bench::{BenchOpts, Report};
+use fascia_core::motifs::motif_profile;
+use fascia_graph::Dataset;
+
+fn main() {
+    let opts = BenchOpts::from_env_and_args();
+    let full = std::env::args().any(|a| a == "--full");
+    let sizes: &[usize] = if full { &[7, 10, 12] } else { &[7, 10] };
+    let mut report = Report::new("Fig 5: motif-finding time per iteration, PPI", "seconds");
+    for ds in Dataset::ppi() {
+        let g = opts.load(ds);
+        for &size in sizes {
+            let cfg = fascia_core::engine::CountConfig {
+                iterations: 1,
+                ..opts.base_config()
+            };
+            let p = motif_profile(&g, size, &cfg).expect("motif profile");
+            let total: f64 = p
+                .per_iteration_times
+                .iter()
+                .map(|d| d.as_secs_f64())
+                .sum();
+            report.push(
+                format!("{} k={size}", ds.spec().name),
+                format!("{} templates", p.templates.len()),
+                total,
+            );
+            eprintln!(
+                "[fig05] {} k={size}: {} templates, {:.3}s total per iteration",
+                ds.spec().name,
+                p.templates.len(),
+                total
+            );
+        }
+    }
+    report.print();
+}

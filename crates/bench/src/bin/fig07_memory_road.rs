@@ -1,0 +1,41 @@
+//! Figure 7 — peak dynamic-table memory on the PA road network with the
+//! path templates U3-1 … U12-1: hash table vs naive vs improved layouts.
+//!
+//! Shape to reproduce: on this low-degree, high-diameter network long
+//! paths are highly selective, so the hash layout saves up to ~90% vs the
+//! arrays at U12-1 while showing little to no benefit at k = 3..5.
+//!
+//! Run: `cargo run --release -p fascia-bench --bin fig07_memory_road [--full]`
+
+use fascia_bench::{BenchOpts, Report};
+use fascia_core::engine::{count_template, CountConfig};
+use fascia_core::parallel::ParallelMode;
+use fascia_graph::Dataset;
+use fascia_table::TableKind;
+use fascia_template::NamedTemplate;
+
+fn main() {
+    let opts = BenchOpts::from_env_and_args();
+    let g = opts.load(Dataset::PaRoad);
+    let mut report = Report::new("Fig 7: peak table memory, PA road, U*-1", "bytes");
+    for named in NamedTemplate::paths() {
+        let t = named.template();
+        for kind in TableKind::all() {
+            let cfg = CountConfig {
+                iterations: 1,
+                table: kind,
+                parallel: ParallelMode::InnerLoop,
+                ..opts.base_config()
+            };
+            let r = count_template(&g, &t, &cfg).expect("count");
+            report.push(kind.name(), named.name(), r.peak_table_bytes as f64);
+            eprintln!(
+                "[fig07] {} {}: {:.2} MB peak",
+                named.name(),
+                kind.name(),
+                r.peak_table_bytes as f64 / (1 << 20) as f64
+            );
+        }
+    }
+    report.print();
+}

@@ -1,0 +1,56 @@
+//! Figure 8 — inner-loop strong scaling with U12-2 on the Portland
+//! network.
+//!
+//! The paper shows ~12x speedup at 16 cores from parallelizing the
+//! per-vertex loop. The harness sweeps thread counts up to the machine's
+//! core count (on a single-core host the sweep degenerates to one point —
+//! EXPERIMENTS.md records the host). Use `FASCIA_TEMPLATE` to override the
+//! template (e.g. U10-2 for a faster sweep).
+//!
+//! Run: `cargo run --release -p fascia-bench --bin fig08_inner_scaling [--full]`
+
+use fascia_bench::{BenchOpts, Report};
+use fascia_core::engine::{count_template, CountConfig};
+use fascia_core::parallel::{with_threads, ParallelMode};
+use fascia_graph::Dataset;
+use fascia_template::NamedTemplate;
+
+fn main() {
+    let opts = BenchOpts::from_env_and_args();
+    let g = opts.load(Dataset::Portland);
+    let tname = std::env::var("FASCIA_TEMPLATE").unwrap_or_else(|_| "U12-2".to_string());
+    let named = NamedTemplate::by_name(&tname).expect("known template name");
+    let t = named.template();
+    let max_threads = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let mut threads = vec![1usize];
+    while *threads.last().unwrap() * 2 <= max_threads {
+        threads.push(threads.last().unwrap() * 2);
+    }
+    if *threads.last().unwrap() != max_threads {
+        threads.push(max_threads);
+    }
+    let mut report = Report::new(
+        &format!("Fig 8: inner-loop scaling, {} on Portland", named.name()),
+        "seconds",
+    );
+    let mut t1 = None;
+    for &nt in &threads {
+        let cfg = CountConfig {
+            iterations: 1,
+            parallel: ParallelMode::InnerLoop,
+            ..opts.base_config()
+        };
+        let secs = with_threads(nt, || {
+            count_template(&g, &t, &cfg)
+                .expect("count")
+                .per_iteration_time
+                .as_secs_f64()
+        });
+        let t1 = *t1.get_or_insert(secs);
+        report.push("inner", format!("{nt} threads"), secs);
+        eprintln!("[fig08] {nt} threads: {secs:.3}s (speedup {:.2}x)", t1 / secs);
+    }
+    report.print();
+}

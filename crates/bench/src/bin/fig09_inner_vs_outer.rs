@@ -1,0 +1,54 @@
+//! Figure 9 — inner-loop vs outer-loop parallelization with U7-2 on the
+//! Enron network.
+//!
+//! On a small graph the paper sees ~6x speedup from outer-loop (iteration)
+//! parallelism but only ~2.5x from inner-loop parallelism, because
+//! per-vertex work is too fine-grained at 33k vertices. The harness sweeps
+//! thread counts and reports both the per-iteration time (inner) and the
+//! total / per-iteration time (outer) over a fixed 16-iteration budget.
+//!
+//! Run: `cargo run --release -p fascia-bench --bin fig09_inner_vs_outer`
+
+use fascia_bench::{timed, BenchOpts, Report};
+use fascia_core::engine::{count_template, CountConfig};
+use fascia_core::parallel::{with_threads, ParallelMode};
+use fascia_graph::Dataset;
+use fascia_template::NamedTemplate;
+
+const ITERS: usize = 16;
+
+fn main() {
+    let opts = BenchOpts::from_env_and_args();
+    let g = opts.load(Dataset::Enron);
+    let t = NamedTemplate::U7_2.template();
+    let max_threads = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let mut threads = vec![1usize];
+    while *threads.last().unwrap() * 2 <= max_threads {
+        threads.push(threads.last().unwrap() * 2);
+    }
+    let mut report = Report::new("Fig 9: inner vs outer parallelism, U7-2 on Enron", "seconds");
+    for &nt in &threads {
+        for mode in [ParallelMode::InnerLoop, ParallelMode::OuterLoop] {
+            let cfg = CountConfig {
+                iterations: ITERS,
+                parallel: mode,
+                ..opts.base_config()
+            };
+            let (result, total) = with_threads(nt, || timed(|| count_template(&g, &t, &cfg)));
+            let r = result.expect("count");
+            let per_iter = total / ITERS as f64;
+            report.push(mode.name(), format!("{nt} threads"), per_iter);
+            if mode == ParallelMode::OuterLoop {
+                report.push("outer (total)", format!("{nt} threads"), total);
+            }
+            eprintln!(
+                "[fig09] {} {nt} threads: {per_iter:.4}s/iter ({total:.3}s total, estimate {:.3e})",
+                mode.name(),
+                r.estimate
+            );
+        }
+    }
+    report.print();
+}

@@ -1,0 +1,53 @@
+//! Figure 11 — average motif-finding error vs iteration count on the
+//! H. pylori network (all 11 size-7 tree templates).
+//!
+//! Shape to reproduce: errors are larger than on Enron (the graph is
+//! small, so the random coloring has more variance) but the mean error
+//! falls well below 1% by 1000 iterations. The 10^4 point runs with
+//! `--full`.
+//!
+//! Run: `cargo run --release -p fascia-bench --bin fig11_error_hpylori [--full]`
+
+use fascia_bench::{BenchOpts, Report};
+use fascia_core::engine::{count_template, CountConfig};
+use fascia_core::motifs::mean_relative_error;
+use fascia_core::parallel::ParallelMode;
+use fascia_core::exact::count_exact;
+use fascia_graph::Dataset;
+use fascia_template::gen::all_free_trees;
+
+fn main() {
+    let opts = BenchOpts::from_env_and_args();
+    let full = std::env::args().any(|a| a == "--full");
+    let g = opts.load(Dataset::HPylori);
+    let templates = all_free_trees(7);
+    let exact: Vec<u128> = templates.iter().map(|t| count_exact(&g, t)).collect();
+    eprintln!("[fig11] exact counts done");
+    let checkpoints: &[usize] = if full {
+        &[1, 10, 100, 1000, 10_000]
+    } else {
+        &[1, 10, 100, 1000]
+    };
+    let max_iters = *checkpoints.last().unwrap();
+    let mut report = Report::new("Fig 11: mean motif error vs iterations, H. pylori", "error");
+    // One long run per template; prefix means give every checkpoint.
+    let cfg = CountConfig {
+        iterations: max_iters,
+        parallel: ParallelMode::Serial,
+        ..opts.base_config()
+    };
+    let per_template: Vec<Vec<f64>> = templates
+        .iter()
+        .map(|t| count_template(&g, t, &cfg).expect("count").per_iteration)
+        .collect();
+    for &cp in checkpoints {
+        let estimates: Vec<f64> = per_template
+            .iter()
+            .map(|series| series[..cp].iter().sum::<f64>() / cp as f64)
+            .collect();
+        let err = mean_relative_error(&estimates, &exact);
+        report.push("mean error", format!("{cp}"), err);
+        eprintln!("[fig11] {cp} iterations: mean error {:.3}%", 100.0 * err);
+    }
+    report.print();
+}

@@ -1,0 +1,62 @@
+//! Figure 13 — relative motif frequencies of all size-7 trees on the four
+//! PPI networks, counts scaled by each network's own mean.
+//!
+//! Shape to reproduce (the paper's headline biology claim, after Alon et
+//! al.): the three unicellular organisms (E. coli, S. cerevisiae,
+//! H. pylori) have similar profiles, while the multicellular C. elegans
+//! stands out.
+//!
+//! Run: `cargo run --release -p fascia-bench --bin fig13_ppi_profiles`
+
+use fascia_bench::{BenchOpts, Report};
+use fascia_core::engine::CountConfig;
+use fascia_core::motifs::motif_profile;
+use fascia_graph::Dataset;
+
+fn main() {
+    let opts = BenchOpts::from_env_and_args();
+    let iters: usize = std::env::var("FASCIA_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let mut report = Report::new("Fig 13: size-7 motif profiles, PPI networks", "rel freq");
+    let mut profiles = Vec::new();
+    for ds in Dataset::ppi() {
+        let g = opts.load(ds);
+        let cfg = CountConfig {
+            iterations: iters,
+            ..opts.base_config()
+        };
+        let p = motif_profile(&g, 7, &cfg).expect("profile");
+        let rel = p.relative_frequencies();
+        for (i, &f) in rel.iter().enumerate() {
+            report.push(ds.spec().name, format!("{}", i + 1), f);
+        }
+        profiles.push((ds, rel));
+    }
+    report.print();
+
+    // Quantify the headline claim: pairwise profile distance (L2 of log10
+    // frequencies) between organisms.
+    println!("\npairwise profile distances (lower = more similar):");
+    for i in 0..profiles.len() {
+        for j in (i + 1)..profiles.len() {
+            let d: f64 = profiles[i]
+                .1
+                .iter()
+                .zip(&profiles[j].1)
+                .map(|(&a, &b)| {
+                    let la = (a.max(1e-12)).log10();
+                    let lb = (b.max(1e-12)).log10();
+                    (la - lb) * (la - lb)
+                })
+                .sum::<f64>()
+                .sqrt();
+            println!(
+                "  {:<14} vs {:<14} {d:.4}",
+                profiles[i].0.spec().name,
+                profiles[j].0.spec().name
+            );
+        }
+    }
+}

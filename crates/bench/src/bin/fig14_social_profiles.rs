@@ -1,0 +1,46 @@
+//! Figure 14 — relative motif frequencies of all size-7 trees on the
+//! Portland, Slashdot, Enron, PA road, and G(n,p) networks.
+//!
+//! Shape to reproduce: templates 1 and 2 (in generator order: the path-ish
+//! and near-path topologies vs star-ish ones) separate the network
+//! families; the road network's profile differs starkly from the social
+//! networks'.
+//!
+//! Iterations default to 5 on the big networks (error is tiny on large
+//! graphs per §V-D); override with FASCIA_ITERS.
+//!
+//! Run: `cargo run --release -p fascia-bench --bin fig14_social_profiles [--full]`
+
+use fascia_bench::{BenchOpts, Report};
+use fascia_core::engine::CountConfig;
+use fascia_core::motifs::motif_profile;
+use fascia_graph::Dataset;
+
+fn main() {
+    let opts = BenchOpts::from_env_and_args();
+    let iters: usize = std::env::var("FASCIA_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let sets = [
+        Dataset::Portland,
+        Dataset::Slashdot,
+        Dataset::Enron,
+        Dataset::PaRoad,
+        Dataset::Gnp,
+    ];
+    let mut report = Report::new("Fig 14: size-7 motif profiles, social/road/random", "rel freq");
+    for ds in sets {
+        let g = opts.load(ds);
+        let cfg = CountConfig {
+            iterations: iters,
+            ..opts.base_config()
+        };
+        let p = motif_profile(&g, 7, &cfg).expect("profile");
+        for (i, f) in p.relative_frequencies().into_iter().enumerate() {
+            report.push(ds.spec().name, format!("{}", i + 1), f);
+        }
+        eprintln!("[fig14] {} done ({:?})", ds.spec().name, p.elapsed);
+    }
+    report.print();
+}

@@ -1,0 +1,69 @@
+//! Figure 16 — GDD agreement (Pržulj) between the exact graphlet degree
+//! distribution and the color-coding estimate, as a function of iteration
+//! count, for E. coli and Enron (U5-2 central orbit).
+//!
+//! Shape to reproduce: agreement climbs with iterations and reaches
+//! "reasonable" (~0.9+) levels by about 1000 iterations on both networks.
+//!
+//! The exact distribution is computed by exhaustive rooted enumeration —
+//! cheap on E. coli, heavy on full Enron, so Enron defaults to a 1/4-size
+//! stand-in (FASCIA_FIG16_DIV to change; --full for paper size).
+//!
+//! Run: `cargo run --release -p fascia-bench --bin fig16_gdd_agreement [--full]`
+
+use fascia_bench::{timed, BenchOpts, Report};
+use fascia_core::engine::{rooted_counts, CountConfig};
+use fascia_core::gdd::{exact_graphlet_degrees, gdd_agreement, GddHistogram};
+use fascia_graph::gen::barabasi_albert;
+use fascia_graph::{Dataset, Graph};
+use fascia_template::NamedTemplate;
+
+fn main() {
+    let opts = BenchOpts::from_env_and_args();
+    let full = std::env::args().any(|a| a == "--full");
+    let div: usize = std::env::var("FASCIA_FIG16_DIV")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if full { 1 } else { 4 });
+    let named = NamedTemplate::U5_2;
+    let t = named.template();
+    let orbit = named.central_orbit().expect("central orbit");
+
+    let enron: Graph = if div <= 1 {
+        opts.load(Dataset::Enron)
+    } else {
+        let spec = Dataset::Enron.spec();
+        let (n, m) = (spec.n / div, spec.m / div);
+        barabasi_albert(n, (m / n).max(1), m, opts.seed)
+    };
+    let networks: Vec<(&str, Graph)> = vec![
+        ("E. coli", opts.load(Dataset::EColi)),
+        ("Enron", enron),
+    ];
+    let checkpoints = [1usize, 10, 100, 1000];
+    let mut report = Report::new("Fig 16: GDD agreement vs iterations", "agreement");
+    for (name, g) in networks {
+        let (exact, secs) = timed(|| exact_graphlet_degrees(&g, &t, orbit));
+        let exact_hist = GddHistogram::from_degrees(&exact);
+        eprintln!("[fig16] {name}: exact GDD done in {secs:.1}s");
+        // One long run; prefix means give each checkpoint.
+        let cfg = CountConfig {
+            iterations: *checkpoints.last().unwrap(),
+            ..opts.base_config()
+        };
+        // rooted_counts returns only the final average, so run per
+        // checkpoint (iterations are cheap on these graphs).
+        for &cp in &checkpoints {
+            let cfg_cp = CountConfig {
+                iterations: cp,
+                ..cfg.clone()
+            };
+            let r = rooted_counts(&g, &t, orbit, &cfg_cp).expect("rooted");
+            let est = GddHistogram::from_degrees(&r.per_vertex);
+            let a = gdd_agreement(&est, &exact_hist);
+            report.push(name, format!("{cp}"), a);
+            eprintln!("[fig16] {name} {cp} iterations: agreement {a:.4}");
+        }
+    }
+    report.print();
+}

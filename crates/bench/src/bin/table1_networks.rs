@@ -1,0 +1,41 @@
+//! Table I — network sizes and degrees.
+//!
+//! Prints, for every dataset, the paper's reported statistics next to the
+//! synthetic stand-in actually generated at the current scale, so the
+//! substitution quality is auditable.
+//!
+//! Run: `cargo run --release -p fascia-bench --bin table1_networks [--full]`
+
+use fascia_bench::BenchOpts;
+use fascia_graph::Dataset;
+
+fn main() {
+    let opts = BenchOpts::from_env_and_args();
+    println!(
+        "{:<14} | {:>9} {:>10} {:>6} {:>6} | {:>9} {:>10} {:>6} {:>6}",
+        "network", "paper n", "paper m", "d_avg", "d_max", "gen n", "gen m", "d_avg", "d_max"
+    );
+    println!("{}", "-".repeat(96));
+    for ds in Dataset::all() {
+        let spec = ds.spec();
+        let g = ds.generate(opts.scale, opts.seed);
+        let scale_note = if spec.scalable && opts.scale > 1 {
+            format!(" (1/{})", opts.scale)
+        } else {
+            String::new()
+        };
+        println!(
+            "{:<14} | {:>9} {:>10} {:>6.1} {:>6} | {:>9} {:>10} {:>6.1} {:>6}{}",
+            spec.name,
+            spec.n,
+            spec.m,
+            spec.d_avg,
+            spec.d_max,
+            g.num_vertices(),
+            g.num_edges(),
+            g.avg_degree(),
+            g.max_degree(),
+            scale_note
+        );
+    }
+}

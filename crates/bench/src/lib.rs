@@ -1,0 +1,154 @@
+//! Shared helpers for the FASCIA benchmark harness.
+//!
+//! Every figure and table of the paper's evaluation section has a binary in
+//! `src/bin/` that regenerates it (see DESIGN.md §6 for the index). This
+//! library holds the common scaffolding: scale handling, dataset loading
+//! with caching, timing helpers, and the tabular/JSON reporters.
+
+use fascia_core::engine::CountConfig;
+use fascia_graph::{Dataset, Graph};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Command-line/environment controls shared by all figure binaries.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Scale divisor applied to the two huge networks (1 = paper scale).
+    pub scale: usize,
+    /// Base seed for generators and colorings.
+    pub seed: u64,
+}
+
+impl BenchOpts {
+    /// Reads `--full` (scale 1) and `FASCIA_SCALE` (default 64).
+    pub fn from_env_and_args() -> Self {
+        let full = std::env::args().any(|a| a == "--full");
+        let scale = if full {
+            1
+        } else {
+            fascia_graph::datasets::scale_from_env()
+        };
+        Self {
+            scale,
+            seed: 0x00FA_5C1A,
+        }
+    }
+
+    /// Generates a dataset stand-in at the configured scale.
+    pub fn load(&self, ds: Dataset) -> Graph {
+        let start = Instant::now();
+        let g = ds.generate(self.scale, self.seed);
+        eprintln!(
+            "[gen] {}: n={} m={} d_avg={:.1} d_max={} ({:?})",
+            ds.spec().name,
+            g.num_vertices(),
+            g.num_edges(),
+            g.avg_degree(),
+            g.max_degree(),
+            start.elapsed()
+        );
+        g
+    }
+
+    /// Base engine configuration used by the figures (overridden per
+    /// experiment).
+    pub fn base_config(&self) -> CountConfig {
+        CountConfig {
+            seed: self.seed,
+            ..CountConfig::default()
+        }
+    }
+}
+
+/// One output row of a figure series (also serialized as JSON for
+/// EXPERIMENTS.md updates).
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Series label (e.g. the template or table-layout name).
+    pub series: String,
+    /// X value (template, size, thread count, iteration count, ...).
+    pub x: String,
+    /// Y value (seconds, bytes, error, agreement, relative frequency, ...).
+    pub y: f64,
+}
+
+/// Collects rows and renders them as an aligned table plus a JSON tail.
+#[derive(Debug, Default)]
+pub struct Report {
+    title: String,
+    y_label: String,
+    rows: Vec<Row>,
+}
+
+impl Report {
+    /// Creates a report for one figure.
+    pub fn new(title: &str, y_label: &str) -> Self {
+        Self {
+            title: title.to_string(),
+            y_label: y_label.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one data point.
+    pub fn push(&mut self, series: impl Into<String>, x: impl Into<String>, y: f64) {
+        self.rows.push(Row {
+            series: series.into(),
+            x: x.into(),
+            y,
+        });
+    }
+
+    /// Renders the table to stdout and the JSON line to stderr.
+    pub fn print(&self) {
+        println!("== {} ==", self.title);
+        println!("{:<24} {:<16} {}", "series", "x", self.y_label);
+        for r in &self.rows {
+            // Normalize negative zero for readability.
+            let y = if r.y == 0.0 { 0.0 } else { r.y };
+            println!("{:<24} {:<16} {y:.6e}", r.series, r.x);
+        }
+        if let Ok(json) = serde_json::to_string(&self.rows) {
+            eprintln!("[json] {} {}", self.title, json);
+        }
+    }
+
+    /// Accesses collected rows (used by tests).
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+}
+
+/// Times a closure, returning (result, seconds).
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_rows() {
+        let mut r = Report::new("t", "seconds");
+        r.push("a", "1", 0.5);
+        r.push("a", "2", 1.5);
+        assert_eq!(r.rows().len(), 2);
+        assert_eq!(r.rows()[1].y, 1.5);
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let (v, secs) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn default_opts_have_scale() {
+        let o = BenchOpts::from_env_and_args();
+        assert!(o.scale >= 1);
+    }
+}

@@ -1,0 +1,353 @@
+//! `fascia` — command-line interface to the FASCIA subgraph counter.
+//!
+//! Subcommands:
+//!
+//! * `count <dataset|path> <template> [opts]` — approximate count,
+//! * `exact <dataset|path> <template>` — exhaustive exact count,
+//! * `motifs <dataset|path> <size> [opts]` — motif profile over all tree
+//!   topologies of a size,
+//! * `gdd <dataset|path> [opts]` — graphlet degree distribution for the
+//!   U5-2 central orbit,
+//! * `sample <dataset|path> <template> <count>` — draw uniform random
+//!   occurrences,
+//! * `gen <dataset> <out.txt>` — write a synthetic dataset as an edge list,
+//! * `info <dataset|path>` — print network statistics,
+//! * `templates` — list the Figure 2 template gallery.
+//!
+//! `<dataset>` is a Table I name (portland, enron, gnp, slashdot, road,
+//! circuit, ecoli, yeast, hpylori, celegans); anything else is treated as
+//! an edge-list file path. `<template>` is a Figure 2 name (e.g. U7-2) or
+//! `path<k>` / `star<k>`.
+
+use fascia_core::engine::{count_template, CountConfig};
+use fascia_core::exact::count_exact;
+use fascia_core::gdd::{estimate_gdd, GddHistogram};
+use fascia_core::motifs::motif_profile;
+use fascia_core::sample::sample_embeddings;
+use fascia_graph::datasets::scale_from_env;
+use fascia_graph::io::load_edge_list;
+use fascia_graph::{Dataset, Graph};
+use fascia_table::TableKind;
+use fascia_template::{NamedTemplate, PartitionStrategy, Template};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_and_exit();
+    }
+    let cmd = args[0].as_str();
+    let rest = &args[1..];
+    match cmd {
+        "count" => cmd_count(rest),
+        "exact" => cmd_exact(rest),
+        "motifs" => cmd_motifs(rest),
+        "gdd" => cmd_gdd(rest),
+        "sample" => cmd_sample(rest),
+        "distsim" => cmd_distsim(rest),
+        "gen" => cmd_gen(rest),
+        "info" => cmd_info(rest),
+        "templates" => cmd_templates(),
+        _ => usage_and_exit(),
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: fascia <count|exact|motifs|gdd|gen|info|templates> ...\n\
+         \x20 count  <dataset|file> <template> [--iters N] [--table naive|improved|hash] [--strategy one|balanced] [--seed S]\n\
+         \x20 exact  <dataset|file> <template>\n\
+         \x20 motifs <dataset|file> <size> [--iters N]\n\
+         \x20 gdd    <dataset|file> [--iters N]\n\
+         \x20 sample <dataset|file> <template> <count> [--iters N] [--seed S]\n\
+         \x20 distsim <dataset|file> <template> <ranks> [--iters N]\n\
+         \x20 gen    <dataset> <out.txt>\n\
+         \x20 info   <dataset|file>\n\
+         \x20 templates"
+    );
+    std::process::exit(2);
+}
+
+fn parse_dataset(name: &str) -> Option<Dataset> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "portland" => Dataset::Portland,
+        "enron" => Dataset::Enron,
+        "gnp" => Dataset::Gnp,
+        "slashdot" => Dataset::Slashdot,
+        "road" | "paroad" => Dataset::PaRoad,
+        "circuit" => Dataset::Circuit,
+        "ecoli" => Dataset::EColi,
+        "yeast" | "scerevisiae" => Dataset::SCerevisiae,
+        "hpylori" => Dataset::HPylori,
+        "celegans" => Dataset::CElegans,
+        _ => return None,
+    })
+}
+
+fn load_graph(spec: &str) -> Graph {
+    if let Some(ds) = parse_dataset(spec) {
+        let scale = scale_from_env();
+        eprintln!(
+            "generating {} stand-in (scale 1/{scale}, FASCIA_SCALE to change)",
+            ds.spec().name
+        );
+        ds.generate(scale, 0xDA7A)
+    } else {
+        match load_edge_list(spec) {
+            Ok((g, _)) => g,
+            Err(e) => {
+                eprintln!("cannot load '{spec}': {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn parse_template(spec: &str) -> Template {
+    if let Some(named) = NamedTemplate::by_name(spec) {
+        return named.template();
+    }
+    if let Some(k) = spec.strip_prefix("path").and_then(|s| s.parse::<usize>().ok()) {
+        return Template::path(k);
+    }
+    if let Some(k) = spec.strip_prefix("star").and_then(|s| s.parse::<usize>().ok()) {
+        return Template::star(k);
+    }
+    if std::path::Path::new(spec).exists() {
+        match fascia_template::io::load_template(spec) {
+            Ok(t) => return t,
+            Err(e) => {
+                eprintln!("cannot load template file '{spec}': {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    eprintln!("unknown template '{spec}' (use U7-2, path5, star6, or a template file path)");
+    std::process::exit(1);
+}
+
+fn parse_flags(rest: &[String]) -> CountConfig {
+    let mut cfg = CountConfig::default();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--iters" => {
+                cfg.iterations = rest[i + 1].parse().expect("--iters N");
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = rest[i + 1].parse().expect("--seed S");
+                i += 2;
+            }
+            "--table" => {
+                cfg.table = match rest[i + 1].as_str() {
+                    "naive" | "dense" => TableKind::Dense,
+                    "improved" | "lazy" => TableKind::Lazy,
+                    "hash" => TableKind::Hash,
+                    other => {
+                        eprintln!("unknown table kind '{other}'");
+                        std::process::exit(1);
+                    }
+                };
+                i += 2;
+            }
+            "--strategy" => {
+                cfg.strategy = match rest[i + 1].as_str() {
+                    "one" | "one-at-a-time" => PartitionStrategy::OneAtATime,
+                    "balanced" => PartitionStrategy::Balanced,
+                    other => {
+                        eprintln!("unknown strategy '{other}'");
+                        std::process::exit(1);
+                    }
+                };
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    cfg
+}
+
+fn cmd_count(rest: &[String]) {
+    if rest.len() < 2 {
+        usage_and_exit();
+    }
+    let g = load_graph(&rest[0]);
+    let t = parse_template(&rest[1]);
+    let cfg = parse_flags(&rest[2..]);
+    match count_template(&g, &t, &cfg) {
+        Ok(r) => {
+            println!("estimate: {:.4e}", r.estimate);
+            println!("iterations: {}", r.per_iteration.len());
+            println!("per-iteration time: {:?}", r.per_iteration_time);
+            println!("peak table bytes: {}", r.peak_table_bytes);
+            println!("automorphisms: {}", r.automorphisms);
+            println!("colorful probability: {:.6}", r.colorful_probability);
+        }
+        Err(e) => {
+            eprintln!("count failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_exact(rest: &[String]) {
+    if rest.len() < 2 {
+        usage_and_exit();
+    }
+    let g = load_graph(&rest[0]);
+    let t = parse_template(&rest[1]);
+    let start = std::time::Instant::now();
+    let count = count_exact(&g, &t);
+    println!("exact count: {count}");
+    println!("elapsed: {:?}", start.elapsed());
+}
+
+fn cmd_motifs(rest: &[String]) {
+    if rest.len() < 2 {
+        usage_and_exit();
+    }
+    let g = load_graph(&rest[0]);
+    let size: usize = rest[1].parse().expect("motif size");
+    let cfg = parse_flags(&rest[2..]);
+    match motif_profile(&g, size, &cfg) {
+        Ok(p) => {
+            println!("# topology relative_frequency estimate");
+            for (i, (rel, cnt)) in p
+                .relative_frequencies()
+                .iter()
+                .zip(&p.counts)
+                .enumerate()
+            {
+                println!("{:>3}  {rel:>12.6}  {cnt:.4e}", i + 1);
+            }
+            println!("# total elapsed: {:?}", p.elapsed);
+        }
+        Err(e) => {
+            eprintln!("motif scan failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_gdd(rest: &[String]) {
+    if rest.is_empty() {
+        usage_and_exit();
+    }
+    let g = load_graph(&rest[0]);
+    let cfg = parse_flags(&rest[1..]);
+    let named = NamedTemplate::U5_2;
+    let t = named.template();
+    let orbit = named.central_orbit().expect("U5-2 has a central orbit");
+    match estimate_gdd(&g, &t, orbit, &cfg) {
+        Ok(hist) => print_histogram(&hist),
+        Err(e) => {
+            eprintln!("gdd failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn print_histogram(h: &GddHistogram) {
+    println!("# graphlet_degree vertex_count");
+    for (j, c) in h.iter() {
+        println!("{j} {c}");
+    }
+}
+
+fn cmd_sample(rest: &[String]) {
+    if rest.len() < 3 {
+        usage_and_exit();
+    }
+    let g = load_graph(&rest[0]);
+    let t = parse_template(&rest[1]);
+    let count: usize = rest[2].parse().expect("sample count");
+    let mut cfg = parse_flags(&rest[3..]);
+    if cfg.iterations < count {
+        cfg.iterations = count.max(100);
+    }
+    match sample_embeddings(&g, &t, &cfg, count) {
+        Ok(embeddings) => {
+            println!("# {} embeddings (graph vertices in template-vertex order)", embeddings.len());
+            for emb in embeddings {
+                let strs: Vec<String> = emb.iter().map(|v| v.to_string()).collect();
+                println!("{}", strs.join(" "));
+            }
+        }
+        Err(e) => {
+            eprintln!("sampling failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_gen(rest: &[String]) {
+    if rest.len() < 2 {
+        usage_and_exit();
+    }
+    let Some(ds) = parse_dataset(&rest[0]) else {
+        eprintln!("unknown dataset '{}'", rest[0]);
+        std::process::exit(1);
+    };
+    let g = ds.generate(scale_from_env(), 0xDA7A);
+    if let Err(e) = fascia_graph::io::write_edge_list(&g, &rest[1]) {
+        eprintln!("write failed: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote n={} m={} to {}", g.num_vertices(), g.num_edges(), rest[1]);
+}
+
+fn cmd_info(rest: &[String]) {
+    if rest.is_empty() {
+        usage_and_exit();
+    }
+    let g = load_graph(&rest[0]);
+    println!("n: {}", g.num_vertices());
+    println!("m: {}", g.num_edges());
+    println!("avg degree: {:.2}", g.avg_degree());
+    println!("max degree: {}", g.max_degree());
+    println!("triangles: {}", fascia_graph::stats::triangle_count(&g));
+    println!(
+        "global clustering: {:.4}",
+        fascia_graph::stats::global_clustering(&g)
+    );
+}
+
+fn cmd_distsim(rest: &[String]) {
+    use fascia_core::distsim::{count_distributed, DistConfig, PartitionScheme};
+    if rest.len() < 3 {
+        usage_and_exit();
+    }
+    let g = load_graph(&rest[0]);
+    let t = parse_template(&rest[1]);
+    let ranks: usize = rest[2].parse().expect("rank count");
+    let mut count = parse_flags(&rest[3..]);
+    count.parallel = fascia_core::parallel::ParallelMode::Serial;
+    for scheme in [PartitionScheme::Block, PartitionScheme::Hash] {
+        let cfg = DistConfig {
+            ranks,
+            scheme,
+            count: count.clone(),
+        };
+        match count_distributed(&g, &t, &cfg) {
+            Ok(r) => println!(
+                "{scheme:?}: estimate {:.4e}, ghost rows {}, comm bytes {}, imbalance {:.2}",
+                r.estimate,
+                r.ghost_rows,
+                r.comm_bytes,
+                r.imbalance(ranks)
+            ),
+            Err(e) => {
+                eprintln!("distsim failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn cmd_templates() {
+    for named in NamedTemplate::all() {
+        let t = named.template();
+        println!("== {} ({} vertices) ==", named.name(), t.size());
+        print!("{}", fascia_template::named::ascii_art(&t));
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end tests of the `fascia` binary.
+
+use std::process::Command;
+
+fn fascia() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fascia"))
+}
+
+#[test]
+fn templates_lists_gallery() {
+    let out = fascia().arg("templates").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for name in ["U3-1", "U3-2", "U5-2", "U7-2", "U10-2", "U12-2"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn info_reports_circuit_stats() {
+    let out = fascia().args(["info", "circuit"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("n: 252"));
+    assert!(text.contains("m: 399"));
+}
+
+#[test]
+fn count_and_exact_agree_on_circuit() {
+    let exact_out = fascia().args(["exact", "circuit", "U3-1"]).output().unwrap();
+    assert!(exact_out.status.success());
+    let exact_text = String::from_utf8(exact_out.stdout).unwrap();
+    let exact: f64 = exact_text
+        .lines()
+        .find_map(|l| l.strip_prefix("exact count: "))
+        .unwrap()
+        .parse()
+        .unwrap();
+
+    let out = fascia()
+        .args(["count", "circuit", "U3-1", "--iters", "500", "--seed", "9"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let est: f64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("estimate: "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    let err = (est - exact).abs() / exact;
+    assert!(err < 0.1, "estimate {est} vs exact {exact}");
+}
+
+#[test]
+fn sample_prints_valid_embeddings() {
+    let out = fascia()
+        .args(["sample", "circuit", "path4", "5", "--iters", "200"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let rows: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+    assert_eq!(rows.len(), 5);
+    for row in rows {
+        let ids: Vec<u32> = row
+            .split_whitespace()
+            .map(|x| x.parse().unwrap())
+            .collect();
+        assert_eq!(ids.len(), 4);
+        assert!(ids.iter().all(|&v| v < 252));
+    }
+}
+
+#[test]
+fn gen_roundtrips_through_file_input() {
+    let dir = std::env::temp_dir().join("fascia_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("circuit.txt");
+    let out = fascia()
+        .args(["gen", "circuit", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let info = fascia()
+        .args(["info", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(info.status.success());
+    let text = String::from_utf8(info.stdout).unwrap();
+    assert!(text.contains("n: 252"), "got: {text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unknown_command_exits_nonzero() {
+    let out = fascia().arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn unknown_template_exits_nonzero() {
+    let out = fascia().args(["count", "circuit", "U9-9"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn motifs_scan_size_four() {
+    let out = fascia()
+        .args(["motifs", "circuit", "4", "--iters", "50"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    // 2 topologies of size 4.
+    let rows = text.lines().filter(|l| !l.starts_with('#')).count();
+    assert_eq!(rows, 2, "got: {text}");
+}

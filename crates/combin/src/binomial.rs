@@ -1,0 +1,134 @@
+//! Binomial coefficient tables.
+//!
+//! The counting engine needs `C(n, r)` for `n, r <= MAX_COLORS` in hot
+//! paths (color-set ranking and table sizing). A dense Pascal-triangle
+//! table turns those into single loads.
+
+use crate::MAX_COLORS;
+
+/// Dense table of binomial coefficients `C(n, r)` for `0 <= n, r <= max_n`.
+#[derive(Debug, Clone)]
+pub struct BinomialTable {
+    max_n: usize,
+    /// Row-major `(max_n + 1) x (max_n + 1)`; entry `[n][r]` is `C(n, r)`,
+    /// zero when `r > n`.
+    table: Vec<u64>,
+}
+
+impl BinomialTable {
+    /// Builds the table for all `n <= max_n` via Pascal's rule.
+    pub fn new(max_n: usize) -> Self {
+        let w = max_n + 1;
+        let mut table = vec![0u64; w * w];
+        for n in 0..=max_n {
+            table[n * w] = 1;
+            for r in 1..=n {
+                table[n * w + r] = table[(n - 1) * w + r - 1]
+                    + if r < n { table[(n - 1) * w + r] } else { 0 };
+            }
+        }
+        Self { max_n, table }
+    }
+
+    /// Largest `n` this table covers.
+    #[inline]
+    pub fn max_n(&self) -> usize {
+        self.max_n
+    }
+
+    /// `C(n, r)`, zero when `r > n`.
+    ///
+    /// # Panics
+    /// Panics if `n > self.max_n()`.
+    #[inline]
+    pub fn get(&self, n: usize, r: usize) -> u64 {
+        debug_assert!(n <= self.max_n, "n={n} exceeds table max {}", self.max_n);
+        if r > n {
+            return 0;
+        }
+        self.table[n * (self.max_n + 1) + r]
+    }
+}
+
+impl Default for BinomialTable {
+    fn default() -> Self {
+        Self::new(MAX_COLORS)
+    }
+}
+
+/// Standalone binomial coefficient `C(n, r)` computed multiplicatively.
+///
+/// Suitable outside hot loops; exact for all values fitting `u64`
+/// (comfortably covers `n <= 62`).
+pub fn choose(n: usize, r: usize) -> u64 {
+    if r > n {
+        return 0;
+    }
+    let r = r.min(n - r);
+    let mut acc: u64 = 1;
+    for i in 0..r {
+        // Multiply then divide; the running product of i+1 consecutive
+        // integers is always divisible by (i+1)!.
+        acc = acc * (n - i) as u64 / (i as u64 + 1);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choose_edge_cases() {
+        assert_eq!(choose(0, 0), 1);
+        assert_eq!(choose(5, 0), 1);
+        assert_eq!(choose(5, 5), 1);
+        assert_eq!(choose(5, 6), 0);
+        assert_eq!(choose(3, 7), 0);
+    }
+
+    #[test]
+    fn choose_known_values() {
+        assert_eq!(choose(4, 2), 6);
+        assert_eq!(choose(10, 3), 120);
+        assert_eq!(choose(12, 6), 924);
+        assert_eq!(choose(20, 10), 184_756);
+        assert_eq!(choose(52, 5), 2_598_960);
+    }
+
+    #[test]
+    fn table_matches_standalone() {
+        let t = BinomialTable::new(MAX_COLORS);
+        for n in 0..=MAX_COLORS {
+            for r in 0..=MAX_COLORS {
+                assert_eq!(t.get(n, r), choose(n, r), "C({n},{r})");
+            }
+        }
+    }
+
+    #[test]
+    fn table_pascal_identity() {
+        let t = BinomialTable::new(15);
+        for n in 1..=15usize {
+            for r in 1..n {
+                assert_eq!(t.get(n, r), t.get(n - 1, r - 1) + t.get(n - 1, r));
+            }
+        }
+    }
+
+    #[test]
+    fn table_rows_sum_to_powers_of_two() {
+        let t = BinomialTable::new(16);
+        for n in 0..=16usize {
+            let sum: u64 = (0..=n).map(|r| t.get(n, r)).sum();
+            assert_eq!(sum, 1u64 << n);
+        }
+    }
+
+    #[test]
+    fn default_covers_max_colors() {
+        let t = BinomialTable::default();
+        assert_eq!(t.max_n(), MAX_COLORS);
+        assert_eq!(t.get(MAX_COLORS, MAX_COLORS / 2), choose(MAX_COLORS, MAX_COLORS / 2));
+    }
+}

@@ -1,0 +1,294 @@
+//! Color-set ranking and unranking in the combinatorial number system.
+//!
+//! A color set is a strictly increasing slice of colors `c1 < c2 < ... < ch`
+//! drawn from `0..k`. Its CNS index is
+//! `I = C(c1, 1) + C(c2, 2) + ... + C(ch, h)`, which enumerates the
+//! `C(k, h)` sets in colexicographic order starting at zero.
+
+use crate::binomial::BinomialTable;
+
+/// Ranks a strictly increasing color set into its CNS index.
+///
+/// # Panics
+/// Debug-panics if `colors` is not strictly increasing or exceeds the table.
+#[inline]
+pub fn index_of_set(colors: &[u8], binom: &BinomialTable) -> usize {
+    let mut idx = 0u64;
+    let mut prev: i32 = -1;
+    for (i, &c) in colors.iter().enumerate() {
+        debug_assert!(
+            (c as i32) > prev,
+            "color set must be strictly increasing, got {colors:?}"
+        );
+        prev = c as i32;
+        idx += binom.get(c as usize, i + 1);
+    }
+    idx as usize
+}
+
+/// Unranks CNS index `idx` into the `h` colors of the set (ascending).
+///
+/// Inverse of [`index_of_set`]; `k` bounds the color universe and is used
+/// only to seed the search for the largest element.
+pub fn set_of_index(idx: usize, h: usize, k: usize, binom: &BinomialTable) -> Vec<u8> {
+    let mut out = vec![0u8; h];
+    let mut rem = idx as u64;
+    let mut hi = k; // exclusive upper bound for the next (largest) element
+    for pos in (0..h).rev() {
+        // Largest c < hi with C(c, pos+1) <= rem.
+        let mut c = hi - 1;
+        while binom.get(c, pos + 1) > rem {
+            debug_assert!(c > 0, "unrank underflow: idx out of range");
+            c -= 1;
+        }
+        out[pos] = c as u8;
+        rem -= binom.get(c, pos + 1);
+        hi = c;
+    }
+    debug_assert_eq!(rem, 0, "unrank left a remainder; idx out of range");
+    out
+}
+
+/// Iterates all `h`-element subsets of `0..k` in colexicographic (= CNS
+/// index) order, yielding each set as a slice without allocating per item.
+pub struct ColorSetIter {
+    current: Vec<u8>,
+    k: u8,
+    started: bool,
+    done: bool,
+}
+
+impl ColorSetIter {
+    /// Creates an iterator over `h`-subsets of `{0, .., k-1}`.
+    ///
+    /// Yields nothing when `h > k`; yields the single empty set when `h == 0`.
+    pub fn new(k: usize, h: usize) -> Self {
+        Self {
+            current: (0..h as u8).collect(),
+            k: k as u8,
+            started: false,
+            done: h > k,
+        }
+    }
+
+    /// Advances to the next subset, returning it as a borrowed slice.
+    ///
+    /// This is a lending iterator (the slice borrows from `self`), so it
+    /// does not implement `Iterator`; use `while let Some(set) = it.next()`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<&[u8]> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(&self.current);
+        }
+        let h = self.current.len();
+        if h == 0 {
+            self.done = true;
+            return None;
+        }
+        // Colex successor: find the smallest position that can advance.
+        let mut i = 0;
+        loop {
+            let limit = if i + 1 < h {
+                self.current[i + 1]
+            } else {
+                self.k
+            };
+            if self.current[i] + 1 < limit {
+                self.current[i] += 1;
+                for (j, slot) in self.current.iter_mut().enumerate().take(i) {
+                    *slot = j as u8;
+                }
+                return Some(&self.current);
+            }
+            i += 1;
+            if i == h {
+                self.done = true;
+                return None;
+            }
+        }
+    }
+
+    /// Collects all subsets (test/debug convenience; allocates per set).
+    pub fn collect_all(mut self) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some(s) = self.next() {
+            out.push(s.to_vec());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial::choose;
+
+    fn binom() -> BinomialTable {
+        BinomialTable::default()
+    }
+
+    #[test]
+    fn first_set_has_index_zero() {
+        let b = binom();
+        for h in 1..=8usize {
+            let first: Vec<u8> = (0..h as u8).collect();
+            assert_eq!(index_of_set(&first, &b), 0);
+        }
+    }
+
+    #[test]
+    fn last_set_has_max_index() {
+        let b = binom();
+        let k = 9usize;
+        let h = 4usize;
+        let last: Vec<u8> = ((k - h) as u8..k as u8).collect();
+        assert_eq!(index_of_set(&last, &b) as u64, choose(k, h) - 1);
+    }
+
+    #[test]
+    fn iterator_yields_in_index_order_and_complete() {
+        let b = binom();
+        for k in 0..=9usize {
+            for h in 0..=k {
+                let all = ColorSetIter::new(k, h).collect_all();
+                assert_eq!(all.len() as u64, choose(k, h), "count for k={k} h={h}");
+                for (i, set) in all.iter().enumerate() {
+                    assert_eq!(index_of_set(set, &b), i, "rank of {set:?}");
+                    // strictly increasing & in range
+                    for w in set.windows(2) {
+                        assert!(w[0] < w[1]);
+                    }
+                    if let Some(&mx) = set.last() {
+                        assert!((mx as usize) < k);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unrank_roundtrip_exhaustive_small() {
+        let b = binom();
+        for k in 1..=10usize {
+            for h in 1..=k {
+                for idx in 0..choose(k, h) as usize {
+                    let set = set_of_index(idx, h, k, &b);
+                    assert_eq!(index_of_set(&set, &b), idx);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_set_iteration() {
+        let all = ColorSetIter::new(5, 0).collect_all();
+        assert_eq!(all, vec![Vec::<u8>::new()]);
+    }
+
+    #[test]
+    fn h_greater_than_k_yields_nothing() {
+        assert!(ColorSetIter::new(3, 4).collect_all().is_empty());
+    }
+
+    #[test]
+    fn paper_example_indices() {
+        // For k = 4, h = 2 the colex order is
+        // {0,1} {0,2} {1,2} {0,3} {1,3} {2,3}.
+        let sets = ColorSetIter::new(4, 2).collect_all();
+        let expect: Vec<Vec<u8>> = vec![
+            vec![0, 1],
+            vec![0, 2],
+            vec![1, 2],
+            vec![0, 3],
+            vec![1, 3],
+            vec![2, 3],
+        ];
+        assert_eq!(sets, expect);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn rank_unrank_bijective(k in 1usize..16, seed in any::<u64>()) {
+            let b = BinomialTable::default();
+            let h = 1 + (seed as usize) % k;
+            let total = crate::binomial::choose(k, h) as usize;
+            let idx = (seed as usize).wrapping_mul(0x9E37_79B9) % total;
+            let set = set_of_index(idx, h, k, &b);
+            prop_assert_eq!(set.len(), h);
+            prop_assert_eq!(index_of_set(&set, &b), idx);
+        }
+
+        #[test]
+        fn index_is_order_isomorphic(k in 2usize..12) {
+            // Colex comparison of sets agrees with index comparison.
+            let b = BinomialTable::default();
+            let h = k / 2 + 1;
+            let all = ColorSetIter::new(k, h).collect_all();
+            for pair in all.windows(2) {
+                let (lo, hi) = (&pair[0], &pair[1]);
+                prop_assert!(index_of_set(lo, &b) < index_of_set(hi, &b));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod boundary_tests {
+    use super::*;
+    use crate::binomial::{choose, BinomialTable};
+    use crate::MAX_COLORS;
+
+    #[test]
+    fn roundtrip_at_max_colors() {
+        let b = BinomialTable::default();
+        let k = MAX_COLORS;
+        let h = k / 2;
+        let total = choose(k, h) as usize;
+        // Spot-check a spread of indices across the full range.
+        for idx in [0, 1, total / 3, total / 2, total - 2, total - 1] {
+            let set = set_of_index(idx, h, k, &b);
+            assert_eq!(index_of_set(&set, &b), idx);
+            assert_eq!(set.len(), h);
+            assert!(set.iter().all(|&c| (c as usize) < k));
+        }
+    }
+
+    #[test]
+    fn full_set_is_last_index() {
+        let b = BinomialTable::default();
+        for k in 1..=12usize {
+            let full: Vec<u8> = (0..k as u8).collect();
+            assert_eq!(index_of_set(&full, &b), 0, "C(k,k) = 1, single index");
+        }
+    }
+
+    #[test]
+    fn iterator_count_at_max() {
+        // C(20, 3) = 1140 — iterate and count without materializing.
+        let mut it = ColorSetIter::new(MAX_COLORS, 3);
+        let mut count = 0u64;
+        while it.next().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, choose(MAX_COLORS, 3));
+    }
+
+    #[test]
+    fn singleton_index_is_color_value() {
+        // The engine relies on rank({c}) == c.
+        let b = BinomialTable::default();
+        for c in 0..MAX_COLORS as u8 {
+            assert_eq!(index_of_set(&[c], &b), c as usize);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Combinatorial number system (CNS) machinery for FASCIA color coding.
+//!
+//! The FASCIA paper (§III-B) represents a *color set* — an `h`-element subset
+//! of the `k` available colors — as a single integer index computed with the
+//! combinatorial number system:
+//!
+//! ```text
+//! I = C(c1, 1) + C(c2, 2) + ... + C(ch, h)      with c1 < c2 < ... < ch
+//! ```
+//!
+//! This ranks the `C(k, h)` color sets `0..C(k,h)` in colexicographic order,
+//! which lets the dynamic-programming tables use plain arrays indexed by `I`
+//! instead of hashing explicit color lists.
+//!
+//! The innermost loops of the counting algorithm repeatedly *split* a color
+//! set `C` of size `h` into an active part `Ca` of size `a` and a passive
+//! part `Cp = C \ Ca` of size `h - a`. [`SplitTable`] precomputes, for every
+//! color-set index, the index pairs of all `C(h, a)` splits, replacing index
+//! arithmetic in the hot loop with sequential memory reads — the paper
+//! reports this as a considerable constant-factor win.
+
+pub mod binomial;
+pub mod colorset;
+pub mod split;
+
+pub use binomial::{choose, BinomialTable};
+pub use colorset::{index_of_set, set_of_index, ColorSetIter};
+pub use split::SplitTable;
+
+/// Maximum number of colors supported by the precomputed machinery.
+///
+/// The paper evaluates templates up to 12 vertices; we leave headroom.
+pub const MAX_COLORS: usize = 20;
+
+/// Probability that a fixed `h`-vertex subgraph is *colorful* (all vertices
+/// receive distinct colors) under a uniformly random coloring with `k >= h`
+/// colors: `C(k, h) * h! / k^h`.
+///
+/// For `k == h` this is the familiar `k! / k^k` from the paper.
+///
+/// # Panics
+/// Panics if `h > k` or `k == 0`.
+pub fn colorful_probability(k: usize, h: usize) -> f64 {
+    assert!(k >= h, "need at least as many colors as template vertices");
+    assert!(k > 0, "k must be positive");
+    // Compute as a product of h factors (k - i) / k to stay in f64 range.
+    let mut p = 1.0_f64;
+    for i in 0..h {
+        p *= (k - i) as f64 / k as f64;
+    }
+    p
+}
+
+/// Number of color-coding iterations required by the theoretical bound of
+/// Alon–Yuster–Zwick for relative error `epsilon` with confidence
+/// `1 - 2*delta` on a `k`-vertex template: `ceil(e^k * ln(1/delta) / eps^2)`.
+///
+/// The paper (Alg. 1, and §V-D empirically) notes that far fewer iterations
+/// suffice in practice; this function exists so callers can relate an
+/// iteration budget to the worst-case guarantee.
+///
+/// # Panics
+/// Panics unless `0 < epsilon`, `0 < delta < 1`.
+pub fn iterations_for(epsilon: f64, delta: f64, k: usize) -> u64 {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    let raw = (k as f64).exp() * (1.0 / delta).ln() / (epsilon * epsilon);
+    raw.ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colorful_probability_matches_closed_form() {
+        // k = h: k!/k^k
+        let k = 5;
+        let fact: f64 = (1..=k).product::<usize>() as f64;
+        let expect = fact / (k as f64).powi(k as i32);
+        assert!((colorful_probability(k, k) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn colorful_probability_single_vertex_is_one() {
+        for k in 1..=12 {
+            assert_eq!(colorful_probability(k, 1), 1.0);
+        }
+    }
+
+    #[test]
+    fn colorful_probability_more_colors_is_larger() {
+        // Giving extra colors makes colorfulness more likely.
+        let h = 7;
+        let p_eq = colorful_probability(h, h);
+        let p_more = colorful_probability(h + 2, h);
+        assert!(p_more > p_eq);
+        assert!(p_more < 1.0);
+    }
+
+    #[test]
+    fn colorful_probability_known_value_k3() {
+        // 3!/3^3 = 6/27
+        assert!((colorful_probability(3, 3) - 6.0 / 27.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn colorful_probability_rejects_h_gt_k() {
+        colorful_probability(3, 4);
+    }
+
+    #[test]
+    fn iterations_bound_monotone_in_k() {
+        let a = iterations_for(0.1, 0.05, 3);
+        let b = iterations_for(0.1, 0.05, 5);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn iterations_bound_monotone_in_eps() {
+        let loose = iterations_for(0.5, 0.05, 5);
+        let tight = iterations_for(0.05, 0.05, 5);
+        assert!(tight > loose);
+    }
+
+    #[test]
+    fn iterations_bound_small_case() {
+        // e^1 * ln(1/0.5) / 1 = e * ln 2 ~ 1.884 -> 2
+        assert_eq!(iterations_for(1.0, 0.5, 1), 2);
+    }
+}

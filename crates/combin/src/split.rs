@@ -1,0 +1,239 @@
+//! Precomputed color-set split tables.
+//!
+//! For a subtemplate of size `h` with an active child of size `a` (and
+//! passive child of size `h - a`), the dynamic program enumerates, for every
+//! color set `C`, all `C(h, a)` ways of distributing `C`'s colors onto the
+//! two children. [`SplitTable`] materializes the CNS index pairs
+//! `(index(Ca), index(Cp))` for every color set, so the innermost loop is a
+//! linear scan over a flat array — the paper's replacement of "explicit
+//! computation of these indexes with memory lookups".
+
+use crate::binomial::BinomialTable;
+use crate::colorset::{index_of_set, ColorSetIter};
+
+/// One split: CNS indices of the active and passive color subsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitPair {
+    /// Index of the active child's color set (size `a`, universe `0..k`).
+    pub active: u32,
+    /// Index of the passive child's color set (size `h - a`).
+    pub passive: u32,
+}
+
+/// All splits of every `h`-subset of `0..k` into (active `a`, passive `h-a`).
+///
+/// ```
+/// use fascia_combin::{BinomialTable, SplitTable};
+/// let binom = BinomialTable::default();
+/// let t = SplitTable::new(5, 3, 1, &binom);
+/// assert_eq!(t.num_sets(), 10);       // C(5, 3)
+/// assert_eq!(t.splits_per_set(), 3);  // C(3, 1)
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitTable {
+    k: usize,
+    h: usize,
+    a: usize,
+    num_sets: usize,
+    splits_per_set: usize,
+    pairs: Vec<SplitPair>,
+}
+
+impl SplitTable {
+    /// Builds the table. Cost is `C(k, h) * C(h, a)` index computations,
+    /// done once per subtemplate per run (a few megabytes at `k = 12`).
+    ///
+    /// # Panics
+    /// Panics if `a == 0`, `a >= h`, or `h > k`.
+    pub fn new(k: usize, h: usize, a: usize, binom: &BinomialTable) -> Self {
+        assert!(h <= k, "subtemplate larger than color universe");
+        assert!(a > 0 && a < h, "active child size must split h properly");
+        let num_sets = binom.get(k, h) as usize;
+        let splits_per_set = binom.get(h, a) as usize;
+        let mut pairs = Vec::with_capacity(num_sets * splits_per_set);
+
+        // Precompute the position subsets once: which of the h positions of
+        // the sorted color set go to the active child.
+        let position_choices = ColorSetIter::new(h, a).collect_all();
+        debug_assert_eq!(position_choices.len(), splits_per_set);
+
+        let mut sets = ColorSetIter::new(k, h);
+        let mut ca = vec![0u8; a];
+        let mut cp = vec![0u8; h - a];
+        while let Some(set) = sets.next() {
+            for positions in &position_choices {
+                let mut ai = 0;
+                let mut pi = 0;
+                let mut pos_iter = positions.iter().peekable();
+                for (idx, &color) in set.iter().enumerate() {
+                    if pos_iter.peek() == Some(&&(idx as u8)) {
+                        pos_iter.next();
+                        ca[ai] = color;
+                        ai += 1;
+                    } else {
+                        cp[pi] = color;
+                        pi += 1;
+                    }
+                }
+                debug_assert_eq!(ai, a);
+                pairs.push(SplitPair {
+                    active: index_of_set(&ca, binom) as u32,
+                    passive: index_of_set(&cp, binom) as u32,
+                });
+            }
+        }
+        Self {
+            k,
+            h,
+            a,
+            num_sets,
+            splits_per_set,
+            pairs,
+        }
+    }
+
+    /// Splits of the color set with CNS index `set_idx`.
+    #[inline]
+    pub fn splits(&self, set_idx: usize) -> &[SplitPair] {
+        let start = set_idx * self.splits_per_set;
+        &self.pairs[start..start + self.splits_per_set]
+    }
+
+    /// Number of `h`-subsets covered (`C(k, h)`).
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Number of splits per set (`C(h, a)`).
+    #[inline]
+    pub fn splits_per_set(&self) -> usize {
+        self.splits_per_set
+    }
+
+    /// `(k, h, a)` parameters this table was built for.
+    pub fn params(&self) -> (usize, usize, usize) {
+        (self.k, self.h, self.a)
+    }
+
+    /// Approximate heap footprint in bytes (for memory accounting).
+    pub fn bytes(&self) -> usize {
+        self.pairs.capacity() * std::mem::size_of::<SplitPair>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial::choose;
+    use crate::colorset::set_of_index;
+
+    fn binom() -> BinomialTable {
+        BinomialTable::default()
+    }
+
+    #[test]
+    fn split_counts_match_binomials() {
+        let b = binom();
+        let t = SplitTable::new(7, 4, 2, &b);
+        assert_eq!(t.num_sets() as u64, choose(7, 4));
+        assert_eq!(t.splits_per_set() as u64, choose(4, 2));
+        assert_eq!(t.params(), (7, 4, 2));
+    }
+
+    /// Every split must be a disjoint cover of the parent color set, and
+    /// all C(h, a) distinct splits must appear exactly once.
+    #[test]
+    fn splits_partition_parent_exhaustive() {
+        let b = binom();
+        for k in 3..=8usize {
+            for h in 2..=k {
+                for a in 1..h {
+                    let t = SplitTable::new(k, h, a, &b);
+                    for set_idx in 0..t.num_sets() {
+                        let parent = set_of_index(set_idx, h, k, &b);
+                        let mut seen = std::collections::HashSet::new();
+                        for sp in t.splits(set_idx) {
+                            let ca = set_of_index(sp.active as usize, a, k, &b);
+                            let cp = set_of_index(sp.passive as usize, h - a, k, &b);
+                            let mut merged: Vec<u8> =
+                                ca.iter().chain(cp.iter()).copied().collect();
+                            merged.sort_unstable();
+                            assert_eq!(merged, parent, "k={k} h={h} a={a}");
+                            assert!(seen.insert((sp.active, sp.passive)), "dup split");
+                        }
+                        assert_eq!(seen.len() as u64, choose(h, a));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_vertex_active_lists_each_color_once() {
+        // a = 1: the active indices across splits of set C must be exactly
+        // the CNS indices of each singleton color of C.
+        let b = binom();
+        let t = SplitTable::new(6, 3, 1, &b);
+        for set_idx in 0..t.num_sets() {
+            let parent = set_of_index(set_idx, 3, 6, &b);
+            let mut actives: Vec<u32> = t.splits(set_idx).iter().map(|s| s.active).collect();
+            actives.sort_unstable();
+            let mut expect: Vec<u32> = parent
+                .iter()
+                .map(|&c| index_of_set(&[c], &b) as u32)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(actives, expect);
+        }
+    }
+
+    #[test]
+    fn bytes_accounting_positive() {
+        let b = binom();
+        let t = SplitTable::new(12, 6, 3, &b);
+        assert!(t.bytes() >= t.num_sets() * t.splits_per_set() * 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_degenerate_split() {
+        SplitTable::new(5, 3, 0, &binom());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_full_split() {
+        SplitTable::new(5, 3, 3, &binom());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::colorset::set_of_index;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn random_split_is_disjoint_cover(
+            k in 4usize..13,
+            hseed in any::<u32>(),
+            sseed in any::<u32>(),
+        ) {
+            let b = BinomialTable::default();
+            let h = 2 + (hseed as usize) % (k - 1);
+            let a = 1 + (sseed as usize) % (h - 1);
+            let t = SplitTable::new(k, h, a, &b);
+            let set_idx = (hseed as usize ^ sseed as usize) % t.num_sets();
+            let parent = set_of_index(set_idx, h, k, &b);
+            for sp in t.splits(set_idx) {
+                let ca = set_of_index(sp.active as usize, a, k, &b);
+                let cp = set_of_index(sp.passive as usize, h - a, k, &b);
+                let mut merged: Vec<u8> = ca.iter().chain(cp.iter()).copied().collect();
+                merged.sort_unstable();
+                prop_assert_eq!(&merged, &parent);
+            }
+        }
+    }
+}

@@ -1,0 +1,1326 @@
+//! The color-coding counting engine (Algorithms 1 and 2 of the paper).
+//!
+//! Per iteration: color the graph uniformly at random with `k` colors, then
+//! run the bottom-up dynamic program over the template's partition tree.
+//! For a subtemplate `S` with active child `a` and passive child `p`, the
+//! count of `S` rooted at graph vertex `v` with color set `C` is
+//!
+//! ```text
+//! table[S][v][C] = Σ_{u ∈ N(v)} Σ_{C = Ca ⊎ Cp} table[a][v][Ca] · table[p][u][Cp]
+//! ```
+//!
+//! The implementation factors the sum over neighbors out of the split sum
+//! (`Σ_u` distributes over `Σ_{Ca,Cp}`), accumulates passive-child rows
+//! once per vertex, and then combines them against the active row via the
+//! precomputed split tables of `fascia-combin`.
+//!
+//! Paper optimizations reproduced here:
+//!
+//! * single-vertex subtemplates are never materialized — their counts are
+//!   read directly off the coloring (one non-zero color set per vertex, the
+//!   `(k-1)/k` work reduction of §III-D),
+//! * per-vertex "initialized" checks skip vertices whose active child has
+//!   no counts (§III-C),
+//! * automorphic subtemplates share one table (canonical-class dedup),
+//! * tables are freed as soon as every consumer is done, keeping only a
+//!   handful live (§III-C),
+//! * vertex labels prune every base case (Fig. 4's speedup).
+
+use crate::coloring::{iteration_seed, random_coloring};
+use crate::parallel::ParallelMode;
+use fascia_combin::{colorful_probability, BinomialTable, ColorSetIter, SplitTable};
+use fascia_graph::Graph;
+use fascia_table::{CountTable, DenseTable, HashCountTable, LazyTable, Rows, TableKind};
+use fascia_template::automorphism::{automorphisms, rooted_automorphisms};
+use fascia_template::canon::full_mask;
+use fascia_template::partition::{NodeKind, PartitionError, SubNode};
+use fascia_template::{PartitionStrategy, PartitionTree, Template};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Configuration of a counting run.
+#[derive(Debug, Clone)]
+pub struct CountConfig {
+    /// Number of color-coding iterations to average (Alg. 1, `N_iter`).
+    pub iterations: usize,
+    /// Number of colors `k`; defaults to the template size. More colors
+    /// raise the colorful probability at the cost of bigger tables.
+    pub colors: Option<usize>,
+    /// Dynamic-table layout.
+    pub table: TableKind,
+    /// Template partitioning heuristic.
+    pub strategy: PartitionStrategy,
+    /// Threading scheme.
+    pub parallel: ParallelMode,
+    /// Base RNG seed; iteration `i` derives its coloring from
+    /// `iteration_seed(seed, i)`, so results are identical across parallel
+    /// modes.
+    pub seed: u64,
+}
+
+impl CountConfig {
+    /// Configuration whose iteration count meets the Alon–Yuster–Zwick
+    /// worst-case bound for relative error `epsilon` at confidence
+    /// `1 - 2*delta` on a `template_size`-vertex template (Alg. 1 line 2).
+    ///
+    /// The bound is wildly conservative in practice (§V-D); use it when a
+    /// guarantee matters more than speed.
+    pub fn for_error(epsilon: f64, delta: f64, template_size: usize) -> Self {
+        Self {
+            iterations: fascia_combin::iterations_for(epsilon, delta, template_size) as usize,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for CountConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 10,
+            colors: None,
+            table: TableKind::Lazy,
+            strategy: PartitionStrategy::OneAtATime,
+            parallel: ParallelMode::Auto,
+            seed: 0x00FA_5C1A,
+        }
+    }
+}
+
+/// Errors from the counting entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CountError {
+    /// The template could not be partitioned.
+    Partition(PartitionError),
+    /// The template carries labels but no graph labels were supplied.
+    LabelsRequired,
+    /// Graph label vector length differs from the vertex count.
+    LabelLengthMismatch,
+    /// Fewer colors than template vertices.
+    NotEnoughColors { colors: usize, template: usize },
+    /// More colors than the combinatorial tables support.
+    TooManyColors(usize),
+    /// Zero iterations requested.
+    NoIterations,
+}
+
+impl std::fmt::Display for CountError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CountError::Partition(e) => write!(f, "partitioning failed: {e}"),
+            CountError::LabelsRequired => {
+                write!(f, "labeled template requires graph labels")
+            }
+            CountError::LabelLengthMismatch => {
+                write!(f, "graph label vector length must equal vertex count")
+            }
+            CountError::NotEnoughColors { colors, template } => {
+                write!(f, "{colors} colors < {template} template vertices")
+            }
+            CountError::TooManyColors(k) => write!(
+                f,
+                "{k} colors exceed the supported maximum of {}",
+                fascia_combin::MAX_COLORS
+            ),
+            CountError::NoIterations => write!(f, "at least one iteration is required"),
+        }
+    }
+}
+
+impl std::error::Error for CountError {}
+
+impl From<PartitionError> for CountError {
+    fn from(e: PartitionError) -> Self {
+        CountError::Partition(e)
+    }
+}
+
+/// Result of a counting run.
+#[derive(Debug, Clone)]
+pub struct CountResult {
+    /// Final estimate: mean of the per-iteration estimates (Alg. 1 line 7).
+    pub estimate: f64,
+    /// Per-iteration scaled estimates (already divided by `P · α`).
+    pub per_iteration: Vec<f64>,
+    /// Peak bytes held in DP tables plus index tables, across iterations.
+    pub peak_table_bytes: usize,
+    /// Wall-clock for the whole run.
+    pub elapsed: Duration,
+    /// Mean wall-clock of one iteration.
+    pub per_iteration_time: Duration,
+    /// Automorphism count `α` used in the final scaling.
+    pub automorphisms: u64,
+    /// Colorful probability `P` used in the final scaling.
+    pub colorful_probability: f64,
+}
+
+/// Result of a rooted (per-vertex) counting run.
+#[derive(Debug, Clone)]
+pub struct RootedResult {
+    /// Estimated graphlet degree of every vertex for the chosen orbit.
+    pub per_vertex: Vec<f64>,
+    /// Scaling used (`P · α_rooted`).
+    pub scale: f64,
+    /// Wall-clock for the whole run.
+    pub elapsed: Duration,
+}
+
+/// Approximate count of non-induced occurrences of an unlabeled template.
+///
+/// ```
+/// use fascia_core::engine::{count_template, CountConfig};
+/// use fascia_graph::Graph;
+/// use fascia_template::Template;
+///
+/// // A 6-cycle contains exactly 6 three-vertex paths.
+/// let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+/// let cfg = CountConfig { iterations: 400, ..CountConfig::default() };
+/// let r = count_template(&g, &Template::path(3), &cfg).unwrap();
+/// assert!((r.estimate - 6.0).abs() < 1.0);
+/// ```
+pub fn count_template(
+    g: &Graph,
+    t: &Template,
+    cfg: &CountConfig,
+) -> Result<CountResult, CountError> {
+    if t.labels().is_some() {
+        return Err(CountError::LabelsRequired);
+    }
+    count_impl(g, None, t, cfg)
+}
+
+/// Approximate count of a labeled template in a vertex-labeled graph.
+///
+/// Both labelings use small integer alphabets; a template vertex may only
+/// map onto a graph vertex with an equal label.
+pub fn count_template_labeled(
+    g: &Graph,
+    graph_labels: &[u8],
+    t: &Template,
+    cfg: &CountConfig,
+) -> Result<CountResult, CountError> {
+    if graph_labels.len() != g.num_vertices() {
+        return Err(CountError::LabelLengthMismatch);
+    }
+    count_impl(g, Some(graph_labels), t, cfg)
+}
+
+/// Per-vertex rooted counts: the estimated number of occurrences in which
+/// each graph vertex plays the role of template vertex `orbit` (graphlet
+/// degrees, §V-F).
+pub fn rooted_counts(
+    g: &Graph,
+    t: &Template,
+    orbit: u8,
+    cfg: &CountConfig,
+) -> Result<RootedResult, CountError> {
+    if t.labels().is_some() {
+        return Err(CountError::LabelsRequired);
+    }
+    let k = effective_colors(t, cfg)?;
+    let pt = PartitionTree::build_with_root(t, orbit, cfg.strategy)?;
+    let ctx = DpContext::new(t, &pt, k);
+    let start = Instant::now();
+    let iters = cfg.iterations.max(1);
+    let alpha_rooted = rooted_automorphisms(t, orbit, full_mask(t.size()));
+    let p = colorful_probability(k, t.size());
+    let scale = p * alpha_rooted as f64;
+
+    let run_one = |i: usize, inner: bool| -> Vec<f64> {
+        let coloring = random_coloring(g.num_vertices(), k, iteration_seed(cfg.seed, i as u64));
+        let out = dispatch_iteration(g, None, t, &pt, &ctx, &coloring, inner, cfg.table, true);
+        out.root_row_sums.expect("rooted run collects row sums")
+    };
+
+    let mode = cfg.parallel.resolve(g.num_vertices(), iters);
+    let sums: Vec<Vec<f64>> = match mode {
+        ParallelMode::OuterLoop => (0..iters).into_par_iter().map(|i| run_one(i, false)).collect(),
+        ParallelMode::Hybrid => (0..iters).into_par_iter().map(|i| run_one(i, true)).collect(),
+        ParallelMode::InnerLoop => (0..iters).map(|i| run_one(i, true)).collect(),
+        _ => (0..iters).map(|i| run_one(i, false)).collect(),
+    };
+    let n = g.num_vertices();
+    let mut per_vertex = vec![0.0f64; n];
+    for s in &sums {
+        for (acc, &x) in per_vertex.iter_mut().zip(s) {
+            *acc += x;
+        }
+    }
+    let denom = scale * iters as f64;
+    for x in per_vertex.iter_mut() {
+        *x /= denom;
+    }
+    Ok(RootedResult {
+        per_vertex,
+        scale,
+        elapsed: start.elapsed(),
+    })
+}
+
+pub(crate) fn effective_colors(t: &Template, cfg: &CountConfig) -> Result<usize, CountError> {
+    if cfg.iterations == 0 {
+        return Err(CountError::NoIterations);
+    }
+    let k = cfg.colors.unwrap_or(t.size());
+    if k < t.size() {
+        return Err(CountError::NotEnoughColors {
+            colors: k,
+            template: t.size(),
+        });
+    }
+    if k > fascia_combin::MAX_COLORS {
+        return Err(CountError::TooManyColors(k));
+    }
+    Ok(k)
+}
+
+fn count_impl(
+    g: &Graph,
+    labels: Option<&[u8]>,
+    t: &Template,
+    cfg: &CountConfig,
+) -> Result<CountResult, CountError> {
+    if t.labels().is_some() && labels.is_none() {
+        return Err(CountError::LabelsRequired);
+    }
+    let k = effective_colors(t, cfg)?;
+    let pt = PartitionTree::build(t, cfg.strategy)?;
+    let ctx = DpContext::new(t, &pt, k);
+    let alpha = automorphisms(t);
+    let p = colorful_probability(k, t.size());
+    let scale = p * alpha as f64;
+    let iters = cfg.iterations;
+    let start = Instant::now();
+
+    let run_one = |i: usize, inner: bool| -> (f64, usize) {
+        let coloring = random_coloring(g.num_vertices(), k, iteration_seed(cfg.seed, i as u64));
+        let out = dispatch_iteration(g, labels, t, &pt, &ctx, &coloring, inner, cfg.table, false);
+        (out.colorful_total, out.peak_bytes)
+    };
+
+    let mode = cfg.parallel.resolve(g.num_vertices(), iters);
+    let raw: Vec<(f64, usize)> = match mode {
+        ParallelMode::OuterLoop => (0..iters).into_par_iter().map(|i| run_one(i, false)).collect(),
+        ParallelMode::Hybrid => (0..iters).into_par_iter().map(|i| run_one(i, true)).collect(),
+        ParallelMode::InnerLoop => (0..iters).map(|i| run_one(i, true)).collect(),
+        _ => (0..iters).map(|i| run_one(i, false)).collect(),
+    };
+    let per_iteration: Vec<f64> = raw.iter().map(|(c, _)| c / scale).collect();
+    // Outer-loop parallelism multiplies live tables by the worker count.
+    let peak_one = raw.iter().map(|&(_, b)| b).max().unwrap_or(0);
+    let peak_table_bytes = match mode {
+        ParallelMode::OuterLoop | ParallelMode::Hybrid => {
+            peak_one * rayon::current_num_threads().min(iters).max(1)
+        }
+        _ => peak_one,
+    };
+    let elapsed = start.elapsed();
+    let estimate = per_iteration.iter().sum::<f64>() / iters as f64;
+    Ok(CountResult {
+        estimate,
+        per_iteration,
+        peak_table_bytes,
+        elapsed,
+        per_iteration_time: elapsed / iters as u32,
+        automorphisms: alpha,
+        colorful_probability: p,
+    })
+}
+
+/// Precomputed combinatorial context shared by all iterations of a run.
+pub(crate) struct DpContext {
+    pub(crate) k: usize,
+    pub(crate) binom: BinomialTable,
+    /// `nc[h]` = `C(k, h)`.
+    pub(crate) nc: Vec<usize>,
+    /// Split tables per (subtemplate size, active size), for active > 1.
+    pub(crate) splits: HashMap<(u8, u8), SplitTable>,
+    /// Removal tables per subtemplate size `h`: entry `[I * k + c]` is the
+    /// CNS index of the (h-1)-set `C_I \ {c}`, or -1 when `c ∉ C_I`. Used
+    /// for single-vertex active children.
+    pub(crate) removals: HashMap<u8, Vec<i32>>,
+    /// Bytes held by the index tables (counted into peak memory, §III-B).
+    index_bytes: usize,
+}
+
+impl DpContext {
+    pub(crate) fn new(t: &Template, pt: &PartitionTree, k: usize) -> Self {
+        let binom = BinomialTable::new(fascia_combin::MAX_COLORS.max(k));
+        let nc: Vec<usize> = (0..=k).map(|h| binom.get(k, h) as usize).collect();
+        let mut splits = HashMap::new();
+        let mut removals: HashMap<u8, Vec<i32>> = HashMap::new();
+        let mut index_bytes = 0usize;
+        for &idx in pt.unique_order() {
+            let node = &pt.nodes()[idx as usize];
+            if let NodeKind::Cut { active, .. } = node.kind {
+                let h = node.size;
+                let a = pt.nodes()[active as usize].size;
+                if a == 1 {
+                    removals.entry(h).or_insert_with(|| {
+                        build_removal_table(k, h as usize, &binom)
+                    });
+                } else {
+                    splits
+                        .entry((h, a))
+                        .or_insert_with(|| SplitTable::new(k, h as usize, a as usize, &binom));
+                }
+            }
+        }
+        let _ = t;
+        for s in splits.values() {
+            index_bytes += s.bytes();
+        }
+        for r in removals.values() {
+            index_bytes += r.capacity() * std::mem::size_of::<i32>();
+        }
+        Self {
+            k,
+            binom,
+            nc,
+            splits,
+            removals,
+            index_bytes,
+        }
+    }
+}
+
+/// Builds the removal table for size `h`: for each `h`-set index and each
+/// color, the index of the set minus that color (or -1).
+fn build_removal_table(k: usize, h: usize, binom: &BinomialTable) -> Vec<i32> {
+    let nc = binom.get(k, h) as usize;
+    let mut rem = vec![-1i32; nc * k];
+    let mut sets = ColorSetIter::new(k, h);
+    let mut idx = 0usize;
+    let mut reduced = Vec::with_capacity(h.saturating_sub(1));
+    while let Some(set) = sets.next() {
+        for (pos, &c) in set.iter().enumerate() {
+            reduced.clear();
+            reduced.extend(set.iter().enumerate().filter(|&(i, _)| i != pos).map(|(_, &x)| x));
+            rem[idx * k + c as usize] =
+                fascia_combin::index_of_set(&reduced, binom) as i32;
+        }
+        idx += 1;
+    }
+    rem
+}
+
+/// One stored child: either a virtual single-vertex subtemplate (counts
+/// read off the coloring) or a materialized table.
+pub(crate) enum Stored<T> {
+    Single { label: Option<u8> },
+    Table(T),
+}
+
+struct IterationOutput {
+    colorful_total: f64,
+    peak_bytes: usize,
+    root_row_sums: Option<Vec<f64>>,
+}
+
+/// Monomorphization dispatch on the table layout.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_iteration(
+    g: &Graph,
+    labels: Option<&[u8]>,
+    t: &Template,
+    pt: &PartitionTree,
+    ctx: &DpContext,
+    coloring: &[u8],
+    inner_parallel: bool,
+    kind: TableKind,
+    want_row_sums: bool,
+) -> IterationOutput {
+    match kind {
+        TableKind::Dense => run_iteration::<DenseTable>(
+            g, labels, t, pt, ctx, coloring, inner_parallel, want_row_sums,
+        ),
+        TableKind::Lazy => run_iteration::<LazyTable>(
+            g, labels, t, pt, ctx, coloring, inner_parallel, want_row_sums,
+        ),
+        TableKind::Hash => run_iteration::<HashCountTable>(
+            g, labels, t, pt, ctx, coloring, inner_parallel, want_row_sums,
+        ),
+    }
+}
+
+/// Runs one full bottom-up DP pass for one coloring (Alg. 2).
+#[allow(clippy::too_many_arguments)]
+fn run_iteration<T: CountTable>(
+    g: &Graph,
+    labels: Option<&[u8]>,
+    t: &Template,
+    pt: &PartitionTree,
+    ctx: &DpContext,
+    coloring: &[u8],
+    inner_parallel: bool,
+    want_row_sums: bool,
+) -> IterationOutput {
+    let n = g.num_vertices();
+    let mut stored: Vec<Option<Stored<T>>> = Vec::new();
+    stored.resize_with(pt.num_canon_classes(), || None);
+    let mut uses = pt.class_use_counts();
+    let mut live_bytes = ctx.index_bytes + coloring.len();
+    let mut peak_bytes = live_bytes;
+    // The paper's naive memory scheme materializes single-vertex
+    // subtemplate tables too (Alg. 2 line 4 writes them). The improved
+    // read path never touches them, but the Dense ("naive") layout pays
+    // for the allocation — reproduced here so Fig. 6's comparison is
+    // faithful. `ghost_singles` holds those allocations until their class
+    // is released.
+    let mut ghost_singles: Vec<Option<T>> = Vec::new();
+    ghost_singles.resize_with(pt.num_canon_classes(), || None);
+
+    for &idx in pt.unique_order() {
+        let node = &pt.nodes()[idx as usize];
+        let cid = node.canon_id as usize;
+        match node.kind {
+            NodeKind::Vertex => {
+                let label = labels.map(|_| t.label(node.root));
+                if T::kind() == TableKind::Dense {
+                    let k = ctx.k;
+                    let rows: Rows = (0..n)
+                        .map(|v| {
+                            let mut row = vec![0.0f64; k].into_boxed_slice();
+                            let ok = match (label, labels) {
+                                (Some(l), Some(gl)) => gl[v] == l,
+                                _ => true,
+                            };
+                            if ok {
+                                row[coloring[v] as usize] = 1.0;
+                            }
+                            Some(row)
+                        })
+                        .collect();
+                    let table = T::from_rows(n, k, rows);
+                    live_bytes += table.bytes();
+                    peak_bytes = peak_bytes.max(live_bytes);
+                    ghost_singles[cid] = Some(table);
+                }
+                stored[cid] = Some(Stored::Single { label });
+            }
+            NodeKind::Triangle { partners } => {
+                let rows = triangle_rows(
+                    g,
+                    labels,
+                    t,
+                    node,
+                    partners,
+                    ctx,
+                    coloring,
+                    inner_parallel,
+                );
+                let table = T::from_rows(n, ctx.nc[3], rows);
+                live_bytes += table.bytes();
+                peak_bytes = peak_bytes.max(live_bytes);
+                stored[cid] = Some(Stored::Table(table));
+            }
+            NodeKind::Cut { active, passive } => {
+                let a_node = &pt.nodes()[active as usize];
+                let p_node = &pt.nodes()[passive as usize];
+                let a_cid = a_node.canon_id as usize;
+                let p_cid = p_node.canon_id as usize;
+                let rows = {
+                    let act = stored[a_cid].as_ref().expect("active child computed");
+                    let pas = if p_cid == a_cid {
+                        act
+                    } else {
+                        stored[p_cid].as_ref().expect("passive child computed")
+                    };
+                    cut_rows(
+                        g,
+                        labels,
+                        node,
+                        a_node,
+                        p_node,
+                        act,
+                        pas,
+                        ctx,
+                        coloring,
+                        inner_parallel,
+                    )
+                };
+                let table = T::from_rows(n, ctx.nc[node.size as usize], rows);
+                live_bytes += table.bytes();
+                peak_bytes = peak_bytes.max(live_bytes);
+                stored[cid] = Some(Stored::Table(table));
+                // Release children that have no remaining consumers.
+                for child_cid in [a_cid, p_cid] {
+                    uses[child_cid] -= 1;
+                    if uses[child_cid] == 0 && child_cid != cid {
+                        if let Some(Stored::Table(old)) = stored[child_cid].take() {
+                            live_bytes -= old.bytes();
+                        }
+                        if let Some(ghost) = ghost_singles[child_cid].take() {
+                            live_bytes -= ghost.bytes();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Final aggregation (Alg. 2, line 20).
+    let root_cid = pt.root().canon_id as usize;
+    let (colorful_total, root_row_sums) = match stored[root_cid]
+        .as_ref()
+        .expect("root table computed")
+    {
+        Stored::Single { label } => {
+            // Single-vertex template: each matching vertex is one embedding.
+            let sums: Vec<f64> = (0..n)
+                .map(|v| match (label, labels) {
+                    (Some(l), Some(gl)) => (gl[v] == *l) as u8 as f64,
+                    _ => 1.0,
+                })
+                .collect();
+            let total = sums.iter().sum();
+            (total, want_row_sums.then_some(sums))
+        }
+        Stored::Table(table) => {
+            let total = table.total();
+            let sums = want_row_sums.then(|| {
+                (0..n)
+                    .map(|v| match table.row_slice(v) {
+                        Some(row) => row.iter().sum::<f64>(),
+                        None => (0..table.num_colorsets())
+                            .map(|cs| table.get(v, cs))
+                            .sum(),
+                    })
+                    .collect()
+            });
+            (total, sums)
+        }
+    };
+
+    IterationOutput {
+        colorful_total,
+        peak_bytes,
+        root_row_sums,
+    }
+}
+
+/// Base-case rows for a triangle subtemplate rooted at `node.root`:
+/// ordered neighbor pairs (u, w) of v that close a triangle with distinct
+/// colors and matching labels.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn triangle_rows(
+    g: &Graph,
+    labels: Option<&[u8]>,
+    t: &Template,
+    node: &SubNode,
+    partners: [u8; 2],
+    ctx: &DpContext,
+    coloring: &[u8],
+    inner_parallel: bool,
+) -> Rows {
+    triangle_rows_for(g, labels, t, node, partners, ctx, coloring, inner_parallel, None)
+}
+
+/// As [`triangle_rows`], restricted to `targets` when given (used by the
+/// distributed simulation to compute only rank-owned vertices).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn triangle_rows_for(
+    g: &Graph,
+    labels: Option<&[u8]>,
+    t: &Template,
+    node: &SubNode,
+    partners: [u8; 2],
+    ctx: &DpContext,
+    coloring: &[u8],
+    inner_parallel: bool,
+    targets: Option<&[u32]>,
+) -> Rows {
+    let nc = ctx.nc[3];
+    let want = labels.map(|gl| {
+        (
+            gl,
+            t.label(node.root),
+            t.label(partners[0]),
+            t.label(partners[1]),
+        )
+    });
+    let binom = &ctx.binom;
+    let compute = |v: usize| -> Option<Box<[f64]>> {
+        if let Some((gl, lr, _, _)) = want {
+            if gl[v] != lr {
+                return None;
+            }
+        }
+        let cv = coloring[v];
+        let neigh = g.neighbors(v);
+        let mut row: Option<Box<[f64]>> = None;
+        // For each neighbor u, walk the sorted intersection N(v) ∩ N(u):
+        // each common neighbor w closes the triangle (v, u, w). Ordered
+        // (u, w) pairs are needed because the two template partners may
+        // carry different labels.
+        for &u in neigh {
+            if let Some((gl, _, lu, _)) = want {
+                if gl[u as usize] != lu {
+                    continue;
+                }
+            }
+            let cu = coloring[u as usize];
+            if cu == cv {
+                continue;
+            }
+            let nu = g.neighbors(u as usize);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < neigh.len() && j < nu.len() {
+                match neigh[i].cmp(&nu[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let w = neigh[i];
+                        i += 1;
+                        j += 1;
+                        if w == u {
+                            continue;
+                        }
+                        if let Some((gl, _, _, lw)) = want {
+                            if gl[w as usize] != lw {
+                                continue;
+                            }
+                        }
+                        let cw = coloring[w as usize];
+                        if cw == cv || cw == cu {
+                            continue;
+                        }
+                        let mut set = [cv, cu, cw];
+                        set.sort_unstable();
+                        let idx = fascia_combin::index_of_set(&set, binom);
+                        row.get_or_insert_with(|| vec![0.0; nc].into_boxed_slice())[idx] += 1.0;
+                    }
+                }
+            }
+        }
+        row
+    };
+    match targets {
+        Some(list) => {
+            let mut rows: Rows = Vec::new();
+            rows.resize_with(g.num_vertices(), || None);
+            for &v in list {
+                rows[v as usize] = compute(v as usize);
+            }
+            rows
+        }
+        None if inner_parallel => (0..g.num_vertices()).into_par_iter().map(compute).collect(),
+        None => (0..g.num_vertices()).map(compute).collect(),
+    }
+}
+
+/// Read access to the active child's counts at a fixed vertex.
+enum ActRow<'a, T: CountTable> {
+    Slice(&'a [f64]),
+    Indirect(&'a T, usize),
+}
+
+impl<'a, T: CountTable> ActRow<'a, T> {
+    #[inline]
+    fn get(&self, cs: usize) -> f64 {
+        match self {
+            ActRow::Slice(s) => s[cs],
+            ActRow::Indirect(t, v) => t.get(*v, cs),
+        }
+    }
+}
+
+/// Rows for a cut subtemplate: the factored DP
+/// `row[C] = Σ_{Ca ⊎ Cp = C} act(v, Ca) · (Σ_u pas(u, Cp))`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cut_rows<T: CountTable>(
+    g: &Graph,
+    labels: Option<&[u8]>,
+    node: &SubNode,
+    a_node: &SubNode,
+    p_node: &SubNode,
+    act: &Stored<T>,
+    pas: &Stored<T>,
+    ctx: &DpContext,
+    coloring: &[u8],
+    inner_parallel: bool,
+) -> Rows {
+    cut_rows_for(
+        g, labels, node, a_node, p_node, act, pas, ctx, coloring, inner_parallel, None,
+    )
+}
+
+/// As [`cut_rows`], restricted to `targets` when given.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cut_rows_for<T: CountTable>(
+    g: &Graph,
+    labels: Option<&[u8]>,
+    node: &SubNode,
+    a_node: &SubNode,
+    p_node: &SubNode,
+    act: &Stored<T>,
+    pas: &Stored<T>,
+    ctx: &DpContext,
+    coloring: &[u8],
+    inner_parallel: bool,
+    targets: Option<&[u32]>,
+) -> Rows {
+    let h = node.size as usize;
+    let a = a_node.size as usize;
+    let p = p_node.size as usize;
+    let nc_h = ctx.nc[h];
+    let nc_p = ctx.nc[p];
+    let k = ctx.k;
+    let rem = if a == 1 {
+        Some(&ctx.removals[&node.size][..])
+    } else {
+        None
+    };
+    let split = if a > 1 {
+        Some(&ctx.splits[&(node.size, a_node.size)])
+    } else {
+        None
+    };
+
+    let compute = |pas_acc: &mut Vec<f64>, v: usize| -> Option<Box<[f64]>> {
+        // Active availability at v.
+        let act_row: Option<ActRow<T>> = match act {
+            Stored::Single { label } => {
+                if let (Some(l), Some(gl)) = (label, labels) {
+                    if gl[v] != *l {
+                        return None;
+                    }
+                }
+                None
+            }
+            Stored::Table(tb) => {
+                if !tb.vertex_active(v) {
+                    return None;
+                }
+                Some(match tb.row_slice(v) {
+                    Some(s) => ActRow::Slice(s),
+                    None => ActRow::Indirect(tb, v),
+                })
+            }
+        };
+
+        // Accumulate passive rows over the neighborhood.
+        pas_acc.clear();
+        pas_acc.resize(nc_p, 0.0);
+        let mut any = false;
+        match pas {
+            Stored::Single { label } => {
+                for &u in g.neighbors(v) {
+                    let u = u as usize;
+                    if let (Some(l), Some(gl)) = (label, labels) {
+                        if gl[u] != *l {
+                            continue;
+                        }
+                    }
+                    // Singleton color sets rank as their color value.
+                    pas_acc[coloring[u] as usize] += 1.0;
+                    any = true;
+                }
+            }
+            Stored::Table(tb) => {
+                for &u in g.neighbors(v) {
+                    let u = u as usize;
+                    if !tb.vertex_active(u) {
+                        continue;
+                    }
+                    any = true;
+                    match tb.row_slice(u) {
+                        Some(s) => {
+                            for (acc, &x) in pas_acc.iter_mut().zip(s) {
+                                *acc += x;
+                            }
+                        }
+                        None => {
+                            for (cs, acc) in pas_acc.iter_mut().enumerate() {
+                                *acc += tb.get(u, cs);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !any {
+            return None;
+        }
+
+        // Combine.
+        let mut row = vec![0.0f64; nc_h].into_boxed_slice();
+        let mut nonzero = false;
+        match (&act_row, rem, split) {
+            (None, Some(rem), _) => {
+                // Active is the bare root vertex: the only live color set
+                // for it is {color(v)} — look up C \ {color(v)} directly.
+                let cv = coloring[v] as usize;
+                for (i, slot) in row.iter_mut().enumerate() {
+                    let r = rem[i * k + cv];
+                    if r >= 0 {
+                        let val = pas_acc[r as usize];
+                        if val != 0.0 {
+                            *slot = val;
+                            nonzero = true;
+                        }
+                    }
+                }
+            }
+            (Some(act_row), _, Some(split)) => {
+                for (i, slot) in row.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for sp in split.splits(i) {
+                        let a_val = act_row.get(sp.active as usize);
+                        if a_val != 0.0 {
+                            acc += a_val * pas_acc[sp.passive as usize];
+                        }
+                    }
+                    if acc != 0.0 {
+                        *slot = acc;
+                        nonzero = true;
+                    }
+                }
+            }
+            _ => unreachable!("active-single uses removals; larger actives use splits"),
+        }
+        if nonzero {
+            Some(row)
+        } else {
+            None
+        }
+    };
+
+    match targets {
+        Some(list) => {
+            let mut rows: Rows = Vec::new();
+            rows.resize_with(g.num_vertices(), || None);
+            let mut scratch = Vec::new();
+            for &v in list {
+                rows[v as usize] = compute(&mut scratch, v as usize);
+            }
+            rows
+        }
+        None if inner_parallel => (0..g.num_vertices())
+            .into_par_iter()
+            .map_init(Vec::new, |scratch, v| compute(scratch, v))
+            .collect(),
+        None => {
+            let mut scratch = Vec::new();
+            (0..g.num_vertices()).map(|v| compute(&mut scratch, v)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{count_exact, count_exact_labeled};
+    use fascia_graph::gen::{gnm, random_connected};
+    use fascia_graph::random_labels;
+    use fascia_template::NamedTemplate;
+
+    fn cfg(iterations: usize) -> CountConfig {
+        CountConfig {
+            iterations,
+            parallel: ParallelMode::Serial,
+            seed: 1234,
+            ..CountConfig::default()
+        }
+    }
+
+    /// Estimates must converge to the exact count on small inputs.
+    #[test]
+    fn converges_to_exact_for_small_templates() {
+        let g = gnm(60, 170, 7);
+        for t in [
+            Template::path(3),
+            Template::path(4),
+            Template::star(4),
+            Template::spider(&[1, 1, 2]),
+        ] {
+            let exact = count_exact(&g, &t) as f64;
+            let r = count_template(&g, &t, &cfg(800)).unwrap();
+            let rel = (r.estimate - exact).abs() / exact.max(1.0);
+            assert!(
+                rel < 0.08,
+                "template {t:?}: estimate {} vs exact {exact} (rel {rel})",
+                r.estimate
+            );
+        }
+    }
+
+    #[test]
+    fn converges_on_triangle_template() {
+        let g = gnm(40, 150, 3);
+        let t = Template::triangle();
+        let exact = count_exact(&g, &t) as f64;
+        assert!(exact > 0.0, "test graph needs triangles");
+        let r = count_template(&g, &t, &cfg(1200)).unwrap();
+        let rel = (r.estimate - exact).abs() / exact;
+        assert!(rel < 0.1, "estimate {} vs exact {exact}", r.estimate);
+    }
+
+    #[test]
+    fn converges_on_triangle_with_pendant() {
+        let g = gnm(40, 150, 19);
+        let t = Template::from_edges(4, &[(0, 1), (1, 2), (0, 2), (0, 3)]).unwrap();
+        let exact = count_exact(&g, &t) as f64;
+        assert!(exact > 0.0);
+        let r = count_template(&g, &t, &cfg(1200)).unwrap();
+        let rel = (r.estimate - exact).abs() / exact;
+        assert!(rel < 0.12, "estimate {} vs exact {exact}", r.estimate);
+    }
+
+    /// All three table layouts must produce bitwise-identical estimates.
+    #[test]
+    fn table_kinds_agree_exactly() {
+        let g = gnm(50, 160, 21);
+        let t = NamedTemplate::U5_2.template();
+        let base = cfg(5);
+        let mut results = Vec::new();
+        for kind in TableKind::all() {
+            let mut c = base.clone();
+            c.table = kind;
+            results.push(count_template(&g, &t, &c).unwrap().per_iteration);
+        }
+        assert_eq!(results[0], results[1], "dense vs lazy");
+        assert_eq!(results[0], results[2], "dense vs hash");
+    }
+
+    /// Both partition strategies count the same thing.
+    #[test]
+    fn strategies_agree_exactly() {
+        let g = gnm(50, 160, 22);
+        for t in [NamedTemplate::U5_2.template(), NamedTemplate::U7_2.template()] {
+            let mut one = cfg(4);
+            one.strategy = PartitionStrategy::OneAtATime;
+            let mut bal = cfg(4);
+            bal.strategy = PartitionStrategy::Balanced;
+            let a = count_template(&g, &t, &one).unwrap().per_iteration;
+            let b = count_template(&g, &t, &bal).unwrap().per_iteration;
+            assert_eq!(a, b, "strategies disagree for {t:?}");
+        }
+    }
+
+    /// Serial, inner-parallel and outer-parallel modes are bitwise equal.
+    #[test]
+    fn parallel_modes_agree_exactly() {
+        let g = gnm(45, 140, 23);
+        let t = Template::path(5);
+        let runs: Vec<Vec<f64>> = [
+            ParallelMode::Serial,
+            ParallelMode::InnerLoop,
+            ParallelMode::OuterLoop,
+        ]
+        .into_iter()
+        .map(|mode| {
+            let mut c = cfg(6);
+            c.parallel = mode;
+            count_template(&g, &t, &c).unwrap().per_iteration
+        })
+        .collect();
+        assert_eq!(runs[0], runs[1], "serial vs inner");
+        assert_eq!(runs[0], runs[2], "serial vs outer");
+    }
+
+    #[test]
+    fn labeled_counting_converges() {
+        let g = gnm(50, 170, 29);
+        let gl = random_labels(50, 2, 5);
+        let t = Template::path(3).with_labels(vec![0, 1, 0]).unwrap();
+        let exact = count_exact_labeled(&g, &gl, &t) as f64;
+        assert!(exact > 0.0);
+        let r = count_template_labeled(&g, &gl, &t, &cfg(800)).unwrap();
+        let rel = (r.estimate - exact).abs() / exact;
+        assert!(rel < 0.1, "estimate {} vs exact {exact}", r.estimate);
+    }
+
+    #[test]
+    fn single_label_equals_unlabeled() {
+        let g = gnm(40, 120, 31);
+        let gl = vec![0u8; 40];
+        let t_plain = Template::path(4);
+        let t_lab = Template::path(4).with_labels(vec![0; 4]).unwrap();
+        let a = count_template(&g, &t_plain, &cfg(5)).unwrap().per_iteration;
+        let b = count_template_labeled(&g, &gl, &t_lab, &cfg(5))
+            .unwrap()
+            .per_iteration;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extra_colors_still_converge() {
+        let g = gnm(50, 150, 37);
+        let t = Template::path(4);
+        let exact = count_exact(&g, &t) as f64;
+        let mut c = cfg(600);
+        c.colors = Some(6); // k > template size
+        let r = count_template(&g, &t, &c).unwrap();
+        let rel = (r.estimate - exact).abs() / exact;
+        assert!(rel < 0.1, "estimate {} vs exact {exact}", r.estimate);
+        assert!(r.colorful_probability > colorful_probability(4, 4));
+    }
+
+    #[test]
+    fn single_vertex_template_counts_vertices() {
+        let g = gnm(33, 60, 41);
+        let t = Template::from_edges(1, &[]).unwrap();
+        let r = count_template(&g, &t, &cfg(3)).unwrap();
+        assert_eq!(r.estimate, 33.0);
+    }
+
+    #[test]
+    fn edge_template_counts_edges() {
+        let g = gnm(40, 111, 43);
+        let t = Template::path(2);
+        let r = count_template(&g, &t, &cfg(2000)).unwrap();
+        let rel = (r.estimate - 111.0).abs() / 111.0;
+        assert!(rel < 0.08, "estimate {} vs 111", r.estimate);
+    }
+
+    #[test]
+    fn rooted_counts_sum_matches_total() {
+        // Σ_v graphletdegree(v, root orbit) = count * (orbit size in T):
+        // for the path end orbit of P3, each occurrence has 2 end slots.
+        let g = gnm(40, 130, 47);
+        let t = Template::path(3);
+        let c = cfg(400);
+        let rooted = rooted_counts(&g, &t, 0, &c).unwrap();
+        let total: f64 = rooted.per_vertex.iter().sum();
+        let exact = count_exact(&g, &t) as f64;
+        let rel = (total / 2.0 - exact).abs() / exact;
+        assert!(rel < 0.1, "rooted sum/2 {} vs exact {exact}", total / 2.0);
+    }
+
+    #[test]
+    fn rooted_center_orbit_of_p3() {
+        let g = gnm(40, 130, 53);
+        let t = Template::path(3);
+        let c = cfg(400);
+        let rooted = rooted_counts(&g, &t, 1, &c).unwrap();
+        let total: f64 = rooted.per_vertex.iter().sum();
+        let exact = count_exact(&g, &t) as f64;
+        // Each occurrence has exactly one center slot.
+        let rel = (total - exact).abs() / exact;
+        assert!(rel < 0.1, "rooted center sum {total} vs exact {exact}");
+    }
+
+    #[test]
+    fn memory_accounting_orders_layouts() {
+        // On a sparse low-degree graph with a long path, hash < lazy <=
+        // dense (the Fig. 7 relationship).
+        let g = fascia_graph::gen::road_grid(40, 40, 1900, 3);
+        let t = Template::path(7);
+        let mut peaks = Vec::new();
+        for kind in TableKind::all() {
+            let mut c = cfg(1);
+            c.table = kind;
+            peaks.push((kind, count_template(&g, &t, &c).unwrap().peak_table_bytes));
+        }
+        let dense = peaks[0].1;
+        let lazy = peaks[1].1;
+        let hash = peaks[2].1;
+        assert!(lazy <= dense, "lazy {lazy} vs dense {dense}");
+        assert!(hash < dense, "hash {hash} vs dense {dense}");
+    }
+
+    #[test]
+    fn error_paths() {
+        let g = gnm(10, 20, 1);
+        let t = Template::path(3);
+        // not enough colors
+        let mut c = cfg(1);
+        c.colors = Some(2);
+        assert!(matches!(
+            count_template(&g, &t, &c),
+            Err(CountError::NotEnoughColors { .. })
+        ));
+        // zero iterations
+        let mut c = cfg(1);
+        c.iterations = 0;
+        assert_eq!(
+            count_template(&g, &t, &c).unwrap_err(),
+            CountError::NoIterations
+        );
+        // labeled template without labels
+        let tl = Template::path(3).with_labels(vec![0, 0, 0]).unwrap();
+        assert_eq!(
+            count_template(&g, &tl, &cfg(1)).unwrap_err(),
+            CountError::LabelsRequired
+        );
+        // label length mismatch
+        assert_eq!(
+            count_template_labeled(&g, &[0u8; 3], &tl, &cfg(1)).unwrap_err(),
+            CountError::LabelLengthMismatch
+        );
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let g = gnm(30, 90, 61);
+        let t = NamedTemplate::U5_2.template();
+        let a = count_template(&g, &t, &cfg(7)).unwrap();
+        let b = count_template(&g, &t, &cfg(7)).unwrap();
+        assert_eq!(a.per_iteration, b.per_iteration);
+        assert_eq!(a.estimate, b.estimate);
+    }
+
+    #[test]
+    fn zero_count_when_template_absent() {
+        // A star-6 cannot embed into a cycle (max degree 2).
+        let ring: Vec<(u32, u32)> = (0..20u32).map(|v| (v, (v + 1) % 20)).collect();
+        let g = fascia_graph::Graph::from_edges(20, &ring);
+        let r = count_template(&g, &Template::star(6), &cfg(50)).unwrap();
+        assert_eq!(r.estimate, 0.0);
+    }
+
+    #[test]
+    fn path_count_on_cycle_is_known() {
+        // A cycle of n vertices has exactly n paths on k vertices.
+        let n = 24u32;
+        let ring: Vec<(u32, u32)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        let g = fascia_graph::Graph::from_edges(n as usize, &ring);
+        for k in [3usize, 5] {
+            let r = count_template(&g, &Template::path(k), &cfg(3000)).unwrap();
+            let rel = (r.estimate - n as f64).abs() / n as f64;
+            assert!(rel < 0.1, "P{k} on C{n}: {}", r.estimate);
+        }
+    }
+
+    #[test]
+    fn big_template_runs_on_connected_graph() {
+        // Smoke: U12-2 on a modest graph completes and is non-negative.
+        let g = random_connected(200, 500, 9);
+        let t = NamedTemplate::U12_2.template();
+        let r = count_template(&g, &t, &cfg(2)).unwrap();
+        assert!(r.estimate >= 0.0);
+        assert!(r.peak_table_bytes > 0);
+    }
+
+    /// Per-iteration estimates are unbiased: their mean over many
+    /// iterations matches exact counts within a loose statistical bound
+    /// (already covered), and each individual estimate is finite.
+    #[test]
+    fn per_iteration_values_are_finite() {
+        let g = gnm(40, 120, 71);
+        let r = count_template(&g, &Template::path(5), &cfg(50)).unwrap();
+        assert_eq!(r.per_iteration.len(), 50);
+        assert!(r.per_iteration.iter().all(|x| x.is_finite() && *x >= 0.0));
+    }
+}
+
+#[cfg(test)]
+mod internal_tests {
+    use super::*;
+    use fascia_combin::{choose, set_of_index};
+
+    /// The removal table must map every (set, member) pair to the correct
+    /// reduced set index, and flag non-members with -1.
+    #[test]
+    fn removal_table_is_exact() {
+        let binom = BinomialTable::new(fascia_combin::MAX_COLORS);
+        for k in 3..=8usize {
+            for h in 2..=k {
+                let rem = build_removal_table(k, h, &binom);
+                let nc = choose(k, h) as usize;
+                assert_eq!(rem.len(), nc * k);
+                for idx in 0..nc {
+                    let set = set_of_index(idx, h, k, &binom);
+                    for c in 0..k as u8 {
+                        let r = rem[idx * k + c as usize];
+                        if set.contains(&c) {
+                            assert!(r >= 0);
+                            let reduced = set_of_index(r as usize, h - 1, k, &binom);
+                            let mut merged = reduced.clone();
+                            merged.push(c);
+                            merged.sort_unstable();
+                            assert_eq!(merged, set, "k={k} h={h} idx={idx} c={c}");
+                        } else {
+                            assert_eq!(r, -1, "non-member must be -1");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The DP context builds exactly the index tables the partition needs.
+    #[test]
+    fn context_builds_needed_tables_only() {
+        let t = fascia_template::NamedTemplate::U7_2.template();
+        let pt = PartitionTree::build(&t, PartitionStrategy::OneAtATime).unwrap();
+        let ctx = DpContext::new(&t, &pt, 7);
+        for &idx in pt.unique_order() {
+            let node = &pt.nodes()[idx as usize];
+            if let fascia_template::partition::NodeKind::Cut { active, .. } = node.kind {
+                let a = pt.nodes()[active as usize].size;
+                if a == 1 {
+                    assert!(ctx.removals.contains_key(&node.size));
+                } else {
+                    assert!(ctx.splits.contains_key(&(node.size, a)));
+                }
+            }
+        }
+        assert_eq!(ctx.nc[7], choose(7, 7) as usize);
+        assert_eq!(ctx.nc[3], choose(7, 3) as usize);
+    }
+
+    #[test]
+    fn for_error_meets_bound() {
+        let cfg = CountConfig::for_error(0.5, 0.25, 3);
+        assert_eq!(
+            cfg.iterations as u64,
+            fascia_combin::iterations_for(0.5, 0.25, 3)
+        );
+        assert!(cfg.iterations > 0);
+    }
+}
+
+#[cfg(test)]
+mod labeled_triangle_tests {
+    use super::*;
+    use crate::exact::count_exact_labeled;
+    use fascia_graph::gen::gnm;
+    use fascia_graph::random_labels;
+
+    /// Labeled triangle templates exercise the triangle base case's label
+    /// filters on root and both partners.
+    #[test]
+    fn labeled_triangle_converges() {
+        let g = gnm(40, 170, 51);
+        let gl = random_labels(40, 2, 9);
+        // Distinct partner labels force the ordered-pair handling.
+        let t = Template::triangle().with_labels(vec![0, 0, 1]).unwrap();
+        let exact = count_exact_labeled(&g, &gl, &t) as f64;
+        if exact == 0.0 {
+            return;
+        }
+        let cfg = CountConfig {
+            iterations: 2500,
+            parallel: ParallelMode::Serial,
+            seed: 4,
+            ..CountConfig::default()
+        };
+        let r = count_template_labeled(&g, &gl, &t, &cfg).unwrap();
+        let rel = (r.estimate - exact).abs() / exact;
+        assert!(rel < 0.15, "estimate {} vs exact {exact}", r.estimate);
+    }
+
+    /// Summing labeled triangle counts over all label multisets recovers
+    /// the unlabeled count (exact engines; validates the α bookkeeping of
+    /// label-broken symmetry).
+    #[test]
+    fn labeled_triangle_partition_identity() {
+        let g = gnm(35, 150, 53);
+        let gl = random_labels(35, 2, 13);
+        let unlabeled = crate::exact::count_exact(&g, &Template::triangle());
+        // Label multisets over {0, 1} of size 3: 000, 001, 011, 111.
+        let mut sum = 0u128;
+        for labels in [
+            vec![0u8, 0, 0],
+            vec![0, 0, 1],
+            vec![0, 1, 1],
+            vec![1, 1, 1],
+        ] {
+            let t = Template::triangle().with_labels(labels).unwrap();
+            sum += count_exact_labeled(&g, &gl, &t);
+        }
+        assert_eq!(sum, unlabeled);
+    }
+}

@@ -1,0 +1,305 @@
+//! Exact counting and enumeration by exhaustive backtracking.
+//!
+//! This is the paper's "naive exact count implementation" (§V-C) and the
+//! ground truth for the error analysis (§V-D). It counts injective
+//! homomorphisms of the template into the graph by mapping template
+//! vertices in BFS order (each new vertex is constrained to the neighbors
+//! of an already-mapped neighbor) and divides by the automorphism count α,
+//! which the homomorphism count is always an exact multiple of.
+//!
+//! `enumerate_embeddings` exposes the same search as a visitor over
+//! occurrences (vertex sets), fulfilling the "Enumeration" half of
+//! FASCIA's name for graphs where listing is tractable.
+
+use fascia_graph::Graph;
+use fascia_template::automorphism::automorphisms;
+use fascia_template::Template;
+use rayon::prelude::*;
+
+/// BFS order of template vertices plus, per vertex, the template neighbors
+/// that precede it in the order.
+fn matching_order(t: &Template) -> (Vec<u8>, Vec<Vec<u8>>) {
+    let k = t.size();
+    let mut order = Vec::with_capacity(k);
+    let mut seen = vec![false; k];
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(0u8);
+    seen[0] = true;
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &u in t.neighbors(v) {
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    let pos: Vec<usize> = {
+        let mut p = vec![0usize; k];
+        for (i, &v) in order.iter().enumerate() {
+            p[v as usize] = i;
+        }
+        p
+    };
+    let back_neighbors: Vec<Vec<u8>> = order
+        .iter()
+        .map(|&v| {
+            t.neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| pos[u as usize] < pos[v as usize])
+                .collect()
+        })
+        .collect();
+    (order, back_neighbors)
+}
+
+/// Counts injective homomorphisms from `t` into `g` (optionally
+/// label-constrained), parallelized over the image of the first template
+/// vertex.
+pub fn count_homomorphisms(g: &Graph, labels: Option<&[u8]>, t: &Template) -> u128 {
+    let (order, back) = matching_order(t);
+    let k = t.size();
+    let n = g.num_vertices();
+    (0..n)
+        .into_par_iter()
+        .map(|v0| {
+            if let Some(gl) = labels {
+                if gl[v0] != t.label(order[0]) {
+                    return 0u128;
+                }
+            }
+            let mut image = vec![u32::MAX; k];
+            image[0] = v0 as u32;
+            let mut used = vec![false; n];
+            used[v0] = true;
+            extend(g, labels, t, &order, &back, &mut image, &mut used, 1, &mut |_| {})
+        })
+        .sum()
+}
+
+/// Exact count of non-induced occurrences (vertex-distinct embeddings up to
+/// automorphism): homomorphisms / α.
+pub fn count_exact(g: &Graph, t: &Template) -> u128 {
+    let homs = count_homomorphisms(g, None, t);
+    let alpha = automorphisms(t) as u128;
+    debug_assert_eq!(homs % alpha, 0, "homomorphisms must divide by α");
+    homs / alpha
+}
+
+/// Exact labeled count.
+pub fn count_exact_labeled(g: &Graph, labels: &[u8], t: &Template) -> u128 {
+    let homs = count_homomorphisms(g, Some(labels), t);
+    let alpha = automorphisms(t) as u128;
+    debug_assert_eq!(homs % alpha, 0);
+    homs / alpha
+}
+
+/// Enumerates every occurrence exactly once (serial). The visitor receives
+/// the mapped graph vertices in template-vertex order. Two homomorphisms
+/// describe the same occurrence iff they induce the same image *edge set*
+/// (they then differ by a template automorphism), so occurrences are
+/// deduplicated on that key.
+pub fn enumerate_embeddings(g: &Graph, t: &Template, mut visit: impl FnMut(&[u32])) {
+    let (order, back) = matching_order(t);
+    let k = t.size();
+    let n = g.num_vertices();
+    let mut seen: std::collections::HashSet<Vec<(u32, u32)>> = std::collections::HashSet::new();
+    let mut image = vec![u32::MAX; k];
+    let mut used = vec![false; n];
+    for v0 in 0..n {
+        image[0] = v0 as u32;
+        used[v0] = true;
+        extend(g, None, t, &order, &back, &mut image, &mut used, 1, &mut |img| {
+            // img is indexed by match position; rebuild template-id order.
+            let mut by_tid = vec![0u32; k];
+            for (pos, &tv) in order.iter().enumerate() {
+                by_tid[tv as usize] = img[pos];
+            }
+            let mut edge_key: Vec<(u32, u32)> = t
+                .edges()
+                .iter()
+                .map(|&(a, b)| {
+                    let (x, y) = (by_tid[a as usize], by_tid[b as usize]);
+                    if x < y {
+                        (x, y)
+                    } else {
+                        (y, x)
+                    }
+                })
+                .collect();
+            edge_key.sort_unstable();
+            if edge_key.is_empty() {
+                // Single-vertex template: the occurrence is the vertex.
+                edge_key.push((by_tid[0], by_tid[0]));
+            }
+            if seen.insert(edge_key) {
+                visit(&by_tid);
+            }
+        });
+        used[v0] = false;
+    }
+}
+
+/// Recursive extension; counts completions and invokes `on_complete` with
+/// the current image (indexed by match position).
+#[allow(clippy::too_many_arguments)]
+fn extend(
+    g: &Graph,
+    labels: Option<&[u8]>,
+    t: &Template,
+    order: &[u8],
+    back: &[Vec<u8>],
+    image: &mut [u32],
+    used: &mut [bool],
+    depth: usize,
+    on_complete: &mut impl FnMut(&[u32]),
+) -> u128 {
+    if depth == order.len() {
+        on_complete(image);
+        return 1;
+    }
+    let tv = order[depth];
+    // Position of each template vertex in the order.
+    // back[depth] lists template neighbors already mapped; pick the first
+    // as anchor and check the rest.
+    let anchors = &back[depth];
+    let anchor_pos = order
+        .iter()
+        .position(|&x| x == anchors[0])
+        .expect("anchor is mapped");
+    let anchor_img = image[anchor_pos] as usize;
+    let mut total = 0u128;
+    'cand: for &cand in g.neighbors(anchor_img) {
+        let c = cand as usize;
+        if used[c] {
+            continue;
+        }
+        if let Some(gl) = labels {
+            if gl[c] != t.label(tv) {
+                continue;
+            }
+        }
+        for &other in &anchors[1..] {
+            let opos = order.iter().position(|&x| x == other).unwrap();
+            if !g.has_edge(image[opos] as usize, c) {
+                continue 'cand;
+            }
+        }
+        image[depth] = cand;
+        used[c] = true;
+        total += extend(g, labels, t, order, back, image, used, depth + 1, on_complete);
+        used[c] = false;
+    }
+    image[depth] = u32::MAX;
+    total
+}
+
+/// Exact non-induced path counts via closed form for tiny paths (cross
+/// validation): the number of P3 (3-vertex paths) is Σ_v C(deg(v), 2).
+pub fn exact_p3(g: &Graph) -> u128 {
+    (0..g.num_vertices())
+        .map(|v| {
+            let d = g.degree(v) as u128;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fascia_graph::gen::gnm;
+
+    fn k4() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn triangle_count_in_k4() {
+        // K4 has C(4,3) = 4 triangles.
+        assert_eq!(count_exact(&k4(), &Template::triangle()), 4);
+    }
+
+    #[test]
+    fn path3_in_k4_and_closed_form() {
+        // P3 count in K4: each vertex has deg 3 -> 4 * C(3,2) = 12.
+        let g = k4();
+        assert_eq!(count_exact(&g, &Template::path(3)), 12);
+        assert_eq!(exact_p3(&g), 12);
+    }
+
+    #[test]
+    fn star_counts() {
+        // Star S3 (center + 3 leaves) in K4: 4 centers * C(3,3) = 4.
+        assert_eq!(count_exact(&k4(), &Template::star(4)), 4);
+    }
+
+    #[test]
+    fn path_count_on_path_graph() {
+        // A path graph on 6 vertices contains exactly 6 - k + 1 paths P_k.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        for k in 2..=6usize {
+            assert_eq!(
+                count_exact(&g, &Template::path(k)),
+                (6 - k + 1) as u128,
+                "P{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_p3_matches_backtracking_on_random_graph() {
+        let g = gnm(60, 180, 5);
+        assert_eq!(count_exact(&g, &Template::path(3)), exact_p3(&g));
+    }
+
+    #[test]
+    fn labeled_count_restricts() {
+        // Path of 2 on a 4-cycle with alternating labels.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let gl = vec![0u8, 1, 0, 1];
+        let t_same = Template::path(2).with_labels(vec![0, 0]).unwrap();
+        let t_diff = Template::path(2).with_labels(vec![0, 1]).unwrap();
+        // No edge joins two label-0 vertices.
+        assert_eq!(count_exact_labeled(&g, &gl, &t_same), 0);
+        // Every edge joins 0 and 1: all 4 edges match.
+        assert_eq!(count_exact_labeled(&g, &gl, &t_diff), 4);
+    }
+
+    #[test]
+    fn enumeration_matches_count() {
+        let g = gnm(25, 60, 9);
+        for t in [Template::path(4), Template::star(4), Template::triangle()] {
+            let mut listed = 0u128;
+            enumerate_embeddings(&g, &t, |img| {
+                assert_eq!(img.len(), t.size());
+                // All vertices distinct and all template edges present.
+                let mut s = img.to_vec();
+                s.sort_unstable();
+                s.dedup();
+                assert_eq!(s.len(), t.size());
+                for &(a, b) in t.edges() {
+                    assert!(g.has_edge(img[a as usize] as usize, img[b as usize] as usize));
+                }
+                listed += 1;
+            });
+            assert_eq!(listed, count_exact(&g, &t), "template {t:?}");
+        }
+    }
+
+    #[test]
+    fn empty_result_on_sparse_graph() {
+        // A tree has no triangles.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(count_exact(&g, &Template::triangle()), 0);
+        assert_eq!(count_exact(&g, &Template::star(5)), 0);
+    }
+
+    #[test]
+    fn single_vertex_template_counts_vertices() {
+        let g = gnm(17, 30, 2);
+        let t = Template::from_edges(1, &[]).unwrap();
+        assert_eq!(count_exact(&g, &t), 17);
+    }
+}

@@ -1,0 +1,36 @@
+//! FASCIA core: the color-coding approximate subgraph counting engine.
+//!
+//! This crate ties the substrates together into the paper's system:
+//!
+//! * [`coloring`] — seeded random vertex colorings (Alg. 1, line 4),
+//! * [`engine`] — the bottom-up dynamic program over a template partition
+//!   tree (Alg. 2), with selectable table layouts, partition strategies,
+//!   and parallel modes, plus labeled counting and per-vertex (rooted)
+//!   counts,
+//! * [`parallel`] — the paper's two OpenMP loops mapped onto rayon: inner
+//!   (over graph vertices) and outer (over color-coding iterations),
+//! * [`exact`] — the naive exhaustive counter and embedding enumerator
+//!   used for error analysis (§V-D) and the §V-C comparison,
+//! * [`enumerate`] — a pruned enumeration baseline standing in for MODA,
+//! * [`motifs`] — motif finding over all tree topologies of a size
+//!   (§V-E),
+//! * [`gdd`] — graphlet degree distributions and Pržulj's agreement
+//!   (§V-F).
+
+pub mod coloring;
+pub mod directed;
+pub mod distsim;
+pub mod engine;
+pub mod enumerate;
+pub mod exact;
+pub mod gdd;
+pub mod motifs;
+pub mod parallel;
+pub mod sample;
+pub mod stats;
+
+pub use engine::{
+    count_template, count_template_labeled, rooted_counts, CountConfig, CountError, CountResult,
+};
+pub use parallel::ParallelMode;
+pub use sample::sample_embeddings;

@@ -1,0 +1,168 @@
+//! Motif finding (paper §V-E).
+//!
+//! Counts every non-isomorphic tree topology of a given size (11 / 106 /
+//! 551 topologies for 7 / 10 / 12 vertices) and derives the relative
+//! frequency profile the paper uses to compare networks (Figs. 12–14):
+//! each network's counts are scaled by the network's own mean count, so
+//! profiles of differently-sized networks overlay.
+
+use crate::engine::{count_template, CountConfig, CountError};
+use fascia_graph::Graph;
+use fascia_template::gen::all_free_trees;
+use fascia_template::Template;
+use std::time::Duration;
+
+/// Counts for every tree topology of one size on one network.
+#[derive(Debug, Clone)]
+pub struct MotifProfile {
+    /// Topology size (number of template vertices).
+    pub size: usize,
+    /// The templates, in the deterministic generator order.
+    pub templates: Vec<Template>,
+    /// Estimated count per template.
+    pub counts: Vec<f64>,
+    /// Mean per-iteration wall-clock per template.
+    pub per_iteration_times: Vec<Duration>,
+    /// Total wall-clock of the whole scan.
+    pub elapsed: Duration,
+}
+
+impl MotifProfile {
+    /// Counts scaled by the profile mean (the paper's "scaled by each of
+    /// the networks' averages", Fig. 13). Zero-mean profiles scale to zero.
+    pub fn relative_frequencies(&self) -> Vec<f64> {
+        let mean = self.counts.iter().sum::<f64>() / self.counts.len().max(1) as f64;
+        if mean == 0.0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c / mean).collect()
+    }
+
+    /// Index of the most frequent topology.
+    pub fn dominant(&self) -> Option<usize> {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("counts are finite"))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Runs the motif scan: color-coding counts for all free trees of `size`.
+///
+/// ```
+/// use fascia_core::engine::CountConfig;
+/// use fascia_core::motifs::motif_profile;
+/// use fascia_graph::gen::gnm;
+///
+/// let g = gnm(50, 120, 1);
+/// let cfg = CountConfig { iterations: 30, ..CountConfig::default() };
+/// let profile = motif_profile(&g, 4, &cfg).unwrap();
+/// assert_eq!(profile.templates.len(), 2); // P4 and the 4-star
+/// ```
+pub fn motif_profile(
+    g: &Graph,
+    size: usize,
+    cfg: &CountConfig,
+) -> Result<MotifProfile, CountError> {
+    let start = std::time::Instant::now();
+    let templates = all_free_trees(size);
+    let mut counts = Vec::with_capacity(templates.len());
+    let mut times = Vec::with_capacity(templates.len());
+    for t in &templates {
+        let r = count_template(g, t, cfg)?;
+        counts.push(r.estimate);
+        times.push(r.per_iteration_time);
+    }
+    Ok(MotifProfile {
+        size,
+        templates,
+        counts,
+        per_iteration_times: times,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Exact motif counts (for the small networks where ground truth is
+/// feasible; used by the error figures).
+pub fn exact_motif_counts(g: &Graph, size: usize) -> Vec<u128> {
+    all_free_trees(size)
+        .iter()
+        .map(|t| crate::exact::count_exact(g, t))
+        .collect()
+}
+
+/// Mean relative error of estimates against exact counts, over the
+/// templates with non-zero exact count (paper Fig. 11's "average error").
+pub fn mean_relative_error(estimates: &[f64], exact: &[u128]) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (&est, &ex) in estimates.iter().zip(exact) {
+        if ex == 0 {
+            continue;
+        }
+        total += (est - ex as f64).abs() / ex as f64;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fascia_graph::gen::gnm;
+
+    fn cfg(iters: usize) -> CountConfig {
+        CountConfig {
+            iterations: iters,
+            seed: 99,
+            ..CountConfig::default()
+        }
+    }
+
+    #[test]
+    fn profile_covers_all_topologies() {
+        let g = gnm(60, 150, 4);
+        let p = motif_profile(&g, 4, &cfg(20)).unwrap();
+        assert_eq!(p.templates.len(), 2); // path4 and star4
+        assert_eq!(p.counts.len(), 2);
+        assert!(p.counts.iter().all(|&c| c >= 0.0));
+    }
+
+    #[test]
+    fn relative_frequencies_average_to_one() {
+        let g = gnm(60, 180, 6);
+        let p = motif_profile(&g, 5, &cfg(30)).unwrap();
+        let rel = p.relative_frequencies();
+        let mean: f64 = rel.iter().sum::<f64>() / rel.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_track_exact_on_small_graph() {
+        let g = gnm(40, 90, 8);
+        let exact = exact_motif_counts(&g, 4);
+        let p = motif_profile(&g, 4, &cfg(300)).unwrap();
+        let err = mean_relative_error(&p.counts, &exact);
+        assert!(err < 0.15, "mean relative error {err}");
+        // Dominant topology agrees with the exact dominant one.
+        let exact_dom = exact
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .unwrap()
+            .0;
+        assert_eq!(p.dominant(), Some(exact_dom));
+    }
+
+    #[test]
+    fn mean_relative_error_ignores_zero_truth() {
+        assert_eq!(mean_relative_error(&[5.0, 3.0], &[0, 3]), 0.0);
+        let e = mean_relative_error(&[110.0], &[100]);
+        assert!((e - 0.1).abs() < 1e-12);
+    }
+}

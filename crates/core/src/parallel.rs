@@ -1,0 +1,110 @@
+//! Parallel execution modes (paper §III-E).
+//!
+//! FASCIA supports two orthogonal multithreading schemes and picks between
+//! them by graph size:
+//!
+//! * **Inner loop** — parallelize the per-vertex count loop (Alg. 2,
+//!   line 2) of every subtemplate. Best for large graphs: one DP table,
+//!   memory does not grow with threads.
+//! * **Outer loop** — run whole color-coding iterations concurrently, one
+//!   private DP table per worker (Alg. 1, line 3). Best for small graphs
+//!   and many iterations, where per-vertex parallelism is all overhead.
+//!
+//! `Auto` applies the paper's rule of thumb. Thread counts are controlled
+//! by the ambient rayon pool; [`with_threads`] builds a scoped pool for the
+//! scaling experiments (Figs. 8–9).
+
+/// How to spread work across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParallelMode {
+    /// Single-threaded reference mode.
+    Serial,
+    /// Parallelize over graph vertices within each iteration.
+    InnerLoop,
+    /// Parallelize over iterations; each iteration runs serially.
+    OuterLoop,
+    /// Parallelize over iterations *and* vertices simultaneously — the
+    /// combination the paper names as future work ("we intend to combine
+    /// the two OpenMP parallelization strategies"). Rayon's work stealing
+    /// balances the two levels automatically.
+    Hybrid,
+    /// Choose by graph size (the paper's guidance).
+    Auto,
+}
+
+impl ParallelMode {
+    /// Resolves `Auto` for a concrete workload.
+    pub fn resolve(self, num_vertices: usize, iterations: usize) -> ParallelMode {
+        match self {
+            ParallelMode::Auto => {
+                // Small graphs amortize badly over vertices; if there are
+                // several iterations to run, prefer outer parallelism.
+                if num_vertices < 50_000 && iterations >= 2 {
+                    ParallelMode::OuterLoop
+                } else {
+                    ParallelMode::InnerLoop
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Display name used in figure output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ParallelMode::Serial => "serial",
+            ParallelMode::InnerLoop => "inner",
+            ParallelMode::OuterLoop => "outer",
+            ParallelMode::Hybrid => "hybrid",
+            ParallelMode::Auto => "auto",
+        }
+    }
+}
+
+/// Runs `f` inside a rayon pool of exactly `threads` workers.
+///
+/// # Panics
+/// Panics if the pool cannot be built (never happens for sane counts).
+pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool")
+        .install(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_resolution_follows_paper_rule() {
+        assert_eq!(
+            ParallelMode::Auto.resolve(1_000, 10),
+            ParallelMode::OuterLoop
+        );
+        assert_eq!(
+            ParallelMode::Auto.resolve(1_000_000, 10),
+            ParallelMode::InnerLoop
+        );
+        assert_eq!(ParallelMode::Auto.resolve(1_000, 1), ParallelMode::InnerLoop);
+    }
+
+    #[test]
+    fn explicit_modes_resolve_to_themselves() {
+        for m in [
+            ParallelMode::Serial,
+            ParallelMode::InnerLoop,
+            ParallelMode::OuterLoop,
+            ParallelMode::Hybrid,
+        ] {
+            assert_eq!(m.resolve(123, 456), m);
+        }
+    }
+
+    #[test]
+    fn scoped_pool_uses_requested_threads() {
+        let inside = with_threads(3, rayon::current_num_threads);
+        assert_eq!(inside, 3);
+    }
+}

@@ -1,0 +1,205 @@
+//! Statistics over per-iteration estimates.
+//!
+//! Each color-coding iteration produces an independent, identically
+//! distributed, unbiased estimate of the true count; the final answer is
+//! their mean (Alg. 1 line 7). This module summarizes the sample — mean,
+//! variance, standard error, and a normal-approximation confidence
+//! interval — so callers can decide *online* whether they have run enough
+//! iterations, instead of trusting the (wildly conservative) worst-case
+//! bound of Alg. 1 line 2.
+
+/// Summary statistics of a series of per-iteration estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateStats {
+    /// Number of iterations.
+    pub n: usize,
+    /// Sample mean (the count estimate).
+    pub mean: f64,
+    /// Unbiased sample variance (0 for n < 2).
+    pub variance: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Half-width of the ~95% confidence interval (1.96 σ/√n).
+    pub ci95_half_width: f64,
+}
+
+impl EstimateStats {
+    /// Computes statistics from per-iteration estimates.
+    ///
+    /// # Panics
+    /// Panics on an empty series.
+    pub fn from_series(series: &[f64]) -> Self {
+        assert!(!series.is_empty(), "need at least one iteration");
+        let n = series.len();
+        let mean = series.iter().sum::<f64>() / n as f64;
+        let variance = if n < 2 {
+            0.0
+        } else {
+            series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        };
+        let std_error = (variance / n as f64).sqrt();
+        Self {
+            n,
+            mean,
+            variance,
+            std_error,
+            ci95_half_width: 1.96 * std_error,
+        }
+    }
+
+    /// Relative half-width of the 95% CI (∞ when the mean is 0).
+    pub fn relative_ci95(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.ci95_half_width / self.mean.abs()
+        }
+    }
+
+    /// Whether the 95% CI contains `value`.
+    pub fn ci_contains(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.ci95_half_width
+    }
+
+    /// Estimated iterations needed to shrink the relative 95% CI below
+    /// `target` (extrapolating the observed variance); `None` when the
+    /// mean is zero or the target is already met.
+    pub fn iterations_to_reach(&self, target: f64) -> Option<usize> {
+        if self.mean == 0.0 || self.relative_ci95() <= target {
+            return None;
+        }
+        let needed = (1.96 * self.variance.sqrt() / (target * self.mean.abs())).powi(2);
+        Some(needed.ceil() as usize)
+    }
+}
+
+/// Runs iterations adaptively until the relative 95% CI falls below
+/// `target_rel_ci` or `max_iterations` is exhausted, whichever first.
+/// Returns the result plus the statistics that stopped it.
+///
+/// This is the practical answer to the paper's observation that the
+/// theoretical iteration bound is far too pessimistic: stop when the
+/// observed spread says the estimate is tight.
+pub fn count_until_converged(
+    g: &fascia_graph::Graph,
+    t: &fascia_template::Template,
+    base: &crate::engine::CountConfig,
+    target_rel_ci: f64,
+    max_iterations: usize,
+) -> Result<(crate::engine::CountResult, EstimateStats), crate::engine::CountError> {
+    assert!(target_rel_ci > 0.0, "target must be positive");
+    let mut iterations = base.iterations.clamp(4, max_iterations.max(1));
+    loop {
+        let cfg = crate::engine::CountConfig {
+            iterations,
+            ..base.clone()
+        };
+        let result = crate::engine::count_template(g, t, &cfg)?;
+        let stats = EstimateStats::from_series(&result.per_iteration);
+        if stats.relative_ci95() <= target_rel_ci || iterations >= max_iterations {
+            return Ok((result, stats));
+        }
+        // Grow toward the extrapolated requirement, at least doubling.
+        let next = stats
+            .iterations_to_reach(target_rel_ci)
+            .unwrap_or(iterations * 2)
+            .max(iterations * 2);
+        iterations = next.min(max_iterations);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CountConfig;
+    use crate::exact::count_exact;
+    use crate::parallel::ParallelMode;
+    use fascia_graph::gen::gnm;
+    use fascia_template::Template;
+
+    #[test]
+    fn basic_moments() {
+        let s = EstimateStats::from_series(&[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.variance - 20.0 / 3.0).abs() < 1e-12);
+        assert!((s.std_error - (20.0 / 12.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_has_zero_variance() {
+        let s = EstimateStats::from_series(&[7.0]);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.ci95_half_width, 0.0);
+        assert_eq!(s.iterations_to_reach(0.01), None);
+    }
+
+    #[test]
+    fn ci_contains_behaves() {
+        let s = EstimateStats::from_series(&[9.0, 10.0, 11.0]);
+        assert!(s.ci_contains(10.0));
+        assert!(!s.ci_contains(20.0));
+    }
+
+    #[test]
+    fn ci_covers_truth_on_real_workload() {
+        let g = gnm(60, 180, 5);
+        let t = Template::path(4);
+        let exact = count_exact(&g, &t) as f64;
+        let cfg = CountConfig {
+            iterations: 400,
+            parallel: ParallelMode::Serial,
+            seed: 31,
+            ..CountConfig::default()
+        };
+        let r = crate::engine::count_template(&g, &t, &cfg).unwrap();
+        let s = EstimateStats::from_series(&r.per_iteration);
+        // With 400 samples the normal CI should comfortably cover truth
+        // (allow 3 sigma slack to keep the test deterministic-robust).
+        assert!(
+            (exact - s.mean).abs() <= 3.0 * s.std_error,
+            "exact {exact} vs mean {} ± {}",
+            s.mean,
+            s.std_error
+        );
+    }
+
+    #[test]
+    fn adaptive_run_converges() {
+        let g = gnm(60, 180, 8);
+        let t = Template::path(3);
+        let base = CountConfig {
+            iterations: 4,
+            parallel: ParallelMode::Serial,
+            seed: 17,
+            ..CountConfig::default()
+        };
+        let (result, stats) = count_until_converged(&g, &t, &base, 0.05, 5000).unwrap();
+        assert!(stats.relative_ci95() <= 0.05, "rel CI {}", stats.relative_ci95());
+        let exact = count_exact(&g, &t) as f64;
+        let rel = (result.estimate - exact).abs() / exact;
+        assert!(rel < 0.08, "estimate {} vs exact {exact}", result.estimate);
+        assert!(result.per_iteration.len() <= 5000);
+    }
+
+    #[test]
+    fn adaptive_run_respects_cap() {
+        let g = gnm(30, 60, 9);
+        let t = Template::path(5);
+        let base = CountConfig {
+            iterations: 4,
+            parallel: ParallelMode::Serial,
+            seed: 3,
+            ..CountConfig::default()
+        };
+        // Absurdly tight target: must stop at the cap.
+        let (result, _) = count_until_converged(&g, &t, &base, 1e-9, 64).unwrap();
+        assert!(result.per_iteration.len() <= 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_series_rejected() {
+        EstimateStats::from_series(&[]);
+    }
+}

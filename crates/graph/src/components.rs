@@ -1,0 +1,171 @@
+//! Connected components and largest-component extraction.
+//!
+//! The paper analyzes only the largest connected component of every input
+//! network (§IV-A); [`largest_component`] reproduces that preprocessing,
+//! relabeling the surviving vertices densely.
+
+use crate::csr::Graph;
+
+/// Per-vertex component ids (`0..num_components`), assigned by BFS in
+/// ascending order of the smallest vertex in each component.
+pub fn component_ids(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    let mut ids = vec![u32::MAX; n];
+    let mut next_id = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if ids[start] != u32::MAX {
+            continue;
+        }
+        ids[start] = next_id;
+        queue.push_back(start as u32);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v as usize) {
+                if ids[u as usize] == u32::MAX {
+                    ids[u as usize] = next_id;
+                    queue.push_back(u);
+                }
+            }
+        }
+        next_id += 1;
+    }
+    (ids, next_id as usize)
+}
+
+/// Extracts the largest connected component as a new graph with dense
+/// vertex ids, returning it together with the mapping from new ids back to
+/// the original vertex ids.
+///
+/// Ties are broken toward the component containing the smallest vertex.
+/// The empty graph maps to itself.
+pub fn largest_component(g: &Graph) -> (Graph, Vec<u32>) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return (Graph::from_edges(0, &[]), Vec::new());
+    }
+    let (ids, num) = component_ids(g);
+    let mut sizes = vec![0usize; num];
+    for &id in &ids {
+        sizes[id as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i as u32)
+        .expect("non-empty graph has a component");
+
+    let mut new_id = vec![u32::MAX; n];
+    let mut back = Vec::with_capacity(sizes[best as usize]);
+    for v in 0..n {
+        if ids[v] == best {
+            new_id[v] = back.len() as u32;
+            back.push(v as u32);
+        }
+    }
+    let mut edges = Vec::new();
+    for &v in &back {
+        for &u in g.neighbors(v as usize) {
+            if v < u && ids[u as usize] == best {
+                edges.push((new_id[v as usize], new_id[u as usize]));
+            }
+        }
+    }
+    (Graph::from_edges(back.len(), &edges), back)
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.num_vertices() == 0 {
+        return true;
+    }
+    component_ids(g).1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_components_identified() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let (ids, num) = component_ids(&g);
+        assert_eq!(num, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[1], ids[2]);
+        assert_eq!(ids[3], ids[4]);
+        assert_ne!(ids[0], ids[3]);
+        assert_ne!(ids[3], ids[5]);
+    }
+
+    #[test]
+    fn largest_component_extracts_and_relabels() {
+        let g = Graph::from_edges(7, &[(0, 1), (2, 3), (3, 4), (4, 2), (5, 6)]);
+        let (lcc, back) = largest_component(&g);
+        assert_eq!(lcc.num_vertices(), 3);
+        assert_eq!(lcc.num_edges(), 3); // triangle
+        assert_eq!(back, vec![2, 3, 4]);
+        assert!(lcc.has_edge(0, 1) && lcc.has_edge(1, 2) && lcc.has_edge(0, 2));
+    }
+
+    #[test]
+    fn connected_graph_is_its_own_lcc() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(is_connected(&g));
+        let (lcc, back) = largest_component(&g);
+        assert_eq!(lcc, g);
+        assert_eq!(back, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_components() {
+        let g = Graph::from_edges(3, &[]);
+        let (_, num) = component_ids(&g);
+        assert_eq!(num, 3);
+        assert!(!is_connected(&g));
+        let (lcc, back) = largest_component(&g);
+        assert_eq!(lcc.num_vertices(), 1);
+        assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn empty_graph_handled() {
+        let g = Graph::from_edges(0, &[]);
+        assert!(is_connected(&g));
+        let (lcc, back) = largest_component(&g);
+        assert_eq!(lcc.num_vertices(), 0);
+        assert!(back.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn lcc_is_connected_and_at_least_as_big_as_others(
+            n in 1usize..30,
+            raw in proptest::collection::vec((0u32..30, 0u32..30), 0..60),
+        ) {
+            let edges: Vec<(u32, u32)> = raw
+                .into_iter()
+                .map(|(u, v)| (u % n as u32, v % n as u32))
+                .collect();
+            let g = Graph::from_edges(n, &edges);
+            let (ids, num) = component_ids(&g);
+            let mut sizes = vec![0usize; num];
+            for &id in &ids { sizes[id as usize] += 1; }
+            let (lcc, back) = largest_component(&g);
+            prop_assert!(is_connected(&lcc));
+            prop_assert_eq!(lcc.num_vertices(), *sizes.iter().max().unwrap());
+            // back-mapping preserves adjacency
+            for v in 0..lcc.num_vertices() {
+                for &u in lcc.neighbors(v) {
+                    prop_assert!(g.has_edge(back[v] as usize, back[u as usize] as usize));
+                }
+            }
+        }
+    }
+}

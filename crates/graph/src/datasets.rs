@@ -1,0 +1,306 @@
+//! Named dataset registry mirroring Table I of the paper.
+//!
+//! Each [`Dataset`] carries the paper's reported size (`n`, `m`, average and
+//! maximum degree) and generates a seeded synthetic stand-in with matched
+//! size and degree structure (DESIGN.md §3 documents every substitution).
+//! As in the paper, only the largest connected component is returned.
+//!
+//! The two million-vertex networks accept a `scale` divisor so experiments
+//! can run at laptop scale by default (the figure binaries read
+//! `FASCIA_SCALE`, defaulting to 64) and at paper scale with `--full`.
+
+use crate::components::largest_component;
+use crate::csr::Graph;
+use crate::gen;
+
+/// The ten networks of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Synthetic social contact network of Portland (NDSSL); R-MAT stand-in.
+    Portland,
+    /// Enron email network; Barabási–Albert stand-in.
+    Enron,
+    /// The paper's own Erdős–Rényi graph matched to Enron's size.
+    Gnp,
+    /// Slashdot community snapshot; Barabási–Albert stand-in.
+    Slashdot,
+    /// Pennsylvania road network; grid road stand-in.
+    PaRoad,
+    /// ISCAS89 s420 electrical circuit; random connected stand-in.
+    Circuit,
+    /// E. coli protein-interaction network (DIP); duplication–divergence.
+    EColi,
+    /// S. cerevisiae (yeast) PPI network (DIP); duplication–divergence.
+    SCerevisiae,
+    /// H. pylori PPI network (DIP); duplication–divergence.
+    HPylori,
+    /// C. elegans (roundworm) PPI network (DIP); duplication–divergence.
+    CElegans,
+}
+
+/// Paper-reported statistics for one Table I network.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetSpec {
+    /// Short display name as used in the paper.
+    pub name: &'static str,
+    /// Vertices in the paper's largest connected component.
+    pub n: usize,
+    /// Edges in the paper's largest connected component.
+    pub m: usize,
+    /// Average degree reported in Table I.
+    pub d_avg: f64,
+    /// Maximum degree reported in Table I.
+    pub d_max: usize,
+    /// Whether the network is large enough that `scale` applies.
+    pub scalable: bool,
+}
+
+impl Dataset {
+    /// All ten datasets in Table I order.
+    pub fn all() -> [Dataset; 10] {
+        use Dataset::*;
+        [
+            Portland,
+            Enron,
+            Gnp,
+            Slashdot,
+            PaRoad,
+            Circuit,
+            EColi,
+            SCerevisiae,
+            HPylori,
+            CElegans,
+        ]
+    }
+
+    /// The four protein-interaction networks (motif-finding experiments).
+    pub fn ppi() -> [Dataset; 4] {
+        use Dataset::*;
+        [EColi, SCerevisiae, HPylori, CElegans]
+    }
+
+    /// Paper-reported statistics (Table I).
+    pub fn spec(&self) -> DatasetSpec {
+        use Dataset::*;
+        match self {
+            Portland => DatasetSpec {
+                name: "Portland",
+                n: 1_588_212,
+                m: 31_204_286,
+                d_avg: 39.3,
+                d_max: 275,
+                scalable: true,
+            },
+            Enron => DatasetSpec {
+                name: "Enron",
+                n: 33_696,
+                m: 180_811,
+                d_avg: 10.7,
+                d_max: 1383,
+                scalable: false,
+            },
+            Gnp => DatasetSpec {
+                name: "G(n,p)",
+                n: 33_696,
+                m: 181_044,
+                d_avg: 10.7,
+                d_max: 27,
+                scalable: false,
+            },
+            Slashdot => DatasetSpec {
+                name: "Slashdot",
+                n: 82_168,
+                m: 438_643,
+                d_avg: 10.7,
+                d_max: 2510,
+                scalable: false,
+            },
+            PaRoad => DatasetSpec {
+                name: "PA Road Net",
+                n: 1_090_917,
+                m: 1_541_898,
+                d_avg: 2.8,
+                d_max: 9,
+                scalable: true,
+            },
+            Circuit => DatasetSpec {
+                name: "Elec. Circuit",
+                n: 252,
+                m: 399,
+                d_avg: 3.1,
+                d_max: 14,
+                scalable: false,
+            },
+            EColi => DatasetSpec {
+                name: "E. coli",
+                n: 2_546,
+                m: 11_520,
+                d_avg: 9.0,
+                d_max: 178,
+                scalable: false,
+            },
+            SCerevisiae => DatasetSpec {
+                name: "S. cerevisiae",
+                n: 5_021,
+                m: 22_119,
+                d_avg: 8.8,
+                d_max: 289,
+                scalable: false,
+            },
+            HPylori => DatasetSpec {
+                name: "H. pylori",
+                n: 687,
+                m: 1_352,
+                d_avg: 3.9,
+                d_max: 54,
+                scalable: false,
+            },
+            CElegans => DatasetSpec {
+                name: "C. elegans",
+                n: 2_391,
+                m: 3_831,
+                d_avg: 3.2,
+                d_max: 187,
+                scalable: false,
+            },
+        }
+    }
+
+    /// Generates the synthetic stand-in at `1/scale` of paper size (scale
+    /// applies only to the two scalable networks; pass 1 for paper scale)
+    /// and extracts its largest connected component, as the paper does.
+    ///
+    /// ```
+    /// use fascia_graph::Dataset;
+    /// let g = Dataset::Circuit.generate(1, 42);
+    /// assert_eq!(g.num_vertices(), 252);
+    /// assert_eq!(g.num_edges(), 399);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `scale == 0`.
+    pub fn generate(&self, scale: usize, seed: u64) -> Graph {
+        assert!(scale >= 1, "scale is a divisor; use 1 for paper scale");
+        let spec = self.spec();
+        let scale = if spec.scalable { scale } else { 1 };
+        let n = (spec.n / scale).max(64);
+        let m = (spec.m / scale).max(n);
+        let raw = match self {
+            Dataset::Portland => {
+                let bits = usize::BITS - (n - 1).leading_zeros();
+                // Mild skew: the Portland contact network is dense but
+                // nearly flat (d_max / d_avg ~ 7 in Table I); Graph500-style
+                // parameters would produce 100x hubs and a different
+                // workload.
+                let params = gen::rmat::RmatParams {
+                    a: 0.35,
+                    b: 0.25,
+                    c: 0.25,
+                    d: 0.15,
+                };
+                gen::rmat(bits, m, params, seed)
+            }
+            Dataset::Enron | Dataset::Slashdot => {
+                let m_per = (m / n).max(1);
+                gen::barabasi_albert(n, m_per, m, seed)
+            }
+            Dataset::Gnp => gen::gnm(n, m, seed),
+            Dataset::PaRoad => {
+                let rows = (n as f64).sqrt().round() as usize;
+                let cols = n.div_ceil(rows);
+                let grid_n = rows * cols;
+                let grid_max = rows * (cols - 1) + cols * (rows - 1);
+                let target_m = m.clamp(grid_n - 1, grid_max);
+                gen::road_grid(rows, cols, target_m, seed)
+            }
+            Dataset::Circuit => gen::random_connected(n, m, seed),
+            Dataset::EColi | Dataset::SCerevisiae | Dataset::HPylori | Dataset::CElegans => {
+                gen::duplication_divergence_target_m(n, m, seed)
+            }
+        };
+        largest_component(&raw).0
+    }
+}
+
+/// Reads the experiment scale divisor from `FASCIA_SCALE` (default 64).
+pub fn scale_from_env() -> usize {
+    std::env::var("FASCIA_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    #[test]
+    fn registry_matches_table_one() {
+        assert_eq!(Dataset::all().len(), 10);
+        let spec = Dataset::Portland.spec();
+        assert_eq!(spec.n, 1_588_212);
+        assert_eq!(spec.m, 31_204_286);
+        let hp = Dataset::HPylori.spec();
+        assert_eq!((hp.n, hp.m), (687, 1_352));
+    }
+
+    #[test]
+    fn small_networks_generate_at_paper_size() {
+        let g = Dataset::Circuit.generate(1, 1);
+        assert_eq!(g.num_vertices(), 252);
+        assert_eq!(g.num_edges(), 399);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn ppi_networks_close_to_spec() {
+        for d in Dataset::ppi() {
+            let spec = d.spec();
+            let g = d.generate(1, 7);
+            assert!(is_connected(&g));
+            let n_err = (g.num_vertices() as f64 - spec.n as f64).abs() / spec.n as f64;
+            let m_err = (g.num_edges() as f64 - spec.m as f64).abs() / spec.m as f64;
+            assert!(n_err < 0.02, "{}: n {} vs {}", spec.name, g.num_vertices(), spec.n);
+            assert!(m_err < 0.12, "{}: m {} vs {}", spec.name, g.num_edges(), spec.m);
+        }
+    }
+
+    #[test]
+    fn scaled_portland_has_roughly_scaled_size() {
+        let g = Dataset::Portland.generate(256, 3);
+        let want_m = 31_204_286 / 256;
+        // LCC can trim a little.
+        assert!(g.num_edges() > want_m * 8 / 10, "m = {}", g.num_edges());
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn enron_like_has_hub_degrees() {
+        let g = Dataset::Enron.generate(1, 5);
+        assert_eq!(g.num_edges(), 180_811);
+        assert!(g.max_degree() > 100, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn road_is_low_degree() {
+        let g = Dataset::PaRoad.generate(64, 5);
+        assert!(g.max_degree() <= 4);
+        assert!(g.avg_degree() < 3.2);
+    }
+
+    #[test]
+    fn scale_ignored_for_small_sets() {
+        let a = Dataset::HPylori.generate(1, 9);
+        let b = Dataset::HPylori.generate(16, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = Dataset::Gnp.generate(1, 11);
+        let b = Dataset::Gnp.generate(1, 11);
+        assert_eq!(a, b);
+    }
+}

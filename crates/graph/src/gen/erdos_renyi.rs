@@ -1,0 +1,148 @@
+//! Erdős–Rényi random graphs.
+//!
+//! The paper's `G(n, p)` network is "modeled after the size and average
+//! degree of the Enron network" — i.e. matched `n` and `m` — so [`gnm`]
+//! (exact edge count) is the primary entry point; [`gnp`] is the classic
+//! per-edge-probability variant.
+
+use super::top_up_edges;
+use crate::csr::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// `G(n, m)`: exactly `m` distinct uniform random edges.
+///
+/// # Panics
+/// Panics if `m` exceeds `n(n-1)/2`.
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    let mut seen = HashSet::with_capacity(m * 2);
+    top_up_edges(&mut edges, &mut seen, n, m, &mut rng);
+    Graph::from_edges(n, &edges)
+}
+
+/// `G(n, p)`: every unordered pair is an edge independently with
+/// probability `p`. Uses geometric skipping so the cost is `O(n + m)`
+/// rather than `O(n^2)`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    if p <= 0.0 || n < 2 {
+        return Graph::from_edges(n, &edges);
+    }
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                edges.push((u, v));
+            }
+        }
+        return Graph::from_edges(n, &edges);
+    }
+    // Skip-sampling over the linearized strict upper triangle.
+    let total: u64 = (n as u64) * (n as u64 - 1) / 2;
+    let log1mp = (1.0 - p).ln();
+    let mut idx: u64 = 0;
+    loop {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (r.ln() / log1mp).floor() as u64;
+        idx = idx.saturating_add(skip);
+        if idx >= total {
+            break;
+        }
+        // Invert idx -> (u, v) in the upper triangle.
+        let (u, v) = triangle_unrank(idx, n as u64);
+        edges.push((u as u32, v as u32));
+        idx += 1;
+        if idx >= total {
+            break;
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Maps a linear index into the strict upper triangle of an `n x n` matrix
+/// to the pair `(u, v)`, `u < v`, in row-major order.
+fn triangle_unrank(idx: u64, n: u64) -> (u64, u64) {
+    // Row u starts at offset u*n - u*(u+1)/2 - u ... solve by scan from a
+    // good initial guess; rows shrink so a float guess then adjust is exact.
+    // Row u starts at S(u) = sum_{i<u} (n - i - 1) = u(n-1) - u(u-1)/2.
+    // Solve S(u) <= idx by a float guess, then adjust exactly.
+    let mut u = {
+        let nf = n as f64;
+        let disc = (2.0 * nf - 1.0) * (2.0 * nf - 1.0) - 8.0 * idx as f64;
+        let guess = ((2.0 * nf - 1.0) - disc.max(0.0).sqrt()) / 2.0;
+        (guess.floor().max(0.0) as u64).min(n - 2)
+    };
+    let row_start = |u: u64| u * (n - 1) - u.saturating_sub(1) * u / 2;
+    while u > 0 && row_start(u) > idx {
+        u -= 1;
+    }
+    while row_start(u + 1) <= idx {
+        u += 1;
+    }
+    let v = u + 1 + (idx - row_start(u));
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(100, 250, 7);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 250);
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        assert_eq!(gnm(50, 100, 9), gnm(50, 100, 9));
+        assert_ne!(gnm(50, 100, 9), gnm(50, 100, 10));
+    }
+
+    #[test]
+    fn gnm_complete_graph() {
+        let g = gnm(6, 15, 0);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn gnp_edge_cases() {
+        assert_eq!(gnp(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(5, 1.0, 1).num_edges(), 10);
+        assert_eq!(gnp(1, 0.5, 1).num_edges(), 0);
+        assert_eq!(gnp(0, 0.5, 1).num_vertices(), 0);
+    }
+
+    #[test]
+    fn gnp_expected_density() {
+        let n = 400;
+        let p = 0.05;
+        let g = gnp(n, p, 123);
+        let expect = p * (n * (n - 1) / 2) as f64;
+        let sd = (expect * (1.0 - p)).sqrt();
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expect).abs() < 5.0 * sd,
+            "edges {got} too far from expectation {expect}"
+        );
+    }
+
+    #[test]
+    fn triangle_unrank_covers_everything() {
+        let n = 7u64;
+        let total = n * (n - 1) / 2;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..total {
+            let (u, v) = triangle_unrank(idx, n);
+            assert!(u < v && v < n, "idx {idx} -> ({u}, {v})");
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len() as u64, total);
+    }
+}

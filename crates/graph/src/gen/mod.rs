@@ -1,0 +1,99 @@
+//! Synthetic network generators.
+//!
+//! These stand in for the paper's downloaded datasets (Table I). Each
+//! generator is seeded and deterministic; each targets a degree structure
+//! matching one dataset family (see DESIGN.md §3):
+//!
+//! * [`erdos_renyi`] — the paper's own `G(n, p)` comparison graph,
+//! * [`preferential`] — Barabási–Albert heavy-tailed graphs (Enron,
+//!   Slashdot stand-ins),
+//! * [`rmat`] — skewed power-law graphs at Portland scale,
+//! * [`road`] — low-degree, high-diameter lattice road networks (PA road),
+//! * [`dupdiv`] — duplication–divergence protein-interaction topologies,
+//! * [`small_world`] — Watts–Strogatz ring graphs,
+//! * [`sparse`] — exact-(n, m) random connected graphs (circuit stand-in).
+
+pub mod dupdiv;
+pub mod erdos_renyi;
+pub mod preferential;
+pub mod rmat;
+pub mod road;
+pub mod small_world;
+pub mod sparse;
+
+pub use dupdiv::{duplication_divergence, duplication_divergence_target_m};
+pub use erdos_renyi::{gnm, gnp};
+pub use preferential::barabasi_albert;
+pub use rmat::rmat;
+pub use road::road_grid;
+pub use small_world::watts_strogatz;
+pub use sparse::random_connected;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Canonical undirected edge key for dedup sets.
+#[inline]
+pub(crate) fn edge_key(u: u32, v: u32) -> u64 {
+    let (a, b) = if u < v { (u, v) } else { (v, u) };
+    ((a as u64) << 32) | b as u64
+}
+
+/// Adds uniformly random distinct edges until `edges` reaches `target_m`
+/// (used to hit an exact edge count after a structured construction).
+pub(crate) fn top_up_edges(
+    edges: &mut Vec<(u32, u32)>,
+    seen: &mut HashSet<u64>,
+    n: usize,
+    target_m: usize,
+    rng: &mut SmallRng,
+) {
+    assert!(n >= 2 || edges.len() >= target_m, "cannot add edges to a graph with < 2 vertices");
+    let max_possible = n * (n - 1) / 2;
+    assert!(
+        target_m <= max_possible,
+        "target_m = {target_m} exceeds complete graph size {max_possible}"
+    );
+    while edges.len() < target_m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        if seen.insert(edge_key(u, v)) {
+            edges.push((u, v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_key_is_orientation_invariant() {
+        assert_eq!(edge_key(3, 7), edge_key(7, 3));
+        assert_ne!(edge_key(3, 7), edge_key(3, 8));
+    }
+
+    #[test]
+    fn top_up_reaches_exact_count() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut edges = vec![(0u32, 1u32)];
+        let mut seen: HashSet<u64> = edges.iter().map(|&(u, v)| edge_key(u, v)).collect();
+        top_up_edges(&mut edges, &mut seen, 10, 20, &mut rng);
+        assert_eq!(edges.len(), 20);
+        assert_eq!(seen.len(), 20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn top_up_rejects_impossible_target() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut edges = Vec::new();
+        let mut seen = HashSet::new();
+        top_up_edges(&mut edges, &mut seen, 3, 10, &mut rng);
+    }
+}

@@ -1,0 +1,134 @@
+//! Road-network-like graphs.
+//!
+//! The PA road network (Table I: d_avg 2.8, d_max 9) is near-planar, almost
+//! constant-degree, and huge-diameter — exactly the regime where FASCIA's
+//! hash table wins on memory (Fig. 7). We reproduce that regime with a
+//! random spanning tree of a 2-D grid (guaranteeing connectivity at
+//! d_avg = 2) plus uniformly chosen extra grid edges up to the target edge
+//! count.
+
+use super::edge_key;
+use crate::csr::Graph;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Generates a connected road-like graph on a `rows x cols` grid with
+/// exactly `target_m` edges (grid edges only, so degrees stay <= 4 before
+/// the small diagonal fraction; max degree stays road-like).
+///
+/// # Panics
+/// Panics unless `rows * cols - 1 <= target_m <=` the number of grid edges.
+pub fn road_grid(rows: usize, cols: usize, target_m: usize, seed: u64) -> Graph {
+    let n = rows * cols;
+    assert!(n >= 1, "grid must be non-empty");
+    let grid_edges = if n == 1 {
+        0
+    } else {
+        rows * (cols - 1) + cols * (rows - 1)
+    };
+    assert!(
+        target_m + 1 >= n && target_m <= grid_edges,
+        "target_m {target_m} outside [{}, {grid_edges}]",
+        n - 1
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let at = |r: usize, c: usize| (r * cols + c) as u32;
+
+    // Randomized DFS spanning tree over the implicit grid.
+    let mut visited = vec![false; n];
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(target_m);
+    let mut seen: HashSet<u64> = HashSet::with_capacity(2 * target_m);
+    let mut stack = vec![(0usize, 0usize)];
+    visited[0] = true;
+    let mut dirs = [(0i64, 1i64), (0, -1), (1, 0), (-1, 0)];
+    while let Some((r, c)) = stack.pop() {
+        dirs.shuffle(&mut rng);
+        for &(dr, dc) in &dirs {
+            let (nr, nc) = (r as i64 + dr, c as i64 + dc);
+            if nr < 0 || nc < 0 || nr >= rows as i64 || nc >= cols as i64 {
+                continue;
+            }
+            let (nr, nc) = (nr as usize, nc as usize);
+            let id = nr * cols + nc;
+            if !visited[id] {
+                visited[id] = true;
+                edges.push((at(r, c), at(nr, nc)));
+                seen.insert(edge_key(at(r, c), at(nr, nc)));
+                // Re-push current so remaining directions are retried later,
+                // then descend (keeps DFS shape with random twists).
+                stack.push((r, c));
+                stack.push((nr, nc));
+                break;
+            }
+        }
+    }
+    debug_assert_eq!(edges.len(), n - 1);
+
+    // Top up with unused grid edges chosen uniformly.
+    let mut guard = 0u64;
+    while edges.len() < target_m {
+        guard += 1;
+        assert!(guard < 10_000_000_u64.max(100 * grid_edges as u64), "road top-up stalled");
+        let r = rng.gen_range(0..rows);
+        let c = rng.gen_range(0..cols);
+        let horizontal = rng.gen_bool(0.5);
+        let (nr, nc) = if horizontal { (r, c + 1) } else { (r + 1, c) };
+        if nr >= rows || nc >= cols {
+            continue;
+        }
+        let (u, v) = (at(r, c), at(nr, nc));
+        if seen.insert(edge_key(u, v)) {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    #[test]
+    fn exact_edges_and_connected() {
+        let g = road_grid(20, 30, 820, 4);
+        assert_eq!(g.num_vertices(), 600);
+        assert_eq!(g.num_edges(), 820);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn degrees_stay_road_like() {
+        let g = road_grid(40, 40, 2200, 8);
+        assert!(g.max_degree() <= 4);
+        assert!(g.avg_degree() < 3.0);
+    }
+
+    #[test]
+    fn spanning_tree_only() {
+        let g = road_grid(10, 10, 99, 2);
+        assert_eq!(g.num_edges(), 99);
+        assert!(is_connected(&g));
+        assert!(g.max_degree() <= 4);
+    }
+
+    #[test]
+    fn single_vertex_grid() {
+        let g = road_grid(1, 1, 0, 0);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(road_grid(15, 15, 300, 6), road_grid(15, 15, 300, 6));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_too_few_edges() {
+        road_grid(5, 5, 10, 0); // below n-1 = 24
+    }
+}

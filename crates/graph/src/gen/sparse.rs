@@ -1,0 +1,80 @@
+//! Exact-(n, m) random connected graphs.
+//!
+//! Stand-in for the ISCAS89 s420 electrical circuit (252 vertices, 399
+//! edges): a uniformly grown random recursive tree guarantees connectivity,
+//! then uniform random extra edges reach the exact target edge count. Only
+//! size and sparsity matter for the §V-C comparison experiment.
+
+use super::{edge_key, top_up_edges};
+use crate::csr::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Connected random graph with exactly `n` vertices and `m` edges.
+///
+/// # Panics
+/// Panics unless `n - 1 <= m <= n(n-1)/2` (and `n >= 1`).
+pub fn random_connected(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 1);
+    assert!(m + 1 >= n, "need at least a spanning tree");
+    assert!(m <= n * (n - 1) / 2, "too many edges for simple graph");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m);
+    let mut seen: HashSet<u64> = HashSet::with_capacity(2 * m);
+    // Random recursive tree: vertex v attaches to a uniform earlier vertex.
+    for v in 1..n as u32 {
+        let u = rng.gen_range(0..v);
+        edges.push((u, v));
+        seen.insert(edge_key(u, v));
+    }
+    top_up_edges(&mut edges, &mut seen, n, m, &mut rng);
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    #[test]
+    fn circuit_scale_instance() {
+        let g = random_connected(252, 399, 15);
+        assert_eq!(g.num_vertices(), 252);
+        assert_eq!(g.num_edges(), 399);
+        assert!(is_connected(&g));
+        assert!((g.avg_degree() - 2.0 * 399.0 / 252.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_case() {
+        let g = random_connected(50, 49, 0);
+        assert_eq!(g.num_edges(), 49);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = random_connected(1, 0, 0);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn near_complete() {
+        let g = random_connected(8, 28, 3);
+        assert_eq!(g.num_edges(), 28);
+        assert_eq!(g.max_degree(), 7);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(random_connected(100, 150, 8), random_connected(100, 150, 8));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_disconnected_budget() {
+        random_connected(10, 5, 0);
+    }
+}

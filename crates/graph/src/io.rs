@@ -1,0 +1,141 @@
+//! Plain-text edge-list I/O.
+//!
+//! Format matches common SNAP-style dumps: one `u v` pair per line,
+//! whitespace separated; lines starting with `#` or `%` are comments.
+//! Vertex ids need not be dense — they are compacted on load.
+
+use crate::csr::Graph;
+use std::collections::HashMap;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying file error.
+    Io(std::io::Error),
+    /// A data line that is not two integers.
+    Parse { line: usize, content: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "cannot parse edge on line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parses an edge list from a reader; returns the graph and the mapping
+/// from dense ids back to original ids (sorted ascending).
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<(Graph, Vec<u64>), IoError> {
+    let mut raw_edges: Vec<(u64, u64)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |s: Option<&str>| -> Option<u64> { s.and_then(|x| x.parse().ok()) };
+        match (parse(it.next()), parse(it.next())) {
+            (Some(u), Some(v)) => raw_edges.push((u, v)),
+            _ => {
+                return Err(IoError::Parse {
+                    line: lineno + 1,
+                    content: t.to_string(),
+                })
+            }
+        }
+    }
+    // Compact ids.
+    let mut ids: Vec<u64> = raw_edges
+        .iter()
+        .flat_map(|&(u, v)| [u, v])
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let index: HashMap<u64, u32> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (x, i as u32))
+        .collect();
+    let edges: Vec<(u32, u32)> = raw_edges
+        .iter()
+        .map(|&(u, v)| (index[&u], index[&v]))
+        .collect();
+    Ok((Graph::from_edges(ids.len(), &edges), ids))
+}
+
+/// Loads an edge list from a file path.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<(Graph, Vec<u64>), IoError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(std::io::BufReader::new(file))
+}
+
+/// Writes a graph as an edge list (`u v` per line, `u < v`).
+pub fn write_edge_list<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# fascia edge list: n={} m={}", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_with_comments_and_gaps() {
+        let text = "# header\n10 20\n20 30\n\n% more\n10 30\n";
+        let (g, ids) = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(ids, vec![10, 20, 30]);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = read_edge_list(Cursor::new("1 2\nfoo bar\n")).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn round_trip_via_tempfile() {
+        let dir = std::env::temp_dir().join("fascia_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        write_edge_list(&g, &path).unwrap();
+        let (g2, ids) = load_edge_list(&path).unwrap();
+        assert_eq!(g2, g);
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let (g, ids) = read_edge_list(Cursor::new("# nothing\n")).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert!(ids.is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! Graph substrate for FASCIA: a compact CSR representation of undirected
+//! graphs, synthetic network generators standing in for the paper's
+//! datasets, connected-component extraction, vertex labels, and simple
+//! edge-list I/O.
+//!
+//! The FASCIA paper evaluates on ten networks (Table I). Those datasets are
+//! not redistributable here, so [`datasets`] provides seeded synthetic
+//! stand-ins matched in size and degree structure (see DESIGN.md §3 for the
+//! substitution rationale). All generators are deterministic given a seed.
+
+pub mod components;
+pub mod csr;
+pub mod datasets;
+pub mod digraph;
+pub mod gen;
+pub mod io;
+pub mod labels;
+pub mod stats;
+
+pub use csr::Graph;
+pub use datasets::Dataset;
+pub use labels::random_labels;
+
+#[cfg(test)]
+mod tests {
+    use crate::csr::Graph;
+
+    #[test]
+    fn crate_level_smoke() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+    }
+}

@@ -1,0 +1,166 @@
+//! Graph statistics used to audit dataset stand-ins.
+//!
+//! The substitutions of DESIGN.md §3 claim to match degree structure;
+//! these helpers quantify that: degree histograms, global and average
+//! local clustering, and triangle counts (the clustering numbers also
+//! sanity-check the triangle DP base case).
+
+use crate::csr::Graph;
+
+/// Histogram of vertex degrees: `hist[d]` = number of vertices of degree
+/// `d` (length `max_degree + 1`; empty graph gives `[0]`-like vec of 1).
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in 0..g.num_vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Number of triangles in the graph (each counted once), via sorted
+/// adjacency intersections over each edge's higher endpoint.
+pub fn triangle_count(g: &Graph) -> u64 {
+    let mut count = 0u64;
+    for u in 0..g.num_vertices() {
+        let nu = g.neighbors(u);
+        for &v in nu {
+            let v = v as usize;
+            if v <= u {
+                continue;
+            }
+            // Count w > v adjacent to both u and v.
+            let nv = g.neighbors(v);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < nu.len() && j < nv.len() {
+                match nu[i].cmp(&nv[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if (nu[i] as usize) > v {
+                            count += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Global clustering coefficient: `3 * triangles / open-or-closed wedges`
+/// (0 when the graph has no wedge).
+pub fn global_clustering(g: &Graph) -> f64 {
+    let wedges: u64 = (0..g.num_vertices())
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        return 0.0;
+    }
+    3.0 * triangle_count(g) as f64 / wedges as f64
+}
+
+/// Average local clustering coefficient (vertices of degree < 2 count 0,
+/// following the common convention).
+pub fn average_local_clustering(g: &Graph) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for v in 0..n {
+        let d = g.degree(v);
+        if d < 2 {
+            continue;
+        }
+        let neigh = g.neighbors(v);
+        let mut links = 0u64;
+        for (i, &a) in neigh.iter().enumerate() {
+            for &b in &neigh[i + 1..] {
+                if g.has_edge(a as usize, b as usize) {
+                    links += 1;
+                }
+            }
+        }
+        total += 2.0 * links as f64 / (d * (d - 1)) as f64;
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gnm, watts_strogatz};
+
+    fn k4() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn k4_statistics() {
+        let g = k4();
+        assert_eq!(triangle_count(&g), 4);
+        assert!((global_clustering(&g) - 1.0).abs() < 1e-12);
+        assert!((average_local_clustering(&g) - 1.0).abs() < 1e-12);
+        assert_eq!(degree_histogram(&g), vec![0, 0, 0, 4]);
+    }
+
+    #[test]
+    fn trees_have_no_triangles() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(global_clustering(&g), 0.0);
+        assert_eq!(average_local_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn triangle_count_matches_wedge_closure_formula_on_small_er() {
+        // Cross-check against a brute-force O(n^3) count.
+        let g = gnm(40, 160, 3);
+        let mut brute = 0u64;
+        for a in 0..40 {
+            for b in (a + 1)..40 {
+                for c in (b + 1)..40 {
+                    if g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(a, c) {
+                        brute += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(triangle_count(&g), brute);
+    }
+
+    #[test]
+    fn small_world_clusters_more_than_random() {
+        let ws = watts_strogatz(300, 8, 0.05, 7);
+        let er = gnm(300, ws.num_edges(), 7);
+        assert!(
+            average_local_clustering(&ws) > 3.0 * average_local_clustering(&er),
+            "WS {} vs ER {}",
+            average_local_clustering(&ws),
+            average_local_clustering(&er)
+        );
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let g = gnm(100, 300, 11);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 100);
+        // Handshake via histogram.
+        let m2: usize = hist.iter().enumerate().map(|(d, &c)| d * c).sum();
+        assert_eq!(m2, 600);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(global_clustering(&g), 0.0);
+        assert_eq!(average_local_clustering(&g), 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! The improved lazily-materialized table.
+//!
+//! "We only initialize storage for a given vertex v if that vertex has a
+//! value stored in it for any color set" (§III-C). Inactive vertices cost
+//! one pointer; the activity check is a null test. On the Portland network
+//! with unlabeled templates the paper reports ~20% peak-memory savings,
+//! and >90% with labels, purely from this row laziness.
+
+use crate::{CountTable, Rows, TableKind};
+
+/// Per-vertex optional rows.
+#[derive(Debug, Clone)]
+pub struct LazyTable {
+    nc: usize,
+    rows: Rows,
+}
+
+impl CountTable for LazyTable {
+    fn from_rows(n: usize, nc: usize, mut rows: Rows) -> Self {
+        assert_eq!(rows.len(), n, "row count must equal vertex count");
+        for row in rows.iter_mut() {
+            if let Some(r) = row {
+                assert_eq!(r.len(), nc, "row width must equal colorset count");
+                if r.iter().all(|&x| x == 0.0) {
+                    *row = None;
+                }
+            }
+        }
+        Self { nc, rows }
+    }
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.rows.len()
+    }
+
+    #[inline]
+    fn num_colorsets(&self) -> usize {
+        self.nc
+    }
+
+    #[inline]
+    fn get(&self, v: usize, cs: usize) -> f64 {
+        match &self.rows[v] {
+            Some(row) => row[cs],
+            None => 0.0,
+        }
+    }
+
+    #[inline]
+    fn vertex_active(&self, v: usize) -> bool {
+        self.rows[v].is_some()
+    }
+
+    #[inline]
+    fn row_slice(&self, v: usize) -> Option<&[f64]> {
+        self.rows[v].as_deref()
+    }
+
+    fn bytes(&self) -> usize {
+        let row_bytes: usize = self
+            .rows
+            .iter()
+            .map(|r| r.as_ref().map_or(0, |row| row.len() * 8))
+            .sum();
+        row_bytes + self.rows.capacity() * std::mem::size_of::<Option<Box<[f64]>>>()
+    }
+
+    fn total(&self) -> f64 {
+        self.rows
+            .iter()
+            .flatten()
+            .map(|row| row.iter().sum::<f64>())
+            .sum()
+    }
+
+    fn kind() -> TableKind {
+        TableKind::Lazy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseTable;
+    use crate::test_support::{check_contract, sample_rows};
+
+    #[test]
+    fn satisfies_table_contract() {
+        check_contract::<LazyTable>();
+    }
+
+    #[test]
+    fn saves_memory_vs_dense_on_sparse_rows() {
+        let n = 1000;
+        let nc = 64;
+        // Only 10% of vertices active.
+        let rows: Rows = (0..n)
+            .map(|v| {
+                if v % 10 == 0 {
+                    Some(vec![1.0; nc].into_boxed_slice())
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let lazy = LazyTable::from_rows(n, nc, rows.clone());
+        let dense = DenseTable::from_rows(n, nc, rows);
+        assert!(
+            lazy.bytes() * 2 < dense.bytes(),
+            "lazy {} vs dense {}",
+            lazy.bytes(),
+            dense.bytes()
+        );
+        assert_eq!(lazy.total(), dense.total());
+    }
+
+    #[test]
+    fn normalizes_zero_rows_itself() {
+        let rows: Rows = vec![Some(vec![0.0, 0.0].into_boxed_slice())];
+        let t = LazyTable::from_rows(1, 2, rows);
+        assert!(!t.vertex_active(0));
+        assert!(t.row_slice(0).is_none());
+    }
+
+    #[test]
+    fn matches_dense_semantics() {
+        let rows = sample_rows(40, 9);
+        let lazy = LazyTable::from_rows(40, 9, rows.clone());
+        let dense = DenseTable::from_rows(40, 9, rows);
+        for v in 0..40 {
+            for cs in 0..9 {
+                assert_eq!(lazy.get(v, cs), dense.get(v, cs));
+            }
+        }
+    }
+}

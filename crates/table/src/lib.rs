@@ -1,0 +1,194 @@
+//! Dynamic-programming count tables (paper §III-C).
+//!
+//! The DP stores, for the current subtemplate, a count per (graph vertex,
+//! color-set index). The paper abstracts this table and evaluates three
+//! layouts, all reproduced here behind the [`CountTable`] trait:
+//!
+//! * [`DenseTable`] — the naive layout: a flat `n x Nc` array fully
+//!   allocated up front regardless of need,
+//! * [`LazyTable`] — the "improved" layout: per-vertex rows allocated only
+//!   when the vertex has at least one non-zero count, enabling both the
+//!   memory saving and the O(1) "is this vertex initialized" check that
+//!   skips work in the inner loops,
+//! * [`HashCountTable`] — the hashing scheme for high-selectivity
+//!   templates: key `vid * Nc + I`, hashed by plain modulo into an
+//!   open-addressing table (the paper's `key mod size` with a table sized
+//!   as a factor of the live entries).
+//!
+//! Tables are built from per-vertex rows produced (possibly in parallel) by
+//! the engine; all-zero rows are dropped before construction so every
+//! layout sees the same logical content.
+
+pub mod dense;
+pub mod hashed;
+pub mod lazy;
+
+pub use dense::DenseTable;
+pub use hashed::HashCountTable;
+pub use lazy::LazyTable;
+
+/// Which table layout to use (runtime-selectable in the engine config).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableKind {
+    /// Naive dense array (paper's baseline memory scheme).
+    Dense,
+    /// Lazily materialized per-vertex rows (paper's improved scheme).
+    Lazy,
+    /// Modulo-hashed sparse table (paper's high-selectivity scheme).
+    Hash,
+}
+
+impl TableKind {
+    /// All three layouts, in paper presentation order.
+    pub fn all() -> [TableKind; 3] {
+        [TableKind::Dense, TableKind::Lazy, TableKind::Hash]
+    }
+
+    /// Display name used in figure output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TableKind::Dense => "naive",
+            TableKind::Lazy => "improved",
+            TableKind::Hash => "hash",
+        }
+    }
+}
+
+/// Per-vertex rows as produced by the DP: `None` means "vertex never
+/// initialized" (all-zero row).
+pub type Rows = Vec<Option<Box<[f64]>>>;
+
+/// Common interface of the three table layouts.
+///
+/// A table is immutable once built: the DP always constructs the parent
+/// table from complete child tables, so no in-place mutation is needed.
+pub trait CountTable: Send + Sync + Sized {
+    /// Builds a table from per-vertex rows (each row has `nc` entries).
+    ///
+    /// # Panics
+    /// Panics if `rows.len() != n` or any row length differs from `nc`.
+    fn from_rows(n: usize, nc: usize, rows: Rows) -> Self;
+
+    /// Number of graph vertices this table covers.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of color-set slots per vertex.
+    fn num_colorsets(&self) -> usize;
+
+    /// Count for vertex `v` and color-set index `cs` (0 when absent).
+    fn get(&self, v: usize, cs: usize) -> f64;
+
+    /// Whether vertex `v` holds any non-zero count — the paper's boolean
+    /// check that avoids "considerable computation and additional memory
+    /// accesses".
+    fn vertex_active(&self, v: usize) -> bool;
+
+    /// Contiguous row of vertex `v` when the layout materializes one
+    /// (`None` for inactive vertices and for the hash layout).
+    fn row_slice(&self, v: usize) -> Option<&[f64]>;
+
+    /// Approximate heap bytes held (peak-memory accounting, Figs. 6–7).
+    fn bytes(&self) -> usize;
+
+    /// Sum over all entries (the final count aggregation, Alg. 2 line 20).
+    fn total(&self) -> f64;
+
+    /// The layout tag.
+    fn kind() -> TableKind;
+}
+
+/// Drops all-zero rows, normalizing rows before table construction so all
+/// layouts agree on which vertices are "active".
+pub fn prune_zero_rows(rows: &mut Rows) {
+    for row in rows.iter_mut() {
+        if let Some(r) = row {
+            if r.iter().all(|&x| x == 0.0) {
+                *row = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// Deterministic sparse test rows.
+    pub fn sample_rows(n: usize, nc: usize) -> Rows {
+        (0..n)
+            .map(|v| {
+                if v % 3 == 2 {
+                    None
+                } else {
+                    let mut row = vec![0.0; nc].into_boxed_slice();
+                    for (cs, slot) in row.iter_mut().enumerate() {
+                        if (v + cs) % 4 == 0 {
+                            *slot = (v * nc + cs + 1) as f64;
+                        }
+                    }
+                    Some(row)
+                }
+            })
+            .collect()
+    }
+
+    /// Exercises the full trait contract for a layout.
+    pub fn check_contract<T: CountTable>() {
+        let (n, nc) = (23, 7);
+        let mut rows = sample_rows(n, nc);
+        prune_zero_rows(&mut rows);
+        let reference = rows.clone();
+        let table = T::from_rows(n, nc, rows);
+        assert_eq!(table.num_vertices(), n);
+        assert_eq!(table.num_colorsets(), nc);
+        let mut expect_total = 0.0;
+        for (v, expect_row) in reference.iter().enumerate() {
+            match expect_row {
+                None => {
+                    assert!(!table.vertex_active(v), "vertex {v} should be inactive");
+                    for cs in 0..nc {
+                        assert_eq!(table.get(v, cs), 0.0);
+                    }
+                }
+                Some(row) => {
+                    assert!(table.vertex_active(v), "vertex {v} should be active");
+                    for cs in 0..nc {
+                        assert_eq!(table.get(v, cs), row[cs], "v={v} cs={cs}");
+                        expect_total += row[cs];
+                    }
+                    if let Some(slice) = table.row_slice(v) {
+                        assert_eq!(slice, &row[..]);
+                    }
+                }
+            }
+        }
+        assert!((table.total() - expect_total).abs() < 1e-9);
+        assert!(table.bytes() > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prune_normalizes_zero_rows() {
+        let mut rows: Rows = vec![
+            Some(vec![0.0, 0.0].into_boxed_slice()),
+            Some(vec![1.0, 0.0].into_boxed_slice()),
+            None,
+        ];
+        prune_zero_rows(&mut rows);
+        assert!(rows[0].is_none());
+        assert!(rows[1].is_some());
+        assert!(rows[2].is_none());
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(TableKind::Dense.name(), "naive");
+        assert_eq!(TableKind::Lazy.name(), "improved");
+        assert_eq!(TableKind::Hash.name(), "hash");
+        assert_eq!(TableKind::all().len(), 3);
+    }
+}

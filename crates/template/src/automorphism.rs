@@ -1,0 +1,412 @@
+//! Automorphism counting.
+//!
+//! The final scaling step of the color-coding estimate divides by `α`, the
+//! number of automorphisms of the template (Algorithm 2, line 22), because
+//! the DP counts injective homomorphisms and each occurrence is hit once
+//! per automorphism. Labeled templates use label-preserving automorphisms.
+//!
+//! Trees are counted exactly via the AHU decomposition (product over nodes
+//! of the factorials of identical-child multiplicities); small non-tree
+//! templates (the triangle cactus class) fall back to brute-force
+//! permutation checking.
+
+use crate::canon::{full_mask, rooted_canon, split_mask, VertMask};
+use crate::tree::Template;
+
+fn factorial(n: usize) -> u64 {
+    (1..=n as u64).product()
+}
+
+/// Number of automorphisms of the subtree of `t` induced by `mask`, rooted
+/// at `root` (automorphisms must fix the root and preserve labels).
+pub fn rooted_automorphisms(t: &Template, root: u8, mask: VertMask) -> u64 {
+    fn rec(t: &Template, v: u8, parent: Option<u8>, mask: VertMask) -> u64 {
+        let kids: Vec<u8> = t
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| Some(u) != parent && mask & (1 << u) != 0)
+            .collect();
+        let mut aut: u64 = 1;
+        let mut canons: Vec<String> = Vec::with_capacity(kids.len());
+        for &u in &kids {
+            aut *= rec(t, u, Some(v), mask);
+            canons.push(rooted_canon(t, u, child_mask(t, u, v, mask)));
+        }
+        canons.sort_unstable();
+        let mut run = 1usize;
+        for i in 1..=canons.len() {
+            if i < canons.len() && canons[i] == canons[i - 1] {
+                run += 1;
+            } else {
+                aut *= factorial(run);
+                run = 1;
+            }
+        }
+        aut
+    }
+    rec(t, root, None, mask)
+}
+
+/// Mask of the subtree hanging below `child` when its parent is `parent`,
+/// restricted to `mask`.
+fn child_mask(t: &Template, child: u8, parent: u8, mask: VertMask) -> VertMask {
+    let mut m: VertMask = 1 << child;
+    let mut stack = vec![(child, parent)];
+    while let Some((v, p)) = stack.pop() {
+        for &u in t.neighbors(v) {
+            if u != p && mask & (1 << u) != 0 && m & (1 << u) == 0 {
+                m |= 1 << u;
+                stack.push((u, v));
+            }
+        }
+    }
+    m
+}
+
+/// Number of (label-preserving) automorphisms of a template.
+///
+/// Trees use the center decomposition; non-tree templates of up to 10
+/// vertices use brute force.
+///
+/// # Panics
+/// Panics for non-tree templates larger than 10 vertices.
+pub fn automorphisms(t: &Template) -> u64 {
+    if t.is_tree() {
+        let centers = t.tree_centers();
+        match centers.as_slice() {
+            [c] => rooted_automorphisms(t, *c, full_mask(t.size())),
+            [c1, c2] => {
+                let m1 = split_mask(t, *c1, *c2);
+                let m2 = split_mask(t, *c2, *c1);
+                let a = rooted_automorphisms(t, *c1, m1) * rooted_automorphisms(t, *c2, m2);
+                let swap = rooted_canon(t, *c1, m1) == rooted_canon(t, *c2, m2);
+                if swap {
+                    2 * a
+                } else {
+                    a
+                }
+            }
+            _ => unreachable!(),
+        }
+    } else {
+        brute_force_automorphisms(t)
+    }
+}
+
+/// Brute force count over all vertex permutations (small templates only).
+pub fn brute_force_automorphisms(t: &Template) -> u64 {
+    let n = t.size();
+    assert!(n <= 10, "brute-force automorphism counting is capped at 10 vertices");
+    let mut perm: Vec<u8> = (0..n as u8).collect();
+    let mut count = 0u64;
+    permute(&mut perm, 0, &mut |p| {
+        // Label preservation.
+        for v in 0..n as u8 {
+            if t.label(v) != t.label(p[v as usize]) {
+                return;
+            }
+        }
+        // Edge preservation (bijection on equal-size vertex sets: checking
+        // one direction of edge mapping suffices for counts of a graph onto
+        // itself with the same edge count).
+        for &(u, v) in t.edges() {
+            if !t.has_edge(p[u as usize], p[v as usize]) {
+                return;
+            }
+        }
+        count += 1;
+    });
+    count
+}
+
+fn permute(arr: &mut Vec<u8>, i: usize, visit: &mut impl FnMut(&[u8])) {
+    if i == arr.len() {
+        visit(arr);
+        return;
+    }
+    for j in i..arr.len() {
+        arr.swap(i, j);
+        permute(arr, i + 1, visit);
+        arr.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_has_two_automorphisms() {
+        for k in 2..=8 {
+            assert_eq!(automorphisms(&Template::path(k)), 2, "path {k}");
+        }
+        assert_eq!(automorphisms(&Template::path(1)), 1);
+    }
+
+    #[test]
+    fn star_has_factorial_automorphisms() {
+        // k = 2 is just an edge (2 automorphisms, not (k-1)! = 1).
+        for k in 3..=7usize {
+            assert_eq!(
+                automorphisms(&Template::star(k)),
+                factorial(k - 1),
+                "star {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn spider_with_equal_legs() {
+        // Three legs of length 2: 3! orderings of the legs.
+        assert_eq!(automorphisms(&Template::spider(&[2, 2, 2])), 6);
+        // Mixed legs 1,1,2: the two length-1 legs swap.
+        assert_eq!(automorphisms(&Template::spider(&[1, 1, 2])), 2);
+        // All distinct legs: asymmetric except nothing.
+        assert_eq!(automorphisms(&Template::spider(&[1, 2, 3])), 1);
+    }
+
+    #[test]
+    fn triangle_has_six() {
+        assert_eq!(automorphisms(&Template::triangle()), 6);
+    }
+
+    #[test]
+    fn labeled_triangle() {
+        let t = Template::triangle().with_labels(vec![0, 0, 1]).unwrap();
+        assert_eq!(automorphisms(&t), 2);
+        let t2 = Template::triangle().with_labels(vec![0, 1, 2]).unwrap();
+        assert_eq!(automorphisms(&t2), 1);
+    }
+
+    #[test]
+    fn labels_reduce_tree_symmetry() {
+        let star = Template::star(5).with_labels(vec![0, 1, 1, 2, 2]).unwrap();
+        // Leaves split into two swap classes of size 2: 2! * 2!.
+        assert_eq!(automorphisms(&star), 4);
+    }
+
+    #[test]
+    fn tree_counts_match_brute_force() {
+        let cases = vec![
+            Template::path(6),
+            Template::star(6),
+            Template::spider(&[2, 2, 2]),
+            Template::spider(&[1, 1, 1, 2]),
+            Template::tree_from_edges(7, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)])
+                .unwrap(),
+        ];
+        for t in cases {
+            assert_eq!(
+                automorphisms(&t),
+                brute_force_automorphisms(&t),
+                "mismatch for {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bicentral_symmetric_tree_doubles() {
+        // Path of 4: bicentral, halves isomorphic -> 2.
+        assert_eq!(automorphisms(&Template::path(4)), 2);
+        // Double star: centers 0-1, each with two leaves -> 2 * 2 * 2 = 8.
+        let ds = Template::tree_from_edges(6, &[(0, 1), (0, 2), (0, 3), (1, 4), (1, 5)]).unwrap();
+        assert_eq!(automorphisms(&ds), 8);
+        assert_eq!(brute_force_automorphisms(&ds), 8);
+    }
+
+    #[test]
+    fn rooted_vs_free() {
+        // Rooting a path at an end kills the flip symmetry.
+        let p = Template::path(5);
+        assert_eq!(rooted_automorphisms(&p, 0, full_mask(5)), 1);
+        assert_eq!(rooted_automorphisms(&p, 2, full_mask(5)), 2);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_tree(max_n: usize) -> impl Strategy<Value = Template> {
+        // Random parent arrays give random labeled trees.
+        (2..max_n).prop_flat_map(|n| {
+            proptest::collection::vec(0u32..u32::MAX, n - 1).prop_map(move |rs| {
+                let parents: Vec<u8> = rs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &r)| (r as usize % (i + 1)) as u8)
+                    .collect();
+                Template::from_parents(&parents).unwrap()
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn ahu_matches_brute_force(t in arb_tree(8)) {
+            prop_assert_eq!(automorphisms(&t), brute_force_automorphisms(&t));
+        }
+
+        #[test]
+        fn automorphisms_at_least_one(t in arb_tree(10)) {
+            prop_assert!(automorphisms(&t) >= 1);
+        }
+    }
+}
+
+/// Partitions template vertices into automorphism orbits; returns a dense
+/// orbit id per vertex (ids assigned in order of first appearance).
+///
+/// Two vertices share an orbit iff some automorphism maps one to the
+/// other. For trees this is detected by comparing the canonical form of
+/// the template rooted at each vertex; small non-tree templates fall back
+/// to brute force.
+pub fn vertex_orbits(t: &Template) -> Vec<u8> {
+    let n = t.size();
+    if t.is_tree() {
+        let mask = full_mask(n);
+        let mut orbit_of_canon: Vec<(String, u8)> = Vec::new();
+        let mut out = Vec::with_capacity(n);
+        for v in 0..n as u8 {
+            let c = rooted_canon(t, v, mask);
+            if let Some((_, id)) = orbit_of_canon.iter().find(|(s, _)| *s == c) {
+                out.push(*id);
+            } else {
+                let id = orbit_of_canon.len() as u8;
+                orbit_of_canon.push((c, id));
+                out.push(id);
+            }
+        }
+        out
+    } else {
+        // Union orbits over all automorphisms (brute force, <= 10 verts).
+        assert!(n <= 10, "orbit computation for non-trees is capped at 10 vertices");
+        let mut parent: Vec<u8> = (0..n as u8).collect();
+        fn find(parent: &mut [u8], x: u8) -> u8 {
+            if parent[x as usize] != x {
+                let r = find(parent, parent[x as usize]);
+                parent[x as usize] = r;
+            }
+            parent[x as usize]
+        }
+        let mut perm: Vec<u8> = (0..n as u8).collect();
+        permute(&mut perm, 0, &mut |p| {
+            for v in 0..n as u8 {
+                if t.label(v) != t.label(p[v as usize]) {
+                    return;
+                }
+            }
+            for &(u, v) in t.edges() {
+                if !t.has_edge(p[u as usize], p[v as usize]) {
+                    return;
+                }
+            }
+            for v in 0..n as u8 {
+                let (a, b) = (find(&mut parent, v), find(&mut parent, p[v as usize]));
+                if a != b {
+                    parent[b as usize] = a;
+                }
+            }
+        });
+        // Densify.
+        let mut ids: Vec<i16> = vec![-1; n];
+        let mut next = 0u8;
+        let mut out = Vec::with_capacity(n);
+        for v in 0..n as u8 {
+            let r = find(&mut parent, v) as usize;
+            if ids[r] < 0 {
+                ids[r] = next as i16;
+                next += 1;
+            }
+            out.push(ids[r] as u8);
+        }
+        out
+    }
+}
+
+/// One representative vertex per orbit, in orbit-id order.
+pub fn orbit_representatives(t: &Template) -> Vec<u8> {
+    let orbits = vertex_orbits(t);
+    let count = orbits.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut reps = vec![u8::MAX; count];
+    for (v, &o) in orbits.iter().enumerate() {
+        if reps[o as usize] == u8::MAX {
+            reps[o as usize] = v as u8;
+        }
+    }
+    reps
+}
+
+#[cfg(test)]
+mod orbit_tests {
+    use super::*;
+
+    #[test]
+    fn path_orbits_fold_at_the_middle() {
+        // Path 0-1-2-3-4: orbits {0,4}, {1,3}, {2}.
+        let orbits = vertex_orbits(&Template::path(5));
+        assert_eq!(orbits[0], orbits[4]);
+        assert_eq!(orbits[1], orbits[3]);
+        assert_ne!(orbits[0], orbits[1]);
+        assert_ne!(orbits[1], orbits[2]);
+        assert_eq!(orbit_representatives(&Template::path(5)).len(), 3);
+    }
+
+    #[test]
+    fn star_has_two_orbits() {
+        let orbits = vertex_orbits(&Template::star(6));
+        assert_eq!(orbits[0], 0);
+        assert!(orbits[1..].iter().all(|&o| o == orbits[1]));
+        assert_ne!(orbits[0], orbits[1]);
+    }
+
+    #[test]
+    fn chair_orbits() {
+        // Chair 0-1-2-3 with leaf 4 on 1 (U5-2): {0,4}, {1}, {2}, {3}.
+        let t = crate::named::NamedTemplate::U5_2.template();
+        let orbits = vertex_orbits(&t);
+        assert_eq!(orbits[0], orbits[4]);
+        let distinct: std::collections::HashSet<u8> = orbits.iter().copied().collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn spider_orbits() {
+        // Three legs of length 2: center, mids, tips.
+        let orbits = vertex_orbits(&Template::spider(&[2, 2, 2]));
+        let distinct: std::collections::HashSet<u8> = orbits.iter().copied().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn triangle_is_one_orbit() {
+        let orbits = vertex_orbits(&Template::triangle());
+        assert!(orbits.iter().all(|&o| o == 0));
+        assert_eq!(orbit_representatives(&Template::triangle()), vec![0]);
+    }
+
+    #[test]
+    fn labels_split_orbits() {
+        let t = Template::path(3).with_labels(vec![0, 1, 2]).unwrap();
+        let orbits = vertex_orbits(&t);
+        let distinct: std::collections::HashSet<u8> = orbits.iter().copied().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn orbit_sizes_times_stabilizer_equals_group_order() {
+        // Orbit-stabilizer sanity on a few trees: |orbit(v)| * |Aut_v| = |Aut|.
+        for t in [Template::path(6), Template::star(5), Template::spider(&[1, 1, 2])] {
+            let orbits = vertex_orbits(&t);
+            let total = automorphisms(&t);
+            for v in 0..t.size() as u8 {
+                let orbit_size =
+                    orbits.iter().filter(|&&o| o == orbits[v as usize]).count() as u64;
+                let stab = rooted_automorphisms(&t, v, full_mask(t.size()));
+                assert_eq!(orbit_size * stab, total, "vertex {v} of {t:?}");
+            }
+        }
+    }
+}

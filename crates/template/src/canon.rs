@@ -1,0 +1,192 @@
+//! AHU canonical forms for rooted and free trees.
+//!
+//! The partitioner uses rooted canonical strings to recognize automorphic
+//! subtemplates (the paper's rooted-symmetry optimization: automorphic
+//! children share one DP table). The free-tree generator uses free
+//! canonical forms to deduplicate topologies.
+//!
+//! Encodings include vertex labels, so labeled templates only share tables
+//! between label-preserving-isomorphic subtrees.
+
+use crate::tree::Template;
+
+/// Bitmask over template vertices (templates have at most 20 vertices).
+pub type VertMask = u32;
+
+/// Mask with all `n` template vertices set.
+#[inline]
+pub fn full_mask(n: usize) -> VertMask {
+    if n >= 32 {
+        panic!("template too large for mask");
+    }
+    ((1u64 << n) - 1) as VertMask
+}
+
+#[inline]
+fn in_mask(mask: VertMask, v: u8) -> bool {
+    mask & (1 << v) != 0
+}
+
+/// AHU canonical string of the subtree of `t` induced by `mask`, rooted at
+/// `root`. The induced subgraph must be a tree containing `root`.
+///
+/// Encoding: `l(c1c2...)` where `l` is the vertex label rendered in hex and
+/// `c1 <= c2 <= ...` are the children's canonical strings sorted.
+pub fn rooted_canon(t: &Template, root: u8, mask: VertMask) -> String {
+    debug_assert!(in_mask(mask, root), "root must be inside the mask");
+    fn rec(t: &Template, v: u8, parent: Option<u8>, mask: VertMask) -> String {
+        let mut kids: Vec<String> = t
+            .neighbors(v)
+            .iter()
+            .filter(|&&u| Some(u) != parent && in_mask(mask, u))
+            .map(|&u| rec(t, u, Some(v), mask))
+            .collect();
+        kids.sort_unstable();
+        let mut s = String::with_capacity(4 + kids.iter().map(String::len).sum::<usize>());
+        s.push_str(&format!("{:x}", t.label(v)));
+        s.push('(');
+        for k in kids {
+            s.push_str(&k);
+        }
+        s.push(')');
+        s
+    }
+    rec(t, root, None, mask)
+}
+
+/// Canonical string of a free tree template: root at the tree center (or,
+/// for bicentral trees, take the lexicographic minimum over both centers
+/// of the edge-rooted encodings).
+///
+/// Two tree templates are isomorphic (respecting labels) iff their free
+/// canonical strings are equal.
+///
+/// # Panics
+/// Panics if `t` is not a tree.
+pub fn free_canon(t: &Template) -> String {
+    assert!(t.is_tree(), "free canonical form is defined for trees");
+    let centers = t.tree_centers();
+    let mask = full_mask(t.size());
+    match centers.as_slice() {
+        [c] => rooted_canon(t, *c, mask),
+        [c1, c2] => {
+            // Root at the central edge: encode both sides, order-normalize.
+            let side = |a: u8, b: u8| {
+                // Subtree of `a` with the edge (a, b) removed.
+                let m = split_mask(t, a, b);
+                rooted_canon(t, a, m)
+            };
+            let s1 = side(*c1, *c2);
+            let s2 = side(*c2, *c1);
+            if s1 <= s2 {
+                format!("[{s1}|{s2}]")
+            } else {
+                format!("[{s2}|{s1}]")
+            }
+        }
+        _ => unreachable!("trees have one or two centers"),
+    }
+}
+
+/// The vertex mask of the component containing `keep` after deleting the
+/// edge `(keep, drop)` from the tree restricted to all vertices.
+pub fn split_mask(t: &Template, keep: u8, drop: u8) -> VertMask {
+    let mut mask: VertMask = 1 << keep;
+    let mut stack = vec![keep];
+    while let Some(v) = stack.pop() {
+        for &u in t.neighbors(v) {
+            if (v == keep && u == drop) || in_mask(mask, u) {
+                continue;
+            }
+            mask |= 1 << u;
+            stack.push(u);
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isomorphic_paths_share_canon() {
+        // Path 0-1-2-3 vs path built in scrambled order 2-0-3-1.
+        let a = Template::tree_from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let b = Template::tree_from_edges(4, &[(2, 0), (0, 3), (3, 1)]).unwrap();
+        assert_eq!(free_canon(&a), free_canon(&b));
+    }
+
+    #[test]
+    fn different_trees_differ() {
+        let path = Template::path(4);
+        let star = Template::star(4);
+        assert_ne!(free_canon(&path), free_canon(&star));
+    }
+
+    #[test]
+    fn rooted_canon_depends_on_root() {
+        let p = Template::path(3);
+        let end = rooted_canon(&p, 0, full_mask(3));
+        let mid = rooted_canon(&p, 1, full_mask(3));
+        assert_ne!(end, mid);
+        // Both ends are equivalent roots.
+        assert_eq!(end, rooted_canon(&p, 2, full_mask(3)));
+    }
+
+    #[test]
+    fn masked_subtree_canon() {
+        // Star with center 0; the subtree {0, 1} rooted at 0 is an edge.
+        let s = Template::star(5);
+        let m: VertMask = 0b00011;
+        let edge = Template::path(2);
+        assert_eq!(
+            rooted_canon(&s, 0, m),
+            rooted_canon(&edge, 0, full_mask(2))
+        );
+    }
+
+    #[test]
+    fn labels_break_symmetry() {
+        let plain = Template::path(3);
+        let labeled = Template::path(3).with_labels(vec![1, 0, 0]).unwrap();
+        assert_ne!(free_canon(&plain), free_canon(&labeled));
+        // Mirrored labels are isomorphic.
+        let mirrored = Template::path(3).with_labels(vec![0, 0, 1]).unwrap();
+        assert_eq!(free_canon(&labeled), free_canon(&mirrored));
+        // Center label placement is not.
+        let center = Template::path(3).with_labels(vec![0, 1, 0]).unwrap();
+        assert_ne!(free_canon(&labeled), free_canon(&center));
+    }
+
+    #[test]
+    fn bicentral_tree_orientation_invariant() {
+        // Path 6 is bicentral; relabeling reverses the central edge.
+        let a = Template::path(6);
+        let edges_rev: Vec<(u8, u8)> = (1..6u8).map(|v| (6 - v, 5 - v)).collect();
+        let b = Template::tree_from_edges(6, &edges_rev).unwrap();
+        assert_eq!(free_canon(&a), free_canon(&b));
+    }
+
+    #[test]
+    fn split_mask_partitions_tree() {
+        let p = Template::path(5);
+        let left = split_mask(&p, 1, 2);
+        let right = split_mask(&p, 2, 1);
+        assert_eq!(left, 0b00011);
+        assert_eq!(right, 0b11100);
+        assert_eq!(left | right, full_mask(5));
+        assert_eq!(left & right, 0);
+    }
+
+    #[test]
+    fn spider_leg_subtrees_are_automorphic() {
+        let sp = Template::spider(&[2, 2, 2]); // center 0; legs (1,2), (3,4), (5,6)
+        let leg1 = split_mask(&sp, 1, 0);
+        let leg2 = split_mask(&sp, 3, 0);
+        assert_eq!(
+            rooted_canon(&sp, 1, leg1),
+            rooted_canon(&sp, 3, leg2)
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! Generation of all free trees of a given size.
+//!
+//! Motif finding (paper §V-E) counts every non-isomorphic tree topology of
+//! size k: 11 topologies for k = 7, 106 for k = 10, 551 for k = 12. We
+//! enumerate rooted trees with the Beyer–Hedetniemi level-sequence
+//! successor algorithm (constant amortized time) and deduplicate to free
+//! trees with the AHU free canonical form — exact and fast for k <= 14.
+
+use crate::canon::free_canon;
+use crate::tree::Template;
+use std::collections::HashSet;
+
+/// Iterator over all canonical rooted-tree level sequences on `n` vertices
+/// (Beyer–Hedetniemi, 1980). A level sequence assigns each vertex its depth
+/// (root = 1) in preorder; the canonical sequence is the lexicographically
+/// largest over all orderings of children.
+struct LevelSequences {
+    levels: Vec<usize>,
+    first: bool,
+    done: bool,
+}
+
+impl LevelSequences {
+    fn new(n: usize) -> Self {
+        Self {
+            levels: (1..=n).collect(),
+            first: true,
+            done: n == 0,
+        }
+    }
+
+    fn next_seq(&mut self) -> Option<&[usize]> {
+        if self.done {
+            return None;
+        }
+        if self.first {
+            self.first = false;
+            return Some(&self.levels);
+        }
+        let n = self.levels.len();
+        // Find rightmost position p (> 0) with level > 2.
+        let mut p = n;
+        while p > 0 && self.levels[p - 1] <= 2 {
+            p -= 1;
+        }
+        if p == 0 {
+            self.done = true;
+            return None;
+        }
+        let p = p - 1; // index of that position
+        // q: rightmost index < p whose level is levels[p] - 1.
+        let mut q = p;
+        while self.levels[q] != self.levels[p] - 1 {
+            q -= 1;
+        }
+        let shift = p - q;
+        for i in p..n {
+            self.levels[i] = self.levels[i - shift];
+        }
+        Some(&self.levels)
+    }
+}
+
+/// Converts a level sequence to a tree template (vertex 0 is the root).
+fn tree_from_levels(levels: &[usize]) -> Template {
+    let n = levels.len();
+    let mut edges: Vec<(u8, u8)> = Vec::with_capacity(n.saturating_sub(1));
+    // stack[d] = last vertex seen at depth d+1.
+    let mut stack: Vec<u8> = Vec::new();
+    for (v, &d) in levels.iter().enumerate() {
+        stack.truncate(d - 1);
+        if let Some(&parent) = stack.last() {
+            edges.push((parent, v as u8));
+        }
+        stack.push(v as u8);
+    }
+    Template::tree_from_edges(n, &edges).expect("level sequence encodes a tree")
+}
+
+/// All rooted trees on `n` vertices (as templates rooted at vertex 0).
+pub fn all_rooted_trees(n: usize) -> Vec<Template> {
+    let mut out = Vec::new();
+    let mut seqs = LevelSequences::new(n);
+    while let Some(s) = seqs.next_seq() {
+        out.push(tree_from_levels(s));
+    }
+    out
+}
+
+/// All free (unrooted, non-isomorphic) trees on `n` vertices, in a
+/// deterministic order. Matches OEIS A000055: 1, 1, 1, 2, 3, 6, 11, 23,
+/// 47, 106, 235, 551 for n = 1..12.
+pub fn all_free_trees(n: usize) -> Vec<Template> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut out = Vec::new();
+    let mut seqs = LevelSequences::new(n);
+    while let Some(s) = seqs.next_seq() {
+        let t = tree_from_levels(s);
+        if seen.insert(free_canon(&t)) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Number of rooted trees on `n` vertices (OEIS A000081 for n >= 1).
+pub fn count_rooted_trees(n: usize) -> usize {
+    let mut c = 0;
+    let mut seqs = LevelSequences::new(n);
+    while seqs.next_seq().is_some() {
+        c += 1;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automorphism::automorphisms;
+
+    /// OEIS A000081: rooted trees.
+    #[test]
+    fn rooted_tree_counts() {
+        let expect = [1usize, 1, 2, 4, 9, 20, 48, 115, 286, 719];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(count_rooted_trees(i + 1), e, "n = {}", i + 1);
+        }
+    }
+
+    /// OEIS A000055: free trees — the paper's 11 / 106 / 551 topology
+    /// counts for k = 7 / 10 / 12 (§IV-B).
+    #[test]
+    fn free_tree_counts_match_paper() {
+        let expect = [1usize, 1, 1, 2, 3, 6, 11, 23, 47, 106, 235, 551];
+        for (i, &e) in expect.iter().enumerate() {
+            let n = i + 1;
+            if n <= 10 {
+                assert_eq!(all_free_trees(n).len(), e, "n = {n}");
+            }
+        }
+        // The two large paper sizes (slower, still well under a second).
+        assert_eq!(all_free_trees(11).len(), 235);
+        assert_eq!(all_free_trees(12).len(), 551);
+    }
+
+    #[test]
+    fn generated_trees_are_valid_and_distinct() {
+        let trees = all_free_trees(8);
+        assert_eq!(trees.len(), 23);
+        let mut canons = HashSet::new();
+        for t in &trees {
+            assert!(t.is_tree());
+            assert_eq!(t.size(), 8);
+            assert!(canons.insert(free_canon(t)));
+        }
+    }
+
+    #[test]
+    fn includes_path_and_star() {
+        let trees = all_free_trees(7);
+        let path = free_canon(&Template::path(7));
+        let star = free_canon(&Template::star(7));
+        let canons: HashSet<String> = trees.iter().map(free_canon).collect();
+        assert!(canons.contains(&path));
+        assert!(canons.contains(&star));
+    }
+
+    #[test]
+    fn cayley_check_via_automorphisms() {
+        // Sum over free trees of n! / |Aut(T)| = number of labeled trees
+        // = n^(n-2) (Cayley's formula). Strong cross-validation of both the
+        // generator and the automorphism counter.
+        for n in 3..=9usize {
+            let nf: u64 = (1..=n as u64).product();
+            let labeled: u64 = all_free_trees(n)
+                .iter()
+                .map(|t| nf / automorphisms(t))
+                .sum();
+            let cayley = (n as u64).pow(n as u32 - 2);
+            assert_eq!(labeled, cayley, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let a: Vec<String> = all_free_trees(9).iter().map(free_canon).collect();
+        let b: Vec<String> = all_free_trees(9).iter().map(free_canon).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_sizes() {
+        assert!(all_free_trees(0).is_empty());
+        assert_eq!(all_free_trees(1).len(), 1);
+        assert_eq!(all_free_trees(1)[0].size(), 1);
+        assert_eq!(all_free_trees(2).len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod scale_tests {
+    use super::*;
+
+    /// Beyond the paper's sizes: A000055 continues 1301, 3159 for
+    /// n = 13, 14 — the generator must stay exact as templates grow
+    /// (MAX_TEMPLATE_SIZE headroom).
+    #[test]
+    fn free_tree_counts_beyond_paper_sizes() {
+        assert_eq!(all_free_trees(13).len(), 1301);
+        assert_eq!(all_free_trees(14).len(), 3159);
+    }
+
+    /// Every generated tree of size n partitions under both strategies —
+    /// the motif pipeline depends on this never failing.
+    #[test]
+    fn all_size8_trees_partition() {
+        use crate::partition::{PartitionStrategy, PartitionTree};
+        for t in all_free_trees(8) {
+            for s in [PartitionStrategy::OneAtATime, PartitionStrategy::Balanced] {
+                PartitionTree::build(&t, s).expect("trees always partition");
+            }
+        }
+    }
+}

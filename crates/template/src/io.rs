@@ -1,0 +1,193 @@
+//! Template text format.
+//!
+//! The original FASCIA tool reads templates from small text files; this
+//! module provides a compatible format:
+//!
+//! ```text
+//! # optional comments
+//! vertices: 5
+//! labels: 0 1 0 1 2     # optional line
+//! 0 1
+//! 1 2
+//! 1 4
+//! 2 3
+//! ```
+//!
+//! A `vertices:` header, an optional `labels:` line, then one edge per
+//! line. Parsing validates through [`Template::from_edges`], so only
+//! trees and triangle cacti load.
+
+use crate::tree::{Template, TemplateError};
+
+/// Errors from template parsing.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Malformed line.
+    Syntax { line: usize, content: String },
+    /// Missing `vertices:` header.
+    MissingHeader,
+    /// Structural validation failed.
+    Invalid(TemplateError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Syntax { line, content } => {
+                write!(f, "cannot parse template line {line}: {content:?}")
+            }
+            ParseError::MissingHeader => write!(f, "missing 'vertices: N' header"),
+            ParseError::Invalid(e) => write!(f, "invalid template: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<TemplateError> for ParseError {
+    fn from(e: TemplateError) -> Self {
+        ParseError::Invalid(e)
+    }
+}
+
+/// Parses a template from the text format.
+pub fn parse_template(text: &str) -> Result<Template, ParseError> {
+    let mut n: Option<usize> = None;
+    let mut labels: Option<Vec<u8>> = None;
+    let mut edges: Vec<(u8, u8)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(v) = line.strip_prefix("vertices:") {
+            n = Some(v.trim().parse().map_err(|_| ParseError::Syntax {
+                line: lineno + 1,
+                content: raw.to_string(),
+            })?);
+            continue;
+        }
+        if let Some(l) = line.strip_prefix("labels:") {
+            let parsed: Result<Vec<u8>, _> =
+                l.split_whitespace().map(|x| x.parse()).collect();
+            labels = Some(parsed.map_err(|_| ParseError::Syntax {
+                line: lineno + 1,
+                content: raw.to_string(),
+            })?);
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        match (
+            it.next().and_then(|x| x.parse::<u8>().ok()),
+            it.next().and_then(|x| x.parse::<u8>().ok()),
+        ) {
+            (Some(u), Some(v)) => edges.push((u, v)),
+            _ => {
+                return Err(ParseError::Syntax {
+                    line: lineno + 1,
+                    content: raw.to_string(),
+                })
+            }
+        }
+    }
+    let n = n.ok_or(ParseError::MissingHeader)?;
+    let t = Template::from_edges(n, &edges)?;
+    match labels {
+        Some(l) => Ok(t.with_labels(l)?),
+        None => Ok(t),
+    }
+}
+
+/// Renders a template in the text format (round-trips with
+/// [`parse_template`]).
+pub fn format_template(t: &Template) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("vertices: {}\n", t.size()));
+    if let Some(labels) = t.labels() {
+        let rendered: Vec<String> = labels.iter().map(|l| l.to_string()).collect();
+        s.push_str(&format!("labels: {}\n", rendered.join(" ")));
+    }
+    for &(u, v) in t.edges() {
+        s.push_str(&format!("{u} {v}\n"));
+    }
+    s
+}
+
+/// Loads a template from a file.
+pub fn load_template<P: AsRef<std::path::Path>>(path: P) -> Result<Template, ParseError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ParseError::Syntax {
+        line: 0,
+        content: e.to_string(),
+    })?;
+    parse_template(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::named::NamedTemplate;
+
+    #[test]
+    fn parses_basic_tree() {
+        let t = parse_template("vertices: 4\n0 1\n1 2\n1 3\n").unwrap();
+        assert_eq!(t.size(), 4);
+        assert_eq!(t.degree(1), 3);
+        assert!(t.is_tree());
+    }
+
+    #[test]
+    fn parses_labels_and_comments() {
+        let text = "# chair with labels\nvertices: 3\nlabels: 2 0 2\n0 1 # edge one\n1 2\n";
+        let t = parse_template(text).unwrap();
+        assert_eq!(t.labels(), Some(&[2u8, 0, 2][..]));
+    }
+
+    #[test]
+    fn round_trips_every_named_template() {
+        for named in NamedTemplate::all() {
+            let t = named.template();
+            let parsed = parse_template(&format_template(&t)).unwrap();
+            assert_eq!(parsed, t, "{}", named.name());
+        }
+    }
+
+    #[test]
+    fn round_trips_labeled_template() {
+        let t = crate::tree::Template::path(4)
+            .with_labels(vec![3, 1, 4, 1])
+            .unwrap();
+        assert_eq!(parse_template(&format_template(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(matches!(
+            parse_template("0 1\n"),
+            Err(ParseError::MissingHeader)
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage_line() {
+        let err = parse_template("vertices: 3\n0 1\nfoo\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_invalid_structure() {
+        // A 4-cycle is not a supported template.
+        let err = parse_template("vertices: 4\n0 1\n1 2\n2 3\n3 0\n").unwrap_err();
+        assert!(matches!(err, ParseError::Invalid(_)));
+    }
+
+    #[test]
+    fn load_from_file() {
+        let dir = std::env::temp_dir().join("fascia_template_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.txt");
+        std::fs::write(&path, format_template(&NamedTemplate::U5_2.template())).unwrap();
+        let t = load_template(&path).unwrap();
+        assert_eq!(t, NamedTemplate::U5_2.template());
+        std::fs::remove_file(&path).ok();
+    }
+}

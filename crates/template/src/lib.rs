@@ -1,0 +1,33 @@
+//! Templates (query subgraphs) for FASCIA.
+//!
+//! A *template* is the small pattern whose non-induced occurrences are
+//! counted in a large graph. FASCIA fully supports arbitrary undirected
+//! tree templates and, as in the paper, "tree-like" templates containing a
+//! triangle (the color-coding DP gets a triangle base case).
+//!
+//! This crate provides:
+//!
+//! * [`tree::Template`] — validated template graphs with optional vertex
+//!   labels,
+//! * [`named`] — the paper's Figure 2 gallery (U3-1 … U12-2),
+//! * [`canon`] — AHU canonical forms for rooted and free trees,
+//! * [`automorphism`] — automorphism counts (the `α` of Algorithm 2,
+//!   line 22),
+//! * [`gen`] — generation of all free trees of a given size (11 / 106 / 551
+//!   topologies for 7 / 10 / 12 vertices, used for motif finding),
+//! * [`partition`] — the single-edge-cut partition trees with the paper's
+//!   one-at-a-time and balanced heuristics plus rooted-automorphism
+//!   sharing (§III-D).
+
+pub mod automorphism;
+pub mod canon;
+pub mod directed;
+pub mod gen;
+pub mod io;
+pub mod named;
+pub mod partition;
+pub mod tree;
+
+pub use named::NamedTemplate;
+pub use partition::{PartitionStrategy, PartitionTree};
+pub use tree::Template;

@@ -1,0 +1,257 @@
+//! The paper's template gallery (Figure 2).
+//!
+//! For each size k in {3, 5, 7, 10, 12} the paper uses a simple path
+//! (U k-1) and a "more complex structure" (U k-2). The figure's drawings
+//! pin down the structures only partially; where a choice had to be made we
+//! used the paper's own textual constraints:
+//!
+//! * U3-2 — the only 3-vertex non-path pattern is the triangle, which the
+//!   paper explicitly supports ("tree-like graphs templates with
+//!   triangles").
+//! * U5-2 — must have a degree-3 "central orbit" vertex (§V-F uses it for
+//!   graphlet degree distributions): the 5-vertex chair/fork tree.
+//! * U7-2 — must have an "obvious" rooted automorphism (§III-C): the
+//!   spider with three legs of length 2.
+//! * U10-2 — a symmetric double-spider (two adjacent degree-3 centers,
+//!   each with two length-2 legs).
+//! * U12-2 — "explicitly designed to stress subtemplate partitioning"
+//!   (§V-A): a bushy near-balanced binary tree.
+
+use crate::tree::Template;
+
+/// The ten templates of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum NamedTemplate {
+    U3_1,
+    U3_2,
+    U5_1,
+    U5_2,
+    U7_1,
+    U7_2,
+    U10_1,
+    U10_2,
+    U12_1,
+    U12_2,
+}
+
+impl NamedTemplate {
+    /// All ten templates in paper order.
+    pub fn all() -> [NamedTemplate; 10] {
+        use NamedTemplate::*;
+        [U3_1, U3_2, U5_1, U5_2, U7_1, U7_2, U10_1, U10_2, U12_1, U12_2]
+    }
+
+    /// The five path templates.
+    pub fn paths() -> [NamedTemplate; 5] {
+        use NamedTemplate::*;
+        [U3_1, U5_1, U7_1, U10_1, U12_1]
+    }
+
+    /// The five non-path templates.
+    pub fn complex() -> [NamedTemplate; 5] {
+        use NamedTemplate::*;
+        [U3_2, U5_2, U7_2, U10_2, U12_2]
+    }
+
+    /// Display name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        use NamedTemplate::*;
+        match self {
+            U3_1 => "U3-1",
+            U3_2 => "U3-2",
+            U5_1 => "U5-1",
+            U5_2 => "U5-2",
+            U7_1 => "U7-1",
+            U7_2 => "U7-2",
+            U10_1 => "U10-1",
+            U10_2 => "U10-2",
+            U12_1 => "U12-1",
+            U12_2 => "U12-2",
+        }
+    }
+
+    /// Number of template vertices.
+    pub fn size(&self) -> usize {
+        use NamedTemplate::*;
+        match self {
+            U3_1 | U3_2 => 3,
+            U5_1 | U5_2 => 5,
+            U7_1 | U7_2 => 7,
+            U10_1 | U10_2 => 10,
+            U12_1 | U12_2 => 12,
+        }
+    }
+
+    /// Builds the template.
+    pub fn template(&self) -> Template {
+        use NamedTemplate::*;
+        match self {
+            U3_1 => Template::path(3),
+            U3_2 => Template::triangle(),
+            U5_1 => Template::path(5),
+            // Chair: path 0-1-2-3 with leaf 4 on vertex 1 (degree-3 center 1).
+            U5_2 => Template::tree_from_edges(5, &[(0, 1), (1, 2), (2, 3), (1, 4)])
+                .expect("U5-2 is a valid tree"),
+            U7_1 => Template::path(7),
+            U7_2 => Template::spider(&[2, 2, 2]),
+            U10_1 => Template::path(10),
+            // Double spider: centers 0 and 1; legs 0-2-3, 0-4-5, 1-6-7, 1-8-9.
+            U10_2 => Template::tree_from_edges(
+                10,
+                &[
+                    (0, 1),
+                    (0, 2),
+                    (2, 3),
+                    (0, 4),
+                    (4, 5),
+                    (1, 6),
+                    (6, 7),
+                    (1, 8),
+                    (8, 9),
+                ],
+            )
+            .expect("U10-2 is a valid tree"),
+            U12_1 => Template::path(12),
+            // Bushy near-balanced binary tree on 12 vertices.
+            U12_2 => Template::tree_from_edges(
+                12,
+                &[
+                    (0, 1),
+                    (0, 2),
+                    (1, 3),
+                    (1, 4),
+                    (2, 5),
+                    (2, 6),
+                    (3, 7),
+                    (3, 8),
+                    (5, 9),
+                    (5, 10),
+                    (4, 11),
+                ],
+            )
+            .expect("U12-2 is a valid tree"),
+        }
+    }
+
+    /// Looks a template up by its paper name (e.g. `"U7-2"`).
+    pub fn by_name(name: &str) -> Option<NamedTemplate> {
+        NamedTemplate::all().into_iter().find(|t| t.name() == name)
+    }
+
+    /// For U5-2, the vertex of the "central orbit" (degree 3) used by the
+    /// graphlet-degree-distribution experiments; `None` for other
+    /// templates.
+    pub fn central_orbit(&self) -> Option<u8> {
+        match self {
+            NamedTemplate::U5_2 => Some(1),
+            _ => None,
+        }
+    }
+}
+
+/// Renders a template as ASCII for the Figure 2 reproduction binary.
+pub fn ascii_art(t: &Template) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("vertices: {}\n", t.size()));
+    for &(u, v) in t.edges() {
+        s.push_str(&format!("  {u} -- {v}\n"));
+    }
+    let degs: Vec<usize> = (0..t.size()).map(|v| t.degree(v as u8)).collect();
+    s.push_str(&format!("degrees: {degs:?}\n"));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automorphism::automorphisms;
+    use crate::canon::free_canon;
+
+    #[test]
+    fn sizes_match_names() {
+        for t in NamedTemplate::all() {
+            assert_eq!(t.template().size(), t.size(), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn paths_are_paths() {
+        for t in NamedTemplate::paths() {
+            let tpl = t.template();
+            assert_eq!(free_canon(&tpl), free_canon(&Template::path(t.size())));
+        }
+    }
+
+    #[test]
+    fn complex_templates_differ_from_paths() {
+        for t in NamedTemplate::complex() {
+            let tpl = t.template();
+            if tpl.is_tree() {
+                assert_ne!(
+                    free_canon(&tpl),
+                    free_canon(&Template::path(t.size())),
+                    "{} must not be a path",
+                    t.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn u3_2_is_triangle() {
+        let t = NamedTemplate::U3_2.template();
+        assert!(!t.is_tree());
+        assert_eq!(t.triangles().len(), 1);
+        assert_eq!(automorphisms(&t), 6);
+    }
+
+    #[test]
+    fn u5_2_has_degree_three_orbit() {
+        let t = NamedTemplate::U5_2.template();
+        let orbit = NamedTemplate::U5_2.central_orbit().unwrap();
+        assert_eq!(t.degree(orbit), 3);
+    }
+
+    #[test]
+    fn u7_2_has_rooted_symmetry() {
+        // Three identical legs: 3! automorphisms.
+        assert_eq!(automorphisms(&NamedTemplate::U7_2.template()), 6);
+    }
+
+    #[test]
+    fn u10_2_is_symmetric_double_spider() {
+        let t = NamedTemplate::U10_2.template();
+        assert_eq!(t.degree(0), 3);
+        assert_eq!(t.degree(1), 3);
+        // Each center's legs swap (2 x 2) and the halves swap (x2).
+        assert_eq!(automorphisms(&t), 8);
+    }
+
+    #[test]
+    fn u12_2_is_bushy() {
+        let t = NamedTemplate::U12_2.template();
+        assert!(t.is_tree());
+        assert_eq!(t.size(), 12);
+        assert!(t.max_degree_internal() >= 3);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(NamedTemplate::by_name("U7-2"), Some(NamedTemplate::U7_2));
+        assert_eq!(NamedTemplate::by_name("U9-9"), None);
+    }
+
+    #[test]
+    fn ascii_art_mentions_all_edges() {
+        let art = ascii_art(&NamedTemplate::U5_2.template());
+        assert!(art.contains("vertices: 5"));
+        assert_eq!(art.matches("--").count(), 4);
+    }
+
+    impl Template {
+        fn max_degree_internal(&self) -> usize {
+            (0..self.size()).map(|v| self.degree(v as u8)).max().unwrap()
+        }
+    }
+}

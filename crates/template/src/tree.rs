@@ -1,0 +1,449 @@
+//! Template graphs.
+//!
+//! Templates are tiny (the paper goes up to 12 vertices), so the
+//! representation favors clarity: adjacency lists of `u8` ids. Validation
+//! enforces the class FASCIA supports: connected undirected trees, plus
+//! "tree-like" templates whose only cycles are vertex-disjoint triangles.
+
+/// Maximum supported template size (paper evaluates up to 12; headroom for
+/// the extension experiments).
+pub const MAX_TEMPLATE_SIZE: usize = 20;
+
+/// Classification of a validated template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemplateKind {
+    /// A tree: `k - 1` edges, connected.
+    Tree,
+    /// Connected, and every cycle is a triangle; triangles are
+    /// vertex-disjoint (a "triangle cactus", e.g. the paper's U3-2).
+    TriangleCactus,
+}
+
+/// Errors from template validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateError {
+    /// No vertices.
+    Empty,
+    /// More vertices than [`MAX_TEMPLATE_SIZE`].
+    TooLarge(usize),
+    /// Edge endpoint out of range or a self loop.
+    BadEdge(u8, u8),
+    /// The template graph is not connected.
+    Disconnected,
+    /// Contains a cycle structure other than vertex-disjoint triangles.
+    UnsupportedCycles,
+    /// Label vector length does not match the vertex count.
+    BadLabels,
+}
+
+impl std::fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TemplateError::Empty => write!(f, "template has no vertices"),
+            TemplateError::TooLarge(n) => {
+                write!(f, "template has {n} vertices; max is {MAX_TEMPLATE_SIZE}")
+            }
+            TemplateError::BadEdge(u, v) => write!(f, "invalid template edge ({u}, {v})"),
+            TemplateError::Disconnected => write!(f, "template is not connected"),
+            TemplateError::UnsupportedCycles => write!(
+                f,
+                "template cycles must be vertex-disjoint triangles (tree-like templates only)"
+            ),
+            TemplateError::BadLabels => write!(f, "label vector length must equal vertex count"),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+/// A validated template graph with optional vertex labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    n: u8,
+    adj: Vec<Vec<u8>>,
+    edges: Vec<(u8, u8)>,
+    labels: Option<Vec<u8>>,
+    kind: TemplateKind,
+    /// Vertex-disjoint triangles, each as a sorted triple.
+    triangles: Vec<[u8; 3]>,
+}
+
+impl Template {
+    /// Builds and validates a template from an edge list on `n` vertices.
+    pub fn from_edges(n: usize, edges: &[(u8, u8)]) -> Result<Self, TemplateError> {
+        if n == 0 {
+            return Err(TemplateError::Empty);
+        }
+        if n > MAX_TEMPLATE_SIZE {
+            return Err(TemplateError::TooLarge(n));
+        }
+        let mut adj: Vec<Vec<u8>> = vec![Vec::new(); n];
+        let mut norm: Vec<(u8, u8)> = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            if u as usize >= n || v as usize >= n || u == v {
+                return Err(TemplateError::BadEdge(u, v));
+            }
+            let e = if u < v { (u, v) } else { (v, u) };
+            if !norm.contains(&e) {
+                norm.push(e);
+                adj[u as usize].push(v);
+                adj[v as usize].push(u);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        // Connectivity.
+        let mut seen = vec![false; n];
+        let mut stack = vec![0u8];
+        seen[0] = true;
+        let mut reached = 1;
+        while let Some(v) = stack.pop() {
+            for &u in &adj[v as usize] {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    reached += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        if reached != n {
+            return Err(TemplateError::Disconnected);
+        }
+        // Cycle structure: a tree has n-1 edges. Otherwise, every extra edge
+        // must close a vertex-disjoint triangle.
+        let m = norm.len();
+        let kind;
+        let mut triangles: Vec<[u8; 3]> = Vec::new();
+        if m == n - 1 {
+            kind = TemplateKind::Tree;
+        } else {
+            // Collect all triangles.
+            for &(u, v) in &norm {
+                for &w in &adj[u as usize] {
+                    if w > v && adj[v as usize].contains(&w) {
+                        triangles.push([u, v, w]);
+                    }
+                }
+            }
+            // Vertex-disjointness.
+            let mut used = vec![false; n];
+            for t in &triangles {
+                for &x in t {
+                    if used[x as usize] {
+                        return Err(TemplateError::UnsupportedCycles);
+                    }
+                    used[x as usize] = true;
+                }
+            }
+            // Exactly one extra edge per triangle, and no other cycles:
+            // edges = (n - 1) + #triangles.
+            if m != n - 1 + triangles.len() || triangles.is_empty() {
+                return Err(TemplateError::UnsupportedCycles);
+            }
+            // Removing one edge of each triangle must leave a tree
+            // (connected with n-1 edges); connectivity already checked and
+            // edge count now matches, but a 4-cycle plus chord patterns are
+            // already excluded by the disjoint-triangle accounting above.
+            kind = TemplateKind::TriangleCactus;
+        }
+        Ok(Self {
+            n: n as u8,
+            adj,
+            edges: norm,
+            labels: None,
+            kind,
+            triangles,
+        })
+    }
+
+    /// Builds a template that must be a tree.
+    pub fn tree_from_edges(n: usize, edges: &[(u8, u8)]) -> Result<Self, TemplateError> {
+        let t = Self::from_edges(n, edges)?;
+        if t.kind != TemplateKind::Tree {
+            return Err(TemplateError::UnsupportedCycles);
+        }
+        Ok(t)
+    }
+
+    /// Builds a tree from a parent array: `parent[i]` is the parent of
+    /// vertex `i + 1` (vertex 0 is the root).
+    pub fn from_parents(parents: &[u8]) -> Result<Self, TemplateError> {
+        let n = parents.len() + 1;
+        let edges: Vec<(u8, u8)> = parents
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, (i + 1) as u8))
+            .collect();
+        Self::tree_from_edges(n, &edges)
+    }
+
+    /// Simple path on `k` vertices (`0 - 1 - ... - k-1`).
+    pub fn path(k: usize) -> Self {
+        let edges: Vec<(u8, u8)> = (1..k as u8).map(|v| (v - 1, v)).collect();
+        Self::tree_from_edges(k, &edges).expect("path is a valid tree")
+    }
+
+    /// Star on `k` vertices (center 0).
+    pub fn star(k: usize) -> Self {
+        let edges: Vec<(u8, u8)> = (1..k as u8).map(|v| (0, v)).collect();
+        Self::tree_from_edges(k, &edges).expect("star is a valid tree")
+    }
+
+    /// Spider: center 0 with legs of the given lengths (a leg of length L
+    /// is a path of L extra vertices).
+    pub fn spider(legs: &[usize]) -> Self {
+        let mut edges = Vec::new();
+        let mut next = 1u8;
+        for &len in legs {
+            let mut prev = 0u8;
+            for _ in 0..len {
+                edges.push((prev, next));
+                prev = next;
+                next += 1;
+            }
+        }
+        Self::tree_from_edges(next as usize, &edges).expect("spider is a valid tree")
+    }
+
+    /// The triangle (the paper's U3-2).
+    pub fn triangle() -> Self {
+        Self::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).expect("triangle is valid")
+    }
+
+    /// Attaches vertex labels; length must equal the vertex count.
+    pub fn with_labels(mut self, labels: Vec<u8>) -> Result<Self, TemplateError> {
+        if labels.len() != self.n as usize {
+            return Err(TemplateError::BadLabels);
+        }
+        self.labels = Some(labels);
+        Ok(self)
+    }
+
+    /// Removes labels.
+    pub fn without_labels(mut self) -> Self {
+        self.labels = None;
+        self
+    }
+
+    /// Number of template vertices `k`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Sorted neighbors of template vertex `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u8) -> &[u8] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of template vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: u8) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// The template's deduplicated edges, `(u, v)` with `u < v`.
+    pub fn edges(&self) -> &[(u8, u8)] {
+        &self.edges
+    }
+
+    /// Whether the edge `{u, v}` exists.
+    pub fn has_edge(&self, u: u8, v: u8) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Structural class of this template.
+    pub fn kind(&self) -> TemplateKind {
+        self.kind
+    }
+
+    /// Whether the template is a tree.
+    pub fn is_tree(&self) -> bool {
+        self.kind == TemplateKind::Tree
+    }
+
+    /// The template's vertex-disjoint triangles (empty for trees).
+    pub fn triangles(&self) -> &[[u8; 3]] {
+        &self.triangles
+    }
+
+    /// Vertex labels, if any.
+    pub fn labels(&self) -> Option<&[u8]> {
+        self.labels.as_deref()
+    }
+
+    /// Label of vertex `v` (0 when unlabeled).
+    #[inline]
+    pub fn label(&self, v: u8) -> u8 {
+        self.labels.as_ref().map_or(0, |l| l[v as usize])
+    }
+
+    /// A leaf (degree-1 vertex); for the triangle, any vertex.
+    pub fn some_leaf(&self) -> u8 {
+        (0..self.n)
+            .find(|&v| self.degree(v) <= 1)
+            .unwrap_or(0)
+    }
+
+    /// Center(s) of a tree template (1 or 2 vertices), found by repeatedly
+    /// stripping leaves.
+    ///
+    /// # Panics
+    /// Panics if the template is not a tree.
+    pub fn tree_centers(&self) -> Vec<u8> {
+        assert!(self.is_tree(), "centers are defined for tree templates");
+        let n = self.n as usize;
+        if n == 1 {
+            return vec![0];
+        }
+        let mut degree: Vec<usize> = (0..self.n).map(|v| self.degree(v)).collect();
+        let mut removed = vec![false; n];
+        let mut frontier: Vec<u8> = (0..self.n).filter(|&v| degree[v as usize] == 1).collect();
+        let mut remaining = n;
+        while remaining > 2 {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                removed[v as usize] = true;
+                remaining -= 1;
+                for &u in self.neighbors(v) {
+                    if !removed[u as usize] {
+                        degree[u as usize] -= 1;
+                        if degree[u as usize] == 1 {
+                            next.push(u);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        (0..self.n).filter(|&v| !removed[v as usize]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_star_shapes() {
+        let p = Template::path(5);
+        assert_eq!(p.size(), 5);
+        assert_eq!(p.edges().len(), 4);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(2), 2);
+        assert!(p.is_tree());
+
+        let s = Template::star(6);
+        assert_eq!(s.degree(0), 5);
+        assert!((1..6).all(|v| s.degree(v as u8) == 1));
+    }
+
+    #[test]
+    fn spider_construction() {
+        // U7-2-like: three legs of length 2.
+        let sp = Template::spider(&[2, 2, 2]);
+        assert_eq!(sp.size(), 7);
+        assert_eq!(sp.degree(0), 3);
+        let leaf_count = (0..7).filter(|&v| sp.degree(v as u8) == 1).count();
+        assert_eq!(leaf_count, 3);
+    }
+
+    #[test]
+    fn triangle_is_cactus() {
+        let t = Template::triangle();
+        assert_eq!(t.kind(), TemplateKind::TriangleCactus);
+        assert_eq!(t.triangles(), &[[0, 1, 2]]);
+        assert!(!t.is_tree());
+    }
+
+    #[test]
+    fn rejects_square_cycle() {
+        let err =
+            Template::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap_err();
+        assert_eq!(err, TemplateError::UnsupportedCycles);
+    }
+
+    #[test]
+    fn rejects_sharing_triangles() {
+        // Two triangles sharing vertex 0.
+        let err = Template::from_edges(
+            5,
+            &[(0, 1), (1, 2), (0, 2), (0, 3), (3, 4), (0, 4)],
+        )
+        .unwrap_err();
+        assert_eq!(err, TemplateError::UnsupportedCycles);
+    }
+
+    #[test]
+    fn accepts_triangle_with_pendant() {
+        let t = Template::from_edges(4, &[(0, 1), (1, 2), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(t.kind(), TemplateKind::TriangleCactus);
+        assert_eq!(t.triangles().len(), 1);
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let err = Template::from_edges(4, &[(0, 1), (2, 3)]).unwrap_err();
+        assert_eq!(err, TemplateError::Disconnected);
+    }
+
+    #[test]
+    fn rejects_self_loop_and_bad_ids() {
+        assert_eq!(
+            Template::from_edges(3, &[(0, 0), (0, 1), (1, 2)]).unwrap_err(),
+            TemplateError::BadEdge(0, 0)
+        );
+        assert_eq!(
+            Template::from_edges(2, &[(0, 2)]).unwrap_err(),
+            TemplateError::BadEdge(0, 2)
+        );
+    }
+
+    #[test]
+    fn parent_array_round_trip() {
+        // 0 - 1, 0 - 2, 2 - 3
+        let t = Template::from_parents(&[0, 0, 2]).unwrap();
+        assert_eq!(t.size(), 4);
+        assert!(t.has_edge(0, 1) && t.has_edge(0, 2) && t.has_edge(2, 3));
+    }
+
+    #[test]
+    fn centers_of_paths() {
+        assert_eq!(Template::path(5).tree_centers(), vec![2]);
+        assert_eq!(Template::path(6).tree_centers(), vec![2, 3]);
+        assert_eq!(Template::path(1).tree_centers(), vec![0]);
+        assert_eq!(Template::path(2).tree_centers(), vec![0, 1]);
+    }
+
+    #[test]
+    fn center_of_star_is_hub() {
+        assert_eq!(Template::star(7).tree_centers(), vec![0]);
+    }
+
+    #[test]
+    fn labels_validated() {
+        let t = Template::path(3);
+        assert!(t.clone().with_labels(vec![0, 1]).is_err());
+        let l = t.with_labels(vec![2, 0, 2]).unwrap();
+        assert_eq!(l.label(0), 2);
+        assert_eq!(l.labels(), Some(&[2u8, 0, 2][..]));
+        assert_eq!(l.without_labels().labels(), None);
+    }
+
+    #[test]
+    fn single_vertex_template() {
+        let t = Template::from_edges(1, &[]).unwrap();
+        assert!(t.is_tree());
+        assert_eq!(t.size(), 1);
+        assert_eq!(t.some_leaf(), 0);
+    }
+
+    #[test]
+    fn dedups_parallel_edges() {
+        let t = Template::from_edges(3, &[(0, 1), (1, 0), (1, 2)]).unwrap();
+        assert!(t.is_tree());
+        assert_eq!(t.edges().len(), 2);
+    }
+}

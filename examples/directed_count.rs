@@ -1,0 +1,61 @@
+//! Directed counting: the extension the paper defers ("the algorithm
+//! theoretically allows for directed templates and networks"). Counts
+//! oriented 3- and 4-vertex patterns in a randomly oriented social-style
+//! network and verifies the orientation-class identity: the three directed
+//! 3-vertex tree patterns partition the undirected P3 count exactly.
+//!
+//! Run: `cargo run --release --example directed_count`
+
+use fascia::prelude::*;
+
+fn main() {
+    let und = Dataset::Gnp.generate(1, 4);
+    let g = DiGraph::orient_randomly(&und, 11);
+    println!(
+        "network: n = {}, arcs = {} (randomly oriented G(n,m))",
+        g.num_vertices(),
+        g.num_arcs()
+    );
+
+    let cfg = CountConfig {
+        iterations: 20,
+        ..CountConfig::default()
+    };
+
+    let patterns = [
+        ("A -> B -> C (directed path)", DiTemplate::directed_path(3)),
+        ("A <- B -> C (out-star)", DiTemplate::out_star(3)),
+        ("A -> B <- C (in-star)", DiTemplate::in_star(3)),
+    ];
+    println!("\n3-vertex orientation classes:");
+    let mut directed_sum = 0.0;
+    for (name, t) in &patterns {
+        let r = count_directed(&g, t, &cfg).expect("directed count");
+        println!(
+            "  {name:<28} estimate {:.4e}  (α = {})",
+            r.estimate,
+            t.automorphisms()
+        );
+        directed_sum += r.estimate;
+    }
+
+    // The identity: the three classes partition the undirected P3 count.
+    let undirected = count_template(&und, &Template::path(3), &cfg)
+        .expect("undirected count")
+        .estimate;
+    println!("\nsum of directed classes: {directed_sum:.4e}");
+    println!("undirected P3 estimate:  {undirected:.4e}");
+    let rel = (directed_sum - undirected).abs() / undirected;
+    println!("partition identity holds within {:.2}% (estimator noise)", 100.0 * rel);
+
+    // A 4-vertex feed-forward-style chain, exactly validated.
+    let chain = DiTemplate::directed_path(4);
+    let exact = count_exact_directed(&g, &chain);
+    let est = count_directed(&g, &chain, &CountConfig { iterations: 300, ..cfg })
+        .expect("count")
+        .estimate;
+    println!(
+        "\ndirected P4: exact {exact}, color coding {est:.4e} ({:.2}% error)",
+        100.0 * (est - exact as f64).abs() / exact as f64
+    );
+}

@@ -1,0 +1,52 @@
+//! Labeled counting: the paper's Portland experiment with 8 demographic
+//! labels (2 genders x 4 age groups), showing how labels prune the search
+//! and speed up counting by orders of magnitude (Fig. 4 vs Fig. 3).
+//!
+//! Run: `cargo run --release --example labeled_count`
+
+use fascia::prelude::*;
+
+fn main() {
+    // Portland-like contact network at 1/256 scale for a quick demo.
+    let g = Dataset::Portland.generate(256, 11);
+    println!(
+        "Portland-like network: n = {}, m = {}",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // Random demographic labels, as the paper assigns.
+    let labels = random_labels(g.num_vertices(), 8, 99);
+
+    let unlabeled = NamedTemplate::U7_2.template();
+    let labeled = NamedTemplate::U7_2
+        .template()
+        .with_labels(vec![0, 1, 1, 2, 3, 4, 5])
+        .expect("7 labels for 7 vertices");
+
+    let cfg = CountConfig {
+        iterations: 5,
+        ..CountConfig::default()
+    };
+
+    let r_plain = count_template(&g, &unlabeled, &cfg).expect("unlabeled count");
+    println!(
+        "unlabeled U7-2: estimate {:.4e}, {:?}/iteration, peak {} KiB",
+        r_plain.estimate,
+        r_plain.per_iteration_time,
+        r_plain.peak_table_bytes >> 10
+    );
+
+    let r_lab = count_template_labeled(&g, &labels, &labeled, &cfg).expect("labeled count");
+    println!(
+        "labeled U7-2:   estimate {:.4e}, {:?}/iteration, peak {} KiB",
+        r_lab.estimate,
+        r_lab.per_iteration_time,
+        r_lab.peak_table_bytes >> 10
+    );
+
+    let speedup =
+        r_plain.per_iteration_time.as_secs_f64() / r_lab.per_iteration_time.as_secs_f64().max(1e-9);
+    let mem_saving = 1.0 - r_lab.peak_table_bytes as f64 / r_plain.peak_table_bytes as f64;
+    println!("labels: {speedup:.0}x faster, {:.0}% less table memory", 100.0 * mem_saving);
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the FASCIA paper evaluation.
+# Results land in results/<name>.txt; pass --full for paper-scale graphs.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+BINS=(
+  table1_networks
+  fig02_templates
+  fig03_unlabeled_times
+  fig04_labeled_times
+  fig05_motif_times
+  fig06_memory_portland
+  fig07_memory_road
+  fig08_inner_scaling
+  fig09_inner_vs_outer
+  cmp_naive_moda
+  fig10_error_enron
+  fig11_error_hpylori
+  fig12_motif_counts
+  fig13_ppi_profiles
+  fig14_social_profiles
+  fig15_gdd
+  fig16_gdd_agreement
+  ext_distributed
+)
+cargo build --release -p fascia-bench
+for bin in "${BINS[@]}"; do
+  echo "=== $bin ==="
+  if cargo run --release -q -p fascia-bench --bin "$bin" -- "$@" \
+      > "results/$bin.txt" 2> "results/$bin.log"; then
+    tail -5 "results/$bin.txt"
+  else
+    echo "FAILED: see results/$bin.log"
+  fi
+done
+echo "done; see results/"

@@ -1,0 +1,157 @@
+//! Cross-crate accuracy tests: color-coding estimates must converge to the
+//! exact enumeration counts on a corpus of small graphs and templates.
+
+use fascia::prelude::*;
+
+fn rel_err(est: f64, exact: u128) -> f64 {
+    if exact == 0 {
+        est.abs()
+    } else {
+        (est - exact as f64).abs() / exact as f64
+    }
+}
+
+fn graph_corpus() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("gnm", fascia::graph::gen::gnm(70, 200, 1)),
+        ("ba", fascia::graph::gen::barabasi_albert(70, 2, 0, 2)),
+        ("road", fascia::graph::gen::road_grid(8, 9, 90, 3)),
+        ("dupdiv", fascia::graph::gen::duplication_divergence(70, 0.3, 0.6, 4)),
+        ("ring+chords", fascia::graph::gen::random_connected(60, 90, 5)),
+    ]
+}
+
+#[test]
+fn paths_converge_on_corpus() {
+    for (name, g) in graph_corpus() {
+        for k in [3usize, 4, 5] {
+            let t = Template::path(k);
+            let exact = count_exact(&g, &t);
+            let cfg = CountConfig {
+                iterations: 700,
+                seed: 42,
+                ..CountConfig::default()
+            };
+            let r = count_template(&g, &t, &cfg).unwrap();
+            let err = rel_err(r.estimate, exact);
+            assert!(
+                err < 0.12,
+                "{name} P{k}: est {} vs exact {exact} (err {err:.3})",
+                r.estimate
+            );
+        }
+    }
+}
+
+#[test]
+fn stars_and_spiders_converge() {
+    for (name, g) in graph_corpus() {
+        for t in [Template::star(4), Template::star(5), Template::spider(&[1, 1, 2])] {
+            let exact = count_exact(&g, &t);
+            let cfg = CountConfig {
+                iterations: 700,
+                seed: 7,
+                ..CountConfig::default()
+            };
+            let r = count_template(&g, &t, &cfg).unwrap();
+            let err = rel_err(r.estimate, exact);
+            assert!(
+                err < 0.15,
+                "{name} {t:?}: est {} vs exact {exact} (err {err:.3})",
+                r.estimate
+            );
+        }
+    }
+}
+
+#[test]
+fn all_size6_topologies_converge_on_one_graph() {
+    let g = fascia::graph::gen::gnm(60, 170, 9);
+    for (i, t) in fascia::template::gen::all_free_trees(6).iter().enumerate() {
+        let exact = count_exact(&g, t);
+        let cfg = CountConfig {
+            iterations: 900,
+            seed: 13,
+            ..CountConfig::default()
+        };
+        let r = count_template(&g, t, &cfg).unwrap();
+        let err = rel_err(r.estimate, exact);
+        assert!(
+            err < 0.2,
+            "size-6 topology {i}: est {} vs exact {exact} (err {err:.3})",
+            r.estimate
+        );
+    }
+}
+
+#[test]
+fn triangle_cactus_templates_converge() {
+    let g = fascia::graph::gen::gnm(50, 220, 17);
+    // Triangle, triangle+pendant, triangle+path-of-2 pendant.
+    let templates = vec![
+        Template::triangle(),
+        fascia::template::Template::from_edges(4, &[(0, 1), (1, 2), (0, 2), (0, 3)]).unwrap(),
+        fascia::template::Template::from_edges(5, &[(0, 1), (1, 2), (0, 2), (0, 3), (3, 4)])
+            .unwrap(),
+    ];
+    for t in templates {
+        let exact = count_exact(&g, &t);
+        assert!(exact > 0, "corpus graph must contain {t:?}");
+        let cfg = CountConfig {
+            iterations: 1500,
+            seed: 23,
+            ..CountConfig::default()
+        };
+        let r = count_template(&g, &t, &cfg).unwrap();
+        let err = rel_err(r.estimate, exact);
+        assert!(err < 0.15, "{t:?}: est {} vs exact {exact} (err {err:.3})", r.estimate);
+    }
+}
+
+#[test]
+fn labeled_estimates_converge() {
+    let g = fascia::graph::gen::gnm(60, 200, 31);
+    let labels = random_labels(60, 3, 8);
+    let t = Template::spider(&[1, 2])
+        .with_labels(vec![0, 1, 2, 0])
+        .unwrap();
+    let exact = count_exact_labeled(&g, &labels, &t);
+    assert!(exact > 0);
+    let cfg = CountConfig {
+        iterations: 1200,
+        seed: 3,
+        ..CountConfig::default()
+    };
+    let r = count_template_labeled(&g, &labels, &t, &cfg).unwrap();
+    let err = rel_err(r.estimate, exact);
+    assert!(err < 0.15, "est {} vs exact {exact} (err {err:.3})", r.estimate);
+}
+
+#[test]
+fn more_colors_reduce_variance() {
+    // With k > template size the colorful probability rises, so the
+    // per-iteration estimates spread less. Compare sample variance.
+    let g = fascia::graph::gen::gnm(60, 180, 37);
+    let t = Template::path(5);
+    let variance = |colors: Option<usize>| {
+        let cfg = CountConfig {
+            iterations: 400,
+            colors,
+            seed: 77,
+            ..CountConfig::default()
+        };
+        let r = count_template(&g, &t, &cfg).unwrap();
+        let mean = r.estimate;
+        r.per_iteration
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / r.per_iteration.len() as f64
+    };
+    let v5 = variance(None);
+    let v8 = variance(Some(8));
+    assert!(
+        v8 < v5,
+        "extra colors should reduce variance: var(k=5) {v5:.3e} vs var(k=8) {v8:.3e}"
+    );
+}

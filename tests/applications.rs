@@ -1,0 +1,132 @@
+//! Cross-crate application tests: motif finding and graphlet degree
+//! distributions end to end on dataset stand-ins.
+
+use fascia::core::gdd::exact_graphlet_degrees;
+use fascia::core::motifs::{exact_motif_counts, mean_relative_error};
+use fascia::prelude::*;
+
+#[test]
+fn free_tree_counts_match_oeis() {
+    // A000055 — the counts the paper quotes for motif finding (11/106/551).
+    let expect = [1usize, 1, 1, 2, 3, 6, 11, 23, 47, 106, 235, 551];
+    for (i, &e) in expect.iter().enumerate() {
+        assert_eq!(fascia::template::gen::all_free_trees(i + 1).len(), e);
+    }
+}
+
+#[test]
+fn motif_profile_on_hpylori_standin() {
+    let g = Dataset::HPylori.generate(1, 7);
+    let cfg = CountConfig {
+        iterations: 400,
+        seed: 2,
+        ..CountConfig::default()
+    };
+    let profile = motif_profile(&g, 5, &cfg).unwrap();
+    assert_eq!(profile.templates.len(), 3);
+    let exact = exact_motif_counts(&g, 5);
+    let err = mean_relative_error(&profile.counts, &exact);
+    assert!(err < 0.1, "mean error {err}");
+}
+
+#[test]
+fn motif_relative_magnitudes_survive_one_iteration() {
+    // Fig. 12's claim: even one iteration gets relative magnitudes right.
+    let g = Dataset::HPylori.generate(1, 7);
+    let exact = exact_motif_counts(&g, 5);
+    let cfg = CountConfig {
+        iterations: 1,
+        seed: 5,
+        ..CountConfig::default()
+    };
+    let profile = motif_profile(&g, 5, &cfg).unwrap();
+    // Same ordering of magnitudes for the dominant template.
+    let exact_dom = exact.iter().enumerate().max_by_key(|&(_, &c)| c).unwrap().0;
+    assert_eq!(profile.dominant(), Some(exact_dom));
+}
+
+#[test]
+fn gdd_agreement_improves_with_iterations() {
+    let g = Dataset::Circuit.generate(1, 9);
+    let named = NamedTemplate::U5_2;
+    let t = named.template();
+    let orbit = named.central_orbit().unwrap();
+    let exact_hist = GddHistogram::from_degrees(&exact_graphlet_degrees(&g, &t, orbit));
+    let agreement_at = |iters: usize| {
+        let cfg = CountConfig {
+            iterations: iters,
+            seed: 31,
+            ..CountConfig::default()
+        };
+        let est = estimate_gdd(&g, &t, orbit, &cfg).unwrap();
+        gdd_agreement(&est, &exact_hist)
+    };
+    let few = agreement_at(5);
+    let many = agreement_at(2000);
+    assert!(
+        many > few,
+        "agreement should improve: {few:.3} (5 iters) vs {many:.3} (2000 iters)"
+    );
+    assert!(many > 0.8, "agreement after 2000 iterations: {many:.3}");
+}
+
+#[test]
+fn rooted_counts_respect_orbit_sum_rule() {
+    // Sum over vertices of graphlet degree at orbit o equals
+    // (occurrences) x (number of template vertices in o's automorphism
+    // orbit). For U5-2 rooted at the center: the orbit of the center is
+    // just itself, so the sum equals the total count.
+    let g = fascia::graph::gen::gnm(60, 150, 3);
+    let named = NamedTemplate::U5_2;
+    let t = named.template();
+    let orbit = named.central_orbit().unwrap();
+    let exact_total = count_exact(&g, &t) as f64;
+    let cfg = CountConfig {
+        iterations: 800,
+        seed: 8,
+        ..CountConfig::default()
+    };
+    let rooted = rooted_counts(&g, &t, orbit, &cfg).unwrap();
+    let total: f64 = rooted.per_vertex.iter().sum();
+    let err = (total - exact_total).abs() / exact_total;
+    assert!(err < 0.12, "rooted total {total} vs exact {exact_total}");
+}
+
+#[test]
+fn dataset_stand_ins_expose_expected_structure() {
+    // Social-like: heavy tail. Road-like: bounded degree. Gnp: neither.
+    let enron = Dataset::Enron.generate(1, 1);
+    assert!(enron.max_degree() > 30 * enron.avg_degree() as usize);
+    let road = Dataset::PaRoad.generate(64, 1);
+    assert!(road.max_degree() <= 4);
+    let gnp = Dataset::Gnp.generate(1, 1);
+    assert!(gnp.max_degree() < 4 * gnp.avg_degree().ceil() as usize);
+}
+
+#[test]
+fn profiles_distinguish_road_from_social() {
+    // Fig. 14's claim: the road network's motif profile differs starkly
+    // from a social network's. Compare star-heavy vs path-heavy mass.
+    let cfg = CountConfig {
+        iterations: 30,
+        seed: 4,
+        ..CountConfig::default()
+    };
+    let social = motif_profile(&Dataset::Enron.generate(1, 3), 5, &cfg).unwrap();
+    let road = motif_profile(&Dataset::PaRoad.generate(256, 3), 5, &cfg).unwrap();
+    // Size-5 topologies: path, chair/fork, star. Star index = the one with
+    // max degree 4.
+    let star_idx = social
+        .templates
+        .iter()
+        .position(|t| (0..5).any(|v| t.degree(v as u8) == 4))
+        .unwrap();
+    let social_rel = social.relative_frequencies();
+    let road_rel = road.relative_frequencies();
+    assert!(
+        social_rel[star_idx] > 10.0 * road_rel[star_idx].max(1e-12),
+        "stars should be far more frequent in social nets: {} vs {}",
+        social_rel[star_idx],
+        road_rel[star_idx]
+    );
+}

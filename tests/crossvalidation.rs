@@ -1,0 +1,126 @@
+//! Cross-validation between independent subsystems: different code paths
+//! computing the same quantity must agree exactly.
+
+use fascia::graph::stats::{global_clustering, triangle_count};
+use fascia::prelude::*;
+
+#[test]
+fn triangle_template_count_matches_graph_statistics() {
+    // Three independent triangle counters: the graph-stats intersection
+    // counter, the exact template counter, and the color-coding DP.
+    for seed in [1u64, 7, 23] {
+        let g = fascia::graph::gen::gnm(60, 260, seed);
+        let by_stats = triangle_count(&g) as f64;
+        let by_exact = count_exact(&g, &Template::triangle()) as f64;
+        assert_eq!(by_stats, by_exact, "seed {seed}");
+        if by_stats == 0.0 {
+            continue;
+        }
+        let cfg = CountConfig {
+            iterations: 1500,
+            seed,
+            ..CountConfig::default()
+        };
+        let est = count_template(&g, &Template::triangle(), &cfg)
+            .unwrap()
+            .estimate;
+        let rel = (est - by_stats).abs() / by_stats;
+        assert!(rel < 0.1, "seed {seed}: est {est} vs {by_stats}");
+    }
+}
+
+#[test]
+fn p3_closed_form_vs_all_engines() {
+    use fascia::core::exact::exact_p3;
+    let g = fascia::graph::gen::barabasi_albert(120, 3, 0, 5);
+    let closed = exact_p3(&g);
+    assert_eq!(closed, count_exact(&g, &Template::path(3)));
+    // Wedge count also validates the clustering denominator:
+    // global_clustering = 3 * triangles / wedges.
+    let c = global_clustering(&g);
+    let expect = 3.0 * triangle_count(&g) as f64 / closed as f64;
+    assert!((c - expect).abs() < 1e-12);
+}
+
+#[test]
+fn distributed_simulation_matches_engine_on_all_named_templates() {
+    let g = fascia::graph::gen::gnm(80, 260, 77);
+    for named in [NamedTemplate::U3_1, NamedTemplate::U3_2, NamedTemplate::U5_2] {
+        let t = named.template();
+        let base = CountConfig {
+            iterations: 3,
+            parallel: ParallelMode::Serial,
+            seed: 4,
+            ..CountConfig::default()
+        };
+        let shared = count_template(&g, &t, &base).unwrap();
+        let cfg = DistConfig {
+            ranks: 6,
+            scheme: PartitionScheme::Hash,
+            count: base,
+        };
+        let dist = count_distributed(&g, &t, &cfg).unwrap();
+        assert_eq!(dist.per_iteration, shared.per_iteration, "{}", named.name());
+    }
+}
+
+#[test]
+fn sampler_frequency_tracks_graphlet_degree() {
+    // Sampling embeddings of U5-2 and counting how often each vertex
+    // appears at the orbit position should correlate with the exact
+    // graphlet degrees.
+    use fascia::core::gdd::exact_graphlet_degrees;
+    let g = fascia::graph::gen::gnm(25, 70, 10);
+    let named = NamedTemplate::U5_2;
+    let t = named.template();
+    let orbit = named.central_orbit().unwrap();
+    let exact = exact_graphlet_degrees(&g, &t, orbit);
+    let total: f64 = exact.iter().sum();
+    if total == 0.0 {
+        return;
+    }
+    let cfg = CountConfig {
+        iterations: 3000,
+        seed: 6,
+        ..CountConfig::default()
+    };
+    let samples = sample_embeddings(&g, &t, &cfg, 2500).unwrap();
+    assert!(samples.len() >= 2000);
+    let mut hits = vec![0usize; g.num_vertices()];
+    for emb in &samples {
+        hits[emb[orbit as usize] as usize] += 1;
+    }
+    // The most frequently sampled orbit vertex should be among the top
+    // exact graphlet-degree vertices (loose rank check, robust to noise).
+    let best_sampled = hits.iter().enumerate().max_by_key(|&(_, &h)| h).unwrap().0;
+    let mut by_exact: Vec<usize> = (0..g.num_vertices()).collect();
+    by_exact.sort_by(|&a, &b| exact[b].partial_cmp(&exact[a]).unwrap());
+    let rank = by_exact.iter().position(|&v| v == best_sampled).unwrap();
+    assert!(
+        rank < 5,
+        "most-sampled vertex {best_sampled} has exact rank {rank}"
+    );
+}
+
+#[test]
+fn adaptive_statistics_agree_with_fixed_run() {
+    use fascia::core::stats::{count_until_converged, EstimateStats};
+    let g = fascia::graph::gen::gnm(50, 150, 3);
+    let t = Template::path(4);
+    let base = CountConfig {
+        iterations: 8,
+        parallel: ParallelMode::Serial,
+        seed: 2,
+        ..CountConfig::default()
+    };
+    let (result, stats) = count_until_converged(&g, &t, &base, 0.1, 4000).unwrap();
+    assert_eq!(stats.n, result.per_iteration.len());
+    let recomputed = EstimateStats::from_series(&result.per_iteration);
+    assert_eq!(stats, recomputed);
+    let exact = count_exact(&g, &t) as f64;
+    assert!(
+        (result.estimate - exact).abs() / exact < 0.15,
+        "estimate {} vs exact {exact}",
+        result.estimate
+    );
+}

@@ -1,0 +1,110 @@
+//! Integration tests pinning the paper's memory-behaviour *shapes*
+//! (Figs. 6–7) at test scale, so regressions in the table layouts or the
+//! engine's accounting surface immediately.
+
+use fascia::prelude::*;
+
+fn peak(g: &Graph, t: &Template, kind: TableKind) -> usize {
+    let cfg = CountConfig {
+        iterations: 1,
+        table: kind,
+        parallel: ParallelMode::Serial,
+        seed: 7,
+        ..CountConfig::default()
+    };
+    count_template(g, t, &cfg).unwrap().peak_table_bytes
+}
+
+#[test]
+fn hash_layout_wins_on_long_paths_over_sparse_graphs() {
+    // The Fig. 7 regime: low-degree mesh, long path template.
+    let g = fascia::graph::gen::road_grid(30, 30, 1200, 5);
+    let t = Template::path(7);
+    let dense = peak(&g, &t, TableKind::Dense);
+    let hash = peak(&g, &t, TableKind::Hash);
+    assert!(
+        hash * 2 < dense,
+        "hash {hash} should be well under dense {dense} on the road mesh"
+    );
+    // And the ordering flips for tiny templates (hash overhead dominates).
+    let t3 = Template::path(3);
+    let dense3 = peak(&g, &t3, TableKind::Dense);
+    let hash3 = peak(&g, &t3, TableKind::Hash);
+    assert!(
+        hash3 * 4 > dense3,
+        "no meaningful hash win expected at k = 3 ({hash3} vs {dense3})"
+    );
+}
+
+#[test]
+fn labels_slash_peak_memory() {
+    // The Fig. 6 labeled regime.
+    let g = fascia::graph::gen::barabasi_albert(2000, 5, 0, 9);
+    let labels = random_labels(g.num_vertices(), 8, 3);
+    let t = NamedTemplate::U7_2.template();
+    let tl = NamedTemplate::U7_2
+        .template()
+        .with_labels(vec![0, 1, 2, 3, 4, 5, 6])
+        .unwrap();
+    let cfg = CountConfig {
+        iterations: 1,
+        parallel: ParallelMode::Serial,
+        seed: 5,
+        ..CountConfig::default()
+    };
+    let plain = count_template(&g, &t, &cfg).unwrap().peak_table_bytes;
+    let labeled = count_template_labeled(&g, &labels, &tl, &cfg)
+        .unwrap()
+        .peak_table_bytes;
+    assert!(
+        labeled * 3 < plain,
+        "labels should slash peak memory: {labeled} vs {plain}"
+    );
+}
+
+#[test]
+fn naive_layout_materializes_single_vertex_tables() {
+    // Alg. 2 line 4: the naive scheme allocates single-vertex subtemplate
+    // tables; the improved scheme reads the coloring. So dense peak must
+    // exceed lazy peak by at least roughly n * k * 8 on an all-active
+    // graph.
+    let g = fascia::graph::gen::gnm(3000, 15000, 11);
+    let t = Template::path(5);
+    let dense = peak(&g, &t, TableKind::Dense);
+    let lazy = peak(&g, &t, TableKind::Lazy);
+    assert!(
+        dense > lazy,
+        "naive {dense} must exceed improved {lazy} once ghost singles count"
+    );
+}
+
+#[test]
+fn bigger_templates_need_more_memory() {
+    let g = fascia::graph::gen::gnm(1500, 7000, 13);
+    let mut prev = 0usize;
+    for k in [3usize, 5, 7, 9] {
+        let p = peak(&g, &Template::path(k), TableKind::Lazy);
+        assert!(p > prev, "peak must grow with template size: P{k} = {p}");
+        prev = p;
+    }
+}
+
+#[test]
+fn outer_parallel_memory_scales_with_workers() {
+    // The paper: "memory requirements increase linearly as a function of
+    // the number of threads" in outer-loop mode. With a 1-thread pool the
+    // multiplier must be 1.
+    let g = fascia::graph::gen::gnm(800, 4000, 17);
+    let t = Template::path(5);
+    let serial = peak(&g, &t, TableKind::Lazy);
+    let outer = with_threads(1, || {
+        let cfg = CountConfig {
+            iterations: 2,
+            parallel: ParallelMode::OuterLoop,
+            seed: 7,
+            ..CountConfig::default()
+        };
+        count_template(&g, &t, &cfg).unwrap().peak_table_bytes
+    });
+    assert_eq!(outer, serial);
+}

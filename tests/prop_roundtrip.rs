@@ -1,0 +1,168 @@
+//! Cross-crate property tests: random small graphs and random tree
+//! templates, checking structural invariants that must hold for any input
+//! (estimator scaling identities, partition/table equivalences).
+
+use fascia::prelude::*;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (10usize..40, 1u64..1000).prop_map(|(n, seed)| {
+        let m = (n * 3).min(n * (n - 1) / 2);
+        fascia::graph::gen::gnm(n, m, seed)
+    })
+}
+
+fn arb_tree(max_n: usize) -> impl Strategy<Value = Template> {
+    (2usize..max_n, proptest::collection::vec(0u32..u32::MAX, max_n)).prop_map(|(n, rs)| {
+        let parents: Vec<u8> = (0..n - 1)
+            .map(|i| (rs[i] as usize % (i + 1)) as u8)
+            .collect();
+        Template::from_parents(&parents).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One iteration with ANY seed gives a finite non-negative estimate,
+    /// and all three table layouts agree bitwise on it.
+    #[test]
+    fn layouts_agree_on_random_inputs(g in arb_graph(), t in arb_tree(6), seed in any::<u64>()) {
+        let run = |table| {
+            let cfg = CountConfig {
+                iterations: 1,
+                table,
+                parallel: ParallelMode::Serial,
+                seed,
+                ..CountConfig::default()
+            };
+            count_template(&g, &t, &cfg).unwrap().estimate
+        };
+        let dense = run(TableKind::Dense);
+        prop_assert!(dense.is_finite() && dense >= 0.0);
+        prop_assert_eq!(dense, run(TableKind::Lazy));
+        prop_assert_eq!(dense, run(TableKind::Hash));
+    }
+
+    /// Partition strategies agree on random trees.
+    #[test]
+    fn strategies_agree_on_random_trees(g in arb_graph(), t in arb_tree(7), seed in any::<u64>()) {
+        let run = |strategy| {
+            let cfg = CountConfig {
+                iterations: 1,
+                strategy,
+                parallel: ParallelMode::Serial,
+                seed,
+                ..CountConfig::default()
+            };
+            count_template(&g, &t, &cfg).unwrap().estimate
+        };
+        prop_assert_eq!(run(PartitionStrategy::OneAtATime), run(PartitionStrategy::Balanced));
+    }
+
+    /// The exact counter is invariant under relabeling of template
+    /// vertices (isomorphic templates count the same).
+    #[test]
+    fn exact_count_is_isomorphism_invariant(g in arb_graph(), t in arb_tree(6)) {
+        // Relabel template vertices by reversing ids.
+        let n = t.size() as u8;
+        let edges: Vec<(u8, u8)> = t
+            .edges()
+            .iter()
+            .map(|&(a, b)| (n - 1 - a, n - 1 - b))
+            .collect();
+        let t2 = Template::tree_from_edges(t.size(), &edges).unwrap();
+        prop_assert_eq!(count_exact(&g, &t), count_exact(&g, &t2));
+    }
+
+    /// Colorful counts scale correctly: estimate * P * alpha equals the
+    /// raw colorful homomorphism total, which is at most the full
+    /// homomorphism count (alpha x exact).
+    #[test]
+    fn colorful_total_bounded_by_homomorphisms(g in arb_graph(), t in arb_tree(5), seed in any::<u64>()) {
+        let cfg = CountConfig {
+            iterations: 1,
+            parallel: ParallelMode::Serial,
+            seed,
+            ..CountConfig::default()
+        };
+        let r = count_template(&g, &t, &cfg).unwrap();
+        let colorful = r.per_iteration[0] * r.colorful_probability * r.automorphisms as f64;
+        let homs = (count_exact(&g, &t) * r.automorphisms as u128) as f64;
+        prop_assert!(colorful <= homs + 1e-6, "colorful {colorful} > homs {homs}");
+    }
+
+    /// Graph generators produce valid CSR invariants under any seed.
+    #[test]
+    fn generators_produce_valid_graphs(n in 10usize..60, seed in any::<u64>()) {
+        let graphs = vec![
+            fascia::graph::gen::gnm(n, 2 * n, seed),
+            fascia::graph::gen::barabasi_albert(n, 2, 0, seed),
+            fascia::graph::gen::duplication_divergence(n.max(4), 0.4, 0.5, seed),
+            fascia::graph::gen::random_connected(n, 2 * n, seed),
+        ];
+        for g in graphs {
+            let degsum: usize = (0..g.num_vertices()).map(|v| g.degree(v)).sum();
+            prop_assert_eq!(degsum, 2 * g.num_edges());
+            for v in 0..g.num_vertices() {
+                for &u in g.neighbors(v) {
+                    prop_assert!(g.has_edge(u as usize, v));
+                    prop_assert!((u as usize) != v);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Directed orientation classes of the 3-vertex tree partition the
+    /// undirected P3 count on any randomly oriented graph.
+    #[test]
+    fn directed_p3_partition_identity(n in 12usize..35, seed in any::<u64>()) {
+        let und = fascia::graph::gen::gnm(n, 2 * n, seed);
+        let g = DiGraph::orient_randomly(&und, seed ^ 0xBEEF);
+        let undirected = count_exact(&und, &Template::path(3));
+        let sum = count_exact_directed(&g, &DiTemplate::directed_path(3))
+            + count_exact_directed(&g, &DiTemplate::out_star(3))
+            + count_exact_directed(&g, &DiTemplate::in_star(3));
+        prop_assert_eq!(sum, undirected);
+    }
+
+    /// Distributed simulation is estimate-identical to the engine for any
+    /// random input and rank count.
+    #[test]
+    fn distsim_identity(n in 15usize..50, ranks in 1usize..9, seed in any::<u64>()) {
+        let g = fascia::graph::gen::gnm(n, 2 * n, seed);
+        let t = Template::path(4);
+        let base = CountConfig {
+            iterations: 1,
+            parallel: ParallelMode::Serial,
+            seed,
+            ..CountConfig::default()
+        };
+        let shared = count_template(&g, &t, &base).unwrap().estimate;
+        let cfg = DistConfig { ranks, scheme: PartitionScheme::Block, count: base };
+        let dist = count_distributed(&g, &t, &cfg).unwrap().estimate;
+        prop_assert_eq!(shared, dist);
+    }
+
+    /// Sampled embeddings are always valid occurrences.
+    #[test]
+    fn sampled_embeddings_valid(seed in any::<u64>()) {
+        let g = fascia::graph::gen::gnm(20, 45, seed);
+        let t = Template::path(4);
+        let cfg = CountConfig { iterations: 40, seed, ..CountConfig::default() };
+        let samples = sample_embeddings(&g, &t, &cfg, 5).unwrap();
+        for emb in samples {
+            let mut uniq = emb.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), 4);
+            for &(a, b) in t.edges() {
+                prop_assert!(g.has_edge(emb[a as usize] as usize, emb[b as usize] as usize));
+            }
+        }
+    }
+}
