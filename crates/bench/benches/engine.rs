@@ -7,8 +7,10 @@ use fascia_core::engine::{count_template, count_template_labeled, CountConfig};
 use fascia_core::parallel::ParallelMode;
 use fascia_graph::gen::gnm;
 use fascia_graph::random_labels;
+use fascia_obs::Metrics;
 use fascia_table::TableKind;
 use fascia_template::{NamedTemplate, PartitionStrategy};
+use std::sync::Arc;
 
 fn base_cfg() -> CountConfig {
     CountConfig {
@@ -76,9 +78,34 @@ fn bench_labeled_speedup(c: &mut Criterion) {
     group.finish();
 }
 
+/// Overhead of the observability hooks when metrics are off. The
+/// acceptance bar is a <2% delta between `absent` (no registry in the
+/// config) and `disabled` (a registry present but turned off, which still
+/// exercises the per-site `Option` checks).
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let g = gnm(10_000, 50_000, 3);
+    let t = NamedTemplate::U5_2.template();
+    let mut group = c.benchmark_group("engine_metrics_overhead");
+    let variants: [(&str, Option<Arc<Metrics>>); 3] = [
+        ("absent", None),
+        ("disabled", Some(Arc::new(Metrics::disabled()))),
+        ("enabled", Some(Arc::new(Metrics::new()))),
+    ];
+    for (name, metrics) in variants {
+        let cfg = CountConfig {
+            metrics,
+            ..base_cfg()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| count_template(&g, &t, cfg).unwrap().estimate)
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_table_kinds, bench_strategies, bench_labeled_speedup
+    targets = bench_table_kinds, bench_strategies, bench_labeled_speedup, bench_metrics_overhead
 }
 criterion_main!(benches);

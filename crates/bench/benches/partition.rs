@@ -6,7 +6,11 @@ use fascia_template::{NamedTemplate, PartitionStrategy, PartitionTree};
 
 fn bench_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("partition_build");
-    for named in [NamedTemplate::U7_2, NamedTemplate::U12_1, NamedTemplate::U12_2] {
+    for named in [
+        NamedTemplate::U7_2,
+        NamedTemplate::U12_1,
+        NamedTemplate::U12_2,
+    ] {
         let t = named.template();
         for strategy in [PartitionStrategy::OneAtATime, PartitionStrategy::Balanced] {
             group.bench_with_input(

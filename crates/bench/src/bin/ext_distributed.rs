@@ -31,7 +31,12 @@ fn main() {
             let m = spec.m / scale;
             fascia_graph::gen::barabasi_albert(n, (m / n).max(1), m, opts.seed)
         };
-        eprintln!("[ext] {}: n={} m={}", spec.name, g.num_vertices(), g.num_edges());
+        eprintln!(
+            "[ext] {}: n={} m={}",
+            spec.name,
+            g.num_vertices(),
+            g.num_edges()
+        );
         for ranks in [2usize, 4, 8, 16, 32] {
             for scheme in [PartitionScheme::Block, PartitionScheme::Hash] {
                 let cfg = DistConfig {

@@ -25,7 +25,11 @@ fn main() {
             ..opts.base_config()
         };
         let r = count_template(&g, &t, &cfg).expect("count");
-        report.push("unlabeled", named.name(), r.per_iteration_time.as_secs_f64());
+        report.push(
+            "unlabeled",
+            named.name(),
+            r.per_iteration_time.as_secs_f64(),
+        );
         eprintln!(
             "[fig03] {}: {:?}/iter, estimate {:.3e}, peak {} MB",
             named.name(),

@@ -24,11 +24,7 @@ fn main() {
                 ..opts.base_config()
             };
             let p = motif_profile(&g, size, &cfg).expect("motif profile");
-            let total: f64 = p
-                .per_iteration_times
-                .iter()
-                .map(|d| d.as_secs_f64())
-                .sum();
+            let total: f64 = p.per_iteration_times.iter().map(|d| d.as_secs_f64()).sum();
             report.push(
                 format!("{} k={size}", ds.spec().name),
                 format!("{} templates", p.templates.len()),

@@ -5,19 +5,25 @@
 //! paths are highly selective, so the hash layout saves up to ~90% vs the
 //! arrays at U12-1 while showing little to no benefit at k = 3..5.
 //!
+//! Memory is *measured*, not estimated: each run attaches a fresh
+//! `fascia_obs::Metrics` registry and reads back the `table.bytes.peak`
+//! gauge (exact `TableStats` allocated bytes of the live DP tables).
+//!
 //! Run: `cargo run --release -p fascia-bench --bin fig07_memory_road [--full]`
 
 use fascia_bench::{BenchOpts, Report};
 use fascia_core::engine::{count_template, CountConfig};
 use fascia_core::parallel::ParallelMode;
 use fascia_graph::Dataset;
+use fascia_obs::Metrics;
 use fascia_table::TableKind;
 use fascia_template::NamedTemplate;
+use std::sync::Arc;
 
 fn main() {
     let opts = BenchOpts::from_env_and_args();
     let g = opts.load(Dataset::PaRoad);
-    let mut report = Report::new("Fig 7: peak table memory, PA road, U*-1", "bytes");
+    let mut report = Report::new("Fig 7: peak table memory, PA road, U*-1", "measured bytes");
     for named in NamedTemplate::paths() {
         let t = named.template();
         for kind in TableKind::all() {
@@ -25,15 +31,22 @@ fn main() {
                 iterations: 1,
                 table: kind,
                 parallel: ParallelMode::InnerLoop,
+                metrics: Some(Arc::new(Metrics::new())),
                 ..opts.base_config()
             };
-            let r = count_template(&g, &t, &cfg).expect("count");
-            report.push(kind.name(), named.name(), r.peak_table_bytes as f64);
+            count_template(&g, &t, &cfg).expect("count");
+            let peak = cfg
+                .metrics
+                .as_deref()
+                .expect("metrics attached")
+                .gauge("table.bytes.peak")
+                .get();
+            report.push(kind.name(), named.name(), peak as f64);
             eprintln!(
-                "[fig07] {} {}: {:.2} MB peak",
+                "[fig07] {} {}: {:.2} MB measured peak",
                 named.name(),
                 kind.name(),
-                r.peak_table_bytes as f64 / (1 << 20) as f64
+                peak as f64 / (1 << 20) as f64
             );
         }
     }

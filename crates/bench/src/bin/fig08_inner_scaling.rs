@@ -50,7 +50,10 @@ fn main() {
         });
         let t1 = *t1.get_or_insert(secs);
         report.push("inner", format!("{nt} threads"), secs);
-        eprintln!("[fig08] {nt} threads: {secs:.3}s (speedup {:.2}x)", t1 / secs);
+        eprintln!(
+            "[fig08] {nt} threads: {secs:.3}s (speedup {:.2}x)",
+            t1 / secs
+        );
     }
     report.print();
 }

@@ -28,7 +28,10 @@ fn main() {
     while *threads.last().unwrap() * 2 <= max_threads {
         threads.push(threads.last().unwrap() * 2);
     }
-    let mut report = Report::new("Fig 9: inner vs outer parallelism, U7-2 on Enron", "seconds");
+    let mut report = Report::new(
+        "Fig 9: inner vs outer parallelism, U7-2 on Enron",
+        "seconds",
+    );
     for &nt in &threads {
         for mode in [ParallelMode::InnerLoop, ParallelMode::OuterLoop] {
             let cfg = CountConfig {

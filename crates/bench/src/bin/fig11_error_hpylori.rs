@@ -10,9 +10,9 @@
 
 use fascia_bench::{BenchOpts, Report};
 use fascia_core::engine::{count_template, CountConfig};
+use fascia_core::exact::count_exact;
 use fascia_core::motifs::mean_relative_error;
 use fascia_core::parallel::ParallelMode;
-use fascia_core::exact::count_exact;
 use fascia_graph::Dataset;
 use fascia_template::gen::all_free_trees;
 

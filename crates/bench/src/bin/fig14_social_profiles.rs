@@ -29,7 +29,10 @@ fn main() {
         Dataset::PaRoad,
         Dataset::Gnp,
     ];
-    let mut report = Report::new("Fig 14: size-7 motif profiles, social/road/random", "rel freq");
+    let mut report = Report::new(
+        "Fig 14: size-7 motif profiles, social/road/random",
+        "rel freq",
+    );
     for ds in sets {
         let g = opts.load(ds);
         let cfg = CountConfig {

@@ -36,10 +36,8 @@ fn main() {
         let (n, m) = (spec.n / div, spec.m / div);
         barabasi_albert(n, (m / n).max(1), m, opts.seed)
     };
-    let networks: Vec<(&str, Graph)> = vec![
-        ("E. coli", opts.load(Dataset::EColi)),
-        ("Enron", enron),
-    ];
+    let networks: Vec<(&str, Graph)> =
+        vec![("E. coli", opts.load(Dataset::EColi)), ("Enron", enron)];
     let checkpoints = [1usize, 10, 100, 1000];
     let mut report = Report::new("Fig 16: GDD agreement vs iterations", "agreement");
     for (name, g) in networks {

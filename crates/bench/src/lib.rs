@@ -7,7 +7,7 @@
 
 use fascia_core::engine::CountConfig;
 use fascia_graph::{Dataset, Graph};
-use serde::Serialize;
+use fascia_obs::json::{array_of, ObjectWriter};
 use std::time::Instant;
 
 /// Command-line/environment controls shared by all figure binaries.
@@ -62,7 +62,7 @@ impl BenchOpts {
 
 /// One output row of a figure series (also serialized as JSON for
 /// EXPERIMENTS.md updates).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Series label (e.g. the template or table-layout name).
     pub series: String,
@@ -108,9 +108,18 @@ impl Report {
             let y = if r.y == 0.0 { 0.0 } else { r.y };
             println!("{:<24} {:<16} {y:.6e}", r.series, r.x);
         }
-        if let Ok(json) = serde_json::to_string(&self.rows) {
-            eprintln!("[json] {} {}", self.title, json);
-        }
+        eprintln!("[json] {} {}", self.title, self.rows_json());
+    }
+
+    /// Serializes the rows as a JSON array (same shape serde used to emit).
+    pub fn rows_json(&self) -> String {
+        array_of(self.rows.iter().map(|r| {
+            let mut o = ObjectWriter::new();
+            o.field_str("series", &r.series)
+                .field_str("x", &r.x)
+                .field_f64("y", r.y);
+            o.finish()
+        }))
     }
 
     /// Accesses collected rows (used by tests).

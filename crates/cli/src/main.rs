@@ -27,8 +27,10 @@ use fascia_core::sample::sample_embeddings;
 use fascia_graph::datasets::scale_from_env;
 use fascia_graph::io::load_edge_list;
 use fascia_graph::{Dataset, Graph};
+use fascia_obs::{Metrics, MetricsReport};
 use fascia_table::TableKind;
 use fascia_template::{NamedTemplate, PartitionStrategy, Template};
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,7 +56,7 @@ fn main() {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: fascia <count|exact|motifs|gdd|gen|info|templates> ...\n\
-         \x20 count  <dataset|file> <template> [--iters N] [--table naive|improved|hash] [--strategy one|balanced] [--seed S]\n\
+         \x20 count  <dataset|file> <template> [--iters N] [--table naive|improved|hash] [--strategy one|balanced] [--seed S] [--metrics off|pretty|json]\n\
          \x20 exact  <dataset|file> <template>\n\
          \x20 motifs <dataset|file> <size> [--iters N]\n\
          \x20 gdd    <dataset|file> [--iters N]\n\
@@ -106,10 +108,16 @@ fn parse_template(spec: &str) -> Template {
     if let Some(named) = NamedTemplate::by_name(spec) {
         return named.template();
     }
-    if let Some(k) = spec.strip_prefix("path").and_then(|s| s.parse::<usize>().ok()) {
+    if let Some(k) = spec
+        .strip_prefix("path")
+        .and_then(|s| s.parse::<usize>().ok())
+    {
         return Template::path(k);
     }
-    if let Some(k) = spec.strip_prefix("star").and_then(|s| s.parse::<usize>().ok()) {
+    if let Some(k) = spec
+        .strip_prefix("star")
+        .and_then(|s| s.parse::<usize>().ok())
+    {
         return Template::star(k);
     }
     if std::path::Path::new(spec).exists() {
@@ -125,8 +133,9 @@ fn parse_template(spec: &str) -> Template {
     std::process::exit(1);
 }
 
-fn parse_flags(rest: &[String]) -> CountConfig {
+fn parse_flags(rest: &[String]) -> (CountConfig, MetricsReport) {
     let mut cfg = CountConfig::default();
+    let mut report = MetricsReport::Off;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -161,10 +170,37 @@ fn parse_flags(rest: &[String]) -> CountConfig {
                 };
                 i += 2;
             }
+            "--metrics" => {
+                report = match MetricsReport::parse(&rest[i + 1]) {
+                    Some(r) => r,
+                    None => {
+                        eprintln!("unknown metrics mode '{}' (off|pretty|json)", rest[i + 1]);
+                        std::process::exit(1);
+                    }
+                };
+                i += 2;
+            }
             _ => i += 1,
         }
     }
-    cfg
+    if report != MetricsReport::Off {
+        cfg.metrics = Some(Arc::new(Metrics::new()));
+    }
+    (cfg, report)
+}
+
+/// Prints the collected metrics per the `--metrics` mode: the pretty
+/// rendering goes to stderr (keeps stdout parseable), the JSON document
+/// is a single stdout line.
+fn emit_metrics(report: MetricsReport, cfg: &CountConfig) {
+    let Some(m) = cfg.metrics.as_deref() else {
+        return;
+    };
+    match report {
+        MetricsReport::Off => {}
+        MetricsReport::Pretty => eprint!("{}", m.render_pretty()),
+        MetricsReport::Json => println!("{}", m.to_json()),
+    }
 }
 
 fn cmd_count(rest: &[String]) {
@@ -173,7 +209,7 @@ fn cmd_count(rest: &[String]) {
     }
     let g = load_graph(&rest[0]);
     let t = parse_template(&rest[1]);
-    let cfg = parse_flags(&rest[2..]);
+    let (cfg, report) = parse_flags(&rest[2..]);
     match count_template(&g, &t, &cfg) {
         Ok(r) => {
             println!("estimate: {:.4e}", r.estimate);
@@ -182,6 +218,7 @@ fn cmd_count(rest: &[String]) {
             println!("peak table bytes: {}", r.peak_table_bytes);
             println!("automorphisms: {}", r.automorphisms);
             println!("colorful probability: {:.6}", r.colorful_probability);
+            emit_metrics(report, &cfg);
         }
         Err(e) => {
             eprintln!("count failed: {e}");
@@ -208,19 +245,15 @@ fn cmd_motifs(rest: &[String]) {
     }
     let g = load_graph(&rest[0]);
     let size: usize = rest[1].parse().expect("motif size");
-    let cfg = parse_flags(&rest[2..]);
+    let (cfg, report) = parse_flags(&rest[2..]);
     match motif_profile(&g, size, &cfg) {
         Ok(p) => {
             println!("# topology relative_frequency estimate");
-            for (i, (rel, cnt)) in p
-                .relative_frequencies()
-                .iter()
-                .zip(&p.counts)
-                .enumerate()
-            {
+            for (i, (rel, cnt)) in p.relative_frequencies().iter().zip(&p.counts).enumerate() {
                 println!("{:>3}  {rel:>12.6}  {cnt:.4e}", i + 1);
             }
             println!("# total elapsed: {:?}", p.elapsed);
+            emit_metrics(report, &cfg);
         }
         Err(e) => {
             eprintln!("motif scan failed: {e}");
@@ -234,12 +267,15 @@ fn cmd_gdd(rest: &[String]) {
         usage_and_exit();
     }
     let g = load_graph(&rest[0]);
-    let cfg = parse_flags(&rest[1..]);
+    let (cfg, report) = parse_flags(&rest[1..]);
     let named = NamedTemplate::U5_2;
     let t = named.template();
     let orbit = named.central_orbit().expect("U5-2 has a central orbit");
     match estimate_gdd(&g, &t, orbit, &cfg) {
-        Ok(hist) => print_histogram(&hist),
+        Ok(hist) => {
+            print_histogram(&hist);
+            emit_metrics(report, &cfg);
+        }
         Err(e) => {
             eprintln!("gdd failed: {e}");
             std::process::exit(1);
@@ -261,17 +297,21 @@ fn cmd_sample(rest: &[String]) {
     let g = load_graph(&rest[0]);
     let t = parse_template(&rest[1]);
     let count: usize = rest[2].parse().expect("sample count");
-    let mut cfg = parse_flags(&rest[3..]);
+    let (mut cfg, report) = parse_flags(&rest[3..]);
     if cfg.iterations < count {
         cfg.iterations = count.max(100);
     }
     match sample_embeddings(&g, &t, &cfg, count) {
         Ok(embeddings) => {
-            println!("# {} embeddings (graph vertices in template-vertex order)", embeddings.len());
+            println!(
+                "# {} embeddings (graph vertices in template-vertex order)",
+                embeddings.len()
+            );
             for emb in embeddings {
                 let strs: Vec<String> = emb.iter().map(|v| v.to_string()).collect();
                 println!("{}", strs.join(" "));
             }
+            emit_metrics(report, &cfg);
         }
         Err(e) => {
             eprintln!("sampling failed: {e}");
@@ -293,7 +333,12 @@ fn cmd_gen(rest: &[String]) {
         eprintln!("write failed: {e}");
         std::process::exit(1);
     }
-    println!("wrote n={} m={} to {}", g.num_vertices(), g.num_edges(), rest[1]);
+    println!(
+        "wrote n={} m={} to {}",
+        g.num_vertices(),
+        g.num_edges(),
+        rest[1]
+    );
 }
 
 fn cmd_info(rest: &[String]) {
@@ -320,7 +365,7 @@ fn cmd_distsim(rest: &[String]) {
     let g = load_graph(&rest[0]);
     let t = parse_template(&rest[1]);
     let ranks: usize = rest[2].parse().expect("rank count");
-    let mut count = parse_flags(&rest[3..]);
+    let (mut count, report) = parse_flags(&rest[3..]);
     count.parallel = fascia_core::parallel::ParallelMode::Serial;
     for scheme in [PartitionScheme::Block, PartitionScheme::Hash] {
         let cfg = DistConfig {
@@ -342,6 +387,7 @@ fn cmd_distsim(rest: &[String]) {
             }
         }
     }
+    emit_metrics(report, &count);
 }
 
 fn cmd_templates() {

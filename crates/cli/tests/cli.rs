@@ -27,7 +27,10 @@ fn info_reports_circuit_stats() {
 
 #[test]
 fn count_and_exact_agree_on_circuit() {
-    let exact_out = fascia().args(["exact", "circuit", "U3-1"]).output().unwrap();
+    let exact_out = fascia()
+        .args(["exact", "circuit", "U3-1"])
+        .output()
+        .unwrap();
     assert!(exact_out.status.success());
     let exact_text = String::from_utf8(exact_out.stdout).unwrap();
     let exact: f64 = exact_text
@@ -64,10 +67,7 @@ fn sample_prints_valid_embeddings() {
     let rows: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
     assert_eq!(rows.len(), 5);
     for row in rows {
-        let ids: Vec<u32> = row
-            .split_whitespace()
-            .map(|x| x.parse().unwrap())
-            .collect();
+        let ids: Vec<u32> = row.split_whitespace().map(|x| x.parse().unwrap()).collect();
         assert_eq!(ids.len(), 4);
         assert!(ids.iter().all(|&v| v < 252));
     }
@@ -101,7 +101,10 @@ fn unknown_command_exits_nonzero() {
 
 #[test]
 fn unknown_template_exits_nonzero() {
-    let out = fascia().args(["count", "circuit", "U9-9"]).output().unwrap();
+    let out = fascia()
+        .args(["count", "circuit", "U9-9"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 

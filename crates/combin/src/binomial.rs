@@ -23,8 +23,8 @@ impl BinomialTable {
         for n in 0..=max_n {
             table[n * w] = 1;
             for r in 1..=n {
-                table[n * w + r] = table[(n - 1) * w + r - 1]
-                    + if r < n { table[(n - 1) * w + r] } else { 0 };
+                table[n * w + r] =
+                    table[(n - 1) * w + r - 1] + if r < n { table[(n - 1) * w + r] } else { 0 };
             }
         }
         Self { max_n, table }
@@ -129,6 +129,9 @@ mod tests {
     fn default_covers_max_colors() {
         let t = BinomialTable::default();
         assert_eq!(t.max_n(), MAX_COLORS);
-        assert_eq!(t.get(MAX_COLORS, MAX_COLORS / 2), choose(MAX_COLORS, MAX_COLORS / 2));
+        assert_eq!(
+            t.get(MAX_COLORS, MAX_COLORS / 2),
+            choose(MAX_COLORS, MAX_COLORS / 2)
+        );
     }
 }

@@ -156,8 +156,7 @@ mod tests {
                         for sp in t.splits(set_idx) {
                             let ca = set_of_index(sp.active as usize, a, k, &b);
                             let cp = set_of_index(sp.passive as usize, h - a, k, &b);
-                            let mut merged: Vec<u8> =
-                                ca.iter().chain(cp.iter()).copied().collect();
+                            let mut merged: Vec<u8> = ca.iter().chain(cp.iter()).copied().collect();
                             merged.sort_unstable();
                             assert_eq!(merged, parent, "k={k} h={h} a={a}");
                             assert!(seen.insert((sp.active, sp.passive)), "dup split");

@@ -93,9 +93,9 @@ impl DirCtx {
                         .entry(node.size)
                         .or_insert_with(|| build_removals(k, node.size as usize, &binom));
                 } else {
-                    splits
-                        .entry((node.size, a))
-                        .or_insert_with(|| SplitTable::new(k, node.size as usize, a as usize, &binom));
+                    splits.entry((node.size, a)).or_insert_with(|| {
+                        SplitTable::new(k, node.size as usize, a as usize, &binom)
+                    });
                 }
             }
         }

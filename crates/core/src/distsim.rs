@@ -17,8 +17,7 @@
 
 use crate::coloring::{iteration_seed, random_coloring};
 use crate::engine::{
-    cut_rows_for, effective_colors, triangle_rows_for, CountConfig, CountError, DpContext,
-    Stored,
+    cut_rows_for, effective_colors, triangle_rows_for, CountConfig, CountError, DpContext, Stored,
 };
 use fascia_combin::colorful_probability;
 use fascia_graph::Graph;
@@ -165,8 +164,16 @@ pub fn count_distributed(
                     merged.resize_with(n, || None);
                     for (rank, verts) in owned.iter().enumerate() {
                         let rows = triangle_rows_for(
-                            g, None, t, node, partners, &ctx, &coloring, false,
+                            g,
+                            None,
+                            t,
+                            node,
+                            partners,
+                            &ctx,
+                            &coloring,
+                            false,
                             Some(verts),
+                            None,
                         );
                         let mut fetched: HashSet<u32> = HashSet::new();
                         for &v in verts {
@@ -180,9 +187,10 @@ pub fn count_distributed(
                         comm_bytes += fetched.len() as u64;
                         per_step_bytes[step] += fetched.len() as u64;
                         merge_rows(&mut merged, rows, verts);
-                        rank_rows[rank] +=
-                            verts.iter().filter(|&&v| merged[v as usize].is_some()).count()
-                                as u64;
+                        rank_rows[rank] += verts
+                            .iter()
+                            .filter(|&&v| merged[v as usize].is_some())
+                            .count() as u64;
                     }
                     stored[cid] = Some(Stored::Table(LazyTable::from_rows(n, ctx.nc[3], merged)));
                 }
@@ -224,15 +232,25 @@ pub fn count_distributed(
                                 .expect("active computed");
                             let pas = stored[p_cid].as_ref().expect("passive computed");
                             cut_rows_for(
-                                g, None, node, a_node, p_node, act, pas, &ctx, &coloring,
+                                g,
+                                None,
+                                node,
+                                a_node,
+                                p_node,
+                                act,
+                                pas,
+                                &ctx,
+                                &coloring,
                                 false,
                                 Some(verts),
+                                None,
                             )
                         };
                         merge_rows(&mut merged, rows, verts);
-                        rank_rows[rank] +=
-                            verts.iter().filter(|&&v| merged[v as usize].is_some()).count()
-                                as u64;
+                        rank_rows[rank] += verts
+                            .iter()
+                            .filter(|&&v| merged[v as usize].is_some())
+                            .count() as u64;
                     }
                     let table = LazyTable::from_rows(n, ctx.nc[node.size as usize], merged);
                     stored[cid] = Some(Stored::Table(table));

@@ -27,9 +27,11 @@
 //! * vertex labels prune every base case (Fig. 4's speedup).
 
 use crate::coloring::{iteration_seed, random_coloring};
+use crate::metrics::{CutMetrics, RunMetrics, TriangleMetrics};
 use crate::parallel::ParallelMode;
 use fascia_combin::{colorful_probability, BinomialTable, ColorSetIter, SplitTable};
 use fascia_graph::Graph;
+use fascia_obs::{Metrics, SpanTimer};
 use fascia_table::{CountTable, DenseTable, HashCountTable, LazyTable, Rows, TableKind};
 use fascia_template::automorphism::{automorphisms, rooted_automorphisms};
 use fascia_template::canon::full_mask;
@@ -37,6 +39,7 @@ use fascia_template::partition::{NodeKind, PartitionError, SubNode};
 use fascia_template::{PartitionStrategy, PartitionTree, Template};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of a counting run.
@@ -57,6 +60,13 @@ pub struct CountConfig {
     /// `iteration_seed(seed, i)`, so results are identical across parallel
     /// modes.
     pub seed: u64,
+    /// Optional metrics registry. When present and enabled, the engine
+    /// records per-iteration coloring/DP timings, per-subtemplate spans,
+    /// initialized-check skip counts, and measured table statistics (see
+    /// the `metrics` module for the name schema). `None`, or a registry
+    /// from [`Metrics::disabled`], costs one pointer check per hot-loop
+    /// site and changes no counting result.
+    pub metrics: Option<Arc<Metrics>>,
 }
 
 impl CountConfig {
@@ -83,6 +93,7 @@ impl Default for CountConfig {
             strategy: PartitionStrategy::OneAtATime,
             parallel: ParallelMode::Auto,
             seed: 0x00FA_5C1A,
+            metrics: None,
         }
     }
 }
@@ -220,6 +231,7 @@ pub fn rooted_counts(
     let k = effective_colors(t, cfg)?;
     let pt = PartitionTree::build_with_root(t, orbit, cfg.strategy)?;
     let ctx = DpContext::new(t, &pt, k);
+    let rm = RunMetrics::resolve(cfg.metrics.as_deref(), &pt);
     let start = Instant::now();
     let iters = cfg.iterations.max(1);
     let alpha_rooted = rooted_automorphisms(t, orbit, full_mask(t.size()));
@@ -227,15 +239,43 @@ pub fn rooted_counts(
     let scale = p * alpha_rooted as f64;
 
     let run_one = |i: usize, inner: bool| -> Vec<f64> {
+        let iter_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.iteration_ns));
+        let col_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.coloring_ns));
         let coloring = random_coloring(g.num_vertices(), k, iteration_seed(cfg.seed, i as u64));
-        let out = dispatch_iteration(g, None, t, &pt, &ctx, &coloring, inner, cfg.table, true);
+        drop(col_span);
+        let out = dispatch_iteration(
+            g,
+            None,
+            t,
+            &pt,
+            &ctx,
+            &coloring,
+            inner,
+            cfg.table,
+            true,
+            rm.as_ref(),
+        );
+        drop(iter_span);
+        if let Some(m) = rm.as_ref() {
+            m.iterations_total.inc();
+            if out.colorful_total != 0.0 {
+                m.iterations_colorful.inc();
+            }
+            m.table.bytes_peak.set_max(out.peak_bytes as u64);
+        }
         out.root_row_sums.expect("rooted run collects row sums")
     };
 
     let mode = cfg.parallel.resolve(g.num_vertices(), iters);
     let sums: Vec<Vec<f64>> = match mode {
-        ParallelMode::OuterLoop => (0..iters).into_par_iter().map(|i| run_one(i, false)).collect(),
-        ParallelMode::Hybrid => (0..iters).into_par_iter().map(|i| run_one(i, true)).collect(),
+        ParallelMode::OuterLoop => (0..iters)
+            .into_par_iter()
+            .map(|i| run_one(i, false))
+            .collect(),
+        ParallelMode::Hybrid => (0..iters)
+            .into_par_iter()
+            .map(|i| run_one(i, true))
+            .collect(),
         ParallelMode::InnerLoop => (0..iters).map(|i| run_one(i, true)).collect(),
         _ => (0..iters).map(|i| run_one(i, false)).collect(),
     };
@@ -286,6 +326,7 @@ fn count_impl(
     let k = effective_colors(t, cfg)?;
     let pt = PartitionTree::build(t, cfg.strategy)?;
     let ctx = DpContext::new(t, &pt, k);
+    let rm = RunMetrics::resolve(cfg.metrics.as_deref(), &pt);
     let alpha = automorphisms(t);
     let p = colorful_probability(k, t.size());
     let scale = p * alpha as f64;
@@ -293,15 +334,46 @@ fn count_impl(
     let start = Instant::now();
 
     let run_one = |i: usize, inner: bool| -> (f64, usize) {
+        let iter_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.iteration_ns));
+        let col_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.coloring_ns));
         let coloring = random_coloring(g.num_vertices(), k, iteration_seed(cfg.seed, i as u64));
-        let out = dispatch_iteration(g, labels, t, &pt, &ctx, &coloring, inner, cfg.table, false);
+        drop(col_span);
+        let out = dispatch_iteration(
+            g,
+            labels,
+            t,
+            &pt,
+            &ctx,
+            &coloring,
+            inner,
+            cfg.table,
+            false,
+            rm.as_ref(),
+        );
+        drop(iter_span);
+        if let Some(m) = rm.as_ref() {
+            m.iterations_total.inc();
+            if out.colorful_total != 0.0 {
+                m.iterations_colorful.inc();
+            }
+            m.table.bytes_peak.set_max(out.peak_bytes as u64);
+        }
         (out.colorful_total, out.peak_bytes)
     };
 
     let mode = cfg.parallel.resolve(g.num_vertices(), iters);
+    if let Some(m) = &rm {
+        m.threads.set(rayon::current_num_threads() as u64);
+    }
     let raw: Vec<(f64, usize)> = match mode {
-        ParallelMode::OuterLoop => (0..iters).into_par_iter().map(|i| run_one(i, false)).collect(),
-        ParallelMode::Hybrid => (0..iters).into_par_iter().map(|i| run_one(i, true)).collect(),
+        ParallelMode::OuterLoop => (0..iters)
+            .into_par_iter()
+            .map(|i| run_one(i, false))
+            .collect(),
+        ParallelMode::Hybrid => (0..iters)
+            .into_par_iter()
+            .map(|i| run_one(i, true))
+            .collect(),
         ParallelMode::InnerLoop => (0..iters).map(|i| run_one(i, true)).collect(),
         _ => (0..iters).map(|i| run_one(i, false)).collect(),
     };
@@ -356,9 +428,9 @@ impl DpContext {
                 let h = node.size;
                 let a = pt.nodes()[active as usize].size;
                 if a == 1 {
-                    removals.entry(h).or_insert_with(|| {
-                        build_removal_table(k, h as usize, &binom)
-                    });
+                    removals
+                        .entry(h)
+                        .or_insert_with(|| build_removal_table(k, h as usize, &binom));
                 } else {
                     splits
                         .entry((h, a))
@@ -395,9 +467,13 @@ fn build_removal_table(k: usize, h: usize, binom: &BinomialTable) -> Vec<i32> {
     while let Some(set) = sets.next() {
         for (pos, &c) in set.iter().enumerate() {
             reduced.clear();
-            reduced.extend(set.iter().enumerate().filter(|&(i, _)| i != pos).map(|(_, &x)| x));
-            rem[idx * k + c as usize] =
-                fascia_combin::index_of_set(&reduced, binom) as i32;
+            reduced.extend(
+                set.iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != pos)
+                    .map(|(_, &x)| x),
+            );
+            rem[idx * k + c as usize] = fascia_combin::index_of_set(&reduced, binom) as i32;
         }
         idx += 1;
     }
@@ -429,16 +505,41 @@ fn dispatch_iteration(
     inner_parallel: bool,
     kind: TableKind,
     want_row_sums: bool,
+    rm: Option<&RunMetrics>,
 ) -> IterationOutput {
     match kind {
         TableKind::Dense => run_iteration::<DenseTable>(
-            g, labels, t, pt, ctx, coloring, inner_parallel, want_row_sums,
+            g,
+            labels,
+            t,
+            pt,
+            ctx,
+            coloring,
+            inner_parallel,
+            want_row_sums,
+            rm,
         ),
         TableKind::Lazy => run_iteration::<LazyTable>(
-            g, labels, t, pt, ctx, coloring, inner_parallel, want_row_sums,
+            g,
+            labels,
+            t,
+            pt,
+            ctx,
+            coloring,
+            inner_parallel,
+            want_row_sums,
+            rm,
         ),
         TableKind::Hash => run_iteration::<HashCountTable>(
-            g, labels, t, pt, ctx, coloring, inner_parallel, want_row_sums,
+            g,
+            labels,
+            t,
+            pt,
+            ctx,
+            coloring,
+            inner_parallel,
+            want_row_sums,
+            rm,
         ),
     }
 }
@@ -454,6 +555,7 @@ fn run_iteration<T: CountTable>(
     coloring: &[u8],
     inner_parallel: bool,
     want_row_sums: bool,
+    rm: Option<&RunMetrics>,
 ) -> IterationOutput {
     let n = g.num_vertices();
     let mut stored: Vec<Option<Stored<T>>> = Vec::new();
@@ -473,6 +575,7 @@ fn run_iteration<T: CountTable>(
     for &idx in pt.unique_order() {
         let node = &pt.nodes()[idx as usize];
         let cid = node.canon_id as usize;
+        let _node_span = SpanTimer::start_opt(rm.and_then(|m| m.node_ns[idx as usize].as_deref()));
         match node.kind {
             NodeKind::Vertex => {
                 let label = labels.map(|_| t.label(node.root));
@@ -494,12 +597,15 @@ fn run_iteration<T: CountTable>(
                     let table = T::from_rows(n, k, rows);
                     live_bytes += table.bytes();
                     peak_bytes = peak_bytes.max(live_bytes);
+                    if let Some(m) = rm {
+                        m.table.record(&table);
+                    }
                     ghost_singles[cid] = Some(table);
                 }
                 stored[cid] = Some(Stored::Single { label });
             }
             NodeKind::Triangle { partners } => {
-                let rows = triangle_rows(
+                let rows = triangle_rows_for(
                     g,
                     labels,
                     t,
@@ -508,10 +614,15 @@ fn run_iteration<T: CountTable>(
                     ctx,
                     coloring,
                     inner_parallel,
+                    None,
+                    rm.map(|m| &m.triangle),
                 );
                 let table = T::from_rows(n, ctx.nc[3], rows);
                 live_bytes += table.bytes();
                 peak_bytes = peak_bytes.max(live_bytes);
+                if let Some(m) = rm {
+                    m.table.record(&table);
+                }
                 stored[cid] = Some(Stored::Table(table));
             }
             NodeKind::Cut { active, passive } => {
@@ -526,7 +637,7 @@ fn run_iteration<T: CountTable>(
                     } else {
                         stored[p_cid].as_ref().expect("passive child computed")
                     };
-                    cut_rows(
+                    cut_rows_for(
                         g,
                         labels,
                         node,
@@ -537,11 +648,16 @@ fn run_iteration<T: CountTable>(
                         ctx,
                         coloring,
                         inner_parallel,
+                        None,
+                        rm.map(|m| &m.cut),
                     )
                 };
                 let table = T::from_rows(n, ctx.nc[node.size as usize], rows);
                 live_bytes += table.bytes();
                 peak_bytes = peak_bytes.max(live_bytes);
+                if let Some(m) = rm {
+                    m.table.record(&table);
+                }
                 stored[cid] = Some(Stored::Table(table));
                 // Release children that have no remaining consumers.
                 for child_cid in [a_cid, p_cid] {
@@ -561,36 +677,32 @@ fn run_iteration<T: CountTable>(
 
     // Final aggregation (Alg. 2, line 20).
     let root_cid = pt.root().canon_id as usize;
-    let (colorful_total, root_row_sums) = match stored[root_cid]
-        .as_ref()
-        .expect("root table computed")
-    {
-        Stored::Single { label } => {
-            // Single-vertex template: each matching vertex is one embedding.
-            let sums: Vec<f64> = (0..n)
-                .map(|v| match (label, labels) {
-                    (Some(l), Some(gl)) => (gl[v] == *l) as u8 as f64,
-                    _ => 1.0,
-                })
-                .collect();
-            let total = sums.iter().sum();
-            (total, want_row_sums.then_some(sums))
-        }
-        Stored::Table(table) => {
-            let total = table.total();
-            let sums = want_row_sums.then(|| {
-                (0..n)
-                    .map(|v| match table.row_slice(v) {
-                        Some(row) => row.iter().sum::<f64>(),
-                        None => (0..table.num_colorsets())
-                            .map(|cs| table.get(v, cs))
-                            .sum(),
+    let (colorful_total, root_row_sums) =
+        match stored[root_cid].as_ref().expect("root table computed") {
+            Stored::Single { label } => {
+                // Single-vertex template: each matching vertex is one embedding.
+                let sums: Vec<f64> = (0..n)
+                    .map(|v| match (label, labels) {
+                        (Some(l), Some(gl)) => (gl[v] == *l) as u8 as f64,
+                        _ => 1.0,
                     })
-                    .collect()
-            });
-            (total, sums)
-        }
-    };
+                    .collect();
+                let total = sums.iter().sum();
+                (total, want_row_sums.then_some(sums))
+            }
+            Stored::Table(table) => {
+                let total = table.total();
+                let sums = want_row_sums.then(|| {
+                    (0..n)
+                        .map(|v| match table.row_slice(v) {
+                            Some(row) => row.iter().sum::<f64>(),
+                            None => (0..table.num_colorsets()).map(|cs| table.get(v, cs)).sum(),
+                        })
+                        .collect()
+                });
+                (total, sums)
+            }
+        };
 
     IterationOutput {
         colorful_total,
@@ -613,11 +725,23 @@ pub(crate) fn triangle_rows(
     coloring: &[u8],
     inner_parallel: bool,
 ) -> Rows {
-    triangle_rows_for(g, labels, t, node, partners, ctx, coloring, inner_parallel, None)
+    triangle_rows_for(
+        g,
+        labels,
+        t,
+        node,
+        partners,
+        ctx,
+        coloring,
+        inner_parallel,
+        None,
+        None,
+    )
 }
 
 /// As [`triangle_rows`], restricted to `targets` when given (used by the
-/// distributed simulation to compute only rank-owned vertices).
+/// distributed simulation to compute only rank-owned vertices), with
+/// optional base-case instrumentation.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn triangle_rows_for(
     g: &Graph,
@@ -629,6 +753,7 @@ pub(crate) fn triangle_rows_for(
     coloring: &[u8],
     inner_parallel: bool,
     targets: Option<&[u32]>,
+    tm: Option<&TriangleMetrics>,
 ) -> Rows {
     let nc = ctx.nc[3];
     let want = labels.map(|gl| {
@@ -649,6 +774,10 @@ pub(crate) fn triangle_rows_for(
         let cv = coloring[v];
         let neigh = g.neighbors(v);
         let mut row: Option<Box<[f64]>> = None;
+        // Colorful-hit accounting for the base case: closures examined at
+        // the w level vs. those whose three colors are distinct.
+        let mut cand = 0u64;
+        let mut hits = 0u64;
         // For each neighbor u, walk the sorted intersection N(v) ∩ N(u):
         // each common neighbor w closes the triangle (v, u, w). Ordered
         // (u, w) pairs are needed because the two template partners may
@@ -682,15 +811,23 @@ pub(crate) fn triangle_rows_for(
                             }
                         }
                         let cw = coloring[w as usize];
+                        cand += 1;
                         if cw == cv || cw == cu {
                             continue;
                         }
+                        hits += 1;
                         let mut set = [cv, cu, cw];
                         set.sort_unstable();
                         let idx = fascia_combin::index_of_set(&set, binom);
                         row.get_or_insert_with(|| vec![0.0; nc].into_boxed_slice())[idx] += 1.0;
                     }
                 }
+            }
+        }
+        if let Some(tm) = tm {
+            if cand != 0 {
+                tm.candidates.add(cand);
+                tm.colorful.add(hits);
             }
         }
         row
@@ -741,11 +878,23 @@ pub(crate) fn cut_rows<T: CountTable>(
     inner_parallel: bool,
 ) -> Rows {
     cut_rows_for(
-        g, labels, node, a_node, p_node, act, pas, ctx, coloring, inner_parallel, None,
+        g,
+        labels,
+        node,
+        a_node,
+        p_node,
+        act,
+        pas,
+        ctx,
+        coloring,
+        inner_parallel,
+        None,
+        None,
     )
 }
 
-/// As [`cut_rows`], restricted to `targets` when given.
+/// As [`cut_rows`], restricted to `targets` when given, with optional
+/// initialized-check instrumentation.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn cut_rows_for<T: CountTable>(
     g: &Graph,
@@ -759,6 +908,7 @@ pub(crate) fn cut_rows_for<T: CountTable>(
     coloring: &[u8],
     inner_parallel: bool,
     targets: Option<&[u32]>,
+    cm: Option<&CutMetrics>,
 ) -> Rows {
     let h = node.size as usize;
     let a = a_node.size as usize;
@@ -778,11 +928,14 @@ pub(crate) fn cut_rows_for<T: CountTable>(
     };
 
     let compute = |pas_acc: &mut Vec<f64>, v: usize| -> Option<Box<[f64]>> {
-        // Active availability at v.
+        // Active availability at v — the paper's "initialized" check.
         let act_row: Option<ActRow<T>> = match act {
             Stored::Single { label } => {
                 if let (Some(l), Some(gl)) = (label, labels) {
                     if gl[v] != *l {
+                        if let Some(c) = cm {
+                            c.roots_skipped.inc();
+                        }
                         return None;
                     }
                 }
@@ -790,6 +943,9 @@ pub(crate) fn cut_rows_for<T: CountTable>(
             }
             Stored::Table(tb) => {
                 if !tb.vertex_active(v) {
+                    if let Some(c) = cm {
+                        c.roots_skipped.inc();
+                    }
                     return None;
                 }
                 Some(match tb.row_slice(v) {
@@ -798,22 +954,31 @@ pub(crate) fn cut_rows_for<T: CountTable>(
                 })
             }
         };
+        if let Some(c) = cm {
+            c.roots_visited.inc();
+        }
 
         // Accumulate passive rows over the neighborhood.
         pas_acc.clear();
         pas_acc.resize(nc_p, 0.0);
         let mut any = false;
+        // Neighbor-level initialized-check accounting, batched into locals
+        // and flushed once per vertex.
+        let mut nbr_visited = 0u64;
+        let mut nbr_skipped = 0u64;
         match pas {
             Stored::Single { label } => {
                 for &u in g.neighbors(v) {
                     let u = u as usize;
                     if let (Some(l), Some(gl)) = (label, labels) {
                         if gl[u] != *l {
+                            nbr_skipped += 1;
                             continue;
                         }
                     }
                     // Singleton color sets rank as their color value.
                     pas_acc[coloring[u] as usize] += 1.0;
+                    nbr_visited += 1;
                     any = true;
                 }
             }
@@ -821,8 +986,10 @@ pub(crate) fn cut_rows_for<T: CountTable>(
                 for &u in g.neighbors(v) {
                     let u = u as usize;
                     if !tb.vertex_active(u) {
+                        nbr_skipped += 1;
                         continue;
                     }
+                    nbr_visited += 1;
                     any = true;
                     match tb.row_slice(u) {
                         Some(s) => {
@@ -837,6 +1004,14 @@ pub(crate) fn cut_rows_for<T: CountTable>(
                         }
                     }
                 }
+            }
+        }
+        if let Some(c) = cm {
+            if nbr_visited != 0 {
+                c.neighbors_visited.add(nbr_visited);
+            }
+            if nbr_skipped != 0 {
+                c.neighbors_skipped.add(nbr_skipped);
             }
         }
         if !any {
@@ -902,7 +1077,9 @@ pub(crate) fn cut_rows_for<T: CountTable>(
             .collect(),
         None => {
             let mut scratch = Vec::new();
-            (0..g.num_vertices()).map(|v| compute(&mut scratch, v)).collect()
+            (0..g.num_vertices())
+                .map(|v| compute(&mut scratch, v))
+                .collect()
         }
     }
 }
@@ -987,7 +1164,10 @@ mod tests {
     #[test]
     fn strategies_agree_exactly() {
         let g = gnm(50, 160, 22);
-        for t in [NamedTemplate::U5_2.template(), NamedTemplate::U7_2.template()] {
+        for t in [
+            NamedTemplate::U5_2.template(),
+            NamedTemplate::U7_2.template(),
+        ] {
             let mut one = cfg(4);
             one.strategy = PartitionStrategy::OneAtATime;
             let mut bal = cfg(4);
@@ -1148,6 +1328,87 @@ mod tests {
         assert_eq!(
             count_template_labeled(&g, &[0u8; 3], &tl, &cfg(1)).unwrap_err(),
             CountError::LabelLengthMismatch
+        );
+    }
+
+    /// Metrics on, disabled, or absent must not change any count (the
+    /// instrumentation is observe-only), and an enabled registry must end
+    /// up populated with the engine's metric families.
+    #[test]
+    fn metrics_do_not_change_counts() {
+        let g = gnm(45, 150, 83);
+        let t = NamedTemplate::U5_2.template();
+        let absent = cfg(6);
+        let disabled = CountConfig {
+            metrics: Some(Arc::new(Metrics::disabled())),
+            ..cfg(6)
+        };
+        let registry = Arc::new(Metrics::new());
+        let enabled = CountConfig {
+            metrics: Some(Arc::clone(&registry)),
+            ..cfg(6)
+        };
+        let a = count_template(&g, &t, &absent).unwrap();
+        let d = count_template(&g, &t, &disabled).unwrap();
+        let e = count_template(&g, &t, &enabled).unwrap();
+        assert_eq!(a.per_iteration, d.per_iteration, "disabled registry");
+        assert_eq!(a.per_iteration, e.per_iteration, "enabled registry");
+        assert_eq!(a.estimate, e.estimate);
+        // The enabled run recorded the engine metric families.
+        assert_eq!(registry.counter("engine.iterations.total").get(), 6);
+        assert_eq!(registry.histogram("engine.coloring_ns").count(), 6);
+        assert_eq!(registry.histogram("engine.iteration_ns").count(), 6);
+        assert!(registry.gauge("table.bytes.peak").get() > 0);
+        assert!(registry.counter("cut.roots.visited").get() > 0);
+        let json = registry.to_json();
+        assert!(json.contains("engine.dp_ns.n"), "per-subtemplate spans");
+    }
+
+    /// Outer-loop parallel runs record per-thread iteration counts whose
+    /// shards sum exactly to the iteration total (Fig. 9 visibility).
+    #[test]
+    fn metrics_expose_per_thread_work_counts() {
+        let g = gnm(45, 150, 89);
+        let t = Template::path(5);
+        let registry = Arc::new(Metrics::new());
+        let c = CountConfig {
+            metrics: Some(Arc::clone(&registry)),
+            parallel: ParallelMode::OuterLoop,
+            ..cfg(12)
+        };
+        let serial = count_template(&g, &t, &cfg(12)).unwrap();
+        let outer = count_template(&g, &t, &c).unwrap();
+        assert_eq!(serial.per_iteration, outer.per_iteration);
+        let iters = registry.counter("engine.iterations.total");
+        assert_eq!(iters.get(), 12);
+        assert_eq!(iters.shard_values().iter().sum::<u64>(), 12);
+        // Visited + skipped partitions the root-vertex scans exactly.
+        let visited = registry.counter("cut.roots.visited").get();
+        let skipped = registry.counter("cut.roots.skipped").get();
+        // P5 one-at-a-time: 4 cut nodes (sizes 2..=5) scan all 45
+        // vertices in each of the 12 iterations.
+        assert_eq!(visited + skipped, 45 * 4 * 12);
+    }
+
+    /// The hash layout reports probe statistics through the registry.
+    #[test]
+    fn metrics_report_hash_probe_stats() {
+        let g = gnm(40, 120, 97);
+        let registry = Arc::new(Metrics::new());
+        let c = CountConfig {
+            metrics: Some(Arc::clone(&registry)),
+            table: TableKind::Hash,
+            ..cfg(3)
+        };
+        count_template(&g, &Template::path(4), &c).unwrap();
+        let inserts = registry.counter("table.probe.inserts").get();
+        let steps = registry.counter("table.probe.steps").get();
+        assert!(inserts > 0, "hash tables were built");
+        assert!(steps >= inserts, "each insert takes at least one probe");
+        assert_eq!(
+            inserts,
+            registry.counter("table.entries.live").get(),
+            "every live entry was inserted once"
         );
     }
 
@@ -1312,12 +1573,7 @@ mod labeled_triangle_tests {
         let unlabeled = crate::exact::count_exact(&g, &Template::triangle());
         // Label multisets over {0, 1} of size 3: 000, 001, 011, 111.
         let mut sum = 0u128;
-        for labels in [
-            vec![0u8, 0, 0],
-            vec![0, 0, 1],
-            vec![0, 1, 1],
-            vec![1, 1, 1],
-        ] {
+        for labels in [vec![0u8, 0, 0], vec![0, 0, 1], vec![0, 1, 1], vec![1, 1, 1]] {
             let t = Template::triangle().with_labels(labels).unwrap();
             sum += count_exact_labeled(&g, &gl, &t);
         }

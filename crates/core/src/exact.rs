@@ -73,7 +73,17 @@ pub fn count_homomorphisms(g: &Graph, labels: Option<&[u8]>, t: &Template) -> u1
             image[0] = v0 as u32;
             let mut used = vec![false; n];
             used[v0] = true;
-            extend(g, labels, t, &order, &back, &mut image, &mut used, 1, &mut |_| {})
+            extend(
+                g,
+                labels,
+                t,
+                &order,
+                &back,
+                &mut image,
+                &mut used,
+                1,
+                &mut |_| {},
+            )
         })
         .sum()
 }
@@ -110,33 +120,43 @@ pub fn enumerate_embeddings(g: &Graph, t: &Template, mut visit: impl FnMut(&[u32
     for v0 in 0..n {
         image[0] = v0 as u32;
         used[v0] = true;
-        extend(g, None, t, &order, &back, &mut image, &mut used, 1, &mut |img| {
-            // img is indexed by match position; rebuild template-id order.
-            let mut by_tid = vec![0u32; k];
-            for (pos, &tv) in order.iter().enumerate() {
-                by_tid[tv as usize] = img[pos];
-            }
-            let mut edge_key: Vec<(u32, u32)> = t
-                .edges()
-                .iter()
-                .map(|&(a, b)| {
-                    let (x, y) = (by_tid[a as usize], by_tid[b as usize]);
-                    if x < y {
-                        (x, y)
-                    } else {
-                        (y, x)
-                    }
-                })
-                .collect();
-            edge_key.sort_unstable();
-            if edge_key.is_empty() {
-                // Single-vertex template: the occurrence is the vertex.
-                edge_key.push((by_tid[0], by_tid[0]));
-            }
-            if seen.insert(edge_key) {
-                visit(&by_tid);
-            }
-        });
+        extend(
+            g,
+            None,
+            t,
+            &order,
+            &back,
+            &mut image,
+            &mut used,
+            1,
+            &mut |img| {
+                // img is indexed by match position; rebuild template-id order.
+                let mut by_tid = vec![0u32; k];
+                for (pos, &tv) in order.iter().enumerate() {
+                    by_tid[tv as usize] = img[pos];
+                }
+                let mut edge_key: Vec<(u32, u32)> = t
+                    .edges()
+                    .iter()
+                    .map(|&(a, b)| {
+                        let (x, y) = (by_tid[a as usize], by_tid[b as usize]);
+                        if x < y {
+                            (x, y)
+                        } else {
+                            (y, x)
+                        }
+                    })
+                    .collect();
+                edge_key.sort_unstable();
+                if edge_key.is_empty() {
+                    // Single-vertex template: the occurrence is the vertex.
+                    edge_key.push((by_tid[0], by_tid[0]));
+                }
+                if seen.insert(edge_key) {
+                    visit(&by_tid);
+                }
+            },
+        );
         used[v0] = false;
     }
 }
@@ -188,7 +208,17 @@ fn extend(
         }
         image[depth] = cand;
         used[c] = true;
-        total += extend(g, labels, t, order, back, image, used, depth + 1, on_complete);
+        total += extend(
+            g,
+            labels,
+            t,
+            order,
+            back,
+            image,
+            used,
+            depth + 1,
+            on_complete,
+        );
         used[c] = false;
     }
     image[depth] = u32::MAX;

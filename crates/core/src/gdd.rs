@@ -72,8 +72,7 @@ pub fn gdd_agreement(a: &GddHistogram, b: &GddHistogram) -> f64 {
     let na = a.normalized();
     let nb = b.normalized();
     let mut sq = 0.0f64;
-    let keys: std::collections::BTreeSet<u64> =
-        na.keys().chain(nb.keys()).copied().collect();
+    let keys: std::collections::BTreeSet<u64> = na.keys().chain(nb.keys()).copied().collect();
     for j in keys {
         let x = na.get(&j).copied().unwrap_or(0.0);
         let y = nb.get(&j).copied().unwrap_or(0.0);

@@ -16,6 +16,10 @@
 //!   (§V-E),
 //! * [`gdd`] — graphlet degree distributions and Pržulj's agreement
 //!   (§V-F).
+//!
+//! Every entry point accepts an optional [`fascia_obs::Metrics`] registry
+//! via [`engine::CountConfig::metrics`]; see the `metrics` module docs for
+//! the metric names the engine records.
 
 pub mod coloring;
 pub mod directed;
@@ -24,6 +28,7 @@ pub mod engine;
 pub mod enumerate;
 pub mod exact;
 pub mod gdd;
+pub(crate) mod metrics;
 pub mod motifs;
 pub mod parallel;
 pub mod sample;

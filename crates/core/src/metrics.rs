@@ -1,0 +1,219 @@
+//! Engine-side metric resolution.
+//!
+//! The registry lookup (name → handle) takes a mutex, so the engine does it
+//! exactly once per counting run, before any iteration starts. The hot
+//! loops then carry an `Option<&RunMetrics>`: with metrics absent or
+//! disabled this is `None` and each instrumentation site costs a single
+//! pointer check.
+//!
+//! # Metric names
+//!
+//! All engine metrics live under these names (schema `fascia-obs/1`,
+//! additive-only — see DESIGN.md §Observability):
+//!
+//! | name | kind | meaning |
+//! |------|------|---------|
+//! | `engine.coloring_ns` | histogram | per-iteration random-coloring time |
+//! | `engine.iteration_ns` | histogram | per-iteration full DP time |
+//! | `engine.dp_ns.<node>` | histogram | per-subtemplate DP time (one per partition node, e.g. `n03.cut5`) |
+//! | `engine.iterations.total` | counter | iterations run (shards = per-thread iteration counts, outer-loop balance) |
+//! | `engine.iterations.colorful` | counter | iterations whose root total was non-zero (colorful-hit rate) |
+//! | `engine.threads` | gauge | worker threads of the resolved parallel mode |
+//! | `cut.roots.visited` / `cut.roots.skipped` | counter | root vertices processed vs. skipped by the "initialized" check (shards = per-thread work counts) |
+//! | `cut.neighbors.visited` / `cut.neighbors.skipped` | counter | passive-side neighbor reads vs. skips |
+//! | `triangle.candidates` / `triangle.colorful` | counter | triangle closures found vs. those with all-distinct colors |
+//! | `table.bytes.peak` | gauge | measured peak live DP bytes within one iteration |
+//! | `table.bytes.built` | counter | bytes allocated across all built tables |
+//! | `table.rows.materialized` / `table.rows.nonzero` | counter | rows the layout paid for vs. rows holding counts |
+//! | `table.entries.live` | counter | non-zero (vertex, colorset) entries |
+//! | `table.probe.inserts` / `table.probe.steps` | counter | hash-layout insert count and total probe steps |
+//! | `table.probe.max` | gauge | longest hash probe chain seen |
+
+use fascia_obs::{Counter, Gauge, Histogram, Metrics};
+use fascia_table::{CountTable, TableStats};
+use fascia_template::partition::NodeKind;
+use fascia_template::PartitionTree;
+use std::sync::Arc;
+
+/// Handles for the cut-node inner loop (Alg. 2 line 2).
+pub(crate) struct CutMetrics {
+    pub roots_visited: Arc<Counter>,
+    pub roots_skipped: Arc<Counter>,
+    pub neighbors_visited: Arc<Counter>,
+    pub neighbors_skipped: Arc<Counter>,
+}
+
+/// Handles for the triangle base case.
+pub(crate) struct TriangleMetrics {
+    pub candidates: Arc<Counter>,
+    pub colorful: Arc<Counter>,
+}
+
+/// Handles for table construction accounting.
+pub(crate) struct TableMetrics {
+    pub bytes_peak: Arc<Gauge>,
+    pub bytes_built: Arc<Counter>,
+    pub rows_materialized: Arc<Counter>,
+    pub rows_nonzero: Arc<Counter>,
+    pub entries_live: Arc<Counter>,
+    pub probe_inserts: Arc<Counter>,
+    pub probe_steps: Arc<Counter>,
+    pub probe_max: Arc<Gauge>,
+}
+
+impl TableMetrics {
+    /// Records one built table's measured statistics.
+    pub(crate) fn record<T: CountTable>(&self, table: &T) {
+        let TableStats {
+            allocated_bytes,
+            rows_materialized,
+            nonzero_rows,
+            live_entries,
+            probe,
+        } = table.stats();
+        self.bytes_built.add(allocated_bytes as u64);
+        self.rows_materialized.add(rows_materialized as u64);
+        self.rows_nonzero.add(nonzero_rows as u64);
+        self.entries_live.add(live_entries as u64);
+        if let Some(p) = probe {
+            self.probe_inserts.add(p.inserts);
+            self.probe_steps.add(p.probes);
+            self.probe_max.set_max(p.max_probe);
+        }
+    }
+}
+
+/// All metric handles one counting run needs, resolved up front.
+pub(crate) struct RunMetrics {
+    pub coloring_ns: Arc<Histogram>,
+    pub iteration_ns: Arc<Histogram>,
+    /// Per-subtemplate DP span, indexed by partition-node id (`None` for
+    /// nodes outside the unique evaluation order).
+    pub node_ns: Vec<Option<Arc<Histogram>>>,
+    pub iterations_total: Arc<Counter>,
+    pub iterations_colorful: Arc<Counter>,
+    pub threads: Arc<Gauge>,
+    pub cut: CutMetrics,
+    pub triangle: TriangleMetrics,
+    pub table: TableMetrics,
+}
+
+impl RunMetrics {
+    /// Resolves every handle against `m` for the given partition tree.
+    /// Returns `None` when metrics are absent or disabled, which is what
+    /// the hot loops branch on.
+    pub(crate) fn resolve(m: Option<&Metrics>, pt: &PartitionTree) -> Option<Self> {
+        let m = m.filter(|m| m.is_enabled())?;
+        let mut node_ns: Vec<Option<Arc<Histogram>>> = vec![None; pt.nodes().len()];
+        for &idx in pt.unique_order() {
+            let node = &pt.nodes()[idx as usize];
+            let kind = match node.kind {
+                NodeKind::Vertex => "vertex",
+                NodeKind::Triangle { .. } => "triangle",
+                NodeKind::Cut { .. } => "cut",
+            };
+            let name = format!("engine.dp_ns.n{idx:02}.{kind}{}", node.size);
+            node_ns[idx as usize] = Some(m.histogram(&name));
+        }
+        Some(Self {
+            coloring_ns: m.histogram("engine.coloring_ns"),
+            iteration_ns: m.histogram("engine.iteration_ns"),
+            node_ns,
+            iterations_total: m.counter("engine.iterations.total"),
+            iterations_colorful: m.counter("engine.iterations.colorful"),
+            threads: m.gauge("engine.threads"),
+            cut: CutMetrics {
+                roots_visited: m.counter("cut.roots.visited"),
+                roots_skipped: m.counter("cut.roots.skipped"),
+                neighbors_visited: m.counter("cut.neighbors.visited"),
+                neighbors_skipped: m.counter("cut.neighbors.skipped"),
+            },
+            triangle: TriangleMetrics {
+                candidates: m.counter("triangle.candidates"),
+                colorful: m.counter("triangle.colorful"),
+            },
+            table: TableMetrics {
+                bytes_peak: m.gauge("table.bytes.peak"),
+                bytes_built: m.counter("table.bytes.built"),
+                rows_materialized: m.counter("table.rows.materialized"),
+                rows_nonzero: m.counter("table.rows.nonzero"),
+                entries_live: m.counter("table.entries.live"),
+                probe_inserts: m.counter("table.probe.inserts"),
+                probe_steps: m.counter("table.probe.steps"),
+                probe_max: m.gauge("table.probe.max"),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fascia_template::{PartitionStrategy, Template};
+
+    #[test]
+    fn resolve_requires_enabled_metrics() {
+        let t = Template::path(5);
+        let pt = PartitionTree::build(&t, PartitionStrategy::OneAtATime).unwrap();
+        assert!(RunMetrics::resolve(None, &pt).is_none());
+        let off = Metrics::disabled();
+        assert!(RunMetrics::resolve(Some(&off), &pt).is_none());
+        let on = Metrics::new();
+        let rm = RunMetrics::resolve(Some(&on), &pt).unwrap();
+        // Every node in the unique evaluation order got a span histogram.
+        for &idx in pt.unique_order() {
+            assert!(rm.node_ns[idx as usize].is_some());
+        }
+    }
+
+    /// Sharded counters stay exact when driven from a rayon parallel
+    /// iterator, and per-worker registries merge without loss.
+    #[test]
+    fn counter_merge_across_rayon_scope_sums_exactly() {
+        use rayon::prelude::*;
+
+        // One shared counter incremented from rayon workers.
+        let shared = Metrics::new();
+        let c = shared.counter("shared.work");
+        let n: usize = (0..50_000usize)
+            .into_par_iter()
+            .map(|_| {
+                c.inc();
+                1usize
+            })
+            .sum();
+        assert_eq!(n, 50_000);
+        assert_eq!(c.get(), 50_000);
+        assert_eq!(c.shard_values().iter().sum::<u64>(), 50_000);
+
+        // Per-worker registries merged into a total.
+        let total = Metrics::new();
+        let locals: Vec<Metrics> = (0..8usize)
+            .into_par_iter()
+            .map(|_| {
+                let local = Metrics::new();
+                for _ in 0..10_000 {
+                    local.counter("work").inc();
+                }
+                local
+            })
+            .collect();
+        for local in &locals {
+            total.merge(local);
+        }
+        assert_eq!(total.counter("work").get(), 80_000);
+    }
+
+    #[test]
+    fn node_span_names_describe_the_subtemplate() {
+        let t = Template::path(4);
+        let pt = PartitionTree::build(&t, PartitionStrategy::OneAtATime).unwrap();
+        let m = Metrics::new();
+        RunMetrics::resolve(Some(&m), &pt).unwrap();
+        let json = m.to_json();
+        assert!(
+            json.contains("engine.dp_ns.n"),
+            "expected per-node histograms in {json}"
+        );
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::engine::{count_template, CountConfig, CountError};
 use fascia_graph::Graph;
+use fascia_obs::SpanTimer;
 use fascia_template::gen::all_free_trees;
 use fascia_template::Template;
 use std::time::Duration;
@@ -69,7 +70,14 @@ pub fn motif_profile(
     let templates = all_free_trees(size);
     let mut counts = Vec::with_capacity(templates.len());
     let mut times = Vec::with_capacity(templates.len());
+    // One span per topology scanned, on top of the engine's own metrics.
+    let template_hist = cfg
+        .metrics
+        .as_deref()
+        .filter(|m| m.is_enabled())
+        .map(|m| m.histogram("motifs.template_ns"));
     for t in &templates {
+        let _span = SpanTimer::start_opt(template_hist.as_deref());
         let r = count_template(g, t, cfg)?;
         counts.push(r.estimate);
         times.push(r.per_iteration_time);
@@ -150,12 +158,7 @@ mod tests {
         let err = mean_relative_error(&p.counts, &exact);
         assert!(err < 0.15, "mean relative error {err}");
         // Dominant topology agrees with the exact dominant one.
-        let exact_dom = exact
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &c)| c)
-            .unwrap()
-            .0;
+        let exact_dom = exact.iter().enumerate().max_by_key(|&(_, &c)| c).unwrap().0;
         assert_eq!(p.dominant(), Some(exact_dom));
     }
 

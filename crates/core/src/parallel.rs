@@ -87,7 +87,10 @@ mod tests {
             ParallelMode::Auto.resolve(1_000_000, 10),
             ParallelMode::InnerLoop
         );
-        assert_eq!(ParallelMode::Auto.resolve(1_000, 1), ParallelMode::InnerLoop);
+        assert_eq!(
+            ParallelMode::Auto.resolve(1_000, 1),
+            ParallelMode::InnerLoop
+        );
     }
 
     #[test]

@@ -123,7 +123,9 @@ fn build_retained_tables(
                     let pas = stored[p_node.canon_id as usize]
                         .as_ref()
                         .expect("passive computed");
-                    cut_rows(g, None, node, a_node, p_node, act, pas, ctx, coloring, false)
+                    cut_rows(
+                        g, None, node, a_node, p_node, act, pas, ctx, coloring, false,
+                    )
                 };
                 stored[cid] = Some(Stored::Table(LazyTable::from_rows(
                     n,
@@ -195,8 +197,7 @@ impl<'a> Sampler<'a> {
             for (cs, &w) in row.iter().enumerate() {
                 if r < w {
                     let mut image = vec![u32::MAX; self.pt.root().size as usize];
-                    let mut full_image =
-                        vec![u32::MAX; fascia_template::tree::MAX_TEMPLATE_SIZE];
+                    let mut full_image = vec![u32::MAX; fascia_template::tree::MAX_TEMPLATE_SIZE];
                     self.descend(0, v, cs, rng, &mut full_image);
                     // Compact to template-vertex order.
                     for (tv, slot) in image.iter_mut().enumerate() {
@@ -215,14 +216,7 @@ impl<'a> Sampler<'a> {
     /// Recursively assigns graph vertices to the template vertices of the
     /// subtemplate at `node_idx`, given its root maps to `v` with color
     /// set index `cs`.
-    fn descend(
-        &self,
-        node_idx: u32,
-        v: usize,
-        cs: usize,
-        rng: &mut SmallRng,
-        image: &mut [u32],
-    ) {
+    fn descend(&self, node_idx: u32, v: usize, cs: usize, rng: &mut SmallRng, image: &mut [u32]) {
         let node = &self.pt.nodes()[node_idx as usize];
         match node.kind {
             NodeKind::Vertex => {
@@ -324,13 +318,7 @@ impl<'a> Sampler<'a> {
                                 && self.value(passive, u as usize, sp.passive as usize) > 0.0
                             {
                                 self.descend(active, v, sp.active as usize, rng, image);
-                                self.descend(
-                                    passive,
-                                    u as usize,
-                                    sp.passive as usize,
-                                    rng,
-                                    image,
-                                );
+                                self.descend(passive, u as usize, sp.passive as usize, rng, image);
                                 return;
                             }
                         }

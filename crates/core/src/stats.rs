@@ -175,7 +175,11 @@ mod tests {
             ..CountConfig::default()
         };
         let (result, stats) = count_until_converged(&g, &t, &base, 0.05, 5000).unwrap();
-        assert!(stats.relative_ci95() <= 0.05, "rel CI {}", stats.relative_ci95());
+        assert!(
+            stats.relative_ci95() <= 0.05,
+            "rel CI {}",
+            stats.relative_ci95()
+        );
         let exact = count_exact(&g, &t) as f64;
         let rel = (result.estimate - exact).abs() / exact;
         assert!(rel < 0.08, "estimate {} vs exact {exact}", result.estimate);

@@ -262,8 +262,20 @@ mod tests {
             assert!(is_connected(&g));
             let n_err = (g.num_vertices() as f64 - spec.n as f64).abs() / spec.n as f64;
             let m_err = (g.num_edges() as f64 - spec.m as f64).abs() / spec.m as f64;
-            assert!(n_err < 0.02, "{}: n {} vs {}", spec.name, g.num_vertices(), spec.n);
-            assert!(m_err < 0.12, "{}: m {} vs {}", spec.name, g.num_edges(), spec.m);
+            assert!(
+                n_err < 0.02,
+                "{}: n {} vs {}",
+                spec.name,
+                g.num_vertices(),
+                spec.n
+            );
+            assert!(
+                m_err < 0.12,
+                "{}: m {} vs {}",
+                spec.name,
+                g.num_edges(),
+                spec.m
+            );
         }
     }
 

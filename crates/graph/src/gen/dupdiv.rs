@@ -25,12 +25,7 @@ pub fn duplication_divergence(n: usize, p_retain: f64, p_anchor: f64, seed: u64)
     assert!((0.0..=1.0).contains(&p_retain) && (0.0..=1.0).contains(&p_anchor));
     let mut rng = SmallRng::seed_from_u64(seed);
     // Adjacency as vector-of-vectors during growth; converted to CSR at end.
-    let mut adj: Vec<Vec<u32>> = vec![
-        vec![1, 3],
-        vec![0, 2],
-        vec![1, 3],
-        vec![0, 2],
-    ];
+    let mut adj: Vec<Vec<u32>> = vec![vec![1, 3], vec![0, 2], vec![1, 3], vec![0, 2]];
     adj.reserve(n);
     for v in 4..n as u32 {
         let anchor = rng.gen_range(0..v);
@@ -73,7 +68,10 @@ pub fn duplication_divergence(n: usize, p_retain: f64, p_anchor: f64, seed: u64)
 /// # Panics
 /// Panics if `target_m < n` (too sparse for the model's connectivity floor).
 pub fn duplication_divergence_target_m(n: usize, target_m: usize, seed: u64) -> Graph {
-    assert!(target_m >= n - 1, "target too sparse for a connected PPI model");
+    assert!(
+        target_m >= n - 1,
+        "target too sparse for a connected PPI model"
+    );
     let p_anchor = 0.45;
     let (mut lo, mut hi) = (0.0f64, 0.95f64);
     let mut best: Option<(usize, Graph)> = None;

@@ -49,7 +49,10 @@ pub(crate) fn top_up_edges(
     target_m: usize,
     rng: &mut SmallRng,
 ) {
-    assert!(n >= 2 || edges.len() >= target_m, "cannot add edges to a graph with < 2 vertices");
+    assert!(
+        n >= 2 || edges.len() >= target_m,
+        "cannot add edges to a graph with < 2 vertices"
+    );
     let max_possible = n * (n - 1) / 2;
     assert!(
         target_m <= max_possible,

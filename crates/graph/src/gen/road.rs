@@ -70,7 +70,10 @@ pub fn road_grid(rows: usize, cols: usize, target_m: usize, seed: u64) -> Graph 
     let mut guard = 0u64;
     while edges.len() < target_m {
         guard += 1;
-        assert!(guard < 10_000_000_u64.max(100 * grid_edges as u64), "road top-up stalled");
+        assert!(
+            guard < 10_000_000_u64.max(100 * grid_edges as u64),
+            "road top-up stalled"
+        );
         let r = rng.gen_range(0..rows);
         let c = rng.gen_range(0..cols);
         let horizontal = rng.gen_bool(0.5);

@@ -19,7 +19,10 @@ use std::collections::HashSet;
 /// Panics unless `k_nearest` is even, `0 < k_nearest < n`, and `beta` is a
 /// probability.
 pub fn watts_strogatz(n: usize, k_nearest: usize, beta: f64, seed: u64) -> Graph {
-    assert!(k_nearest > 0 && k_nearest.is_multiple_of(2), "k_nearest must be even and positive");
+    assert!(
+        k_nearest > 0 && k_nearest.is_multiple_of(2),
+        "k_nearest must be even and positive"
+    );
     assert!(k_nearest < n, "ring degree must be below n");
     assert!((0.0..=1.0).contains(&beta));
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -85,8 +88,7 @@ mod tests {
     #[test]
     fn high_beta_breaks_regularity() {
         let g = watts_strogatz(300, 4, 1.0, 4);
-        let spread = g.max_degree() as i64
-            - (0..300).map(|v| g.degree(v)).min().unwrap() as i64;
+        let spread = g.max_degree() as i64 - (0..300).map(|v| g.degree(v)).min().unwrap() as i64;
         assert!(spread >= 2, "rewired graph should not be regular");
     }
 

@@ -60,10 +60,7 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<(Graph, Vec<u64>), IoErro
         }
     }
     // Compact ids.
-    let mut ids: Vec<u64> = raw_edges
-        .iter()
-        .flat_map(|&(u, v)| [u, v])
-        .collect();
+    let mut ids: Vec<u64> = raw_edges.iter().flat_map(|&(u, v)| [u, v]).collect();
     ids.sort_unstable();
     ids.dedup();
     let index: HashMap<u64, u32> = ids
@@ -88,7 +85,12 @@ pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<(Graph, Vec<u64>), IoEr
 pub fn write_edge_list<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), IoError> {
     let file = std::fs::File::create(path)?;
     let mut w = BufWriter::new(file);
-    writeln!(w, "# fascia edge list: n={} m={}", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# fascia edge list: n={} m={}",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{u} {v}")?;
     }

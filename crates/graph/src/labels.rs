@@ -21,7 +21,9 @@ pub fn random_labels(n: usize, num_labels: usize, seed: u64) -> Vec<Label> {
     assert!(num_labels > 0, "need at least one label");
     assert!(num_labels <= 256, "labels are u8");
     let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(0..num_labels) as Label).collect()
+    (0..n)
+        .map(|_| rng.gen_range(0..num_labels) as Label)
+        .collect()
 }
 
 /// Histogram of label occurrences (length `num_labels`).
@@ -59,8 +61,10 @@ mod tests {
         assert_eq!(h.iter().sum::<usize>(), 10_000);
         // Roughly uniform: each bucket within 4 sigma of 1250.
         for &c in &h {
-            assert!((c as f64 - 1250.0).abs() < 4.0 * (10_000.0f64 * (1.0 / 8.0) * (7.0 / 8.0)).sqrt(),
-                "bucket count {c} too far from uniform");
+            assert!(
+                (c as f64 - 1250.0).abs() < 4.0 * (10_000.0f64 * (1.0 / 8.0) * (7.0 / 8.0)).sqrt(),
+                "bucket count {c} too far from uniform"
+            );
         }
     }
 

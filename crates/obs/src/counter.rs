@@ -1,0 +1,199 @@
+//! Sharded atomic counters and gauges.
+//!
+//! A [`Counter`] spreads increments over [`SHARDS`] cache-line-padded cells
+//! indexed by a per-thread slot, so the engine's inner loops never serialize
+//! on one atomic. The per-shard values double as per-thread work counts:
+//! the imbalance between inner- and outer-loop parallel modes (paper Fig. 9)
+//! is visible directly in [`Counter::shard_values`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of shards per counter. Increments from more threads than this wrap
+/// around and share slots, which keeps totals exact and only coarsens the
+/// per-thread breakdown.
+pub const SHARDS: usize = 16;
+
+static NEXT_THREAD_SLOT: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_SLOT: usize =
+        NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed) as usize;
+}
+
+/// Stable small integer identifying the current thread for shard selection.
+///
+/// Assigned on first use per thread, monotonically; short-lived worker
+/// threads (one scoped pool per parallel operation) therefore rotate through
+/// shard slots rather than piling onto slot 0.
+#[inline]
+pub fn thread_slot() -> usize {
+    THREAD_SLOT.with(|s| *s)
+}
+
+/// One cache line worth of counter cell, to prevent false sharing between
+/// shards that live in the same allocation.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedCell(AtomicU64);
+
+/// A monotone event counter with per-thread-slot shards.
+///
+/// `add`/`inc` are relaxed atomic adds on the caller's shard; `get` sums all
+/// shards. Exactness: every increment lands in exactly one shard, so the sum
+/// over shards equals the number of increments regardless of interleaving.
+#[derive(Debug, Default)]
+pub struct Counter {
+    shards: [PaddedCell; SHARDS],
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the current thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let slot = thread_slot() % SHARDS;
+        self.shards[slot].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Total across all shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-shard (≈ per-thread) values, in slot order.
+    pub fn shard_values(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Adds every shard of `other` into the matching shard of `self`.
+    pub fn merge(&self, other: &Counter) {
+        for (dst, src) in self.shards.iter().zip(other.shards.iter()) {
+            let v = src.0.load(Ordering::Relaxed);
+            if v != 0 {
+                dst.0.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A last-value / high-watermark cell for sizes and levels (table bytes,
+/// rows materialized, thread counts). Unsharded: gauges are written at
+/// phase boundaries, not in inner loops.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is larger (high-watermark semantics).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to the value.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Merges by high-watermark: peaks stay peaks across worker registries.
+    pub fn merge(&self, other: &Gauge) {
+        self.set_max(other.get());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads_exactly() {
+        let c = Counter::new();
+        let threads = 8;
+        let per = 25_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..per {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), threads * per);
+        assert_eq!(c.shard_values().iter().sum::<u64>(), threads * per);
+    }
+
+    #[test]
+    fn counter_merge_adds_shardwise() {
+        let a = Counter::new();
+        let b = Counter::new();
+        a.add(5);
+        b.add(7);
+        a.merge(&b);
+        assert_eq!(a.get(), 12);
+        assert_eq!(b.get(), 7);
+    }
+
+    #[test]
+    fn thread_slots_differ_across_threads() {
+        let here = thread_slot();
+        let there = std::thread::spawn(thread_slot).join().unwrap();
+        assert_ne!(here, there);
+        // Stable within a thread.
+        assert_eq!(here, thread_slot());
+    }
+
+    #[test]
+    fn gauge_set_max_and_merge() {
+        let g = Gauge::new();
+        g.set(10);
+        g.set_max(5);
+        assert_eq!(g.get(), 10);
+        g.set_max(20);
+        assert_eq!(g.get(), 20);
+        let h = Gauge::new();
+        h.set(15);
+        g.merge(&h);
+        assert_eq!(g.get(), 20);
+        let i = Gauge::new();
+        i.set(99);
+        g.merge(&i);
+        assert_eq!(g.get(), 99);
+        g.add(1);
+        assert_eq!(g.get(), 100);
+    }
+}

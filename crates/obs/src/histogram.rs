@@ -1,0 +1,251 @@
+//! Lock-free log2-bucketed histogram.
+//!
+//! Bucket `i` (for `i >= 1`) covers values in `[2^(i-1), 2^i)`; bucket 0
+//! holds exactly the value 0. With `u64` values this needs 65 buckets.
+//! Recording is a handful of relaxed atomic ops; quantiles are recovered
+//! from bucket counts and reported as the *upper bound* of the bucket the
+//! quantile falls in, i.e. within a factor of 2 of the true value — plenty
+//! for span timings whose interesting differences are orders of magnitude.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets: one for zero plus one per bit of `u64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// Index of the bucket covering `v`.
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Exclusive upper bound of bucket `i` (inclusive bound is `this - 1`;
+/// bucket 0's sole member is 0). Saturates at `u64::MAX` for the top bucket.
+#[inline]
+pub(crate) fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        1
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// A fixed-size, lock-free value distribution.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observed value, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        let v = self.min.load(Ordering::Relaxed);
+        (v != u64::MAX || self.count() > 0).then_some(v)
+    }
+
+    /// Largest observed value, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.max.load(Ordering::Relaxed))
+    }
+
+    /// Mean of observed values, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum() as f64 / n as f64)
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// first bucket whose cumulative count reaches `ceil(q * count)`.
+    /// Within a factor of 2 of the exact order statistic; `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                return Some(if i == 0 { 0 } else { bucket_upper_bound(i) - 1 });
+            }
+        }
+        self.max()
+    }
+
+    /// Non-empty buckets as `(exclusive_upper_bound, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c != 0).then(|| (bucket_upper_bound(i), c))
+            })
+            .collect()
+    }
+
+    /// Adds every bucket and the sum/min/max of `other` into `self`.
+    pub fn merge(&self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = src.load(Ordering::Relaxed);
+            if v != 0 {
+                dst.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // 0 is its own bucket.
+        assert_eq!(bucket_index(0), 0);
+        // Each power of two opens a new bucket; its predecessor closes one.
+        for i in 0..64 {
+            let p = 1u64 << i;
+            assert_eq!(bucket_index(p), i + 1, "2^{i} must open bucket {}", i + 1);
+            if p > 1 {
+                assert_eq!(bucket_index(p - 1), i, "2^{i}-1 must stay in bucket {i}");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 1);
+        assert_eq!(bucket_upper_bound(3), 8);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_recovered_within_bucket_resolution() {
+        let h = Histogram::new();
+        // 100 observations of 1000 and 1 outlier of 1_000_000.
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.count(), 101);
+        assert_eq!(h.sum(), 100 * 1000 + 1_000_000);
+        assert_eq!(h.min(), Some(1000));
+        assert_eq!(h.max(), Some(1_000_000));
+        // p50 and p90 land in the bucket containing 1000: [512, 1024).
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((1000..1024).contains(&(p50 as usize)), "p50 = {p50}");
+        assert_eq!(h.quantile(0.5), h.quantile(0.9));
+        // p100 lands in the outlier's bucket [2^19, 2^20).
+        let p100 = h.quantile(1.0).unwrap();
+        assert!(
+            (1_000_000..(1 << 20)).contains(&(p100 as usize)),
+            "p100 = {p100}"
+        );
+        // The quantile never undershoots the true order statistic by more
+        // than its bucket width: upper bound >= true value.
+        assert!(p50 >= 1000);
+        assert!(p100 >= 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn zero_values_are_tracked() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(0));
+        assert_eq!(h.quantile(0.5), Some(0));
+        assert_eq!(h.nonzero_buckets(), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn merge_combines_distributions() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 1013);
+        assert_eq!(a.min(), Some(3));
+        assert_eq!(a.max(), Some(1000));
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn concurrent_records_sum_exactly() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + (i % 7));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+    }
+}

@@ -1,0 +1,146 @@
+//! A minimal JSON writer — just enough to emit metric reports and bench
+//! rows without any third-party serialization crate.
+//!
+//! Output is compact (no whitespace), keys are written in the order the
+//! caller supplies them, and floats render via Rust's shortest-roundtrip
+//! `Display` (non-finite floats become `null`, as JSON requires).
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` as a JSON string literal, with escaping.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` to `out` as a JSON number, or `null` if non-finite.
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Builder for one JSON object; tracks comma placement.
+#[derive(Debug, Default)]
+pub struct ObjectWriter {
+    buf: String,
+    any: bool,
+}
+
+impl ObjectWriter {
+    /// Opens `{`.
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        write_str(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    /// Adds `"k":"v"`.
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        write_str(&mut self.buf, v);
+        self
+    }
+
+    /// Adds `"k":v` for an unsigned integer.
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds `"k":v` for a float (`null` if non-finite).
+    pub fn field_f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        write_f64(&mut self.buf, v);
+        self
+    }
+
+    /// Adds `"k":<raw>` where `raw` is already-valid JSON.
+    pub fn field_raw(&mut self, k: &str, raw: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// Closes `}` and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Joins already-serialized JSON values into an array.
+pub fn array_of(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        write_str(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn object_builder_places_commas() {
+        let mut o = ObjectWriter::new();
+        o.field_str("s", "x").field_u64("n", 7).field_f64("f", 1.5);
+        assert_eq!(o.finish(), r#"{"s":"x","n":7,"f":1.5}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut o = ObjectWriter::new();
+        o.field_f64("nan", f64::NAN).field_f64("inf", f64::INFINITY);
+        assert_eq!(o.finish(), r#"{"nan":null,"inf":null}"#);
+    }
+
+    #[test]
+    fn arrays_join() {
+        assert_eq!(array_of(vec!["1".into(), "2".into()]), "[1,2]");
+        assert_eq!(array_of(Vec::<String>::new()), "[]");
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(ObjectWriter::new().finish(), "{}");
+    }
+}

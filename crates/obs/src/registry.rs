@@ -1,0 +1,289 @@
+//! The metrics registry: named counters/gauges/histograms plus stable
+//! pretty and JSON reports.
+//!
+//! A [`Metrics`] value is created by whoever owns a run (the CLI, a bench
+//! binary, a test) and threaded explicitly through the engine — there is no
+//! global registry. Registration takes a short mutex; hot paths never touch
+//! the maps because callers resolve `Arc` handles once up front.
+//!
+//! # JSON schema (`fascia-obs/1`)
+//!
+//! The schema is **stable and additive-only**: existing keys keep their
+//! meaning and type forever; new keys may appear in any release.
+//!
+//! ```json
+//! {
+//!   "schema": "fascia-obs/1",
+//!   "counters":   { "<name>": { "total": u64, "per_thread": [u64, ...] } },
+//!   "gauges":     { "<name>": u64 },
+//!   "histograms": { "<name>": {
+//!       "count": u64, "sum": u64, "min": u64, "max": u64, "mean": f64,
+//!       "p50": u64, "p90": u64, "p99": u64,
+//!       "buckets": [ { "le": u64, "count": u64 }, ... ]
+//!   } }
+//! }
+//! ```
+//!
+//! Counter `per_thread` lists per-shard (≈ per-thread) increments with
+//! trailing zero shards trimmed; histogram quantiles are log2-bucket upper
+//! bounds (within 2x of exact); `buckets[].le` is the bucket's inclusive
+//! upper value bound.
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::Histogram;
+use crate::json::{array_of, ObjectWriter};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Registry of named metrics. Cheap to share via `Arc`; all methods take
+/// `&self`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    enabled: bool,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Metrics {
+    /// Creates an enabled registry.
+    pub fn new() -> Self {
+        Self {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// Creates a registry that instrumented code should treat as off: it
+    /// still hands out working handles (so code needs no special cases),
+    /// but [`Metrics::is_enabled`] is `false` and the engine skips
+    /// resolving handles against it. Used to measure the cost of the
+    /// disabled path vs. no metrics at all.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Default::default()
+        }
+    }
+
+    /// Whether instrumented code should record into this registry.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Returns the counter named `name`, creating it if absent.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Returns the gauge named `name`, creating it if absent.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Returns the histogram named `name`, creating it if absent.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Folds every metric of `other` into `self`: counters and histograms
+    /// add, gauges take the maximum (peaks survive). Metrics absent from
+    /// `self` are created.
+    pub fn merge(&self, other: &Metrics) {
+        for (name, src) in other.counters.lock().unwrap().iter() {
+            self.counter(name).merge(src);
+        }
+        for (name, src) in other.gauges.lock().unwrap().iter() {
+            self.gauge(name).merge(src);
+        }
+        for (name, src) in other.histograms.lock().unwrap().iter() {
+            self.histogram(name).merge(src);
+        }
+    }
+
+    /// Renders the `fascia-obs/1` JSON document (compact, keys sorted).
+    pub fn to_json(&self) -> String {
+        let mut counters = ObjectWriter::new();
+        for (name, c) in self.counters.lock().unwrap().iter() {
+            let mut shards = c.shard_values();
+            while shards.last() == Some(&0) {
+                shards.pop();
+            }
+            let mut o = ObjectWriter::new();
+            o.field_u64("total", c.get()).field_raw(
+                "per_thread",
+                &array_of(shards.iter().map(|v| v.to_string())),
+            );
+            counters.field_raw(name, &o.finish());
+        }
+        let mut gauges = ObjectWriter::new();
+        for (name, g) in self.gauges.lock().unwrap().iter() {
+            gauges.field_u64(name, g.get());
+        }
+        let mut histograms = ObjectWriter::new();
+        for (name, h) in self.histograms.lock().unwrap().iter() {
+            let mut o = ObjectWriter::new();
+            o.field_u64("count", h.count())
+                .field_u64("sum", h.sum())
+                .field_u64("min", h.min().unwrap_or(0))
+                .field_u64("max", h.max().unwrap_or(0))
+                .field_f64("mean", h.mean().unwrap_or(0.0))
+                .field_u64("p50", h.quantile(0.50).unwrap_or(0))
+                .field_u64("p90", h.quantile(0.90).unwrap_or(0))
+                .field_u64("p99", h.quantile(0.99).unwrap_or(0))
+                .field_raw(
+                    "buckets",
+                    &array_of(h.nonzero_buckets().into_iter().map(|(le, count)| {
+                        let mut b = ObjectWriter::new();
+                        // `le` is exclusive internally; report inclusive.
+                        b.field_u64("le", le.saturating_sub(1))
+                            .field_u64("count", count);
+                        b.finish()
+                    })),
+                );
+            histograms.field_raw(name, &o.finish());
+        }
+        let mut root = ObjectWriter::new();
+        root.field_str("schema", "fascia-obs/1")
+            .field_raw("counters", &counters.finish())
+            .field_raw("gauges", &gauges.finish())
+            .field_raw("histograms", &histograms.finish());
+        root.finish()
+    }
+
+    /// Renders a human-readable table of every metric.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        let counters = self.counters.lock().unwrap();
+        if !counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, c) in counters.iter() {
+                let shards: Vec<u64> = c.shard_values().into_iter().filter(|&v| v != 0).collect();
+                let _ = write!(out, "  {name:<44} {:>14}", c.get());
+                if shards.len() > 1 {
+                    let _ = write!(out, "  per-thread {shards:?}");
+                }
+                out.push('\n');
+            }
+        }
+        drop(counters);
+        let gauges = self.gauges.lock().unwrap();
+        if !gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, g) in gauges.iter() {
+                let _ = writeln!(out, "  {name:<44} {:>14}", g.get());
+            }
+        }
+        drop(gauges);
+        let histograms = self.histograms.lock().unwrap();
+        if !histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in histograms.iter() {
+                let _ = writeln!(
+                    out,
+                    "  {name:<44} n={} mean={} p50<={} p99<={} max={}",
+                    h.count(),
+                    h.mean().map_or_else(|| "-".into(), |m| format!("{m:.1}")),
+                    h.quantile(0.5).unwrap_or(0),
+                    h.quantile(0.99).unwrap_or(0),
+                    h.max().unwrap_or(0),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Convenience wrapper bundling a registry with how it should be reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsReport {
+    /// No collection, no output.
+    Off,
+    /// Human-readable table on stderr.
+    Pretty,
+    /// One-line `fascia-obs/1` JSON document on stdout.
+    Json,
+}
+
+impl MetricsReport {
+    /// Parses a `--metrics` flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(Self::Off),
+            "pretty" => Some(Self::Pretty),
+            "json" => Some(Self::Json),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let m = Metrics::new();
+        let a = m.counter("x");
+        let b = m.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(m.counter("x").get(), 5);
+    }
+
+    #[test]
+    fn merge_creates_missing_metrics() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        b.counter("only_in_b").add(4);
+        b.gauge("g").set(10);
+        b.histogram("h").record(100);
+        a.gauge("g").set(3);
+        a.merge(&b);
+        assert_eq!(a.counter("only_in_b").get(), 4);
+        assert_eq!(a.gauge("g").get(), 10, "gauge merge takes the max");
+        assert_eq!(a.histogram("h").count(), 1);
+    }
+
+    #[test]
+    fn json_is_sorted_and_stable() {
+        let m = Metrics::new();
+        m.counter("b.second").inc();
+        m.counter("a.first").add(2);
+        m.gauge("bytes").set(77);
+        m.histogram("ns").record(5);
+        let j = m.to_json();
+        assert!(j.starts_with("{\"schema\":\"fascia-obs/1\""));
+        let a = j.find("a.first").unwrap();
+        let b = j.find("b.second").unwrap();
+        assert!(a < b, "keys must be sorted");
+        assert!(j.contains("\"bytes\":77"));
+        assert!(j.contains("\"count\":1"));
+        assert!(j.contains("\"buckets\":[{\"le\":"));
+    }
+
+    #[test]
+    fn metrics_report_parses() {
+        assert_eq!(MetricsReport::parse("off"), Some(MetricsReport::Off));
+        assert_eq!(MetricsReport::parse("pretty"), Some(MetricsReport::Pretty));
+        assert_eq!(MetricsReport::parse("json"), Some(MetricsReport::Json));
+        assert_eq!(MetricsReport::parse("bogus"), None);
+    }
+
+    #[test]
+    fn pretty_lists_every_kind() {
+        let m = Metrics::new();
+        m.counter("c").inc();
+        m.gauge("g").set(1);
+        m.histogram("h").record(1);
+        let p = m.render_pretty();
+        assert!(p.contains("counters:"));
+        assert!(p.contains("gauges:"));
+        assert!(p.contains("histograms:"));
+    }
+}

@@ -1,0 +1,91 @@
+//! RAII span timing.
+
+use crate::Histogram;
+use std::time::Instant;
+
+/// Times a scope and records the elapsed nanoseconds into a [`Histogram`]
+/// when dropped.
+///
+/// ```
+/// use fascia_obs::{Histogram, SpanTimer};
+/// let spans = Histogram::new();
+/// {
+///     let _t = SpanTimer::start(&spans);
+///     // ... work ...
+/// }
+/// assert_eq!(spans.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SpanTimer<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Starts timing; the span ends (and records) on drop.
+    #[inline]
+    pub fn start(hist: &'a Histogram) -> Self {
+        Self {
+            hist,
+            start: Instant::now(),
+        }
+    }
+
+    /// Starts timing only if a histogram is present — the engine's idiom
+    /// for optional instrumentation (`None` costs one branch).
+    #[inline]
+    pub fn start_opt(hist: Option<&'a Histogram>) -> Option<Self> {
+        hist.map(Self::start)
+    }
+
+    /// Ends the span early, recording now instead of at scope exit.
+    pub fn finish(self) {
+        drop(self);
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos();
+        self.hist.record(ns.min(u64::MAX as u128) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Histogram::new();
+        {
+            let _t = SpanTimer::start(&h);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.min().unwrap() >= 1_000_000, "slept 2ms, recorded <1ms");
+    }
+
+    #[test]
+    fn start_opt_none_records_nothing() {
+        let h = Histogram::new();
+        {
+            let _t = SpanTimer::start_opt(None);
+        }
+        assert_eq!(h.count(), 0);
+        {
+            let _t = SpanTimer::start_opt(Some(&h));
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn finish_records_immediately() {
+        let h = Histogram::new();
+        let t = SpanTimer::start(&h);
+        t.finish();
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -5,7 +5,7 @@
 //! indexing) but the worst footprint; Figures 6–7 compare it against the
 //! lazy and hashed layouts.
 
-use crate::{CountTable, Rows, TableKind};
+use crate::{CountTable, Rows, TableKind, TableStats};
 
 /// Flat row-major `n x Nc` array of counts.
 #[derive(Debug, Clone)]
@@ -70,6 +70,17 @@ impl CountTable for DenseTable {
 
     fn bytes(&self) -> usize {
         self.data.capacity() * std::mem::size_of::<f64>() + self.active.capacity()
+    }
+
+    fn stats(&self) -> TableStats {
+        TableStats {
+            allocated_bytes: self.bytes(),
+            // Dense pays for every row whether or not it is used.
+            rows_materialized: self.n,
+            nonzero_rows: self.active.iter().filter(|&&a| a).count(),
+            live_entries: self.data.iter().filter(|&&x| x != 0.0).count(),
+            probe: None,
+        }
     }
 
     fn total(&self) -> f64 {

@@ -10,7 +10,7 @@
 //! paths on the PA road network, where Fig. 7 reports up to 90% memory
 //! reduction versus the dense layout.
 
-use crate::{CountTable, Rows, TableKind};
+use crate::{CountTable, ProbeStats, Rows, TableKind, TableStats};
 
 const EMPTY: u64 = u64::MAX;
 
@@ -24,6 +24,7 @@ pub struct HashCountTable {
     vals: Vec<f64>,
     active: Vec<bool>,
     live: usize,
+    probe: ProbeStats,
 }
 
 impl HashCountTable {
@@ -54,6 +55,12 @@ impl HashCountTable {
     pub fn load_factor(&self) -> f64 {
         self.live as f64 / self.capacity as f64
     }
+
+    /// Construction-time probe statistics (collision behavior of the
+    /// paper's `key mod size` hash at this occupancy).
+    pub fn probe_stats(&self) -> ProbeStats {
+        self.probe
+    }
 }
 
 impl CountTable for HashCountTable {
@@ -78,6 +85,7 @@ impl CountTable for HashCountTable {
             vals: vec![0.0; capacity],
             active: vec![false; n],
             live,
+            probe: ProbeStats::default(),
         };
         for (v, row) in rows.into_iter().enumerate() {
             let Some(row) = row else { continue };
@@ -88,8 +96,10 @@ impl CountTable for HashCountTable {
                 table.active[v] = true;
                 let key = (v * nc + cs) as u64;
                 let mut i = (key % capacity as u64) as usize;
+                let mut chain = 1u64;
                 while table.keys[i] != EMPTY {
                     debug_assert_ne!(table.keys[i], key, "duplicate key");
+                    chain += 1;
                     i += 1;
                     if i == capacity {
                         i = 0;
@@ -97,6 +107,9 @@ impl CountTable for HashCountTable {
                 }
                 table.keys[i] = key;
                 table.vals[i] = val;
+                table.probe.inserts += 1;
+                table.probe.probes += chain;
+                table.probe.max_probe = table.probe.max_probe.max(chain);
             }
         }
         table
@@ -136,6 +149,18 @@ impl CountTable for HashCountTable {
 
     fn bytes(&self) -> usize {
         self.keys.capacity() * 8 + self.vals.capacity() * 8 + self.active.capacity()
+    }
+
+    fn stats(&self) -> TableStats {
+        TableStats {
+            allocated_bytes: self.bytes(),
+            // The hash layout materializes no rows at all; what it pays for
+            // is the probe array, reflected in `allocated_bytes`.
+            rows_materialized: self.active.iter().filter(|&&a| a).count(),
+            nonzero_rows: self.active.iter().filter(|&&a| a).count(),
+            live_entries: self.live,
+            probe: Some(self.probe),
+        }
     }
 
     fn total(&self) -> f64 {

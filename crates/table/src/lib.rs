@@ -58,6 +58,48 @@ impl TableKind {
 /// initialized" (all-zero row).
 pub type Rows = Vec<Option<Box<[f64]>>>;
 
+/// Measured storage statistics of a built table.
+///
+/// Unlike [`CountTable::bytes`]-based estimates aggregated by the engine,
+/// these are read off the concrete layout after construction, so the
+/// Figs. 6–7 memory comparisons can report what was actually allocated.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TableStats {
+    /// Exact heap bytes held by the layout's allocations.
+    pub allocated_bytes: usize,
+    /// Vertices for which the layout materialized storage (dense: all of
+    /// them — that is the point of the comparison; lazy: active rows only).
+    pub rows_materialized: usize,
+    /// Vertices holding at least one non-zero count.
+    pub nonzero_rows: usize,
+    /// Non-zero `(vertex, colorset)` pairs.
+    pub live_entries: usize,
+    /// Open-addressing probe statistics (hash layout only).
+    pub probe: Option<ProbeStats>,
+}
+
+/// Construction-time probe behavior of the hashed layout.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Total slot inspections across all inserts (1 per insert is ideal).
+    pub probes: u64,
+    /// Longest single probe chain.
+    pub max_probe: u64,
+}
+
+impl ProbeStats {
+    /// Mean slot inspections per insert (1.0 = collision-free).
+    pub fn mean_probe(&self) -> f64 {
+        if self.inserts == 0 {
+            0.0
+        } else {
+            self.probes as f64 / self.inserts as f64
+        }
+    }
+}
+
 /// Common interface of the three table layouts.
 ///
 /// A table is immutable once built: the DP always constructs the parent
@@ -89,6 +131,11 @@ pub trait CountTable: Send + Sync + Sized {
 
     /// Approximate heap bytes held (peak-memory accounting, Figs. 6–7).
     fn bytes(&self) -> usize;
+
+    /// Measured storage statistics (exact bytes, materialized rows, probe
+    /// behavior). May scan the table; call once per built table, not in
+    /// inner loops.
+    fn stats(&self) -> TableStats;
 
     /// Sum over all entries (the final count aggregation, Alg. 2 line 20).
     fn total(&self) -> f64;
@@ -164,6 +211,22 @@ pub(crate) mod test_support {
         }
         assert!((table.total() - expect_total).abs() < 1e-9);
         assert!(table.bytes() > 0);
+        let stats = table.stats();
+        assert_eq!(stats.allocated_bytes, table.bytes());
+        let expect_active = reference.iter().filter(|r| r.is_some()).count();
+        let expect_live: usize = reference
+            .iter()
+            .flatten()
+            .map(|row| row.iter().filter(|&&x| x != 0.0).count())
+            .sum();
+        assert_eq!(stats.nonzero_rows, expect_active);
+        assert_eq!(stats.live_entries, expect_live);
+        assert!(stats.rows_materialized >= stats.nonzero_rows);
+        if let Some(p) = stats.probe {
+            assert_eq!(p.inserts, expect_live as u64);
+            assert!(p.probes >= p.inserts);
+            assert!(p.max_probe >= 1 || p.inserts == 0);
+        }
     }
 }
 

@@ -97,7 +97,10 @@ pub fn automorphisms(t: &Template) -> u64 {
 /// Brute force count over all vertex permutations (small templates only).
 pub fn brute_force_automorphisms(t: &Template) -> u64 {
     let n = t.size();
-    assert!(n <= 10, "brute-force automorphism counting is capped at 10 vertices");
+    assert!(
+        n <= 10,
+        "brute-force automorphism counting is capped at 10 vertices"
+    );
     let mut perm: Vec<u8> = (0..n as u8).collect();
     let mut count = 0u64;
     permute(&mut perm, 0, &mut |p| {
@@ -282,7 +285,10 @@ pub fn vertex_orbits(t: &Template) -> Vec<u8> {
         out
     } else {
         // Union orbits over all automorphisms (brute force, <= 10 verts).
-        assert!(n <= 10, "orbit computation for non-trees is capped at 10 vertices");
+        assert!(
+            n <= 10,
+            "orbit computation for non-trees is capped at 10 vertices"
+        );
         let mut parent: Vec<u8> = (0..n as u8).collect();
         fn find(parent: &mut [u8], x: u8) -> u8 {
             if parent[x as usize] != x {
@@ -398,12 +404,15 @@ mod orbit_tests {
     #[test]
     fn orbit_sizes_times_stabilizer_equals_group_order() {
         // Orbit-stabilizer sanity on a few trees: |orbit(v)| * |Aut_v| = |Aut|.
-        for t in [Template::path(6), Template::star(5), Template::spider(&[1, 1, 2])] {
+        for t in [
+            Template::path(6),
+            Template::star(5),
+            Template::spider(&[1, 1, 2]),
+        ] {
             let orbits = vertex_orbits(&t);
             let total = automorphisms(&t);
             for v in 0..t.size() as u8 {
-                let orbit_size =
-                    orbits.iter().filter(|&&o| o == orbits[v as usize]).count() as u64;
+                let orbit_size = orbits.iter().filter(|&&o| o == orbits[v as usize]).count() as u64;
                 let stab = rooted_automorphisms(&t, v, full_mask(t.size()));
                 assert_eq!(orbit_size * stab, total, "vertex {v} of {t:?}");
             }

@@ -140,10 +140,7 @@ mod tests {
         let s = Template::star(5);
         let m: VertMask = 0b00011;
         let edge = Template::path(2);
-        assert_eq!(
-            rooted_canon(&s, 0, m),
-            rooted_canon(&edge, 0, full_mask(2))
-        );
+        assert_eq!(rooted_canon(&s, 0, m), rooted_canon(&edge, 0, full_mask(2)));
     }
 
     #[test]
@@ -184,9 +181,6 @@ mod tests {
         let sp = Template::spider(&[2, 2, 2]); // center 0; legs (1,2), (3,4), (5,6)
         let leg1 = split_mask(&sp, 1, 0);
         let leg2 = split_mask(&sp, 3, 0);
-        assert_eq!(
-            rooted_canon(&sp, 1, leg1),
-            rooted_canon(&sp, 3, leg2)
-        );
+        assert_eq!(rooted_canon(&sp, 1, leg1), rooted_canon(&sp, 3, leg2));
     }
 }

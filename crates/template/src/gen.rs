@@ -48,7 +48,7 @@ impl LevelSequences {
             return None;
         }
         let p = p - 1; // index of that position
-        // q: rightmost index < p whose level is levels[p] - 1.
+                       // q: rightmost index < p whose level is levels[p] - 1.
         let mut q = p;
         while self.levels[q] != self.levels[p] - 1 {
             q -= 1;

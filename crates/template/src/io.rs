@@ -68,8 +68,7 @@ pub fn parse_template(text: &str) -> Result<Template, ParseError> {
             continue;
         }
         if let Some(l) = line.strip_prefix("labels:") {
-            let parsed: Result<Vec<u8>, _> =
-                l.split_whitespace().map(|x| x.parse()).collect();
+            let parsed: Result<Vec<u8>, _> = l.split_whitespace().map(|x| x.parse()).collect();
             labels = Some(parsed.map_err(|_| ParseError::Syntax {
                 line: lineno + 1,
                 content: raw.to_string(),

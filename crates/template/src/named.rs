@@ -39,7 +39,9 @@ impl NamedTemplate {
     /// All ten templates in paper order.
     pub fn all() -> [NamedTemplate; 10] {
         use NamedTemplate::*;
-        [U3_1, U3_2, U5_1, U5_2, U7_1, U7_2, U10_1, U10_2, U12_1, U12_2]
+        [
+            U3_1, U3_2, U5_1, U5_2, U7_1, U7_2, U10_1, U10_2, U12_1, U12_2,
+        ]
     }
 
     /// The five path templates.
@@ -251,7 +253,10 @@ mod tests {
 
     impl Template {
         fn max_degree_internal(&self) -> usize {
-            (0..self.size()).map(|v| self.degree(v as u8)).max().unwrap()
+            (0..self.size())
+                .map(|v| self.degree(v as u8))
+                .max()
+                .unwrap()
         }
     }
 }

@@ -279,11 +279,7 @@ struct Builder<'a> {
 }
 
 impl<'a> Builder<'a> {
-    fn try_build(
-        t: &'a Template,
-        root: u8,
-        strategy: PartitionStrategy,
-    ) -> Option<PartitionTree> {
+    fn try_build(t: &'a Template, root: u8, strategy: PartitionStrategy) -> Option<PartitionTree> {
         let mut b = Builder {
             t,
             strategy,
@@ -362,11 +358,7 @@ impl<'a> Builder<'a> {
         if mask.count_ones() != 3 {
             return None;
         }
-        let tri = self
-            .t
-            .triangles()
-            .iter()
-            .find(|tri| tri.contains(&root))?;
+        let tri = self.t.triangles().iter().find(|tri| tri.contains(&root))?;
         let tri_mask: VertMask = tri.iter().fold(0, |m, &v| m | (1 << v));
         if tri_mask != mask {
             return None;
@@ -473,12 +465,7 @@ fn component_without(t: &Template, from: u8, avoid: u8, mask: VertMask) -> VertM
 fn compute_unique_order(nodes: &[SubNode], num_classes: usize) -> Vec<u32> {
     let mut emitted = vec![false; num_classes];
     let mut order = Vec::with_capacity(num_classes);
-    fn visit(
-        nodes: &[SubNode],
-        idx: u32,
-        emitted: &mut [bool],
-        order: &mut Vec<u32>,
-    ) {
+    fn visit(nodes: &[SubNode], idx: u32, emitted: &mut [bool], order: &mut Vec<u32>) {
         let node = &nodes[idx as usize];
         if emitted[node.canon_id as usize] {
             return;
@@ -624,8 +611,7 @@ mod tests {
     #[test]
     fn triangle_with_two_pendant_corners_fails() {
         // Pendants on two different corners: unsupported per module docs.
-        let t =
-            Template::from_edges(5, &[(0, 1), (1, 2), (0, 2), (0, 3), (1, 4)]).unwrap();
+        let t = Template::from_edges(5, &[(0, 1), (1, 2), (0, 2), (0, 3), (1, 4)]).unwrap();
         assert_eq!(
             PartitionTree::build(&t, PartitionStrategy::OneAtATime).unwrap_err(),
             PartitionError::NoValidRoot
@@ -692,11 +678,9 @@ mod tests {
             .with_labels(vec![0, 1, 1, 2, 2, 3, 3])
             .unwrap();
         let pt = PartitionTree::build(&t, PartitionStrategy::OneAtATime).unwrap();
-        let unlabeled = PartitionTree::build(
-            &Template::spider(&[2, 2, 2]),
-            PartitionStrategy::OneAtATime,
-        )
-        .unwrap();
+        let unlabeled =
+            PartitionTree::build(&Template::spider(&[2, 2, 2]), PartitionStrategy::OneAtATime)
+                .unwrap();
         assert!(pt.num_canon_classes() > unlabeled.num_canon_classes());
     }
 

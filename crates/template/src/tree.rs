@@ -282,9 +282,7 @@ impl Template {
 
     /// A leaf (degree-1 vertex); for the triangle, any vertex.
     pub fn some_leaf(&self) -> u8 {
-        (0..self.n)
-            .find(|&v| self.degree(v) <= 1)
-            .unwrap_or(0)
+        (0..self.n).find(|&v| self.degree(v) <= 1).unwrap_or(0)
     }
 
     /// Center(s) of a tree template (1 or 2 vertices), found by repeatedly
@@ -360,19 +358,15 @@ mod tests {
 
     #[test]
     fn rejects_square_cycle() {
-        let err =
-            Template::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap_err();
+        let err = Template::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap_err();
         assert_eq!(err, TemplateError::UnsupportedCycles);
     }
 
     #[test]
     fn rejects_sharing_triangles() {
         // Two triangles sharing vertex 0.
-        let err = Template::from_edges(
-            5,
-            &[(0, 1), (1, 2), (0, 2), (0, 3), (3, 4), (0, 4)],
-        )
-        .unwrap_err();
+        let err =
+            Template::from_edges(5, &[(0, 1), (1, 2), (0, 2), (0, 3), (3, 4), (0, 4)]).unwrap_err();
         assert_eq!(err, TemplateError::UnsupportedCycles);
     }
 

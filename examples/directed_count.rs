@@ -46,14 +46,24 @@ fn main() {
     println!("\nsum of directed classes: {directed_sum:.4e}");
     println!("undirected P3 estimate:  {undirected:.4e}");
     let rel = (directed_sum - undirected).abs() / undirected;
-    println!("partition identity holds within {:.2}% (estimator noise)", 100.0 * rel);
+    println!(
+        "partition identity holds within {:.2}% (estimator noise)",
+        100.0 * rel
+    );
 
     // A 4-vertex feed-forward-style chain, exactly validated.
     let chain = DiTemplate::directed_path(4);
     let exact = count_exact_directed(&g, &chain);
-    let est = count_directed(&g, &chain, &CountConfig { iterations: 300, ..cfg })
-        .expect("count")
-        .estimate;
+    let est = count_directed(
+        &g,
+        &chain,
+        &CountConfig {
+            iterations: 300,
+            ..cfg
+        },
+    )
+    .expect("count")
+    .estimate;
     println!(
         "\ndirected P4: exact {exact}, color coding {est:.4e} ({:.2}% error)",
         100.0 * (est - exact as f64).abs() / exact as f64

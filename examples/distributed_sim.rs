@@ -24,7 +24,11 @@ fn main() {
     };
 
     for (name, g) in scenarios {
-        println!("== {name}: n = {}, m = {} ==", g.num_vertices(), g.num_edges());
+        println!(
+            "== {name}: n = {}, m = {} ==",
+            g.num_vertices(),
+            g.num_edges()
+        );
         let shared = count_template(&g, &t, &count).expect("shared-memory count");
         println!("shared-memory estimate: {:.4e}", shared.estimate);
         println!(

@@ -11,7 +11,11 @@ use fascia::prelude::*;
 fn main() {
     // The circuit network: small enough to enumerate everything.
     let g = Dataset::Circuit.generate(1, 1);
-    println!("circuit network: n = {}, m = {}", g.num_vertices(), g.num_edges());
+    println!(
+        "circuit network: n = {}, m = {}",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     let t = Template::path(4);
     println!("\nfirst ten P4 occurrences (vertices in template order):");

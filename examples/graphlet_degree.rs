@@ -16,7 +16,11 @@ fn main() {
         ("E. coli (PPI-like)", Dataset::EColi.generate(1, 3)),
         ("circuit", Dataset::Circuit.generate(1, 3)),
     ] {
-        println!("== {name}: n = {}, m = {} ==", g.num_vertices(), g.num_edges());
+        println!(
+            "== {name}: n = {}, m = {} ==",
+            g.num_vertices(),
+            g.num_edges()
+        );
 
         // Exact graphlet degrees by enumeration.
         let exact = exact_graphlet_degrees(&g, &template, orbit);

@@ -48,5 +48,8 @@ fn main() {
     let speedup =
         r_plain.per_iteration_time.as_secs_f64() / r_lab.per_iteration_time.as_secs_f64().max(1e-9);
     let mem_saving = 1.0 - r_lab.peak_table_bytes as f64 / r_plain.peak_table_bytes as f64;
-    println!("labels: {speedup:.0}x faster, {:.0}% less table memory", 100.0 * mem_saving);
+    println!(
+        "labels: {speedup:.0}x faster, {:.0}% less table memory",
+        100.0 * mem_saving
+    );
 }

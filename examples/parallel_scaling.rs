@@ -17,10 +17,18 @@ fn main() {
         g.num_edges()
     );
 
-    let max_threads = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let max_threads = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     let iters = 8;
-    println!("{:<10} {:>12} {:>12}", "threads", "inner s/it", "outer s/it");
-    for nt in (0..).map(|i| 1usize << i).take_while(|&nt| nt <= max_threads) {
+    println!(
+        "{:<10} {:>12} {:>12}",
+        "threads", "inner s/it", "outer s/it"
+    );
+    for nt in (0..)
+        .map(|i| 1usize << i)
+        .take_while(|&nt| nt <= max_threads)
+    {
         let mut row = format!("{nt:<10}");
         for mode in [ParallelMode::InnerLoop, ParallelMode::OuterLoop] {
             let cfg = CountConfig {
@@ -41,17 +49,21 @@ fn main() {
     }
 
     // Determinism across modes: identical estimates, bit for bit.
-    let estimates: Vec<f64> = [ParallelMode::Serial, ParallelMode::InnerLoop, ParallelMode::OuterLoop]
-        .into_iter()
-        .map(|mode| {
-            let cfg = CountConfig {
-                iterations: 4,
-                parallel: mode,
-                ..CountConfig::default()
-            };
-            count_template(&g, &t, &cfg).expect("count").estimate
-        })
-        .collect();
+    let estimates: Vec<f64> = [
+        ParallelMode::Serial,
+        ParallelMode::InnerLoop,
+        ParallelMode::OuterLoop,
+    ]
+    .into_iter()
+    .map(|mode| {
+        let cfg = CountConfig {
+            iterations: 4,
+            parallel: mode,
+            ..CountConfig::default()
+        };
+        count_template(&g, &t, &cfg).expect("count").estimate
+    })
+    .collect();
     assert!(estimates.windows(2).all(|w| w[0] == w[1]));
     println!("\nall modes agree bitwise: estimate = {:.6e}", estimates[0]);
 }

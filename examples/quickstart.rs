@@ -18,7 +18,11 @@ fn main() {
 
     // The paper's U5-2 template: a 5-vertex tree with a degree-3 center.
     let template = NamedTemplate::U5_2.template();
-    println!("template: {} ({} vertices)", NamedTemplate::U5_2.name(), template.size());
+    println!(
+        "template: {} ({} vertices)",
+        NamedTemplate::U5_2.name(),
+        template.size()
+    );
 
     // Approximate count via color coding.
     let cfg = CountConfig {

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+# Run from anywhere; mirrors what a hosted pipeline would check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo fmt --check ==="
+cargo fmt --check
+
+echo "=== cargo clippy (workspace, all targets, deny warnings) ==="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "=== cargo test ==="
+cargo test -q --workspace --offline
+
+echo "ci: all green"

@@ -34,4 +34,28 @@ for bin in "${BINS[@]}"; do
     echo "FAILED: see results/$bin.log"
   fi
 done
-echo "done; see results/"
+
+# Engine metrics (fascia-obs/1 JSON) for representative workloads: one
+# document per run under results/metrics/, via the CLI's --metrics json.
+mkdir -p results/metrics
+cargo build --release -p fascia-cli
+METRIC_RUNS=(
+  "portland U7-2 --iters 5"
+  "enron U7-2 --iters 10"
+  "road U10-1 --iters 5 --table hash"
+  "gnp U5-2 --iters 10 --table improved"
+)
+for run in "${METRIC_RUNS[@]}"; do
+  # shellcheck disable=SC2086
+  set -- $run
+  name="metrics_$1_$2"
+  echo "=== $name ==="
+  if cargo run --release -q -p fascia-cli -- count "$@" --metrics json \
+      2> "results/metrics/$name.log" | grep '"schema":"fascia-obs/1"' \
+      > "results/metrics/$name.json"; then
+    wc -c < "results/metrics/$name.json" | xargs echo "  metrics bytes:"
+  else
+    echo "FAILED: see results/metrics/$name.log"
+  fi
+done
+echo "done; see results/ and results/metrics/"

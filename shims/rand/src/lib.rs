@@ -1,0 +1,462 @@
+//! Minimal, dependency-free stand-in for the parts of `rand` 0.8 that the
+//! FASCIA workspace uses.
+//!
+//! The build environment resolves third-party crates from a mirror that may
+//! be unavailable, so the workspace vendors the small API surface it needs:
+//!
+//! * [`rngs::SmallRng`] — xoshiro256++ seeded via splitmix64, matching
+//!   `rand 0.8` + `rand_xoshiro`'s `SmallRng::seed_from_u64` streams,
+//! * [`Rng::gen_range`] over integer and float ranges (Lemire widening
+//!   multiply with rejection for integers, 52-bit mantissa sampling for
+//!   floats — the same algorithms as `rand 0.8`'s `UniformInt` /
+//!   `UniformFloat::sample_single`),
+//! * [`Rng::gen_bool`] (64-bit fixed-point Bernoulli),
+//! * [`Rng::gen`] for the standard distributions used in-tree,
+//! * [`seq::SliceRandom::shuffle`] (Fisher–Yates, high-to-low).
+//!
+//! Determinism matters more than breadth here: the engine's seeded tests
+//! assert statistical tolerances that were calibrated against these exact
+//! streams.
+
+use std::ops::Range;
+
+/// Low-level source of randomness (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding entry points (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Byte seed for the generator.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full byte seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64` via a splitmix64 expansion (the
+    /// xoshiro authors' recommended seeding, as `rand_xoshiro` does).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let z = splitmix64_next(&mut state);
+            let bytes = z.to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[inline]
+fn splitmix64_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// High-level convenience methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value from the standard distribution of `T`.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Uniform sample from a half-open range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range [0, 1]");
+        if p >= 1.0 {
+            return true;
+        }
+        // 64-bit fixed point comparison, as rand's Bernoulli.
+        let p_int = (p * (u64::MAX as f64 + 1.0)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one standard sample.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    /// 53-bit precision in `[0, 1)` (rand's multiply-based conversion).
+    #[inline]
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// 24-bit precision in `[0, 1)`.
+    #[inline]
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Types with a uniform range sampler.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform sample from `[low, high)`.
+    fn sample_single<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+/// Widening multiply used by the integer rejection sampler.
+trait WideningMul: Copy {
+    fn wmul(self, rhs: Self) -> (Self, Self);
+}
+
+impl WideningMul for u32 {
+    #[inline]
+    fn wmul(self, rhs: Self) -> (Self, Self) {
+        let t = self as u64 * rhs as u64;
+        ((t >> 32) as u32, t as u32)
+    }
+}
+
+impl WideningMul for u64 {
+    #[inline]
+    fn wmul(self, rhs: Self) -> (Self, Self) {
+        let t = self as u128 * rhs as u128;
+        ((t >> 64) as u64, t as u64)
+    }
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $uty:ty, $u_large:ty, $gen:ident) => {
+        impl SampleUniform for $ty {
+            #[inline]
+            fn sample_single<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+                // rand 0.8's UniformInt::sample_single: Lemire's widening
+                // multiply with per-call zone computation.
+                let range = high.wrapping_sub(low) as $uty as $u_large;
+                let zone = if (<$uty>::MAX as u64) <= u16::MAX as u64 {
+                    // Small types: compute the exact rejection zone.
+                    let unsigned_max = <$u_large>::MAX;
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = rng.$gen() as $u_large;
+                    let (hi, lo) = v.wmul(range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl!(u8, u8, u32, next_u32);
+uniform_int_impl!(u16, u16, u32, next_u32);
+uniform_int_impl!(u32, u32, u32, next_u32);
+uniform_int_impl!(u64, u64, u64, next_u64);
+uniform_int_impl!(usize, usize, u64, next_u64);
+uniform_int_impl!(i8, u8, u32, next_u32);
+uniform_int_impl!(i16, u16, u32, next_u32);
+uniform_int_impl!(i32, u32, u32, next_u32);
+uniform_int_impl!(i64, u64, u64, next_u64);
+uniform_int_impl!(isize, usize, u64, next_u64);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_single<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+        // rand 0.8's UniformFloat::sample_single: sample a mantissa in
+        // [1, 2), scale into [low, high), reject the rare res == high.
+        let scale = high - low;
+        loop {
+            let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+            let res = (value1_2 - 1.0) * scale + low;
+            if res < high {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_single<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+        let scale = high - low;
+        loop {
+            let value1_2 = f32::from_bits((127u32 << 23) | (rng.next_u32() >> 9));
+            let res = (value1_2 - 1.0) * scale + low;
+            if res < high {
+                return res;
+            }
+        }
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the generator behind `rand 0.8`'s 64-bit `SmallRng`.
+    ///
+    /// Not cryptographically secure; excellent statistical quality and
+    /// speed for simulation workloads.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            // rand_xoshiro truncates to the low 32 bits.
+            self.next_u64() as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // An all-zero state is a fixed point of xoshiro; perturb it the
+            // way rand_xoshiro's documentation suggests is unreachable via
+            // seed_from_u64, but guard anyway.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x0000_0000_DEAD_BEEF,
+                ];
+            }
+            Self { s }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers.
+
+    use super::{Rng, RngCore};
+
+    /// Shuffling and choosing on slices (subset of `rand::seq`).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle, high index to low (rand's order).
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` on an empty slice.
+        fn choose<'a, R: RngCore>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+
+        fn choose<'a, R: RngCore>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[gen_index(rng, self.len())])
+            }
+        }
+    }
+
+    /// rand's `gen_index`: 32-bit sampling when the bound permits.
+    #[inline]
+    fn gen_index<R: RngCore>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= u32::MAX as usize {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn gen_range_bounds_all_types() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u8 = rng.gen_range(0..8);
+            assert!(x < 8);
+            let y = rng.gen_range(0..13usize);
+            assert!(y < 13);
+            let z = rng.gen_range(5..6u32);
+            assert_eq!(z, 5);
+            let f = rng.gen_range(0.0..2.5f64);
+            assert!((0.0..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let k = 10usize;
+        let n = 100_000;
+        let mut hist = vec![0usize; k];
+        for _ in 0..n {
+            hist[rng.gen_range(0..k)] += 1;
+        }
+        let expect = n as f64 / k as f64;
+        for &c in &hist {
+            assert!((c as f64 - expect).abs() < 6.0 * expect.sqrt());
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.25)).count();
+        let expect = n as f64 * 0.25;
+        assert!((hits as f64 - expect).abs() < 6.0 * (expect * 0.75).sqrt());
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn standard_f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        // And actually permutes with overwhelming probability.
+        assert_ne!(v, sorted);
+    }
+
+    #[test]
+    fn choose_covers_slice() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let v = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*v.choose(&mut rng).unwrap() as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

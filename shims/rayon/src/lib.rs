@@ -1,0 +1,381 @@
+//! Minimal, dependency-free stand-in for the parts of `rayon` that the
+//! FASCIA workspace uses.
+//!
+//! The build environment resolves third-party crates from a mirror that may
+//! be unavailable, so the workspace vendors the surface it needs. Parallel
+//! iterators over integer ranges are executed by splitting the range into
+//! one contiguous chunk per available thread and running the chunks on
+//! `std::thread::scope` workers; results are stitched back in index order,
+//! so `collect()` is deterministic and order-preserving exactly like
+//! rayon's indexed collect.
+//!
+//! Differences from real rayon, none of which matter to this workspace:
+//! there is no work stealing (chunking is static), pools are sizes rather
+//! than actual resident worker threads, and only `Range<usize>` /
+//! `Range<u64>` are parallelizable sources.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`];
+    /// 0 means "use the machine default".
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads parallel operations will use in this context.
+pub fn current_num_threads() -> usize {
+    let installed = POOL_THREADS.with(|t| t.get());
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Error building a thread pool (the shim cannot actually fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a scoped thread pool.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder with default (machine) parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (0 = machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A "pool": in this shim, a thread-count context. Workers are spawned
+/// per-operation as scoped threads, so a pool holds no resident threads.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count governing all parallel
+    /// iterators (and [`current_num_threads`]) on the calling thread.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        let prev = POOL_THREADS.with(|t| t.replace(self.num_threads));
+        let out = f();
+        POOL_THREADS.with(|t| t.set(prev));
+        out
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// The rayon prelude: parallel-iterator traits.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+pub mod iter {
+    //! Parallel iterators over integer ranges.
+
+    use super::current_num_threads;
+    use std::ops::Range;
+
+    /// Conversion into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Item type produced.
+        type Item: Send;
+        /// Concrete parallel iterator.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// A parallel iterator (indexed, order-preserving).
+    pub trait ParallelIterator: Sized {
+        /// Item type produced.
+        type Item: Send;
+
+        /// Evaluates all items in parallel, in index order.
+        fn drive(self) -> Vec<Self::Item>;
+
+        /// Maps each item through `f` in parallel.
+        fn map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            T: Send,
+            F: Fn(Self::Item) -> T + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        /// Maps with a per-worker scratch value built by `init` (rayon's
+        /// `map_init`): `init` runs once per worker chunk, not per item.
+        fn map_init<I, T, INIT, F>(self, init: INIT, f: F) -> MapInit<Self, INIT, F>
+        where
+            INIT: Fn() -> I + Sync,
+            F: Fn(&mut I, Self::Item) -> T + Sync,
+            T: Send,
+        {
+            MapInit {
+                base: self,
+                init,
+                f,
+            }
+        }
+
+        /// Collects into a container (only `Vec<Item>` is supported).
+        fn collect<C>(self) -> C
+        where
+            C: FromParallelIterator<Self::Item>,
+        {
+            C::from_par_vec(self.drive())
+        }
+
+        /// Sums all items.
+        fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<Self::Item>,
+        {
+            self.drive().into_iter().sum()
+        }
+    }
+
+    /// Containers buildable from a parallel iterator.
+    pub trait FromParallelIterator<T> {
+        /// Builds the container from items in index order.
+        fn from_par_vec(items: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_par_vec(items: Vec<T>) -> Self {
+            items
+        }
+    }
+
+    /// Parallel iterator over a `Range`.
+    #[derive(Debug, Clone)]
+    pub struct IterRange<T> {
+        pub(crate) range: Range<T>,
+    }
+
+    macro_rules! range_impl {
+        ($ty:ty) => {
+            impl IntoParallelIterator for Range<$ty> {
+                type Item = $ty;
+                type Iter = IterRange<$ty>;
+                fn into_par_iter(self) -> IterRange<$ty> {
+                    IterRange { range: self }
+                }
+            }
+
+            impl ParallelIterator for IterRange<$ty> {
+                type Item = $ty;
+
+                fn drive(self) -> Vec<$ty> {
+                    self.range.collect()
+                }
+            }
+        };
+    }
+
+    range_impl!(usize);
+    range_impl!(u32);
+    range_impl!(u64);
+
+    /// Map adapter.
+    #[derive(Debug, Clone)]
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    /// Map-with-scratch adapter.
+    #[derive(Debug, Clone)]
+    pub struct MapInit<B, INIT, F> {
+        base: B,
+        init: INIT,
+        f: F,
+    }
+
+    /// Splits `0..len` into at most `current_num_threads()` contiguous
+    /// chunks and runs `work` on each chunk in a scoped thread, returning
+    /// per-chunk outputs in order.
+    fn run_chunked<T: Send>(len: usize, work: &(dyn Fn(Range<usize>) -> Vec<T> + Sync)) -> Vec<T> {
+        let threads = current_num_threads().max(1).min(len.max(1));
+        if threads <= 1 || len <= 1 {
+            return work(0..len);
+        }
+        let chunk = len.div_ceil(threads);
+        let bounds: Vec<Range<usize>> = (0..threads)
+            .map(|t| (t * chunk).min(len)..((t + 1) * chunk).min(len))
+            .filter(|r| !r.is_empty())
+            .collect();
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(bounds.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = bounds
+                .into_iter()
+                .map(|r| scope.spawn(move || work(r)))
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("parallel worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(len);
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+
+    macro_rules! map_impls {
+        ($ty:ty) => {
+            impl<T, F> ParallelIterator for Map<IterRange<$ty>, F>
+            where
+                T: Send,
+                F: Fn($ty) -> T + Sync,
+            {
+                type Item = T;
+
+                fn drive(self) -> Vec<T> {
+                    let start = self.base.range.start;
+                    let end = self.base.range.end;
+                    let len = (end - start) as usize;
+                    let f = &self.f;
+                    run_chunked(len, &move |r: Range<usize>| {
+                        r.map(|i| f(start + i as $ty)).collect()
+                    })
+                }
+            }
+
+            impl<I, T, INIT, F> ParallelIterator for MapInit<IterRange<$ty>, INIT, F>
+            where
+                T: Send,
+                INIT: Fn() -> I + Sync,
+                F: Fn(&mut I, $ty) -> T + Sync,
+            {
+                type Item = T;
+
+                fn drive(self) -> Vec<T> {
+                    let start = self.base.range.start;
+                    let end = self.base.range.end;
+                    let len = (end - start) as usize;
+                    let init = &self.init;
+                    let f = &self.f;
+                    run_chunked(len, &move |r: Range<usize>| {
+                        let mut scratch = init();
+                        r.map(|i| f(&mut scratch, start + i as $ty)).collect()
+                    })
+                }
+            }
+        };
+    }
+
+    map_impls!(usize);
+    map_impls!(u32);
+    map_impls!(u64);
+}
+
+pub use iter::{IntoParallelIterator, ParallelIterator};
+
+/// Joins two closures, potentially in parallel (sequential in this shim —
+/// no caller in the workspace is join-bound).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+#[allow(unused_imports)]
+fn _assert_range_usable(_r: Range<usize>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * 2);
+        }
+    }
+
+    #[test]
+    fn map_sum_matches_serial() {
+        let par: u128 = (0..5_000usize).into_par_iter().map(|i| i as u128).sum();
+        let ser: u128 = (0..5_000u128).sum();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn map_init_reuses_scratch_within_chunk() {
+        let v: Vec<usize> = (0..1000usize)
+            .into_par_iter()
+            .map_init(Vec::<usize>::new, |scratch, i| {
+                scratch.push(i);
+                i
+            })
+            .collect();
+        assert_eq!(v, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let outside = current_num_threads();
+        let inside = ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap()
+            .install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn empty_and_single_ranges() {
+        let v: Vec<usize> = (0..0usize).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        let v: Vec<usize> = (0..1usize).into_par_iter().map(|i| i + 7).collect();
+        assert_eq!(v, vec![7]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x");
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+}

@@ -16,8 +16,14 @@ fn graph_corpus() -> Vec<(&'static str, Graph)> {
         ("gnm", fascia::graph::gen::gnm(70, 200, 1)),
         ("ba", fascia::graph::gen::barabasi_albert(70, 2, 0, 2)),
         ("road", fascia::graph::gen::road_grid(8, 9, 90, 3)),
-        ("dupdiv", fascia::graph::gen::duplication_divergence(70, 0.3, 0.6, 4)),
-        ("ring+chords", fascia::graph::gen::random_connected(60, 90, 5)),
+        (
+            "dupdiv",
+            fascia::graph::gen::duplication_divergence(70, 0.3, 0.6, 4),
+        ),
+        (
+            "ring+chords",
+            fascia::graph::gen::random_connected(60, 90, 5),
+        ),
     ]
 }
 
@@ -46,7 +52,11 @@ fn paths_converge_on_corpus() {
 #[test]
 fn stars_and_spiders_converge() {
     for (name, g) in graph_corpus() {
-        for t in [Template::star(4), Template::star(5), Template::spider(&[1, 1, 2])] {
+        for t in [
+            Template::star(4),
+            Template::star(5),
+            Template::spider(&[1, 1, 2]),
+        ] {
             let exact = count_exact(&g, &t);
             let cfg = CountConfig {
                 iterations: 700,
@@ -104,7 +114,11 @@ fn triangle_cactus_templates_converge() {
         };
         let r = count_template(&g, &t, &cfg).unwrap();
         let err = rel_err(r.estimate, exact);
-        assert!(err < 0.15, "{t:?}: est {} vs exact {exact} (err {err:.3})", r.estimate);
+        assert!(
+            err < 0.15,
+            "{t:?}: est {} vs exact {exact} (err {err:.3})",
+            r.estimate
+        );
     }
 }
 
@@ -124,7 +138,11 @@ fn labeled_estimates_converge() {
     };
     let r = count_template_labeled(&g, &labels, &t, &cfg).unwrap();
     let err = rel_err(r.estimate, exact);
-    assert!(err < 0.15, "est {} vs exact {exact} (err {err:.3})", r.estimate);
+    assert!(
+        err < 0.15,
+        "est {} vs exact {exact} (err {err:.3})",
+        r.estimate
+    );
 }
 
 #[test]

@@ -45,7 +45,11 @@ fn p3_closed_form_vs_all_engines() {
 #[test]
 fn distributed_simulation_matches_engine_on_all_named_templates() {
     let g = fascia::graph::gen::gnm(80, 260, 77);
-    for named in [NamedTemplate::U3_1, NamedTemplate::U3_2, NamedTemplate::U5_2] {
+    for named in [
+        NamedTemplate::U3_1,
+        NamedTemplate::U3_2,
+        NamedTemplate::U5_2,
+    ] {
         let t = named.template();
         let base = CountConfig {
             iterations: 3,

@@ -13,12 +13,16 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
 }
 
 fn arb_tree(max_n: usize) -> impl Strategy<Value = Template> {
-    (2usize..max_n, proptest::collection::vec(0u32..u32::MAX, max_n)).prop_map(|(n, rs)| {
-        let parents: Vec<u8> = (0..n - 1)
-            .map(|i| (rs[i] as usize % (i + 1)) as u8)
-            .collect();
-        Template::from_parents(&parents).unwrap()
-    })
+    (
+        2usize..max_n,
+        proptest::collection::vec(0u32..u32::MAX, max_n),
+    )
+        .prop_map(|(n, rs)| {
+            let parents: Vec<u8> = (0..n - 1)
+                .map(|i| (rs[i] as usize % (i + 1)) as u8)
+                .collect();
+            Template::from_parents(&parents).unwrap()
+        })
 }
 
 proptest! {
