@@ -24,6 +24,7 @@ use fascia_core::exact::count_exact;
 use fascia_core::gdd::{estimate_gdd, GddHistogram};
 use fascia_core::motifs::motif_profile;
 use fascia_core::sample::sample_embeddings;
+use fascia_core::stats::StopRule;
 use fascia_graph::datasets::scale_from_env;
 use fascia_graph::io::load_edge_list;
 use fascia_graph::{Dataset, Graph};
@@ -56,7 +57,7 @@ fn main() {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: fascia <count|exact|motifs|gdd|gen|info|templates> ...\n\
-         \x20 count  <dataset|file> <template> [--iters N] [--table naive|improved|hash] [--strategy one|balanced] [--seed S] [--metrics off|pretty|json]\n\
+         \x20 count  <dataset|file> <template> [--iters N] [--table naive|improved|hash] [--strategy one|balanced] [--seed S] [--metrics off|pretty|json] [adaptive flags]\n\
          \x20 exact  <dataset|file> <template>\n\
          \x20 motifs <dataset|file> <size> [--iters N]\n\
          \x20 gdd    <dataset|file> [--iters N]\n\
@@ -64,7 +65,11 @@ fn usage_and_exit() -> ! {
          \x20 distsim <dataset|file> <template> <ranks> [--iters N]\n\
          \x20 gen    <dataset> <out.txt>\n\
          \x20 info   <dataset|file>\n\
-         \x20 templates"
+         \x20 templates\n\
+         adaptive flags (every counting subcommand): --adaptive [--epsilon E] [--delta D] [--max-iters M]\n\
+         \x20 stop iterating once the estimate is within ±E (relative, default 0.05)\n\
+         \x20 at confidence 1-D (default 0.95), hard budget M (default 10000);\n\
+         \x20 --iters N becomes the iteration floor; --epsilon/--delta/--max-iters imply --adaptive"
     );
     std::process::exit(2);
 }
@@ -136,11 +141,36 @@ fn parse_template(spec: &str) -> Template {
 fn parse_flags(rest: &[String]) -> (CountConfig, MetricsReport) {
     let mut cfg = CountConfig::default();
     let mut report = MetricsReport::Off;
+    let mut iters_given = false;
+    let mut adaptive = false;
+    let mut epsilon = 0.05f64;
+    let mut delta = 0.05f64;
+    let mut max_iters = StopRule::DEFAULT_MAX_ITERS;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
             "--iters" => {
                 cfg.iterations = rest[i + 1].parse().expect("--iters N");
+                iters_given = true;
+                i += 2;
+            }
+            "--adaptive" => {
+                adaptive = true;
+                i += 1;
+            }
+            "--epsilon" => {
+                epsilon = rest[i + 1].parse().expect("--epsilon E");
+                adaptive = true;
+                i += 2;
+            }
+            "--delta" => {
+                delta = rest[i + 1].parse().expect("--delta D");
+                adaptive = true;
+                i += 2;
+            }
+            "--max-iters" => {
+                max_iters = rest[i + 1].parse().expect("--max-iters M");
+                adaptive = true;
                 i += 2;
             }
             "--seed" => {
@@ -183,6 +213,21 @@ fn parse_flags(rest: &[String]) -> (CountConfig, MetricsReport) {
             _ => i += 1,
         }
     }
+    if adaptive {
+        // `--iters` becomes the convergence floor; without it, the
+        // library default floor applies.
+        let min_iters = if iters_given {
+            cfg.iterations.clamp(2, max_iters)
+        } else {
+            StopRule::DEFAULT_MIN_ITERS.min(max_iters)
+        };
+        cfg.stop = Some(StopRule::RelativeError {
+            epsilon,
+            delta,
+            min_iters,
+            max_iters,
+        });
+    }
     if report != MetricsReport::Off {
         cfg.metrics = Some(Arc::new(Metrics::new()));
     }
@@ -213,7 +258,20 @@ fn cmd_count(rest: &[String]) {
     match count_template(&g, &t, &cfg) {
         Ok(r) => {
             println!("estimate: {:.4e}", r.estimate);
-            println!("iterations: {}", r.per_iteration.len());
+            println!("iterations: {}", r.iterations_run);
+            if let Some(StopRule::RelativeError { max_iters, .. }) = &cfg.stop {
+                println!("iterations saved: {}", max_iters - r.iterations_run);
+            }
+            println!("std error: {:.4e}", r.std_error);
+            if r.estimate != 0.0 {
+                println!(
+                    "95% ci: ±{:.4e} ({:.2}% of estimate)",
+                    r.ci95,
+                    100.0 * r.ci95 / r.estimate.abs()
+                );
+            } else {
+                println!("95% ci: ±{:.4e}", r.ci95);
+            }
             println!("per-iteration time: {:?}", r.per_iteration_time);
             println!("peak table bytes: {}", r.peak_table_bytes);
             println!("automorphisms: {}", r.automorphisms);

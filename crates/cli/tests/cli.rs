@@ -57,6 +57,66 @@ fn count_and_exact_agree_on_circuit() {
 }
 
 #[test]
+fn adaptive_count_stops_early_and_reports_ci() {
+    let out = fascia()
+        .args([
+            "count",
+            "circuit",
+            "U3-1",
+            "--adaptive",
+            "--epsilon",
+            "0.05",
+            "--delta",
+            "0.05",
+            "--max-iters",
+            "5000",
+            "--seed",
+            "9",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let iters: usize = text
+        .lines()
+        .find_map(|l| l.strip_prefix("iterations: "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(iters < 5000, "adaptive run used the whole budget: {text}");
+    let saved: usize = text
+        .lines()
+        .find_map(|l| l.strip_prefix("iterations saved: "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(iters + saved, 5000, "got: {text}");
+    assert!(text.contains("std error: "), "got: {text}");
+    assert!(text.contains("95% ci: "), "got: {text}");
+
+    // And it lands near the exact count.
+    let exact_out = fascia()
+        .args(["exact", "circuit", "U3-1"])
+        .output()
+        .unwrap();
+    let exact: f64 = String::from_utf8(exact_out.stdout)
+        .unwrap()
+        .lines()
+        .find_map(|l| l.strip_prefix("exact count: "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    let est: f64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("estimate: "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    let err = (est - exact).abs() / exact;
+    assert!(err < 0.15, "estimate {est} vs exact {exact}");
+}
+
+#[test]
 fn sample_prints_valid_embeddings() {
     let out = fascia()
         .args(["sample", "circuit", "path4", "5", "--iters", "200"])

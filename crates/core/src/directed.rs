@@ -15,6 +15,7 @@
 
 use crate::coloring::{iteration_seed, random_coloring};
 use crate::engine::{CountConfig, CountError, CountResult};
+use crate::stats::{EstimateStats, StopRule, Welford};
 use fascia_combin::{colorful_probability, BinomialTable, ColorSetIter, SplitTable};
 use fascia_graph::digraph::DiGraph;
 use fascia_table::{CountTable, LazyTable, Rows};
@@ -31,8 +32,10 @@ pub fn count_directed(
     t: &DiTemplate,
     cfg: &CountConfig,
 ) -> Result<CountResult, CountError> {
-    if cfg.iterations == 0 {
-        return Err(CountError::NoIterations);
+    let rule = cfg.stop_rule();
+    match &rule {
+        StopRule::FixedIterations(0) => return Err(CountError::NoIterations),
+        r => r.validate().map_err(CountError::InvalidStopRule)?,
     }
     let k = cfg.colors.unwrap_or(t.size());
     if k < t.size() {
@@ -51,21 +54,34 @@ pub fn count_directed(
     let scale = p * alpha;
     let n = g.num_vertices();
     let start = Instant::now();
-    let mut per_iteration = Vec::with_capacity(cfg.iterations);
+    // Directed counting is serial, so the stop rule is checked after
+    // every iteration (no wave scheduling needed).
+    let budget = rule.budget();
+    let mut stream = Welford::new();
+    let mut per_iteration = Vec::new();
     let mut peak_bytes = 0usize;
-    for iter in 0..cfg.iterations as u64 {
+    for iter in 0..budget as u64 {
         let coloring = random_coloring(n, k, iteration_seed(cfg.seed, iter));
         let (total, peak) = run_directed_iteration(g, t, &pt, &ctx, &coloring);
-        per_iteration.push(total / scale);
+        let est = total / scale;
+        per_iteration.push(est);
+        stream.push(est);
         peak_bytes = peak_bytes.max(peak);
+        if rule.satisfied(&stream) {
+            break;
+        }
     }
     let elapsed = start.elapsed();
+    let stats = EstimateStats::from_series(&per_iteration);
     Ok(CountResult {
-        estimate: per_iteration.iter().sum::<f64>() / per_iteration.len() as f64,
+        estimate: stats.mean,
+        iterations_run: per_iteration.len(),
+        std_error: stats.std_error,
+        ci95: stats.ci95_half_width,
+        per_iteration_time: elapsed / per_iteration.len() as u32,
         per_iteration,
         peak_table_bytes: peak_bytes,
         elapsed,
-        per_iteration_time: elapsed / cfg.iterations as u32,
         automorphisms: alpha as u64,
         colorful_probability: p,
     })

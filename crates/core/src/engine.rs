@@ -29,6 +29,7 @@
 use crate::coloring::{iteration_seed, random_coloring};
 use crate::metrics::{CutMetrics, RunMetrics, TriangleMetrics};
 use crate::parallel::ParallelMode;
+use crate::stats::{EstimateStats, StopRule, Welford};
 use fascia_combin::{colorful_probability, BinomialTable, ColorSetIter, SplitTable};
 use fascia_graph::Graph;
 use fascia_obs::{Metrics, SpanTimer};
@@ -60,6 +61,18 @@ pub struct CountConfig {
     /// `iteration_seed(seed, i)`, so results are identical across parallel
     /// modes.
     pub seed: u64,
+    /// Optional adaptive stopping rule. `None` keeps the classic behavior
+    /// of running exactly [`CountConfig::iterations`] iterations; `Some`
+    /// overrides `iterations` entirely — see [`CountConfig::stop_rule`].
+    ///
+    /// With [`StopRule::RelativeError`] the engine folds every finished
+    /// iteration's scaled estimate into a streaming [`Welford`]
+    /// accumulator and stops as soon as the running confidence interval
+    /// is tight enough. Serial and inner-loop modes check after every
+    /// iteration; outer-loop and hybrid modes run *waves* of
+    /// `num_threads` iterations between checks so per-worker private
+    /// tables (and full thread utilization) are preserved.
+    pub stop: Option<StopRule>,
     /// Optional metrics registry. When present and enabled, the engine
     /// records per-iteration coloring/DP timings, per-subtemplate spans,
     /// initialized-check skip counts, and measured table statistics (see
@@ -82,6 +95,27 @@ impl CountConfig {
             ..Self::default()
         }
     }
+
+    /// Configuration that stops adaptively: iterate until the running
+    /// estimate's relative confidence half-width at confidence `1 - delta`
+    /// drops below `epsilon`, with the library-default iteration floor and
+    /// budget (see [`StopRule::relative_error`]). In practice this reaches
+    /// a given accuracy in orders of magnitude fewer iterations than
+    /// [`CountConfig::for_error`]'s worst-case bound (§V-D).
+    pub fn adaptive(epsilon: f64, delta: f64) -> Self {
+        Self {
+            stop: Some(StopRule::relative_error(epsilon, delta)),
+            ..Self::default()
+        }
+    }
+
+    /// The effective stopping rule: [`CountConfig::stop`] when set,
+    /// otherwise `FixedIterations(self.iterations)`.
+    pub fn stop_rule(&self) -> StopRule {
+        self.stop
+            .clone()
+            .unwrap_or(StopRule::FixedIterations(self.iterations))
+    }
 }
 
 impl Default for CountConfig {
@@ -93,6 +127,7 @@ impl Default for CountConfig {
             strategy: PartitionStrategy::OneAtATime,
             parallel: ParallelMode::Auto,
             seed: 0x00FA_5C1A,
+            stop: None,
             metrics: None,
         }
     }
@@ -113,6 +148,9 @@ pub enum CountError {
     TooManyColors(usize),
     /// Zero iterations requested.
     NoIterations,
+    /// The configured [`StopRule`] has unusable parameters; the payload
+    /// says which one.
+    InvalidStopRule(&'static str),
 }
 
 impl std::fmt::Display for CountError {
@@ -134,6 +172,7 @@ impl std::fmt::Display for CountError {
                 fascia_combin::MAX_COLORS
             ),
             CountError::NoIterations => write!(f, "at least one iteration is required"),
+            CountError::InvalidStopRule(why) => write!(f, "invalid stop rule: {why}"),
         }
     }
 }
@@ -153,6 +192,15 @@ pub struct CountResult {
     pub estimate: f64,
     /// Per-iteration scaled estimates (already divided by `P · α`).
     pub per_iteration: Vec<f64>,
+    /// Iterations actually executed. Equals the configured count under
+    /// `FixedIterations`; under [`StopRule::RelativeError`] it is whatever
+    /// the convergence test settled on (at most the rule's `max_iters`).
+    pub iterations_run: usize,
+    /// Standard error of the mean over the per-iteration estimates.
+    pub std_error: f64,
+    /// Half-width of the ~95% normal-approximation confidence interval:
+    /// the estimate is `estimate ± ci95` at 95% confidence.
+    pub ci95: f64,
     /// Peak bytes held in DP tables plus index tables, across iterations.
     pub peak_table_bytes: usize,
     /// Wall-clock for the whole run.
@@ -233,7 +281,8 @@ pub fn rooted_counts(
     let ctx = DpContext::new(t, &pt, k);
     let rm = RunMetrics::resolve(cfg.metrics.as_deref(), &pt);
     let start = Instant::now();
-    let iters = cfg.iterations.max(1);
+    let rule = cfg.stop_rule();
+    let budget = rule.budget().max(1);
     let alpha_rooted = rooted_automorphisms(t, orbit, full_mask(t.size()));
     let p = colorful_probability(k, t.size());
     let scale = p * alpha_rooted as f64;
@@ -266,19 +315,50 @@ pub fn rooted_counts(
         out.root_row_sums.expect("rooted run collects row sums")
     };
 
-    let mode = cfg.parallel.resolve(g.num_vertices(), iters);
-    let sums: Vec<Vec<f64>> = match mode {
-        ParallelMode::OuterLoop => (0..iters)
-            .into_par_iter()
-            .map(|i| run_one(i, false))
-            .collect(),
-        ParallelMode::Hybrid => (0..iters)
-            .into_par_iter()
-            .map(|i| run_one(i, true))
-            .collect(),
-        ParallelMode::InnerLoop => (0..iters).map(|i| run_one(i, true)).collect(),
-        _ => (0..iters).map(|i| run_one(i, false)).collect(),
+    // Wave schedule mirroring `count_impl`: the rooted convergence test
+    // streams the *total* rooted count of each iteration (Σ_v row-sum,
+    // scaled), since per-vertex convergence would be both noisy and
+    // O(n) per check.
+    let mode = cfg.parallel.resolve(g.num_vertices(), budget);
+    let check_interval = match mode {
+        ParallelMode::OuterLoop | ParallelMode::Hybrid => rayon::current_num_threads().max(1),
+        _ => 1,
     };
+    let mut stream = Welford::new();
+    let mut sums: Vec<Vec<f64>> = Vec::new();
+    loop {
+        let done = sums.len();
+        let target = if done == 0 {
+            rule.min_iterations().clamp(1, budget)
+        } else {
+            (done + check_interval).min(budget)
+        };
+        let wave: Vec<Vec<f64>> = match mode {
+            ParallelMode::OuterLoop => (done..target)
+                .into_par_iter()
+                .map(|i| run_one(i, false))
+                .collect(),
+            ParallelMode::Hybrid => (done..target)
+                .into_par_iter()
+                .map(|i| run_one(i, true))
+                .collect(),
+            ParallelMode::InnerLoop => (done..target).map(|i| run_one(i, true)).collect(),
+            _ => (done..target).map(|i| run_one(i, false)).collect(),
+        };
+        for s in &wave {
+            stream.push(s.iter().sum::<f64>() / scale);
+        }
+        sums.extend(wave);
+        if rule.satisfied(&stream) || sums.len() >= budget {
+            break;
+        }
+    }
+    let iters = sums.len().max(1);
+    if let Some(m) = rm.as_ref() {
+        if rule.is_adaptive() {
+            m.iterations_saved.add((budget - sums.len()) as u64);
+        }
+    }
     let n = g.num_vertices();
     let mut per_vertex = vec![0.0f64; n];
     for s in &sums {
@@ -298,8 +378,9 @@ pub fn rooted_counts(
 }
 
 pub(crate) fn effective_colors(t: &Template, cfg: &CountConfig) -> Result<usize, CountError> {
-    if cfg.iterations == 0 {
-        return Err(CountError::NoIterations);
+    match cfg.stop_rule() {
+        StopRule::FixedIterations(0) => return Err(CountError::NoIterations),
+        rule => rule.validate().map_err(CountError::InvalidStopRule)?,
     }
     let k = cfg.colors.unwrap_or(t.size());
     if k < t.size() {
@@ -330,7 +411,8 @@ fn count_impl(
     let alpha = automorphisms(t);
     let p = colorful_probability(k, t.size());
     let scale = p * alpha as f64;
-    let iters = cfg.iterations;
+    let rule = cfg.stop_rule();
+    let budget = rule.budget();
     let start = Instant::now();
 
     let run_one = |i: usize, inner: bool| -> (f64, usize) {
@@ -361,22 +443,66 @@ fn count_impl(
         (out.colorful_total, out.peak_bytes)
     };
 
-    let mode = cfg.parallel.resolve(g.num_vertices(), iters);
+    let mode = cfg.parallel.resolve(g.num_vertices(), budget);
     if let Some(m) = &rm {
         m.threads.set(rayon::current_num_threads() as u64);
     }
-    let raw: Vec<(f64, usize)> = match mode {
-        ParallelMode::OuterLoop => (0..iters)
-            .into_par_iter()
-            .map(|i| run_one(i, false))
-            .collect(),
-        ParallelMode::Hybrid => (0..iters)
-            .into_par_iter()
-            .map(|i| run_one(i, true))
-            .collect(),
-        ParallelMode::InnerLoop => (0..iters).map(|i| run_one(i, true)).collect(),
-        _ => (0..iters).map(|i| run_one(i, false)).collect(),
+    // Iterations run in waves; between waves the stop rule sees every
+    // finished estimate through the streaming accumulator. A fixed rule
+    // runs its whole count as a single wave — exactly the classic
+    // schedule. An adaptive rule first runs up to its earliest possible
+    // stopping point, then proceeds one check-interval at a time:
+    // one iteration per wave for serial/inner modes, `num_threads`
+    // iterations per wave for outer/hybrid so every worker keeps a
+    // private table and a full complement of work between barriers.
+    let check_interval = match mode {
+        ParallelMode::OuterLoop | ParallelMode::Hybrid => rayon::current_num_threads().max(1),
+        _ => 1,
     };
+    let mut stream = Welford::new();
+    let mut raw: Vec<(f64, usize)> = Vec::new();
+    loop {
+        let done = raw.len();
+        let target = if done == 0 {
+            rule.min_iterations().clamp(1, budget)
+        } else {
+            (done + check_interval).min(budget)
+        };
+        let wave: Vec<(f64, usize)> = match mode {
+            ParallelMode::OuterLoop => (done..target)
+                .into_par_iter()
+                .map(|i| run_one(i, false))
+                .collect(),
+            ParallelMode::Hybrid => (done..target)
+                .into_par_iter()
+                .map(|i| run_one(i, true))
+                .collect(),
+            ParallelMode::InnerLoop => (done..target).map(|i| run_one(i, true)).collect(),
+            _ => (done..target).map(|i| run_one(i, false)).collect(),
+        };
+        for &(c, _) in &wave {
+            stream.push(c / scale);
+        }
+        raw.extend(wave);
+        if let Some(m) = &rm {
+            if rule.is_adaptive() {
+                m.adaptive_checks.inc();
+                m.adaptive_estimate
+                    .set(stream.mean().max(0.0).round() as u64);
+                m.adaptive_ci
+                    .set(stream.ci_half_width(rule.z()).round() as u64);
+            }
+        }
+        if rule.satisfied(&stream) || raw.len() >= budget {
+            break;
+        }
+    }
+    let iters = raw.len().max(1);
+    if let Some(m) = &rm {
+        if rule.is_adaptive() {
+            m.iterations_saved.add((budget - raw.len()) as u64);
+        }
+    }
     let per_iteration: Vec<f64> = raw.iter().map(|(c, _)| c / scale).collect();
     // Outer-loop parallelism multiplies live tables by the worker count.
     let peak_one = raw.iter().map(|&(_, b)| b).max().unwrap_or(0);
@@ -387,10 +513,16 @@ fn count_impl(
         _ => peak_one,
     };
     let elapsed = start.elapsed();
-    let estimate = per_iteration.iter().sum::<f64>() / iters as f64;
+    // The batch statistics reproduce the streaming ones; computing them
+    // from the series keeps `estimate` bitwise identical to the
+    // pre-adaptive mean-of-series expression.
+    let stats = EstimateStats::from_series(&per_iteration);
     Ok(CountResult {
-        estimate,
+        estimate: stats.mean,
         per_iteration,
+        iterations_run: iters,
+        std_error: stats.std_error,
+        ci95: stats.ci95_half_width,
         peak_table_bytes,
         elapsed,
         per_iteration_time: elapsed / iters as u32,
@@ -1462,7 +1594,216 @@ mod tests {
         let g = gnm(40, 120, 71);
         let r = count_template(&g, &Template::path(5), &cfg(50)).unwrap();
         assert_eq!(r.per_iteration.len(), 50);
+        assert_eq!(r.iterations_run, 50);
         assert!(r.per_iteration.iter().all(|x| x.is_finite() && *x >= 0.0));
+        assert!(r.std_error > 0.0);
+        assert!((r.ci95 - 1.96 * r.std_error).abs() < 1e-12);
+    }
+
+    /// The ISSUE's acceptance scenario: on a seeded Erdős–Rényi graph with
+    /// a known exact count, `RelativeError{0.05, 0.05}` stops in far fewer
+    /// iterations than the a-priori AYZ bound, and the truth lies within
+    /// the reported 95% CI (with 2x slack for the 5% miss probability to
+    /// stay deterministic-robust across seeds).
+    #[test]
+    fn adaptive_rule_stops_early_and_covers_truth() {
+        let g = gnm(60, 180, 13);
+        let t = Template::path(4);
+        let exact = count_exact(&g, &t) as f64;
+        let apriori = fascia_combin::iterations_for(0.05, 0.05, t.size()) as usize;
+        let c = CountConfig {
+            stop: Some(crate::stats::StopRule::RelativeError {
+                epsilon: 0.05,
+                delta: 0.05,
+                min_iters: 8,
+                max_iters: apriori,
+            }),
+            parallel: ParallelMode::Serial,
+            seed: 7,
+            ..CountConfig::default()
+        };
+        let r = count_template(&g, &t, &c).unwrap();
+        assert!(
+            r.iterations_run < apriori,
+            "adaptive used {} of the a-priori {apriori}",
+            r.iterations_run
+        );
+        assert_eq!(r.iterations_run, r.per_iteration.len());
+        assert!(
+            (exact - r.estimate).abs() <= 2.0 * r.ci95,
+            "exact {exact} vs {} ± {}",
+            r.estimate,
+            r.ci95
+        );
+        // And it actually converged to the requested tightness.
+        assert!(
+            r.ci95 / r.estimate <= 0.051,
+            "rel CI {}",
+            r.ci95 / r.estimate
+        );
+    }
+
+    /// A `FixedIterations` stop rule is the same thing as the classic
+    /// `iterations` field — bitwise.
+    #[test]
+    fn fixed_stop_rule_equals_iterations_field() {
+        let g = gnm(45, 140, 77);
+        let t = Template::path(5);
+        let classic = count_template(&g, &t, &cfg(9)).unwrap();
+        let ruled = count_template(
+            &g,
+            &t,
+            &CountConfig {
+                iterations: 1, // ignored: `stop` takes precedence
+                stop: Some(crate::stats::StopRule::FixedIterations(9)),
+                ..cfg(9)
+            },
+        )
+        .unwrap();
+        assert_eq!(classic.per_iteration, ruled.per_iteration);
+        assert_eq!(classic.estimate, ruled.estimate);
+        assert_eq!(ruled.iterations_run, 9);
+    }
+
+    /// With an adaptive rule active, every parallel mode still computes the
+    /// same deterministic per-iteration series — modes may stop at
+    /// different points (serial checks every iteration, outer/hybrid at
+    /// wave barriers) but the iterations they share are bitwise equal, and
+    /// outer/hybrid keep per-worker private tables (nothing here adds
+    /// shared mutable state).
+    #[test]
+    fn parallel_modes_agree_with_adaptive_rule_active() {
+        let g = gnm(45, 140, 23);
+        let t = Template::path(5);
+        let rule = crate::stats::StopRule::RelativeError {
+            epsilon: 0.10,
+            delta: 0.05,
+            min_iters: 6,
+            max_iters: 600,
+        };
+        let runs: Vec<CountResult> = [
+            ParallelMode::Serial,
+            ParallelMode::InnerLoop,
+            ParallelMode::OuterLoop,
+            ParallelMode::Hybrid,
+        ]
+        .into_iter()
+        .map(|mode| {
+            let c = CountConfig {
+                parallel: mode,
+                stop: Some(rule.clone()),
+                ..cfg(6)
+            };
+            count_template(&g, &t, &c).unwrap()
+        })
+        .collect();
+        for r in &runs {
+            assert!(r.iterations_run >= 6 && r.iterations_run <= 600);
+        }
+        let shortest = runs.iter().map(|r| r.iterations_run).min().unwrap();
+        for r in &runs[1..] {
+            assert_eq!(
+                runs[0].per_iteration[..shortest],
+                r.per_iteration[..shortest],
+                "shared iteration prefix must be bitwise equal"
+            );
+        }
+        // Serial and inner check after every iteration, so they stop at
+        // the identical point with identical results.
+        assert_eq!(runs[0].per_iteration, runs[1].per_iteration);
+        assert_eq!(runs[0].estimate, runs[1].estimate);
+    }
+
+    /// Adaptive runs surface their trajectory through the registry:
+    /// `iterations.saved` accounts for the unused budget and the running
+    /// estimate/CI gauges hold the final checked values.
+    #[test]
+    fn adaptive_metrics_record_savings_and_trajectory() {
+        let g = gnm(60, 180, 13);
+        let t = Template::path(4);
+        let registry = Arc::new(Metrics::new());
+        let c = CountConfig {
+            stop: Some(crate::stats::StopRule::RelativeError {
+                epsilon: 0.05,
+                delta: 0.05,
+                min_iters: 8,
+                max_iters: 5_000,
+            }),
+            parallel: ParallelMode::Serial,
+            seed: 7,
+            metrics: Some(Arc::clone(&registry)),
+            ..CountConfig::default()
+        };
+        let r = count_template(&g, &t, &c).unwrap();
+        let ran = registry.counter("engine.iterations.total").get();
+        let saved = registry.counter("engine.iterations.saved").get();
+        assert_eq!(ran, r.iterations_run as u64);
+        assert_eq!(ran + saved, 5_000);
+        assert!(registry.counter("engine.adaptive.checks").get() >= 1);
+        assert_eq!(
+            registry.gauge("engine.adaptive.estimate").get(),
+            r.estimate.round() as u64
+        );
+        assert!(registry.gauge("engine.adaptive.ci_half_width").get() > 0);
+    }
+
+    /// Rooted counting honors the adaptive rule too, and the result still
+    /// satisfies the orbit-sum identity.
+    #[test]
+    fn rooted_counts_with_adaptive_rule() {
+        let g = gnm(40, 130, 47);
+        let t = Template::path(3);
+        let c = CountConfig {
+            stop: Some(crate::stats::StopRule::RelativeError {
+                epsilon: 0.05,
+                delta: 0.05,
+                min_iters: 20,
+                max_iters: 2_000,
+            }),
+            parallel: ParallelMode::Serial,
+            seed: 1234,
+            ..CountConfig::default()
+        };
+        let rooted = rooted_counts(&g, &t, 0, &c).unwrap();
+        let total: f64 = rooted.per_vertex.iter().sum();
+        let exact = count_exact(&g, &t) as f64;
+        let rel = (total / 2.0 - exact).abs() / exact;
+        assert!(rel < 0.1, "rooted sum/2 {} vs exact {exact}", total / 2.0);
+    }
+
+    #[test]
+    fn invalid_stop_rules_are_rejected() {
+        let g = gnm(10, 20, 1);
+        let t = Template::path(3);
+        for bad in [
+            crate::stats::StopRule::RelativeError {
+                epsilon: 0.0,
+                delta: 0.05,
+                min_iters: 1,
+                max_iters: 10,
+            },
+            crate::stats::StopRule::RelativeError {
+                epsilon: 0.05,
+                delta: 1.5,
+                min_iters: 1,
+                max_iters: 10,
+            },
+            crate::stats::StopRule::RelativeError {
+                epsilon: 0.05,
+                delta: 0.05,
+                min_iters: 20,
+                max_iters: 10,
+            },
+        ] {
+            let c = CountConfig {
+                stop: Some(bad),
+                ..cfg(5)
+            };
+            assert!(matches!(
+                count_template(&g, &t, &c),
+                Err(CountError::InvalidStopRule(_))
+            ));
+        }
     }
 }
 

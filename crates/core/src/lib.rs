@@ -15,7 +15,11 @@
 //! * [`motifs`] — motif finding over all tree topologies of a size
 //!   (§V-E),
 //! * [`gdd`] — graphlet degree distributions and Pržulj's agreement
-//!   (§V-F).
+//!   (§V-F),
+//! * [`stats`] — streaming (Welford) and batch statistics over
+//!   per-iteration estimates, plus the adaptive [`StopRule`] that lets the
+//!   engine stop as soon as the running confidence interval is tight
+//!   instead of exhausting the pessimistic a-priori iteration bound.
 //!
 //! Every entry point accepts an optional [`fascia_obs::Metrics`] registry
 //! via [`engine::CountConfig::metrics`]; see the `metrics` module docs for
@@ -39,3 +43,4 @@ pub use engine::{
 };
 pub use parallel::ParallelMode;
 pub use sample::sample_embeddings;
+pub use stats::{count_until_converged, normal_quantile, EstimateStats, StopRule, Welford};

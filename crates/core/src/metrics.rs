@@ -18,6 +18,10 @@
 //! | `engine.dp_ns.<node>` | histogram | per-subtemplate DP time (one per partition node, e.g. `n03.cut5`) |
 //! | `engine.iterations.total` | counter | iterations run (shards = per-thread iteration counts, outer-loop balance) |
 //! | `engine.iterations.colorful` | counter | iterations whose root total was non-zero (colorful-hit rate) |
+//! | `engine.iterations.saved` | counter | budgeted iterations an adaptive stop rule did not need to run |
+//! | `engine.adaptive.estimate` | gauge | running point estimate after the latest convergence check (rounded to u64) |
+//! | `engine.adaptive.ci_half_width` | gauge | running CI half-width after the latest convergence check (rounded to u64) |
+//! | `engine.adaptive.checks` | counter | convergence checks performed (waves completed) |
 //! | `engine.threads` | gauge | worker threads of the resolved parallel mode |
 //! | `cut.roots.visited` / `cut.roots.skipped` | counter | root vertices processed vs. skipped by the "initialized" check (shards = per-thread work counts) |
 //! | `cut.neighbors.visited` / `cut.neighbors.skipped` | counter | passive-side neighbor reads vs. skips |
@@ -92,6 +96,10 @@ pub(crate) struct RunMetrics {
     pub node_ns: Vec<Option<Arc<Histogram>>>,
     pub iterations_total: Arc<Counter>,
     pub iterations_colorful: Arc<Counter>,
+    pub iterations_saved: Arc<Counter>,
+    pub adaptive_estimate: Arc<Gauge>,
+    pub adaptive_ci: Arc<Gauge>,
+    pub adaptive_checks: Arc<Counter>,
     pub threads: Arc<Gauge>,
     pub cut: CutMetrics,
     pub triangle: TriangleMetrics,
@@ -121,6 +129,10 @@ impl RunMetrics {
             node_ns,
             iterations_total: m.counter("engine.iterations.total"),
             iterations_colorful: m.counter("engine.iterations.colorful"),
+            iterations_saved: m.counter("engine.iterations.saved"),
+            adaptive_estimate: m.gauge("engine.adaptive.estimate"),
+            adaptive_ci: m.gauge("engine.adaptive.ci_half_width"),
+            adaptive_checks: m.counter("engine.adaptive.checks"),
             threads: m.gauge("engine.threads"),
             cut: CutMetrics {
                 roots_visited: m.counter("cut.roots.visited"),

@@ -14,6 +14,22 @@
 //! by the ambient rayon pool; [`with_threads`] builds a scoped pool for the
 //! scaling experiments (Figs. 8–9).
 
+/// Largest vertex count at which [`ParallelMode::Auto`] still picks
+/// outer-loop parallelism (exclusive bound).
+///
+/// Below this size a per-worker private DP table is cheap (tables scale
+/// with `n · C(k, h)`) and per-vertex parallelism amortizes badly, so
+/// whole iterations are the better unit of work. At or above it the
+/// memory cost of one table per worker dominates and the engine switches
+/// to a single shared table with inner-loop (per-vertex) parallelism —
+/// the paper's §III-E rule of thumb. See DESIGN.md §Parallel modes.
+pub const AUTO_OUTER_MAX_VERTICES: usize = 50_000;
+
+/// Fewest iterations for which [`ParallelMode::Auto`] considers outer-loop
+/// parallelism (inclusive bound). With a single iteration there is nothing
+/// to parallelize over iterations, so inner-loop is always used.
+pub const AUTO_OUTER_MIN_ITERATIONS: usize = 2;
+
 /// How to spread work across threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ParallelMode {
@@ -33,13 +49,19 @@ pub enum ParallelMode {
 }
 
 impl ParallelMode {
-    /// Resolves `Auto` for a concrete workload.
+    /// Resolves `Auto` for a concrete workload: outer-loop parallelism for
+    /// graphs under [`AUTO_OUTER_MAX_VERTICES`] vertices with at least
+    /// [`AUTO_OUTER_MIN_ITERATIONS`] iterations, inner-loop otherwise.
+    /// Under an adaptive stop rule `iterations` is the rule's budget
+    /// (`max_iters`), not the a-posteriori count. Explicit modes resolve
+    /// to themselves.
     pub fn resolve(self, num_vertices: usize, iterations: usize) -> ParallelMode {
         match self {
             ParallelMode::Auto => {
                 // Small graphs amortize badly over vertices; if there are
                 // several iterations to run, prefer outer parallelism.
-                if num_vertices < 50_000 && iterations >= 2 {
+                if num_vertices < AUTO_OUTER_MAX_VERTICES && iterations >= AUTO_OUTER_MIN_ITERATIONS
+                {
                     ParallelMode::OuterLoop
                 } else {
                     ParallelMode::InnerLoop
@@ -91,6 +113,48 @@ mod tests {
             ParallelMode::Auto.resolve(1_000, 1),
             ParallelMode::InnerLoop
         );
+    }
+
+    /// Pins the full Auto resolution table at the exact threshold
+    /// boundaries, so a threshold change is a deliberate, visible edit.
+    #[test]
+    fn auto_resolution_table_is_pinned() {
+        let cases = [
+            // (vertices, iterations) -> resolved mode
+            (0, 0, ParallelMode::InnerLoop),
+            (0, AUTO_OUTER_MIN_ITERATIONS, ParallelMode::OuterLoop),
+            (
+                AUTO_OUTER_MAX_VERTICES - 1,
+                AUTO_OUTER_MIN_ITERATIONS - 1,
+                ParallelMode::InnerLoop,
+            ),
+            (
+                AUTO_OUTER_MAX_VERTICES - 1,
+                AUTO_OUTER_MIN_ITERATIONS,
+                ParallelMode::OuterLoop,
+            ),
+            (
+                AUTO_OUTER_MAX_VERTICES - 1,
+                usize::MAX,
+                ParallelMode::OuterLoop,
+            ),
+            (
+                AUTO_OUTER_MAX_VERTICES,
+                AUTO_OUTER_MIN_ITERATIONS,
+                ParallelMode::InnerLoop,
+            ),
+            (usize::MAX, usize::MAX, ParallelMode::InnerLoop),
+        ];
+        for (n, iters, want) in cases {
+            assert_eq!(
+                ParallelMode::Auto.resolve(n, iters),
+                want,
+                "Auto.resolve({n}, {iters})"
+            );
+        }
+        // The constants themselves are part of the public contract.
+        assert_eq!(AUTO_OUTER_MAX_VERTICES, 50_000);
+        assert_eq!(AUTO_OUTER_MIN_ITERATIONS, 2);
     }
 
     #[test]

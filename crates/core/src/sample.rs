@@ -34,9 +34,12 @@ pub type Embedding = Vec<u32>;
 /// Draws up to `samples` embeddings of `t` in `g`, uniformly at random
 /// among non-induced occurrences (as injective homomorphisms).
 ///
-/// Iterations whose coloring yields no colorful embedding are skipped; if
-/// `cfg.iterations` colorings all come up empty the result is empty (the
-/// template most likely does not occur).
+/// Iterations whose coloring yields no colorful embedding are skipped.
+/// The coloring budget is the stop rule's iteration budget
+/// ([`CountConfig::stop_rule`]): `cfg.iterations` colorings classically,
+/// or the rule's `max_iters` when an adaptive rule is configured. If every
+/// budgeted coloring comes up empty the result is empty (the template most
+/// likely does not occur).
 pub fn sample_embeddings(
     g: &Graph,
     t: &Template,
@@ -58,8 +61,9 @@ pub fn sample_embeddings(
         }
         return Ok(out);
     }
+    let budget = cfg.stop_rule().budget() as u64;
     let mut iteration = 0u64;
-    while out.len() < samples && iteration < cfg.iterations as u64 {
+    while out.len() < samples && iteration < budget {
         let coloring = random_coloring(g.num_vertices(), k, iteration_seed(cfg.seed, iteration));
         iteration += 1;
         let tables = build_retained_tables(g, t, &pt, &ctx, &coloring);
@@ -78,7 +82,7 @@ pub fn sample_embeddings(
         }
         // Draw several embeddings per successful coloring, bounded so one
         // lucky coloring does not dominate the sample.
-        let per_coloring = samples.div_ceil(cfg.iterations).max(1);
+        let per_coloring = samples.div_ceil(budget as usize).max(1);
         for _ in 0..per_coloring {
             if out.len() >= samples {
                 break;

@@ -1,4 +1,4 @@
-//! Statistics over per-iteration estimates.
+//! Statistics over per-iteration estimates, and the adaptive stop rule.
 //!
 //! Each color-coding iteration produces an independent, identically
 //! distributed, unbiased estimate of the true count; the final answer is
@@ -7,6 +7,307 @@
 //! interval — so callers can decide *online* whether they have run enough
 //! iterations, instead of trusting the (wildly conservative) worst-case
 //! bound of Alg. 1 line 2.
+//!
+//! Two forms of the same statistics exist:
+//!
+//! * [`EstimateStats`] — batch summary of a finished series (two passes),
+//! * [`Welford`] — a streaming accumulator the engine updates after every
+//!   iteration, so the stopping decision costs O(1) per iteration and
+//!   never re-walks the series.
+//!
+//! [`StopRule`] is the engine-facing policy built on top: run a fixed
+//! iteration count, or stop as soon as the running confidence interval is
+//! relatively tight ([`StopRule::RelativeError`]) — the practical answer
+//! to the paper's observation (§V-D, Figs. 10–11) that the theoretical
+//! bound overshoots by orders of magnitude.
+
+/// A streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long series: the running mean is updated by the
+/// scaled residual instead of accumulating a raw sum of squares, so
+/// variance stays accurate even when the mean is large relative to the
+/// spread (exactly the regime of subgraph counts, which reach 10^17).
+///
+/// ```
+/// use fascia_core::stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 6.0, 8.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 5.0);
+/// assert!((w.variance() - 20.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one sample in.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Running sample mean (0 before any sample).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 for fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Standard error of the mean, `sqrt(variance / n)`.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.variance() / self.n as f64).sqrt()
+        }
+    }
+
+    /// Confidence-interval half-width at critical value `z`
+    /// (`z = 1.96` gives the ~95% interval).
+    pub fn ci_half_width(&self, z: f64) -> f64 {
+        z * self.std_error()
+    }
+
+    /// Half-width relative to the running mean (∞ when the mean is 0, so
+    /// a zero-count-so-far run never declares convergence).
+    pub fn relative_ci(&self, z: f64) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.ci_half_width(z) / self.mean.abs()
+        }
+    }
+
+    /// Batch-form summary of everything seen so far.
+    ///
+    /// # Panics
+    /// Panics before the first sample (as [`EstimateStats::from_series`]
+    /// does on an empty series).
+    pub fn stats(&self) -> EstimateStats {
+        assert!(self.n > 0, "need at least one iteration");
+        let std_error = self.std_error();
+        EstimateStats {
+            n: self.count(),
+            mean: self.mean,
+            variance: self.variance(),
+            std_error,
+            ci95_half_width: 1.96 * std_error,
+        }
+    }
+}
+
+/// Standard normal quantile `Φ⁻¹(p)` (Acklam's rational approximation,
+/// |relative error| < 1.15e-9 over the open unit interval).
+///
+/// Used to turn a `delta` confidence parameter into the critical value
+/// `z = Φ⁻¹(1 - δ/2)` of the stopping test.
+///
+/// # Panics
+/// Panics unless `0 < p < 1`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile needs p in (0, 1)");
+    // Coefficients of Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// When a counting run should stop iterating.
+///
+/// Threaded through [`CountConfig::stop`](crate::engine::CountConfig::stop);
+/// the engine consumes per-iteration estimates through a [`Welford`]
+/// stream and re-evaluates the rule after every iteration (serial and
+/// inner-loop modes) or after every wave of `num_threads` iterations
+/// (outer-loop and hybrid modes, which keep one private table per worker
+/// and therefore check convergence at wave barriers).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StopRule {
+    /// Run exactly `n` iterations (the paper's Alg. 1 behavior).
+    FixedIterations(usize),
+    /// Stop as soon as the running confidence interval at confidence
+    /// `1 - delta` has relative half-width at most `epsilon` — i.e. the
+    /// estimate is within `±epsilon·estimate` with probability
+    /// `1 - delta` under the normal approximation.
+    RelativeError {
+        /// Target relative half-width of the confidence interval.
+        epsilon: f64,
+        /// Allowed probability that the interval misses the truth.
+        delta: f64,
+        /// Never stop before this many iterations (variance estimates
+        /// from very few samples are unreliable; at least 2 is enforced).
+        min_iters: usize,
+        /// Hard budget: stop here even if unconverged.
+        max_iters: usize,
+    },
+}
+
+impl StopRule {
+    /// A `RelativeError` rule with the library defaults: at least
+    /// [`StopRule::DEFAULT_MIN_ITERS`] iterations, at most
+    /// [`StopRule::DEFAULT_MAX_ITERS`].
+    pub fn relative_error(epsilon: f64, delta: f64) -> Self {
+        StopRule::RelativeError {
+            epsilon,
+            delta,
+            min_iters: Self::DEFAULT_MIN_ITERS,
+            max_iters: Self::DEFAULT_MAX_ITERS,
+        }
+    }
+
+    /// Default `min_iters` of [`StopRule::relative_error`].
+    pub const DEFAULT_MIN_ITERS: usize = 8;
+
+    /// Default `max_iters` of [`StopRule::relative_error`].
+    pub const DEFAULT_MAX_ITERS: usize = 10_000;
+
+    /// The most iterations this rule can run.
+    pub fn budget(&self) -> usize {
+        match *self {
+            StopRule::FixedIterations(n) => n,
+            StopRule::RelativeError { max_iters, .. } => max_iters,
+        }
+    }
+
+    /// The earliest iteration count at which [`StopRule::satisfied`] can
+    /// become true; the engine sizes its first wave to this.
+    pub fn min_iterations(&self) -> usize {
+        match *self {
+            StopRule::FixedIterations(n) => n,
+            StopRule::RelativeError {
+                min_iters,
+                max_iters,
+                ..
+            } => min_iters.max(2).min(max_iters),
+        }
+    }
+
+    /// Whether this rule can stop before exhausting its budget.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, StopRule::RelativeError { .. })
+    }
+
+    /// The critical value `z = Φ⁻¹(1 - δ/2)` of the stopping test
+    /// (1.96 for a fixed rule, where it only feeds reporting).
+    pub fn z(&self) -> f64 {
+        match *self {
+            StopRule::FixedIterations(_) => 1.96,
+            StopRule::RelativeError { delta, .. } => normal_quantile(1.0 - delta / 2.0),
+        }
+    }
+
+    /// Checks the parameters, returning a human-readable reason when the
+    /// rule is unusable (non-positive epsilon, delta outside (0, 1), or
+    /// an empty budget).
+    pub fn validate(&self) -> Result<(), &'static str> {
+        match *self {
+            StopRule::FixedIterations(0) => Err("at least one iteration is required"),
+            StopRule::FixedIterations(_) => Ok(()),
+            StopRule::RelativeError {
+                epsilon,
+                delta,
+                min_iters,
+                max_iters,
+            } => {
+                // NaN parameters must fail validation, so the checks are
+                // phrased to reject anything not strictly in range.
+                if epsilon.is_nan() || epsilon <= 0.0 {
+                    Err("epsilon must be positive")
+                } else if delta.is_nan() || delta <= 0.0 || delta >= 1.0 {
+                    Err("delta must be in (0, 1)")
+                } else if max_iters == 0 {
+                    Err("max_iters must be positive")
+                } else if min_iters > max_iters {
+                    Err("min_iters must not exceed max_iters")
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Whether the run may stop after `stream` has absorbed every
+    /// completed iteration. Fixed rules stop exactly at their count; the
+    /// relative rule stops at its budget or once the interval is tight.
+    pub fn satisfied(&self, stream: &Welford) -> bool {
+        match *self {
+            StopRule::FixedIterations(n) => stream.count() >= n,
+            StopRule::RelativeError {
+                epsilon,
+                min_iters,
+                max_iters,
+                ..
+            } => {
+                let n = stream.count();
+                n >= max_iters || (n >= min_iters.max(2) && stream.relative_ci(self.z()) <= epsilon)
+            }
+        }
+    }
+}
 
 /// Summary statistics of a series of per-iteration estimates.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,7 +380,10 @@ impl EstimateStats {
 ///
 /// This is the practical answer to the paper's observation that the
 /// theoretical iteration bound is far too pessimistic: stop when the
-/// observed spread says the estimate is tight.
+/// observed spread says the estimate is tight. It is a thin wrapper over
+/// the engine's native [`StopRule::RelativeError`] path — unlike the
+/// pre-adaptive implementation it never restarts and re-runs completed
+/// iterations, so every iteration of work contributes to the answer.
 pub fn count_until_converged(
     g: &fascia_graph::Graph,
     t: &fascia_template::Template,
@@ -88,24 +392,23 @@ pub fn count_until_converged(
     max_iterations: usize,
 ) -> Result<(crate::engine::CountResult, EstimateStats), crate::engine::CountError> {
     assert!(target_rel_ci > 0.0, "target must be positive");
-    let mut iterations = base.iterations.clamp(4, max_iterations.max(1));
-    loop {
-        let cfg = crate::engine::CountConfig {
-            iterations,
-            ..base.clone()
-        };
-        let result = crate::engine::count_template(g, t, &cfg)?;
-        let stats = EstimateStats::from_series(&result.per_iteration);
-        if stats.relative_ci95() <= target_rel_ci || iterations >= max_iterations {
-            return Ok((result, stats));
-        }
-        // Grow toward the extrapolated requirement, at least doubling.
-        let next = stats
-            .iterations_to_reach(target_rel_ci)
-            .unwrap_or(iterations * 2)
-            .max(iterations * 2);
-        iterations = next.min(max_iterations);
-    }
+    let max_iters = max_iterations.max(1);
+    // The engine's stopping test uses z = Φ⁻¹(0.975) ≈ 1.9599640 while the
+    // reported `relative_ci95` uses the conventional 1.96; rescale epsilon
+    // so "engine converged" is exactly "relative_ci95 <= target".
+    let epsilon = target_rel_ci * normal_quantile(0.975) / 1.96;
+    let cfg = crate::engine::CountConfig {
+        stop: Some(StopRule::RelativeError {
+            epsilon,
+            delta: 0.05,
+            min_iters: base.iterations.clamp(4, max_iters),
+            max_iters,
+        }),
+        ..base.clone()
+    };
+    let result = crate::engine::count_template(g, t, &cfg)?;
+    let stats = EstimateStats::from_series(&result.per_iteration);
+    Ok((result, stats))
 }
 
 #[cfg(test)]
@@ -205,5 +508,162 @@ mod tests {
     #[should_panic]
     fn empty_series_rejected() {
         EstimateStats::from_series(&[]);
+    }
+
+    /// Welford's streaming moments agree with the two-pass batch
+    /// computation on fixed inputs, including large-mean/small-spread
+    /// series where a naive sum-of-squares loses precision.
+    #[test]
+    fn welford_matches_batch_on_fixed_inputs() {
+        let series: [&[f64]; 4] = [
+            &[2.0, 4.0, 6.0, 8.0],
+            &[7.0],
+            &[0.0, 0.0, 0.0],
+            &[1e15, 1e15 + 2.0, 1e15 + 4.0, 1e15 + 1.0, 1e15 + 3.0],
+        ];
+        for s in series {
+            let mut w = Welford::new();
+            for &x in s {
+                w.push(x);
+            }
+            let b = EstimateStats::from_series(s);
+            assert_eq!(w.count(), b.n);
+            assert!((w.mean() - b.mean).abs() <= 1e-9 * b.mean.abs().max(1.0));
+            assert!(
+                (w.variance() - b.variance).abs() <= 1e-9 * b.variance.max(1.0),
+                "welford {} vs batch {} on {s:?}",
+                w.variance(),
+                b.variance
+            );
+            assert!((w.std_error() - b.std_error).abs() <= 1e-9 * b.std_error.max(1.0));
+            assert!(
+                (w.ci_half_width(1.96) - b.ci95_half_width).abs()
+                    <= 1e-9 * b.ci95_half_width.max(1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn welford_stats_snapshot_matches_batch() {
+        let s = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut w = Welford::new();
+        for &x in &s {
+            w.push(x);
+        }
+        let snap = w.stats();
+        let batch = EstimateStats::from_series(&s);
+        assert_eq!(snap.n, batch.n);
+        assert!((snap.mean - batch.mean).abs() < 1e-12);
+        assert!((snap.variance - batch.variance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_welford_is_inert() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.std_error(), 0.0);
+        assert_eq!(w.relative_ci(1.96), f64::INFINITY);
+    }
+
+    #[test]
+    fn normal_quantile_hits_known_values() {
+        // Reference values of Φ⁻¹ to >6 digits.
+        let cases = [
+            (0.5, 0.0),
+            (0.975, 1.959_964),
+            (0.995, 2.575_829),
+            (0.841_344_75, 1.0),
+            (0.025, -1.959_964),
+            (0.001, -3.090_232),
+        ];
+        for (p, z) in cases {
+            assert!(
+                (normal_quantile(p) - z).abs() < 1e-5,
+                "Φ⁻¹({p}) = {} want {z}",
+                normal_quantile(p)
+            );
+        }
+        // Antisymmetry.
+        assert!((normal_quantile(0.3) + normal_quantile(0.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn normal_quantile_rejects_unit_boundary() {
+        normal_quantile(1.0);
+    }
+
+    #[test]
+    fn stop_rule_budget_and_validation() {
+        assert_eq!(StopRule::FixedIterations(7).budget(), 7);
+        assert_eq!(StopRule::FixedIterations(7).min_iterations(), 7);
+        assert!(!StopRule::FixedIterations(7).is_adaptive());
+        let r = StopRule::relative_error(0.05, 0.05);
+        assert!(r.is_adaptive());
+        assert_eq!(r.budget(), StopRule::DEFAULT_MAX_ITERS);
+        assert_eq!(r.min_iterations(), StopRule::DEFAULT_MIN_ITERS);
+        assert!(r.validate().is_ok());
+        assert!((r.z() - 1.959_964).abs() < 1e-5);
+        for bad in [
+            StopRule::FixedIterations(0),
+            StopRule::RelativeError {
+                epsilon: -1.0,
+                delta: 0.05,
+                min_iters: 1,
+                max_iters: 10,
+            },
+            StopRule::RelativeError {
+                epsilon: 0.1,
+                delta: 0.0,
+                min_iters: 1,
+                max_iters: 10,
+            },
+            StopRule::RelativeError {
+                epsilon: 0.1,
+                delta: 0.05,
+                min_iters: 1,
+                max_iters: 0,
+            },
+            StopRule::RelativeError {
+                epsilon: 0.1,
+                delta: 0.05,
+                min_iters: 9,
+                max_iters: 3,
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn stop_rule_satisfaction_semantics() {
+        let mut w = Welford::new();
+        let fixed = StopRule::FixedIterations(3);
+        let rel = StopRule::RelativeError {
+            epsilon: 0.5,
+            delta: 0.05,
+            min_iters: 4,
+            max_iters: 6,
+        };
+        // Identical samples: zero variance, converged as soon as allowed.
+        for i in 0..3 {
+            assert!(!fixed.satisfied(&w), "after {i} samples");
+            assert!(!rel.satisfied(&w), "min_iters gates sample {i}");
+            w.push(10.0);
+        }
+        assert!(fixed.satisfied(&w));
+        assert!(!rel.satisfied(&w), "still below min_iters");
+        w.push(10.0);
+        assert!(rel.satisfied(&w), "tight CI at min_iters");
+        // A zero-mean stream never converges before the budget.
+        let mut z = Welford::new();
+        for _ in 0..5 {
+            z.push(0.0);
+        }
+        assert!(!rel.satisfied(&z));
+        z.push(0.0);
+        assert!(rel.satisfied(&z), "budget exhaustion still stops it");
     }
 }

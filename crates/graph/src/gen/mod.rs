@@ -7,7 +7,7 @@
 //! * [`erdos_renyi`] — the paper's own `G(n, p)` comparison graph,
 //! * [`preferential`] — Barabási–Albert heavy-tailed graphs (Enron,
 //!   Slashdot stand-ins),
-//! * [`rmat`] — skewed power-law graphs at Portland scale,
+//! * [`mod@rmat`] — skewed power-law graphs at Portland scale,
 //! * [`road`] — low-degree, high-diameter lattice road networks (PA road),
 //! * [`dupdiv`] — duplication–divergence protein-interaction topologies,
 //! * [`small_world`] — Watts–Strogatz ring graphs,

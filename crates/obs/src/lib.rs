@@ -26,6 +26,8 @@
 //! absent or disabled the hot loops see a `None` and skip with a single
 //! pointer check. Enabled metrics cost one relaxed atomic add per event.
 
+#![warn(missing_docs)]
+
 pub mod counter;
 pub mod histogram;
 pub mod json;

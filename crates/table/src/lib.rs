@@ -18,6 +18,54 @@
 //! Tables are built from per-vertex rows produced (possibly in parallel) by
 //! the engine; all-zero rows are dropped before construction so every
 //! layout sees the same logical content.
+//!
+//! # Choosing a layout
+//!
+//! For `n` graph vertices, `Nc = C(k, h)` color-set slots per vertex, `r`
+//! *active* vertices (at least one non-zero count) and `e` live
+//! `(vertex, color set)` entries, the memory footprints are roughly:
+//!
+//! * dense — `8 * n * Nc` bytes, always. Fastest access (one multiply),
+//!   right when most vertices are active and `Nc` is small (small
+//!   templates on dense graphs).
+//! * lazy — `8 * r * Nc` plus a pointer per vertex: `~16n + 8 * r * Nc`
+//!   on 64-bit. The default: same O(1) row addressing as dense, but pays
+//!   only for active vertices — a large win on sparse or road-like graphs
+//!   where most vertices never accumulate a count.
+//! * hash — `~16 * e / load` bytes (key + value per live entry at the
+//!   configured load factor). Right for *high-selectivity* workloads —
+//!   labeled or large templates where `e << r * Nc` — at the cost of a
+//!   probe chain per lookup.
+//!
+//! All three agree bitwise on every count; the engine's `TableKind` config
+//! knob is purely a space/time trade (see Figs. 6–7 for the measured
+//! curves).
+//!
+//! ```
+//! use fascia_table::{prune_zero_rows, CountTable, DenseTable, LazyTable, Rows};
+//!
+//! // 4 vertices, 3 color-set slots; vertices 1 and 3 never got a count.
+//! let mut rows: Rows = vec![
+//!     Some(vec![2.0, 0.0, 1.0].into_boxed_slice()),
+//!     Some(vec![0.0, 0.0, 0.0].into_boxed_slice()),
+//!     Some(vec![0.0, 4.0, 0.0].into_boxed_slice()),
+//!     None,
+//! ];
+//! prune_zero_rows(&mut rows); // all-zero row 1 becomes None
+//!
+//! let lazy = LazyTable::from_rows(4, 3, rows.clone());
+//! let dense = DenseTable::from_rows(4, 3, rows);
+//! assert_eq!(lazy.get(0, 2), 1.0);
+//! assert!(!lazy.vertex_active(1));
+//! assert_eq!(lazy.total(), dense.total()); // layouts agree on content
+//! // ...but lazy materialized only the 2 active rows, dense all 4.
+//! // (At this toy scale the per-vertex pointers dominate; the byte
+//! // saving kicks in once Nc outgrows a pointer, i.e. Nc > 2.)
+//! assert_eq!(lazy.stats().rows_materialized, 2);
+//! assert_eq!(dense.stats().rows_materialized, 4);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod dense;
 pub mod hashed;

@@ -10,6 +10,9 @@ cargo fmt --check
 echo "=== cargo clippy (workspace, all targets, deny warnings) ==="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "=== cargo doc (workspace, deny warnings) ==="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
+
 echo "=== cargo test ==="
 cargo test -q --workspace --offline
 

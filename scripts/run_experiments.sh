@@ -23,6 +23,7 @@ BINS=(
   fig15_gdd
   fig16_gdd_agreement
   ext_distributed
+  ext_adaptive
 )
 cargo build --release -p fascia-bench
 for bin in "${BINS[@]}"; do
@@ -58,4 +59,14 @@ for run in "${METRIC_RUNS[@]}"; do
     echo "FAILED: see results/metrics/$name.log"
   fi
 done
+
+# Adaptive convergence trajectory: ext_adaptive emits its reports as
+# JSON lines on stderr; keep the trajectory series under results/metrics/
+# so convergence behaviour is diffable across runs.
+if [ -f results/ext_adaptive.log ]; then
+  grep '^\[json\] Ext: adaptive convergence trajectory' results/ext_adaptive.log \
+    | sed 's/^\[json\] Ext: adaptive convergence trajectory //' \
+    > results/metrics/adaptive_trajectory.json || true
+  wc -c < results/metrics/adaptive_trajectory.json | xargs echo "  trajectory bytes:"
+fi
 echo "done; see results/ and results/metrics/"

@@ -21,15 +21,15 @@
 //!
 //! Crate map:
 //!
-//! * [`combin`](fascia_combin) — combinatorial number system color-set
-//!   indexing and precomputed split tables,
-//! * [`graph`](fascia_graph) — CSR graphs, generators, Table I dataset
-//!   registry,
-//! * [`template`](fascia_template) — templates, canonical forms,
-//!   automorphisms, free-tree generation, partition trees,
-//! * [`table`](fascia_table) — the three dynamic-table layouts,
-//! * [`core`](fascia_core) — the counting engine, exact baselines, motif
-//!   finding, graphlet degree distributions.
+//! * [`combin`] — combinatorial number system color-set indexing and
+//!   precomputed split tables,
+//! * [`graph`] — CSR graphs, generators, Table I dataset registry,
+//! * [`template`] — templates, canonical forms, automorphisms, free-tree
+//!   generation, partition trees,
+//! * [`table`] — the three dynamic-table layouts,
+//! * [`core`] — the counting engine, exact baselines, motif finding,
+//!   graphlet degree distributions, adaptive iteration control
+//!   ([`core::stats`]).
 
 pub use fascia_combin as combin;
 pub use fascia_core as core;
@@ -51,6 +51,7 @@ pub mod prelude {
     pub use fascia_core::motifs::{motif_profile, MotifProfile};
     pub use fascia_core::parallel::{with_threads, ParallelMode};
     pub use fascia_core::sample::sample_embeddings;
+    pub use fascia_core::stats::{count_until_converged, EstimateStats, StopRule, Welford};
     pub use fascia_graph::datasets::scale_from_env;
     pub use fascia_graph::digraph::DiGraph;
     pub use fascia_graph::{random_labels, Dataset, Graph};

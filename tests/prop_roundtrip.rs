@@ -152,6 +152,46 @@ proptest! {
         prop_assert_eq!(shared, dist);
     }
 
+    /// An adaptive rule capped at `max_iters = n` never does more work
+    /// than `FixedIterations(n)`: it runs at most n iterations, and the
+    /// iterations it does run are the same seeded prefix the fixed run
+    /// would produce.
+    #[test]
+    fn adaptive_never_exceeds_fixed_budget(
+        n in 15usize..40,
+        budget in 2usize..60,
+        seed in any::<u64>(),
+    ) {
+        let g = fascia::graph::gen::gnm(n, 2 * n, seed);
+        let t = Template::path(3);
+        let base = CountConfig {
+            iterations: budget,
+            parallel: ParallelMode::Serial,
+            seed,
+            ..CountConfig::default()
+        };
+        let fixed = count_template(&g, &t, &base).unwrap();
+        let adaptive_cfg = CountConfig {
+            stop: Some(StopRule::RelativeError {
+                epsilon: 0.05,
+                delta: 0.05,
+                min_iters: 2,
+                max_iters: budget,
+            }),
+            ..base
+        };
+        let adaptive = count_template(&g, &t, &adaptive_cfg).unwrap();
+        prop_assert!(adaptive.iterations_run <= budget,
+            "adaptive ran {} > budget {budget}", adaptive.iterations_run);
+        prop_assert_eq!(fixed.iterations_run, budget);
+        // Same seeded iteration series prefix — the adaptive run is a
+        // prefix of the fixed run's work, never extra work.
+        prop_assert_eq!(
+            &adaptive.per_iteration[..],
+            &fixed.per_iteration[..adaptive.iterations_run]
+        );
+    }
+
     /// Sampled embeddings are always valid occurrences.
     #[test]
     fn sampled_embeddings_valid(seed in any::<u64>()) {
