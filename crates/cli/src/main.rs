@@ -18,11 +18,18 @@
 //! circuit, ecoli, yeast, hpylori, celegans); anything else is treated as
 //! an edge-list file path. `<template>` is a Figure 2 name (e.g. U7-2) or
 //! `path<k>` / `star<k>`.
+//!
+//! Exit codes are stable (scripts may rely on them): 0 success, 1 runtime
+//! failure, 2 usage error, 3 i/o or input-file error, 4 partial result
+//! (memory budget exceeded, deadline passed, or interrupted — a partial
+//! estimate and checkpoint may still have been produced).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use fascia_core::engine::{count_template, CountConfig};
+use fascia_core::engine::{count_template, CountConfig, CountError};
 use fascia_core::exact::count_exact;
 use fascia_core::gdd::{estimate_gdd, GddHistogram};
 use fascia_core::motifs::motif_profile;
+use fascia_core::resilience::{CancelToken, Checkpoint, CheckpointConfig};
 use fascia_core::sample::sample_embeddings;
 use fascia_core::stats::StopRule;
 use fascia_graph::datasets::scale_from_env;
@@ -31,16 +38,95 @@ use fascia_graph::{Dataset, Graph};
 use fascia_obs::{Metrics, MetricsReport};
 use fascia_table::TableKind;
 use fascia_template::{NamedTemplate, PartitionStrategy, Template};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Set by the SIGINT handler; every counting run watches it through a
+/// [`CancelToken`], so Ctrl-C flushes a final checkpoint and reports the
+/// partial estimate instead of killing the process mid-table.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+const EXIT_OK: i32 = 0;
+const EXIT_RUN: i32 = 1;
+const EXIT_USAGE: i32 = 2;
+const EXIT_IO: i32 = 3;
+const EXIT_PARTIAL: i32 = 4;
+
+/// A failure with a stable process exit code. Everything the CLI can
+/// reject flows through here — no `panic!`/`unwrap` paths remain (the
+/// crate denies `clippy::unwrap_used`).
+#[derive(Debug)]
+enum CliError {
+    /// Bad command line (unknown flag, missing value, malformed number).
+    Usage(String),
+    /// File problem: graph/template/checkpoint unreadable or malformed.
+    Io(String),
+    /// The engine rejected an otherwise well-formed request.
+    Run(String),
+    /// The run ended early and only partial output exists.
+    Partial(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => EXIT_USAGE,
+            CliError::Io(_) => EXIT_IO,
+            CliError::Run(_) => EXIT_RUN,
+            CliError::Partial(_) => EXIT_PARTIAL,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Io(m) | CliError::Run(m) | CliError::Partial(m) => m,
+        }
+    }
+}
 
 fn main() {
+    install_sigint_handler();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        usage_and_exit();
+    let code = match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {}", e.message());
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("run `fascia help` for usage");
+            }
+            e.exit_code()
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Installs a minimal async-signal-safe SIGINT handler (only touches one
+/// relaxed atomic). Raw libc `signal` via FFI keeps the CLI free of
+/// signal-crate dependencies.
+#[cfg(unix)]
+fn install_sigint_handler() {
+    extern "C" fn on_sigint(_sig: i32) {
+        INTERRUPTED.store(true, std::sync::atomic::Ordering::Relaxed);
     }
-    let cmd = args[0].as_str();
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
+
+fn run(args: &[String]) -> Result<i32, CliError> {
+    let Some(cmd) = args.first() else {
+        return Err(CliError::Usage(usage_text()));
+    };
     let rest = &args[1..];
-    match cmd {
+    match cmd.as_str() {
         "count" => cmd_count(rest),
         "exact" => cmd_exact(rest),
         "motifs" => cmd_motifs(rest),
@@ -49,29 +135,52 @@ fn main() {
         "distsim" => cmd_distsim(rest),
         "gen" => cmd_gen(rest),
         "info" => cmd_info(rest),
-        "templates" => cmd_templates(),
-        _ => usage_and_exit(),
+        "templates" => {
+            cmd_templates();
+            Ok(EXIT_OK)
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", usage_text());
+            Ok(EXIT_OK)
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'\n{}",
+            usage_text()
+        ))),
     }
 }
 
-fn usage_and_exit() -> ! {
-    eprintln!(
-        "usage: fascia <count|exact|motifs|gdd|gen|info|templates> ...\n\
-         \x20 count  <dataset|file> <template> [--iters N] [--table naive|improved|hash] [--strategy one|balanced] [--seed S] [--metrics off|pretty|json] [adaptive flags]\n\
-         \x20 exact  <dataset|file> <template>\n\
-         \x20 motifs <dataset|file> <size> [--iters N]\n\
-         \x20 gdd    <dataset|file> [--iters N]\n\
-         \x20 sample <dataset|file> <template> <count> [--iters N] [--seed S]\n\
-         \x20 distsim <dataset|file> <template> <ranks> [--iters N]\n\
-         \x20 gen    <dataset> <out.txt>\n\
-         \x20 info   <dataset|file>\n\
-         \x20 templates\n\
-         adaptive flags (every counting subcommand): --adaptive [--epsilon E] [--delta D] [--max-iters M]\n\
-         \x20 stop iterating once the estimate is within ±E (relative, default 0.05)\n\
-         \x20 at confidence 1-D (default 0.95), hard budget M (default 10000);\n\
-         \x20 --iters N becomes the iteration floor; --epsilon/--delta/--max-iters imply --adaptive"
-    );
-    std::process::exit(2);
+fn usage_text() -> String {
+    "usage: fascia <count|exact|motifs|gdd|sample|distsim|gen|info|templates|help> ...\n\
+     \x20 count  <dataset|file> <template> [--iters N] [--table naive|improved|hash] [--strategy one|balanced] [--seed S] [--metrics off|pretty|json] [adaptive flags] [resilience flags]\n\
+     \x20 exact  <dataset|file> <template>\n\
+     \x20 motifs <dataset|file> <size> [--iters N]\n\
+     \x20 gdd    <dataset|file> [--iters N]\n\
+     \x20 sample <dataset|file> <template> <count> [--iters N] [--seed S]\n\
+     \x20 distsim <dataset|file> <template> <ranks> [--iters N]\n\
+     \x20 gen    <dataset> <out.txt>\n\
+     \x20 info   <dataset|file>\n\
+     \x20 templates\n\
+     adaptive flags (every counting subcommand): --adaptive [--epsilon E] [--delta D] [--max-iters M]\n\
+     \x20 stop iterating once the estimate is within ±E (relative, default 0.05)\n\
+     \x20 at confidence 1-D (default 0.95), hard budget M (default 10000);\n\
+     \x20 --iters N becomes the iteration floor; --epsilon/--delta/--max-iters imply --adaptive\n\
+     resilience flags (every counting subcommand):\n\
+     \x20 --timeout-secs T     stop after T seconds (fractions ok) and report the partial estimate\n\
+     \x20 --checkpoint FILE    write an atomic resume checkpoint after every wave and at exit\n\
+     \x20 --resume FILE        continue a checkpointed run (count only); adopts the checkpoint's\n\
+     \x20                      seed and stop rule unless --seed/--iters/adaptive flags are given\n\
+     \x20 --memory-budget B    cap DP-table memory at B bytes (k/m/g suffixes ok); the engine\n\
+     \x20                      degrades dense→lazy→hashed layouts before giving up\n\
+     Ctrl-C cancels cooperatively: the current wave is discarded, a final checkpoint is\n\
+     written (with --checkpoint), and the partial estimate is reported.\n\
+     exit codes: 0 ok, 1 runtime failure, 2 usage, 3 i/o or bad input file,\n\
+     \x20 4 partial result (budget exceeded, timeout, or interrupt)"
+        .to_string()
+}
+
+fn usage_err(what: &str) -> CliError {
+    CliError::Usage(format!("{what}\n{}", usage_text()))
 }
 
 fn parse_dataset(name: &str) -> Option<Dataset> {
@@ -90,67 +199,90 @@ fn parse_dataset(name: &str) -> Option<Dataset> {
     })
 }
 
-fn load_graph(spec: &str) -> Graph {
+fn load_graph(spec: &str) -> Result<Graph, CliError> {
     if let Some(ds) = parse_dataset(spec) {
         let scale = scale_from_env();
         eprintln!(
             "generating {} stand-in (scale 1/{scale}, FASCIA_SCALE to change)",
             ds.spec().name
         );
-        ds.generate(scale, 0xDA7A)
+        Ok(ds.generate(scale, 0xDA7A))
     } else {
-        match load_edge_list(spec) {
-            Ok((g, _)) => g,
-            Err(e) => {
-                eprintln!("cannot load '{spec}': {e}");
-                std::process::exit(1);
-            }
-        }
+        load_edge_list(spec)
+            .map(|(g, _)| g)
+            .map_err(|e| CliError::Io(format!("cannot load '{spec}': {e}")))
     }
 }
 
-fn parse_template(spec: &str) -> Template {
+fn parse_template(spec: &str) -> Result<Template, CliError> {
     if let Some(named) = NamedTemplate::by_name(spec) {
-        return named.template();
+        return Ok(named.template());
     }
     if let Some(k) = spec
         .strip_prefix("path")
         .and_then(|s| s.parse::<usize>().ok())
     {
-        return Template::path(k);
+        return Ok(Template::path(k));
     }
     if let Some(k) = spec
         .strip_prefix("star")
         .and_then(|s| s.parse::<usize>().ok())
     {
-        return Template::star(k);
+        return Ok(Template::star(k));
     }
     if std::path::Path::new(spec).exists() {
-        match fascia_template::io::load_template(spec) {
-            Ok(t) => return t,
-            Err(e) => {
-                eprintln!("cannot load template file '{spec}': {e}");
-                std::process::exit(1);
-            }
-        }
+        return fascia_template::io::load_template(spec)
+            .map_err(|e| CliError::Io(format!("cannot load template file '{spec}': {e}")));
     }
-    eprintln!("unknown template '{spec}' (use U7-2, path5, star6, or a template file path)");
-    std::process::exit(1);
+    Err(CliError::Usage(format!(
+        "unknown template '{spec}' (use U7-2, path5, star6, or a template file path)"
+    )))
 }
 
-fn parse_flags(rest: &[String]) -> (CountConfig, MetricsReport) {
+/// Returns the value following flag `rest[i]`, or a usage error naming it.
+fn flag_value<'a>(rest: &'a [String], i: usize, flag: &str) -> Result<&'a str, CliError> {
+    rest.get(i + 1)
+        .map(|s| s.as_str())
+        .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+}
+
+/// Parses a flag value, mapping failure to a usage error that names the
+/// flag and echoes the offending text.
+fn flag_parse<T: std::str::FromStr>(rest: &[String], i: usize, flag: &str) -> Result<T, CliError> {
+    let raw = flag_value(rest, i, flag)?;
+    raw.parse()
+        .map_err(|_| CliError::Usage(format!("{flag}: cannot parse {raw:?}")))
+}
+
+/// Parses a byte size with an optional `k`/`m`/`g` suffix (powers of
+/// 1024), e.g. `--memory-budget 512m`.
+fn parse_size(raw: &str) -> Option<usize> {
+    let s = raw.trim().to_ascii_lowercase();
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'k' => (&s[..s.len() - 1], 1usize << 10),
+        b'm' => (&s[..s.len() - 1], 1usize << 20),
+        b'g' => (&s[..s.len() - 1], 1usize << 30),
+        _ => (s.as_str(), 1usize),
+    };
+    digits.parse::<usize>().ok()?.checked_mul(mult)
+}
+
+fn parse_flags(rest: &[String]) -> Result<(CountConfig, MetricsReport), CliError> {
     let mut cfg = CountConfig::default();
     let mut report = MetricsReport::Off;
     let mut iters_given = false;
+    let mut seed_given = false;
     let mut adaptive = false;
     let mut epsilon = 0.05f64;
     let mut delta = 0.05f64;
     let mut max_iters = StopRule::DEFAULT_MAX_ITERS;
+    let mut timeout: Option<Duration> = None;
+    let mut resume_path: Option<String> = None;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
             "--iters" => {
-                cfg.iterations = rest[i + 1].parse().expect("--iters N");
+                cfg.iterations = flag_parse(rest, i, "--iters")?;
                 iters_given = true;
                 i += 2;
             }
@@ -159,59 +291,99 @@ fn parse_flags(rest: &[String]) -> (CountConfig, MetricsReport) {
                 i += 1;
             }
             "--epsilon" => {
-                epsilon = rest[i + 1].parse().expect("--epsilon E");
+                epsilon = flag_parse(rest, i, "--epsilon")?;
                 adaptive = true;
                 i += 2;
             }
             "--delta" => {
-                delta = rest[i + 1].parse().expect("--delta D");
+                delta = flag_parse(rest, i, "--delta")?;
                 adaptive = true;
                 i += 2;
             }
             "--max-iters" => {
-                max_iters = rest[i + 1].parse().expect("--max-iters M");
+                max_iters = flag_parse(rest, i, "--max-iters")?;
                 adaptive = true;
                 i += 2;
             }
             "--seed" => {
-                cfg.seed = rest[i + 1].parse().expect("--seed S");
+                cfg.seed = flag_parse(rest, i, "--seed")?;
+                seed_given = true;
                 i += 2;
             }
             "--table" => {
-                cfg.table = match rest[i + 1].as_str() {
+                cfg.table = match flag_value(rest, i, "--table")? {
                     "naive" | "dense" => TableKind::Dense,
                     "improved" | "lazy" => TableKind::Lazy,
                     "hash" => TableKind::Hash,
                     other => {
-                        eprintln!("unknown table kind '{other}'");
-                        std::process::exit(1);
+                        return Err(CliError::Usage(format!("unknown table kind '{other}'")));
                     }
                 };
                 i += 2;
             }
             "--strategy" => {
-                cfg.strategy = match rest[i + 1].as_str() {
+                cfg.strategy = match flag_value(rest, i, "--strategy")? {
                     "one" | "one-at-a-time" => PartitionStrategy::OneAtATime,
                     "balanced" => PartitionStrategy::Balanced,
                     other => {
-                        eprintln!("unknown strategy '{other}'");
-                        std::process::exit(1);
+                        return Err(CliError::Usage(format!("unknown strategy '{other}'")));
                     }
                 };
                 i += 2;
             }
             "--metrics" => {
-                report = match MetricsReport::parse(&rest[i + 1]) {
-                    Some(r) => r,
-                    None => {
-                        eprintln!("unknown metrics mode '{}' (off|pretty|json)", rest[i + 1]);
-                        std::process::exit(1);
-                    }
-                };
+                let raw = flag_value(rest, i, "--metrics")?;
+                report = MetricsReport::parse(raw).ok_or_else(|| {
+                    CliError::Usage(format!("unknown metrics mode '{raw}' (off|pretty|json)"))
+                })?;
                 i += 2;
             }
-            _ => i += 1,
+            "--timeout-secs" => {
+                let secs: f64 = flag_parse(rest, i, "--timeout-secs")?;
+                timeout = Some(Duration::try_from_secs_f64(secs).map_err(|_| {
+                    CliError::Usage(format!("--timeout-secs: {secs} is not a valid duration"))
+                })?);
+                i += 2;
+            }
+            "--checkpoint" => {
+                cfg.checkpoint = Some(CheckpointConfig::new(flag_value(rest, i, "--checkpoint")?));
+                i += 2;
+            }
+            "--resume" => {
+                resume_path = Some(flag_value(rest, i, "--resume")?.to_string());
+                i += 2;
+            }
+            "--memory-budget" => {
+                let raw = flag_value(rest, i, "--memory-budget")?;
+                cfg.memory_budget_bytes = Some(parse_size(raw).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "--memory-budget: cannot parse {raw:?} (use bytes with optional k/m/g)"
+                    ))
+                })?);
+                i += 2;
+            }
+            other => {
+                return Err(CliError::Usage(format!("unknown flag '{other}'")));
+            }
         }
+    }
+    if let Some(path) = resume_path {
+        let ck = Checkpoint::load(std::path::Path::new(&path))
+            .map_err(|e| CliError::Io(format!("cannot resume from '{path}': {e}")))?;
+        // The checkpoint is authoritative for anything the user did not
+        // override; explicit conflicting flags surface as a
+        // resume-mismatch error from the engine rather than silently
+        // changing the run's meaning.
+        if !seed_given {
+            cfg.seed = ck.seed;
+        }
+        if !iters_given && !adaptive {
+            match ck.rule.clone() {
+                StopRule::FixedIterations(n) => cfg.iterations = n,
+                rule @ StopRule::RelativeError { .. } => cfg.stop = Some(rule),
+            }
+        }
+        cfg.resume = Some(ck);
     }
     if adaptive {
         // `--iters` becomes the convergence floor; without it, the
@@ -231,7 +403,27 @@ fn parse_flags(rest: &[String]) -> (CountConfig, MetricsReport) {
     if report != MetricsReport::Off {
         cfg.metrics = Some(Arc::new(Metrics::new()));
     }
-    (cfg, report)
+    // Every counting run watches the process-wide interrupt flag; the
+    // deadline rides on the same token.
+    let mut token = CancelToken::new().external_flag(&INTERRUPTED);
+    if let Some(after) = timeout {
+        token = token.deadline(after);
+    }
+    cfg.cancel = Some(token);
+    Ok((cfg, report))
+}
+
+/// Maps engine failures to exit codes: resource exhaustion and
+/// cancellation-before-any-result are "partial" (4), everything else is a
+/// runtime failure (1) except resume mismatches, which are usage (2).
+fn map_count_err(what: &str, e: CountError) -> CliError {
+    match e {
+        CountError::BudgetExceeded { .. } | CountError::Cancelled => {
+            CliError::Partial(format!("{what}: {e}"))
+        }
+        CountError::ResumeMismatch(_) => CliError::Usage(format!("{what}: {e}")),
+        other => CliError::Run(format!("{what}: {other}")),
+    }
 }
 
 /// Prints the collected metrics per the `--metrics` mode: the pretty
@@ -248,97 +440,101 @@ fn emit_metrics(report: MetricsReport, cfg: &CountConfig) {
     }
 }
 
-fn cmd_count(rest: &[String]) {
-    if rest.len() < 2 {
-        usage_and_exit();
+fn cmd_count(rest: &[String]) -> Result<i32, CliError> {
+    let (gspec, tspec) = match rest {
+        [g, t, ..] => (g, t),
+        _ => return Err(usage_err("count needs <dataset|file> <template>")),
+    };
+    let g = load_graph(gspec)?;
+    let t = parse_template(tspec)?;
+    let (cfg, report) = parse_flags(&rest[2..])?;
+    let r = count_template(&g, &t, &cfg).map_err(|e| map_count_err("count failed", e))?;
+    println!("estimate: {:.4e}", r.estimate);
+    println!("iterations: {}", r.iterations_run);
+    if r.resumed_iterations > 0 {
+        println!("resumed iterations: {}", r.resumed_iterations);
     }
-    let g = load_graph(&rest[0]);
-    let t = parse_template(&rest[1]);
-    let (cfg, report) = parse_flags(&rest[2..]);
-    match count_template(&g, &t, &cfg) {
-        Ok(r) => {
-            println!("estimate: {:.4e}", r.estimate);
-            println!("iterations: {}", r.iterations_run);
-            if let Some(StopRule::RelativeError { max_iters, .. }) = &cfg.stop {
-                println!("iterations saved: {}", max_iters - r.iterations_run);
-            }
-            println!("std error: {:.4e}", r.std_error);
-            if r.estimate != 0.0 {
-                println!(
-                    "95% ci: ±{:.4e} ({:.2}% of estimate)",
-                    r.ci95,
-                    100.0 * r.ci95 / r.estimate.abs()
-                );
-            } else {
-                println!("95% ci: ±{:.4e}", r.ci95);
-            }
-            println!("per-iteration time: {:?}", r.per_iteration_time);
-            println!("peak table bytes: {}", r.peak_table_bytes);
-            println!("automorphisms: {}", r.automorphisms);
-            println!("colorful probability: {:.6}", r.colorful_probability);
-            emit_metrics(report, &cfg);
+    if let Some(StopRule::RelativeError { max_iters, .. }) = &cfg.stop {
+        if !r.stop_cause.is_partial() {
+            println!("iterations saved: {}", max_iters - r.iterations_run);
         }
-        Err(e) => {
-            eprintln!("count failed: {e}");
-            std::process::exit(1);
-        }
+    }
+    println!("std error: {:.4e}", r.std_error);
+    if r.estimate != 0.0 {
+        println!(
+            "95% ci: ±{:.4e} ({:.2}% of estimate)",
+            r.ci95,
+            100.0 * r.ci95 / r.estimate.abs()
+        );
+    } else {
+        println!("95% ci: ±{:.4e}", r.ci95);
+    }
+    println!("per-iteration time: {:?}", r.per_iteration_time);
+    println!("peak table bytes: {}", r.peak_table_bytes);
+    println!("automorphisms: {}", r.automorphisms);
+    println!("colorful probability: {:.6}", r.colorful_probability);
+    println!("stop cause: {}", r.stop_cause.name());
+    emit_metrics(report, &cfg);
+    if r.stop_cause.is_partial() {
+        eprintln!(
+            "run stopped early ({}); the estimate above is partial",
+            r.stop_cause.name()
+        );
+        Ok(EXIT_PARTIAL)
+    } else {
+        Ok(EXIT_OK)
     }
 }
 
-fn cmd_exact(rest: &[String]) {
-    if rest.len() < 2 {
-        usage_and_exit();
-    }
-    let g = load_graph(&rest[0]);
-    let t = parse_template(&rest[1]);
+fn cmd_exact(rest: &[String]) -> Result<i32, CliError> {
+    let (gspec, tspec) = match rest {
+        [g, t, ..] => (g, t),
+        _ => return Err(usage_err("exact needs <dataset|file> <template>")),
+    };
+    let g = load_graph(gspec)?;
+    let t = parse_template(tspec)?;
     let start = std::time::Instant::now();
     let count = count_exact(&g, &t);
     println!("exact count: {count}");
     println!("elapsed: {:?}", start.elapsed());
+    Ok(EXIT_OK)
 }
 
-fn cmd_motifs(rest: &[String]) {
-    if rest.len() < 2 {
-        usage_and_exit();
+fn cmd_motifs(rest: &[String]) -> Result<i32, CliError> {
+    let (gspec, sizespec) = match rest {
+        [g, s, ..] => (g, s),
+        _ => return Err(usage_err("motifs needs <dataset|file> <size>")),
+    };
+    let g = load_graph(gspec)?;
+    let size: usize = sizespec
+        .parse()
+        .map_err(|_| CliError::Usage(format!("motif size: cannot parse {sizespec:?}")))?;
+    let (cfg, report) = parse_flags(&rest[2..])?;
+    let p = motif_profile(&g, size, &cfg).map_err(|e| map_count_err("motif scan failed", e))?;
+    println!("# topology relative_frequency estimate");
+    for (i, (rel, cnt)) in p.relative_frequencies().iter().zip(&p.counts).enumerate() {
+        println!("{:>3}  {rel:>12.6}  {cnt:.4e}", i + 1);
     }
-    let g = load_graph(&rest[0]);
-    let size: usize = rest[1].parse().expect("motif size");
-    let (cfg, report) = parse_flags(&rest[2..]);
-    match motif_profile(&g, size, &cfg) {
-        Ok(p) => {
-            println!("# topology relative_frequency estimate");
-            for (i, (rel, cnt)) in p.relative_frequencies().iter().zip(&p.counts).enumerate() {
-                println!("{:>3}  {rel:>12.6}  {cnt:.4e}", i + 1);
-            }
-            println!("# total elapsed: {:?}", p.elapsed);
-            emit_metrics(report, &cfg);
-        }
-        Err(e) => {
-            eprintln!("motif scan failed: {e}");
-            std::process::exit(1);
-        }
-    }
+    println!("# total elapsed: {:?}", p.elapsed);
+    emit_metrics(report, &cfg);
+    Ok(EXIT_OK)
 }
 
-fn cmd_gdd(rest: &[String]) {
-    if rest.is_empty() {
-        usage_and_exit();
-    }
-    let g = load_graph(&rest[0]);
-    let (cfg, report) = parse_flags(&rest[1..]);
+fn cmd_gdd(rest: &[String]) -> Result<i32, CliError> {
+    let Some(gspec) = rest.first() else {
+        return Err(usage_err("gdd needs <dataset|file>"));
+    };
+    let g = load_graph(gspec)?;
+    let (cfg, report) = parse_flags(&rest[1..])?;
     let named = NamedTemplate::U5_2;
     let t = named.template();
-    let orbit = named.central_orbit().expect("U5-2 has a central orbit");
-    match estimate_gdd(&g, &t, orbit, &cfg) {
-        Ok(hist) => {
-            print_histogram(&hist);
-            emit_metrics(report, &cfg);
-        }
-        Err(e) => {
-            eprintln!("gdd failed: {e}");
-            std::process::exit(1);
-        }
-    }
+    let orbit = named
+        .central_orbit()
+        .ok_or_else(|| CliError::Run("U5-2 central orbit unavailable".to_string()))?;
+    let hist = estimate_gdd(&g, &t, orbit, &cfg).map_err(|e| map_count_err("gdd failed", e))?;
+    print_histogram(&hist);
+    emit_metrics(report, &cfg);
+    Ok(EXIT_OK)
 }
 
 fn print_histogram(h: &GddHistogram) {
@@ -348,62 +544,58 @@ fn print_histogram(h: &GddHistogram) {
     }
 }
 
-fn cmd_sample(rest: &[String]) {
-    if rest.len() < 3 {
-        usage_and_exit();
-    }
-    let g = load_graph(&rest[0]);
-    let t = parse_template(&rest[1]);
-    let count: usize = rest[2].parse().expect("sample count");
-    let (mut cfg, report) = parse_flags(&rest[3..]);
+fn cmd_sample(rest: &[String]) -> Result<i32, CliError> {
+    let (gspec, tspec, countspec) = match rest {
+        [g, t, c, ..] => (g, t, c),
+        _ => return Err(usage_err("sample needs <dataset|file> <template> <count>")),
+    };
+    let g = load_graph(gspec)?;
+    let t = parse_template(tspec)?;
+    let count: usize = countspec
+        .parse()
+        .map_err(|_| CliError::Usage(format!("sample count: cannot parse {countspec:?}")))?;
+    let (mut cfg, report) = parse_flags(&rest[3..])?;
     if cfg.iterations < count {
         cfg.iterations = count.max(100);
     }
-    match sample_embeddings(&g, &t, &cfg, count) {
-        Ok(embeddings) => {
-            println!(
-                "# {} embeddings (graph vertices in template-vertex order)",
-                embeddings.len()
-            );
-            for emb in embeddings {
-                let strs: Vec<String> = emb.iter().map(|v| v.to_string()).collect();
-                println!("{}", strs.join(" "));
-            }
-            emit_metrics(report, &cfg);
-        }
-        Err(e) => {
-            eprintln!("sampling failed: {e}");
-            std::process::exit(1);
-        }
+    let embeddings =
+        sample_embeddings(&g, &t, &cfg, count).map_err(|e| map_count_err("sampling failed", e))?;
+    println!(
+        "# {} embeddings (graph vertices in template-vertex order)",
+        embeddings.len()
+    );
+    for emb in embeddings {
+        let strs: Vec<String> = emb.iter().map(|v| v.to_string()).collect();
+        println!("{}", strs.join(" "));
     }
+    emit_metrics(report, &cfg);
+    Ok(EXIT_OK)
 }
 
-fn cmd_gen(rest: &[String]) {
-    if rest.len() < 2 {
-        usage_and_exit();
-    }
-    let Some(ds) = parse_dataset(&rest[0]) else {
-        eprintln!("unknown dataset '{}'", rest[0]);
-        std::process::exit(1);
+fn cmd_gen(rest: &[String]) -> Result<i32, CliError> {
+    let (dsspec, out) = match rest {
+        [d, o, ..] => (d, o),
+        _ => return Err(usage_err("gen needs <dataset> <out.txt>")),
     };
+    let ds = parse_dataset(dsspec)
+        .ok_or_else(|| CliError::Usage(format!("unknown dataset '{dsspec}'")))?;
     let g = ds.generate(scale_from_env(), 0xDA7A);
-    if let Err(e) = fascia_graph::io::write_edge_list(&g, &rest[1]) {
-        eprintln!("write failed: {e}");
-        std::process::exit(1);
-    }
+    fascia_graph::io::write_edge_list(&g, out)
+        .map_err(|e| CliError::Io(format!("write failed: {e}")))?;
     println!(
         "wrote n={} m={} to {}",
         g.num_vertices(),
         g.num_edges(),
-        rest[1]
+        out
     );
+    Ok(EXIT_OK)
 }
 
-fn cmd_info(rest: &[String]) {
-    if rest.is_empty() {
-        usage_and_exit();
-    }
-    let g = load_graph(&rest[0]);
+fn cmd_info(rest: &[String]) -> Result<i32, CliError> {
+    let Some(gspec) = rest.first() else {
+        return Err(usage_err("info needs <dataset|file>"));
+    };
+    let g = load_graph(gspec)?;
     println!("n: {}", g.num_vertices());
     println!("m: {}", g.num_edges());
     println!("avg degree: {:.2}", g.avg_degree());
@@ -413,17 +605,21 @@ fn cmd_info(rest: &[String]) {
         "global clustering: {:.4}",
         fascia_graph::stats::global_clustering(&g)
     );
+    Ok(EXIT_OK)
 }
 
-fn cmd_distsim(rest: &[String]) {
+fn cmd_distsim(rest: &[String]) -> Result<i32, CliError> {
     use fascia_core::distsim::{count_distributed, DistConfig, PartitionScheme};
-    if rest.len() < 3 {
-        usage_and_exit();
-    }
-    let g = load_graph(&rest[0]);
-    let t = parse_template(&rest[1]);
-    let ranks: usize = rest[2].parse().expect("rank count");
-    let (mut count, report) = parse_flags(&rest[3..]);
+    let (gspec, tspec, rankspec) = match rest {
+        [g, t, r, ..] => (g, t, r),
+        _ => return Err(usage_err("distsim needs <dataset|file> <template> <ranks>")),
+    };
+    let g = load_graph(gspec)?;
+    let t = parse_template(tspec)?;
+    let ranks: usize = rankspec
+        .parse()
+        .map_err(|_| CliError::Usage(format!("rank count: cannot parse {rankspec:?}")))?;
+    let (mut count, report) = parse_flags(&rest[3..])?;
     count.parallel = fascia_core::parallel::ParallelMode::Serial;
     for scheme in [PartitionScheme::Block, PartitionScheme::Hash] {
         let cfg = DistConfig {
@@ -431,21 +627,17 @@ fn cmd_distsim(rest: &[String]) {
             scheme,
             count: count.clone(),
         };
-        match count_distributed(&g, &t, &cfg) {
-            Ok(r) => println!(
-                "{scheme:?}: estimate {:.4e}, ghost rows {}, comm bytes {}, imbalance {:.2}",
-                r.estimate,
-                r.ghost_rows,
-                r.comm_bytes,
-                r.imbalance(ranks)
-            ),
-            Err(e) => {
-                eprintln!("distsim failed: {e}");
-                std::process::exit(1);
-            }
-        }
+        let r = count_distributed(&g, &t, &cfg).map_err(|e| map_count_err("distsim failed", e))?;
+        println!(
+            "{scheme:?}: estimate {:.4e}, ghost rows {}, comm bytes {}, imbalance {:.2}",
+            r.estimate,
+            r.ghost_rows,
+            r.comm_bytes,
+            r.imbalance(ranks)
+        );
     }
     emit_metrics(report, &count);
+    Ok(EXIT_OK)
 }
 
 fn cmd_templates() {

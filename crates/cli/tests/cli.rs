@@ -168,6 +168,215 @@ fn unknown_template_exits_nonzero() {
     assert!(!out.status.success());
 }
 
+fn exit_code(out: &std::process::Output) -> i32 {
+    out.status.code().unwrap_or(-1)
+}
+
+#[test]
+fn help_documents_exit_codes_and_resilience_flags() {
+    let out = fascia().arg("help").output().unwrap();
+    assert_eq!(exit_code(&out), 0);
+    let text = String::from_utf8(out.stdout).unwrap();
+    for needle in [
+        "exit codes:",
+        "--timeout-secs",
+        "--checkpoint",
+        "--resume",
+        "--memory-budget",
+    ] {
+        assert!(text.contains(needle), "help is missing {needle}: {text}");
+    }
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    // Missing positional arguments.
+    let out = fascia().args(["count", "circuit"]).output().unwrap();
+    assert_eq!(exit_code(&out), 2);
+    // Unknown flag (previously silently ignored).
+    let out = fascia()
+        .args(["count", "circuit", "U3-1", "--bogus"])
+        .output()
+        .unwrap();
+    assert_eq!(exit_code(&out), 2);
+    // Malformed flag value (previously a panic via expect()).
+    let out = fascia()
+        .args(["count", "circuit", "U3-1", "--iters", "many"])
+        .output()
+        .unwrap();
+    assert_eq!(exit_code(&out), 2);
+    // Flag at end of line with no value (previously an index panic).
+    let out = fascia()
+        .args(["count", "circuit", "U3-1", "--iters"])
+        .output()
+        .unwrap();
+    assert_eq!(exit_code(&out), 2);
+}
+
+#[test]
+fn missing_input_file_exits_3() {
+    let out = fascia()
+        .args(["info", "/definitely/not/a/real/file.txt"])
+        .output()
+        .unwrap();
+    assert_eq!(exit_code(&out), 3);
+    let out = fascia()
+        .args([
+            "count",
+            "circuit",
+            "U3-1",
+            "--resume",
+            "/definitely/not/a/real/checkpoint.json",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(exit_code(&out), 3);
+}
+
+#[test]
+fn timeout_zero_checkpoints_then_resume_matches_fresh_run() {
+    let dir = std::env::temp_dir().join("fascia_cli_resume_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ck = dir.join("run.ckpt");
+    std::fs::remove_file(&ck).ok();
+
+    let fresh = fascia()
+        .args(["count", "circuit", "U3-1", "--iters", "300", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert_eq!(exit_code(&fresh), 0);
+    let fresh_text = String::from_utf8(fresh.stdout).unwrap();
+    let fresh_estimate = fresh_text
+        .lines()
+        .find(|l| l.starts_with("estimate: "))
+        .unwrap()
+        .to_string();
+
+    // A zero deadline cancels before any iteration completes: partial
+    // exit code, but a valid (empty) checkpoint is still flushed.
+    let timed = fascia()
+        .args([
+            "count",
+            "circuit",
+            "U3-1",
+            "--iters",
+            "300",
+            "--seed",
+            "7",
+            "--timeout-secs",
+            "0",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(exit_code(&timed), 4, "stderr: {:?}", timed.stderr);
+    assert!(ck.exists(), "cancelled run should still flush a checkpoint");
+
+    // Resume adopts the checkpoint's seed and stop rule — no flags needed
+    // — and reproduces the uninterrupted run exactly.
+    let resumed = fascia()
+        .args(["count", "circuit", "U3-1", "--resume", ck.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(exit_code(&resumed), 0, "stderr: {:?}", resumed.stderr);
+    let resumed_text = String::from_utf8(resumed.stdout).unwrap();
+    assert!(
+        resumed_text.contains(&fresh_estimate),
+        "resume diverged from fresh run:\nfresh: {fresh_text}\nresumed: {resumed_text}"
+    );
+    assert!(resumed_text.contains("iterations: 300"), "{resumed_text}");
+    assert!(
+        resumed_text.contains("stop cause: completed"),
+        "{resumed_text}"
+    );
+    std::fs::remove_file(&ck).ok();
+}
+
+#[test]
+fn memory_budget_degrades_layout_and_reports_metric() {
+    // The engine splits the budget across outer-loop workers, so scale by
+    // the machine's thread count to pin the per-worker limit at 128 KiB —
+    // inside the band where path7 on circuit must fall back from the
+    // preferred lazy layout to hashed, but still completes.
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let budget = (128 * 1024 * threads).to_string();
+    let out = fascia()
+        .args([
+            "count",
+            "circuit",
+            "path7",
+            "--iters",
+            "20",
+            "--seed",
+            "9",
+            "--memory-budget",
+            &budget,
+            "--metrics",
+            "json",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(exit_code(&out), 0, "stderr: {:?}", out.stderr);
+    let text = String::from_utf8(out.stdout).unwrap();
+    let fallbacks: u64 = text
+        .split("\"engine.degrade.layout_fallbacks\":{\"total\":")
+        .nth(1)
+        .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    assert!(fallbacks > 0, "expected layout fallbacks, got: {text}");
+    assert!(text.contains("stop cause: completed"), "{text}");
+}
+
+#[test]
+fn impossible_memory_budget_exits_4() {
+    let out = fascia()
+        .args([
+            "count",
+            "circuit",
+            "U3-1",
+            "--iters",
+            "5",
+            "--memory-budget",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(exit_code(&out), 4);
+}
+
+#[cfg(unix)]
+#[test]
+fn sigint_reports_partial_estimate_and_exits_4() {
+    use std::io::Read;
+    let mut child = fascia()
+        .args([
+            "count", "circuit", "path7", "--iters", "50000", "--seed", "3",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    // Let a few waves complete, then interrupt cooperatively.
+    std::thread::sleep(std::time::Duration::from_millis(500));
+    let _ = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .unwrap();
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(4));
+    let mut text = String::new();
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut text)
+        .unwrap();
+    assert!(text.contains("estimate: "), "no partial estimate: {text}");
+    assert!(text.contains("stop cause: cancelled"), "{text}");
+}
+
 #[test]
 fn motifs_scan_size_four() {
     let out = fascia()

@@ -73,6 +73,11 @@ pub fn count_directed(
     }
     let elapsed = start.elapsed();
     let stats = EstimateStats::from_series(&per_iteration);
+    let stop_cause = if per_iteration.len() < budget {
+        crate::resilience::StopCause::Converged
+    } else {
+        crate::resilience::StopCause::Completed
+    };
     Ok(CountResult {
         estimate: stats.mean,
         iterations_run: per_iteration.len(),
@@ -84,6 +89,8 @@ pub fn count_directed(
         elapsed,
         automorphisms: alpha as u64,
         colorful_probability: p,
+        stop_cause,
+        resumed_iterations: 0,
     })
 }
 

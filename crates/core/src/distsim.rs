@@ -174,6 +174,7 @@ pub fn count_distributed(
                             false,
                             Some(verts),
                             None,
+                            None,
                         );
                         let mut fetched: HashSet<u32> = HashSet::new();
                         for &v in verts {
@@ -243,6 +244,7 @@ pub fn count_distributed(
                                 &coloring,
                                 false,
                                 Some(verts),
+                                None,
                                 None,
                             )
                         };

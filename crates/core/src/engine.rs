@@ -29,19 +29,29 @@
 use crate::coloring::{iteration_seed, random_coloring};
 use crate::metrics::{CutMetrics, RunMetrics, TriangleMetrics};
 use crate::parallel::ParallelMode;
+use crate::resilience::{
+    CancelToken, Checkpoint, CheckpointConfig, FaultInjection, StopCause, POLL_INTERVAL,
+};
 use crate::stats::{EstimateStats, StopRule, Welford};
 use fascia_combin::{colorful_probability, BinomialTable, ColorSetIter, SplitTable};
 use fascia_graph::Graph;
 use fascia_obs::{Metrics, SpanTimer};
-use fascia_table::{CountTable, DenseTable, HashCountTable, LazyTable, Rows, TableKind};
+use fascia_table::{
+    projected_bytes, AnyTable, CountTable, DenseTable, HashCountTable, LazyTable, Rows, TableKind,
+};
 use fascia_template::automorphism::{automorphisms, rooted_automorphisms};
 use fascia_template::canon::full_mask;
 use fascia_template::partition::{NodeKind, PartitionError, SubNode};
 use fascia_template::{PartitionStrategy, PartitionTree, Template};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// XOR salt deriving the fresh coloring seed for a retried (previously
+/// panicked) iteration, keeping the retry deterministic but independent.
+const RETRY_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Configuration of a counting run.
 #[derive(Debug, Clone)]
@@ -80,6 +90,34 @@ pub struct CountConfig {
     /// from [`Metrics::disabled`], costs one pointer check per hot-loop
     /// site and changes no counting result.
     pub metrics: Option<Arc<Metrics>>,
+    /// Cooperative cancellation token (explicit cancel, external flag,
+    /// and/or deadline). Checked at wave barriers and every
+    /// [`POLL_INTERVAL`] vertices inside the per-vertex loops. A cancelled
+    /// run discards its in-flight wave, flushes a final checkpoint when one
+    /// is configured, and returns the partial estimate with
+    /// [`CountResult::stop_cause`] marking it partial — unless *zero*
+    /// iterations finished, which is [`CountError::Cancelled`].
+    pub cancel: Option<CancelToken>,
+    /// Soft cap on live DP-table bytes (per worker under outer-loop
+    /// parallelism, which multiplies live tables by the thread count).
+    /// Before each subtemplate table is built its footprint is projected
+    /// for every layout on [`TableKind::ladder`] starting from
+    /// [`CountConfig::table`]; the first layout that fits is used
+    /// (`engine.degrade.layout_fallbacks` counts the steps down). When even
+    /// the hashed layout cannot fit, the run fails with
+    /// [`CountError::BudgetExceeded`] instead of thrashing.
+    pub memory_budget_bytes: Option<usize>,
+    /// Write a [`Checkpoint`] file at wave barriers (and once more when
+    /// the run ends, however it ends), enabling `--resume`.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Resume from a previously saved checkpoint: its per-iteration series
+    /// seeds the estimator and the run continues at the next iteration
+    /// index. The checkpoint's fingerprint (seed, colors, template size,
+    /// graph shape, stop rule) must match this run or the engine returns
+    /// [`CountError::ResumeMismatch`]. Ignored by [`rooted_counts`].
+    pub resume: Option<Checkpoint>,
+    /// Deterministic fault hooks for tests; the default injects nothing.
+    pub fault: FaultInjection,
 }
 
 impl CountConfig {
@@ -129,6 +167,11 @@ impl Default for CountConfig {
             seed: 0x00FA_5C1A,
             stop: None,
             metrics: None,
+            cancel: None,
+            memory_budget_bytes: None,
+            checkpoint: None,
+            resume: None,
+            fault: FaultInjection::default(),
         }
     }
 }
@@ -151,6 +194,24 @@ pub enum CountError {
     /// The configured [`StopRule`] has unusable parameters; the payload
     /// says which one.
     InvalidStopRule(&'static str),
+    /// Even the most compact table layout cannot fit a required DP table
+    /// under [`CountConfig::memory_budget_bytes`].
+    BudgetExceeded {
+        /// Projected live bytes with the hashed (most compact) layout.
+        required: usize,
+        /// The configured per-worker budget.
+        budget: usize,
+    },
+    /// A resume checkpoint's fingerprint disagrees with this run; the
+    /// payload names the first mismatching field.
+    ResumeMismatch(&'static str),
+    /// The run was cancelled before a single iteration finished, so there
+    /// is no estimate to report (a configured checkpoint is still
+    /// flushed, and is valid for `--resume`).
+    Cancelled,
+    /// Writing a checkpoint file failed (estimates cannot be protected,
+    /// so the run stops rather than silently losing recoverability).
+    CheckpointWrite(String),
 }
 
 impl std::fmt::Display for CountError {
@@ -173,6 +234,18 @@ impl std::fmt::Display for CountError {
             ),
             CountError::NoIterations => write!(f, "at least one iteration is required"),
             CountError::InvalidStopRule(why) => write!(f, "invalid stop rule: {why}"),
+            CountError::BudgetExceeded { required, budget } => write!(
+                f,
+                "memory budget exceeded: even the hashed layout needs \
+                 {required} live bytes against a budget of {budget}"
+            ),
+            CountError::ResumeMismatch(field) => {
+                write!(f, "checkpoint does not match this run: {field} differs")
+            }
+            CountError::Cancelled => {
+                write!(f, "run cancelled before any iteration completed")
+            }
+            CountError::CheckpointWrite(e) => write!(f, "checkpoint write failed: {e}"),
         }
     }
 }
@@ -211,6 +284,13 @@ pub struct CountResult {
     pub automorphisms: u64,
     /// Colorful probability `P` used in the final scaling.
     pub colorful_probability: f64,
+    /// Why the run stopped. [`StopCause::is_partial`] marks estimates
+    /// built from fewer iterations than the stop rule wanted (the
+    /// estimate is still an unbiased mean of the iterations that ran).
+    pub stop_cause: StopCause,
+    /// Iterations replayed from a resume checkpoint (counted into
+    /// [`CountResult::iterations_run`] but not re-executed).
+    pub resumed_iterations: usize,
 }
 
 /// Result of a rooted (per-vertex) counting run.
@@ -222,6 +302,8 @@ pub struct RootedResult {
     pub scale: f64,
     /// Wall-clock for the whole run.
     pub elapsed: Duration,
+    /// Why the run stopped (see [`CountResult::stop_cause`]).
+    pub stop_cause: StopCause,
 }
 
 /// Approximate count of non-induced occurrences of an unlabeled template.
@@ -287,10 +369,25 @@ pub fn rooted_counts(
     let p = colorful_probability(k, t.size());
     let scale = p * alpha_rooted as f64;
 
-    let run_one = |i: usize, inner: bool| -> Vec<f64> {
+    let fault = cfg.fault;
+    let cancel: Option<CancelToken> = cfg
+        .cancel
+        .clone()
+        .or_else(|| fault.cancel_on_iteration.map(|_| CancelToken::new()));
+    let mode = cfg.parallel.resolve(g.num_vertices(), budget);
+    let check_interval = match mode {
+        ParallelMode::OuterLoop | ParallelMode::Hybrid => rayon::current_num_threads().max(1),
+        _ => 1,
+    };
+    let gate = cfg.memory_budget_bytes.map(|limit| BudgetGate {
+        limit: limit / check_interval.max(1),
+        preferred: cfg.table,
+    });
+
+    let run_attempt = |i: usize, inner: bool, seed: u64| -> Result<Vec<f64>, CountError> {
         let iter_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.iteration_ns));
         let col_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.coloring_ns));
-        let coloring = random_coloring(g.num_vertices(), k, iteration_seed(cfg.seed, i as u64));
+        let coloring = random_coloring(g.num_vertices(), k, iteration_seed(seed, i as u64));
         drop(col_span);
         let out = dispatch_iteration(
             g,
@@ -301,9 +398,11 @@ pub fn rooted_counts(
             &coloring,
             inner,
             cfg.table,
+            gate.as_ref(),
+            cancel.as_ref(),
             true,
             rm.as_ref(),
-        );
+        )?;
         drop(iter_span);
         if let Some(m) = rm.as_ref() {
             m.iterations_total.inc();
@@ -312,28 +411,59 @@ pub fn rooted_counts(
             }
             m.table.bytes_peak.set_max(out.peak_bytes as u64);
         }
-        out.root_row_sums.expect("rooted run collects row sums")
+        Ok(out.root_row_sums.expect("rooted run collects row sums"))
+    };
+    let run_one = |i: usize, inner: bool| -> Result<Vec<f64>, CountError> {
+        if let Some(tok) = &cancel {
+            if fault.cancel_on_iteration == Some(i) {
+                tok.cancel();
+            }
+            if tok.is_cancelled() {
+                return Err(CountError::Cancelled);
+            }
+        }
+        match catch_unwind(AssertUnwindSafe(|| {
+            if fault.panic_on_iteration == Some(i) {
+                panic!("injected fault at iteration {i}");
+            }
+            run_attempt(i, inner, cfg.seed)
+        })) {
+            Ok(res) => res,
+            Err(_poison) => {
+                if let Some(m) = rm.as_ref() {
+                    m.iterations_poisoned.inc();
+                    m.iterations_retried.inc();
+                }
+                match catch_unwind(AssertUnwindSafe(|| {
+                    run_attempt(i, inner, cfg.seed ^ RETRY_SEED_SALT)
+                })) {
+                    Ok(res) => res,
+                    Err(again) => resume_unwind(again),
+                }
+            }
+        }
     };
 
     // Wave schedule mirroring `count_impl`: the rooted convergence test
     // streams the *total* rooted count of each iteration (Σ_v row-sum,
     // scaled), since per-vertex convergence would be both noisy and
-    // O(n) per check.
-    let mode = cfg.parallel.resolve(g.num_vertices(), budget);
-    let check_interval = match mode {
-        ParallelMode::OuterLoop | ParallelMode::Hybrid => rayon::current_num_threads().max(1),
-        _ => 1,
-    };
+    // O(n) per check. Checkpoint/resume does not apply here (the
+    // checkpoint format stores the scalar series only).
+    let resilient = cancel.is_some() || fault != FaultInjection::default();
     let mut stream = Welford::new();
     let mut sums: Vec<Vec<f64>> = Vec::new();
+    let mut cause = StopCause::Completed;
     loop {
         let done = sums.len();
-        let target = if done == 0 {
+        if done >= budget {
+            break;
+        }
+        let target = if done == 0 && !resilient {
             rule.min_iterations().clamp(1, budget)
         } else {
             (done + check_interval).min(budget)
         };
-        let wave: Vec<Vec<f64>> = match mode {
+        let wave: Vec<Result<Vec<f64>, CountError>> = match mode {
             ParallelMode::OuterLoop => (done..target)
                 .into_par_iter()
                 .map(|i| run_one(i, false))
@@ -345,17 +475,36 @@ pub fn rooted_counts(
             ParallelMode::InnerLoop => (done..target).map(|i| run_one(i, true)).collect(),
             _ => (done..target).map(|i| run_one(i, false)).collect(),
         };
-        for s in &wave {
-            stream.push(s.iter().sum::<f64>() / scale);
+        let cancelled = cancel.as_ref().is_some_and(|c| c.is_cancelled())
+            || wave.iter().any(|r| matches!(r, Err(CountError::Cancelled)));
+        if cancelled {
+            cause = cancel
+                .as_ref()
+                .and_then(|c| c.cause())
+                .unwrap_or(StopCause::Cancelled);
+            break;
         }
-        sums.extend(wave);
-        if rule.satisfied(&stream) || sums.len() >= budget {
+        for r in wave {
+            let s = r?;
+            stream.push(s.iter().sum::<f64>() / scale);
+            sums.push(s);
+        }
+        if rule.satisfied(&stream) {
+            if sums.len() < budget {
+                cause = StopCause::Converged;
+            }
+            break;
+        }
+        if sums.len() >= budget {
             break;
         }
     }
-    let iters = sums.len().max(1);
+    if sums.is_empty() {
+        return Err(CountError::Cancelled);
+    }
+    let iters = sums.len();
     if let Some(m) = rm.as_ref() {
-        if rule.is_adaptive() {
+        if rule.is_adaptive() && !cause.is_partial() {
             m.iterations_saved.add((budget - sums.len()) as u64);
         }
     }
@@ -374,6 +523,7 @@ pub fn rooted_counts(
         per_vertex,
         scale,
         elapsed: start.elapsed(),
+        stop_cause: cause,
     })
 }
 
@@ -415,33 +565,32 @@ fn count_impl(
     let budget = rule.budget();
     let start = Instant::now();
 
-    let run_one = |i: usize, inner: bool| -> (f64, usize) {
-        let iter_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.iteration_ns));
-        let col_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.coloring_ns));
-        let coloring = random_coloring(g.num_vertices(), k, iteration_seed(cfg.seed, i as u64));
-        drop(col_span);
-        let out = dispatch_iteration(
-            g,
-            labels,
-            t,
-            &pt,
-            &ctx,
-            &coloring,
-            inner,
-            cfg.table,
-            false,
-            rm.as_ref(),
-        );
-        drop(iter_span);
-        if let Some(m) = rm.as_ref() {
-            m.iterations_total.inc();
-            if out.colorful_total != 0.0 {
-                m.iterations_colorful.inc();
+    // A resume checkpoint's fingerprint must match this run exactly
+    // before its series can be trusted.
+    let resumed: &[f64] = match &cfg.resume {
+        Some(ck) => {
+            let checks: [(&'static str, bool); 6] = [
+                ("seed", ck.seed == cfg.seed),
+                ("colors", ck.colors == k),
+                ("template_size", ck.template_size == t.size()),
+                ("graph_vertices", ck.graph_vertices == g.num_vertices()),
+                ("graph_edges", ck.graph_edges == g.num_edges()),
+                ("rule", ck.rule == rule),
+            ];
+            if let Some(&(field, _)) = checks.iter().find(|&&(_, ok)| !ok) {
+                return Err(CountError::ResumeMismatch(field));
             }
-            m.table.bytes_peak.set_max(out.peak_bytes as u64);
+            &ck.per_iteration
         }
-        (out.colorful_total, out.peak_bytes)
+        None => &[],
     };
+
+    let fault = cfg.fault;
+    // A fault that cancels needs a token even when the caller passed none.
+    let cancel: Option<CancelToken> = cfg
+        .cancel
+        .clone()
+        .or_else(|| fault.cancel_on_iteration.map(|_| CancelToken::new()));
 
     let mode = cfg.parallel.resolve(g.num_vertices(), budget);
     if let Some(m) = &rm {
@@ -459,16 +608,138 @@ fn count_impl(
         ParallelMode::OuterLoop | ParallelMode::Hybrid => rayon::current_num_threads().max(1),
         _ => 1,
     };
+    // Outer-loop workers each hold a private set of live tables, so a
+    // memory budget is split between them.
+    let gate = cfg.memory_budget_bytes.map(|limit| BudgetGate {
+        limit: limit / check_interval.max(1),
+        preferred: cfg.table,
+    });
+
+    let run_attempt = |i: usize, inner: bool, seed: u64| -> Result<(f64, usize), CountError> {
+        let iter_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.iteration_ns));
+        let col_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.coloring_ns));
+        let coloring = random_coloring(g.num_vertices(), k, iteration_seed(seed, i as u64));
+        drop(col_span);
+        let out = dispatch_iteration(
+            g,
+            labels,
+            t,
+            &pt,
+            &ctx,
+            &coloring,
+            inner,
+            cfg.table,
+            gate.as_ref(),
+            cancel.as_ref(),
+            false,
+            rm.as_ref(),
+        )?;
+        drop(iter_span);
+        if let Some(m) = rm.as_ref() {
+            m.iterations_total.inc();
+            if out.colorful_total != 0.0 {
+                m.iterations_colorful.inc();
+            }
+            m.table.bytes_peak.set_max(out.peak_bytes as u64);
+        }
+        Ok((out.colorful_total, out.peak_bytes))
+    };
+    let run_one = |i: usize, inner: bool| -> Result<(f64, usize), CountError> {
+        if let Some(tok) = &cancel {
+            if fault.cancel_on_iteration == Some(i) {
+                tok.cancel();
+            }
+            if tok.is_cancelled() {
+                return Err(CountError::Cancelled);
+            }
+        }
+        let first = catch_unwind(AssertUnwindSafe(|| {
+            if fault.panic_on_iteration == Some(i) {
+                panic!("injected fault at iteration {i}");
+            }
+            run_attempt(i, inner, cfg.seed)
+        }));
+        match first {
+            Ok(res) => res,
+            Err(_poison) => {
+                // The iteration body only touches per-iteration state, so
+                // a panic poisons nothing shared: count it, retry once
+                // with an independent coloring seed, and only a second
+                // panic (a systematic bug, not a stray fault) propagates.
+                if let Some(m) = rm.as_ref() {
+                    m.iterations_poisoned.inc();
+                    m.iterations_retried.inc();
+                }
+                match catch_unwind(AssertUnwindSafe(|| {
+                    run_attempt(i, inner, cfg.seed ^ RETRY_SEED_SALT)
+                })) {
+                    Ok(res) => res,
+                    Err(again) => resume_unwind(again),
+                }
+            }
+        }
+    };
+    let flush_checkpoint = |raw: &[(f64, usize)]| -> Result<(), CountError> {
+        let Some(ckcfg) = &cfg.checkpoint else {
+            return Ok(());
+        };
+        let peak_one = raw.iter().map(|&(_, b)| b).max().unwrap_or(0);
+        let peak = match mode {
+            ParallelMode::OuterLoop | ParallelMode::Hybrid => {
+                peak_one * check_interval.min(raw.len()).max(1)
+            }
+            _ => peak_one,
+        }
+        .max(cfg.resume.as_ref().map_or(0, |ck| ck.peak_table_bytes));
+        let ck = Checkpoint {
+            seed: cfg.seed,
+            colors: k,
+            template_size: t.size(),
+            graph_vertices: g.num_vertices(),
+            graph_edges: g.num_edges(),
+            rule: rule.clone(),
+            per_iteration: raw.iter().map(|&(x, _)| x).collect(),
+            peak_table_bytes: peak,
+        };
+        ck.save(&ckcfg.path)
+            .map_err(|e| CountError::CheckpointWrite(e.to_string()))?;
+        if let Some(m) = rm.as_ref() {
+            m.checkpoint_writes.inc();
+        }
+        Ok(())
+    };
+
+    // Resilient runs (and resumed ones, via `done > 0`) keep every wave
+    // short so cancellation latency and checkpoint staleness stay bounded;
+    // without any of those features the schedule below reduces exactly to
+    // the classic one.
+    let resilient =
+        cancel.is_some() || cfg.checkpoint.is_some() || fault != FaultInjection::default();
     let mut stream = Welford::new();
-    let mut raw: Vec<(f64, usize)> = Vec::new();
+    let mut raw: Vec<(f64, usize)> = Vec::with_capacity(resumed.len());
+    for &x in resumed {
+        stream.push(x);
+        raw.push((x, 0));
+    }
+    let resumed_iterations = resumed.len();
+    let mut cause = StopCause::Completed;
+    let mut waves_since_flush = 0usize;
     loop {
         let done = raw.len();
-        let target = if done == 0 {
+        // A resumed run may already be complete or converged.
+        if done >= budget {
+            break;
+        }
+        if done > 0 && rule.satisfied(&stream) {
+            cause = StopCause::Converged;
+            break;
+        }
+        let target = if done == 0 && !resilient {
             rule.min_iterations().clamp(1, budget)
         } else {
             (done + check_interval).min(budget)
         };
-        let wave: Vec<(f64, usize)> = match mode {
+        let wave: Vec<Result<(f64, usize), CountError>> = match mode {
             ParallelMode::OuterLoop => (done..target)
                 .into_par_iter()
                 .map(|i| run_one(i, false))
@@ -480,10 +751,23 @@ fn count_impl(
             ParallelMode::InnerLoop => (done..target).map(|i| run_one(i, true)).collect(),
             _ => (done..target).map(|i| run_one(i, false)).collect(),
         };
-        for &(c, _) in &wave {
-            stream.push(c / scale);
+        // A cancelled wave is discarded whole, so the surviving series is
+        // always the contiguous iteration prefix a checkpoint describes.
+        let cancelled = cancel.as_ref().is_some_and(|c| c.is_cancelled())
+            || wave.iter().any(|r| matches!(r, Err(CountError::Cancelled)));
+        if cancelled {
+            cause = cancel
+                .as_ref()
+                .and_then(|c| c.cause())
+                .unwrap_or(StopCause::Cancelled);
+            break;
         }
-        raw.extend(wave);
+        for r in wave {
+            let (c, b) = r?;
+            let x = c / scale;
+            stream.push(x);
+            raw.push((x, b));
+        }
         if let Some(m) = &rm {
             if rule.is_adaptive() {
                 m.adaptive_checks.inc();
@@ -493,17 +777,38 @@ fn count_impl(
                     .set(stream.ci_half_width(rule.z()).round() as u64);
             }
         }
-        if rule.satisfied(&stream) || raw.len() >= budget {
+        if let Some(ckcfg) = &cfg.checkpoint {
+            waves_since_flush += 1;
+            if waves_since_flush >= ckcfg.every_waves.max(1) {
+                waves_since_flush = 0;
+                flush_checkpoint(&raw)?;
+            }
+        }
+        if rule.satisfied(&stream) {
+            if raw.len() < budget {
+                cause = StopCause::Converged;
+            }
+            break;
+        }
+        if raw.len() >= budget {
             break;
         }
     }
-    let iters = raw.len().max(1);
+    // The final flush runs however the loop ended, so even an
+    // immediately-cancelled run leaves a valid (possibly zero-iteration)
+    // resume file behind.
+    flush_checkpoint(&raw)?;
+    if raw.is_empty() {
+        return Err(CountError::Cancelled);
+    }
+    let executed = raw.len() - resumed_iterations;
+    let iters = raw.len();
     if let Some(m) = &rm {
-        if rule.is_adaptive() {
+        if rule.is_adaptive() && !cause.is_partial() {
             m.iterations_saved.add((budget - raw.len()) as u64);
         }
     }
-    let per_iteration: Vec<f64> = raw.iter().map(|(c, _)| c / scale).collect();
+    let per_iteration: Vec<f64> = raw.iter().map(|&(x, _)| x).collect();
     // Outer-loop parallelism multiplies live tables by the worker count.
     let peak_one = raw.iter().map(|&(_, b)| b).max().unwrap_or(0);
     let peak_table_bytes = match mode {
@@ -511,7 +816,8 @@ fn count_impl(
             peak_one * rayon::current_num_threads().min(iters).max(1)
         }
         _ => peak_one,
-    };
+    }
+    .max(cfg.resume.as_ref().map_or(0, |ck| ck.peak_table_bytes));
     let elapsed = start.elapsed();
     // The batch statistics reproduce the streaming ones; computing them
     // from the series keeps `estimate` bitwise identical to the
@@ -525,9 +831,11 @@ fn count_impl(
         ci95: stats.ci95_half_width,
         peak_table_bytes,
         elapsed,
-        per_iteration_time: elapsed / iters as u32,
+        per_iteration_time: elapsed / executed.max(1) as u32,
         automorphisms: alpha,
         colorful_probability: p,
+        stop_cause: cause,
+        resumed_iterations,
     })
 }
 
@@ -612,6 +920,57 @@ fn build_removal_table(k: usize, h: usize, binom: &BinomialTable) -> Vec<i32> {
     rem
 }
 
+/// Per-worker memory-budget gate (DESIGN.md §11): before each subtemplate
+/// table is built, its footprint is projected for every layout on
+/// [`TableKind::ladder`] and the first one that fits next to the
+/// already-live DP state is used. Degradation is monotone (dense → lazy →
+/// hashed); only when even the hashed layout cannot fit does the run fail.
+pub(crate) struct BudgetGate {
+    /// Live-byte cap for one worker's DP state.
+    pub(crate) limit: usize,
+    /// The layout the run asked for — the top of the ladder.
+    pub(crate) preferred: TableKind,
+}
+
+impl BudgetGate {
+    /// Picks the first layout on the ladder whose projected footprint fits
+    /// beside `live_bytes` of already-held state.
+    fn choose(
+        &self,
+        n: usize,
+        nc: usize,
+        rows: &Rows,
+        live_bytes: usize,
+        rm: Option<&RunMetrics>,
+    ) -> Result<TableKind, CountError> {
+        let active = rows.iter().filter(|r| r.is_some()).count();
+        let live: usize = rows
+            .iter()
+            .flatten()
+            .map(|r| r.iter().filter(|&&x| x != 0.0).count())
+            .sum();
+        let remaining = self.limit.saturating_sub(live_bytes);
+        let mut required = 0;
+        for (steps, &kind) in self.preferred.ladder().iter().enumerate() {
+            required = projected_bytes(kind, n, nc, active, live);
+            if required <= remaining {
+                if steps > 0 {
+                    if let Some(m) = rm {
+                        m.degrade_fallbacks.add(steps as u64);
+                    }
+                }
+                return Ok(kind);
+            }
+        }
+        // Every ladder ends at the hashed layout, so `required` holds its
+        // projection when nothing fit.
+        Err(CountError::BudgetExceeded {
+            required: live_bytes + required,
+            budget: self.limit,
+        })
+    }
+}
+
 /// One stored child: either a virtual single-vertex subtemplate (counts
 /// read off the coloring) or a materialized table.
 pub(crate) enum Stored<T> {
@@ -625,7 +984,9 @@ struct IterationOutput {
     root_row_sums: Option<Vec<f64>>,
 }
 
-/// Monomorphization dispatch on the table layout.
+/// Monomorphization dispatch on the table layout. Budgeted runs pick a
+/// layout per subtemplate at run time, so they go through the
+/// layout-erased [`AnyTable`] instead of a concrete monomorphization.
 #[allow(clippy::too_many_arguments)]
 fn dispatch_iteration(
     g: &Graph,
@@ -636,9 +997,27 @@ fn dispatch_iteration(
     coloring: &[u8],
     inner_parallel: bool,
     kind: TableKind,
+    gate: Option<&BudgetGate>,
+    cancel: Option<&CancelToken>,
     want_row_sums: bool,
     rm: Option<&RunMetrics>,
-) -> IterationOutput {
+) -> Result<IterationOutput, CountError> {
+    if gate.is_some() {
+        return run_iteration::<AnyTable>(
+            g,
+            labels,
+            t,
+            pt,
+            ctx,
+            coloring,
+            inner_parallel,
+            kind,
+            gate,
+            cancel,
+            want_row_sums,
+            rm,
+        );
+    }
     match kind {
         TableKind::Dense => run_iteration::<DenseTable>(
             g,
@@ -648,6 +1027,9 @@ fn dispatch_iteration(
             ctx,
             coloring,
             inner_parallel,
+            kind,
+            None,
+            cancel,
             want_row_sums,
             rm,
         ),
@@ -659,6 +1041,9 @@ fn dispatch_iteration(
             ctx,
             coloring,
             inner_parallel,
+            kind,
+            None,
+            cancel,
             want_row_sums,
             rm,
         ),
@@ -670,6 +1055,9 @@ fn dispatch_iteration(
             ctx,
             coloring,
             inner_parallel,
+            kind,
+            None,
+            cancel,
             want_row_sums,
             rm,
         ),
@@ -686,9 +1074,12 @@ fn run_iteration<T: CountTable>(
     ctx: &DpContext,
     coloring: &[u8],
     inner_parallel: bool,
+    preferred: TableKind,
+    gate: Option<&BudgetGate>,
+    cancel: Option<&CancelToken>,
     want_row_sums: bool,
     rm: Option<&RunMetrics>,
-) -> IterationOutput {
+) -> Result<IterationOutput, CountError> {
     let n = g.num_vertices();
     let mut stored: Vec<Option<Stored<T>>> = Vec::new();
     stored.resize_with(pt.num_canon_classes(), || None);
@@ -700,18 +1091,29 @@ fn run_iteration<T: CountTable>(
     // read path never touches them, but the Dense ("naive") layout pays
     // for the allocation — reproduced here so Fig. 6's comparison is
     // faithful. `ghost_singles` holds those allocations until their class
-    // is released.
+    // is released. Under a memory budget the whole point is not to
+    // allocate what the DP never reads, so the gate suppresses them.
+    let materialize_ghosts = preferred == TableKind::Dense && gate.is_none();
     let mut ghost_singles: Vec<Option<T>> = Vec::new();
     ghost_singles.resize_with(pt.num_canon_classes(), || None);
+    let pick = |rows: &Rows, nc: usize, live: usize| -> Result<TableKind, CountError> {
+        match gate {
+            Some(gate) => gate.choose(n, nc, rows, live, rm),
+            None => Ok(preferred),
+        }
+    };
 
     for &idx in pt.unique_order() {
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            return Err(CountError::Cancelled);
+        }
         let node = &pt.nodes()[idx as usize];
         let cid = node.canon_id as usize;
         let _node_span = SpanTimer::start_opt(rm.and_then(|m| m.node_ns[idx as usize].as_deref()));
         match node.kind {
             NodeKind::Vertex => {
                 let label = labels.map(|_| t.label(node.root));
-                if T::kind() == TableKind::Dense {
+                if materialize_ghosts {
                     let k = ctx.k;
                     let rows: Rows = (0..n)
                         .map(|v| {
@@ -747,9 +1149,11 @@ fn run_iteration<T: CountTable>(
                     coloring,
                     inner_parallel,
                     None,
+                    cancel,
                     rm.map(|m| &m.triangle),
                 );
-                let table = T::from_rows(n, ctx.nc[3], rows);
+                let kind = pick(&rows, ctx.nc[3], live_bytes)?;
+                let table = T::from_rows_kind(kind, n, ctx.nc[3], rows);
                 live_bytes += table.bytes();
                 peak_bytes = peak_bytes.max(live_bytes);
                 if let Some(m) = rm {
@@ -781,10 +1185,13 @@ fn run_iteration<T: CountTable>(
                         coloring,
                         inner_parallel,
                         None,
+                        cancel,
                         rm.map(|m| &m.cut),
                     )
                 };
-                let table = T::from_rows(n, ctx.nc[node.size as usize], rows);
+                let nc_h = ctx.nc[node.size as usize];
+                let kind = pick(&rows, nc_h, live_bytes)?;
+                let table = T::from_rows_kind(kind, n, nc_h, rows);
                 live_bytes += table.bytes();
                 peak_bytes = peak_bytes.max(live_bytes);
                 if let Some(m) = rm {
@@ -805,6 +1212,12 @@ fn run_iteration<T: CountTable>(
                 }
             }
         }
+    }
+
+    // An inner loop that bailed early on cancellation leaves truncated
+    // rows behind; the iteration must be discarded, not aggregated.
+    if cancel.is_some_and(|c| c.is_cancelled()) {
+        return Err(CountError::Cancelled);
     }
 
     // Final aggregation (Alg. 2, line 20).
@@ -836,11 +1249,11 @@ fn run_iteration<T: CountTable>(
             }
         };
 
-    IterationOutput {
+    Ok(IterationOutput {
         colorful_total,
         peak_bytes,
         root_row_sums,
-    }
+    })
 }
 
 /// Base-case rows for a triangle subtemplate rooted at `node.root`:
@@ -868,6 +1281,7 @@ pub(crate) fn triangle_rows(
         inner_parallel,
         None,
         None,
+        None,
     )
 }
 
@@ -885,6 +1299,7 @@ pub(crate) fn triangle_rows_for(
     coloring: &[u8],
     inner_parallel: bool,
     targets: Option<&[u32]>,
+    cancel: Option<&CancelToken>,
     tm: Option<&TriangleMetrics>,
 ) -> Rows {
     let nc = ctx.nc[3];
@@ -898,6 +1313,12 @@ pub(crate) fn triangle_rows_for(
     });
     let binom = &ctx.binom;
     let compute = |v: usize| -> Option<Box<[f64]>> {
+        // Cheap cooperative cancellation poll: one mask test per vertex,
+        // one atomic load per POLL_INTERVAL vertices. A bailed-out loop
+        // yields truncated rows, which the caller discards.
+        if v & (POLL_INTERVAL - 1) == 0 && cancel.is_some_and(|c| c.is_cancelled()) {
+            return None;
+        }
         if let Some((gl, lr, _, _)) = want {
             if gl[v] != lr {
                 return None;
@@ -1022,6 +1443,7 @@ pub(crate) fn cut_rows<T: CountTable>(
         inner_parallel,
         None,
         None,
+        None,
     )
 }
 
@@ -1040,6 +1462,7 @@ pub(crate) fn cut_rows_for<T: CountTable>(
     coloring: &[u8],
     inner_parallel: bool,
     targets: Option<&[u32]>,
+    cancel: Option<&CancelToken>,
     cm: Option<&CutMetrics>,
 ) -> Rows {
     let h = node.size as usize;
@@ -1060,6 +1483,10 @@ pub(crate) fn cut_rows_for<T: CountTable>(
     };
 
     let compute = |pas_acc: &mut Vec<f64>, v: usize| -> Option<Box<[f64]>> {
+        // Cooperative cancellation poll (see `triangle_rows_for`).
+        if v & (POLL_INTERVAL - 1) == 0 && cancel.is_some_and(|c| c.is_cancelled()) {
+            return None;
+        }
         // Active availability at v — the paper's "initialized" check.
         let act_row: Option<ActRow<T>> = match act {
             Stored::Single { label } => {

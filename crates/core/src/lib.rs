@@ -19,7 +19,11 @@
 //! * [`stats`] — streaming (Welford) and batch statistics over
 //!   per-iteration estimates, plus the adaptive [`StopRule`] that lets the
 //!   engine stop as soon as the running confidence interval is tight
-//!   instead of exhausting the pessimistic a-priori iteration bound.
+//!   instead of exhausting the pessimistic a-priori iteration bound,
+//! * [`resilience`] — checkpoint/resume of partial runs, cooperative
+//!   cancellation with deadlines, and deterministic fault-injection hooks
+//!   (memory-budget degradation and worker panic isolation live in the
+//!   engine itself; see DESIGN.md §11).
 //!
 //! Every entry point accepts an optional [`fascia_obs::Metrics`] registry
 //! via [`engine::CountConfig::metrics`]; see the `metrics` module docs for
@@ -35,6 +39,7 @@ pub mod gdd;
 pub(crate) mod metrics;
 pub mod motifs;
 pub mod parallel;
+pub mod resilience;
 pub mod sample;
 pub mod stats;
 
@@ -42,5 +47,6 @@ pub use engine::{
     count_template, count_template_labeled, rooted_counts, CountConfig, CountError, CountResult,
 };
 pub use parallel::ParallelMode;
+pub use resilience::{CancelToken, Checkpoint, CheckpointConfig, FaultInjection, StopCause};
 pub use sample::sample_embeddings;
 pub use stats::{count_until_converged, normal_quantile, EstimateStats, StopRule, Welford};

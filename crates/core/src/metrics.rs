@@ -23,6 +23,10 @@
 //! | `engine.adaptive.ci_half_width` | gauge | running CI half-width after the latest convergence check (rounded to u64) |
 //! | `engine.adaptive.checks` | counter | convergence checks performed (waves completed) |
 //! | `engine.threads` | gauge | worker threads of the resolved parallel mode |
+//! | `engine.degrade.layout_fallbacks` | counter | ladder steps taken below the preferred table layout under a memory budget |
+//! | `engine.iterations.poisoned` | counter | iteration attempts that panicked and were isolated |
+//! | `engine.iterations.retried` | counter | poisoned iterations retried with a fresh coloring seed |
+//! | `engine.checkpoint.writes` | counter | checkpoint files flushed (wave barriers + final) |
 //! | `cut.roots.visited` / `cut.roots.skipped` | counter | root vertices processed vs. skipped by the "initialized" check (shards = per-thread work counts) |
 //! | `cut.neighbors.visited` / `cut.neighbors.skipped` | counter | passive-side neighbor reads vs. skips |
 //! | `triangle.candidates` / `triangle.colorful` | counter | triangle closures found vs. those with all-distinct colors |
@@ -101,6 +105,10 @@ pub(crate) struct RunMetrics {
     pub adaptive_ci: Arc<Gauge>,
     pub adaptive_checks: Arc<Counter>,
     pub threads: Arc<Gauge>,
+    pub degrade_fallbacks: Arc<Counter>,
+    pub iterations_poisoned: Arc<Counter>,
+    pub iterations_retried: Arc<Counter>,
+    pub checkpoint_writes: Arc<Counter>,
     pub cut: CutMetrics,
     pub triangle: TriangleMetrics,
     pub table: TableMetrics,
@@ -134,6 +142,10 @@ impl RunMetrics {
             adaptive_ci: m.gauge("engine.adaptive.ci_half_width"),
             adaptive_checks: m.counter("engine.adaptive.checks"),
             threads: m.gauge("engine.threads"),
+            degrade_fallbacks: m.counter("engine.degrade.layout_fallbacks"),
+            iterations_poisoned: m.counter("engine.iterations.poisoned"),
+            iterations_retried: m.counter("engine.iterations.retried"),
+            checkpoint_writes: m.counter("engine.checkpoint.writes"),
             cut: CutMetrics {
                 roots_visited: m.counter("cut.roots.visited"),
                 roots_skipped: m.counter("cut.roots.skipped"),

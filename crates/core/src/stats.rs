@@ -70,6 +70,13 @@ impl Welford {
         self.mean
     }
 
+    /// Raw sum of squared deviations `M2` (the third of the accumulator's
+    /// state fields, exposed so checkpoints can serialize the exact
+    /// streaming state and verify it on resume).
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
     /// Unbiased sample variance (0 for fewer than two samples).
     pub fn variance(&self) -> f64 {
         if self.n < 2 {

@@ -1,35 +1,92 @@
 //! Plain-text edge-list I/O.
 //!
 //! Format matches common SNAP-style dumps: one `u v` pair per line,
-//! whitespace separated; lines starting with `#` or `%` are comments.
+//! whitespace separated; lines starting with `#` or `%` are comments;
+//! tokens after the first two are ignored (some dumps carry weights).
 //! Vertex ids need not be dense — they are compacted on load.
+//!
+//! The reader is written for adversarial input (fuzzed or corrupted
+//! files): every failure is a typed [`IoError`] carrying line and byte
+//! context, never a panic, and floods of self-loops or duplicate edges
+//! are dropped (and counted in [`ReadStats`]) rather than amplified into
+//! CSR memory.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::csr::Graph;
 use std::collections::HashMap;
 use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
 
+/// Longest slice of an offending line echoed back in an error message;
+/// keeps adversarial multi-megabyte lines out of logs.
+const ERR_CONTEXT_CHARS: usize = 80;
+
 /// Errors from edge-list parsing.
 #[derive(Debug)]
 pub enum IoError {
-    /// Underlying file error.
+    /// Underlying file error (open/create/write).
     Io(std::io::Error),
-    /// A data line that is not two integers.
-    Parse { line: usize, content: String },
+    /// Reading a specific line failed (truncated stream, invalid UTF-8).
+    Read {
+        /// 1-based line where the stream broke off.
+        line: usize,
+        /// Byte offset of that line's start.
+        byte: usize,
+        /// The underlying reader error.
+        source: std::io::Error,
+    },
+    /// A data line whose first two tokens are not valid vertex ids
+    /// (missing token, non-numeric text, or a value overflowing `u64`).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Byte offset of the line's start within the input.
+        byte: usize,
+        /// The offending line, truncated to a bounded length.
+        content: String,
+    },
+    /// More distinct vertex ids than the CSR's `u32` index can address.
+    TooManyVertices {
+        /// Distinct ids seen.
+        distinct: usize,
+    },
 }
 
 impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IoError::Io(e) => write!(f, "i/o error: {e}"),
-            IoError::Parse { line, content } => {
-                write!(f, "cannot parse edge on line {line}: {content:?}")
+            IoError::Read { line, byte, source } => {
+                write!(f, "read failed at line {line} (byte {byte}): {source}")
+            }
+            IoError::Parse {
+                line,
+                byte,
+                content,
+            } => {
+                write!(
+                    f,
+                    "cannot parse edge on line {line} (byte {byte}): {content:?}"
+                )
+            }
+            IoError::TooManyVertices { distinct } => {
+                write!(
+                    f,
+                    "{distinct} distinct vertex ids exceed the 2^32-1 the CSR index supports"
+                )
             }
         }
     }
 }
 
-impl std::error::Error for IoError {}
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) | IoError::Read { source: e, .. } => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for IoError {
     fn from(e: std::io::Error) -> Self {
@@ -37,32 +94,82 @@ impl From<std::io::Error> for IoError {
     }
 }
 
+/// What the loader dropped or compacted while reading (self-loop and
+/// duplicate floods are absorbed here instead of inflating the graph).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Lines read, including comments and blanks.
+    pub lines: usize,
+    /// Comment or blank lines skipped.
+    pub skipped: usize,
+    /// `u u` edges dropped (the counting engine is simple-graph only).
+    pub self_loops: usize,
+    /// Repeated `{u, v}` pairs dropped after normalization.
+    pub duplicate_edges: usize,
+    /// Distinct undirected edges kept in the graph.
+    pub edges_kept: usize,
+}
+
 /// Parses an edge list from a reader; returns the graph and the mapping
 /// from dense ids back to original ids (sorted ascending).
 pub fn read_edge_list<R: BufRead>(reader: R) -> Result<(Graph, Vec<u64>), IoError> {
+    let (g, ids, _) = read_edge_list_stats(reader)?;
+    Ok((g, ids))
+}
+
+/// As [`read_edge_list`], also reporting what was dropped on the way in.
+pub fn read_edge_list_stats<R: BufRead>(
+    reader: R,
+) -> Result<(Graph, Vec<u64>, ReadStats), IoError> {
     let mut raw_edges: Vec<(u64, u64)> = Vec::new();
+    let mut stats = ReadStats::default();
+    let mut byte = 0usize;
     for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
+        stats.lines += 1;
+        let line = line.map_err(|source| IoError::Read {
+            line: lineno + 1,
+            byte,
+            source,
+        })?;
+        let line_start = byte;
+        byte += line.len() + 1;
         let t = line.trim();
         if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            stats.skipped += 1;
             continue;
         }
         let mut it = t.split_whitespace();
         let parse = |s: Option<&str>| -> Option<u64> { s.and_then(|x| x.parse().ok()) };
         match (parse(it.next()), parse(it.next())) {
-            (Some(u), Some(v)) => raw_edges.push((u, v)),
+            (Some(u), Some(v)) if u == v => stats.self_loops += 1,
+            // Normalize on the way in so the dedup below catches both
+            // orientations of the same undirected edge.
+            (Some(u), Some(v)) => raw_edges.push((u.min(v), u.max(v))),
             _ => {
                 return Err(IoError::Parse {
                     line: lineno + 1,
-                    content: t.to_string(),
+                    byte: line_start,
+                    content: t.chars().take(ERR_CONTEXT_CHARS).collect(),
                 })
             }
         }
     }
+    // Drop duplicate floods before they reach id compaction.
+    raw_edges.sort_unstable();
+    let before = raw_edges.len();
+    raw_edges.dedup();
+    stats.duplicate_edges = before - raw_edges.len();
+    stats.edges_kept = raw_edges.len();
+
     // Compact ids.
     let mut ids: Vec<u64> = raw_edges.iter().flat_map(|&(u, v)| [u, v]).collect();
     ids.sort_unstable();
     ids.dedup();
+    if ids.len() > u32::MAX as usize {
+        return Err(IoError::TooManyVertices {
+            distinct: ids.len(),
+        });
+    }
     let index: HashMap<u64, u32> = ids
         .iter()
         .enumerate()
@@ -72,7 +179,7 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<(Graph, Vec<u64>), IoErro
         .iter()
         .map(|&(u, v)| (index[&u], index[&v]))
         .collect();
-    Ok((Graph::from_edges(ids.len(), &edges), ids))
+    Ok((Graph::from_edges(ids.len(), &edges), ids, stats))
 }
 
 /// Loads an edge list from a file path.
@@ -102,42 +209,126 @@ mod tests {
     use super::*;
     use std::io::Cursor;
 
+    type R = Result<(), IoError>;
+
     #[test]
-    fn parses_with_comments_and_gaps() {
+    fn parses_with_comments_and_gaps() -> R {
         let text = "# header\n10 20\n20 30\n\n% more\n10 30\n";
-        let (g, ids) = read_edge_list(Cursor::new(text)).unwrap();
+        let (g, ids) = read_edge_list(Cursor::new(text))?;
         assert_eq!(ids, vec![10, 20, 30]);
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.num_edges(), 3);
         assert!(g.has_edge(0, 1));
+        Ok(())
     }
 
     #[test]
-    fn rejects_garbage() {
-        let err = read_edge_list(Cursor::new("1 2\nfoo bar\n")).unwrap_err();
-        match err {
-            IoError::Parse { line, .. } => assert_eq!(line, 2),
-            other => panic!("unexpected error: {other}"),
+    fn rejects_garbage_with_line_and_byte_context() {
+        match read_edge_list(Cursor::new("1 2\nfoo bar\n")) {
+            Err(IoError::Parse { line, byte, .. }) => {
+                assert_eq!(line, 2);
+                assert_eq!(byte, 4);
+            }
+            other => panic!("unexpected outcome: {other:?}"),
         }
     }
 
     #[test]
-    fn round_trip_via_tempfile() {
-        let dir = std::env::temp_dir().join("fascia_io_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("g.txt");
-        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
-        write_edge_list(&g, &path).unwrap();
-        let (g2, ids) = load_edge_list(&path).unwrap();
-        assert_eq!(g2, g);
-        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
-        std::fs::remove_file(&path).unwrap();
+    fn truncated_line_is_a_parse_error() {
+        match read_edge_list(Cursor::new("1 2\n3\n")) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
     }
 
     #[test]
-    fn empty_input_is_empty_graph() {
-        let (g, ids) = read_edge_list(Cursor::new("# nothing\n")).unwrap();
+    fn overflowing_vertex_id_is_a_parse_error() {
+        // One digit past u64::MAX.
+        let text = format!("1 {}0\n", u64::MAX);
+        assert!(matches!(
+            read_edge_list(Cursor::new(text)),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+        // u64::MAX itself is fine — ids are compacted.
+        let text = format!("1 {}\n", u64::MAX);
+        match read_edge_list(Cursor::new(text)) {
+            Ok((g, ids)) => {
+                assert_eq!(g.num_vertices(), 2);
+                assert_eq!(ids, vec![1, u64::MAX]);
+            }
+            Err(e) => panic!("should accept u64::MAX ids: {e}"),
+        }
+    }
+
+    #[test]
+    fn long_adversarial_lines_are_truncated_in_errors() {
+        let text = format!("1 2\nx{}\n", "y".repeat(1 << 20));
+        match read_edge_list(Cursor::new(text)) {
+            Err(IoError::Parse { content, .. }) => {
+                assert!(content.chars().count() <= ERR_CONTEXT_CHARS)
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_loop_and_duplicate_floods_are_dropped_and_counted() -> R {
+        let mut text = String::new();
+        for _ in 0..10_000 {
+            text.push_str("5 5\n");
+            text.push_str("1 2\n");
+            text.push_str("2 1\n");
+        }
+        text.push_str("2 3\n");
+        let (g, ids, stats) = read_edge_list_stats(Cursor::new(&text))?;
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(stats.self_loops, 10_000);
+        assert_eq!(stats.duplicate_edges, 2 * 10_000 - 1);
+        assert_eq!(stats.edges_kept, 2);
+        assert_eq!(stats.lines, 30_001);
+        Ok(())
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_read_error_with_context() {
+        let bytes: &[u8] = b"1 2\n\xff\xfe broken\n";
+        match read_edge_list(Cursor::new(bytes)) {
+            Err(IoError::Read { line, byte, .. }) => {
+                assert_eq!(line, 2);
+                assert_eq!(byte, 4);
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extra_tokens_are_ignored() -> R {
+        let (g, ids) = read_edge_list(Cursor::new("1 2 0.75\n2 3 weight\n"))?;
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(g.num_edges(), 2);
+        Ok(())
+    }
+
+    #[test]
+    fn round_trip_via_tempfile() -> R {
+        let dir = std::env::temp_dir().join("fascia_io_test");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("g.txt");
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        write_edge_list(&g, &path)?;
+        let (g2, ids) = load_edge_list(&path)?;
+        assert_eq!(g2, g);
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        std::fs::remove_file(&path)?;
+        Ok(())
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() -> R {
+        let (g, ids) = read_edge_list(Cursor::new("# nothing\n"))?;
         assert_eq!(g.num_vertices(), 0);
         assert!(ids.is_empty());
+        Ok(())
     }
 }

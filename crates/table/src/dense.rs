@@ -87,7 +87,7 @@ impl CountTable for DenseTable {
         self.data.iter().sum()
     }
 
-    fn kind() -> TableKind {
+    fn kind(&self) -> TableKind {
         TableKind::Dense
     }
 }

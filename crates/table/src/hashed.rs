@@ -167,7 +167,7 @@ impl CountTable for HashCountTable {
         self.vals.iter().sum()
     }
 
-    fn kind() -> TableKind {
+    fn kind(&self) -> TableKind {
         TableKind::Hash
     }
 }

@@ -92,7 +92,7 @@ impl CountTable for LazyTable {
             .sum()
     }
 
-    fn kind() -> TableKind {
+    fn kind(&self) -> TableKind {
         TableKind::Lazy
     }
 }

@@ -67,10 +67,12 @@
 
 #![warn(missing_docs)]
 
+pub mod any;
 pub mod dense;
 pub mod hashed;
 pub mod lazy;
 
+pub use any::AnyTable;
 pub use dense::DenseTable;
 pub use hashed::HashCountTable;
 pub use lazy::LazyTable;
@@ -98,6 +100,44 @@ impl TableKind {
             TableKind::Dense => "naive",
             TableKind::Lazy => "improved",
             TableKind::Hash => "hash",
+        }
+    }
+
+    /// The degradation ladder: layouts at-or-below `self` in memory
+    /// footprint, densest first. Dense can fall back to lazy or hashed,
+    /// lazy to hashed, hashed only to itself.
+    pub fn ladder(&self) -> &'static [TableKind] {
+        match self {
+            TableKind::Dense => &[TableKind::Dense, TableKind::Lazy, TableKind::Hash],
+            TableKind::Lazy => &[TableKind::Lazy, TableKind::Hash],
+            TableKind::Hash => &[TableKind::Hash],
+        }
+    }
+}
+
+/// Projects the heap bytes a layout would allocate for a table of `n`
+/// vertices x `nc` colorsets with `active_rows` non-zero rows holding
+/// `live_entries` non-zero counts, without building it.
+///
+/// The formulas mirror each layout's [`CountTable::bytes`] accounting
+/// exactly (dense: full `n x nc` doubles plus the activity bitmap; lazy:
+/// doubles for active rows plus one `Option<Box<[f64]>>` slot per vertex;
+/// hash: the open-addressing key/value arrays at factor-of-two occupancy
+/// plus the activity bitmap), so a projection can be compared against a
+/// memory budget before committing to a layout.
+pub fn projected_bytes(
+    kind: TableKind,
+    n: usize,
+    nc: usize,
+    active_rows: usize,
+    live_entries: usize,
+) -> usize {
+    match kind {
+        TableKind::Dense => n * nc * 8 + n,
+        TableKind::Lazy => active_rows * nc * 8 + n * std::mem::size_of::<Option<Box<[f64]>>>(),
+        TableKind::Hash => {
+            let capacity = (2 * live_entries).max(16) + 1;
+            capacity * 16 + n
         }
     }
 }
@@ -159,6 +199,15 @@ pub trait CountTable: Send + Sync + Sized {
     /// Panics if `rows.len() != n` or any row length differs from `nc`.
     fn from_rows(n: usize, nc: usize, rows: Rows) -> Self;
 
+    /// Builds a table with the requested *logical* layout. Concrete
+    /// layouts ignore the hint (they are their own layout); [`AnyTable`]
+    /// dispatches on it — this is the hook the engine's memory-budget
+    /// degradation ladder uses to pick a layout per subtemplate.
+    fn from_rows_kind(kind: TableKind, n: usize, nc: usize, rows: Rows) -> Self {
+        let _ = kind;
+        Self::from_rows(n, nc, rows)
+    }
+
     /// Number of graph vertices this table covers.
     fn num_vertices(&self) -> usize;
 
@@ -188,8 +237,9 @@ pub trait CountTable: Send + Sync + Sized {
     /// Sum over all entries (the final count aggregation, Alg. 2 line 20).
     fn total(&self) -> f64;
 
-    /// The layout tag.
-    fn kind() -> TableKind;
+    /// The layout tag of this table instance (for [`AnyTable`] the layout
+    /// actually chosen, which may differ per subtemplate under a budget).
+    fn kind(&self) -> TableKind;
 }
 
 /// Drops all-zero rows, normalizing rows before table construction so all

@@ -16,4 +16,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
 echo "=== cargo test ==="
 cargo test -q --workspace --offline
 
+# The workspace run above already includes these, but the resilience
+# gate is called out explicitly so a failure is unmistakable: adversarial
+# input must never panic, and checkpoint resume must be bit-for-bit.
+echo "=== resilience & fault-injection suites ==="
+cargo test -q --offline --test resilience --test fault_injection
+
 echo "ci: all green"

@@ -34,6 +34,7 @@
 pub use fascia_combin as combin;
 pub use fascia_core as core;
 pub use fascia_graph as graph;
+pub use fascia_obs as obs;
 pub use fascia_table as table;
 pub use fascia_template as template;
 
@@ -50,6 +51,9 @@ pub mod prelude {
     pub use fascia_core::gdd::{estimate_gdd, gdd_agreement, GddHistogram};
     pub use fascia_core::motifs::{motif_profile, MotifProfile};
     pub use fascia_core::parallel::{with_threads, ParallelMode};
+    pub use fascia_core::resilience::{
+        CancelToken, Checkpoint, CheckpointConfig, CheckpointError, FaultInjection, StopCause,
+    };
     pub use fascia_core::sample::sample_embeddings;
     pub use fascia_core::stats::{count_until_converged, EstimateStats, StopRule, Welford};
     pub use fascia_graph::datasets::scale_from_env;

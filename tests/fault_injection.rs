@@ -1,0 +1,249 @@
+//! Fault injection: adversarial, corrupted, and truncated bytes pushed
+//! through every deserialization surface — edge-list loading and
+//! checkpoint parsing — plus engine-level resume with damaged state.
+//!
+//! The invariant under test is uniform: hostile input yields a typed
+//! error (or a clean success when the damage happens to stay
+//! well-formed), never a panic, never unbounded memory.
+
+use fascia::prelude::*;
+use fascia_graph::io::{load_edge_list, read_edge_list, read_edge_list_stats, IoError};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn sample_checkpoint() -> Checkpoint {
+    Checkpoint {
+        seed: 0xFEED_F00D,
+        colors: 5,
+        template_size: 5,
+        graph_vertices: 97,
+        graph_edges: 301,
+        rule: StopRule::FixedIterations(40),
+        per_iteration: vec![1.5, 7.25, 3.125, 0.0, 12.0625],
+        peak_table_bytes: 65_536,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Edge-list loader.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary bytes through the loader: typed outcome, no panic.
+    #[test]
+    fn loader_survives_random_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = read_edge_list(Cursor::new(bytes));
+    }
+
+    /// A valid edge list with one byte flipped, and every truncation of
+    /// it, parses or fails cleanly — and whatever loads stays within the
+    /// vertex bounds implied by the text.
+    #[test]
+    fn loader_survives_corrupted_valid_lists(
+        n in 4usize..40,
+        seed in 0u64..500,
+        pos in any::<usize>(),
+        flip in 1u8..255,
+    ) {
+        let m = (n * 2).min(n * (n - 1) / 2);
+        let g = fascia::graph::gen::gnm(n, m, seed);
+        let mut text = String::new();
+        for (u, v) in g.edges() {
+            text.push_str(&format!("{u} {v}\n"));
+        }
+        let mut bytes = text.clone().into_bytes();
+        prop_assert!(!bytes.is_empty());
+        let i = pos % bytes.len();
+        bytes[i] ^= flip;
+        match read_edge_list(Cursor::new(&bytes[..])) {
+            Ok((g2, ids)) => {
+                prop_assert_eq!(g2.num_vertices(), ids.len());
+            }
+            Err(IoError::Parse { line, .. }) => prop_assert!(line >= 1),
+            Err(IoError::Read { .. }) => {}
+            Err(e) => panic!("unexpected error kind: {e}"),
+        }
+        // Truncation at the same offset.
+        let _ = read_edge_list(Cursor::new(&text.as_bytes()[..i]));
+    }
+
+    /// Self-loop and duplicate floods never inflate the loaded graph.
+    #[test]
+    fn loader_absorbs_floods(v in 0u64..50, copies in 1usize..200) {
+        let mut text = String::new();
+        for _ in 0..copies {
+            text.push_str(&format!("{v} {v}\n{v} {}\n{} {v}\n", v + 1, v + 1));
+        }
+        let (g, ids, stats) = match read_edge_list_stats(Cursor::new(&text)) {
+            Ok(out) => out,
+            Err(e) => panic!("flood should load: {e}"),
+        };
+        prop_assert_eq!(ids.len(), 2);
+        prop_assert_eq!(g.num_edges(), 1);
+        prop_assert_eq!(stats.self_loops, copies);
+        prop_assert_eq!(stats.duplicate_edges, 2 * copies - 1);
+    }
+}
+
+#[test]
+fn loader_reports_missing_file_as_io() {
+    assert!(matches!(
+        load_edge_list("/definitely/not/a/real/edge/list.txt"),
+        Err(IoError::Io(_))
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint parser.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every proper prefix of a valid checkpoint is rejected with an
+    /// error, never a panic (the serialized form is pure ASCII, so any
+    /// byte offset is a char boundary).
+    #[test]
+    fn checkpoint_rejects_every_truncation(cut in any::<usize>()) {
+        let json = sample_checkpoint().to_json();
+        let cut = cut % json.len();
+        prop_assert!(Checkpoint::from_json(&json[..cut]).is_err());
+    }
+
+    /// One flipped byte: the per-iteration series (and the statistics
+    /// derived from it) can never be altered silently — the stored
+    /// Welford snapshot is replayed on load and must match bit for bit.
+    /// Header fields (seed, sizes, rule, peak bytes) may still parse
+    /// after a flip; those are checked against the actual run by the
+    /// engine's resume fingerprint instead.
+    #[test]
+    fn checkpoint_corruption_cannot_alter_the_series(
+        pos in any::<usize>(),
+        flip in 1u8..128,
+    ) {
+        let original = sample_checkpoint();
+        let json = original.to_json();
+        let mut bytes = json.clone().into_bytes();
+        let i = pos % bytes.len();
+        bytes[i] ^= flip;
+        // Invalid UTF-8 is rejected by the file reader upstream; only
+        // string-typed damage reaches the parser.
+        if let Ok(text) = String::from_utf8(bytes) {
+            if let Ok(parsed) = Checkpoint::from_json(&text) {
+                prop_assert_eq!(parsed.per_iteration.len(), original.per_iteration.len());
+                for (a, b) in parsed.per_iteration.iter().zip(&original.per_iteration) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Random garbage through the parser: typed outcome, no panic.
+    #[test]
+    fn checkpoint_survives_random_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(text) = String::from_utf8(bytes) {
+            let _ = Checkpoint::from_json(&text);
+        }
+    }
+}
+
+#[test]
+fn checkpoint_rejects_adversarial_json_shapes() {
+    // Deep nesting beyond the parser's recursion cap.
+    assert!(Checkpoint::from_json(&"[".repeat(4096)).is_err());
+    let deep = format!("{}1{}", "[".repeat(4096), "]".repeat(4096));
+    assert!(Checkpoint::from_json(&deep).is_err());
+    // Well-formed JSON of the wrong schema.
+    assert!(Checkpoint::from_json("{}").is_err());
+    assert!(Checkpoint::from_json("{\"schema\":\"fascia-ckpt/999\"}").is_err());
+    assert!(Checkpoint::from_json("[1,2,3]").is_err());
+    assert!(Checkpoint::from_json("null").is_err());
+    // A checkpoint whose replayed statistics disagree with its stored
+    // integrity snapshot (cross-field tamper the grammar can't catch).
+    let json = sample_checkpoint().to_json();
+    let tampered = json.replacen("7.25", "7.5", 1);
+    assert_ne!(json, tampered, "tamper target missing from serialization");
+    assert!(Checkpoint::from_json(&tampered).is_err());
+}
+
+#[test]
+fn checkpoint_load_maps_missing_file_to_error() {
+    assert!(Checkpoint::load(std::path::Path::new("/definitely/not/a/checkpoint.json")).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Engine-level resume with damaged or odd state.
+// ---------------------------------------------------------------------
+
+#[test]
+fn resume_with_oversized_checkpoint_completes_without_executing() {
+    // A checkpoint holding more iterations than the resumed budget asks
+    // for: nothing left to run; the engine reports the stored series.
+    let g = fascia::graph::gen::gnm(30, 60, 11);
+    let t = Template::path(4);
+    let base = CountConfig {
+        iterations: 6,
+        seed: 77,
+        parallel: ParallelMode::Serial,
+        ..CountConfig::default()
+    };
+    let dir = std::env::temp_dir().join("fascia_fault_tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("oversized.ckpt");
+    std::fs::remove_file(&path).ok();
+    let full = count_template(
+        &g,
+        &t,
+        &CountConfig {
+            checkpoint: Some(CheckpointConfig::new(&path)),
+            ..base.clone()
+        },
+    )
+    .expect("checkpointed run");
+    let ck = Checkpoint::load(&path).expect("checkpoint parses");
+    assert_eq!(ck.iterations_done(), 6);
+
+    // Resuming toward a smaller budget must not panic or truncate; the
+    // stop rule in the checkpoint is authoritative and mismatches are
+    // typed errors.
+    let shrunk = CountConfig {
+        resume: Some(ck.clone()),
+        iterations: 3,
+        ..base.clone()
+    };
+    assert!(matches!(
+        count_template(&g, &t, &shrunk),
+        Err(CountError::ResumeMismatch(_))
+    ));
+
+    // Resuming an already-complete run executes nothing new.
+    let resumed = count_template(
+        &g,
+        &t,
+        &CountConfig {
+            resume: Some(ck),
+            ..base.clone()
+        },
+    )
+    .expect("no-op resume");
+    assert_eq!(resumed.iterations_run, 6);
+    assert_eq!(resumed.resumed_iterations, 6);
+    assert_eq!(resumed.estimate.to_bits(), full.estimate.to_bits());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupted_checkpoint_file_fails_resume_cleanly() {
+    let dir = std::env::temp_dir().join("fascia_fault_tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("corrupt.ckpt");
+    let json = sample_checkpoint().to_json();
+    // Chop the file mid-record, as a crash during a non-atomic write
+    // would (the engine's own writes are atomic; a hostile or damaged
+    // filesystem may not be).
+    std::fs::write(&path, &json[..json.len() / 2]).expect("write");
+    assert!(Checkpoint::load(&path).is_err());
+    std::fs::remove_file(&path).ok();
+}
