@@ -7,7 +7,7 @@ use fascia_core::engine::{count_template, count_template_labeled, CountConfig};
 use fascia_core::parallel::ParallelMode;
 use fascia_graph::gen::gnm;
 use fascia_graph::random_labels;
-use fascia_obs::Metrics;
+use fascia_obs::{Metrics, Tracer};
 use fascia_table::TableKind;
 use fascia_template::{NamedTemplate, PartitionStrategy};
 use std::sync::Arc;
@@ -103,6 +103,38 @@ fn bench_metrics_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Overhead of the flight recorder along the same axis: `absent` (no
+/// tracer), `ring` (default-capacity rings recording every event), and
+/// `ring_full` (a 16-slot ring that overflows immediately, so nearly
+/// every event takes the drop path). The acceptance bar mirrors the
+/// metrics one: `absent` must be indistinguishable from an uninstrumented
+/// engine, and even `ring_full` must only pay one fetch_add + counter
+/// bump per event. Recorded results live in EXPERIMENTS.md.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let g = gnm(10_000, 50_000, 3);
+    let t = NamedTemplate::U5_2.template();
+    let mut group = c.benchmark_group("engine_trace_overhead");
+    let variants: [(&str, Option<usize>); 3] = [
+        ("absent", None),
+        ("ring", Some(16 * 1024)),
+        ("ring_full", Some(16)),
+    ];
+    for (name, capacity) in variants {
+        // One tracer per variant: the 16k ring comfortably outlasts the
+        // sample loop (~15 events per engine iteration), while the 16-slot
+        // ring fills within the first call and keeps every later event on
+        // the drop path — exactly the steady state being measured.
+        let cfg = CountConfig {
+            tracer: capacity.map(|n| Arc::new(Tracer::with_capacity(n))),
+            ..base_cfg()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| count_template(&g, &t, cfg).unwrap().estimate)
+        });
+    }
+    group.finish();
+}
+
 /// Adaptive stopping vs a fixed iteration budget at matched accuracy.
 /// The adaptive run converges (rel. 95% CI ≤ 5%) after a few dozen
 /// iterations on this instance; the fixed run burns the whole budget —
@@ -142,6 +174,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_table_kinds, bench_strategies, bench_labeled_speedup, bench_metrics_overhead,
-        bench_adaptive_vs_fixed
+        bench_trace_overhead, bench_adaptive_vs_fixed
 }
 criterion_main!(benches);

@@ -29,18 +29,20 @@ use fascia_core::engine::{count_template, CountConfig, CountError};
 use fascia_core::exact::count_exact;
 use fascia_core::gdd::{estimate_gdd, GddHistogram};
 use fascia_core::motifs::motif_profile;
-use fascia_core::resilience::{CancelToken, Checkpoint, CheckpointConfig};
+use fascia_core::progress::{Progress, ProgressConfig};
+use fascia_core::resilience::{atomic_write, CancelToken, Checkpoint, CheckpointConfig};
 use fascia_core::sample::sample_embeddings;
 use fascia_core::stats::StopRule;
 use fascia_graph::datasets::scale_from_env;
 use fascia_graph::io::load_edge_list;
 use fascia_graph::{Dataset, Graph};
-use fascia_obs::{Metrics, MetricsReport};
+use fascia_obs::{Metrics, MetricsReport, RunInfo, Tracer};
 use fascia_table::TableKind;
 use fascia_template::{NamedTemplate, PartitionStrategy, Template};
+use std::path::PathBuf;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Set by the SIGINT handler; every counting run watches it through a
 /// [`CancelToken`], so Ctrl-C flushes a final checkpoint and reports the
@@ -121,6 +123,23 @@ fn install_sigint_handler() {
 #[cfg(not(unix))]
 fn install_sigint_handler() {}
 
+/// Whether stderr is an interactive terminal (drives the default for the
+/// live progress line). Raw libc `isatty` via FFI, like the signal
+/// handler, to stay dependency-free.
+#[cfg(unix)]
+fn stderr_is_tty() -> bool {
+    extern "C" {
+        fn isatty(fd: i32) -> i32;
+    }
+    const STDERR_FILENO: i32 = 2;
+    unsafe { isatty(STDERR_FILENO) == 1 }
+}
+
+#[cfg(not(unix))]
+fn stderr_is_tty() -> bool {
+    false
+}
+
 fn run(args: &[String]) -> Result<i32, CliError> {
     let Some(cmd) = args.first() else {
         return Err(CliError::Usage(usage_text()));
@@ -152,7 +171,7 @@ fn run(args: &[String]) -> Result<i32, CliError> {
 
 fn usage_text() -> String {
     "usage: fascia <count|exact|motifs|gdd|sample|distsim|gen|info|templates|help> ...\n\
-     \x20 count  <dataset|file> <template> [--iters N] [--table naive|improved|hash] [--strategy one|balanced] [--seed S] [--metrics off|pretty|json] [adaptive flags] [resilience flags]\n\
+     \x20 count  <dataset|file> <template> [--iters N] [--table naive|improved|hash] [--strategy one|balanced] [--seed S] [--metrics off|pretty|json|prom] [adaptive flags] [resilience flags] [observability flags]\n\
      \x20 exact  <dataset|file> <template>\n\
      \x20 motifs <dataset|file> <size> [--iters N]\n\
      \x20 gdd    <dataset|file> [--iters N]\n\
@@ -172,6 +191,15 @@ fn usage_text() -> String {
      \x20                      seed and stop rule unless --seed/--iters/adaptive flags are given\n\
      \x20 --memory-budget B    cap DP-table memory at B bytes (k/m/g suffixes ok); the engine\n\
      \x20                      degrades dense→lazy→hashed layouts before giving up\n\
+     observability flags (every counting subcommand):\n\
+     \x20 --metrics MODE       off|pretty (stderr table)|json (fascia-obs/1 line)|prom (Prometheus text)\n\
+     \x20 --trace FILE         record a flight-recorder timeline and write Chrome trace-event JSON\n\
+     \x20                      (load in Perfetto / chrome://tracing); bounded memory, overflow only\n\
+     \x20                      drops events (counted), never changes results\n\
+     \x20 --trace-buffer N     per-thread trace ring capacity in events (default 16384)\n\
+     \x20 --heartbeat FILE     rewrite FILE atomically with a fascia-heartbeat/1 status document\n\
+     \x20                      during the run (iteration progress, estimate, CI, ETA)\n\
+     \x20 --progress           force the live stderr progress line (default: only when stderr is a TTY)\n\
      Ctrl-C cancels cooperatively: the current wave is discarded, a final checkpoint is\n\
      written (with --checkpoint), and the partial estimate is reported.\n\
      exit codes: 0 ok, 1 runtime failure, 2 usage, 3 i/o or bad input file,\n\
@@ -267,7 +295,17 @@ fn parse_size(raw: &str) -> Option<usize> {
     digits.parse::<usize>().ok()?.checked_mul(mult)
 }
 
-fn parse_flags(rest: &[String]) -> Result<(CountConfig, MetricsReport), CliError> {
+/// Observability outputs requested on the command line, plus the clocks
+/// that stamp the run metadata in the `--metrics json` report.
+struct ObsFlags {
+    report: MetricsReport,
+    /// Write the Chrome trace-event JSON here after the run (atomically).
+    trace_path: Option<PathBuf>,
+    started_unix_ms: u64,
+    t0: Instant,
+}
+
+fn parse_flags(rest: &[String]) -> Result<(CountConfig, ObsFlags), CliError> {
     let mut cfg = CountConfig::default();
     let mut report = MetricsReport::Off;
     let mut iters_given = false;
@@ -278,6 +316,10 @@ fn parse_flags(rest: &[String]) -> Result<(CountConfig, MetricsReport), CliError
     let mut max_iters = StopRule::DEFAULT_MAX_ITERS;
     let mut timeout: Option<Duration> = None;
     let mut resume_path: Option<String> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut trace_buffer: Option<usize> = None;
+    let mut heartbeat: Option<PathBuf> = None;
+    let mut progress_flag = false;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -362,6 +404,22 @@ fn parse_flags(rest: &[String]) -> Result<(CountConfig, MetricsReport), CliError
                 })?);
                 i += 2;
             }
+            "--trace" => {
+                trace_path = Some(PathBuf::from(flag_value(rest, i, "--trace")?));
+                i += 2;
+            }
+            "--trace-buffer" => {
+                trace_buffer = Some(flag_parse(rest, i, "--trace-buffer")?);
+                i += 2;
+            }
+            "--heartbeat" => {
+                heartbeat = Some(PathBuf::from(flag_value(rest, i, "--heartbeat")?));
+                i += 2;
+            }
+            "--progress" => {
+                progress_flag = true;
+                i += 1;
+            }
             other => {
                 return Err(CliError::Usage(format!("unknown flag '{other}'")));
             }
@@ -403,6 +461,22 @@ fn parse_flags(rest: &[String]) -> Result<(CountConfig, MetricsReport), CliError
     if report != MetricsReport::Off {
         cfg.metrics = Some(Arc::new(Metrics::new()));
     }
+    if trace_path.is_some() || trace_buffer.is_some() {
+        cfg.tracer = Some(Arc::new(match trace_buffer {
+            Some(n) => Tracer::with_capacity(n),
+            None => Tracer::new(),
+        }));
+    }
+    // The progress line defaults on for interactive runs; --progress
+    // forces it for piped stderr (e.g. when watching a log file).
+    let want_line = progress_flag || stderr_is_tty();
+    if want_line || heartbeat.is_some() {
+        cfg.progress = Some(Arc::new(Progress::new(ProgressConfig {
+            stderr_line: want_line,
+            heartbeat,
+            min_interval: Duration::from_millis(200),
+        })));
+    }
     // Every counting run watches the process-wide interrupt flag; the
     // deadline rides on the same token.
     let mut token = CancelToken::new().external_flag(&INTERRUPTED);
@@ -410,7 +484,18 @@ fn parse_flags(rest: &[String]) -> Result<(CountConfig, MetricsReport), CliError
         token = token.deadline(after);
     }
     cfg.cancel = Some(token);
-    Ok((cfg, report))
+    let started_unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64);
+    Ok((
+        cfg,
+        ObsFlags {
+            report,
+            trace_path,
+            started_unix_ms,
+            t0: Instant::now(),
+        },
+    ))
 }
 
 /// Maps engine failures to exit codes: resource exhaustion and
@@ -426,18 +511,41 @@ fn map_count_err(what: &str, e: CountError) -> CliError {
     }
 }
 
-/// Prints the collected metrics per the `--metrics` mode: the pretty
-/// rendering goes to stderr (keeps stdout parseable), the JSON document
-/// is a single stdout line.
-fn emit_metrics(report: MetricsReport, cfg: &CountConfig) {
+/// Emits the run's observability outputs: the `--trace` Chrome-trace file
+/// (written atomically, like checkpoints) and the collected metrics per
+/// the `--metrics` mode. The pretty rendering goes to stderr (keeps
+/// stdout parseable); the JSON document — one stdout line — carries the
+/// run metadata and, when tracing was on, the `fascia-trace/1` summary.
+fn emit_observability(obs: &ObsFlags, cfg: &CountConfig) -> Result<(), CliError> {
+    if let (Some(path), Some(tracer)) = (&obs.trace_path, &cfg.tracer) {
+        atomic_write(path, &tracer.to_chrome_json())
+            .map_err(|e| CliError::Io(format!("cannot write trace '{}': {e}", path.display())))?;
+        eprintln!(
+            "trace: {} events ({} dropped) -> {}",
+            tracer.recorded(),
+            tracer.dropped(),
+            path.display()
+        );
+    }
     let Some(m) = cfg.metrics.as_deref() else {
-        return;
+        return Ok(());
     };
-    match report {
+    match obs.report {
         MetricsReport::Off => {}
         MetricsReport::Pretty => eprint!("{}", m.render_pretty()),
-        MetricsReport::Json => println!("{}", m.to_json()),
+        MetricsReport::Json => {
+            let run = RunInfo {
+                started_unix_ms: obs.started_unix_ms,
+                wall_ms: obs.t0.elapsed().as_millis() as u64,
+                threads: rayon::current_num_threads() as u64,
+                parallel: cfg.parallel.name().to_string(),
+            };
+            let summary = cfg.tracer.as_ref().map(|t| t.summary_json());
+            println!("{}", m.to_json_full(Some(&run), summary.as_deref()));
+        }
+        MetricsReport::Prom => println!("{}", m.render_prom()),
     }
+    Ok(())
 }
 
 fn cmd_count(rest: &[String]) -> Result<i32, CliError> {
@@ -447,7 +555,7 @@ fn cmd_count(rest: &[String]) -> Result<i32, CliError> {
     };
     let g = load_graph(gspec)?;
     let t = parse_template(tspec)?;
-    let (cfg, report) = parse_flags(&rest[2..])?;
+    let (cfg, obs) = parse_flags(&rest[2..])?;
     let r = count_template(&g, &t, &cfg).map_err(|e| map_count_err("count failed", e))?;
     println!("estimate: {:.4e}", r.estimate);
     println!("iterations: {}", r.iterations_run);
@@ -474,7 +582,7 @@ fn cmd_count(rest: &[String]) -> Result<i32, CliError> {
     println!("automorphisms: {}", r.automorphisms);
     println!("colorful probability: {:.6}", r.colorful_probability);
     println!("stop cause: {}", r.stop_cause.name());
-    emit_metrics(report, &cfg);
+    emit_observability(&obs, &cfg)?;
     if r.stop_cause.is_partial() {
         eprintln!(
             "run stopped early ({}); the estimate above is partial",
@@ -509,14 +617,14 @@ fn cmd_motifs(rest: &[String]) -> Result<i32, CliError> {
     let size: usize = sizespec
         .parse()
         .map_err(|_| CliError::Usage(format!("motif size: cannot parse {sizespec:?}")))?;
-    let (cfg, report) = parse_flags(&rest[2..])?;
+    let (cfg, obs) = parse_flags(&rest[2..])?;
     let p = motif_profile(&g, size, &cfg).map_err(|e| map_count_err("motif scan failed", e))?;
     println!("# topology relative_frequency estimate");
     for (i, (rel, cnt)) in p.relative_frequencies().iter().zip(&p.counts).enumerate() {
         println!("{:>3}  {rel:>12.6}  {cnt:.4e}", i + 1);
     }
     println!("# total elapsed: {:?}", p.elapsed);
-    emit_metrics(report, &cfg);
+    emit_observability(&obs, &cfg)?;
     Ok(EXIT_OK)
 }
 
@@ -525,7 +633,7 @@ fn cmd_gdd(rest: &[String]) -> Result<i32, CliError> {
         return Err(usage_err("gdd needs <dataset|file>"));
     };
     let g = load_graph(gspec)?;
-    let (cfg, report) = parse_flags(&rest[1..])?;
+    let (cfg, obs) = parse_flags(&rest[1..])?;
     let named = NamedTemplate::U5_2;
     let t = named.template();
     let orbit = named
@@ -533,7 +641,7 @@ fn cmd_gdd(rest: &[String]) -> Result<i32, CliError> {
         .ok_or_else(|| CliError::Run("U5-2 central orbit unavailable".to_string()))?;
     let hist = estimate_gdd(&g, &t, orbit, &cfg).map_err(|e| map_count_err("gdd failed", e))?;
     print_histogram(&hist);
-    emit_metrics(report, &cfg);
+    emit_observability(&obs, &cfg)?;
     Ok(EXIT_OK)
 }
 
@@ -554,7 +662,7 @@ fn cmd_sample(rest: &[String]) -> Result<i32, CliError> {
     let count: usize = countspec
         .parse()
         .map_err(|_| CliError::Usage(format!("sample count: cannot parse {countspec:?}")))?;
-    let (mut cfg, report) = parse_flags(&rest[3..])?;
+    let (mut cfg, obs) = parse_flags(&rest[3..])?;
     if cfg.iterations < count {
         cfg.iterations = count.max(100);
     }
@@ -568,7 +676,7 @@ fn cmd_sample(rest: &[String]) -> Result<i32, CliError> {
         let strs: Vec<String> = emb.iter().map(|v| v.to_string()).collect();
         println!("{}", strs.join(" "));
     }
-    emit_metrics(report, &cfg);
+    emit_observability(&obs, &cfg)?;
     Ok(EXIT_OK)
 }
 
@@ -619,7 +727,7 @@ fn cmd_distsim(rest: &[String]) -> Result<i32, CliError> {
     let ranks: usize = rankspec
         .parse()
         .map_err(|_| CliError::Usage(format!("rank count: cannot parse {rankspec:?}")))?;
-    let (mut count, report) = parse_flags(&rest[3..])?;
+    let (mut count, obs) = parse_flags(&rest[3..])?;
     count.parallel = fascia_core::parallel::ParallelMode::Serial;
     for scheme in [PartitionScheme::Block, PartitionScheme::Hash] {
         let cfg = DistConfig {
@@ -636,7 +744,7 @@ fn cmd_distsim(rest: &[String]) -> Result<i32, CliError> {
             r.imbalance(ranks)
         );
     }
-    emit_metrics(report, &count);
+    emit_observability(&obs, &count)?;
     Ok(EXIT_OK)
 }
 

@@ -389,3 +389,193 @@ fn motifs_scan_size_four() {
     let rows = text.lines().filter(|l| !l.starts_with('#')).count();
     assert_eq!(rows, 2, "got: {text}");
 }
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("fascia_cli_obs_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}-{name}", std::process::id()))
+}
+
+#[test]
+fn trace_flag_writes_valid_perfetto_json() {
+    use fascia_core::resilience::Json;
+    let path = tmp_path("run.trace.json");
+    std::fs::remove_file(&path).ok();
+    let out = fascia()
+        .args(["count", "circuit", "U5-2", "--iters", "20", "--seed", "9"])
+        .arg("--trace")
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("trace:"), "missing trace summary: {stderr}");
+
+    // The exported document must parse with the same depth-capped parser
+    // that guards checkpoint resume, be a top-level array, and keep
+    // timestamps monotone within each thread track.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let doc = Json::parse(&text).expect("trace file parses");
+    let events = doc.as_arr().expect("top level is an array");
+    assert!(!events.is_empty());
+    let mut last_ts: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    let mut names: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for ev in events {
+        let obj = ev.as_obj().expect("event object");
+        for key in ["name", "ph", "pid", "tid", "ts"] {
+            assert!(Json::get(obj, key).is_some(), "missing {key}");
+        }
+        names.insert(
+            Json::get(obj, "name")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string(),
+        );
+        let tid = Json::get(obj, "tid").and_then(Json::as_u64).unwrap();
+        let ts = Json::get(obj, "ts").and_then(Json::as_f64).unwrap();
+        let prev = last_ts.insert(tid, ts).unwrap_or(f64::NEG_INFINITY);
+        assert!(ts >= prev, "ts not monotone on tid {tid}");
+    }
+    assert!(names.contains("iteration"), "{names:?}");
+    assert!(names.contains("wave"), "{names:?}");
+    assert!(names.iter().any(|n| n.starts_with("dp.n")), "{names:?}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn heartbeat_file_has_stable_shape() {
+    use fascia_core::resilience::Json;
+    let path = tmp_path("run.heartbeat.json");
+    std::fs::remove_file(&path).ok();
+    let out = fascia()
+        .args(["count", "circuit", "U3-1", "--iters", "40", "--seed", "3"])
+        .arg("--heartbeat")
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = std::fs::read_to_string(&path).expect("heartbeat written");
+    let doc = Json::parse(&text).expect("heartbeat parses");
+    let obj = doc.as_obj().expect("heartbeat is an object");
+    assert_eq!(
+        Json::get(obj, "schema").and_then(Json::as_str),
+        Some("fascia-heartbeat/1")
+    );
+    assert_eq!(
+        Json::get(obj, "status").and_then(Json::as_str),
+        Some("finished")
+    );
+    assert_eq!(
+        Json::get(obj, "stop_cause").and_then(Json::as_str),
+        Some("completed")
+    );
+    assert_eq!(
+        Json::get(obj, "iterations_done").and_then(Json::as_u64),
+        Some(40)
+    );
+    assert_eq!(Json::get(obj, "budget").and_then(Json::as_u64), Some(40));
+    for key in [
+        "pid",
+        "phase",
+        "percent",
+        "estimate",
+        "elapsed_secs",
+        "updates",
+    ] {
+        assert!(Json::get(obj, key).is_some(), "missing {key}: {text}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn metrics_prom_emits_exposition_format() {
+    let out = fascia()
+        .args([
+            "count",
+            "circuit",
+            "U3-1",
+            "--iters",
+            "30",
+            "--seed",
+            "5",
+            "--metrics",
+            "prom",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("# TYPE"), "missing TYPE lines: {text}");
+    assert!(
+        text.contains("_bucket{le=\"+Inf\"}"),
+        "missing +Inf bucket: {text}"
+    );
+    assert!(text.contains("_sum"), "missing _sum: {text}");
+    assert!(text.contains("_count"), "missing _count: {text}");
+}
+
+#[test]
+fn metrics_json_carries_run_metadata_and_trace_summary() {
+    let out = fascia()
+        .args([
+            "count",
+            "circuit",
+            "U3-1",
+            "--iters",
+            "25",
+            "--seed",
+            "7",
+            "--metrics",
+            "json",
+            "--trace-buffer",
+            "4096",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    let line = text
+        .lines()
+        .find(|l| l.contains("fascia-obs/1"))
+        .expect("metrics JSON line");
+    for key in [
+        "\"run\"",
+        "\"started_unix_ms\"",
+        "\"wall_ms\"",
+        "\"threads\"",
+        "\"parallel\"",
+        "fascia-trace/1",
+        "\"ring_capacity\":4096",
+    ] {
+        assert!(line.contains(key), "missing {key}: {line}");
+    }
+}
+
+#[test]
+fn trace_does_not_change_the_estimate() {
+    let plain = fascia()
+        .args(["count", "circuit", "U3-1", "--iters", "60", "--seed", "11"])
+        .output()
+        .unwrap();
+    assert!(plain.status.success());
+    let path = tmp_path("identity.trace.json");
+    std::fs::remove_file(&path).ok();
+    let traced = fascia()
+        .args(["count", "circuit", "U3-1", "--iters", "60", "--seed", "11"])
+        .arg("--trace")
+        .arg(&path)
+        // Tiny buffer: overflow must also leave the result untouched.
+        .args(["--trace-buffer", "8"])
+        .output()
+        .unwrap();
+    assert!(traced.status.success());
+    std::fs::remove_file(&path).ok();
+    let line = |out: &[u8]| {
+        String::from_utf8_lossy(out)
+            .lines()
+            .find(|l| l.starts_with("estimate: "))
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(line(&plain.stdout), line(&traced.stdout));
+}

@@ -29,13 +29,15 @@
 use crate::coloring::{iteration_seed, random_coloring};
 use crate::metrics::{CutMetrics, RunMetrics, TriangleMetrics};
 use crate::parallel::ParallelMode;
+use crate::progress::{Progress, ProgressSnapshot};
 use crate::resilience::{
     CancelToken, Checkpoint, CheckpointConfig, FaultInjection, StopCause, POLL_INTERVAL,
 };
 use crate::stats::{EstimateStats, StopRule, Welford};
+use crate::trace::RunTrace;
 use fascia_combin::{colorful_probability, BinomialTable, ColorSetIter, SplitTable};
 use fascia_graph::Graph;
-use fascia_obs::{Metrics, SpanTimer};
+use fascia_obs::{Metrics, SpanTimer, Tracer};
 use fascia_table::{
     projected_bytes, AnyTable, CountTable, DenseTable, HashCountTable, LazyTable, Rows, TableKind,
 };
@@ -110,6 +112,22 @@ pub struct CountConfig {
     /// Write a [`Checkpoint`] file at wave barriers (and once more when
     /// the run ends, however it ends), enabling `--resume`.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Optional flight recorder. When present the engine records the run's
+    /// *timeline* — per-iteration and per-wave spans, per-subtemplate DP
+    /// spans, table build/fallback instants, checkpoint flush/resume,
+    /// cancellation and panic-retry events — into per-thread lock-free
+    /// rings (see the `trace` module for the event taxonomy). Export with
+    /// [`Tracer::to_chrome_json`] (Perfetto-loadable) or embed
+    /// [`Tracer::summary_json`] in the metrics report. `None` costs one
+    /// pointer check per site; ring overflow increments a drop counter and
+    /// never changes a counting result.
+    pub tracer: Option<Arc<Tracer>>,
+    /// Optional live-progress reporter, driven at wave barriers with the
+    /// iteration count, running estimate, and (for adaptive rules) the
+    /// current relative CI half-width. Used by the CLI for the stderr
+    /// progress line and the `--heartbeat` status file. Ignored by
+    /// [`rooted_counts`] (which traces, but reports no scalar progress).
+    pub progress: Option<Arc<Progress>>,
     /// Resume from a previously saved checkpoint: its per-iteration series
     /// seeds the estimator and the run continues at the next iteration
     /// index. The checkpoint's fingerprint (seed, colors, template size,
@@ -170,6 +188,8 @@ impl Default for CountConfig {
             cancel: None,
             memory_budget_bytes: None,
             checkpoint: None,
+            tracer: None,
+            progress: None,
             resume: None,
             fault: FaultInjection::default(),
         }
@@ -362,6 +382,7 @@ pub fn rooted_counts(
     let pt = PartitionTree::build_with_root(t, orbit, cfg.strategy)?;
     let ctx = DpContext::new(t, &pt, k);
     let rm = RunMetrics::resolve(cfg.metrics.as_deref(), &pt);
+    let tr = RunTrace::resolve(cfg.tracer.as_ref(), &pt);
     let start = Instant::now();
     let rule = cfg.stop_rule();
     let budget = rule.budget().max(1);
@@ -386,8 +407,11 @@ pub fn rooted_counts(
 
     let run_attempt = |i: usize, inner: bool, seed: u64| -> Result<Vec<f64>, CountError> {
         let iter_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.iteration_ns));
+        let iter_tspan = RunTrace::span_opt(tr.as_ref(), |t| t.iteration, i as u64);
         let col_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.coloring_ns));
+        let col_tspan = RunTrace::span_opt(tr.as_ref(), |t| t.coloring, i as u64);
         let coloring = random_coloring(g.num_vertices(), k, iteration_seed(seed, i as u64));
+        drop(col_tspan);
         drop(col_span);
         let out = dispatch_iteration(
             g,
@@ -402,7 +426,9 @@ pub fn rooted_counts(
             cancel.as_ref(),
             true,
             rm.as_ref(),
+            tr.as_ref(),
         )?;
+        drop(iter_tspan);
         drop(iter_span);
         if let Some(m) = rm.as_ref() {
             m.iterations_total.inc();
@@ -434,6 +460,7 @@ pub fn rooted_counts(
                     m.iterations_poisoned.inc();
                     m.iterations_retried.inc();
                 }
+                RunTrace::instant_opt(tr.as_ref(), |t| t.panic_retry, i as u64);
                 match catch_unwind(AssertUnwindSafe(|| {
                     run_attempt(i, inner, cfg.seed ^ RETRY_SEED_SALT)
                 })) {
@@ -463,6 +490,7 @@ pub fn rooted_counts(
         } else {
             (done + check_interval).min(budget)
         };
+        let wave_tspan = RunTrace::span_opt(tr.as_ref(), |t| t.wave, (target - done) as u64);
         let wave: Vec<Result<Vec<f64>, CountError>> = match mode {
             ParallelMode::OuterLoop => (done..target)
                 .into_par_iter()
@@ -475,6 +503,7 @@ pub fn rooted_counts(
             ParallelMode::InnerLoop => (done..target).map(|i| run_one(i, true)).collect(),
             _ => (done..target).map(|i| run_one(i, false)).collect(),
         };
+        drop(wave_tspan);
         let cancelled = cancel.as_ref().is_some_and(|c| c.is_cancelled())
             || wave.iter().any(|r| matches!(r, Err(CountError::Cancelled)));
         if cancelled {
@@ -482,6 +511,7 @@ pub fn rooted_counts(
                 .as_ref()
                 .and_then(|c| c.cause())
                 .unwrap_or(StopCause::Cancelled);
+            RunTrace::instant_opt(tr.as_ref(), |t| t.cancelled, sums.len() as u64);
             break;
         }
         for r in wave {
@@ -558,6 +588,7 @@ fn count_impl(
     let pt = PartitionTree::build(t, cfg.strategy)?;
     let ctx = DpContext::new(t, &pt, k);
     let rm = RunMetrics::resolve(cfg.metrics.as_deref(), &pt);
+    let tr = RunTrace::resolve(cfg.tracer.as_ref(), &pt);
     let alpha = automorphisms(t);
     let p = colorful_probability(k, t.size());
     let scale = p * alpha as f64;
@@ -584,6 +615,9 @@ fn count_impl(
         }
         None => &[],
     };
+    if cfg.resume.is_some() {
+        RunTrace::instant_opt(tr.as_ref(), |t| t.checkpoint_resume, resumed.len() as u64);
+    }
 
     let fault = cfg.fault;
     // A fault that cancels needs a token even when the caller passed none.
@@ -617,8 +651,11 @@ fn count_impl(
 
     let run_attempt = |i: usize, inner: bool, seed: u64| -> Result<(f64, usize), CountError> {
         let iter_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.iteration_ns));
+        let iter_tspan = RunTrace::span_opt(tr.as_ref(), |t| t.iteration, i as u64);
         let col_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.coloring_ns));
+        let col_tspan = RunTrace::span_opt(tr.as_ref(), |t| t.coloring, i as u64);
         let coloring = random_coloring(g.num_vertices(), k, iteration_seed(seed, i as u64));
+        drop(col_tspan);
         drop(col_span);
         let out = dispatch_iteration(
             g,
@@ -633,7 +670,9 @@ fn count_impl(
             cancel.as_ref(),
             false,
             rm.as_ref(),
+            tr.as_ref(),
         )?;
+        drop(iter_tspan);
         drop(iter_span);
         if let Some(m) = rm.as_ref() {
             m.iterations_total.inc();
@@ -670,6 +709,7 @@ fn count_impl(
                     m.iterations_poisoned.inc();
                     m.iterations_retried.inc();
                 }
+                RunTrace::instant_opt(tr.as_ref(), |t| t.panic_retry, i as u64);
                 match catch_unwind(AssertUnwindSafe(|| {
                     run_attempt(i, inner, cfg.seed ^ RETRY_SEED_SALT)
                 })) {
@@ -683,6 +723,8 @@ fn count_impl(
         let Some(ckcfg) = &cfg.checkpoint else {
             return Ok(());
         };
+        let _flush_tspan =
+            RunTrace::span_opt(tr.as_ref(), |t| t.checkpoint_flush, raw.len() as u64);
         let peak_one = raw.iter().map(|&(_, b)| b).max().unwrap_or(0);
         let peak = match mode {
             ParallelMode::OuterLoop | ParallelMode::Hybrid => {
@@ -722,6 +764,22 @@ fn count_impl(
         raw.push((x, 0));
     }
     let resumed_iterations = resumed.len();
+    // One status snapshot per wave barrier, shared by the progress line,
+    // the heartbeat file, and the final report.
+    let target_rel = match &rule {
+        StopRule::RelativeError { epsilon, .. } => Some(*epsilon),
+        _ => None,
+    };
+    let snapshot = |stream: &Welford, done: usize, cause: Option<StopCause>| ProgressSnapshot {
+        done,
+        budget,
+        estimate: stream.mean(),
+        ci_rel: (stream.count() >= 2 && stream.mean() != 0.0)
+            .then(|| stream.ci_half_width(rule.z()) / stream.mean().abs()),
+        target_rel,
+        elapsed: start.elapsed(),
+        stop_cause: cause,
+    };
     let mut cause = StopCause::Completed;
     let mut waves_since_flush = 0usize;
     loop {
@@ -739,6 +797,7 @@ fn count_impl(
         } else {
             (done + check_interval).min(budget)
         };
+        let wave_tspan = RunTrace::span_opt(tr.as_ref(), |t| t.wave, (target - done) as u64);
         let wave: Vec<Result<(f64, usize), CountError>> = match mode {
             ParallelMode::OuterLoop => (done..target)
                 .into_par_iter()
@@ -751,6 +810,7 @@ fn count_impl(
             ParallelMode::InnerLoop => (done..target).map(|i| run_one(i, true)).collect(),
             _ => (done..target).map(|i| run_one(i, false)).collect(),
         };
+        drop(wave_tspan);
         // A cancelled wave is discarded whole, so the surviving series is
         // always the contiguous iteration prefix a checkpoint describes.
         let cancelled = cancel.as_ref().is_some_and(|c| c.is_cancelled())
@@ -760,6 +820,7 @@ fn count_impl(
                 .as_ref()
                 .and_then(|c| c.cause())
                 .unwrap_or(StopCause::Cancelled);
+            RunTrace::instant_opt(tr.as_ref(), |t| t.cancelled, raw.len() as u64);
             break;
         }
         for r in wave {
@@ -776,6 +837,17 @@ fn count_impl(
                 m.adaptive_ci
                     .set(stream.ci_half_width(rule.z()).round() as u64);
             }
+        }
+        if let Some(t) = tr.as_ref() {
+            if rule.is_adaptive() {
+                if let Some(ci_rel) = snapshot(&stream, raw.len(), None).ci_rel {
+                    t.tracer
+                        .sample(t.adaptive_ci, (ci_rel * 1000.0).round() as u64);
+                }
+            }
+        }
+        if let Some(p) = &cfg.progress {
+            p.wave(&snapshot(&stream, raw.len(), None));
         }
         if let Some(ckcfg) = &cfg.checkpoint {
             waves_since_flush += 1;
@@ -796,8 +868,12 @@ fn count_impl(
     }
     // The final flush runs however the loop ended, so even an
     // immediately-cancelled run leaves a valid (possibly zero-iteration)
-    // resume file behind.
+    // resume file behind. The progress reporter likewise always sees the
+    // terminal snapshot (and terminates its stderr line).
     flush_checkpoint(&raw)?;
+    if let Some(p) = &cfg.progress {
+        p.finish(&snapshot(&stream, raw.len(), Some(cause)));
+    }
     if raw.is_empty() {
         return Err(CountError::Cancelled);
     }
@@ -984,6 +1060,30 @@ struct IterationOutput {
     root_row_sums: Option<Vec<f64>>,
 }
 
+/// Records the flight-recorder instants for one materialized DP table: a
+/// `table.build` with the table's byte size, plus a `table.fallback` with
+/// the number of ladder steps the budget gate descended whenever the
+/// chosen layout differs from the preferred one.
+#[inline]
+fn record_table_trace(
+    tr: Option<&RunTrace>,
+    gated: bool,
+    preferred: TableKind,
+    chosen: TableKind,
+    bytes: usize,
+) {
+    let Some(t) = tr else { return };
+    t.tracer.instant(t.table_build, bytes as u64);
+    if gated && chosen != preferred {
+        let steps = preferred
+            .ladder()
+            .iter()
+            .position(|&k| k == chosen)
+            .unwrap_or(0) as u64;
+        t.tracer.instant(t.table_fallback, steps);
+    }
+}
+
 /// Monomorphization dispatch on the table layout. Budgeted runs pick a
 /// layout per subtemplate at run time, so they go through the
 /// layout-erased [`AnyTable`] instead of a concrete monomorphization.
@@ -1001,6 +1101,7 @@ fn dispatch_iteration(
     cancel: Option<&CancelToken>,
     want_row_sums: bool,
     rm: Option<&RunMetrics>,
+    tr: Option<&RunTrace>,
 ) -> Result<IterationOutput, CountError> {
     if gate.is_some() {
         return run_iteration::<AnyTable>(
@@ -1016,6 +1117,7 @@ fn dispatch_iteration(
             cancel,
             want_row_sums,
             rm,
+            tr,
         );
     }
     match kind {
@@ -1032,6 +1134,7 @@ fn dispatch_iteration(
             cancel,
             want_row_sums,
             rm,
+            tr,
         ),
         TableKind::Lazy => run_iteration::<LazyTable>(
             g,
@@ -1046,6 +1149,7 @@ fn dispatch_iteration(
             cancel,
             want_row_sums,
             rm,
+            tr,
         ),
         TableKind::Hash => run_iteration::<HashCountTable>(
             g,
@@ -1060,6 +1164,7 @@ fn dispatch_iteration(
             cancel,
             want_row_sums,
             rm,
+            tr,
         ),
     }
 }
@@ -1079,6 +1184,7 @@ fn run_iteration<T: CountTable>(
     cancel: Option<&CancelToken>,
     want_row_sums: bool,
     rm: Option<&RunMetrics>,
+    tr: Option<&RunTrace>,
 ) -> Result<IterationOutput, CountError> {
     let n = g.num_vertices();
     let mut stored: Vec<Option<Stored<T>>> = Vec::new();
@@ -1110,6 +1216,7 @@ fn run_iteration<T: CountTable>(
         let node = &pt.nodes()[idx as usize];
         let cid = node.canon_id as usize;
         let _node_span = SpanTimer::start_opt(rm.and_then(|m| m.node_ns[idx as usize].as_deref()));
+        let _node_tspan = RunTrace::node_span_opt(tr, idx as usize);
         match node.kind {
             NodeKind::Vertex => {
                 let label = labels.map(|_| t.label(node.root));
@@ -1154,6 +1261,7 @@ fn run_iteration<T: CountTable>(
                 );
                 let kind = pick(&rows, ctx.nc[3], live_bytes)?;
                 let table = T::from_rows_kind(kind, n, ctx.nc[3], rows);
+                record_table_trace(tr, gate.is_some(), preferred, kind, table.bytes());
                 live_bytes += table.bytes();
                 peak_bytes = peak_bytes.max(live_bytes);
                 if let Some(m) = rm {
@@ -1192,6 +1300,7 @@ fn run_iteration<T: CountTable>(
                 let nc_h = ctx.nc[node.size as usize];
                 let kind = pick(&rows, nc_h, live_bytes)?;
                 let table = T::from_rows_kind(kind, n, nc_h, rows);
+                record_table_trace(tr, gate.is_some(), preferred, kind, table.bytes());
                 live_bytes += table.bytes();
                 peak_bytes = peak_bytes.max(live_bytes);
                 if let Some(m) = rm {

@@ -39,14 +39,19 @@ pub mod gdd;
 pub(crate) mod metrics;
 pub mod motifs;
 pub mod parallel;
+pub mod progress;
 pub mod resilience;
 pub mod sample;
 pub mod stats;
+pub(crate) mod trace;
 
 pub use engine::{
     count_template, count_template_labeled, rooted_counts, CountConfig, CountError, CountResult,
 };
 pub use parallel::ParallelMode;
-pub use resilience::{CancelToken, Checkpoint, CheckpointConfig, FaultInjection, StopCause};
+pub use progress::{Progress, ProgressConfig, ProgressSnapshot};
+pub use resilience::{
+    atomic_write, CancelToken, Checkpoint, CheckpointConfig, FaultInjection, Json, StopCause,
+};
 pub use sample::sample_embeddings;
 pub use stats::{count_until_converged, normal_quantile, EstimateStats, StopRule, Welford};

@@ -1,0 +1,339 @@
+//! Live run progress: a stderr progress line for interactive runs and a
+//! machine-readable heartbeat file for external supervisors.
+//!
+//! Both layers ride on the same wave-barrier events the flight recorder
+//! sees: the engine calls [`Progress::wave`] after every wave of
+//! iterations and [`Progress::finish`] when the run ends (however it
+//! ends). Updates are throttled to [`ProgressConfig::min_interval`] so a
+//! run with thousands of cheap waves never turns the progress layer into
+//! a hot path — except the first and final update, which always emit so
+//! short runs still leave a heartbeat behind.
+//!
+//! The heartbeat file is rewritten atomically (temp file + rename, the
+//! same writer discipline as checkpoints), so a watcher never reads a
+//! torn document. Schema `fascia-heartbeat/1`, additive-only:
+//!
+//! ```json
+//! {
+//!   "schema": "fascia-heartbeat/1",
+//!   "pid": u64, "phase": "counting", "status": "running" | "finished",
+//!   "stop_cause": "completed" | "converged" | "cancelled" | "deadline-exceeded" | null,
+//!   "iterations_done": u64, "budget": u64, "percent": f64,
+//!   "estimate": f64, "ci_rel": f64 | null, "target_rel": f64 | null,
+//!   "elapsed_secs": f64, "est_remaining_secs": f64 | null,
+//!   "updates": u64
+//! }
+//! ```
+
+use crate::resilience::{atomic_write, StopCause};
+use fascia_obs::json::ObjectWriter;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What the progress layer should do with each update.
+#[derive(Debug, Clone, Default)]
+pub struct ProgressConfig {
+    /// Rewrite a `\r`-terminated status line on stderr after qualifying
+    /// waves (for TTY runs).
+    pub stderr_line: bool,
+    /// Rewrite this file atomically with the `fascia-heartbeat/1`
+    /// document after qualifying waves.
+    pub heartbeat: Option<PathBuf>,
+    /// Minimum time between emissions (first and final always emit).
+    /// `Duration::ZERO` emits on every wave.
+    pub min_interval: Duration,
+}
+
+impl ProgressConfig {
+    /// A sensible interactive default: 200 ms between updates.
+    pub fn with_interval_default(mut self) -> Self {
+        self.min_interval = Duration::from_millis(200);
+        self
+    }
+}
+
+/// One wave-barrier status snapshot, assembled by the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgressSnapshot {
+    /// Iterations finished so far (including any resumed prefix).
+    pub done: usize,
+    /// The stop rule's iteration budget (`max_iters` for adaptive rules).
+    pub budget: usize,
+    /// Running point estimate (mean of the scaled per-iteration series).
+    pub estimate: f64,
+    /// Running relative CI half-width (`ci / |estimate|`), when defined.
+    pub ci_rel: Option<f64>,
+    /// The adaptive rule's relative-error target, if the run is adaptive.
+    pub target_rel: Option<f64>,
+    /// Wall-clock since the run started.
+    pub elapsed: Duration,
+    /// Why the run stopped; `None` while still running.
+    pub stop_cause: Option<StopCause>,
+}
+
+impl ProgressSnapshot {
+    /// Estimated seconds to completion, extrapolated from the measured
+    /// per-iteration rate: to the remaining budget for fixed rules, to the
+    /// CI-implied iteration need (`done · (ci/target)²`, capped by the
+    /// budget) for adaptive rules. `None` before any iteration finishes.
+    pub fn est_remaining_secs(&self) -> Option<f64> {
+        if self.done == 0 {
+            return None;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.done as f64;
+        let remaining_iters = match (self.ci_rel, self.target_rel) {
+            (Some(ci), Some(target)) if target > 0.0 => {
+                // CI half-width shrinks as 1/sqrt(n): reaching `target`
+                // needs ~done · (ci/target)² iterations in total.
+                let needed = (self.done as f64 * (ci / target).powi(2)).ceil();
+                (needed.min(self.budget as f64) - self.done as f64).max(0.0)
+            }
+            _ => (self.budget - self.done.min(self.budget)) as f64,
+        };
+        Some(remaining_iters * per_iter)
+    }
+
+    fn render_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut line = format!("fascia: iter {}", self.done);
+        match (self.ci_rel, self.target_rel) {
+            (Some(ci), Some(target)) => {
+                let _ = write!(
+                    line,
+                    " ci ±{:.2}% (target {:.2}%, cap {})",
+                    ci * 100.0,
+                    target * 100.0,
+                    self.budget
+                );
+            }
+            _ => {
+                let pct = (100 * self.done).checked_div(self.budget).unwrap_or(0);
+                let _ = write!(line, "/{} ({pct}%)", self.budget);
+            }
+        }
+        let _ = write!(line, " elapsed {:.1}s", self.elapsed.as_secs_f64());
+        match self.stop_cause {
+            Some(cause) => {
+                let _ = write!(line, " [{}]", cause.name());
+            }
+            None => {
+                if let Some(eta) = self.est_remaining_secs() {
+                    let _ = write!(line, " eta {eta:.1}s");
+                }
+            }
+        }
+        line
+    }
+
+    fn render_heartbeat(&self, updates: u64) -> String {
+        let mut o = ObjectWriter::new();
+        o.field_str("schema", "fascia-heartbeat/1")
+            .field_u64("pid", std::process::id() as u64)
+            .field_str("phase", "counting")
+            .field_str(
+                "status",
+                if self.stop_cause.is_some() {
+                    "finished"
+                } else {
+                    "running"
+                },
+            );
+        match self.stop_cause {
+            Some(cause) => o.field_str("stop_cause", cause.name()),
+            None => o.field_raw("stop_cause", "null"),
+        };
+        o.field_u64("iterations_done", self.done as u64)
+            .field_u64("budget", self.budget as u64)
+            .field_f64(
+                "percent",
+                if self.budget > 0 {
+                    100.0 * self.done as f64 / self.budget as f64
+                } else {
+                    0.0
+                },
+            )
+            .field_f64("estimate", self.estimate);
+        match self.ci_rel {
+            Some(ci) => o.field_f64("ci_rel", ci),
+            None => o.field_raw("ci_rel", "null"),
+        };
+        match self.target_rel {
+            Some(t) => o.field_f64("target_rel", t),
+            None => o.field_raw("target_rel", "null"),
+        };
+        o.field_f64("elapsed_secs", self.elapsed.as_secs_f64());
+        match self.est_remaining_secs() {
+            Some(eta) => o.field_f64("est_remaining_secs", eta),
+            None => o.field_raw("est_remaining_secs", "null"),
+        };
+        o.field_u64("updates", updates);
+        o.finish()
+    }
+}
+
+#[derive(Debug, Default)]
+struct ProgressState {
+    last_emit: Option<Instant>,
+    updates: u64,
+    line_active: bool,
+}
+
+/// The live-progress reporter, shared with the engine through
+/// `CountConfig::progress`. All methods take `&self`; the engine calls
+/// them from the (single-threaded) wave-orchestration loop, never from
+/// per-vertex hot loops.
+#[derive(Debug, Default)]
+pub struct Progress {
+    cfg: ProgressConfig,
+    state: Mutex<ProgressState>,
+}
+
+impl Progress {
+    /// A reporter with the given outputs.
+    pub fn new(cfg: ProgressConfig) -> Self {
+        Self {
+            cfg,
+            state: Mutex::new(ProgressState::default()),
+        }
+    }
+
+    /// Heartbeat writes performed so far (first, throttled, and final).
+    pub fn updates(&self) -> u64 {
+        self.state.lock().unwrap().updates
+    }
+
+    /// Reports a wave barrier. Emits on the first call and whenever
+    /// [`ProgressConfig::min_interval`] has elapsed since the last one.
+    pub fn wave(&self, snap: &ProgressSnapshot) {
+        let mut st = self.state.lock().unwrap();
+        let due = match st.last_emit {
+            None => true,
+            Some(at) => at.elapsed() >= self.cfg.min_interval,
+        };
+        if !due {
+            return;
+        }
+        st.last_emit = Some(Instant::now());
+        st.updates += 1;
+        self.emit(&mut st, snap);
+    }
+
+    /// Reports the end of the run (any [`StopCause`]); always emits, and
+    /// terminates the stderr line with a newline so later output starts
+    /// clean.
+    pub fn finish(&self, snap: &ProgressSnapshot) {
+        let mut st = self.state.lock().unwrap();
+        st.last_emit = Some(Instant::now());
+        st.updates += 1;
+        self.emit(&mut st, snap);
+        if self.cfg.stderr_line && st.line_active {
+            eprintln!();
+            st.line_active = false;
+        }
+    }
+
+    fn emit(&self, st: &mut ProgressState, snap: &ProgressSnapshot) {
+        if self.cfg.stderr_line {
+            eprint!("\r\x1b[2K{}", snap.render_line());
+            st.line_active = true;
+        }
+        if let Some(path) = &self.cfg.heartbeat {
+            // A heartbeat failure must never fail the run: the estimate
+            // matters more than the status file.
+            let _ = atomic_write(path, &snap.render_heartbeat(st.updates));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(done: usize, budget: usize) -> ProgressSnapshot {
+        ProgressSnapshot {
+            done,
+            budget,
+            estimate: 42.5,
+            ci_rel: None,
+            target_rel: None,
+            elapsed: Duration::from_millis(500),
+            stop_cause: None,
+        }
+    }
+
+    #[test]
+    fn heartbeat_file_is_written_and_valid() {
+        let dir = std::env::temp_dir().join(format!("fascia-hb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hb.json");
+        let p = Progress::new(ProgressConfig {
+            stderr_line: false,
+            heartbeat: Some(path.clone()),
+            min_interval: Duration::ZERO,
+        });
+        p.wave(&snap(3, 10));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"schema\":\"fascia-heartbeat/1\""));
+        assert!(text.contains("\"iterations_done\":3"));
+        assert!(text.contains("\"status\":\"running\""));
+        assert!(text.contains("\"stop_cause\":null"));
+        let mut fin = snap(10, 10);
+        fin.stop_cause = Some(StopCause::Completed);
+        p.finish(&fin);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"status\":\"finished\""));
+        assert!(text.contains("\"stop_cause\":\"completed\""));
+        assert!(text.contains("\"percent\":100"));
+        assert_eq!(p.updates(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn throttling_skips_rapid_waves_but_finish_always_emits() {
+        let p = Progress::new(ProgressConfig {
+            stderr_line: false,
+            heartbeat: None,
+            min_interval: Duration::from_secs(3600),
+        });
+        p.wave(&snap(1, 10)); // first: emits
+        p.wave(&snap(2, 10)); // throttled
+        p.wave(&snap(3, 10)); // throttled
+        assert_eq!(p.updates(), 1);
+        let mut fin = snap(10, 10);
+        fin.stop_cause = Some(StopCause::Converged);
+        p.finish(&fin);
+        assert_eq!(p.updates(), 2);
+    }
+
+    #[test]
+    fn eta_extrapolates_fixed_and_adaptive() {
+        // Fixed: 5 of 10 done in 0.5s -> 0.5s remaining.
+        let eta = snap(5, 10).est_remaining_secs().unwrap();
+        assert!((eta - 0.5).abs() < 1e-9, "eta = {eta}");
+        // Adaptive: ci twice the target -> needs 4x the iterations.
+        let mut s = snap(5, 1000);
+        s.ci_rel = Some(0.10);
+        s.target_rel = Some(0.05);
+        let eta = s.est_remaining_secs().unwrap();
+        assert!((eta - 1.5).abs() < 1e-9, "eta = {eta}"); // 15 more iters at 0.1s
+                                                          // No iterations yet -> unknowable.
+        assert!(snap(0, 10).est_remaining_secs().is_none());
+        // Converged already -> zero.
+        s.ci_rel = Some(0.01);
+        assert_eq!(s.est_remaining_secs(), Some(0.0));
+    }
+
+    #[test]
+    fn render_line_formats_both_modes() {
+        let line = snap(5, 10).render_line();
+        assert!(line.contains("iter 5/10 (50%)"), "{line}");
+        let mut s = snap(5, 1000);
+        s.ci_rel = Some(0.062);
+        s.target_rel = Some(0.05);
+        let line = s.render_line();
+        assert!(line.contains("ci ±6.20%"), "{line}");
+        s.stop_cause = Some(StopCause::Converged);
+        assert!(s.render_line().contains("[converged]"));
+    }
+}

@@ -483,16 +483,12 @@ impl Checkpoint {
     /// Writes atomically: a sibling temp file is renamed over `path`, so
     /// a crash mid-write never leaves a truncated checkpoint behind.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        let mut tmp_name = path
-            .file_name()
-            .ok_or(CheckpointError::Invalid(
+        if path.file_name().is_none() {
+            return Err(CheckpointError::Invalid(
                 "checkpoint path needs a file name",
-            ))?
-            .to_os_string();
-        tmp_name.push(".tmp");
-        let tmp = path.with_file_name(tmp_name);
-        std::fs::write(&tmp, self.to_json())?;
-        std::fs::rename(&tmp, path)?;
+            ));
+        }
+        atomic_write(path, &self.to_json())?;
         Ok(())
     }
 
@@ -503,11 +499,29 @@ impl Checkpoint {
     }
 }
 
+/// Writes `contents` to `path` atomically: a sibling `.tmp` file is
+/// written first and renamed over the destination, so readers never see a
+/// torn or truncated document. Shared by checkpoint saves, trace export,
+/// and the heartbeat writer.
+pub fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
+    let mut tmp_name = path
+        .file_name()
+        .unwrap_or_else(|| std::ffi::OsStr::new("out"))
+        .to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
 /// A parsed JSON value — the read half of `fascia-obs`'s write-only JSON
-/// layer, private to checkpoint loading. Integer-valued tokens keep full
-/// `u64` precision (seeds and cursors must not round-trip through `f64`).
+/// layer. Originally private to checkpoint loading; public so the CLI and
+/// CI gates can validate the documents this crate emits (checkpoints,
+/// traces, heartbeats) with the same depth-capped parser that guards
+/// resume. Integer-valued tokens keep full `u64` precision (seeds and
+/// cursors must not round-trip through `f64`).
 #[derive(Debug)]
-enum Json {
+pub enum Json {
     Null,
     // The checkpoint schema has no boolean fields, but the parser accepts
     // the full JSON grammar so adversarial inputs fail for the right
@@ -524,7 +538,9 @@ enum Json {
 const MAX_JSON_DEPTH: usize = 32;
 
 impl Json {
-    fn parse(text: &str) -> Result<Json, CheckpointError> {
+    /// Parses a complete JSON document (depth-capped, full `u64`
+    /// precision for integer tokens).
+    pub fn parse(text: &str) -> Result<Json, CheckpointError> {
         let mut p = JsonParser {
             b: text.as_bytes(),
             pos: 0,
@@ -537,39 +553,45 @@ impl Json {
         Ok(v)
     }
 
-    fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    /// Looks up `key` in a parsed object's field list.
+    pub fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
         obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
-    fn as_obj(&self) -> Option<&[(String, Json)]> {
+    /// The object's fields, if this value is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
         match self {
             Json::Obj(o) => Some(o),
             _ => None,
         }
     }
 
-    fn as_arr(&self) -> Option<&[Json]> {
+    /// The array's elements, if this value is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(a) => Some(a),
             _ => None,
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    /// The string value, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    fn as_u64(&self) -> Option<u64> {
+    /// The exact integer value, if this value is a non-negative integer token.
+    pub fn as_u64(&self) -> Option<u64> {
         match *self {
             Json::UInt(n) => Some(n),
             _ => None,
         }
     }
 
-    fn as_f64(&self) -> Option<f64> {
+    /// The numeric value (integers widen), if this value is a number.
+    pub fn as_f64(&self) -> Option<f64> {
         match *self {
             Json::UInt(n) => Some(n as f64),
             Json::Num(x) => Some(x),

@@ -1,0 +1,144 @@
+//! Engine-side trace-name resolution — the flight-recorder counterpart of
+//! the `metrics` module.
+//!
+//! Interning a trace name takes a short mutex, so the engine does it
+//! exactly once per counting run, before any iteration starts. The hot
+//! loops then carry an `Option<&RunTrace>`: with tracing absent this is
+//! `None` and each site costs a single pointer check; with tracing present
+//! each event is a lock-free push into the recording thread's ring.
+//!
+//! # Event taxonomy
+//!
+//! | name | kind | meaning |
+//! |------|------|---------|
+//! | `iteration` | span | one full color-coding iteration (arg = iteration index) |
+//! | `coloring` | span | the random-coloring phase of an iteration |
+//! | `wave` | span | one wave of iterations between barriers (arg = wave size) |
+//! | `dp.n<idx>.<kind><size>` | span | one subtemplate's DP pass (one name per partition node) |
+//! | `table.build` | instant | a DP table was materialized (arg = table bytes) |
+//! | `table.fallback` | instant | the memory-budget gate degraded the layout (arg = ladder steps) |
+//! | `checkpoint.flush` | span | a checkpoint file write |
+//! | `checkpoint.resume` | instant | the run resumed from a checkpoint (arg = iterations replayed) |
+//! | `cancelled` | instant | cooperative cancellation was observed at a barrier |
+//! | `panic.retry` | instant | a poisoned iteration was retried (arg = iteration index) |
+//! | `adaptive.ci_permille` | counter | running relative CI half-width, in ‰ of the estimate |
+//!
+//! Span `tid`s are [`fascia_obs::thread_slot`] values, so a trace's
+//! per-thread tracks line up with the per-shard breakdowns of the sharded
+//! counters in the same run's metrics report.
+
+use fascia_obs::{NameId, TraceSpan, Tracer};
+use fascia_template::partition::NodeKind;
+use fascia_template::PartitionTree;
+use std::sync::Arc;
+
+/// All trace-name handles one counting run needs, interned up front.
+pub(crate) struct RunTrace {
+    pub tracer: Arc<Tracer>,
+    pub iteration: NameId,
+    pub coloring: NameId,
+    pub wave: NameId,
+    /// Per-subtemplate span name, indexed by partition-node id (`None`
+    /// for nodes outside the unique evaluation order).
+    pub node: Vec<Option<NameId>>,
+    pub table_build: NameId,
+    pub table_fallback: NameId,
+    pub checkpoint_flush: NameId,
+    pub checkpoint_resume: NameId,
+    pub cancelled: NameId,
+    pub panic_retry: NameId,
+    pub adaptive_ci: NameId,
+}
+
+impl RunTrace {
+    /// Interns every name against `tracer` for the given partition tree.
+    /// Returns `None` when tracing is absent, which is what the hot loops
+    /// branch on.
+    pub(crate) fn resolve(tracer: Option<&Arc<Tracer>>, pt: &PartitionTree) -> Option<Self> {
+        let tracer = Arc::clone(tracer?);
+        let mut node: Vec<Option<NameId>> = vec![None; pt.nodes().len()];
+        for &idx in pt.unique_order() {
+            let n = &pt.nodes()[idx as usize];
+            let kind = match n.kind {
+                NodeKind::Vertex => "vertex",
+                NodeKind::Triangle { .. } => "triangle",
+                NodeKind::Cut { .. } => "cut",
+            };
+            let name = format!("dp.n{idx:02}.{kind}{}", n.size);
+            node[idx as usize] = Some(tracer.intern(&name));
+        }
+        Some(Self {
+            iteration: tracer.intern("iteration"),
+            coloring: tracer.intern("coloring"),
+            wave: tracer.intern("wave"),
+            node,
+            table_build: tracer.intern("table.build"),
+            table_fallback: tracer.intern("table.fallback"),
+            checkpoint_flush: tracer.intern("checkpoint.flush"),
+            checkpoint_resume: tracer.intern("checkpoint.resume"),
+            cancelled: tracer.intern("cancelled"),
+            panic_retry: tracer.intern("panic.retry"),
+            adaptive_ci: tracer.intern("adaptive.ci_permille"),
+            tracer,
+        })
+    }
+
+    /// Starts a span if tracing is on — the engine's idiom for optional
+    /// instrumentation (`None` costs one branch).
+    #[inline]
+    pub(crate) fn span_opt<'a>(
+        tr: Option<&'a RunTrace>,
+        pick: impl FnOnce(&RunTrace) -> NameId,
+        arg: u64,
+    ) -> Option<TraceSpan<'a>> {
+        tr.map(|t| t.tracer.span_arg(pick(t), arg))
+    }
+
+    /// Starts the per-subtemplate span for partition node `idx`, if both
+    /// tracing and the node's name are present.
+    #[inline]
+    pub(crate) fn node_span_opt<'a>(tr: Option<&'a RunTrace>, idx: usize) -> Option<TraceSpan<'a>> {
+        let t = tr?;
+        Some(t.tracer.span(t.node[idx]?))
+    }
+
+    /// Records an instant event if tracing is on.
+    #[inline]
+    pub(crate) fn instant_opt(
+        tr: Option<&RunTrace>,
+        pick: impl FnOnce(&RunTrace) -> NameId,
+        arg: u64,
+    ) {
+        if let Some(t) = tr {
+            t.tracer.instant(pick(t), arg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fascia_template::{PartitionStrategy, Template};
+
+    #[test]
+    fn resolve_requires_a_tracer() {
+        let t = Template::path(5);
+        let pt = PartitionTree::build(&t, PartitionStrategy::OneAtATime).unwrap();
+        assert!(RunTrace::resolve(None, &pt).is_none());
+        let tracer = Arc::new(Tracer::new());
+        let tr = RunTrace::resolve(Some(&tracer), &pt).unwrap();
+        for &idx in pt.unique_order() {
+            assert!(tr.node[idx as usize].is_some());
+        }
+        // Node names describe the subtemplate.
+        let id = tr.node[pt.unique_order()[0] as usize].unwrap();
+        assert!(tracer.name_of(id).starts_with("dp.n"));
+    }
+
+    #[test]
+    fn optional_helpers_noop_when_absent() {
+        assert!(RunTrace::span_opt(None, |t| t.iteration, 0).is_none());
+        assert!(RunTrace::node_span_opt(None, 0).is_none());
+        RunTrace::instant_opt(None, |t| t.cancelled, 0); // must not panic
+    }
+}

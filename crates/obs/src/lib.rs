@@ -17,7 +17,13 @@
 //! * [`SpanTimer`] — an RAII scope timer recording into a histogram,
 //! * [`Metrics`] — the registry that owns all of the above, explicitly
 //!   threaded through the engine (no globals), with [`Metrics::merge`] for
-//!   combining per-worker registries and stable pretty/JSON reports.
+//!   combining per-worker registries and stable pretty/JSON/Prometheus
+//!   reports,
+//! * [`Tracer`] — the flight recorder: per-thread lock-free rings of
+//!   fixed-size trace events (spans, instants, counter samples) with
+//!   Chrome trace-event JSON export and a stable `fascia-trace/1`
+//!   summary — the *when and in what order* companion to the registry's
+//!   *how much*.
 //!
 //! # Overhead discipline
 //!
@@ -33,11 +39,13 @@ pub mod histogram;
 pub mod json;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use counter::{thread_slot, Counter, Gauge, SHARDS};
 pub use histogram::Histogram;
-pub use registry::{Metrics, MetricsReport};
+pub use registry::{Metrics, MetricsReport, RunInfo};
 pub use span::SpanTimer;
+pub use trace::{EventKind, NameId, TraceEvent, TraceSpan, Tracer, TRACE_SHARDS};
 
 #[cfg(test)]
 mod tests {

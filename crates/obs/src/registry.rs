@@ -108,6 +108,16 @@ impl Metrics {
 
     /// Renders the `fascia-obs/1` JSON document (compact, keys sorted).
     pub fn to_json(&self) -> String {
+        self.to_json_full(None, None)
+    }
+
+    /// Renders the `fascia-obs/1` JSON document with optional additive
+    /// sections: a `"run"` object of self-describing run metadata (so a
+    /// saved report says when and how it was produced) and a `"trace"`
+    /// object holding an already-rendered `fascia-trace/1` summary from
+    /// [`crate::Tracer::summary_json`]. Both are additive-only schema
+    /// extensions; absent sections are simply omitted.
+    pub fn to_json_full(&self, run: Option<&RunInfo>, trace_summary: Option<&str>) -> String {
         let mut counters = ObjectWriter::new();
         for (name, c) in self.counters.lock().unwrap().iter() {
             let mut shards = c.shard_values();
@@ -149,11 +159,50 @@ impl Metrics {
             histograms.field_raw(name, &o.finish());
         }
         let mut root = ObjectWriter::new();
-        root.field_str("schema", "fascia-obs/1")
-            .field_raw("counters", &counters.finish())
+        root.field_str("schema", "fascia-obs/1");
+        if let Some(info) = run {
+            root.field_raw("run", &info.to_json());
+        }
+        root.field_raw("counters", &counters.finish())
             .field_raw("gauges", &gauges.finish())
             .field_raw("histograms", &histograms.finish());
+        if let Some(ts) = trace_summary {
+            root.field_raw("trace", ts);
+        }
         root.finish()
+    }
+
+    /// Renders every metric in the Prometheus text exposition format
+    /// (version 0.0.4): counters and gauges as single samples, histograms
+    /// as cumulative `_bucket{le="..."}` series (log2 bucket upper bounds)
+    /// plus `_sum` and `_count`. Metric names are sanitized to the
+    /// Prometheus alphabet (`.` and other separators become `_`).
+    pub fn render_prom(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.counters.lock().unwrap().iter() {
+            let p = prom_name(name);
+            let _ = writeln!(out, "# TYPE {p} counter");
+            let _ = writeln!(out, "{p} {}", c.get());
+        }
+        for (name, g) in self.gauges.lock().unwrap().iter() {
+            let p = prom_name(name);
+            let _ = writeln!(out, "# TYPE {p} gauge");
+            let _ = writeln!(out, "{p} {}", g.get());
+        }
+        for (name, h) in self.histograms.lock().unwrap().iter() {
+            let p = prom_name(name);
+            let _ = writeln!(out, "# TYPE {p} histogram");
+            let mut cum = 0u64;
+            for (le, count) in h.nonzero_buckets() {
+                cum += count;
+                // `le` is the exclusive internal bound; expose inclusive.
+                let _ = writeln!(out, "{p}_bucket{{le=\"{}\"}} {cum}", le.saturating_sub(1));
+            }
+            let _ = writeln!(out, "{p}_bucket{{le=\"+Inf\"}} {cum}");
+            let _ = writeln!(out, "{p}_sum {}", h.sum());
+            let _ = writeln!(out, "{p}_count {}", h.count());
+        }
+        out
     }
 
     /// Renders a human-readable table of every metric.
@@ -199,6 +248,50 @@ impl Metrics {
     }
 }
 
+/// Sanitizes a metric name into the Prometheus alphabet: every character
+/// outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit is prefixed.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Self-describing run metadata embedded in the `fascia-obs/1` report via
+/// [`Metrics::to_json_full`], so a saved `results/metrics/*.json` file
+/// records when and under what execution shape it was produced.
+#[derive(Debug, Clone, Default)]
+pub struct RunInfo {
+    /// Run start as milliseconds since the Unix epoch.
+    pub started_unix_ms: u64,
+    /// Wall-clock duration of the run in milliseconds.
+    pub wall_ms: u64,
+    /// Worker thread count available to the run.
+    pub threads: u64,
+    /// Parallel mode name as configured (e.g. `auto`, `outer`).
+    pub parallel: String,
+}
+
+impl RunInfo {
+    /// Renders the `"run"` JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = ObjectWriter::new();
+        o.field_u64("started_unix_ms", self.started_unix_ms)
+            .field_u64("wall_ms", self.wall_ms)
+            .field_u64("threads", self.threads)
+            .field_str("parallel", &self.parallel);
+        o.finish()
+    }
+}
+
 /// Convenience wrapper bundling a registry with how it should be reported.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetricsReport {
@@ -208,6 +301,8 @@ pub enum MetricsReport {
     Pretty,
     /// One-line `fascia-obs/1` JSON document on stdout.
     Json,
+    /// Prometheus text exposition format on stdout.
+    Prom,
 }
 
 impl MetricsReport {
@@ -217,6 +312,7 @@ impl MetricsReport {
             "off" => Some(Self::Off),
             "pretty" => Some(Self::Pretty),
             "json" => Some(Self::Json),
+            "prom" => Some(Self::Prom),
             _ => None,
         }
     }
@@ -272,7 +368,59 @@ mod tests {
         assert_eq!(MetricsReport::parse("off"), Some(MetricsReport::Off));
         assert_eq!(MetricsReport::parse("pretty"), Some(MetricsReport::Pretty));
         assert_eq!(MetricsReport::parse("json"), Some(MetricsReport::Json));
+        assert_eq!(MetricsReport::parse("prom"), Some(MetricsReport::Prom));
         assert_eq!(MetricsReport::parse("bogus"), None);
+    }
+
+    #[test]
+    fn prom_names_are_sanitized() {
+        assert_eq!(
+            prom_name("engine.iterations.total"),
+            "engine_iterations_total"
+        );
+        assert_eq!(prom_name("table.bytes-peak"), "table_bytes_peak");
+        assert_eq!(prom_name("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn prom_rendering_exposes_cumulative_buckets() {
+        let m = Metrics::new();
+        m.counter("engine.iterations.total").add(7);
+        m.gauge("table.bytes.peak").set(4096);
+        let h = m.histogram("engine.span_ns");
+        h.record(3); // bucket le=3 (internal bound 4)
+        h.record(3);
+        h.record(100); // bucket le=127
+        let p = m.render_prom();
+        assert!(p.contains("# TYPE engine_iterations_total counter\nengine_iterations_total 7\n"));
+        assert!(p.contains("# TYPE table_bytes_peak gauge\ntable_bytes_peak 4096\n"));
+        assert!(p.contains("# TYPE engine_span_ns histogram"));
+        assert!(p.contains("engine_span_ns_bucket{le=\"3\"} 2"));
+        assert!(
+            p.contains("engine_span_ns_bucket{le=\"127\"} 3"),
+            "buckets are cumulative:\n{p}"
+        );
+        assert!(p.contains("engine_span_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(p.contains("engine_span_ns_sum 106"));
+        assert!(p.contains("engine_span_ns_count 3"));
+    }
+
+    #[test]
+    fn json_full_embeds_run_info_and_trace_summary() {
+        let m = Metrics::new();
+        m.counter("c").inc();
+        let info = RunInfo {
+            started_unix_ms: 1_700_000_000_000,
+            wall_ms: 1234,
+            threads: 8,
+            parallel: "outer".to_string(),
+        };
+        let j = m.to_json_full(Some(&info), Some("{\"schema\":\"fascia-trace/1\"}"));
+        assert!(j.contains("\"run\":{\"started_unix_ms\":1700000000000"));
+        assert!(j.contains("\"parallel\":\"outer\""));
+        assert!(j.contains("\"trace\":{\"schema\":\"fascia-trace/1\"}"));
+        // The plain document stays unchanged (additive-only schema).
+        assert!(!m.to_json().contains("\"run\""));
     }
 
     #[test]

@@ -1,0 +1,562 @@
+//! The flight recorder: per-thread lock-free rings of fixed-size trace
+//! events with Chrome-trace export.
+//!
+//! Where [`crate::Metrics`] answers *how much* (counters, distributions),
+//! the [`Tracer`] answers *when and in what order*: a bounded, allocation-
+//! free timeline of span, instant, and counter-sample events that can be
+//! dumped to Chrome trace-event JSON (loadable in Perfetto or
+//! `chrome://tracing`) or summarized into a stable `fascia-trace/1`
+//! document.
+//!
+//! # Hot-path discipline
+//!
+//! Recording an event is: one `thread_local` slot read, one relaxed
+//! `fetch_add` to claim a ring index, and four relaxed stores — never a
+//! lock, never an allocation. Names are interned up front (a short mutex,
+//! once per run, mirroring how the engine resolves metric handles), so the
+//! hot path carries a `u32` [`NameId`]. Memory is bounded by construction:
+//! each per-thread ring holds a fixed number of fixed-size slots, and an
+//! event that arrives after its ring is full is *dropped and counted*
+//! (see [`Tracer::dropped`]) rather than allocated or overwritten —
+//! keeping the recorded prefix of every thread's timeline intact.
+//!
+//! As with `Metrics`, a `Tracer` is optional everywhere it appears: the
+//! engine resolves `Option<Tracer>` once per run, and an absent tracer
+//! costs a single pointer check per site.
+
+use crate::counter::{thread_slot, Counter};
+use crate::json::{array_of, ObjectWriter};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Number of per-thread event rings. Matches [`crate::SHARDS`] so a trace
+/// event's `tid` and a sharded counter's slot index identify the same
+/// thread: more threads than this wrap around and share rings.
+pub const TRACE_SHARDS: usize = crate::SHARDS;
+
+/// Default ring capacity (events per thread slot) of [`Tracer::new`].
+/// 16 Ki events × 32 bytes × [`TRACE_SHARDS`] rings ≈ 8 MiB per tracer.
+pub const DEFAULT_RING_CAPACITY: usize = 16 * 1024;
+
+/// Interned event-name handle; obtained from [`Tracer::intern`] once per
+/// run and carried through hot loops instead of the string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NameId(u32);
+
+/// What a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A timed scope: `ts_ns` is the start, `dur_ns` the length
+    /// (Chrome phase `X`, a "complete" event).
+    Span,
+    /// A point in time (Chrome phase `i`).
+    Instant,
+    /// A sampled value at a point in time (Chrome phase `C`); the sample
+    /// is in `arg`.
+    CounterSample,
+}
+
+impl EventKind {
+    fn from_u8(v: u8) -> EventKind {
+        match v {
+            0 => EventKind::Span,
+            1 => EventKind::Instant,
+            _ => EventKind::CounterSample,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            EventKind::Span => 0,
+            EventKind::Instant => 1,
+            EventKind::CounterSample => 2,
+        }
+    }
+
+    /// Chrome trace-event phase letter.
+    pub fn phase(self) -> &'static str {
+        match self {
+            EventKind::Span => "X",
+            EventKind::Instant => "i",
+            EventKind::CounterSample => "C",
+        }
+    }
+}
+
+/// One drained trace event (the export-side view of a ring slot).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Interned name; resolve through [`Tracer::name_of`].
+    pub name: NameId,
+    /// Event flavor.
+    pub kind: EventKind,
+    /// Recording thread's stable slot id (see [`thread_slot`]); matches
+    /// the shard index of [`Counter::shard_values`] for the same thread.
+    pub tid: u32,
+    /// Nanoseconds since the tracer's epoch (span start for spans).
+    pub ts_ns: u64,
+    /// Span length in nanoseconds (0 for instants and counter samples).
+    pub dur_ns: u64,
+    /// Free-form payload: iteration index, byte count, sampled value, ...
+    pub arg: u64,
+}
+
+/// One fixed-size ring slot. Fields are atomics so concurrent writers that
+/// wrapped onto the same ring, and the export-side reader, are race-free
+/// without a lock; events are only drained after writers quiesce, so the
+/// relaxed stores of one event are never read mid-write.
+#[derive(Debug)]
+struct EventSlot {
+    /// `name (32 bits) | kind (8) | tid (16)`, packed.
+    head: AtomicU64,
+    ts_ns: AtomicU64,
+    dur_ns: AtomicU64,
+    arg: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Ring {
+    slots: Box<[EventSlot]>,
+    /// Monotone claim cursor; values past `slots.len()` are drops.
+    cursor: AtomicUsize,
+}
+
+impl Ring {
+    fn with_capacity(capacity: usize) -> Ring {
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || EventSlot {
+            head: AtomicU64::new(0),
+            ts_ns: AtomicU64::new(0),
+            dur_ns: AtomicU64::new(0),
+            arg: AtomicU64::new(0),
+        });
+        Ring {
+            slots: slots.into_boxed_slice(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    fn recorded(&self) -> usize {
+        self.cursor.load(Ordering::Relaxed).min(self.slots.len())
+    }
+}
+
+/// The flight recorder. Cheap to share (`&Tracer` / `Arc<Tracer>`); all
+/// recording methods take `&self` and are lock-free.
+///
+/// ```
+/// use fascia_obs::{EventKind, Tracer};
+///
+/// let tr = Tracer::new();
+/// let work = tr.intern("work");
+/// {
+///     let _s = tr.span(work); // records a Span event on drop
+/// }
+/// tr.instant(tr.intern("milestone"), 7);
+/// let events = tr.events();
+/// assert_eq!(events.len(), 2);
+/// assert!(events.iter().any(|e| e.kind == EventKind::Span));
+/// assert_eq!(tr.dropped(), 0);
+/// ```
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    rings: Box<[Ring]>,
+    dropped: Counter,
+    names: Mutex<Vec<String>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// A tracer with the default per-thread ring capacity.
+    pub fn new() -> Tracer {
+        Tracer::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// A tracer whose per-thread rings hold `ring_capacity` events each.
+    /// Memory is `ring_capacity × 32 bytes × TRACE_SHARDS`, fixed at
+    /// construction; events beyond a full ring are dropped and counted.
+    pub fn with_capacity(ring_capacity: usize) -> Tracer {
+        let capacity = ring_capacity.max(1);
+        let mut rings = Vec::with_capacity(TRACE_SHARDS);
+        rings.resize_with(TRACE_SHARDS, || Ring::with_capacity(capacity));
+        Tracer {
+            epoch: Instant::now(),
+            rings: rings.into_boxed_slice(),
+            dropped: Counter::new(),
+            names: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Per-thread ring capacity in events.
+    pub fn ring_capacity(&self) -> usize {
+        self.rings[0].slots.len()
+    }
+
+    /// Interns `name`, returning its stable id. Takes a short mutex —
+    /// call once per run outside hot loops, like metric-handle resolution.
+    pub fn intern(&self, name: &str) -> NameId {
+        let mut names = self.names.lock().unwrap();
+        if let Some(i) = names.iter().position(|n| n == name) {
+            return NameId(i as u32);
+        }
+        names.push(name.to_string());
+        NameId((names.len() - 1) as u32)
+    }
+
+    /// The string interned as `id` (empty if unknown).
+    pub fn name_of(&self, id: NameId) -> String {
+        self.names
+            .lock()
+            .unwrap()
+            .get(id.0 as usize)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Nanoseconds since this tracer's epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Records one event. Lock- and allocation-free: claim a slot index
+    /// with one relaxed `fetch_add`, then four relaxed stores; a claim past
+    /// the ring's end only bumps the drop counter.
+    #[inline]
+    fn push(&self, kind: EventKind, name: NameId, ts_ns: u64, dur_ns: u64, arg: u64) {
+        let tid = thread_slot();
+        let ring = &self.rings[tid % TRACE_SHARDS];
+        let i = ring.cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(slot) = ring.slots.get(i) else {
+            self.dropped.inc();
+            return;
+        };
+        let head = (name.0 as u64) << 32 | (kind.as_u8() as u64) << 16 | (tid as u64 & 0xFFFF);
+        slot.head.store(head, Ordering::Relaxed);
+        slot.ts_ns.store(ts_ns, Ordering::Relaxed);
+        slot.dur_ns.store(dur_ns, Ordering::Relaxed);
+        slot.arg.store(arg, Ordering::Relaxed);
+    }
+
+    /// Starts a span; the event records when the guard drops.
+    #[inline]
+    pub fn span(&self, name: NameId) -> TraceSpan<'_> {
+        self.span_arg(name, 0)
+    }
+
+    /// Starts a span carrying a payload (iteration index, node id, ...).
+    #[inline]
+    pub fn span_arg(&self, name: NameId, arg: u64) -> TraceSpan<'_> {
+        TraceSpan {
+            tracer: self,
+            name,
+            start_ns: self.now_ns(),
+            arg,
+        }
+    }
+
+    /// Records an instant event with a payload.
+    #[inline]
+    pub fn instant(&self, name: NameId, arg: u64) {
+        self.push(EventKind::Instant, name, self.now_ns(), 0, arg);
+    }
+
+    /// Records a counter sample: `value` at the current time.
+    #[inline]
+    pub fn sample(&self, name: NameId, value: u64) {
+        self.push(EventKind::CounterSample, name, self.now_ns(), 0, value);
+    }
+
+    /// Events recorded (committed to a ring) so far.
+    pub fn recorded(&self) -> u64 {
+        self.rings.iter().map(|r| r.recorded() as u64).sum()
+    }
+
+    /// Events dropped because their thread's ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Drains a snapshot of every recorded event, sorted by `(tid, ts)` so
+    /// each thread's timeline reads in order. Call after recording threads
+    /// quiesce (end of run); a concurrent snapshot is memory-safe but may
+    /// observe half-written trailing events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.recorded() as usize);
+        for ring in self.rings.iter() {
+            for slot in &ring.slots[..ring.recorded()] {
+                let head = slot.head.load(Ordering::Relaxed);
+                out.push(TraceEvent {
+                    name: NameId((head >> 32) as u32),
+                    kind: EventKind::from_u8((head >> 16) as u8),
+                    tid: (head & 0xFFFF) as u32,
+                    ts_ns: slot.ts_ns.load(Ordering::Relaxed),
+                    dur_ns: slot.dur_ns.load(Ordering::Relaxed),
+                    arg: slot.arg.load(Ordering::Relaxed),
+                });
+            }
+        }
+        out.sort_by_key(|e| (e.tid, e.ts_ns, e.dur_ns));
+        out
+    }
+
+    /// Renders the Chrome trace-event JSON array: one object per event
+    /// with `name`/`cat`/`ph`/`pid`/`tid`/`ts` (and `dur` for spans), `ts`
+    /// and `dur` in microseconds with nanosecond precision. Loadable
+    /// directly in Perfetto or `chrome://tracing`; events are sorted so
+    /// timestamps are monotone per `tid`.
+    pub fn to_chrome_json(&self) -> String {
+        let names = self.names.lock().unwrap().clone();
+        array_of(self.events().into_iter().map(|e| {
+            let name = names
+                .get(e.name.0 as usize)
+                .map(String::as_str)
+                .unwrap_or("?");
+            let mut o = ObjectWriter::new();
+            o.field_str("name", name)
+                .field_str("cat", "fascia")
+                .field_str("ph", e.kind.phase())
+                .field_u64("pid", 1)
+                .field_u64("tid", e.tid as u64)
+                .field_f64("ts", e.ts_ns as f64 / 1000.0);
+            if e.kind == EventKind::Span {
+                o.field_f64("dur", e.dur_ns as f64 / 1000.0);
+            }
+            if e.kind == EventKind::Instant {
+                // Thread-scoped instant marker.
+                o.field_str("s", "t");
+            }
+            let mut args = ObjectWriter::new();
+            match e.kind {
+                EventKind::CounterSample => args.field_u64("value", e.arg),
+                _ => args.field_u64("arg", e.arg),
+            };
+            o.field_raw("args", &args.finish());
+            o.finish()
+        }))
+    }
+
+    /// Renders the stable `fascia-trace/1` summary document: event totals
+    /// by kind, drop accounting, ring capacity, and the per-span-name
+    /// wall-clock breakdown (`count` and `total_ns` per name, keys
+    /// sorted). Additive-only, like `fascia-obs/1`.
+    pub fn summary_json(&self) -> String {
+        let names = self.names.lock().unwrap().clone();
+        let events = self.events();
+        let (mut spans, mut instants, mut samples) = (0u64, 0u64, 0u64);
+        let mut phases: std::collections::BTreeMap<&str, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for e in &events {
+            match e.kind {
+                EventKind::Span => {
+                    spans += 1;
+                    let name = names
+                        .get(e.name.0 as usize)
+                        .map(String::as_str)
+                        .unwrap_or("?");
+                    let entry = phases.entry(name).or_insert((0, 0));
+                    entry.0 += 1;
+                    entry.1 += e.dur_ns;
+                }
+                EventKind::Instant => instants += 1,
+                EventKind::CounterSample => samples += 1,
+            }
+        }
+        let mut ev = ObjectWriter::new();
+        ev.field_u64("recorded", events.len() as u64)
+            .field_u64("dropped", self.dropped())
+            .field_u64("spans", spans)
+            .field_u64("instants", instants)
+            .field_u64("counter_samples", samples);
+        let mut ph = ObjectWriter::new();
+        for (name, (count, total_ns)) in &phases {
+            let mut o = ObjectWriter::new();
+            o.field_u64("count", *count)
+                .field_u64("total_ns", *total_ns);
+            ph.field_raw(name, &o.finish());
+        }
+        let mut root = ObjectWriter::new();
+        root.field_str("schema", "fascia-trace/1")
+            .field_raw("events", &ev.finish())
+            .field_u64("ring_capacity", self.ring_capacity() as u64)
+            .field_raw("phases", &ph.finish());
+        root.finish()
+    }
+}
+
+/// RAII guard from [`Tracer::span`]: records a [`EventKind::Span`] event
+/// covering its lifetime when dropped.
+#[derive(Debug)]
+pub struct TraceSpan<'a> {
+    tracer: &'a Tracer,
+    name: NameId,
+    start_ns: u64,
+    arg: u64,
+}
+
+impl TraceSpan<'_> {
+    /// Ends the span now instead of at scope exit.
+    pub fn finish(self) {
+        drop(self);
+    }
+}
+
+impl Drop for TraceSpan<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        let end = self.tracer.now_ns();
+        self.tracer.push(
+            EventKind::Span,
+            self.name,
+            self.start_ns,
+            end.saturating_sub(self.start_ns),
+            self.arg,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_stable_and_deduplicating() {
+        let tr = Tracer::new();
+        let a = tr.intern("alpha");
+        let b = tr.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(tr.intern("alpha"), a);
+        assert_eq!(tr.name_of(a), "alpha");
+        assert_eq!(tr.name_of(b), "beta");
+    }
+
+    #[test]
+    fn span_instant_and_sample_are_recorded() {
+        let tr = Tracer::new();
+        let s = tr.intern("work");
+        let i = tr.intern("mark");
+        let c = tr.intern("ci");
+        {
+            let _g = tr.span_arg(s, 42);
+        }
+        tr.instant(i, 7);
+        tr.sample(c, 123);
+        let events = tr.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(tr.recorded(), 3);
+        let span = events.iter().find(|e| e.kind == EventKind::Span).unwrap();
+        assert_eq!(span.name, s);
+        assert_eq!(span.arg, 42);
+        let sample = events
+            .iter()
+            .find(|e| e.kind == EventKind::CounterSample)
+            .unwrap();
+        assert_eq!(sample.arg, 123);
+        assert_eq!(sample.dur_ns, 0);
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts_never_overwrites() {
+        let tr = Tracer::with_capacity(4);
+        let n = tr.intern("e");
+        for i in 0..10 {
+            tr.instant(n, i);
+        }
+        assert_eq!(tr.recorded(), 4);
+        assert_eq!(tr.dropped(), 6);
+        // The *first* four events survive (prefix intact, no overwrite).
+        let args: Vec<u64> = tr.events().iter().map(|e| e.arg).collect();
+        assert_eq!(args, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn events_are_sorted_monotone_per_tid() {
+        let tr = Tracer::new();
+        let n = tr.intern("t");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..100 {
+                        tr.instant(n, i);
+                    }
+                });
+            }
+        });
+        let events = tr.events();
+        assert_eq!(events.len(), 400);
+        for pair in events.windows(2) {
+            if pair[0].tid == pair[1].tid {
+                assert!(
+                    pair[0].ts_ns <= pair[1].ts_ns,
+                    "per-tid ts must be monotone"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chrome_json_has_required_fields() {
+        let tr = Tracer::new();
+        let s = tr.intern("dp.n00.vertex1");
+        {
+            let _g = tr.span(s);
+        }
+        tr.sample(tr.intern("ci"), 55);
+        let json = tr.to_chrome_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"name\":\"dp.n00.vertex1\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"tid\":"));
+        assert!(json.contains("\"ts\":"));
+        assert!(json.contains("\"dur\":"));
+        assert!(json.contains("\"value\":55"));
+    }
+
+    #[test]
+    fn summary_counts_by_kind_and_phase() {
+        let tr = Tracer::with_capacity(8);
+        let a = tr.intern("phase.a");
+        let b = tr.intern("phase.b");
+        tr.span(a).finish();
+        tr.span(a).finish();
+        tr.span(b).finish();
+        tr.instant(b, 0);
+        for _ in 0..10 {
+            tr.sample(a, 1); // overflows the ring: 8 slots, 14 events
+        }
+        let s = tr.summary_json();
+        assert!(s.contains("\"schema\":\"fascia-trace/1\""));
+        assert!(s.contains("\"dropped\":6"));
+        assert!(s.contains("\"spans\":3"));
+        assert!(s.contains("\"phase.a\":{\"count\":2"));
+        assert!(s.contains("\"ring_capacity\":8"));
+    }
+
+    #[test]
+    fn span_nesting_keeps_start_timestamps() {
+        let tr = Tracer::new();
+        let outer = tr.intern("outer");
+        let inner = tr.intern("inner");
+        {
+            let _o = tr.span(outer);
+            let _i = tr.span(inner);
+        }
+        let events = tr.events();
+        let o = events.iter().find(|e| e.name == outer).unwrap();
+        let i = events.iter().find(|e| e.name == inner).unwrap();
+        assert!(o.ts_ns <= i.ts_ns, "outer starts first");
+        assert!(
+            o.ts_ns + o.dur_ns >= i.ts_ns + i.dur_ns,
+            "outer encloses inner"
+        );
+    }
+}

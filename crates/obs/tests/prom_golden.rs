@@ -1,0 +1,75 @@
+//! Golden-file test for the Prometheus text-exposition rendering.
+//!
+//! The exposition format is consumed by external scrapers, so its exact
+//! shape is a compatibility surface: metric ordering (BTreeMap name
+//! order), `# TYPE` lines, cumulative `_bucket{le="..."}` series ending in
+//! `+Inf`, `_sum`/`_count`, and name sanitization are all pinned here.
+//! Regenerate with `BLESS=1 cargo test -p fascia-obs --test prom_golden`
+//! after an intentional format change.
+
+use fascia_obs::Metrics;
+
+fn build_registry() -> Metrics {
+    let m = Metrics::new();
+    m.counter("engine.iterations.total").add(42);
+    m.counter("table.fallbacks").add(3);
+    // A name needing sanitization: dots and a dash become underscores.
+    m.counter("weird-name.with.dots").add(1);
+    m.gauge("table.bytes_peak").set_max(4096);
+    m.gauge("engine.threads").set_max(8);
+    let h = m.histogram("dp.span_ns");
+    for v in [1, 1, 2, 3, 100, 1000, 65_000] {
+        h.record(v);
+    }
+    m
+}
+
+#[test]
+fn prom_rendering_matches_golden_file() {
+    let rendered = build_registry().render_prom();
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(golden_path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("golden file exists");
+    assert_eq!(
+        rendered, golden,
+        "Prometheus rendering drifted from the golden file; \
+         if intentional, re-bless with BLESS=1"
+    );
+}
+
+#[test]
+fn golden_file_is_valid_exposition_format() {
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/metrics.prom"
+    ))
+    .expect("golden file exists");
+    let mut cum_ok = true;
+    let mut last_cum = 0u64;
+    for line in golden.lines() {
+        if line.starts_with('#') {
+            assert!(line.starts_with("# TYPE "), "bad comment line: {line}");
+            last_cum = 0;
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("name value pairs");
+        // Metric names (minus the {le=...} selector) use only [a-zA-Z0-9_:].
+        let bare = name.split('{').next().unwrap_or(name);
+        assert!(
+            bare.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "unsanitized name: {bare}"
+        );
+        if name.contains("_bucket{") {
+            // Cumulative buckets never decrease.
+            let v: u64 = value.parse().expect("bucket count");
+            cum_ok &= v >= last_cum;
+            last_cum = v;
+        }
+    }
+    assert!(cum_ok, "bucket series is not cumulative");
+    assert!(golden.contains("_bucket{le=\"+Inf\"}"));
+}

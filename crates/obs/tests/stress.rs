@@ -1,0 +1,155 @@
+//! Multi-thread stress tests for the metric primitives: sharded counter
+//! totals, histogram merge associativity, and registry merges under
+//! interleaving. These pin the concurrency contracts the engine's wave
+//! loops rely on (per-worker registries merged into one report).
+
+use fascia_obs::{Counter, Histogram, Metrics, SHARDS};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 50_000;
+
+#[test]
+fn counter_shard_values_sum_to_total_under_contention() {
+    let c = Arc::new(Counter::default());
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let c = Arc::clone(&c);
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(c.get(), total, "increments lost under contention");
+    let shards = c.shard_values();
+    assert_eq!(shards.len(), SHARDS);
+    assert_eq!(
+        shards.iter().sum::<u64>(),
+        total,
+        "shards disagree with total"
+    );
+    // More than one shard must have been used with 8 live threads, or the
+    // per-thread breakdown is meaningless.
+    assert!(
+        shards.iter().filter(|&&v| v > 0).count() > 1,
+        "all increments landed on one shard: {shards:?}"
+    );
+}
+
+#[test]
+fn histogram_merge_is_associative_and_order_invariant() {
+    // Three histograms with different value mixes.
+    let parts: Vec<Histogram> = (0..3)
+        .map(|i| {
+            let h = Histogram::default();
+            for v in 0..200u64 {
+                h.record(v * (i + 1) + i);
+            }
+            h
+        })
+        .collect();
+
+    // (a ⊎ b) ⊎ c
+    let left = Histogram::default();
+    left.merge(&parts[0]);
+    left.merge(&parts[1]);
+    left.merge(&parts[2]);
+    // a ⊎ (b ⊎ c), built by merging in reverse order.
+    let right = Histogram::default();
+    right.merge(&parts[2]);
+    right.merge(&parts[1]);
+    right.merge(&parts[0]);
+
+    assert_eq!(left.count(), right.count());
+    assert_eq!(left.sum(), right.sum());
+    assert_eq!(left.min(), right.min());
+    assert_eq!(left.max(), right.max());
+    assert_eq!(left.nonzero_buckets(), right.nonzero_buckets());
+}
+
+#[test]
+fn histogram_concurrent_records_lose_nothing() {
+    let h = Arc::new(Histogram::default());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let h = Arc::clone(&h);
+            s.spawn(move || {
+                for v in 0..PER_THREAD {
+                    h.record(v % (1 << (t % 16)));
+                }
+            });
+        }
+    });
+    assert_eq!(h.count(), THREADS as u64 * PER_THREAD);
+    let bucket_total: u64 = h.nonzero_buckets().iter().map(|&(_, c)| c).sum();
+    assert_eq!(bucket_total, h.count(), "bucket counts disagree with count");
+}
+
+#[test]
+fn metrics_merge_under_interleaving_is_exact_and_order_invariant() {
+    // Workers record into private registries; merging them into a total in
+    // any interleaving must produce identical totals (counters/histograms
+    // are additive, gauges keep the max).
+    let locals: Vec<Metrics> = (0..THREADS)
+        .map(|t| {
+            let m = Metrics::new();
+            std::thread::scope(|s| {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        m.counter("work").inc();
+                        if i % 97 == 0 {
+                            m.histogram("h").record(i);
+                        }
+                    }
+                    m.gauge("peak").set_max(1000 + t as u64);
+                });
+            });
+            m
+        })
+        .collect();
+
+    let forward = Metrics::new();
+    for l in &locals {
+        forward.merge(l);
+    }
+    let backward = Metrics::new();
+    for l in locals.iter().rev() {
+        backward.merge(l);
+    }
+    // Concurrent merges from multiple threads at once.
+    let concurrent = Arc::new(Metrics::new());
+    std::thread::scope(|s| {
+        for l in &locals {
+            let c = Arc::clone(&concurrent);
+            s.spawn(move || c.merge(l));
+        }
+    });
+
+    let expect = THREADS as u64 * PER_THREAD;
+    for m in [&forward, &backward, &*concurrent] {
+        assert_eq!(m.counter("work").get(), expect);
+        assert_eq!(m.gauge("peak").get(), 1000 + THREADS as u64 - 1);
+        assert_eq!(
+            m.histogram("h").count(),
+            THREADS as u64 * PER_THREAD.div_ceil(97)
+        );
+    }
+    assert_eq!(forward.to_json(), backward.to_json());
+    assert_eq!(forward.to_json(), concurrent.to_json());
+}
+
+#[test]
+fn merging_the_same_source_twice_adds_again_not_idempotent_by_design() {
+    // Documenting the contract: merge is additive fold, not set union.
+    // Callers must merge each worker registry exactly once.
+    let src = Metrics::new();
+    src.counter("c").add(5);
+    let dst = Metrics::new();
+    dst.merge(&src);
+    dst.merge(&src);
+    assert_eq!(dst.counter("c").get(), 10);
+}

@@ -22,4 +22,19 @@ cargo test -q --workspace --offline
 echo "=== resilience & fault-injection suites ==="
 cargo test -q --offline --test resilience --test fault_injection
 
+# Observability gate: a real count run with --trace must produce valid
+# Perfetto-loadable JSON (parsed with the depth-capped parser, monotone
+# per-tid timestamps), the heartbeat file must keep its stable shape,
+# results must be bitwise identical with tracing on/off/overflowing,
+# and the Prometheus rendering must match the golden file.
+echo "=== tracing, heartbeat & exposition-format gates ==="
+cargo test -q --offline --test tracing
+cargo test -q --offline -p fascia-cli --test cli -- \
+  trace_flag_writes_valid_perfetto_json \
+  heartbeat_file_has_stable_shape \
+  metrics_prom_emits_exposition_format \
+  metrics_json_carries_run_metadata_and_trace_summary \
+  trace_does_not_change_the_estimate
+cargo test -q --offline -p fascia-obs --test prom_golden --test stress
+
 echo "ci: all green"

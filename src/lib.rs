@@ -51,8 +51,10 @@ pub mod prelude {
     pub use fascia_core::gdd::{estimate_gdd, gdd_agreement, GddHistogram};
     pub use fascia_core::motifs::{motif_profile, MotifProfile};
     pub use fascia_core::parallel::{with_threads, ParallelMode};
+    pub use fascia_core::progress::{Progress, ProgressConfig, ProgressSnapshot};
     pub use fascia_core::resilience::{
-        CancelToken, Checkpoint, CheckpointConfig, CheckpointError, FaultInjection, StopCause,
+        atomic_write, CancelToken, Checkpoint, CheckpointConfig, CheckpointError, FaultInjection,
+        Json, StopCause,
     };
     pub use fascia_core::sample::sample_embeddings;
     pub use fascia_core::stats::{count_until_converged, EstimateStats, StopRule, Welford};

@@ -1,0 +1,219 @@
+//! Flight-recorder suite: counting results must be bitwise identical with
+//! tracing absent, enabled, and overflowing; the recorded timeline must
+//! cover the engine's event taxonomy; and the Chrome-trace export must be
+//! a valid JSON array with monotone per-tid timestamps.
+
+use fascia::obs::Tracer;
+use fascia::prelude::*;
+use std::sync::Arc;
+
+fn test_graph() -> Graph {
+    fascia::graph::gen::gnm(80, 240, 0xBEEF)
+}
+
+fn bitwise_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[test]
+fn results_are_bitwise_identical_with_tracing_absent_enabled_and_dropping() {
+    let g = test_graph();
+    let t = Template::path(5);
+    for mode in [ParallelMode::Serial, ParallelMode::OuterLoop] {
+        let base = CountConfig {
+            iterations: 20,
+            seed: 0x7A5C_1A00,
+            parallel: mode,
+            ..CountConfig::default()
+        };
+        let plain = count_template(&g, &t, &base).expect("untraced run");
+
+        let tracer = Arc::new(Tracer::new());
+        let traced_cfg = CountConfig {
+            tracer: Some(Arc::clone(&tracer)),
+            ..base.clone()
+        };
+        let traced = count_template(&g, &t, &traced_cfg).expect("traced run");
+        assert!(
+            bitwise_eq(&plain.per_iteration, &traced.per_iteration),
+            "tracing changed the per-iteration series ({mode:?})"
+        );
+        assert_eq!(tracer.dropped(), 0, "default rings must not overflow here");
+        assert!(tracer.recorded() > 0);
+
+        // A tiny ring overflows immediately; results still must not move.
+        let tiny = Arc::new(Tracer::with_capacity(8));
+        let dropping_cfg = CountConfig {
+            tracer: Some(Arc::clone(&tiny)),
+            ..base.clone()
+        };
+        let dropping = count_template(&g, &t, &dropping_cfg).expect("dropping run");
+        assert!(
+            bitwise_eq(&plain.per_iteration, &dropping.per_iteration),
+            "ring overflow changed the per-iteration series ({mode:?})"
+        );
+        assert!(tiny.dropped() > 0, "an 8-slot ring must drop events");
+    }
+}
+
+#[test]
+fn engine_timeline_covers_the_event_taxonomy() {
+    let g = test_graph();
+    let t = Template::path(5);
+    let tracer = Arc::new(Tracer::new());
+    let ck =
+        std::env::temp_dir().join(format!("fascia-trace-taxonomy-{}.ckpt", std::process::id()));
+    std::fs::remove_file(&ck).ok();
+    let cfg = CountConfig {
+        iterations: 6,
+        parallel: ParallelMode::Serial,
+        tracer: Some(Arc::clone(&tracer)),
+        checkpoint: Some(CheckpointConfig::new(&ck)),
+        fault: FaultInjection {
+            panic_on_iteration: Some(2),
+            ..FaultInjection::default()
+        },
+        ..CountConfig::default()
+    };
+    count_template(&g, &t, &cfg).expect("run");
+    std::fs::remove_file(&ck).ok();
+
+    let names: std::collections::HashSet<String> = tracer
+        .events()
+        .iter()
+        .map(|e| tracer.name_of(e.name))
+        .collect();
+    for expected in [
+        "iteration",
+        "coloring",
+        "wave",
+        "checkpoint.flush",
+        "panic.retry",
+    ] {
+        assert!(
+            names.contains(expected),
+            "missing event {expected:?}: {names:?}"
+        );
+    }
+    assert!(
+        names.iter().any(|n| n.starts_with("dp.n")),
+        "missing per-subtemplate spans: {names:?}"
+    );
+    assert!(
+        names.contains("table.build"),
+        "missing table.build instants: {names:?}"
+    );
+}
+
+#[test]
+fn resume_and_adaptive_runs_record_their_events() {
+    let g = test_graph();
+    let t = Template::path(4);
+    let ck = std::env::temp_dir().join(format!("fascia-trace-resume-{}.ckpt", std::process::id()));
+    std::fs::remove_file(&ck).ok();
+    let first = CountConfig {
+        iterations: 10,
+        parallel: ParallelMode::Serial,
+        checkpoint: Some(CheckpointConfig::new(&ck)),
+        fault: FaultInjection {
+            cancel_on_iteration: Some(4),
+            ..FaultInjection::default()
+        },
+        ..CountConfig::default()
+    };
+    let partial = count_template(&g, &t, &first).expect("partial run");
+    assert_eq!(partial.stop_cause, StopCause::Cancelled);
+
+    let tracer = Arc::new(Tracer::new());
+    let resumed_cfg = CountConfig {
+        iterations: 10,
+        parallel: ParallelMode::Serial,
+        resume: Some(Checkpoint::load(&ck).expect("load checkpoint")),
+        tracer: Some(Arc::clone(&tracer)),
+        ..CountConfig::default()
+    };
+    count_template(&g, &t, &resumed_cfg).expect("resumed run");
+    std::fs::remove_file(&ck).ok();
+    let names: Vec<String> = tracer
+        .events()
+        .iter()
+        .map(|e| tracer.name_of(e.name))
+        .collect();
+    assert!(names.iter().any(|n| n == "checkpoint.resume"));
+
+    // Adaptive runs sample the running CI into the trace.
+    let tracer = Arc::new(Tracer::new());
+    let adaptive = CountConfig {
+        stop: Some(StopRule::relative_error(0.5, 0.05)),
+        parallel: ParallelMode::Serial,
+        tracer: Some(Arc::clone(&tracer)),
+        ..CountConfig::default()
+    };
+    count_template(&g, &t, &adaptive).expect("adaptive run");
+    let names: Vec<String> = tracer
+        .events()
+        .iter()
+        .map(|e| tracer.name_of(e.name))
+        .collect();
+    assert!(
+        names.iter().any(|n| n == "adaptive.ci_permille"),
+        "missing adaptive CI samples: {names:?}"
+    );
+}
+
+#[test]
+fn chrome_export_parses_and_is_monotone_per_tid() {
+    let g = test_graph();
+    let t = Template::path(5);
+    let tracer = Arc::new(Tracer::new());
+    let cfg = CountConfig {
+        iterations: 8,
+        parallel: ParallelMode::OuterLoop,
+        tracer: Some(Arc::clone(&tracer)),
+        ..CountConfig::default()
+    };
+    count_template(&g, &t, &cfg).expect("run");
+
+    let text = tracer.to_chrome_json();
+    let doc = Json::parse(&text).expect("trace JSON parses");
+    let events = doc.as_arr().expect("top level is an array");
+    assert!(!events.is_empty());
+    let mut last_ts: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    for ev in events {
+        let obj = ev.as_obj().expect("event is an object");
+        for key in ["name", "cat", "ph", "pid", "tid", "ts"] {
+            assert!(Json::get(obj, key).is_some(), "event missing {key:?}");
+        }
+        let ph = Json::get(obj, "ph").and_then(Json::as_str).expect("ph");
+        assert!(matches!(ph, "X" | "i" | "C"), "unexpected phase {ph:?}");
+        if ph == "X" {
+            assert!(Json::get(obj, "dur").is_some(), "span without dur");
+        }
+        let tid = Json::get(obj, "tid").and_then(Json::as_u64).expect("tid");
+        let ts = Json::get(obj, "ts").and_then(Json::as_f64).expect("ts");
+        let prev = last_ts.insert(tid, ts).unwrap_or(f64::NEG_INFINITY);
+        assert!(ts >= prev, "ts went backwards on tid {tid}: {prev} -> {ts}");
+    }
+}
+
+#[test]
+fn rooted_counts_trace_like_count_template() {
+    let g = test_graph();
+    let t = Template::path(4);
+    let tracer = Arc::new(Tracer::new());
+    let cfg = CountConfig {
+        iterations: 5,
+        parallel: ParallelMode::Serial,
+        tracer: Some(Arc::clone(&tracer)),
+        ..CountConfig::default()
+    };
+    rooted_counts(&g, &t, 0, &cfg).expect("rooted run");
+    let names: Vec<String> = tracer
+        .events()
+        .iter()
+        .map(|e| tracer.name_of(e.name))
+        .collect();
+    for expected in ["iteration", "coloring", "wave"] {
+        assert!(names.iter().any(|n| n == expected), "missing {expected:?}");
+    }
+}
