@@ -109,7 +109,10 @@ fn bench_metrics_overhead(c: &mut Criterion) {
 /// every event takes the drop path). The acceptance bar mirrors the
 /// metrics one: `absent` must be indistinguishable from an uninstrumented
 /// engine, and even `ring_full` must only pay one fetch_add + counter
-/// bump per event. Recorded results live in EXPERIMENTS.md.
+/// bump per event. Recorded results live in EXPERIMENTS.md; run with
+/// `FASCIA_PERF_APPEND=<path>` to also capture the samples as
+/// `fascia-perf/1` records that `perf compare` can diff against a
+/// baseline.
 fn bench_trace_overhead(c: &mut Criterion) {
     let g = gnm(10_000, 50_000, 3);
     let t = NamedTemplate::U5_2.template();
@@ -139,7 +142,8 @@ fn bench_trace_overhead(c: &mut Criterion) {
 /// The adaptive run converges (rel. 95% CI ≤ 5%) after a few dozen
 /// iterations on this instance; the fixed run burns the whole budget —
 /// this group makes the "stop paying for iterations the answer no longer
-/// needs" claim measurable.
+/// needs" claim measurable. Like every group, it emits machine-readable
+/// `fascia-perf/1` records under `FASCIA_PERF_APPEND=<path>`.
 fn bench_adaptive_vs_fixed(c: &mut Criterion) {
     use fascia_core::stats::StopRule;
 

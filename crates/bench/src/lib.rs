@@ -10,6 +10,8 @@ use fascia_graph::{Dataset, Graph};
 use fascia_obs::json::{array_of, ObjectWriter};
 use std::time::Instant;
 
+pub mod perf;
+
 /// Command-line/environment controls shared by all figure binaries.
 #[derive(Debug, Clone)]
 pub struct BenchOpts {

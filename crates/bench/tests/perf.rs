@@ -1,0 +1,344 @@
+//! Integration tests of the `fascia-perf` harness: the Mann–Whitney gate
+//! against hand-computed null distributions, schema round-trips, a golden
+//! file pinning the `fascia-perf/1` serialization, the compare verdict
+//! rules, and an end-to-end run of the (filtered) pinned suite including
+//! the injected-regression check the gate exists for.
+
+use fascia_bench::perf::{
+    any_regression, compare, mad, mann_whitney, median, render_comparisons, run_suite, PerfDoc,
+    PerfRecord, SuiteOpts, Verdict, DEFAULT_THRESHOLD,
+};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Mann–Whitney against hand-computed values
+// ---------------------------------------------------------------------------
+
+/// Fully separated samples: every `new` beats every `old`, so `U = 9`,
+/// and exactly one of the `C(6,3) = 20` label arrangements reaches it:
+/// `p = 1/20 = 0.05` exactly.
+#[test]
+fn mwu_separated_samples_exact() {
+    let r = mann_whitney(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]);
+    assert_eq!(r.u, 9.0);
+    assert!((r.p_greater - 0.05).abs() < 1e-12, "p = {}", r.p_greater);
+}
+
+/// Interleaved samples land on the null mean `U = nm/2 = 10`. The exact
+/// tail is the sum of the Gaussian-binomial counts for `u ≥ 10`
+/// (7+5+5+3+2+1+1 = 24 of the C(8,4) = 70 arrangements): `p = 24/70`.
+#[test]
+fn mwu_interleaved_samples_exact() {
+    let r = mann_whitney(&[1.0, 3.0, 5.0, 7.0], &[2.0, 4.0, 6.0, 8.0]);
+    assert_eq!(r.u, 10.0);
+    assert!(
+        (r.p_greater - 24.0 / 70.0).abs() < 1e-12,
+        "p = {}",
+        r.p_greater
+    );
+}
+
+/// A cross-sample tie credits 0.5 to U and forces the tie-corrected
+/// normal path: `U = 1 + 0.5 + 2 = 3.5` here.
+#[test]
+fn mwu_ties_use_half_credit() {
+    let r = mann_whitney(&[1.0, 2.0], &[2.0, 3.0]);
+    assert_eq!(r.u, 3.5);
+    assert!(
+        r.p_greater > 0.0 && r.p_greater < 0.5,
+        "p = {}",
+        r.p_greater
+    );
+}
+
+/// With the samples swapped, `U = 0` and `P(U ≥ 0)` is certain.
+#[test]
+fn mwu_reversed_direction_is_not_significant() {
+    let r = mann_whitney(&[4.0, 5.0, 6.0], &[1.0, 2.0, 3.0]);
+    assert_eq!(r.u, 0.0);
+    assert!((r.p_greater - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn mwu_empty_samples_are_inconclusive() {
+    assert_eq!(mann_whitney(&[], &[1.0]).p_greater, 1.0);
+    assert_eq!(mann_whitney(&[1.0], &[]).p_greater, 1.0);
+}
+
+/// All pooled values identical: zero variance, no evidence either way.
+#[test]
+fn mwu_constant_samples_are_inconclusive() {
+    let r = mann_whitney(&[2.0, 2.0, 2.0], &[2.0, 2.0, 2.0]);
+    assert_eq!(r.p_greater, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Document round-trip, JSONL merge, and the golden file
+// ---------------------------------------------------------------------------
+
+fn sample_doc() -> PerfDoc {
+    let mut benchmarks = BTreeMap::new();
+    benchmarks.insert(
+        "count/serial/improved/small".to_string(),
+        PerfRecord {
+            warmup: 1,
+            threshold: 1.3,
+            reps_s: vec![0.25, 0.5, 1.0],
+        },
+    );
+    benchmarks.insert(
+        "count/outer/hash/large".to_string(),
+        PerfRecord {
+            warmup: 2,
+            threshold: 1.5,
+            reps_s: vec![0.125],
+        },
+    );
+    PerfDoc {
+        created_unix_ms: 1_754_460_000_000,
+        threads: 8,
+        benchmarks,
+    }
+}
+
+#[test]
+fn document_round_trips_through_json() {
+    let doc = sample_doc();
+    let parsed = PerfDoc::parse(&doc.to_json()).unwrap();
+    assert_eq!(parsed, doc);
+    // Derived statistics come back identical because they are recomputed
+    // from reps_s, never trusted from the file.
+    let rec = &parsed.benchmarks["count/serial/improved/small"];
+    assert_eq!(rec.median_s(), 0.5);
+    assert_eq!(rec.mad_s(), 0.25);
+}
+
+#[test]
+fn parse_merges_jsonl_streams_and_defaults_missing_fields() {
+    // A full document followed by two criterion-shim style lines (no
+    // created/threads/threshold): the shim records pick up the default
+    // threshold, and later lines win on benchmark-name collisions.
+    let text = format!(
+        "{}\n{}\n{}\n",
+        sample_doc().to_json(),
+        r#"{"schema":"fascia-perf/1","benchmarks":{"engine_trace_overhead/absent":{"warmup":1,"reps_s":[0.001,0.002]}}}"#,
+        r#"{"schema":"fascia-perf/1","benchmarks":{"count/outer/hash/large":{"warmup":9,"reps_s":[0.5]}}}"#,
+    );
+    let doc = PerfDoc::parse(&text).unwrap();
+    assert_eq!(doc.created_unix_ms, 1_754_460_000_000);
+    assert_eq!(doc.threads, 8);
+    assert_eq!(doc.benchmarks.len(), 3);
+    let shim = &doc.benchmarks["engine_trace_overhead/absent"];
+    assert_eq!(shim.threshold, DEFAULT_THRESHOLD);
+    assert_eq!(shim.reps_s, vec![0.001, 0.002]);
+    // The later line replaced the earlier record wholesale.
+    assert_eq!(doc.benchmarks["count/outer/hash/large"].warmup, 9);
+}
+
+#[test]
+fn parse_rejects_bad_documents() {
+    assert!(PerfDoc::parse("").is_err());
+    assert!(PerfDoc::parse("not json").is_err());
+    assert!(PerfDoc::parse(r#"{"schema":"fascia-perf/2","benchmarks":{}}"#).is_err());
+    // Zero reps would make every statistic meaningless.
+    let err = PerfDoc::parse(r#"{"schema":"fascia-perf/1","benchmarks":{"b":{"reps_s":[]}}}"#)
+        .unwrap_err();
+    assert!(err.contains("zero reps"), "got: {err}");
+    // Line numbers point at the offending line of a stream.
+    let text = format!("{}\nnonsense\n", sample_doc().to_json());
+    let err = PerfDoc::parse(&text).unwrap_err();
+    assert!(err.starts_with("line 2:"), "got: {err}");
+}
+
+/// Pins the exact `fascia-perf/1` serialization. The schema is a
+/// compatibility surface (CI baselines are checked-in files), so drift
+/// must be deliberate: re-bless with
+/// `BLESS=1 cargo test -p fascia-bench --test perf`.
+#[test]
+fn serialization_matches_golden_file() {
+    let rendered = format!("{}\n", sample_doc().to_json());
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/perf.json");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(golden_path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("golden file exists");
+    assert_eq!(
+        rendered, golden,
+        "fascia-perf/1 serialization drifted from the golden file; \
+         if intentional, re-bless with BLESS=1"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Compare verdict rules
+// ---------------------------------------------------------------------------
+
+fn doc_of(entries: &[(&str, &[f64])]) -> PerfDoc {
+    let mut benchmarks = BTreeMap::new();
+    for (name, reps) in entries {
+        benchmarks.insert(
+            name.to_string(),
+            PerfRecord {
+                warmup: 0,
+                threshold: DEFAULT_THRESHOLD,
+                reps_s: reps.to_vec(),
+            },
+        );
+    }
+    PerfDoc {
+        created_unix_ms: 0,
+        threads: 1,
+        benchmarks,
+    }
+}
+
+const OLD_REPS: [f64; 7] = [0.100, 0.101, 0.102, 0.103, 0.104, 0.105, 0.106];
+
+#[test]
+fn compare_identical_documents_is_all_similar() {
+    let doc = doc_of(&[("a", &OLD_REPS), ("b", &[0.5])]);
+    let rows = compare(&doc, &doc, None, 0.01);
+    assert!(
+        rows.iter().all(|r| r.verdict == Verdict::Similar),
+        "{rows:?}"
+    );
+    assert!(!any_regression(&rows));
+}
+
+#[test]
+fn compare_flags_significant_slowdown() {
+    let old = doc_of(&[("a", &OLD_REPS)]);
+    let slow: Vec<f64> = OLD_REPS.iter().map(|x| x * 2.5).collect();
+    let new = doc_of(&[("a", &slow)]);
+    let rows = compare(&old, &new, None, 0.01);
+    assert_eq!(rows[0].verdict, Verdict::Regressed);
+    // Complete separation of 7-vs-7 samples: p = 1/C(14,7) = 1/3432.
+    let p = rows[0].p_greater.unwrap();
+    assert!((p - 1.0 / 3432.0).abs() < 1e-12, "p = {p}");
+    assert!(any_regression(&rows));
+    assert!(render_comparisons(&rows).contains("REGRESSED"));
+}
+
+/// A significant but tiny slowdown stays below the ratio threshold:
+/// significance alone must not fail the gate.
+#[test]
+fn compare_tolerates_small_significant_shifts() {
+    let old = doc_of(&[("a", &OLD_REPS)]);
+    let slight: Vec<f64> = OLD_REPS.iter().map(|x| x * 1.05).collect();
+    let new = doc_of(&[("a", &slight)]);
+    let rows = compare(&old, &new, None, 0.01);
+    assert_eq!(rows[0].verdict, Verdict::Similar, "{rows:?}");
+}
+
+/// A big ratio without significance (noisy overlapping samples) also
+/// stays Similar — the two conditions are conjunctive.
+#[test]
+fn compare_requires_significance_for_large_samples() {
+    let old = doc_of(&[("a", &[0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 5.0])]);
+    let new = doc_of(&[("a", &[0.1, 0.1, 0.1, 0.1, 0.1, 5.0, 5.0])]);
+    let rows = compare(&old, &new, None, 0.01);
+    assert!(rows[0].ratio > DEFAULT_THRESHOLD || rows[0].verdict == Verdict::Similar);
+    assert_eq!(rows[0].verdict, Verdict::Similar, "{rows:?}");
+}
+
+/// Fewer than 4 reps on either side (the 1-rep CI smoke) falls back to
+/// the ratio-only rule with no p-value.
+#[test]
+fn compare_small_samples_use_ratio_only() {
+    let old = doc_of(&[("a", &[0.1]), ("b", &[0.1])]);
+    let new = doc_of(&[("a", &[0.25]), ("b", &[0.11])]);
+    let rows = compare(&old, &new, None, 0.01);
+    let a = rows.iter().find(|r| r.name == "a").unwrap();
+    let b = rows.iter().find(|r| r.name == "b").unwrap();
+    assert_eq!(a.verdict, Verdict::Regressed);
+    assert_eq!(a.p_greater, None);
+    assert_eq!(b.verdict, Verdict::Similar);
+}
+
+#[test]
+fn compare_detects_improvement_additions_and_removals() {
+    let fast: Vec<f64> = OLD_REPS.iter().map(|x| x * 0.4).collect();
+    let old = doc_of(&[("kept", &OLD_REPS), ("gone", &[0.5])]);
+    let mut new = doc_of(&[("kept", &fast), ("fresh", &[0.5])]);
+    new.benchmarks.get_mut("kept").unwrap().threshold = 1.3;
+    let rows = compare(&old, &new, None, 0.01);
+    let verdict = |name: &str| rows.iter().find(|r| r.name == name).unwrap().verdict;
+    assert_eq!(verdict("kept"), Verdict::Improved);
+    assert_eq!(verdict("gone"), Verdict::Removed);
+    assert_eq!(verdict("fresh"), Verdict::Added);
+    assert!(!any_regression(&rows));
+}
+
+#[test]
+fn compare_threshold_override_wins() {
+    let old = doc_of(&[("a", &OLD_REPS)]);
+    let slow: Vec<f64> = OLD_REPS.iter().map(|x| x * 2.5).collect();
+    let new = doc_of(&[("a", &slow)]);
+    let rows = compare(&old, &new, Some(3.0), 0.01);
+    assert_eq!(rows[0].verdict, Verdict::Similar, "{rows:?}");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the pinned suite and the injected-regression check
+// ---------------------------------------------------------------------------
+
+fn quick_opts() -> SuiteOpts {
+    SuiteOpts {
+        reps: 5,
+        warmup: 1,
+        smoke: true,
+        filter: Some("improved".to_string()),
+        ..SuiteOpts::default()
+    }
+}
+
+/// Two identically-configured runs of the (filtered) smoke suite must
+/// compare clean, and the emitted document must survive its own
+/// serialization.
+#[test]
+fn suite_self_comparison_is_clean() {
+    let a = run_suite(&quick_opts());
+    let b = run_suite(&quick_opts());
+    assert_eq!(a.benchmarks.len(), 1, "filter should keep exactly one spec");
+    let rec = &a.benchmarks["count/serial/improved/small"];
+    assert_eq!(rec.reps_s.len(), 5);
+    assert!(rec.median_s() > 0.0);
+    assert!(median(&rec.reps_s) >= mad(&rec.reps_s));
+    let rows = compare(&a, &b, None, 0.01);
+    assert!(
+        !any_regression(&rows),
+        "identical configs compared dirty: {}",
+        render_comparisons(&rows)
+    );
+    let round = PerfDoc::parse(&a.to_json()).unwrap();
+    assert_eq!(round, a);
+}
+
+/// The reason the handicap hook exists: a synthetic sleep injected into
+/// every DP step must be caught by the gate as a significant regression.
+#[test]
+fn injected_sleep_is_flagged_as_regression() {
+    let base = run_suite(&quick_opts());
+    let rec = &base.benchmarks["count/serial/improved/small"];
+    // Scale the sleep to the machine: each rep executes ≥ 4 DP steps
+    // (4 iterations × ≥ 1 subtemplate node), so sleeping a quarter of
+    // the base median per step at least doubles the rep time — far past
+    // the 1.3× threshold regardless of absolute speed.
+    let sleep_ms = (rec.median_s() * 1e3 / 4.0).clamp(2.0, 250.0);
+    let slow = run_suite(&SuiteOpts {
+        handicap: Some(Duration::from_millis(sleep_ms as u64)),
+        ..quick_opts()
+    });
+    let rows = compare(&base, &slow, None, 0.05);
+    assert_eq!(rows.len(), 1);
+    assert_eq!(
+        rows[0].verdict,
+        Verdict::Regressed,
+        "sleep {sleep_ms} ms/step not flagged: {}",
+        render_comparisons(&rows)
+    );
+    assert!(rows[0].ratio > DEFAULT_THRESHOLD);
+    assert!(rows[0].p_greater.unwrap() < 0.05);
+}

@@ -36,7 +36,7 @@ use fascia_core::stats::StopRule;
 use fascia_graph::datasets::scale_from_env;
 use fascia_graph::io::load_edge_list;
 use fascia_graph::{Dataset, Graph};
-use fascia_obs::{Metrics, MetricsReport, RunInfo, Tracer};
+use fascia_obs::{Metrics, MetricsReport, Profiler, RunInfo, Tracer};
 use fascia_table::TableKind;
 use fascia_template::{NamedTemplate, PartitionStrategy, Template};
 use std::path::PathBuf;
@@ -200,6 +200,10 @@ fn usage_text() -> String {
      \x20 --heartbeat FILE     rewrite FILE atomically with a fascia-heartbeat/1 status document\n\
      \x20                      during the run (iteration progress, estimate, CI, ETA)\n\
      \x20 --progress           force the live stderr progress line (default: only when stderr is a TTY)\n\
+     \x20 --profile FILE       sample the engine's phase stacks during the run and write collapsed-\n\
+     \x20                      stack text (load with inferno-flamegraph or speedscope); with\n\
+     \x20                      --metrics pretty the top phases by self time print to stderr too\n\
+     \x20 --profile-hz N       sampling rate for --profile (default ~1000)\n\
      Ctrl-C cancels cooperatively: the current wave is discarded, a final checkpoint is\n\
      written (with --checkpoint), and the partial estimate is reported.\n\
      exit codes: 0 ok, 1 runtime failure, 2 usage, 3 i/o or bad input file,\n\
@@ -301,6 +305,8 @@ struct ObsFlags {
     report: MetricsReport,
     /// Write the Chrome trace-event JSON here after the run (atomically).
     trace_path: Option<PathBuf>,
+    /// Write collapsed-stack profile text here after the run (atomically).
+    profile_path: Option<PathBuf>,
     started_unix_ms: u64,
     t0: Instant,
 }
@@ -318,6 +324,8 @@ fn parse_flags(rest: &[String]) -> Result<(CountConfig, ObsFlags), CliError> {
     let mut resume_path: Option<String> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut trace_buffer: Option<usize> = None;
+    let mut profile_path: Option<PathBuf> = None;
+    let mut profile_hz: Option<f64> = None;
     let mut heartbeat: Option<PathBuf> = None;
     let mut progress_flag = false;
     let mut i = 0;
@@ -412,6 +420,20 @@ fn parse_flags(rest: &[String]) -> Result<(CountConfig, ObsFlags), CliError> {
                 trace_buffer = Some(flag_parse(rest, i, "--trace-buffer")?);
                 i += 2;
             }
+            "--profile" => {
+                profile_path = Some(PathBuf::from(flag_value(rest, i, "--profile")?));
+                i += 2;
+            }
+            "--profile-hz" => {
+                let hz: f64 = flag_parse(rest, i, "--profile-hz")?;
+                if hz.is_nan() || hz <= 0.0 {
+                    return Err(CliError::Usage(format!(
+                        "--profile-hz: {hz} is not a positive rate"
+                    )));
+                }
+                profile_hz = Some(hz);
+                i += 2;
+            }
             "--heartbeat" => {
                 heartbeat = Some(PathBuf::from(flag_value(rest, i, "--heartbeat")?));
                 i += 2;
@@ -467,6 +489,17 @@ fn parse_flags(rest: &[String]) -> Result<(CountConfig, ObsFlags), CliError> {
             None => Tracer::new(),
         }));
     }
+    if profile_path.is_some() || profile_hz.is_some() {
+        let p = Arc::new(match profile_hz {
+            Some(hz) => Profiler::with_hz(hz),
+            None => Profiler::new(),
+        });
+        // Sampling starts now and stops in `emit_observability`, so the
+        // profile covers the whole command, idle time included — the
+        // `(idle)` line keeps the collapsed values summing to wall time.
+        p.start();
+        cfg.profiler = Some(p);
+    }
     // The progress line defaults on for interactive runs; --progress
     // forces it for piped stderr (e.g. when watching a log file).
     let want_line = progress_flag || stderr_is_tty();
@@ -492,6 +525,7 @@ fn parse_flags(rest: &[String]) -> Result<(CountConfig, ObsFlags), CliError> {
         ObsFlags {
             report,
             trace_path,
+            profile_path,
             started_unix_ms,
             t0: Instant::now(),
         },
@@ -527,12 +561,36 @@ fn emit_observability(obs: &ObsFlags, cfg: &CountConfig) -> Result<(), CliError>
             path.display()
         );
     }
+    if let Some(profiler) = &cfg.profiler {
+        profiler.stop();
+        if let Some(path) = &obs.profile_path {
+            atomic_write(path, &profiler.collapsed()).map_err(|e| {
+                CliError::Io(format!("cannot write profile '{}': {e}", path.display()))
+            })?;
+            eprintln!(
+                "profile: {} samples ({} truncated) -> {}",
+                profiler.samples(),
+                profiler.truncated(),
+                path.display()
+            );
+        }
+    }
     let Some(m) = cfg.metrics.as_deref() else {
+        // The `--metrics pretty` top-phase table rides on the metrics
+        // report; without a registry the profile file above is the output.
+        if let (Some(p), MetricsReport::Pretty) = (&cfg.profiler, obs.report) {
+            eprint!("{}", p.render_top());
+        }
         return Ok(());
     };
     match obs.report {
         MetricsReport::Off => {}
-        MetricsReport::Pretty => eprint!("{}", m.render_pretty()),
+        MetricsReport::Pretty => {
+            eprint!("{}", m.render_pretty());
+            if let Some(p) = &cfg.profiler {
+                eprint!("{}", p.render_top());
+            }
+        }
         MetricsReport::Json => {
             let run = RunInfo {
                 started_unix_ms: obs.started_unix_ms,

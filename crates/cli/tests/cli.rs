@@ -579,3 +579,65 @@ fn trace_does_not_change_the_estimate() {
     };
     assert_eq!(line(&plain.stdout), line(&traced.stdout));
 }
+
+#[test]
+fn profile_flag_writes_collapsed_stacks() {
+    let path = tmp_path("run.collapsed");
+    std::fs::remove_file(&path).ok();
+    let out = fascia()
+        .args(["count", "circuit", "U5-2", "--iters", "400", "--seed", "9"])
+        .arg("--profile")
+        .arg(&path)
+        .args(["--profile-hz", "4000"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("profile: "), "stderr: {stderr}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(!text.is_empty(), "empty profile file");
+    let mut stacks = Vec::new();
+    for line in text.lines() {
+        // The collapsed format speedscope/inferno ingest: stack, space,
+        // integer value.
+        let (stack, value) = line.rsplit_once(' ').unwrap();
+        assert!(value.parse::<u64>().is_ok(), "bad value in: {line}");
+        stacks.push(stack.to_string());
+    }
+    assert!(
+        stacks
+            .iter()
+            .any(|s| s.split(';').any(|f| f == "iteration")),
+        "no iteration frame in: {stacks:?}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn profile_top_table_shows_in_pretty_metrics() {
+    let out = fascia()
+        .args(["count", "circuit", "U5-2", "--iters", "400", "--seed", "9"])
+        .args(["--profile-hz", "4000"])
+        .args(["--metrics", "pretty"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("profile: ") && stderr.contains(" Hz over "),
+        "no sampling header in: {stderr}"
+    );
+    assert!(stderr.contains("iteration"), "no phase rows in: {stderr}");
+}
+
+#[test]
+fn profile_rejects_nonpositive_rate() {
+    let out = fascia()
+        .args(["count", "circuit", "U3-1", "--iters", "10"])
+        .args(["--profile-hz", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--profile-hz"), "stderr: {stderr}");
+}

@@ -29,6 +29,7 @@
 use crate::coloring::{iteration_seed, random_coloring};
 use crate::metrics::{CutMetrics, RunMetrics, TriangleMetrics};
 use crate::parallel::ParallelMode;
+use crate::profile::RunProf;
 use crate::progress::{Progress, ProgressSnapshot};
 use crate::resilience::{
     CancelToken, Checkpoint, CheckpointConfig, FaultInjection, StopCause, POLL_INTERVAL,
@@ -37,7 +38,7 @@ use crate::stats::{EstimateStats, StopRule, Welford};
 use crate::trace::RunTrace;
 use fascia_combin::{colorful_probability, BinomialTable, ColorSetIter, SplitTable};
 use fascia_graph::Graph;
-use fascia_obs::{Metrics, SpanTimer, Tracer};
+use fascia_obs::{Metrics, Profiler, SpanTimer, Tracer};
 use fascia_table::{
     projected_bytes, AnyTable, CountTable, DenseTable, HashCountTable, LazyTable, Rows, TableKind,
 };
@@ -122,6 +123,17 @@ pub struct CountConfig {
     /// pointer check per site; ring overflow increments a drop counter and
     /// never changes a counting result.
     pub tracer: Option<Arc<Tracer>>,
+    /// Optional sampling profiler. When present the engine publishes its
+    /// current phase (`iteration` → `coloring` / per-subtemplate
+    /// `dp.n<idx>.<kind><size>` spans, plus `wave` and
+    /// `checkpoint.flush`) into the profiler's per-thread phase slots, so
+    /// the watcher thread can attribute wall time to engine phases with
+    /// flamegraph-compatible output (see [`Profiler::collapsed`]). The
+    /// caller owns the watcher lifecycle ([`Profiler::start`] /
+    /// [`Profiler::stop`]); publication alone is one relaxed store + one
+    /// release add per phase boundary and never changes a counting
+    /// result. `None` costs one pointer check per site.
+    pub profiler: Option<Arc<Profiler>>,
     /// Optional live-progress reporter, driven at wave barriers with the
     /// iteration count, running estimate, and (for adaptive rules) the
     /// current relative CI half-width. Used by the CLI for the stderr
@@ -189,6 +201,7 @@ impl Default for CountConfig {
             memory_budget_bytes: None,
             checkpoint: None,
             tracer: None,
+            profiler: None,
             progress: None,
             resume: None,
             fault: FaultInjection::default(),
@@ -383,6 +396,7 @@ pub fn rooted_counts(
     let ctx = DpContext::new(t, &pt, k);
     let rm = RunMetrics::resolve(cfg.metrics.as_deref(), &pt);
     let tr = RunTrace::resolve(cfg.tracer.as_ref(), &pt);
+    let pr = RunProf::resolve(cfg.profiler.as_ref(), &pt);
     let start = Instant::now();
     let rule = cfg.stop_rule();
     let budget = rule.budget().max(1);
@@ -408,9 +422,12 @@ pub fn rooted_counts(
     let run_attempt = |i: usize, inner: bool, seed: u64| -> Result<Vec<f64>, CountError> {
         let iter_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.iteration_ns));
         let iter_tspan = RunTrace::span_opt(tr.as_ref(), |t| t.iteration, i as u64);
+        let iter_ph = RunProf::enter_opt(pr.as_ref(), |p| p.iteration);
         let col_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.coloring_ns));
         let col_tspan = RunTrace::span_opt(tr.as_ref(), |t| t.coloring, i as u64);
+        let col_ph = RunProf::enter_opt(pr.as_ref(), |p| p.coloring);
         let coloring = random_coloring(g.num_vertices(), k, iteration_seed(seed, i as u64));
+        drop(col_ph);
         drop(col_tspan);
         drop(col_span);
         let out = dispatch_iteration(
@@ -425,9 +442,12 @@ pub fn rooted_counts(
             gate.as_ref(),
             cancel.as_ref(),
             true,
+            fault,
             rm.as_ref(),
             tr.as_ref(),
+            pr.as_ref(),
         )?;
+        drop(iter_ph);
         drop(iter_tspan);
         drop(iter_span);
         if let Some(m) = rm.as_ref() {
@@ -491,6 +511,7 @@ pub fn rooted_counts(
             (done + check_interval).min(budget)
         };
         let wave_tspan = RunTrace::span_opt(tr.as_ref(), |t| t.wave, (target - done) as u64);
+        let wave_ph = RunProf::enter_opt(pr.as_ref(), |p| p.wave);
         let wave: Vec<Result<Vec<f64>, CountError>> = match mode {
             ParallelMode::OuterLoop => (done..target)
                 .into_par_iter()
@@ -503,6 +524,7 @@ pub fn rooted_counts(
             ParallelMode::InnerLoop => (done..target).map(|i| run_one(i, true)).collect(),
             _ => (done..target).map(|i| run_one(i, false)).collect(),
         };
+        drop(wave_ph);
         drop(wave_tspan);
         let cancelled = cancel.as_ref().is_some_and(|c| c.is_cancelled())
             || wave.iter().any(|r| matches!(r, Err(CountError::Cancelled)));
@@ -589,6 +611,7 @@ fn count_impl(
     let ctx = DpContext::new(t, &pt, k);
     let rm = RunMetrics::resolve(cfg.metrics.as_deref(), &pt);
     let tr = RunTrace::resolve(cfg.tracer.as_ref(), &pt);
+    let pr = RunProf::resolve(cfg.profiler.as_ref(), &pt);
     let alpha = automorphisms(t);
     let p = colorful_probability(k, t.size());
     let scale = p * alpha as f64;
@@ -652,9 +675,12 @@ fn count_impl(
     let run_attempt = |i: usize, inner: bool, seed: u64| -> Result<(f64, usize), CountError> {
         let iter_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.iteration_ns));
         let iter_tspan = RunTrace::span_opt(tr.as_ref(), |t| t.iteration, i as u64);
+        let iter_ph = RunProf::enter_opt(pr.as_ref(), |p| p.iteration);
         let col_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.coloring_ns));
         let col_tspan = RunTrace::span_opt(tr.as_ref(), |t| t.coloring, i as u64);
+        let col_ph = RunProf::enter_opt(pr.as_ref(), |p| p.coloring);
         let coloring = random_coloring(g.num_vertices(), k, iteration_seed(seed, i as u64));
+        drop(col_ph);
         drop(col_tspan);
         drop(col_span);
         let out = dispatch_iteration(
@@ -669,9 +695,12 @@ fn count_impl(
             gate.as_ref(),
             cancel.as_ref(),
             false,
+            fault,
             rm.as_ref(),
             tr.as_ref(),
+            pr.as_ref(),
         )?;
+        drop(iter_ph);
         drop(iter_tspan);
         drop(iter_span);
         if let Some(m) = rm.as_ref() {
@@ -725,6 +754,7 @@ fn count_impl(
         };
         let _flush_tspan =
             RunTrace::span_opt(tr.as_ref(), |t| t.checkpoint_flush, raw.len() as u64);
+        let _flush_ph = RunProf::enter_opt(pr.as_ref(), |p| p.checkpoint_flush);
         let peak_one = raw.iter().map(|&(_, b)| b).max().unwrap_or(0);
         let peak = match mode {
             ParallelMode::OuterLoop | ParallelMode::Hybrid => {
@@ -798,6 +828,7 @@ fn count_impl(
             (done + check_interval).min(budget)
         };
         let wave_tspan = RunTrace::span_opt(tr.as_ref(), |t| t.wave, (target - done) as u64);
+        let wave_ph = RunProf::enter_opt(pr.as_ref(), |p| p.wave);
         let wave: Vec<Result<(f64, usize), CountError>> = match mode {
             ParallelMode::OuterLoop => (done..target)
                 .into_par_iter()
@@ -810,6 +841,7 @@ fn count_impl(
             ParallelMode::InnerLoop => (done..target).map(|i| run_one(i, true)).collect(),
             _ => (done..target).map(|i| run_one(i, false)).collect(),
         };
+        drop(wave_ph);
         drop(wave_tspan);
         // A cancelled wave is discarded whole, so the surviving series is
         // always the contiguous iteration prefix a checkpoint describes.
@@ -1100,8 +1132,10 @@ fn dispatch_iteration(
     gate: Option<&BudgetGate>,
     cancel: Option<&CancelToken>,
     want_row_sums: bool,
+    fault: FaultInjection,
     rm: Option<&RunMetrics>,
     tr: Option<&RunTrace>,
+    pr: Option<&RunProf>,
 ) -> Result<IterationOutput, CountError> {
     if gate.is_some() {
         return run_iteration::<AnyTable>(
@@ -1116,8 +1150,10 @@ fn dispatch_iteration(
             gate,
             cancel,
             want_row_sums,
+            fault,
             rm,
             tr,
+            pr,
         );
     }
     match kind {
@@ -1133,8 +1169,10 @@ fn dispatch_iteration(
             None,
             cancel,
             want_row_sums,
+            fault,
             rm,
             tr,
+            pr,
         ),
         TableKind::Lazy => run_iteration::<LazyTable>(
             g,
@@ -1148,8 +1186,10 @@ fn dispatch_iteration(
             None,
             cancel,
             want_row_sums,
+            fault,
             rm,
             tr,
+            pr,
         ),
         TableKind::Hash => run_iteration::<HashCountTable>(
             g,
@@ -1163,8 +1203,10 @@ fn dispatch_iteration(
             None,
             cancel,
             want_row_sums,
+            fault,
             rm,
             tr,
+            pr,
         ),
     }
 }
@@ -1183,8 +1225,10 @@ fn run_iteration<T: CountTable>(
     gate: Option<&BudgetGate>,
     cancel: Option<&CancelToken>,
     want_row_sums: bool,
+    fault: FaultInjection,
     rm: Option<&RunMetrics>,
     tr: Option<&RunTrace>,
+    pr: Option<&RunProf>,
 ) -> Result<IterationOutput, CountError> {
     let n = g.num_vertices();
     let mut stored: Vec<Option<Stored<T>>> = Vec::new();
@@ -1217,6 +1261,10 @@ fn run_iteration<T: CountTable>(
         let cid = node.canon_id as usize;
         let _node_span = SpanTimer::start_opt(rm.and_then(|m| m.node_ns[idx as usize].as_deref()));
         let _node_tspan = RunTrace::node_span_opt(tr, idx as usize);
+        let _node_ph = RunProf::node_enter_opt(pr, idx as usize);
+        if let Some(d) = fault.sleep_in_dp {
+            std::thread::sleep(d);
+        }
         match node.kind {
             NodeKind::Vertex => {
                 let label = labels.map(|_| t.label(node.root));

@@ -39,6 +39,7 @@ pub mod gdd;
 pub(crate) mod metrics;
 pub mod motifs;
 pub mod parallel;
+pub(crate) mod profile;
 pub mod progress;
 pub mod resilience;
 pub mod sample;

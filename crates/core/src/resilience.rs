@@ -204,6 +204,10 @@ pub struct FaultInjection {
     /// Cancel the run's token right before this iteration executes,
     /// exercising mid-run cancellation and checkpoint flushing.
     pub cancel_on_iteration: Option<usize>,
+    /// Sleep this long at every subtemplate DP step, slowing the engine
+    /// without changing any counting result — a synthetic regression for
+    /// validating the `fascia-perf` compare gate end to end.
+    pub sleep_in_dp: Option<std::time::Duration>,
 }
 
 /// Errors loading or saving a [`Checkpoint`].

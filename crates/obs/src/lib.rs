@@ -23,7 +23,11 @@
 //!   fixed-size trace events (spans, instants, counter samples) with
 //!   Chrome trace-event JSON export and a stable `fascia-trace/1`
 //!   summary — the *when and in what order* companion to the registry's
-//!   *how much*.
+//!   *how much*,
+//! * [`Profiler`] — a signal-free sampling profiler: threads publish
+//!   their current phase stack into lock-free slots, a watcher thread
+//!   samples them at a configurable Hz and aggregates self/total time
+//!   per phase with flamegraph-compatible collapsed-stack export.
 //!
 //! # Overhead discipline
 //!
@@ -37,12 +41,14 @@
 pub mod counter;
 pub mod histogram;
 pub mod json;
+pub mod profiler;
 pub mod registry;
 pub mod span;
 pub mod trace;
 
 pub use counter::{thread_slot, Counter, Gauge, SHARDS};
 pub use histogram::Histogram;
+pub use profiler::{PhaseGuard, PhaseId, PhaseStat, Profiler, MAX_PHASE_DEPTH, PROFILE_SHARDS};
 pub use registry::{Metrics, MetricsReport, RunInfo};
 pub use span::SpanTimer;
 pub use trace::{EventKind, NameId, TraceEvent, TraceSpan, Tracer, TRACE_SHARDS};

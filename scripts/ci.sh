@@ -37,4 +37,21 @@ cargo test -q --offline -p fascia-cli --test cli -- \
   trace_does_not_change_the_estimate
 cargo test -q --offline -p fascia-obs --test prom_golden --test stress
 
+# Performance gates: the fascia-perf/1 schema and Mann–Whitney compare
+# rules, profiler result-identity invariants, and a 1-rep smoke of the
+# pinned suite against the checked-in baseline. A single rep cannot
+# support the significance test, so compare falls back to the ratio rule;
+# the loose 2x threshold catches step-change regressions, not noise.
+echo "=== perf schema & profiler gates ==="
+cargo test -q --offline --test profiler
+cargo test -q --offline -p fascia-bench --test perf
+
+echo "=== perf smoke gate ==="
+cargo build --release -q -p fascia-bench --bin perf --offline
+mkdir -p results/perf
+./target/release/perf run --smoke --reps 1 --warmup 1 --quiet \
+  --out results/perf/smoke.json
+./target/release/perf compare scripts/perf_baseline.json results/perf/smoke.json \
+  --threshold 2.0
+
 echo "ci: all green"

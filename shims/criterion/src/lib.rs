@@ -9,6 +9,11 @@
 //! statistical analysis, plotting, or baseline storage — just honest wall
 //! clock numbers on stdout, which is what the bench binaries need to be
 //! runnable and comparable in this environment.
+//!
+//! With `FASCIA_PERF_APPEND=<path>` set, every finished benchmark also
+//! appends its raw samples as a one-line `fascia-perf/1` document, so
+//! criterion output feeds the same compare gate as the `fascia-perf`
+//! runner in `fascia-bench`.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -177,6 +182,55 @@ fn run_benchmark(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)
         format_time(median),
         format_time(hi)
     );
+    append_perf_record(name, &b.samples);
+}
+
+/// When `FASCIA_PERF_APPEND=<path>` is set, appends this benchmark as a
+/// one-benchmark `fascia-perf/1` document on its own line, so criterion
+/// benches and the `fascia-perf` runner share one schema
+/// (`PerfDoc::parse` in `fascia-bench` merges such JSON-lines streams).
+/// The JSON is hand-rolled here because the shim must stay dependency-
+/// free; benchmark names contain only `[A-Za-z0-9_/.-]`, and samples are
+/// finite positive seconds, so no escaping cases arise that the simple
+/// writer below cannot handle.
+fn append_perf_record(name: &str, samples: &[f64]) {
+    let Some(path) = std::env::var_os("FASCIA_PERF_APPEND") else {
+        return;
+    };
+    append_perf_record_to(std::path::Path::new(&path), name, samples);
+}
+
+fn append_perf_record_to(path: &std::path::Path, name: &str, samples: &[f64]) {
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c => vec![c],
+        })
+        .collect();
+    let reps: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            if s.is_finite() {
+                format!("{s}")
+            } else {
+                "null".to_string()
+            }
+        })
+        .collect();
+    let line = format!(
+        "{{\"schema\":\"fascia-perf/1\",\"benchmarks\":{{\"{escaped}\":{{\"warmup\":1,\"reps_s\":[{}]}}}}}}\n",
+        reps.join(",")
+    );
+    use std::io::Write as _;
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("criterion shim: cannot append to {}: {e}", path.display());
+    }
 }
 
 fn format_time(secs: f64) -> String {
@@ -266,5 +320,23 @@ mod tests {
     #[test]
     fn macro_group_runs() {
         simple_group();
+    }
+
+    #[test]
+    fn perf_append_emits_one_json_line_per_benchmark() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("perf.jsonl");
+        let _ = std::fs::remove_file(&path);
+        append_perf_record_to(&path, "grp/bench \"a\"", &[0.5, 0.25]);
+        append_perf_record_to(&path, "grp/other", &[1.0]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"schema\":\"fascia-perf/1\""));
+        assert!(lines[0].contains("\\\"a\\\""));
+        assert!(lines[0].contains("\"reps_s\":[0.5,0.25]"));
+        assert!(lines[1].contains("\"grp/other\""));
+        let _ = std::fs::remove_file(&path);
     }
 }

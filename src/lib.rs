@@ -61,6 +61,7 @@ pub mod prelude {
     pub use fascia_graph::datasets::scale_from_env;
     pub use fascia_graph::digraph::DiGraph;
     pub use fascia_graph::{random_labels, Dataset, Graph};
+    pub use fascia_obs::{Metrics, Profiler, Tracer};
     pub use fascia_table::TableKind;
     pub use fascia_template::directed::DiTemplate;
     pub use fascia_template::{NamedTemplate, PartitionStrategy, PartitionTree, Template};
