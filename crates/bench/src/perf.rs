@@ -23,10 +23,14 @@
 //!   "schema": "fascia-perf/1",
 //!   "created_unix_ms": 1754460000000,
 //!   "threads": 8,
+//!   "cpu_model": "...",          // host provenance, omitted when unknown
+//!   "kernel": "...",
+//!   "git_sha": "...",
 //!   "benchmarks": {
 //!     "count/serial/improved/small": {
 //!       "warmup": 1,
 //!       "threshold": 1.3,
+//!       "peak_table_bytes": 1048576,
 //!       "median_s": 0.0123,
 //!       "mad_s": 0.0004,
 //!       "reps_s": [0.0121, 0.0123, 0.0131]
@@ -37,6 +41,9 @@
 //!
 //! `median_s`/`mad_s` are embedded for human diffing but recomputed from
 //! `reps_s` on parse, so a hand-edited document cannot lie to the gate.
+//! `peak_table_bytes` is the memory axis next to the time axis: the
+//! largest measured live DP-table footprint across the record's reps (0
+//! from producers that predate the field — the schema stays additive).
 
 use fascia_core::engine::{count_template, CountConfig};
 use fascia_core::parallel::ParallelMode;
@@ -221,13 +228,16 @@ fn erf(x: f64) -> f64 {
 // ---------------------------------------------------------------------------
 
 /// One benchmark's measured repetitions plus its gate parameters.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PerfRecord {
     /// Warmup repetitions executed before timing began.
     pub warmup: u64,
     /// Median-ratio threshold above which (with significance) this
     /// benchmark counts as regressed.
     pub threshold: f64,
+    /// Largest measured live DP-table footprint across the reps, bytes
+    /// (0 when the producer did not measure memory).
+    pub peak_table_bytes: u64,
     /// Timed repetitions, in seconds, in execution order.
     pub reps_s: Vec<f64>,
 }
@@ -247,6 +257,7 @@ impl PerfRecord {
         let mut o = ObjectWriter::new();
         o.field_u64("warmup", self.warmup)
             .field_f64("threshold", self.threshold)
+            .field_u64("peak_table_bytes", self.peak_table_bytes)
             .field_f64("median_s", self.median_s())
             .field_f64("mad_s", self.mad_s())
             .field_raw(
@@ -270,21 +281,34 @@ pub struct PerfDoc {
     pub created_unix_ms: u64,
     /// Worker threads available to the producing run.
     pub threads: u64,
+    /// Host CPU model of the producing run, when detectable — BENCH
+    /// archives are compared across machines, so the document says which
+    /// machine produced it.
+    pub cpu_model: Option<String>,
+    /// Host kernel release of the producing run, when detectable.
+    pub kernel: Option<String>,
+    /// Git commit of the producing working tree, when detectable.
+    pub git_sha: Option<String>,
     /// Benchmark id → record, sorted by id for stable serialization.
     pub benchmarks: BTreeMap<String, PerfRecord>,
 }
 
 impl PerfDoc {
-    /// An empty document stamped with the current time and thread count.
+    /// An empty document stamped with the current time, thread count, and
+    /// host provenance (best effort).
     pub fn new_now() -> Self {
         Self {
             created_unix_ms: unix_ms_now(),
             threads: rayon::current_num_threads() as u64,
+            cpu_model: fascia_obs::detect_cpu_model(),
+            kernel: fascia_obs::detect_kernel(),
+            git_sha: fascia_obs::detect_git_sha(),
             benchmarks: BTreeMap::new(),
         }
     }
 
-    /// Serializes the document (compact, stable key order).
+    /// Serializes the document (compact, stable key order). Provenance
+    /// fields are emitted only when present (additive-only schema).
     pub fn to_json(&self) -> String {
         let mut bench = ObjectWriter::new();
         for (name, rec) in &self.benchmarks {
@@ -293,8 +317,17 @@ impl PerfDoc {
         let mut o = ObjectWriter::new();
         o.field_str("schema", SCHEMA)
             .field_u64("created_unix_ms", self.created_unix_ms)
-            .field_u64("threads", self.threads)
-            .field_raw("benchmarks", &bench.finish());
+            .field_u64("threads", self.threads);
+        if let Some(cpu) = &self.cpu_model {
+            o.field_str("cpu_model", cpu);
+        }
+        if let Some(k) = &self.kernel {
+            o.field_str("kernel", k);
+        }
+        if let Some(sha) = &self.git_sha {
+            o.field_str("git_sha", sha);
+        }
+        o.field_raw("benchmarks", &bench.finish());
         o.finish()
     }
 
@@ -319,6 +352,15 @@ impl PerfDoc {
                     if doc.threads != 0 {
                         m.threads = doc.threads;
                     }
+                    if doc.cpu_model.is_some() {
+                        m.cpu_model = doc.cpu_model;
+                    }
+                    if doc.kernel.is_some() {
+                        m.kernel = doc.kernel;
+                    }
+                    if doc.git_sha.is_some() {
+                        m.git_sha = doc.git_sha;
+                    }
                     m.benchmarks.extend(doc.benchmarks);
                 }
             }
@@ -335,6 +377,7 @@ impl PerfDoc {
         if schema != SCHEMA {
             return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
         }
+        let prov = |k: &str| Json::get(obj, k).and_then(Json::as_str).map(str::to_string);
         let mut doc = PerfDoc {
             created_unix_ms: Json::get(obj, "created_unix_ms")
                 .and_then(Json::as_u64)
@@ -342,6 +385,9 @@ impl PerfDoc {
             threads: Json::get(obj, "threads")
                 .and_then(Json::as_u64)
                 .unwrap_or(0),
+            cpu_model: prov("cpu_model"),
+            kernel: prov("kernel"),
+            git_sha: prov("git_sha"),
             benchmarks: BTreeMap::new(),
         };
         let benches = Json::get(obj, "benchmarks")
@@ -371,6 +417,9 @@ impl PerfDoc {
                     threshold: Json::get(rec, "threshold")
                         .and_then(Json::as_f64)
                         .unwrap_or(DEFAULT_THRESHOLD),
+                    peak_table_bytes: Json::get(rec, "peak_table_bytes")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0),
                     reps_s,
                 },
             );
@@ -726,12 +775,14 @@ pub fn run_suite(opts: &SuiteOpts) -> PerfDoc {
             let _ = count_template(g, &template, &cfg).expect("suite workload must count");
         }
         let mut reps_s = Vec::with_capacity(opts.reps.max(1));
+        let mut peak_table_bytes = 0u64;
         for _ in 0..opts.reps.max(1) {
             let start = Instant::now();
             let r = count_template(g, &template, &cfg).expect("suite workload must count");
             let secs = start.elapsed().as_secs_f64();
             // Keep the estimate alive so the count cannot be optimized out.
             assert!(r.estimate.is_finite());
+            peak_table_bytes = peak_table_bytes.max(r.peak_table_bytes as u64);
             reps_s.push(secs);
         }
         if opts.verbose {
@@ -747,6 +798,7 @@ pub fn run_suite(opts: &SuiteOpts) -> PerfDoc {
             PerfRecord {
                 warmup: opts.warmup as u64,
                 threshold: DEFAULT_THRESHOLD,
+                peak_table_bytes,
                 reps_s,
             },
         );

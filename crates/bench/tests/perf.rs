@@ -84,6 +84,7 @@ fn sample_doc() -> PerfDoc {
         PerfRecord {
             warmup: 1,
             threshold: 1.3,
+            peak_table_bytes: 1_048_576,
             reps_s: vec![0.25, 0.5, 1.0],
         },
     );
@@ -92,12 +93,16 @@ fn sample_doc() -> PerfDoc {
         PerfRecord {
             warmup: 2,
             threshold: 1.5,
+            peak_table_bytes: 2_048,
             reps_s: vec![0.125],
         },
     );
     PerfDoc {
         created_unix_ms: 1_754_460_000_000,
         threads: 8,
+        cpu_model: Some("Example CPU @ 3.00GHz".to_string()),
+        kernel: Some("6.0.0-example".to_string()),
+        git_sha: Some("0123456789abcdef".to_string()),
         benchmarks,
     }
 }
@@ -132,6 +137,11 @@ fn parse_merges_jsonl_streams_and_defaults_missing_fields() {
     let shim = &doc.benchmarks["engine_trace_overhead/absent"];
     assert_eq!(shim.threshold, DEFAULT_THRESHOLD);
     assert_eq!(shim.reps_s, vec![0.001, 0.002]);
+    // Pre-memory-axis producers parse with the additive default.
+    assert_eq!(shim.peak_table_bytes, 0);
+    // Shim lines carry no provenance; the full document's survives the merge.
+    assert_eq!(doc.cpu_model.as_deref(), Some("Example CPU @ 3.00GHz"));
+    assert_eq!(doc.git_sha.as_deref(), Some("0123456789abcdef"));
     // The later line replaced the earlier record wholesale.
     assert_eq!(doc.benchmarks["count/outer/hash/large"].warmup, 9);
 }
@@ -184,6 +194,7 @@ fn doc_of(entries: &[(&str, &[f64])]) -> PerfDoc {
                 warmup: 0,
                 threshold: DEFAULT_THRESHOLD,
                 reps_s: reps.to_vec(),
+                ..PerfRecord::default()
             },
         );
     }
@@ -191,6 +202,7 @@ fn doc_of(entries: &[(&str, &[f64])]) -> PerfDoc {
         created_unix_ms: 0,
         threads: 1,
         benchmarks,
+        ..PerfDoc::default()
     }
 }
 
@@ -306,6 +318,8 @@ fn suite_self_comparison_is_clean() {
     assert_eq!(rec.reps_s.len(), 5);
     assert!(rec.median_s() > 0.0);
     assert!(median(&rec.reps_s) >= mad(&rec.reps_s));
+    // The memory axis rides along: a real counting run builds tables.
+    assert!(rec.peak_table_bytes > 0, "suite must measure table memory");
     let rows = compare(&a, &b, None, 0.01);
     assert!(
         !any_regression(&rows),

@@ -25,10 +25,14 @@
 //! estimate and checkpoint may still have been produced).
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+mod report;
+
 use fascia_core::engine::{count_template, CountConfig, CountError};
 use fascia_core::exact::count_exact;
 use fascia_core::gdd::{estimate_gdd, GddHistogram};
+use fascia_core::mem::MemCollector;
 use fascia_core::motifs::motif_profile;
+use fascia_core::parallel::ParallelMode;
 use fascia_core::progress::{Progress, ProgressConfig};
 use fascia_core::resilience::{atomic_write, CancelToken, Checkpoint, CheckpointConfig};
 use fascia_core::sample::sample_embeddings;
@@ -43,6 +47,13 @@ use std::path::PathBuf;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The whole process runs under the counting allocator. Disabled (the
+/// default) it forwards straight to the system allocator after one
+/// relaxed atomic load — `--mem-stats` flips it on for a run, and the
+/// fascia-mem/1 document reports what it measured.
+#[global_allocator]
+static GLOBAL_ALLOC: fascia_obs::alloc::CountingAlloc = fascia_obs::alloc::CountingAlloc;
 
 /// Set by the SIGINT handler; every counting run watches it through a
 /// [`CancelToken`], so Ctrl-C flushes a final checkpoint and reports the
@@ -154,6 +165,7 @@ fn run(args: &[String]) -> Result<i32, CliError> {
         "distsim" => cmd_distsim(rest),
         "gen" => cmd_gen(rest),
         "info" => cmd_info(rest),
+        "report" => report::cmd_report(rest),
         "templates" => {
             cmd_templates();
             Ok(EXIT_OK)
@@ -170,8 +182,8 @@ fn run(args: &[String]) -> Result<i32, CliError> {
 }
 
 fn usage_text() -> String {
-    "usage: fascia <count|exact|motifs|gdd|sample|distsim|gen|info|templates|help> ...\n\
-     \x20 count  <dataset|file> <template> [--iters N] [--table naive|improved|hash] [--strategy one|balanced] [--seed S] [--metrics off|pretty|json|prom] [adaptive flags] [resilience flags] [observability flags]\n\
+    "usage: fascia <count|exact|motifs|gdd|sample|distsim|gen|info|report|templates|help> ...\n\
+     \x20 count  <dataset|file> <template> [--iters N] [--table naive|improved|hash] [--strategy one|balanced] [--parallel serial|inner|outer|auto] [--seed S] [--metrics off|pretty|json|prom] [adaptive flags] [resilience flags] [observability flags]\n\
      \x20 exact  <dataset|file> <template>\n\
      \x20 motifs <dataset|file> <size> [--iters N]\n\
      \x20 gdd    <dataset|file> [--iters N]\n\
@@ -179,6 +191,10 @@ fn usage_text() -> String {
      \x20 distsim <dataset|file> <template> <ranks> [--iters N]\n\
      \x20 gen    <dataset> <out.txt>\n\
      \x20 info   <dataset|file>\n\
+     \x20 report <run-dir> [--baseline BENCH.json] [--html FILE] [--no-html]\n\
+     \x20        render one unified terminal + self-contained HTML report from a directory of\n\
+     \x20        observability artifacts (fascia-obs/mem/perf/heartbeat JSON, Chrome traces,\n\
+     \x20        collapsed profiles); --baseline diffs fascia-perf/1 medians against an archive\n\
      \x20 templates\n\
      adaptive flags (every counting subcommand): --adaptive [--epsilon E] [--delta D] [--max-iters M]\n\
      \x20 stop iterating once the estimate is within ±E (relative, default 0.05)\n\
@@ -204,6 +220,10 @@ fn usage_text() -> String {
      \x20                      stack text (load with inferno-flamegraph or speedscope); with\n\
      \x20                      --metrics pretty the top phases by self time print to stderr too\n\
      \x20 --profile-hz N       sampling rate for --profile (default ~1000)\n\
+     \x20 --mem-stats          enable the counting allocator and table access telemetry; emits a\n\
+     \x20                      fascia-mem/1 document (own stdout line with --metrics json, summary\n\
+     \x20                      on stderr otherwise); observe-only — counts are bitwise unchanged\n\
+     \x20 --mem-out FILE       also write the fascia-mem/1 document to FILE (implies --mem-stats)\n\
      Ctrl-C cancels cooperatively: the current wave is discarded, a final checkpoint is\n\
      written (with --checkpoint), and the partial estimate is reported.\n\
      exit codes: 0 ok, 1 runtime failure, 2 usage, 3 i/o or bad input file,\n\
@@ -307,6 +327,11 @@ struct ObsFlags {
     trace_path: Option<PathBuf>,
     /// Write collapsed-stack profile text here after the run (atomically).
     profile_path: Option<PathBuf>,
+    /// `--mem-stats`: the counting allocator and table access telemetry
+    /// are live for this run; emit a fascia-mem/1 document at the end.
+    mem_stats: bool,
+    /// Write the fascia-mem/1 document here after the run (atomically).
+    mem_out: Option<PathBuf>,
     started_unix_ms: u64,
     t0: Instant,
 }
@@ -328,6 +353,8 @@ fn parse_flags(rest: &[String]) -> Result<(CountConfig, ObsFlags), CliError> {
     let mut profile_hz: Option<f64> = None;
     let mut heartbeat: Option<PathBuf> = None;
     let mut progress_flag = false;
+    let mut mem_stats = false;
+    let mut mem_out: Option<PathBuf> = None;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -442,6 +469,27 @@ fn parse_flags(rest: &[String]) -> Result<(CountConfig, ObsFlags), CliError> {
                 progress_flag = true;
                 i += 1;
             }
+            "--parallel" => {
+                cfg.parallel = match flag_value(rest, i, "--parallel")? {
+                    "serial" => ParallelMode::Serial,
+                    "inner" => ParallelMode::InnerLoop,
+                    "outer" => ParallelMode::OuterLoop,
+                    "auto" | "hybrid" => ParallelMode::Hybrid,
+                    other => {
+                        return Err(CliError::Usage(format!("unknown parallel mode '{other}'")));
+                    }
+                };
+                i += 2;
+            }
+            "--mem-stats" => {
+                mem_stats = true;
+                i += 1;
+            }
+            "--mem-out" => {
+                mem_out = Some(PathBuf::from(flag_value(rest, i, "--mem-out")?));
+                mem_stats = true;
+                i += 2;
+            }
             other => {
                 return Err(CliError::Usage(format!("unknown flag '{other}'")));
             }
@@ -482,6 +530,17 @@ fn parse_flags(rest: &[String]) -> Result<(CountConfig, ObsFlags), CliError> {
     }
     if report != MetricsReport::Off {
         cfg.metrics = Some(Arc::new(Metrics::new()));
+    }
+    if mem_stats {
+        // Enabled here — after the caller loaded the graph — so the
+        // allocator's totals are dominated by attributable DP work, not
+        // input parsing. Reset first: the flag is process-global and a
+        // prior enable (e.g. in tests driving parse_flags twice) must not
+        // leak bytes into this run's document.
+        fascia_obs::alloc::reset();
+        fascia_obs::alloc::set_enabled(true);
+        fascia_table::set_access_tracking(true);
+        cfg.mem = Some(Arc::new(MemCollector::new()));
     }
     if trace_path.is_some() || trace_buffer.is_some() {
         cfg.tracer = Some(Arc::new(match trace_buffer {
@@ -526,6 +585,8 @@ fn parse_flags(rest: &[String]) -> Result<(CountConfig, ObsFlags), CliError> {
             report,
             trace_path,
             profile_path,
+            mem_stats,
+            mem_out,
             started_unix_ms,
             t0: Instant::now(),
         },
@@ -575,6 +636,38 @@ fn emit_observability(obs: &ObsFlags, cfg: &CountConfig) -> Result<(), CliError>
             );
         }
     }
+    // Stop measuring before any rendering below, so the report-building
+    // allocations are not charged to the run being reported on.
+    let mem_doc = if obs.mem_stats {
+        // Snapshot first (so the document records that recording was
+        // live), then stop measuring before rendering.
+        let snap = fascia_obs::alloc::snapshot();
+        fascia_obs::alloc::set_enabled(false);
+        fascia_table::set_access_tracking(false);
+        let doc = cfg
+            .mem
+            .as_deref()
+            .map(|c| c.to_json(Some(&snap)))
+            .unwrap_or_else(|| MemCollector::new().to_json(Some(&snap)));
+        let frac = snap
+            .attributed_fraction()
+            .map_or_else(|| "n/a".to_string(), |f| format!("{:.1}%", 100.0 * f));
+        eprintln!(
+            "mem: {} phases, {} allocated bytes ({frac} attributed), {} peak live bytes",
+            snap.phases.len(),
+            snap.total_allocated_bytes,
+            snap.live_peak_bytes
+        );
+        if let Some(path) = &obs.mem_out {
+            atomic_write(path, &doc).map_err(|e| {
+                CliError::Io(format!("cannot write mem stats '{}': {e}", path.display()))
+            })?;
+            eprintln!("mem: fascia-mem/1 -> {}", path.display());
+        }
+        Some(doc)
+    } else {
+        None
+    };
     let Some(m) = cfg.metrics.as_deref() else {
         // The `--metrics pretty` top-phase table rides on the metrics
         // report; without a registry the profile file above is the output.
@@ -592,14 +685,21 @@ fn emit_observability(obs: &ObsFlags, cfg: &CountConfig) -> Result<(), CliError>
             }
         }
         MetricsReport::Json => {
-            let run = RunInfo {
+            let mut run = RunInfo {
                 started_unix_ms: obs.started_unix_ms,
                 wall_ms: obs.t0.elapsed().as_millis() as u64,
                 threads: rayon::current_num_threads() as u64,
                 parallel: cfg.parallel.name().to_string(),
+                ..RunInfo::default()
             };
+            run.probe_host();
             let summary = cfg.tracer.as_ref().map(|t| t.summary_json());
             println!("{}", m.to_json_full(Some(&run), summary.as_deref()));
+            // The fascia-mem/1 document is its own stdout line, so
+            // line-oriented consumers can pick either schema by its tag.
+            if let Some(doc) = &mem_doc {
+                println!("{doc}");
+            }
         }
         MetricsReport::Prom => println!("{}", m.render_prom()),
     }

@@ -1,0 +1,638 @@
+//! `fascia report` — one unified view over a run directory's artifacts.
+//!
+//! Ingestion lives here in the CLI; presentation is
+//! [`fascia_obs::Report`]. The subcommand scans a directory
+//! (non-recursive) for the repo's observability documents, classifies
+//! each file by its `"schema"` tag — `fascia-obs/1`, `fascia-mem/1`,
+//! `fascia-perf/1`, `fascia-heartbeat/1`, `fascia-ckpt/1` — or by shape
+//! (Chrome trace-event arrays, `*.collapsed` profiles), and renders one
+//! aligned terminal view plus one self-contained HTML file.
+//!
+//! With `--baseline BENCH.json` the perf section diffs each benchmark's
+//! median against the archived `fascia-perf/1` document (median ratio
+//! against the record's own threshold — the statistical Mann–Whitney gate
+//! stays in `fascia-bench`; the report is a readable overview, not a CI
+//! gate).
+
+use crate::{flag_value, usage_err, CliError, EXIT_OK};
+use fascia_core::resilience::{atomic_write, Json};
+use fascia_obs::{Report, Section, TableView};
+use std::path::{Path, PathBuf};
+
+/// Everything recognized in the run directory, file order sorted by name.
+#[derive(Default)]
+struct Artifacts {
+    obs: Vec<(String, Json)>,
+    mem: Vec<(String, Json)>,
+    perf: Vec<(String, Json)>,
+    heartbeat: Vec<(String, Json)>,
+    checkpoints: Vec<String>,
+    /// Chrome trace files: name and event count.
+    traces: Vec<(String, usize)>,
+    /// Collapsed-stack profiles: name and contents.
+    profiles: Vec<(String, String)>,
+    skipped: Vec<String>,
+}
+
+pub(crate) fn cmd_report(rest: &[String]) -> Result<i32, CliError> {
+    let Some(dir) = rest.first().filter(|d| !d.starts_with("--")) else {
+        return Err(usage_err("report needs <run-dir>"));
+    };
+    let mut baseline: Option<PathBuf> = None;
+    let mut html_out: Option<PathBuf> = None;
+    let mut no_html = false;
+    let flags = &rest[1..];
+    let mut i = 0;
+    while i < flags.len() {
+        match flags[i].as_str() {
+            "--baseline" => {
+                baseline = Some(PathBuf::from(flag_value(flags, i, "--baseline")?));
+                i += 2;
+            }
+            "--html" => {
+                html_out = Some(PathBuf::from(flag_value(flags, i, "--html")?));
+                i += 2;
+            }
+            "--no-html" => {
+                no_html = true;
+                i += 1;
+            }
+            other => return Err(CliError::Usage(format!("unknown report flag '{other}'"))),
+        }
+    }
+    let dir = Path::new(dir);
+    let arts = ingest_dir(dir)?;
+    let baseline_doc = baseline
+        .as_deref()
+        .map(|p| {
+            let text = std::fs::read_to_string(p).map_err(|e| {
+                CliError::Io(format!("cannot read baseline '{}': {e}", p.display()))
+            })?;
+            let v = Json::parse(&text).map_err(|e| {
+                CliError::Io(format!("baseline '{}' is not JSON: {e:?}", p.display()))
+            })?;
+            if schema_of(&v) != Some("fascia-perf/1") {
+                return Err(CliError::Io(format!(
+                    "baseline '{}' is not a fascia-perf/1 document",
+                    p.display()
+                )));
+            }
+            Ok(v)
+        })
+        .transpose()?;
+    let report = build_report(dir, &arts, baseline_doc.as_ref());
+    print!("{}", report.render_terminal());
+    if !no_html {
+        let path = html_out.unwrap_or_else(|| dir.join("report.html"));
+        atomic_write(&path, &report.render_html())
+            .map_err(|e| CliError::Io(format!("cannot write '{}': {e}", path.display())))?;
+        eprintln!("report: html -> {}", path.display());
+    }
+    Ok(EXIT_OK)
+}
+
+/// The `"schema"` tag of a parsed document, when it is a tagged object.
+fn schema_of(v: &Json) -> Option<&str> {
+    Json::get(v.as_obj()?, "schema").and_then(Json::as_str)
+}
+
+fn ingest_dir(dir: &Path) -> Result<Artifacts, CliError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| CliError::Io(format!("cannot read directory '{}': {e}", dir.display())))?;
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+        .filter_map(|e| e.file_name().into_string().ok())
+        .collect();
+    names.sort();
+    let mut arts = Artifacts::default();
+    for name in names {
+        let path = dir.join(&name);
+        if name.ends_with(".collapsed") {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                arts.profiles.push((name, text));
+            }
+            continue;
+        }
+        if !name.ends_with(".json") {
+            continue; // report.html, logs, edge lists — not ours to read.
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            arts.skipped.push(name);
+            continue;
+        };
+        let Ok(v) = Json::parse(&text) else {
+            arts.skipped.push(name);
+            continue;
+        };
+        match schema_of(&v) {
+            Some("fascia-obs/1") => arts.obs.push((name, v)),
+            Some("fascia-mem/1") => arts.mem.push((name, v)),
+            Some("fascia-perf/1") => arts.perf.push((name, v)),
+            Some("fascia-heartbeat/1") => arts.heartbeat.push((name, v)),
+            Some("fascia-ckpt/1") => arts.checkpoints.push(name),
+            Some(_) => arts.skipped.push(name),
+            // Chrome trace-event exports are a top-level array.
+            None if v.as_arr().is_some() => {
+                let events = v.as_arr().map(<[Json]>::len).unwrap_or(0);
+                arts.traces.push((name, events));
+            }
+            None => arts.skipped.push(name),
+        }
+    }
+    Ok(arts)
+}
+
+fn build_report(dir: &Path, arts: &Artifacts, baseline: Option<&Json>) -> Report {
+    let mut report = Report::new(format!("fascia run report — {}", dir.display()));
+    report.push_section(overview_section(arts));
+    if let Some((name, doc)) = arts.mem.last() {
+        report.push_section(allocator_section(name, doc));
+        report.push_section(tables_section(doc));
+    }
+    if let Some((name, doc)) = arts.obs.last() {
+        report.push_section(metrics_section(name, doc));
+    }
+    if !arts.perf.is_empty() {
+        report.push_section(perf_section(&arts.perf, baseline));
+    }
+    if let Some((name, doc)) = arts.heartbeat.last() {
+        report.push_section(scalar_section("Run status", name, doc));
+    }
+    if !arts.profiles.is_empty() {
+        report.push_section(profile_section(&arts.profiles));
+    }
+    report
+}
+
+fn overview_section(arts: &Artifacts) -> Section {
+    let mut s = Section::new("Overview");
+    let counts = [
+        ("fascia-obs/1 metrics", arts.obs.len()),
+        ("fascia-mem/1 memory", arts.mem.len()),
+        ("fascia-perf/1 benchmarks", arts.perf.len()),
+        ("fascia-heartbeat/1 status", arts.heartbeat.len()),
+        ("fascia-ckpt/1 checkpoints", arts.checkpoints.len()),
+        ("Chrome traces", arts.traces.len()),
+        ("collapsed profiles", arts.profiles.len()),
+    ];
+    let ingested: Vec<String> = counts
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(what, n)| format!("{n} {what}"))
+        .collect();
+    if ingested.is_empty() {
+        s.line("no recognized artifacts in this directory");
+    } else {
+        s.line(format!("ingested: {}", ingested.join(", ")));
+    }
+    if !arts.skipped.is_empty() {
+        s.line(format!(
+            "skipped (unrecognized): {}",
+            arts.skipped.join(", ")
+        ));
+    }
+    for (name, events) in &arts.traces {
+        s.line(format!("trace {name}: {events} events"));
+    }
+    // Run metadata from the metrics document, provenance included.
+    if let Some(run) = arts
+        .obs
+        .last()
+        .and_then(|(_, v)| v.as_obj())
+        .and_then(|o| Json::get(o, "run"))
+        .and_then(Json::as_obj)
+    {
+        let mut t = TableView::new(["run", "value"]);
+        for (k, v) in run {
+            if let Some(text) = scalar_text(v) {
+                t.row([k.clone(), text]);
+            }
+        }
+        s.table(t);
+    }
+    s
+}
+
+fn allocator_section(name: &str, doc: &Json) -> Section {
+    let mut s = Section::new("Allocator");
+    s.line(format!("source: {name}"));
+    let Some(a) = doc
+        .as_obj()
+        .and_then(|o| Json::get(o, "allocator"))
+        .and_then(Json::as_obj)
+    else {
+        s.line("no allocator section in the document");
+        return s;
+    };
+    let get = |k: &str| Json::get(a, k).and_then(Json::as_u64).unwrap_or(0);
+    let enabled = matches!(Json::get(a, "enabled"), Some(Json::Bool(true)));
+    let total = get("total_allocated_bytes");
+    s.line(format!(
+        "counting allocator {}: {} allocated over {} allocations, peak live {}",
+        if enabled { "enabled" } else { "disabled" },
+        fmt_bytes(total),
+        get("total_allocs"),
+        fmt_bytes(get("live_peak_bytes")),
+    ));
+    let frac = Json::get(a, "attributed_fraction")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    s.line(format!(
+        "attributed to named phases: {} ({:.1}%)",
+        fmt_bytes(get("attributed_bytes")),
+        100.0 * frac
+    ));
+    let Some(phases) = Json::get(a, "phases").and_then(Json::as_obj) else {
+        return s;
+    };
+    let mut rows: Vec<(String, u64, u64, u64)> = phases
+        .iter()
+        .filter_map(|(k, v)| {
+            let o = v.as_obj()?;
+            let g = |f: &str| Json::get(o, f).and_then(Json::as_u64).unwrap_or(0);
+            Some((
+                k.clone(),
+                g("allocated_bytes"),
+                g("allocs"),
+                g("live_peak_bytes"),
+            ))
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1));
+    let mut t = TableView::new(["phase", "allocated", "allocs", "live peak", "share"]);
+    for (phase, bytes, allocs, peak) in rows {
+        let share = if total > 0 {
+            format!("{:.1}%", 100.0 * bytes as f64 / total as f64)
+        } else {
+            "-".to_string()
+        };
+        t.row([
+            phase,
+            fmt_bytes(bytes),
+            allocs.to_string(),
+            fmt_bytes(peak),
+            share,
+        ]);
+    }
+    s.table(t);
+    s
+}
+
+fn tables_section(doc: &Json) -> Section {
+    let mut s = Section::new("DP tables");
+    let Some(tables) = doc
+        .as_obj()
+        .and_then(|o| Json::get(o, "tables"))
+        .and_then(Json::as_obj)
+    else {
+        s.line("no tables section in the document");
+        return s;
+    };
+    if tables.is_empty() {
+        s.line("no tables were recorded");
+        return s;
+    }
+    let mut t = TableView::new([
+        "node",
+        "kind",
+        "builds",
+        "peak",
+        "occupancy",
+        "gets",
+        "row reads",
+        "seq ratio",
+        "max probe",
+    ]);
+    for (node, v) in tables {
+        let Some(o) = v.as_obj() else { continue };
+        let g = |f: &str| Json::get(o, f).and_then(Json::as_u64).unwrap_or(0);
+        let occupancy = Json::get(o, "occupancy")
+            .and_then(Json::as_f64)
+            .map_or_else(|| "-".to_string(), |x| format!("{:.1}%", 100.0 * x));
+        let access = Json::get(o, "access").and_then(Json::as_obj);
+        let (gets, row_reads, seq) = match access {
+            Some(a) => {
+                let ga = |f: &str| Json::get(a, f).and_then(Json::as_u64).unwrap_or(0);
+                let (sq, sc) = (ga("sequential"), ga("scattered"));
+                let ratio = if sq + sc > 0 {
+                    format!("{:.1}%", 100.0 * sq as f64 / (sq + sc) as f64)
+                } else {
+                    "-".to_string()
+                };
+                (ga("gets").to_string(), ga("row_reads").to_string(), ratio)
+            }
+            None => ("-".to_string(), "-".to_string(), "-".to_string()),
+        };
+        let max_probe = Json::get(o, "probe")
+            .and_then(Json::as_obj)
+            .and_then(|p| Json::get(p, "max_probe"))
+            .and_then(Json::as_u64)
+            .map_or_else(|| "-".to_string(), |x| x.to_string());
+        t.row([
+            node.clone(),
+            Json::get(o, "kind")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            g("builds").to_string(),
+            fmt_bytes(g("bytes_peak")),
+            occupancy,
+            gets,
+            row_reads,
+            seq,
+            max_probe,
+        ]);
+    }
+    s.table(t);
+    s
+}
+
+fn metrics_section(name: &str, doc: &Json) -> Section {
+    let mut s = Section::new("Metrics");
+    s.line(format!("source: {name}"));
+    let Some(obj) = doc.as_obj() else { return s };
+    if let Some(counters) = Json::get(obj, "counters").and_then(Json::as_obj) {
+        let mut t = TableView::new(["counter", "total"]);
+        for (k, v) in counters {
+            let total = v
+                .as_obj()
+                .and_then(|o| Json::get(o, "total"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            t.row([k.clone(), total.to_string()]);
+        }
+        if !t.rows.is_empty() {
+            s.table(t);
+        }
+    }
+    if let Some(gauges) = Json::get(obj, "gauges").and_then(Json::as_obj) {
+        let mut t = TableView::new(["gauge", "value"]);
+        for (k, v) in gauges {
+            t.row([k.clone(), v.as_u64().unwrap_or(0).to_string()]);
+        }
+        if !t.rows.is_empty() {
+            s.table(t);
+        }
+    }
+    if let Some(hists) = Json::get(obj, "histograms").and_then(Json::as_obj) {
+        let mut t = TableView::new(["histogram", "count", "mean", "p50", "p99", "max"]);
+        for (k, v) in hists {
+            let Some(o) = v.as_obj() else { continue };
+            let g = |f: &str| Json::get(o, f).and_then(Json::as_u64).unwrap_or(0);
+            let mean = Json::get(o, "mean").and_then(Json::as_f64).unwrap_or(0.0);
+            t.row([
+                k.clone(),
+                g("count").to_string(),
+                format!("{mean:.1}"),
+                g("p50").to_string(),
+                g("p99").to_string(),
+                g("max").to_string(),
+            ]);
+        }
+        if !t.rows.is_empty() {
+            s.table(t);
+        }
+    }
+    if let Some(trace) = Json::get(obj, "trace")
+        .and_then(Json::as_obj)
+        .and_then(|t| Json::get(t, "events"))
+        .and_then(Json::as_obj)
+    {
+        let g = |f: &str| Json::get(trace, f).and_then(Json::as_u64).unwrap_or(0);
+        s.line(format!(
+            "trace: {} events recorded ({} dropped)",
+            g("recorded"),
+            g("dropped")
+        ));
+    }
+    s
+}
+
+/// Median of an already-parsed `reps_s` array (0 when empty).
+fn median_of(reps: &[Json]) -> f64 {
+    let mut v: Vec<f64> = reps.iter().filter_map(Json::as_f64).collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Benchmark name → (median seconds, threshold) from a fascia-perf/1 doc.
+fn perf_medians(doc: &Json) -> Vec<(String, f64, f64)> {
+    let Some(benches) = doc
+        .as_obj()
+        .and_then(|o| Json::get(o, "benchmarks"))
+        .and_then(Json::as_obj)
+    else {
+        return Vec::new();
+    };
+    benches
+        .iter()
+        .filter_map(|(name, v)| {
+            let o = v.as_obj()?;
+            let reps = Json::get(o, "reps_s").and_then(Json::as_arr)?;
+            let threshold = Json::get(o, "threshold")
+                .and_then(Json::as_f64)
+                .unwrap_or(1.3);
+            Some((name.clone(), median_of(reps), threshold))
+        })
+        .collect()
+}
+
+fn perf_section(docs: &[(String, Json)], baseline: Option<&Json>) -> Section {
+    let mut s = Section::new("Performance");
+    let base: Vec<(String, f64, f64)> = baseline.map(perf_medians).unwrap_or_default();
+    for (name, doc) in docs {
+        s.line(format!("source: {name}"));
+        let mut t = if baseline.is_some() {
+            TableView::new(["benchmark", "median ms", "baseline ms", "ratio", "verdict"])
+        } else {
+            TableView::new(["benchmark", "median ms"])
+        };
+        for (bench, med, threshold) in perf_medians(doc) {
+            if baseline.is_some() {
+                let old = base
+                    .iter()
+                    .find(|(n, _, _)| *n == bench)
+                    .map(|&(_, m, _)| m);
+                let (old_ms, ratio, verdict) = match old {
+                    Some(old_med) if old_med > 0.0 => {
+                        let r = med / old_med;
+                        let v = if r > threshold.max(1.0) {
+                            "slower"
+                        } else if r < 1.0 / threshold.max(1.0) {
+                            "faster"
+                        } else {
+                            "similar"
+                        };
+                        (format!("{:.3}", old_med * 1e3), format!("{r:.3}"), v)
+                    }
+                    _ => ("-".to_string(), "-".to_string(), "added"),
+                };
+                t.row([
+                    bench,
+                    format!("{:.3}", med * 1e3),
+                    old_ms,
+                    ratio,
+                    verdict.to_string(),
+                ]);
+            } else {
+                t.row([bench, format!("{:.3}", med * 1e3)]);
+            }
+        }
+        s.table(t);
+    }
+    s
+}
+
+/// A generic key/value section over a document's scalar top-level fields
+/// (used for heartbeats, whose schema is additive).
+fn scalar_section(title: &str, name: &str, doc: &Json) -> Section {
+    let mut s = Section::new(title);
+    s.line(format!("source: {name}"));
+    let Some(obj) = doc.as_obj() else { return s };
+    let mut t = TableView::new(["field", "value"]);
+    for (k, v) in obj {
+        if k == "schema" {
+            continue;
+        }
+        if let Some(text) = scalar_text(v) {
+            t.row([k.clone(), text]);
+        }
+    }
+    if !t.rows.is_empty() {
+        s.table(t);
+    }
+    s
+}
+
+fn profile_section(profiles: &[(String, String)]) -> Section {
+    let mut s = Section::new("Profile");
+    for (name, text) in profiles {
+        s.line(format!("source: {name}"));
+        // Collapsed format: one "frame;frame;frame count" line per stack.
+        let mut stacks: Vec<(&str, u64)> = text
+            .lines()
+            .filter_map(|l| {
+                let (stack, n) = l.rsplit_once(' ')?;
+                Some((stack, n.parse::<u64>().ok()?))
+            })
+            .collect();
+        stacks.sort_by_key(|b| std::cmp::Reverse(b.1));
+        let total: u64 = stacks.iter().map(|&(_, n)| n).sum();
+        let mut t = TableView::new(["stack", "samples", "share"]);
+        for (stack, n) in stacks.into_iter().take(10) {
+            let share = if total > 0 {
+                format!("{:.1}%", 100.0 * n as f64 / total as f64)
+            } else {
+                "-".to_string()
+            };
+            t.row([stack.to_string(), n.to_string(), share]);
+        }
+        s.table(t);
+    }
+    s
+}
+
+/// Renders a scalar JSON value for a key/value table (`None` for
+/// arrays/objects, which get their own sections).
+fn scalar_text(v: &Json) -> Option<String> {
+    Some(match v {
+        Json::Str(s) => s.clone(),
+        Json::UInt(n) => n.to_string(),
+        Json::Num(x) => format!("{x}"),
+        Json::Bool(b) => b.to_string(),
+        Json::Null => "null".to_string(),
+        Json::Arr(_) | Json::Obj(_) => return None,
+    })
+}
+
+/// `1234567` → `1.18 MiB`-style human size (exact below 1 KiB).
+fn fmt_bytes(n: u64) -> String {
+    const UNITS: [&str; 4] = ["KiB", "MiB", "GiB", "TiB"];
+    if n < 1024 {
+        return format!("{n} B");
+    }
+    let mut x = n as f64 / 1024.0;
+    let mut unit = 0;
+    while x >= 1024.0 && unit + 1 < UNITS.len() {
+        x /= 1024.0;
+        unit += 1;
+    }
+    format!("{x:.2} {}", UNITS[unit])
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_format_is_stable() {
+        assert_eq!(fmt_bytes(0), "0 B");
+        assert_eq!(fmt_bytes(1023), "1023 B");
+        assert_eq!(fmt_bytes(1024), "1.00 KiB");
+        assert_eq!(fmt_bytes(1_572_864), "1.50 MiB");
+    }
+
+    #[test]
+    fn schema_classification_reads_the_tag() {
+        let v = Json::parse("{\"schema\":\"fascia-mem/1\"}").unwrap();
+        assert_eq!(schema_of(&v), Some("fascia-mem/1"));
+        let arr = Json::parse("[{\"name\":\"x\"}]").unwrap();
+        assert_eq!(schema_of(&arr), None);
+        assert!(arr.as_arr().is_some());
+    }
+
+    #[test]
+    fn perf_medians_recompute_from_reps() {
+        let doc = Json::parse(
+            "{\"schema\":\"fascia-perf/1\",\"benchmarks\":{\"b\":{\"threshold\":1.3,\
+             \"reps_s\":[0.003,0.001,0.002]}}}",
+        )
+        .unwrap();
+        let m = perf_medians(&doc);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].0, "b");
+        assert!((m[0].1 - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_renders_from_synthetic_artifacts() {
+        let mut arts = Artifacts::default();
+        arts.mem.push((
+            "mem.json".to_string(),
+            Json::parse(
+                "{\"schema\":\"fascia-mem/1\",\"allocator\":{\"enabled\":true,\
+                 \"total_allocated_bytes\":1000,\"total_freed_bytes\":900,\
+                 \"total_allocs\":10,\"total_frees\":9,\"live_peak_bytes\":500,\
+                 \"attributed_bytes\":950,\"attributed_fraction\":0.95,\
+                 \"phases\":{\"dp.n02.cut3\":{\"allocated_bytes\":950,\
+                 \"freed_bytes\":900,\"allocs\":9,\"frees\":9,\
+                 \"live_peak_bytes\":500}}},\
+                 \"tables\":{\"dp.n02.cut3\":{\"kind\":\"hash\",\"builds\":2,\
+                 \"bytes_peak\":2048,\"bytes_total\":4096,\"rows\":100,\
+                 \"rows_materialized\":50,\"nonzero_rows\":40,\
+                 \"live_entries\":80,\"total_slots\":400,\"occupancy\":0.2,\
+                 \"probe\":{\"inserts\":80,\"probes\":90,\"max_probe\":3}}}}",
+            )
+            .unwrap(),
+        ));
+        let report = build_report(Path::new("/tmp/run"), &arts, None);
+        let text = report.render_terminal();
+        assert!(text.contains("Allocator"));
+        assert!(text.contains("95.0%"));
+        assert!(text.contains("dp.n02.cut3"));
+        assert!(text.contains("hash"));
+        let html = report.render_html();
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.contains("DP tables"));
+    }
+}

@@ -641,3 +641,128 @@ fn profile_rejects_nonpositive_rate() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("--profile-hz"), "stderr: {stderr}");
 }
+
+#[test]
+fn mem_stats_attributes_allocations_without_changing_the_estimate() {
+    use fascia_core::resilience::Json;
+    let mem_path = tmp_path("run.mem.json");
+    std::fs::remove_file(&mem_path).ok();
+    let plain = fascia()
+        .args(["count", "circuit", "U7-2", "--iters", "6", "--seed", "5"])
+        .args(["--parallel", "serial"])
+        .output()
+        .unwrap();
+    assert!(plain.status.success(), "{plain:?}");
+    let measured = fascia()
+        .args(["count", "circuit", "U7-2", "--iters", "6", "--seed", "5"])
+        .args(["--parallel", "serial", "--metrics", "json", "--mem-stats"])
+        .arg("--mem-out")
+        .arg(&mem_path)
+        .output()
+        .unwrap();
+    assert!(measured.status.success(), "{measured:?}");
+
+    // Observe-only: the instrumented run prints the identical estimate.
+    let line = |out: &[u8]| {
+        String::from_utf8_lossy(out)
+            .lines()
+            .find(|l| l.starts_with("estimate: "))
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(line(&plain.stdout), line(&measured.stdout));
+
+    // Both schema documents print as their own stdout lines.
+    let stdout = String::from_utf8_lossy(&measured.stdout);
+    assert!(stdout.lines().any(|l| l.contains("\"fascia-obs/1\"")));
+    let mem_line = stdout
+        .lines()
+        .find(|l| l.starts_with("{\"schema\":\"fascia-mem/1\""))
+        .expect("fascia-mem/1 stdout line");
+    let stderr = String::from_utf8_lossy(&measured.stderr);
+    assert!(stderr.contains("mem: "), "summary on stderr: {stderr}");
+
+    // The written file matches the stdout line and meets the attribution
+    // bar: at least 90% of allocated bytes land in a named phase.
+    let text = std::fs::read_to_string(&mem_path).unwrap();
+    assert_eq!(text.trim_end(), mem_line);
+    let doc = Json::parse(&text).unwrap();
+    let obj = doc.as_obj().unwrap();
+    let alloc = Json::get(obj, "allocator").and_then(Json::as_obj).unwrap();
+    assert_eq!(Json::get(alloc, "enabled").and_then(Json::as_f64), None);
+    assert!(matches!(
+        Json::get(alloc, "enabled"),
+        Some(Json::Bool(true))
+    ));
+    let frac = Json::get(alloc, "attributed_fraction")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(frac >= 0.90, "attribution below the bar: {frac}");
+    // Per-node table stats with access patterns rode along.
+    let tables = Json::get(obj, "tables").and_then(Json::as_obj).unwrap();
+    assert!(!tables.is_empty());
+    assert!(tables.iter().all(|(k, _)| k.starts_with("dp.n")));
+    assert!(
+        tables
+            .iter()
+            .any(|(_, v)| v.as_obj().is_some_and(|t| Json::get(t, "access").is_some())),
+        "access sections present: {text}"
+    );
+    std::fs::remove_file(&mem_path).ok();
+}
+
+#[test]
+fn report_renders_a_run_directory_and_sweeps_stale_temp_files() {
+    let dir = std::env::temp_dir().join(format!("fascia-report-e2e-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let hb = dir.join("hb.json");
+    // A predecessor that died between write and rename left this behind;
+    // the run's clean exit must sweep it.
+    let stale = dir.join("hb.json.tmp");
+    std::fs::write(&stale, "{\"torn\":").unwrap();
+    let out = fascia()
+        .args(["count", "circuit", "U5-2", "--iters", "4", "--seed", "3"])
+        .args(["--parallel", "serial", "--metrics", "json", "--mem-stats"])
+        .arg("--mem-out")
+        .arg(dir.join("mem.json"))
+        .arg("--heartbeat")
+        .arg(&hb)
+        .arg("--trace")
+        .arg(dir.join("trace.json"))
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(hb.exists());
+    assert!(!stale.exists(), "clean exit removes stale .tmp files");
+    // The metrics document goes to stdout; archive it like a run script.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let obs_line = stdout
+        .lines()
+        .find(|l| l.contains("\"fascia-obs/1\""))
+        .unwrap();
+    std::fs::write(dir.join("metrics.json"), obs_line).unwrap();
+
+    let report = fascia().arg("report").arg(&dir).output().unwrap();
+    assert!(report.status.success(), "{report:?}");
+    let text = String::from_utf8_lossy(&report.stdout);
+    for needle in ["Overview", "Allocator", "DP tables", "Metrics"] {
+        assert!(text.contains(needle), "missing {needle}:\n{text}");
+    }
+    let html = std::fs::read_to_string(dir.join("report.html")).unwrap();
+    assert!(html.starts_with("<!doctype html>"), "html rendered");
+    assert!(html.contains("DP tables"));
+
+    // --no-html skips the file; a custom --html path lands elsewhere.
+    let custom = dir.join("custom.html");
+    let again = fascia()
+        .arg("report")
+        .arg(&dir)
+        .arg("--html")
+        .arg(&custom)
+        .output()
+        .unwrap();
+    assert!(again.status.success(), "{again:?}");
+    assert!(custom.exists());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -27,6 +27,7 @@
 //! * vertex labels prune every base case (Fig. 4's speedup).
 
 use crate::coloring::{iteration_seed, random_coloring};
+use crate::mem::{MemCollector, RunMem};
 use crate::metrics::{CutMetrics, RunMetrics, TriangleMetrics};
 use crate::parallel::ParallelMode;
 use crate::profile::RunProf;
@@ -148,6 +149,15 @@ pub struct CountConfig {
     pub resume: Option<Checkpoint>,
     /// Deterministic fault hooks for tests; the default injects nothing.
     pub fault: FaultInjection,
+    /// Optional memory-observability collector. When present the engine
+    /// attributes allocator traffic to the shared phase taxonomy (effective
+    /// when the binary installed [`fascia_obs::CountingAlloc`]) and folds
+    /// every released DP table's storage/access statistics into the
+    /// collector, from which [`MemCollector::to_json`] renders the
+    /// `fascia-mem/1` document. Purely observational: counting results are
+    /// bitwise identical with it absent, attached, or fully enabled.
+    /// `None` costs one pointer check per site.
+    pub mem: Option<Arc<MemCollector>>,
 }
 
 impl CountConfig {
@@ -205,6 +215,7 @@ impl Default for CountConfig {
             progress: None,
             resume: None,
             fault: FaultInjection::default(),
+            mem: None,
         }
     }
 }
@@ -397,6 +408,7 @@ pub fn rooted_counts(
     let rm = RunMetrics::resolve(cfg.metrics.as_deref(), &pt);
     let tr = RunTrace::resolve(cfg.tracer.as_ref(), &pt);
     let pr = RunProf::resolve(cfg.profiler.as_ref(), &pt);
+    let mm = RunMem::resolve(cfg.mem.as_ref(), &pt);
     let start = Instant::now();
     let rule = cfg.stop_rule();
     let budget = rule.budget().max(1);
@@ -423,10 +435,13 @@ pub fn rooted_counts(
         let iter_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.iteration_ns));
         let iter_tspan = RunTrace::span_opt(tr.as_ref(), |t| t.iteration, i as u64);
         let iter_ph = RunProf::enter_opt(pr.as_ref(), |p| p.iteration);
+        let iter_mph = RunMem::enter_opt(mm.as_ref(), |m| m.iteration);
         let col_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.coloring_ns));
         let col_tspan = RunTrace::span_opt(tr.as_ref(), |t| t.coloring, i as u64);
         let col_ph = RunProf::enter_opt(pr.as_ref(), |p| p.coloring);
+        let col_mph = RunMem::enter_opt(mm.as_ref(), |m| m.coloring);
         let coloring = random_coloring(g.num_vertices(), k, iteration_seed(seed, i as u64));
+        drop(col_mph);
         drop(col_ph);
         drop(col_tspan);
         drop(col_span);
@@ -446,7 +461,9 @@ pub fn rooted_counts(
             rm.as_ref(),
             tr.as_ref(),
             pr.as_ref(),
+            mm.as_ref(),
         )?;
+        drop(iter_mph);
         drop(iter_ph);
         drop(iter_tspan);
         drop(iter_span);
@@ -612,6 +629,7 @@ fn count_impl(
     let rm = RunMetrics::resolve(cfg.metrics.as_deref(), &pt);
     let tr = RunTrace::resolve(cfg.tracer.as_ref(), &pt);
     let pr = RunProf::resolve(cfg.profiler.as_ref(), &pt);
+    let mm = RunMem::resolve(cfg.mem.as_ref(), &pt);
     let alpha = automorphisms(t);
     let p = colorful_probability(k, t.size());
     let scale = p * alpha as f64;
@@ -676,10 +694,13 @@ fn count_impl(
         let iter_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.iteration_ns));
         let iter_tspan = RunTrace::span_opt(tr.as_ref(), |t| t.iteration, i as u64);
         let iter_ph = RunProf::enter_opt(pr.as_ref(), |p| p.iteration);
+        let iter_mph = RunMem::enter_opt(mm.as_ref(), |m| m.iteration);
         let col_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.coloring_ns));
         let col_tspan = RunTrace::span_opt(tr.as_ref(), |t| t.coloring, i as u64);
         let col_ph = RunProf::enter_opt(pr.as_ref(), |p| p.coloring);
+        let col_mph = RunMem::enter_opt(mm.as_ref(), |m| m.coloring);
         let coloring = random_coloring(g.num_vertices(), k, iteration_seed(seed, i as u64));
+        drop(col_mph);
         drop(col_ph);
         drop(col_tspan);
         drop(col_span);
@@ -699,7 +720,9 @@ fn count_impl(
             rm.as_ref(),
             tr.as_ref(),
             pr.as_ref(),
+            mm.as_ref(),
         )?;
+        drop(iter_mph);
         drop(iter_ph);
         drop(iter_tspan);
         drop(iter_span);
@@ -903,6 +926,13 @@ fn count_impl(
     // resume file behind. The progress reporter likewise always sees the
     // terminal snapshot (and terminates its stderr line).
     flush_checkpoint(&raw)?;
+    if let Some(ckcfg) = &cfg.checkpoint {
+        // A `.tmp` sibling can only be a stale staging file from a process
+        // that died between write and rename; this run's own writes either
+        // renamed it away or removed it on failure. Sweep it so the run
+        // directory ends clean on normal exit and on Ctrl-C alike.
+        let _ = std::fs::remove_file(crate::resilience::tmp_sibling(&ckcfg.path));
+    }
     if let Some(p) = &cfg.progress {
         p.finish(&snapshot(&stream, raw.len(), Some(cause)));
     }
@@ -1136,6 +1166,7 @@ fn dispatch_iteration(
     rm: Option<&RunMetrics>,
     tr: Option<&RunTrace>,
     pr: Option<&RunProf>,
+    mm: Option<&RunMem>,
 ) -> Result<IterationOutput, CountError> {
     if gate.is_some() {
         return run_iteration::<AnyTable>(
@@ -1154,6 +1185,7 @@ fn dispatch_iteration(
             rm,
             tr,
             pr,
+            mm,
         );
     }
     match kind {
@@ -1173,6 +1205,7 @@ fn dispatch_iteration(
             rm,
             tr,
             pr,
+            mm,
         ),
         TableKind::Lazy => run_iteration::<LazyTable>(
             g,
@@ -1190,6 +1223,7 @@ fn dispatch_iteration(
             rm,
             tr,
             pr,
+            mm,
         ),
         TableKind::Hash => run_iteration::<HashCountTable>(
             g,
@@ -1207,6 +1241,7 @@ fn dispatch_iteration(
             rm,
             tr,
             pr,
+            mm,
         ),
     }
 }
@@ -1229,11 +1264,16 @@ fn run_iteration<T: CountTable>(
     rm: Option<&RunMetrics>,
     tr: Option<&RunTrace>,
     pr: Option<&RunProf>,
+    mm: Option<&RunMem>,
 ) -> Result<IterationOutput, CountError> {
     let n = g.num_vertices();
     let mut stored: Vec<Option<Stored<T>>> = Vec::new();
     stored.resize_with(pt.num_canon_classes(), || None);
     let mut uses = pt.class_use_counts();
+    // Maps canon class → the partition node that built its table, so
+    // fascia-mem/1 can attribute a table's lifetime access counters when
+    // it is released (tables accumulate reads until their last consumer).
+    let mut class_node: Vec<Option<usize>> = vec![None; pt.num_canon_classes()];
     let mut live_bytes = ctx.index_bytes + coloring.len();
     let mut peak_bytes = live_bytes;
     // The paper's naive memory scheme materializes single-vertex
@@ -1262,6 +1302,7 @@ fn run_iteration<T: CountTable>(
         let _node_span = SpanTimer::start_opt(rm.and_then(|m| m.node_ns[idx as usize].as_deref()));
         let _node_tspan = RunTrace::node_span_opt(tr, idx as usize);
         let _node_ph = RunProf::node_enter_opt(pr, idx as usize);
+        let _node_mph = RunMem::node_enter_opt(mm, idx as usize);
         if let Some(d) = fault.sleep_in_dp {
             std::thread::sleep(d);
         }
@@ -1290,6 +1331,7 @@ fn run_iteration<T: CountTable>(
                         m.table.record(&table);
                     }
                     ghost_singles[cid] = Some(table);
+                    class_node[cid] = Some(idx as usize);
                 }
                 stored[cid] = Some(Stored::Single { label });
             }
@@ -1316,6 +1358,7 @@ fn run_iteration<T: CountTable>(
                     m.table.record(&table);
                 }
                 stored[cid] = Some(Stored::Table(table));
+                class_node[cid] = Some(idx as usize);
             }
             NodeKind::Cut { active, passive } => {
                 let a_node = &pt.nodes()[active as usize];
@@ -1355,14 +1398,21 @@ fn run_iteration<T: CountTable>(
                     m.table.record(&table);
                 }
                 stored[cid] = Some(Stored::Table(table));
+                class_node[cid] = Some(idx as usize);
                 // Release children that have no remaining consumers.
                 for child_cid in [a_cid, p_cid] {
                     uses[child_cid] -= 1;
                     if uses[child_cid] == 0 && child_cid != cid {
                         if let Some(Stored::Table(old)) = stored[child_cid].take() {
+                            if let Some(ci) = class_node[child_cid] {
+                                RunMem::record_node(mm, ci, &old);
+                            }
                             live_bytes -= old.bytes();
                         }
                         if let Some(ghost) = ghost_singles[child_cid].take() {
+                            if let Some(ci) = class_node[child_cid] {
+                                RunMem::record_node(mm, ci, &ghost);
+                            }
                             live_bytes -= ghost.bytes();
                         }
                     }
@@ -1405,6 +1455,21 @@ fn run_iteration<T: CountTable>(
                 (total, sums)
             }
         };
+
+    // Record tables still alive at the end of the iteration (the root and
+    // any stragglers kept by the use-count discipline). Doing it after
+    // aggregation means the root's access counters include the final
+    // `total()`/row reads — the table's complete lifetime.
+    if mm.is_some() {
+        for (cid, slot) in stored.iter().enumerate() {
+            if let (Some(Stored::Table(table)), Some(ci)) = (slot, class_node[cid]) {
+                RunMem::record_node(mm, ci, table);
+            }
+            if let (Some(ghost), Some(ci)) = (ghost_singles[cid].as_ref(), class_node[cid]) {
+                RunMem::record_node(mm, ci, ghost);
+            }
+        }
+    }
 
     Ok(IterationOutput {
         colorful_total,

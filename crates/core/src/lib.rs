@@ -36,6 +36,7 @@ pub mod engine;
 pub mod enumerate;
 pub mod exact;
 pub mod gdd;
+pub mod mem;
 pub(crate) mod metrics;
 pub mod motifs;
 pub mod parallel;
@@ -49,6 +50,7 @@ pub(crate) mod trace;
 pub use engine::{
     count_template, count_template_labeled, rooted_counts, CountConfig, CountError, CountResult,
 };
+pub use mem::{MemCollector, NodeMemStats};
 pub use parallel::ParallelMode;
 pub use progress::{Progress, ProgressConfig, ProgressSnapshot};
 pub use resilience::{

@@ -78,6 +78,10 @@ impl TableMetrics {
             nonzero_rows,
             live_entries,
             probe,
+            // Access counters go to the fascia-mem/1 collector, not the
+            // registry: they accumulate for the table's whole lifetime,
+            // while this hook fires at construction time.
+            access: _,
         } = table.stats();
         self.bytes_built.add(allocated_bytes as u64);
         self.rows_materialized.add(rows_materialized as u64);

@@ -221,12 +221,17 @@ impl Progress {
 
     /// Reports the end of the run (any [`StopCause`]); always emits, and
     /// terminates the stderr line with a newline so later output starts
-    /// clean.
+    /// clean. Also sweeps a stale `.tmp` sibling of the heartbeat file —
+    /// only a process that died mid-write leaves one, and the final emit
+    /// is the moment the run directory should end clean.
     pub fn finish(&self, snap: &ProgressSnapshot) {
         let mut st = self.state.lock().unwrap();
         st.last_emit = Some(Instant::now());
         st.updates += 1;
         self.emit(&mut st, snap);
+        if let Some(path) = &self.cfg.heartbeat {
+            let _ = std::fs::remove_file(crate::resilience::tmp_sibling(path));
+        }
         if self.cfg.stderr_line && st.line_active {
             eprintln!();
             st.line_active = false;
@@ -290,6 +295,28 @@ mod tests {
     }
 
     #[test]
+    fn finish_sweeps_a_stale_heartbeat_temp_file() {
+        let dir = std::env::temp_dir().join(format!("fascia-hb-tmp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hb.json");
+        // Plant the staging file a crashed predecessor would leave behind
+        // (died between write and rename).
+        let stale = crate::resilience::tmp_sibling(&path);
+        std::fs::write(&stale, "{\"torn\":").unwrap();
+        let p = Progress::new(ProgressConfig {
+            stderr_line: false,
+            heartbeat: Some(path.clone()),
+            min_interval: Duration::ZERO,
+        });
+        let mut fin = snap(10, 10);
+        fin.stop_cause = Some(StopCause::Completed);
+        p.finish(&fin);
+        assert!(path.exists(), "the final heartbeat itself is written");
+        assert!(!stale.exists(), "finish removes the stale .tmp sibling");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn throttling_skips_rapid_waves_but_finish_always_emits() {
         let p = Progress::new(ProgressConfig {
             stderr_line: false,
@@ -321,6 +348,28 @@ mod tests {
         assert!(snap(0, 10).est_remaining_secs().is_none());
         // Converged already -> zero.
         s.ci_rel = Some(0.01);
+        assert_eq!(s.est_remaining_secs(), Some(0.0));
+    }
+
+    #[test]
+    fn degenerate_snapshots_render_without_nan() {
+        // Zero budget (e.g. a resume that already covered the whole run)
+        // and zero elapsed both sit on division edges; the renders must
+        // stay finite and the heartbeat parseable.
+        let mut s = snap(0, 0);
+        s.elapsed = Duration::ZERO;
+        for text in [s.render_line(), s.render_heartbeat(1)] {
+            assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+        }
+        assert!(s.render_heartbeat(1).contains("\"percent\":0"));
+        assert!(s.est_remaining_secs().is_none());
+        // Iterations done against a zero budget: percent guard still holds.
+        let s = snap(3, 0);
+        assert!(s.render_line().contains("(0%)"));
+        assert!(!s.render_heartbeat(2).contains("NaN"));
+        // Zero elapsed with work done extrapolates to a zero ETA, not NaN.
+        let mut s = snap(4, 10);
+        s.elapsed = Duration::ZERO;
         assert_eq!(s.est_remaining_secs(), Some(0.0));
     }
 

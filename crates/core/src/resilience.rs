@@ -506,16 +506,28 @@ impl Checkpoint {
 /// Writes `contents` to `path` atomically: a sibling `.tmp` file is
 /// written first and renamed over the destination, so readers never see a
 /// torn or truncated document. Shared by checkpoint saves, trace export,
-/// and the heartbeat writer.
+/// and the heartbeat writer. On any failure the temp file is removed —
+/// a failed save must not litter the run directory with stale `.tmp`
+/// siblings that a later `fascia report` scan would trip over.
 pub fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = tmp_sibling(path);
+    let result = std::fs::write(&tmp, contents).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// The sibling temp path `atomic_write` stages through (`<path>.tmp`).
+/// Exposed so cleanup paths (clean exit, interrupt) can remove a stale
+/// temp file left by a process that died mid-write.
+pub fn tmp_sibling(path: &Path) -> std::path::PathBuf {
     let mut tmp_name = path
         .file_name()
         .unwrap_or_else(|| std::ffi::OsStr::new("out"))
         .to_os_string();
     tmp_name.push(".tmp");
-    let tmp = path.with_file_name(tmp_name);
-    std::fs::write(&tmp, contents)?;
-    std::fs::rename(&tmp, path)
+    path.with_file_name(tmp_name)
 }
 
 /// A parsed JSON value — the read half of `fascia-obs`'s write-only JSON
@@ -857,7 +869,32 @@ mod tests {
         let ck = sample();
         ck.save(&path).unwrap();
         assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        // The staging file was renamed over the destination, not left behind.
+        assert!(!tmp_sibling(&path).exists(), "no .tmp after a clean save");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tmp_sibling_appends_to_the_file_name() {
+        let p = Path::new("/runs/out/hb.json");
+        assert_eq!(tmp_sibling(p), Path::new("/runs/out/hb.json.tmp"));
+    }
+
+    #[test]
+    fn failed_atomic_write_removes_its_temp_file() {
+        let dir = std::env::temp_dir().join(format!("fascia-aw-fail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // The destination is a directory, so the write succeeds but the
+        // rename over it fails — exactly the window that used to leak a
+        // stale `.tmp` sibling into the run directory.
+        let dest = dir.join("blocked");
+        std::fs::create_dir_all(&dest).unwrap();
+        assert!(atomic_write(&dest, "{}").is_err());
+        assert!(
+            !tmp_sibling(&dest).exists(),
+            "a failed save must clean up its staging file"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

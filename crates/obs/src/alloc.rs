@@ -1,0 +1,429 @@
+//! An opt-in counting global allocator with per-phase attribution.
+//!
+//! The Figs. 6–7 memory comparisons and the engine's budget ladder reason
+//! about *table* bytes; this module measures what the process actually
+//! asks of the allocator, attributed to the same phase taxonomy the tracer
+//! and profiler publish (`iteration`, `coloring`, `dp.n<idx>.<kind><size>`,
+//! ...). A binary opts in by installing [`CountingAlloc`]:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: fascia_obs::alloc::CountingAlloc = fascia_obs::alloc::CountingAlloc;
+//! ```
+//!
+//! and enabling it around the region of interest with [`set_enabled`].
+//! Instrumented code marks phases with [`intern_phase`] (once, outside hot
+//! loops) and [`enter_phase`] (an RAII guard setting a thread-local phase
+//! index). Attribution is by the phase current *on the allocating thread at
+//! allocation time*; frees are charged to the phase current at free time,
+//! so a phase's `live` can dip negative when memory flows across phase
+//! boundaries — per-phase `allocated_bytes` is the robust axis, and the
+//! process-wide live/peak watermark is tracked separately and exactly.
+//!
+//! # Discipline inside the hooks
+//!
+//! The `alloc`/`dealloc` hooks must never allocate, panic, or take locks.
+//! Everything they touch is a fixed-size static table of relaxed atomics
+//! plus a const-initialized `thread_local!` `Cell` (no destructor, so it is
+//! safe to read during TLS teardown via `try_with`). Phase *names* live in
+//! a mutex-guarded `Vec` touched only by [`intern_phase`] and
+//! [`snapshot`], never by the hooks. When disabled (the default) every
+//! hook is a single relaxed load on top of the system allocator.
+
+use crate::json::ObjectWriter;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Fixed capacity of the phase-attribution table (slot 0 is the implicit
+/// "(unattributed)" phase; [`intern_phase`] falls back to it when full).
+pub const MAX_MEM_PHASES: usize = 64;
+
+/// Name reported for slot 0: allocations made while no phase was entered.
+pub const UNATTRIBUTED: &str = "(unattributed)";
+
+struct PhaseCell {
+    allocated: AtomicU64,
+    freed: AtomicU64,
+    allocs: AtomicU64,
+    frees: AtomicU64,
+    live: AtomicI64,
+    peak: AtomicI64,
+}
+
+impl PhaseCell {
+    const fn new() -> Self {
+        Self {
+            allocated: AtomicU64::new(0),
+            freed: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
+            frees: AtomicU64::new(0),
+            live: AtomicI64::new(0),
+            peak: AtomicI64::new(0),
+        }
+    }
+
+    fn reset(&self) {
+        self.allocated.store(0, Ordering::Relaxed);
+        self.freed.store(0, Ordering::Relaxed);
+        self.allocs.store(0, Ordering::Relaxed);
+        self.frees.store(0, Ordering::Relaxed);
+        self.live.store(0, Ordering::Relaxed);
+        self.peak.store(0, Ordering::Relaxed);
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static PHASES: [PhaseCell; MAX_MEM_PHASES] = [const { PhaseCell::new() }; MAX_MEM_PHASES];
+/// Interned phase count including slot 0.
+static NUM_PHASES: AtomicUsize = AtomicUsize::new(1);
+/// Names for slots 1.. — only touched by `intern_phase` and `snapshot`.
+static NAMES: Mutex<Vec<String>> = Mutex::new(Vec::new());
+static TOTAL_LIVE: AtomicI64 = AtomicI64::new(0);
+static TOTAL_PEAK: AtomicI64 = AtomicI64::new(0);
+
+thread_local! {
+    // `const` init + no destructor: reachable from the alloc hook even
+    // during thread teardown.
+    static CURRENT_PHASE: Cell<usize> = const { Cell::new(0) };
+}
+
+#[inline]
+fn current_phase() -> usize {
+    CURRENT_PHASE.try_with(Cell::get).unwrap_or(0)
+}
+
+#[inline]
+fn record_alloc(size: usize) {
+    let cell = &PHASES[current_phase().min(MAX_MEM_PHASES - 1)];
+    cell.allocated.fetch_add(size as u64, Ordering::Relaxed);
+    cell.allocs.fetch_add(1, Ordering::Relaxed);
+    let live = cell.live.fetch_add(size as i64, Ordering::Relaxed) + size as i64;
+    cell.peak.fetch_max(live, Ordering::Relaxed);
+    let total = TOTAL_LIVE.fetch_add(size as i64, Ordering::Relaxed) + size as i64;
+    TOTAL_PEAK.fetch_max(total, Ordering::Relaxed);
+}
+
+#[inline]
+fn record_free(size: usize) {
+    let cell = &PHASES[current_phase().min(MAX_MEM_PHASES - 1)];
+    cell.freed.fetch_add(size as u64, Ordering::Relaxed);
+    cell.frees.fetch_add(1, Ordering::Relaxed);
+    cell.live.fetch_sub(size as i64, Ordering::Relaxed);
+    TOTAL_LIVE.fetch_sub(size as i64, Ordering::Relaxed);
+}
+
+/// The counting allocator. Wraps [`std::alloc::System`]; when not
+/// [enabled](set_enabled) it forwards with one extra relaxed load.
+pub struct CountingAlloc;
+
+// SAFETY: forwards every operation to `System` unchanged; the bookkeeping
+// is lock-free, allocation-free, and panic-free (see module docs).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() && ENABLED.load(Ordering::Relaxed) {
+            record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        if ENABLED.load(Ordering::Relaxed) {
+            record_free(layout.size());
+        }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() && ENABLED.load(Ordering::Relaxed) {
+            record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() && ENABLED.load(Ordering::Relaxed) {
+            record_free(layout.size());
+            record_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Turns recording on or off process-wide. Counters are *not* cleared —
+/// pair with [`reset`] to measure a fresh region.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the counting hooks are currently recording.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears every counter (per-phase and process-wide). Interned phase
+/// names and outstanding [`MemPhaseId`]s stay valid.
+pub fn reset() {
+    for cell in PHASES.iter() {
+        cell.reset();
+    }
+    TOTAL_LIVE.store(0, Ordering::Relaxed);
+    TOTAL_PEAK.store(0, Ordering::Relaxed);
+}
+
+/// A handle to an interned attribution phase. Copyable; valid for the
+/// process lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemPhaseId(usize);
+
+impl MemPhaseId {
+    /// The implicit slot-0 "(unattributed)" phase.
+    pub const fn unattributed() -> Self {
+        MemPhaseId(0)
+    }
+}
+
+/// Interns `name` into the fixed phase table, returning the existing id on
+/// repeat calls. When the table is full the unattributed phase is returned
+/// (attribution degrades, never fails). Takes a mutex — call once per
+/// phase outside hot loops, like the other resolve-once handles.
+pub fn intern_phase(name: &str) -> MemPhaseId {
+    let mut names = NAMES.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(i) = names.iter().position(|n| n == name) {
+        return MemPhaseId(i + 1);
+    }
+    let slot = names.len() + 1;
+    if slot >= MAX_MEM_PHASES {
+        return MemPhaseId::unattributed();
+    }
+    names.push(name.to_string());
+    NUM_PHASES.store(slot + 1, Ordering::Release);
+    MemPhaseId(slot)
+}
+
+/// RAII guard: allocations on this thread are attributed to `id` until the
+/// guard drops, which restores the previously-current phase (guards nest).
+#[must_use = "the phase lasts only while the guard is alive"]
+pub struct MemPhaseGuard {
+    prev: usize,
+    // Restoring on another thread would corrupt that thread's phase.
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Enters phase `id` on the current thread. Cheap (one TLS write); safe to
+/// call whether or not the counting allocator is installed or enabled.
+pub fn enter_phase(id: MemPhaseId) -> MemPhaseGuard {
+    let prev = CURRENT_PHASE
+        .try_with(|c| c.replace(id.0))
+        .unwrap_or_default();
+    MemPhaseGuard {
+        prev,
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for MemPhaseGuard {
+    fn drop(&mut self) {
+        let _ = CURRENT_PHASE.try_with(|c| c.set(self.prev));
+    }
+}
+
+/// Counters of one phase at snapshot time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemPhaseSnapshot {
+    /// Phase name (slot 0 reports [`UNATTRIBUTED`]).
+    pub name: String,
+    /// Bytes requested by allocations attributed to this phase.
+    pub allocated_bytes: u64,
+    /// Bytes released by frees attributed to this phase.
+    pub freed_bytes: u64,
+    /// Allocation calls.
+    pub allocs: u64,
+    /// Free calls.
+    pub frees: u64,
+    /// High watermark of this phase's (alloc − free) balance, clamped at 0
+    /// (a phase freeing memory allocated elsewhere never reports negative).
+    pub live_peak_bytes: u64,
+}
+
+/// Point-in-time view of every allocator counter.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemSnapshot {
+    /// Whether recording was on when the snapshot was taken.
+    pub enabled: bool,
+    /// Per-phase counters; phase 0 is the unattributed remainder. Phases
+    /// with no activity are omitted.
+    pub phases: Vec<MemPhaseSnapshot>,
+    /// Process-wide bytes requested while enabled.
+    pub total_allocated_bytes: u64,
+    /// Process-wide bytes freed while enabled.
+    pub total_freed_bytes: u64,
+    /// Process-wide allocation calls.
+    pub total_allocs: u64,
+    /// Process-wide free calls.
+    pub total_frees: u64,
+    /// Exact process-wide live high watermark (bytes).
+    pub live_peak_bytes: u64,
+}
+
+impl MemSnapshot {
+    /// Bytes attributed to a *named* phase (everything except slot 0).
+    pub fn attributed_bytes(&self) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name != UNATTRIBUTED)
+            .map(|p| p.allocated_bytes)
+            .sum()
+    }
+
+    /// Fraction of allocated bytes attributed to a named phase
+    /// (`None` when nothing was allocated).
+    pub fn attributed_fraction(&self) -> Option<f64> {
+        if self.total_allocated_bytes == 0 {
+            None
+        } else {
+            Some(self.attributed_bytes() as f64 / self.total_allocated_bytes as f64)
+        }
+    }
+
+    /// Renders the `"allocator"` JSON object of the `fascia-mem/1`
+    /// document (stable, additive-only).
+    pub fn to_json(&self) -> String {
+        let mut phases = ObjectWriter::new();
+        for p in &self.phases {
+            let mut o = ObjectWriter::new();
+            o.field_u64("allocated_bytes", p.allocated_bytes)
+                .field_u64("freed_bytes", p.freed_bytes)
+                .field_u64("allocs", p.allocs)
+                .field_u64("frees", p.frees)
+                .field_u64("live_peak_bytes", p.live_peak_bytes);
+            phases.field_raw(&p.name, &o.finish());
+        }
+        let mut o = ObjectWriter::new();
+        o.field_bool("enabled", self.enabled)
+            .field_u64("total_allocated_bytes", self.total_allocated_bytes)
+            .field_u64("total_freed_bytes", self.total_freed_bytes)
+            .field_u64("total_allocs", self.total_allocs)
+            .field_u64("total_frees", self.total_frees)
+            .field_u64("live_peak_bytes", self.live_peak_bytes)
+            .field_u64("attributed_bytes", self.attributed_bytes())
+            .field_f64(
+                "attributed_fraction",
+                self.attributed_fraction().unwrap_or(0.0),
+            )
+            .field_raw("phases", &phases.finish());
+        o.finish()
+    }
+}
+
+/// Reads every counter. Totals are summed across phases, so
+/// "attribution sums to total" holds by construction; the process-wide
+/// live peak is tracked separately and exactly.
+pub fn snapshot() -> MemSnapshot {
+    let names = NAMES.lock().unwrap_or_else(|e| e.into_inner());
+    let num = NUM_PHASES.load(Ordering::Acquire).min(MAX_MEM_PHASES);
+    let mut snap = MemSnapshot {
+        enabled: is_enabled(),
+        live_peak_bytes: TOTAL_PEAK.load(Ordering::Relaxed).max(0) as u64,
+        ..MemSnapshot::default()
+    };
+    for (i, cell) in PHASES.iter().enumerate().take(num) {
+        let allocated = cell.allocated.load(Ordering::Relaxed);
+        let freed = cell.freed.load(Ordering::Relaxed);
+        let allocs = cell.allocs.load(Ordering::Relaxed);
+        let frees = cell.frees.load(Ordering::Relaxed);
+        snap.total_allocated_bytes += allocated;
+        snap.total_freed_bytes += freed;
+        snap.total_allocs += allocs;
+        snap.total_frees += frees;
+        if allocated == 0 && freed == 0 && allocs == 0 && frees == 0 {
+            continue;
+        }
+        let name = if i == 0 {
+            UNATTRIBUTED.to_string()
+        } else {
+            names
+                .get(i - 1)
+                .cloned()
+                .unwrap_or_else(|| UNATTRIBUTED.to_string())
+        };
+        snap.phases.push(MemPhaseSnapshot {
+            name,
+            allocated_bytes: allocated,
+            freed_bytes: freed,
+            allocs,
+            frees,
+            live_peak_bytes: cell.peak.load(Ordering::Relaxed).max(0) as u64,
+        });
+    }
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The real end-to-end test installs the allocator in its own binary
+    // (`tests/alloc_attribution.rs`); here the hooks are not installed, so
+    // these cover interning, guards, and snapshot math only.
+
+    #[test]
+    fn interning_is_idempotent_and_bounded() {
+        let a = intern_phase("unit.alloc.phase_a");
+        let b = intern_phase("unit.alloc.phase_a");
+        assert_eq!(a, b);
+        let c = intern_phase("unit.alloc.phase_b");
+        assert_ne!(a, c);
+        for i in 0..2 * MAX_MEM_PHASES {
+            // Overflowing the table degrades to unattributed, never panics.
+            let _ = intern_phase(&format!("unit.alloc.spam_{i}"));
+        }
+        assert_eq!(intern_phase("unit.alloc.overflow"), MemPhaseId(0));
+    }
+
+    #[test]
+    fn guards_nest_and_restore() {
+        let a = intern_phase("unit.alloc.phase_a");
+        let outer = enter_phase(a);
+        assert_eq!(current_phase(), a.0);
+        {
+            let _inner = enter_phase(MemPhaseId::unattributed());
+            assert_eq!(current_phase(), 0);
+        }
+        assert_eq!(current_phase(), a.0);
+        drop(outer);
+        assert_eq!(current_phase(), 0);
+    }
+
+    #[test]
+    fn snapshot_json_shape_is_stable() {
+        let snap = MemSnapshot {
+            enabled: true,
+            phases: vec![MemPhaseSnapshot {
+                name: "dp.n00.vertex1".to_string(),
+                allocated_bytes: 1024,
+                freed_bytes: 512,
+                allocs: 2,
+                frees: 1,
+                live_peak_bytes: 1024,
+            }],
+            total_allocated_bytes: 2048,
+            total_freed_bytes: 512,
+            total_allocs: 3,
+            total_frees: 1,
+            live_peak_bytes: 1536,
+        };
+        let j = snap.to_json();
+        assert!(j.starts_with("{\"enabled\":true"));
+        assert!(j.contains("\"attributed_bytes\":1024"));
+        assert!(j.contains("\"attributed_fraction\":0.5"));
+        assert!(j.contains("\"phases\":{\"dp.n00.vertex1\":{\"allocated_bytes\":1024"));
+        assert_eq!(snap.attributed_fraction(), Some(0.5));
+        assert_eq!(MemSnapshot::default().attributed_fraction(), None);
+    }
+}

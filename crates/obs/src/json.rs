@@ -81,6 +81,13 @@ impl ObjectWriter {
         self
     }
 
+    /// Adds `"k":true` / `"k":false`.
+    pub fn field_bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
     /// Adds `"k":<raw>` where `raw` is already-valid JSON.
     pub fn field_raw(&mut self, k: &str, raw: &str) -> &mut Self {
         self.key(k);

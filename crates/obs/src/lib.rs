@@ -27,7 +27,13 @@
 //! * [`Profiler`] — a signal-free sampling profiler: threads publish
 //!   their current phase stack into lock-free slots, a watcher thread
 //!   samples them at a configurable Hz and aggregates self/total time
-//!   per phase with flamegraph-compatible collapsed-stack export.
+//!   per phase with flamegraph-compatible collapsed-stack export,
+//! * [`CountingAlloc`] — an opt-in counting `#[global_allocator]` wrapper
+//!   attributing allocation volume and live watermarks to the same phase
+//!   taxonomy the tracer and profiler publish,
+//! * [`Report`] — the presentation layer of the unified `fascia report`
+//!   tool: schema-agnostic sections/tables rendered as aligned terminal
+//!   text or one self-contained HTML document.
 //!
 //! # Overhead discipline
 //!
@@ -38,18 +44,24 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod counter;
 pub mod histogram;
 pub mod json;
 pub mod profiler;
 pub mod registry;
+pub mod report;
 pub mod span;
 pub mod trace;
 
+pub use alloc::{CountingAlloc, MemPhaseGuard, MemPhaseId, MemSnapshot, MAX_MEM_PHASES};
 pub use counter::{thread_slot, Counter, Gauge, SHARDS};
 pub use histogram::Histogram;
 pub use profiler::{PhaseGuard, PhaseId, PhaseStat, Profiler, MAX_PHASE_DEPTH, PROFILE_SHARDS};
-pub use registry::{Metrics, MetricsReport, RunInfo};
+pub use registry::{
+    detect_cpu_model, detect_git_sha, detect_kernel, Metrics, MetricsReport, RunInfo,
+};
+pub use report::{Report, Section, TableView};
 pub use span::SpanTimer;
 pub use trace::{EventKind, NameId, TraceEvent, TraceSpan, Tracer, TRACE_SHARDS};
 

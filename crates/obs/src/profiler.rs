@@ -573,6 +573,23 @@ mod tests {
     }
 
     #[test]
+    fn render_top_with_zero_samples_has_no_nan() {
+        // A profiler that never ticked (0 samples, 0 ns window) must render
+        // a well-formed header: every division is behind a max(1) or an
+        // explicit zero guard. NaN/inf here would poison `--metrics pretty`.
+        let p = Profiler::new();
+        let top = p.render_top();
+        assert!(top.contains("profile: 0 samples"), "{top}");
+        assert!(!top.contains("NaN") && !top.contains("inf"), "{top}");
+        // Interned-but-never-sampled phases must not divide by the zero
+        // sample count either.
+        let p = Profiler::new();
+        let _ = p.intern("never-sampled");
+        let top = p.render_top();
+        assert!(!top.contains("NaN") && !top.contains("inf"), "{top}");
+    }
+
+    #[test]
     fn with_hz_clamps_garbage() {
         assert_eq!(Profiler::with_hz(0.0).period(), DEFAULT_SAMPLE_PERIOD);
         assert_eq!(Profiler::with_hz(-3.0).period(), DEFAULT_SAMPLE_PERIOD);

@@ -278,17 +278,99 @@ pub struct RunInfo {
     pub threads: u64,
     /// Parallel mode name as configured (e.g. `auto`, `outer`).
     pub parallel: String,
+    /// CPU model string (from `/proc/cpuinfo`), when detectable.
+    pub cpu_model: Option<String>,
+    /// Kernel release (from `/proc/sys/kernel/osrelease`), when detectable.
+    pub kernel: Option<String>,
+    /// Git commit of the working tree that produced the run, when inside a
+    /// repository with a resolvable `HEAD`.
+    pub git_sha: Option<String>,
 }
 
 impl RunInfo {
-    /// Renders the `"run"` JSON object.
+    /// Renders the `"run"` JSON object. Provenance fields are emitted only
+    /// when present (additive-only schema: absent ≠ empty string).
     pub fn to_json(&self) -> String {
         let mut o = ObjectWriter::new();
         o.field_u64("started_unix_ms", self.started_unix_ms)
             .field_u64("wall_ms", self.wall_ms)
             .field_u64("threads", self.threads)
             .field_str("parallel", &self.parallel);
+        if let Some(cpu) = &self.cpu_model {
+            o.field_str("cpu_model", cpu);
+        }
+        if let Some(k) = &self.kernel {
+            o.field_str("kernel", k);
+        }
+        if let Some(sha) = &self.git_sha {
+            o.field_str("git_sha", sha);
+        }
         o.finish()
+    }
+
+    /// Fills the provenance fields from the host (best effort; fields stay
+    /// `None` wherever the host does not expose the information), so BENCH
+    /// archives carry enough context to be compared across machines.
+    pub fn probe_host(&mut self) {
+        self.cpu_model = detect_cpu_model();
+        self.kernel = detect_kernel();
+        self.git_sha = detect_git_sha();
+    }
+}
+
+/// First `model name` value from `/proc/cpuinfo` (Linux; `None` elsewhere).
+pub fn detect_cpu_model() -> Option<String> {
+    let info = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+    for line in info.lines() {
+        let (key, value) = line.split_once(':')?;
+        if key.trim() == "model name" {
+            let v = value.trim();
+            if !v.is_empty() {
+                return Some(v.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Kernel release string (Linux; `None` elsewhere).
+pub fn detect_kernel() -> Option<String> {
+    let v = std::fs::read_to_string("/proc/sys/kernel/osrelease").ok()?;
+    let v = v.trim();
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.to_string())
+    }
+}
+
+/// Commit hash of `HEAD`, walking up from the current directory to find a
+/// `.git` directory and resolving one level of `ref:` indirection. Purely
+/// file-based — no `git` binary is spawned.
+pub fn detect_git_sha() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let head = dir.join(".git/HEAD");
+        if head.is_file() {
+            let contents = std::fs::read_to_string(&head).ok()?;
+            let contents = contents.trim();
+            let sha = if let Some(reference) = contents.strip_prefix("ref: ") {
+                std::fs::read_to_string(dir.join(".git").join(reference.trim()))
+                    .ok()?
+                    .trim()
+                    .to_string()
+            } else {
+                contents.to_string()
+            };
+            return if sha.len() >= 7 && sha.chars().all(|c| c.is_ascii_hexdigit()) {
+                Some(sha)
+            } else {
+                None
+            };
+        }
+        if !dir.pop() {
+            return None;
+        }
     }
 }
 
@@ -414,6 +496,7 @@ mod tests {
             wall_ms: 1234,
             threads: 8,
             parallel: "outer".to_string(),
+            ..RunInfo::default()
         };
         let j = m.to_json_full(Some(&info), Some("{\"schema\":\"fascia-trace/1\"}"));
         assert!(j.contains("\"run\":{\"started_unix_ms\":1700000000000"));
@@ -421,6 +504,39 @@ mod tests {
         assert!(j.contains("\"trace\":{\"schema\":\"fascia-trace/1\"}"));
         // The plain document stays unchanged (additive-only schema).
         assert!(!m.to_json().contains("\"run\""));
+    }
+
+    #[test]
+    fn run_info_provenance_is_emitted_only_when_present() {
+        let mut info = RunInfo {
+            threads: 2,
+            parallel: "serial".to_string(),
+            ..RunInfo::default()
+        };
+        let bare = info.to_json();
+        assert!(!bare.contains("cpu_model"));
+        assert!(!bare.contains("kernel"));
+        assert!(!bare.contains("git_sha"));
+        info.cpu_model = Some("Engine 9000 \"Turbo\"".to_string());
+        info.kernel = Some("6.1.0".to_string());
+        info.git_sha = Some("abc123f".to_string());
+        let full = info.to_json();
+        assert!(full.contains("\"cpu_model\":\"Engine 9000 \\\"Turbo\\\"\""));
+        assert!(full.contains("\"kernel\":\"6.1.0\""));
+        assert!(full.contains("\"git_sha\":\"abc123f\""));
+    }
+
+    #[test]
+    fn host_probe_is_best_effort() {
+        // Must never panic; on Linux CI the proc files exist and parse.
+        let mut info = RunInfo::default();
+        info.probe_host();
+        if cfg!(target_os = "linux") {
+            assert!(info.kernel.is_some());
+        }
+        if let Some(sha) = &info.git_sha {
+            assert!(sha.chars().all(|c| c.is_ascii_hexdigit()));
+        }
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! Presentation layer for the unified run report.
+//!
+//! `fascia report` (in the CLI) ingests a run directory of observability
+//! artifacts and builds a [`Report`] — a schema-agnostic tree of sections,
+//! text lines, and tables — which this module renders either as aligned
+//! terminal text or as one self-contained HTML document (inline CSS, no
+//! external assets, safe to open from a results archive years later).
+//! Keeping ingestion in the CLI and presentation here preserves
+//! `fascia-obs`'s zero-dependency, engine-agnostic role.
+
+use std::fmt::Write as _;
+
+/// A complete report: a title plus ordered sections.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Top-level heading.
+    pub title: String,
+    /// Ordered sections.
+    pub sections: Vec<Section>,
+}
+
+/// One titled section of prose lines and tables.
+#[derive(Debug, Clone, Default)]
+pub struct Section {
+    /// Section heading.
+    pub title: String,
+    /// Free-form text lines shown before the tables.
+    pub lines: Vec<String>,
+    /// Tabular content.
+    pub tables: Vec<TableView>,
+}
+
+/// A rendered table: header row plus data rows (ragged rows are padded).
+#[derive(Debug, Clone, Default)]
+pub struct TableView {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; cells render verbatim (escaped in HTML).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates an empty report with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a section and returns `self` for chaining.
+    pub fn push_section(&mut self, section: Section) -> &mut Self {
+        self.sections.push(section);
+        self
+    }
+
+    /// Renders aligned plain text for the terminal.
+    pub fn render_terminal(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let _ = writeln!(out, "{}", "=".repeat(self.title.chars().count()));
+        for s in &self.sections {
+            let _ = writeln!(out, "\n## {}", s.title);
+            for line in &s.lines {
+                let _ = writeln!(out, "{line}");
+            }
+            for t in &s.tables {
+                out.push('\n');
+                render_table_text(&mut out, t);
+            }
+        }
+        out
+    }
+
+    /// Renders one self-contained HTML document.
+    pub fn render_html(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("<!doctype html>\n<html><head><meta charset=\"utf-8\"><title>");
+        push_escaped(&mut out, &self.title);
+        out.push_str("</title><style>");
+        out.push_str(CSS);
+        out.push_str("</style></head><body>\n<h1>");
+        push_escaped(&mut out, &self.title);
+        out.push_str("</h1>\n");
+        for s in &self.sections {
+            out.push_str("<section><h2>");
+            push_escaped(&mut out, &s.title);
+            out.push_str("</h2>\n");
+            for line in &s.lines {
+                out.push_str("<p>");
+                push_escaped(&mut out, line);
+                out.push_str("</p>\n");
+            }
+            for t in &s.tables {
+                render_table_html(&mut out, t);
+            }
+            out.push_str("</section>\n");
+        }
+        out.push_str("</body></html>\n");
+        out
+    }
+}
+
+impl Section {
+    /// Creates an empty section with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            lines: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Appends a prose line.
+    pub fn line(&mut self, text: impl Into<String>) -> &mut Self {
+        self.lines.push(text.into());
+        self
+    }
+
+    /// Appends a table.
+    pub fn table(&mut self, table: TableView) -> &mut Self {
+        self.tables.push(table);
+        self
+    }
+}
+
+impl TableView {
+    /// Creates a table from headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+}
+
+const CSS: &str = "body{font:14px/1.5 system-ui,sans-serif;margin:2em auto;max-width:72em;\
+padding:0 1em;color:#1a1a1a}h1{border-bottom:2px solid #444;padding-bottom:.2em}\
+h2{margin-top:1.6em;color:#333}table{border-collapse:collapse;margin:.8em 0}\
+th,td{border:1px solid #bbb;padding:.25em .6em;text-align:left}\
+td.num{text-align:right;font-variant-numeric:tabular-nums}\
+th{background:#eee}tr:nth-child(even) td{background:#f7f7f7}p{margin:.3em 0}";
+
+fn looks_numeric(cell: &str) -> bool {
+    let t = cell
+        .trim_end_matches('%')
+        .trim_end_matches('x')
+        .trim_start_matches(['+', '-']);
+    !t.is_empty()
+        && t.chars()
+            .all(|c| c.is_ascii_digit() || c == '.' || c == ',')
+}
+
+fn render_table_text(out: &mut String, t: &TableView) {
+    let cols = t
+        .rows
+        .iter()
+        .map(Vec::len)
+        .chain([t.headers.len()])
+        .max()
+        .unwrap_or(0);
+    if cols == 0 {
+        return;
+    }
+    let mut widths = vec![0usize; cols];
+    let cell_of = |row: &[String], i: usize| row.get(i).map_or("", String::as_str).to_string();
+    for row in std::iter::once(&t.headers).chain(t.rows.iter()) {
+        for (i, w) in widths.iter_mut().enumerate() {
+            *w = (*w).max(cell_of(row, i).chars().count());
+        }
+    }
+    let emit = |out: &mut String, row: &[String]| {
+        for (i, w) in widths.iter().enumerate() {
+            let cell = cell_of(row, i);
+            if i > 0 {
+                out.push_str("  ");
+            }
+            if i + 1 < cols && looks_numeric(&cell) {
+                let _ = write!(out, "{cell:>w$}");
+            } else {
+                let _ = write!(out, "{cell:<w$}");
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    emit(out, &t.headers);
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    let _ = writeln!(out, "{}", "-".repeat(rule));
+    for row in &t.rows {
+        emit(out, row);
+    }
+}
+
+fn render_table_html(out: &mut String, t: &TableView) {
+    out.push_str("<table><thead><tr>");
+    for h in &t.headers {
+        out.push_str("<th>");
+        push_escaped(out, h);
+        out.push_str("</th>");
+    }
+    out.push_str("</tr></thead><tbody>\n");
+    for row in &t.rows {
+        out.push_str("<tr>");
+        for cell in row {
+            out.push_str(if looks_numeric(cell) {
+                "<td class=\"num\">"
+            } else {
+                "<td>"
+            });
+            push_escaped(out, cell);
+            out.push_str("</td>");
+        }
+        out.push_str("</tr>\n");
+    }
+    out.push_str("</tbody></table>\n");
+}
+
+/// HTML-escapes `text` into `out`.
+fn push_escaped(out: &mut String, text: &str) {
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("fascia run report");
+        let mut s = Section::new("Memory");
+        s.line("2 tables, 1 phase");
+        let mut t = TableView::new(["phase", "bytes", "share"]);
+        t.row(["dp.n00.vertex1", "1024", "50.0%"]);
+        t.row(["<script>", "1024", "50.0%"]);
+        s.table(t);
+        r.push_section(s);
+        r
+    }
+
+    #[test]
+    fn terminal_rendering_aligns_columns() {
+        let text = sample().render_terminal();
+        assert!(text.starts_with("fascia run report\n====="));
+        assert!(text.contains("## Memory"));
+        assert!(text.contains("phase"));
+        assert!(text.contains("dp.n00.vertex1"));
+        // Numeric columns right-align: bytes under its header width.
+        assert!(text.contains(" 1024"));
+    }
+
+    #[test]
+    fn html_is_self_contained_and_escaped() {
+        let html = sample().render_html();
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.contains("<style>"));
+        assert!(html.contains("&lt;script&gt;"), "cells must be escaped");
+        assert!(!html.contains("<script>"));
+        assert!(html.contains("td.num"));
+        assert!(html.ends_with("</body></html>\n"));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let r = Report::new("empty");
+        assert!(r.render_terminal().contains("empty"));
+        assert!(r.render_html().contains("<h1>empty</h1>"));
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = TableView::new(["a", "b", "c"]);
+        t.row(["only-one"]);
+        let mut s = Section::new("s");
+        s.table(t);
+        let mut r = Report::new("t");
+        r.push_section(s);
+        let text = r.render_terminal();
+        assert!(text.contains("only-one"));
+        let html = r.render_html();
+        assert!(html.contains("only-one"));
+    }
+}

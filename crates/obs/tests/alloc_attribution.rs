@@ -1,0 +1,94 @@
+//! End-to-end test of the counting allocator with the hooks *installed*:
+//! this binary opts in via `#[global_allocator]`, so every heap operation
+//! in the process flows through `CountingAlloc`.
+//!
+//! One test function on purpose: the counters, the enabled flag, and the
+//! thread-local phase are process-global, so concurrently running test
+//! functions (the harness default) would race on the attribution the
+//! assertions below pin down.
+
+use fascia_obs::alloc::{self, CountingAlloc, UNATTRIBUTED};
+
+#[global_allocator]
+static GLOBAL_ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn attribution_sums_to_total_with_hooks_installed() {
+    // Intern BEFORE enabling: interning allocates (name storage), and the
+    // resolve-once discipline keeps that out of the measured region.
+    let phase_a = alloc::intern_phase("test.phase_a");
+    let phase_b = alloc::intern_phase("test.phase_b");
+    alloc::reset();
+    alloc::set_enabled(true);
+
+    // Phase-attributed work: exact allocation sizes under each guard.
+    let a_buf = {
+        let _g = alloc::enter_phase(phase_a);
+        vec![0u8; 10_000]
+    };
+    {
+        let _g = alloc::enter_phase(phase_b);
+        let transient = vec![0u64; 2_048]; // 16 KiB allocated AND freed here
+        assert_eq!(transient.len(), 2_048);
+    }
+    // Unattributed work: no guard on this thread.
+    let stray = vec![0u8; 512];
+
+    let snap = alloc::snapshot();
+    alloc::set_enabled(false);
+    drop(a_buf);
+    drop(stray);
+
+    assert!(snap.enabled, "snapshot taken while recording was live");
+
+    // The headline invariant: per-phase counters sum exactly to the
+    // process totals (snapshot() derives totals from the same cells, and
+    // nothing may fall outside the fixed slot table).
+    let phase_alloc: u64 = snap.phases.iter().map(|p| p.allocated_bytes).sum();
+    let phase_freed: u64 = snap.phases.iter().map(|p| p.freed_bytes).sum();
+    let phase_allocs: u64 = snap.phases.iter().map(|p| p.allocs).sum();
+    let phase_frees: u64 = snap.phases.iter().map(|p| p.frees).sum();
+    assert_eq!(phase_alloc, snap.total_allocated_bytes);
+    assert_eq!(phase_freed, snap.total_freed_bytes);
+    assert_eq!(phase_allocs, snap.total_allocs);
+    assert_eq!(phase_frees, snap.total_frees);
+
+    // The hooks really fired and attributed to the right phases.
+    let by_name = |n: &str| snap.phases.iter().find(|p| p.name == n);
+    let a = by_name("test.phase_a").expect("phase_a recorded");
+    assert!(a.allocated_bytes >= 10_000, "phase_a: {a:?}");
+    let b = by_name("test.phase_b").expect("phase_b recorded");
+    assert!(b.allocated_bytes >= 16_384, "phase_b: {b:?}");
+    assert!(b.freed_bytes >= 16_384, "transient freed inside phase_b");
+    assert!(b.live_peak_bytes >= 16_384, "phase_b watermark saw the vec");
+    let u = by_name(UNATTRIBUTED).expect("stray allocation recorded");
+    assert!(u.allocated_bytes >= 512, "unattributed: {u:?}");
+
+    // Process watermark covers the largest concurrent footprint we built.
+    assert!(snap.live_peak_bytes >= 16_384);
+    // Everything except the stray vec was attributed.
+    let frac = snap.attributed_fraction().expect("bytes were allocated");
+    assert!(frac > 0.0 && frac <= 1.0, "fraction {frac}");
+    assert_eq!(
+        snap.attributed_bytes(),
+        snap.total_allocated_bytes - u.allocated_bytes
+    );
+
+    // The JSON document carries the same numbers under the stable names.
+    let json = snap.to_json();
+    assert!(json.contains("\"enabled\":true"), "{json}");
+    assert!(json.contains("\"test.phase_a\""), "{json}");
+    assert!(
+        json.contains(&format!(
+            "\"total_allocated_bytes\":{}",
+            snap.total_allocated_bytes
+        )),
+        "{json}"
+    );
+
+    // Disabled again: new traffic must not move the counters.
+    let before = alloc::snapshot().total_allocs;
+    let quiet = vec![0u8; 4_096];
+    assert_eq!(quiet.len(), 4_096);
+    assert_eq!(alloc::snapshot().total_allocs, before, "disabled = inert");
+}

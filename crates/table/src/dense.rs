@@ -5,7 +5,9 @@
 //! indexing) but the worst footprint; Figures 6–7 compare it against the
 //! lazy and hashed layouts.
 
+use crate::access::{recorder_for, AccessRecorder};
 use crate::{CountTable, Rows, TableKind, TableStats};
+use std::sync::Arc;
 
 /// Flat row-major `n x Nc` array of counts.
 #[derive(Debug, Clone)]
@@ -16,6 +18,8 @@ pub struct DenseTable {
     /// Cached per-vertex activity (any non-zero in the row), kept so the
     /// inner-loop skip check stays O(1) instead of O(Nc).
     active: Vec<bool>,
+    /// Opt-in access telemetry; excluded from `bytes()` accounting.
+    access: Option<Arc<AccessRecorder>>,
 }
 
 impl CountTable for DenseTable {
@@ -36,6 +40,7 @@ impl CountTable for DenseTable {
             nc,
             data,
             active,
+            access: recorder_for(n),
         }
     }
 
@@ -51,17 +56,29 @@ impl CountTable for DenseTable {
 
     #[inline]
     fn get(&self, v: usize, cs: usize) -> f64 {
+        if let Some(rec) = &self.access {
+            rec.note_get(v);
+        }
         self.data[v * self.nc + cs]
     }
 
     #[inline]
     fn vertex_active(&self, v: usize) -> bool {
-        self.active[v]
+        let a = self.active[v];
+        if !a {
+            if let Some(rec) = &self.access {
+                rec.note_inactive();
+            }
+        }
+        a
     }
 
     #[inline]
     fn row_slice(&self, v: usize) -> Option<&[f64]> {
         if self.active[v] {
+            if let Some(rec) = &self.access {
+                rec.note_row_read(v);
+            }
             Some(&self.data[v * self.nc..(v + 1) * self.nc])
         } else {
             None
@@ -80,6 +97,7 @@ impl CountTable for DenseTable {
             nonzero_rows: self.active.iter().filter(|&&a| a).count(),
             live_entries: self.data.iter().filter(|&&x| x != 0.0).count(),
             probe: None,
+            access: self.access.as_ref().map(|rec| rec.snapshot()),
         }
     }
 

@@ -10,7 +10,9 @@
 //! paths on the PA road network, where Fig. 7 reports up to 90% memory
 //! reduction versus the dense layout.
 
+use crate::access::{recorder_for, AccessRecorder};
 use crate::{CountTable, ProbeStats, Rows, TableKind, TableStats};
+use std::sync::Arc;
 
 const EMPTY: u64 = u64::MAX;
 
@@ -25,6 +27,8 @@ pub struct HashCountTable {
     active: Vec<bool>,
     live: usize,
     probe: ProbeStats,
+    /// Opt-in access telemetry; excluded from `bytes()` accounting.
+    access: Option<Arc<AccessRecorder>>,
 }
 
 impl HashCountTable {
@@ -39,6 +43,28 @@ impl HashCountTable {
             if k == EMPTY {
                 return None;
             }
+            i += 1;
+            if i == self.capacity {
+                i = 0;
+            }
+        }
+    }
+
+    /// `slot_of` with the probe-chain length counted, for the telemetry
+    /// path only — the untracked hot path keeps the leaner loop above.
+    #[inline]
+    fn slot_of_counted(&self, key: u64) -> (Option<usize>, u64) {
+        let mut i = (key % self.capacity as u64) as usize;
+        let mut chain = 1u64;
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return (Some(i), chain);
+            }
+            if k == EMPTY {
+                return (None, chain);
+            }
+            chain += 1;
             i += 1;
             if i == self.capacity {
                 i = 0;
@@ -86,6 +112,7 @@ impl CountTable for HashCountTable {
             active: vec![false; n],
             live,
             probe: ProbeStats::default(),
+            access: recorder_for(n),
         };
         for (v, row) in rows.into_iter().enumerate() {
             let Some(row) = row else { continue };
@@ -128,9 +155,21 @@ impl CountTable for HashCountTable {
     #[inline]
     fn get(&self, v: usize, cs: usize) -> f64 {
         if !self.active[v] {
+            if let Some(rec) = &self.access {
+                rec.note_inactive();
+            }
             return 0.0;
         }
         let key = (v * self.nc + cs) as u64;
+        if let Some(rec) = &self.access {
+            rec.note_get(v);
+            let (slot, chain) = self.slot_of_counted(key);
+            rec.note_probe(chain);
+            return match slot {
+                Some(i) => self.vals[i],
+                None => 0.0,
+            };
+        }
         match self.slot_of(key) {
             Some(i) => self.vals[i],
             None => 0.0,
@@ -139,7 +178,13 @@ impl CountTable for HashCountTable {
 
     #[inline]
     fn vertex_active(&self, v: usize) -> bool {
-        self.active[v]
+        let a = self.active[v];
+        if !a {
+            if let Some(rec) = &self.access {
+                rec.note_inactive();
+            }
+        }
+        a
     }
 
     #[inline]
@@ -160,6 +205,7 @@ impl CountTable for HashCountTable {
             nonzero_rows: self.active.iter().filter(|&&a| a).count(),
             live_entries: self.live,
             probe: Some(self.probe),
+            access: self.access.as_ref().map(|rec| rec.snapshot()),
         }
     }
 

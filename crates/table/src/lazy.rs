@@ -6,13 +6,17 @@
 //! with unlabeled templates the paper reports ~20% peak-memory savings,
 //! and >90% with labels, purely from this row laziness.
 
+use crate::access::{recorder_for, AccessRecorder};
 use crate::{CountTable, Rows, TableKind, TableStats};
+use std::sync::Arc;
 
 /// Per-vertex optional rows.
 #[derive(Debug, Clone)]
 pub struct LazyTable {
     nc: usize,
     rows: Rows,
+    /// Opt-in access telemetry; excluded from `bytes()` accounting.
+    access: Option<Arc<AccessRecorder>>,
 }
 
 impl CountTable for LazyTable {
@@ -26,7 +30,11 @@ impl CountTable for LazyTable {
                 }
             }
         }
-        Self { nc, rows }
+        Self {
+            nc,
+            rows,
+            access: recorder_for(n),
+        }
     }
 
     #[inline]
@@ -42,19 +50,41 @@ impl CountTable for LazyTable {
     #[inline]
     fn get(&self, v: usize, cs: usize) -> f64 {
         match &self.rows[v] {
-            Some(row) => row[cs],
-            None => 0.0,
+            Some(row) => {
+                if let Some(rec) = &self.access {
+                    rec.note_get(v);
+                }
+                row[cs]
+            }
+            None => {
+                if let Some(rec) = &self.access {
+                    rec.note_inactive();
+                }
+                0.0
+            }
         }
     }
 
     #[inline]
     fn vertex_active(&self, v: usize) -> bool {
-        self.rows[v].is_some()
+        let a = self.rows[v].is_some();
+        if !a {
+            if let Some(rec) = &self.access {
+                rec.note_inactive();
+            }
+        }
+        a
     }
 
     #[inline]
     fn row_slice(&self, v: usize) -> Option<&[f64]> {
-        self.rows[v].as_deref()
+        let row = self.rows[v].as_deref();
+        if row.is_some() {
+            if let Some(rec) = &self.access {
+                rec.note_row_read(v);
+            }
+        }
+        row
     }
 
     fn bytes(&self) -> usize {
@@ -81,6 +111,7 @@ impl CountTable for LazyTable {
                 .map(|row| row.iter().filter(|&&x| x != 0.0).count())
                 .sum(),
             probe: None,
+            access: self.access.as_ref().map(|rec| rec.snapshot()),
         }
     }
 

@@ -67,11 +67,15 @@
 
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod any;
 pub mod dense;
 pub mod hashed;
 pub mod lazy;
 
+pub use access::{
+    access_tracking_enabled, set_access_tracking, AccessRecorder, AccessSnapshot, ACCESS_BUCKETS,
+};
 pub use any::AnyTable;
 pub use dense::DenseTable;
 pub use hashed::HashCountTable;
@@ -164,6 +168,9 @@ pub struct TableStats {
     pub live_entries: usize,
     /// Open-addressing probe statistics (hash layout only).
     pub probe: Option<ProbeStats>,
+    /// Access-pattern counters accumulated since construction (present only
+    /// when [`set_access_tracking`] was on when the table was built).
+    pub access: Option<AccessSnapshot>,
 }
 
 /// Construction-time probe behavior of the hashed layout.

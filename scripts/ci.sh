@@ -54,4 +54,25 @@ mkdir -p results/perf
 ./target/release/perf compare scripts/perf_baseline.json results/perf/smoke.json \
   --threshold 2.0
 
+# Memory-observability gate: a tiny counting run under --mem-stats must
+# emit a fascia-mem/1 document (its own stdout line AND the --mem-out
+# file), and `fascia report` must render the run directory to both the
+# terminal and a self-contained HTML file. Validated with grep only —
+# the structural checks live in the cli/core/obs test suites above.
+echo "=== mem-stats & report gate ==="
+cargo build -q -p fascia-cli --offline
+MEMDIR=$(mktemp -d)
+trap 'rm -rf "$MEMDIR"' EXIT
+./target/debug/fascia count circuit U5-2 --iters 2 --seed 1 \
+  --parallel serial --metrics json --mem-stats \
+  --mem-out "$MEMDIR/mem.json" --heartbeat "$MEMDIR/hb.json" \
+  > "$MEMDIR/stdout.txt"
+grep -q '"schema":"fascia-mem/1"' "$MEMDIR/stdout.txt"
+grep -q '"schema":"fascia-mem/1"' "$MEMDIR/mem.json"
+grep '"schema":"fascia-obs/1"' "$MEMDIR/stdout.txt" > "$MEMDIR/metrics.json"
+./target/debug/fascia report "$MEMDIR" > "$MEMDIR/report.txt"
+grep -q '^## Allocator' "$MEMDIR/report.txt"
+grep -q '^## DP tables' "$MEMDIR/report.txt"
+grep -q '<!doctype html>' "$MEMDIR/report.html"
+
 echo "ci: all green"

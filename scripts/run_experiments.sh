@@ -83,6 +83,33 @@ else
   echo "FAILED: see results/perf/criterion.log"
 fi
 
+# Memory observability (fascia-mem/1) under results/mem/: representative
+# runs with the counting allocator and access telemetry live, each in its
+# own directory with the unified report rendered next to the raw
+# documents (mem.json, hb.json, metrics.json, report.txt, report.html).
+mkdir -p results/mem
+MEM_RUNS=(
+  "portland U7-2 --iters 5"
+  "road U10-1 --iters 5 --table hash"
+)
+for run in "${MEM_RUNS[@]}"; do
+  # shellcheck disable=SC2086
+  set -- $run
+  dir="results/mem/$1_$2"
+  echo "=== mem $1 $2 ==="
+  mkdir -p "$dir"
+  if cargo run --release -q -p fascia-cli -- count "$@" --metrics json \
+      --mem-stats --mem-out "$dir/mem.json" --heartbeat "$dir/hb.json" \
+      2> "$dir/run.log" | grep '"schema":"fascia-obs/1"' \
+      > "$dir/metrics.json"; then
+    cargo run --release -q -p fascia-cli -- report "$dir" \
+      > "$dir/report.txt" 2>> "$dir/run.log" \
+      && echo "  report: $dir/report.html"
+  else
+    echo "FAILED: see $dir/run.log"
+  fi
+done
+
 # Adaptive convergence trajectory: ext_adaptive emits its reports as
 # JSON lines on stderr; keep the trajectory series under results/metrics/
 # so convergence behaviour is diffable across runs.
