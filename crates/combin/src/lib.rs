@@ -61,7 +61,7 @@ pub mod split;
 
 pub use binomial::{choose, BinomialTable};
 pub use colorset::{index_of_set, set_of_index, ColorSetIter};
-pub use split::SplitTable;
+pub use split::{PositionSplitTable, SplitTable};
 
 /// Maximum number of colors supported by the precomputed machinery.
 ///

@@ -122,6 +122,100 @@ impl SplitTable {
     }
 }
 
+/// The position-major transpose of a [`SplitTable`], laid out for the
+/// vectorized DP kernel.
+///
+/// [`SplitTable`] is *colorset-major*: the `C(h, a)` split pairs of one
+/// color set are contiguous, so the scalar inner loop walks one set's
+/// splits at a time. The vectorized combine interchanges those loops — for
+/// each of the `C(h, a)` *position choices* `j` it sweeps **all** color
+/// sets at once:
+///
+/// ```text
+/// for j in 0..splits_per_set:
+///     row[i] += act[active_idx[j][i]] * pas[passive_idx[j][i]]   for all i
+/// ```
+///
+/// The inner sweep writes `row` sequentially and reads two flat `u32`
+/// index lanes sequentially, which is the shape compilers autovectorize.
+/// Because lane `j` of set `i` holds exactly the `j`-th entry of
+/// `SplitTable::splits(i)`, the per-slot multiply-accumulate order is
+/// identical to the scalar walk — the bitwise-equality contract of
+/// DESIGN.md §15 rests on this.
+///
+/// ```
+/// use fascia_combin::{BinomialTable, PositionSplitTable, SplitTable};
+/// let binom = BinomialTable::default();
+/// let split = SplitTable::new(5, 3, 1, &binom);
+/// let pos = PositionSplitTable::new(&split);
+/// assert_eq!(pos.splits_per_set(), 3); // C(3, 1) lanes
+/// let (ai, pi) = pos.lane(0);
+/// assert_eq!(ai.len(), split.num_sets()); // one entry per color set
+/// assert_eq!(ai[4], split.splits(4)[0].active);
+/// assert_eq!(pi[4], split.splits(4)[0].passive);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PositionSplitTable {
+    num_sets: usize,
+    splits_per_set: usize,
+    /// `active_idx[j * num_sets + i]` = active CNS index of split `j` of
+    /// color set `i`.
+    active_idx: Vec<u32>,
+    /// Same layout for the passive CNS indices.
+    passive_idx: Vec<u32>,
+}
+
+impl PositionSplitTable {
+    /// Transposes `split` into position-major lanes. Cost is one linear
+    /// pass over the pair array, done once per subtemplate per run.
+    pub fn new(split: &SplitTable) -> Self {
+        let num_sets = split.num_sets();
+        let spc = split.splits_per_set();
+        let mut active_idx = vec![0u32; num_sets * spc];
+        let mut passive_idx = vec![0u32; num_sets * spc];
+        for i in 0..num_sets {
+            for (j, sp) in split.splits(i).iter().enumerate() {
+                active_idx[j * num_sets + i] = sp.active;
+                passive_idx[j * num_sets + i] = sp.passive;
+            }
+        }
+        Self {
+            num_sets,
+            splits_per_set: spc,
+            active_idx,
+            passive_idx,
+        }
+    }
+
+    /// The `(active, passive)` index lanes of position choice `j`: two
+    /// `num_sets`-long slices, entry `i` belonging to color set `i`.
+    #[inline]
+    pub fn lane(&self, j: usize) -> (&[u32], &[u32]) {
+        let start = j * self.num_sets;
+        (
+            &self.active_idx[start..start + self.num_sets],
+            &self.passive_idx[start..start + self.num_sets],
+        )
+    }
+
+    /// Number of `h`-subsets covered (`C(k, h)`).
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Number of position-choice lanes (`C(h, a)`).
+    #[inline]
+    pub fn splits_per_set(&self) -> usize {
+        self.splits_per_set
+    }
+
+    /// Approximate heap footprint in bytes (for memory accounting).
+    pub fn bytes(&self) -> usize {
+        (self.active_idx.capacity() + self.passive_idx.capacity()) * std::mem::size_of::<u32>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +278,27 @@ mod tests {
                 .collect();
             expect.sort_unstable();
             assert_eq!(actives, expect);
+        }
+    }
+
+    /// The transpose must agree entry-for-entry with the pair layout, in
+    /// lane order — the order the vectorized MAC replays.
+    #[test]
+    fn position_major_transpose_is_exact() {
+        let b = binom();
+        for (k, h, a) in [(5, 3, 1), (7, 4, 2), (8, 6, 3), (10, 5, 2)] {
+            let t = SplitTable::new(k, h, a, &b);
+            let pos = PositionSplitTable::new(&t);
+            assert_eq!(pos.num_sets(), t.num_sets());
+            assert_eq!(pos.splits_per_set(), t.splits_per_set());
+            assert!(pos.bytes() >= t.num_sets() * t.splits_per_set() * 8);
+            for j in 0..pos.splits_per_set() {
+                let (ai, pi) = pos.lane(j);
+                for i in 0..t.num_sets() {
+                    assert_eq!(ai[i], t.splits(i)[j].active, "k={k} h={h} a={a}");
+                    assert_eq!(pi[i], t.splits(i)[j].passive, "k={k} h={h} a={a}");
+                }
+            }
         }
     }
 

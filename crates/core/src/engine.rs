@@ -27,6 +27,7 @@
 //! * vertex labels prune every base case (Fig. 4's speedup).
 
 use crate::coloring::{iteration_seed, random_coloring};
+use crate::kernel::{cut_batch, KernelKind};
 use crate::mem::{MemCollector, RunMem};
 use crate::metrics::{CutMetrics, RunMetrics, TriangleMetrics};
 use crate::parallel::ParallelMode;
@@ -37,7 +38,9 @@ use crate::resilience::{
 };
 use crate::stats::{EstimateStats, StopRule, Welford};
 use crate::trace::RunTrace;
-use fascia_combin::{colorful_probability, BinomialTable, ColorSetIter, SplitTable};
+use fascia_combin::{
+    colorful_probability, BinomialTable, ColorSetIter, PositionSplitTable, SplitTable,
+};
 use fascia_graph::Graph;
 use fascia_obs::{Metrics, Profiler, SpanTimer, Tracer};
 use fascia_table::{
@@ -67,6 +70,12 @@ pub struct CountConfig {
     pub colors: Option<usize>,
     /// Dynamic-table layout.
     pub table: TableKind,
+    /// Cut-node DP kernel. Both kernels produce bitwise-identical counts
+    /// for a fixed seed (enforced by the differential test suite); the
+    /// vectorized default restructures the hot loop colorset-major for
+    /// contiguous reads and a flat multiply-accumulate — see
+    /// [`KernelKind`] and DESIGN.md §15.
+    pub kernel: KernelKind,
     /// Template partitioning heuristic.
     pub strategy: PartitionStrategy,
     /// Threading scheme.
@@ -202,6 +211,7 @@ impl Default for CountConfig {
             iterations: 10,
             colors: None,
             table: TableKind::Lazy,
+            kernel: KernelKind::Vectorized,
             strategy: PartitionStrategy::OneAtATime,
             parallel: ParallelMode::Auto,
             seed: 0x00FA_5C1A,
@@ -453,6 +463,7 @@ pub fn rooted_counts(
             &ctx,
             &coloring,
             inner,
+            cfg.kernel,
             cfg.table,
             gate.as_ref(),
             cancel.as_ref(),
@@ -712,6 +723,7 @@ fn count_impl(
             &ctx,
             &coloring,
             inner,
+            cfg.kernel,
             cfg.table,
             gate.as_ref(),
             cancel.as_ref(),
@@ -985,6 +997,9 @@ pub(crate) struct DpContext {
     pub(crate) nc: Vec<usize>,
     /// Split tables per (subtemplate size, active size), for active > 1.
     pub(crate) splits: HashMap<(u8, u8), SplitTable>,
+    /// Position-major transposes of `splits`, the index layout of the
+    /// vectorized kernel's flat multiply-accumulate.
+    pub(crate) pos_splits: HashMap<(u8, u8), PositionSplitTable>,
     /// Removal tables per subtemplate size `h`: entry `[I * k + c]` is the
     /// CNS index of the (h-1)-set `C_I \ {c}`, or -1 when `c ∉ C_I`. Used
     /// for single-vertex active children.
@@ -1017,8 +1032,15 @@ impl DpContext {
             }
         }
         let _ = t;
+        let pos_splits: HashMap<(u8, u8), PositionSplitTable> = splits
+            .iter()
+            .map(|(&key, s)| (key, PositionSplitTable::new(s)))
+            .collect();
         for s in splits.values() {
             index_bytes += s.bytes();
+        }
+        for p in pos_splits.values() {
+            index_bytes += p.bytes();
         }
         for r in removals.values() {
             index_bytes += r.capacity() * std::mem::size_of::<i32>();
@@ -1028,6 +1050,7 @@ impl DpContext {
             binom,
             nc,
             splits,
+            pos_splits,
             removals,
             index_bytes,
         }
@@ -1072,21 +1095,18 @@ pub(crate) struct BudgetGate {
 
 impl BudgetGate {
     /// Picks the first layout on the ladder whose projected footprint fits
-    /// beside `live_bytes` of already-held state.
+    /// beside `live_bytes` of already-held state. Takes the row shape as
+    /// counts (`active` rows, `live` non-zero entries) so both row-vector
+    /// and arena-batch producers can feed it.
     fn choose(
         &self,
         n: usize,
         nc: usize,
-        rows: &Rows,
+        active: usize,
+        live: usize,
         live_bytes: usize,
         rm: Option<&RunMetrics>,
     ) -> Result<TableKind, CountError> {
-        let active = rows.iter().filter(|r| r.is_some()).count();
-        let live: usize = rows
-            .iter()
-            .flatten()
-            .map(|r| r.iter().filter(|&&x| x != 0.0).count())
-            .sum();
         let remaining = self.limit.saturating_sub(live_bytes);
         let mut required = 0;
         for (steps, &kind) in self.preferred.ladder().iter().enumerate() {
@@ -1158,6 +1178,7 @@ fn dispatch_iteration(
     ctx: &DpContext,
     coloring: &[u8],
     inner_parallel: bool,
+    kernel: KernelKind,
     kind: TableKind,
     gate: Option<&BudgetGate>,
     cancel: Option<&CancelToken>,
@@ -1177,6 +1198,7 @@ fn dispatch_iteration(
             ctx,
             coloring,
             inner_parallel,
+            kernel,
             kind,
             gate,
             cancel,
@@ -1197,6 +1219,7 @@ fn dispatch_iteration(
             ctx,
             coloring,
             inner_parallel,
+            kernel,
             kind,
             None,
             cancel,
@@ -1215,6 +1238,7 @@ fn dispatch_iteration(
             ctx,
             coloring,
             inner_parallel,
+            kernel,
             kind,
             None,
             cancel,
@@ -1233,6 +1257,7 @@ fn dispatch_iteration(
             ctx,
             coloring,
             inner_parallel,
+            kernel,
             kind,
             None,
             cancel,
@@ -1256,6 +1281,7 @@ fn run_iteration<T: CountTable>(
     ctx: &DpContext,
     coloring: &[u8],
     inner_parallel: bool,
+    kernel: KernelKind,
     preferred: TableKind,
     gate: Option<&BudgetGate>,
     cancel: Option<&CancelToken>,
@@ -1286,9 +1312,17 @@ fn run_iteration<T: CountTable>(
     let materialize_ghosts = preferred == TableKind::Dense && gate.is_none();
     let mut ghost_singles: Vec<Option<T>> = Vec::new();
     ghost_singles.resize_with(pt.num_canon_classes(), || None);
-    let pick = |rows: &Rows, nc: usize, live: usize| -> Result<TableKind, CountError> {
+    let pick = |rows: &Rows, nc: usize, live_bytes: usize| -> Result<TableKind, CountError> {
         match gate {
-            Some(gate) => gate.choose(n, nc, rows, live, rm),
+            Some(gate) => {
+                let active = rows.iter().filter(|r| r.is_some()).count();
+                let live: usize = rows
+                    .iter()
+                    .flatten()
+                    .map(|r| r.iter().filter(|&&x| x != 0.0).count())
+                    .sum();
+                gate.choose(n, nc, active, live, live_bytes, rm)
+            }
             None => Ok(preferred),
         }
     };
@@ -1350,7 +1384,10 @@ fn run_iteration<T: CountTable>(
                     rm.map(|m| &m.triangle),
                 );
                 let kind = pick(&rows, ctx.nc[3], live_bytes)?;
-                let table = T::from_rows_kind(kind, n, ctx.nc[3], rows);
+                let table = {
+                    let _bph = RunProf::enter_opt(pr, |p| p.table_build);
+                    T::from_rows_kind(kind, n, ctx.nc[3], rows)
+                };
                 record_table_trace(tr, gate.is_some(), preferred, kind, table.bytes());
                 live_bytes += table.bytes();
                 peak_bytes = peak_bytes.max(live_bytes);
@@ -1365,33 +1402,71 @@ fn run_iteration<T: CountTable>(
                 let p_node = &pt.nodes()[passive as usize];
                 let a_cid = a_node.canon_id as usize;
                 let p_cid = p_node.canon_id as usize;
-                let rows = {
+                let nc_h = ctx.nc[node.size as usize];
+                let table = {
                     let act = stored[a_cid].as_ref().expect("active child computed");
                     let pas = if p_cid == a_cid {
                         act
                     } else {
                         stored[p_cid].as_ref().expect("passive child computed")
                     };
-                    cut_rows_for(
-                        g,
-                        labels,
-                        node,
-                        a_node,
-                        p_node,
-                        act,
-                        pas,
-                        ctx,
-                        coloring,
-                        inner_parallel,
-                        None,
-                        cancel,
-                        rm.map(|m| &m.cut),
-                    )
+                    match kernel {
+                        KernelKind::Vectorized => {
+                            let kph = RunProf::enter_opt(pr, |p| p.kernel_vectorized);
+                            let batch = cut_batch(
+                                g,
+                                labels,
+                                node,
+                                a_node,
+                                p_node,
+                                act,
+                                pas,
+                                ctx,
+                                coloring,
+                                inner_parallel,
+                                cancel,
+                                rm.map(|m| &m.cut),
+                            );
+                            drop(kph);
+                            let kind = match gate {
+                                Some(gate) => gate.choose(
+                                    n,
+                                    nc_h,
+                                    batch.active_rows(),
+                                    batch.live_entries(),
+                                    live_bytes,
+                                    rm,
+                                )?,
+                                None => preferred,
+                            };
+                            let _bph = RunProf::enter_opt(pr, |p| p.table_build);
+                            T::from_batch_kind(kind, batch)
+                        }
+                        KernelKind::Scalar => {
+                            let kph = RunProf::enter_opt(pr, |p| p.kernel_scalar);
+                            let rows = cut_rows_for(
+                                g,
+                                labels,
+                                node,
+                                a_node,
+                                p_node,
+                                act,
+                                pas,
+                                ctx,
+                                coloring,
+                                inner_parallel,
+                                None,
+                                cancel,
+                                rm.map(|m| &m.cut),
+                            );
+                            drop(kph);
+                            let kind = pick(&rows, nc_h, live_bytes)?;
+                            let _bph = RunProf::enter_opt(pr, |p| p.table_build);
+                            T::from_rows_kind(kind, n, nc_h, rows)
+                        }
+                    }
                 };
-                let nc_h = ctx.nc[node.size as usize];
-                let kind = pick(&rows, nc_h, live_bytes)?;
-                let table = T::from_rows_kind(kind, n, nc_h, rows);
-                record_table_trace(tr, gate.is_some(), preferred, kind, table.bytes());
+                record_table_trace(tr, gate.is_some(), preferred, table.kind(), table.bytes());
                 live_bytes += table.bytes();
                 peak_bytes = peak_bytes.max(live_bytes);
                 if let Some(m) = rm {

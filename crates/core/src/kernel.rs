@@ -1,0 +1,436 @@
+//! The cut-node DP kernels: scalar (reference) and vectorized
+//! (colorset-major batched). See DESIGN.md §15 for the full design.
+//!
+//! Both kernels evaluate the same factored recurrence
+//!
+//! ```text
+//! row[C] = Σ_{Ca ⊎ Cp = C} act(v, Ca) · (Σ_{u ∈ N(v)} pas(u, Cp))
+//! ```
+//!
+//! The scalar kernel (in `engine::cut_rows_for`) walks it vertex-major:
+//! for each vertex it probes child-table rows one color set at a time and
+//! allocates one boxed row per active vertex. The vectorized kernel here
+//! restructures the same arithmetic around contiguous memory:
+//!
+//! 1. **Gather** — the passive child's neighbor rows are collected as
+//!    contiguous slices (arena rows of the reworked layouts) and
+//!    accumulated block-by-block in colorset-major order,
+//! 2. **MAC** — the combine runs position-major over
+//!    [`fascia_combin::PositionSplitTable`] lanes: a flat
+//!    multiply-accumulate `row[i] += act[ai[i]] * pas[pi[i]]` over whole
+//!    colorset ranges that the compiler autovectorizes,
+//! 3. **Stage** — rows are staged into one [`RowBatch`] arena
+//!    (zero per-row allocations) that table construction consumes
+//!    directly.
+//!
+//! # Bitwise-equality contract
+//!
+//! For every `(vertex, colorset)` slot the vectorized kernel performs the
+//! *same multiplications and additions in the same order* as the scalar
+//! kernel; it only removes the `a_val != 0.0` skip (adding `+0.0` is a
+//! bitwise no-op on the non-negative counts the DP produces) and hoists
+//! loop structure. Counts are therefore bitwise identical, which
+//! `tests/kernel_equivalence.rs` enforces across every table layout and
+//! parallel mode.
+
+use crate::engine::{DpContext, Stored};
+use crate::metrics::CutMetrics;
+use crate::resilience::{CancelToken, POLL_INTERVAL};
+use fascia_graph::Graph;
+use fascia_table::{CountTable, RowBatch};
+use fascia_template::partition::SubNode;
+use rayon::prelude::*;
+
+/// Which cut-node DP kernel the engine runs.
+///
+/// Both kernels produce bitwise-identical counts for a fixed seed; the
+/// knob exists for A/B measurement (`--kernel` on the CLI, the kernel
+/// axis of the perf suite) and as an escape hatch should a platform
+/// mis-compile the batched loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelKind {
+    /// Vertex-major reference kernel: per-vertex probes, boxed rows.
+    Scalar,
+    /// Colorset-major batched kernel: contiguous row gathers, blocked
+    /// accumulation, flat multiply-accumulate into a row arena.
+    #[default]
+    Vectorized,
+}
+
+impl KernelKind {
+    /// Both kernels, scalar first.
+    pub fn all() -> [KernelKind; 2] {
+        [KernelKind::Scalar, KernelKind::Vectorized]
+    }
+
+    /// Display name used in CLI flags and perf-suite ids.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Vectorized => "vectorized",
+        }
+    }
+}
+
+impl std::str::FromStr for KernelKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" => Ok(KernelKind::Scalar),
+            "vectorized" | "vec" => Ok(KernelKind::Vectorized),
+            other => Err(format!("unknown kernel '{other}' (scalar|vectorized)")),
+        }
+    }
+}
+
+/// Colorset-chunk width (f64 slots) of the blocked neighbor accumulation:
+/// 4 KiB per chunk keeps the accumulator resident in L1 while neighbor
+/// rows stream through.
+const COL_BLOCK: usize = 512;
+
+/// Requests every cache line of a gathered row ahead of the accumulation
+/// pass. The neighbor gather is the latency wall of the whole DP: rows
+/// land at random arena offsets, so each visit is a likely cache miss.
+/// Splitting gather from accumulate means we know all of a vertex's row
+/// addresses up front — prefetching them back-to-back overlaps the misses
+/// instead of paying them serially inside the add loop. No-op off x86-64.
+#[inline(always)]
+fn prefetch_row(r: &[f64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        let ptr = r.as_ptr().cast::<i8>();
+        let bytes = std::mem::size_of_val(r);
+        let mut off = 0;
+        while off < bytes {
+            // Safety: prefetch is a hint; it never faults and `ptr + off`
+            // stays inside the row slice.
+            unsafe { _mm_prefetch(ptr.add(off), _MM_HINT_T0) };
+            off += 64;
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = r;
+}
+
+/// Per-worker scratch of the vectorized kernel, reused across vertices so
+/// the hot loop never allocates.
+struct Scratch<'t> {
+    /// Passive-row accumulator (`nc_p` slots).
+    pas_acc: Vec<f64>,
+    /// Materialized active row when the child table has no contiguous
+    /// rows (hash layout).
+    act_buf: Vec<f64>,
+    /// Gathered neighbor-row slices, in neighbor order.
+    nbr_rows: Vec<&'t [f64]>,
+    /// Active neighbors awaiting a batched probe (hash layout only).
+    probe_vs: Vec<u32>,
+    /// Integer color-occurrence counts for single-vertex passive children.
+    cnt_buf: Vec<u32>,
+    /// Local cut-counter tallies (flushed once per band).
+    tally: Tally,
+}
+
+impl<'t> Scratch<'t> {
+    fn new() -> Self {
+        Self {
+            pas_acc: Vec::new(),
+            act_buf: Vec::new(),
+            nbr_rows: Vec::new(),
+            probe_vs: Vec::new(),
+            cnt_buf: Vec::new(),
+            tally: Tally::default(),
+        }
+    }
+}
+
+/// Per-worker tallies of the cut counters, flushed to the shared atomic
+/// [`CutMetrics`] once per band instead of once per vertex — the relaxed
+/// `fetch_add`s are measurable at ~100ns/vertex loop cost. Totals (and
+/// their per-thread attribution) are identical to per-vertex counting.
+#[derive(Default)]
+struct Tally {
+    roots_visited: u64,
+    roots_skipped: u64,
+    neighbors_visited: u64,
+    neighbors_skipped: u64,
+}
+
+impl Tally {
+    fn flush(&self, cm: Option<&CutMetrics>) {
+        let Some(c) = cm else { return };
+        if self.roots_visited != 0 {
+            c.roots_visited.add(self.roots_visited);
+        }
+        if self.roots_skipped != 0 {
+            c.roots_skipped.add(self.roots_skipped);
+        }
+        if self.neighbors_visited != 0 {
+            c.neighbors_visited.add(self.neighbors_visited);
+        }
+        if self.neighbors_skipped != 0 {
+            c.neighbors_skipped.add(self.neighbors_skipped);
+        }
+    }
+}
+
+/// Computes the cut-node rows with the vectorized kernel, returning the
+/// staged row arena. Logically identical (bitwise, see the module docs)
+/// to `engine::cut_rows_for` with `targets: None`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cut_batch<'t, T: CountTable>(
+    g: &Graph,
+    labels: Option<&[u8]>,
+    node: &SubNode,
+    a_node: &SubNode,
+    p_node: &SubNode,
+    act: &'t Stored<T>,
+    pas: &'t Stored<T>,
+    ctx: &DpContext,
+    coloring: &[u8],
+    inner_parallel: bool,
+    cancel: Option<&CancelToken>,
+    cm: Option<&CutMetrics>,
+) -> RowBatch {
+    let h = node.size as usize;
+    let a = a_node.size as usize;
+    let p = p_node.size as usize;
+    let nc_h = ctx.nc[h];
+    let nc_p = ctx.nc[p];
+    let nc_a = ctx.nc[a];
+    let k = ctx.k;
+    let rem = if a == 1 {
+        Some(&ctx.removals[&node.size][..])
+    } else {
+        None
+    };
+    let pos = if a > 1 {
+        Some(&ctx.pos_splits[&(node.size, a_node.size)])
+    } else {
+        None
+    };
+
+    // One vertex: gather → accumulate → combine → stage. `v` is the
+    // global vertex id, `slot_v` its id within `batch` (differs only for
+    // the banded parallel path).
+    let compute = |scratch: &mut Scratch<'t>, batch: &mut RowBatch, v: usize, slot_v: usize| {
+        // Cooperative cancellation poll (see `triangle_rows_for`); a
+        // bailed-out kernel leaves a truncated batch the caller discards.
+        if v & (POLL_INTERVAL - 1) == 0 && cancel.is_some_and(|c| c.is_cancelled()) {
+            return;
+        }
+        // Split the scratch into disjoint field borrows so the active
+        // slice (possibly `act_buf`) can coexist with the accumulator.
+        let Scratch {
+            pas_acc,
+            act_buf,
+            nbr_rows,
+            probe_vs,
+            cnt_buf,
+            tally,
+        } = scratch;
+        // Active availability at v — the paper's "initialized" check.
+        // Mirrors the scalar kernel exactly, including the metric counts.
+        let act_slice: Option<&[f64]> = match act {
+            Stored::Single { label } => {
+                if let (Some(l), Some(gl)) = (label, labels) {
+                    if gl[v] != *l {
+                        tally.roots_skipped += 1;
+                        return;
+                    }
+                }
+                None
+            }
+            Stored::Table(tb) => {
+                if !tb.vertex_active(v) {
+                    tally.roots_skipped += 1;
+                    return;
+                }
+                Some(match tb.row_slice(v) {
+                    Some(s) => s,
+                    None => {
+                        // Hash layout: materialize the active row once with a
+                        // batched probe (nc_a slots, one hash) instead of
+                        // probing inside the MAC (nc_h · C(h,a) probes in
+                        // the scalar kernel).
+                        act_buf.clear();
+                        act_buf.resize(nc_a, 0.0);
+                        tb.add_row_into(v, act_buf);
+                        &act_buf[..]
+                    }
+                })
+            }
+        };
+        tally.roots_visited += 1;
+
+        // Accumulate passive rows over the neighborhood. Slice-backed
+        // rows are gathered first and added in colorset-major blocks;
+        // a child table either has slices for every active vertex
+        // (dense/lazy arenas) or for none (hash), so per-slot addition
+        // order stays exactly the scalar kernel's neighbor order.
+        pas_acc.clear();
+        pas_acc.resize(nc_p, 0.0);
+        let mut nbr_visited = 0u64;
+        let mut nbr_skipped = 0u64;
+        match pas {
+            Stored::Single { label } => {
+                // Singleton color sets rank as their color value, and every
+                // neighbor contributes exactly +1.0 — so count occurrences
+                // in integers (1-cycle adds, no FP dependency chains) and
+                // convert once. Counts are small exact integers, so the
+                // converted value is bitwise identical to summed 1.0s.
+                cnt_buf.clear();
+                cnt_buf.resize(nc_p, 0);
+                for &u in g.neighbors(v) {
+                    let u = u as usize;
+                    if let (Some(l), Some(gl)) = (label, labels) {
+                        if gl[u] != *l {
+                            nbr_skipped += 1;
+                            continue;
+                        }
+                    }
+                    cnt_buf[coloring[u] as usize] += 1;
+                    nbr_visited += 1;
+                }
+                for (a, &c) in pas_acc.iter_mut().zip(cnt_buf.iter()) {
+                    *a = c as f64;
+                }
+            }
+            Stored::Table(tb) if tb.has_row_slices() => {
+                // Slice-backed layouts (dense/lazy): one probe serves as
+                // both the activity check and the row read, and the
+                // prefetch starts each row's lines loading while the rest
+                // of the gather runs. Addition order (below) is exactly
+                // the scalar kernel's neighbor order.
+                nbr_rows.clear();
+                for &u in g.neighbors(v) {
+                    match tb.row_slice(u as usize) {
+                        Some(s) => {
+                            prefetch_row(s);
+                            nbr_rows.push(s);
+                            nbr_visited += 1;
+                        }
+                        None => nbr_skipped += 1,
+                    }
+                }
+                if nc_p <= COL_BLOCK {
+                    // Common case: the whole row is one block — skip the
+                    // chunk bookkeeping. Per-slot addition order is the
+                    // gathered neighbor order either way.
+                    for r in nbr_rows.iter() {
+                        for (d, s) in pas_acc.iter_mut().zip(*r) {
+                            *d += *s;
+                        }
+                    }
+                } else {
+                    let mut c0 = 0;
+                    while c0 < nc_p {
+                        let c1 = (c0 + COL_BLOCK).min(nc_p);
+                        for r in nbr_rows.iter() {
+                            for (d, s) in pas_acc[c0..c1].iter_mut().zip(&r[c0..c1]) {
+                                *d += *s;
+                            }
+                        }
+                        c0 = c1;
+                    }
+                }
+            }
+            Stored::Table(tb) => {
+                // Hash layout: no contiguous rows to gather. Collect the
+                // active neighbors first — the hint starts each probe
+                // window loading — then batch-probe in neighbor order.
+                probe_vs.clear();
+                for &u in g.neighbors(v) {
+                    let u = u as usize;
+                    if tb.vertex_active(u) {
+                        tb.prefetch_row_hint(u);
+                        probe_vs.push(u as u32);
+                        nbr_visited += 1;
+                    } else {
+                        nbr_skipped += 1;
+                    }
+                }
+                for &u in probe_vs.iter() {
+                    tb.add_row_into(u as usize, pas_acc);
+                }
+            }
+        }
+        tally.neighbors_visited += nbr_visited;
+        tally.neighbors_skipped += nbr_skipped;
+        if nbr_visited == 0 {
+            return;
+        }
+
+        // Combine into a staged arena row (zeroed by `stage`).
+        let row = batch.stage();
+        let nonzero;
+        match (act_slice, rem, pos) {
+            (None, Some(rem), _) => {
+                // Active is the bare root vertex: the only live color set
+                // for it is {color(v)} — look up C \ {color(v)} directly.
+                let cv = coloring[v] as usize;
+                let mut nz = false;
+                for (i, slot) in row.iter_mut().enumerate() {
+                    let r = rem[i * k + cv];
+                    if r >= 0 {
+                        let val = pas_acc[r as usize];
+                        if val != 0.0 {
+                            *slot = val;
+                            nz = true;
+                        }
+                    }
+                }
+                nonzero = nz;
+            }
+            (Some(act_row), _, Some(pos)) => {
+                // Position-major flat MAC: lane j of set i is the j-th
+                // entry of the scalar kernel's split walk, so every slot
+                // accumulates its products in the identical order.
+                for j in 0..pos.splits_per_set() {
+                    let (ai, pi) = pos.lane(j);
+                    for ((slot, &a_idx), &p_idx) in row.iter_mut().zip(ai).zip(pi) {
+                        *slot += act_row[a_idx as usize] * pas_acc[p_idx as usize];
+                    }
+                }
+                nonzero = row.iter().any(|&x| x != 0.0);
+            }
+            _ => unreachable!("active-single uses removals; larger actives use splits"),
+        }
+        if nonzero {
+            batch.commit(slot_v);
+        }
+    };
+
+    let n = g.num_vertices();
+    if inner_parallel {
+        // Band the vertex range; each worker fills a private batch, and
+        // the in-order concatenation reproduces the serial arena exactly
+        // (rows are independent, so band boundaries cannot change them).
+        let bands = (rayon::current_num_threads() * 4).max(1);
+        let band_len = n.div_ceil(bands).max(64);
+        let n_bands = n.div_ceil(band_len);
+        let parts: Vec<RowBatch> = (0..n_bands)
+            .into_par_iter()
+            .map(|b| {
+                let start = b * band_len;
+                let end = (start + band_len).min(n);
+                let mut batch = RowBatch::new(end - start, nc_h);
+                let mut scratch = Scratch::new();
+                for v in start..end {
+                    compute(&mut scratch, &mut batch, v, v - start);
+                }
+                scratch.tally.flush(cm);
+                batch
+            })
+            .collect();
+        RowBatch::concat(n, nc_h, parts)
+    } else {
+        let mut batch = RowBatch::new(n, nc_h);
+        let mut scratch = Scratch::new();
+        for v in 0..n {
+            compute(&mut scratch, &mut batch, v, v);
+        }
+        scratch.tally.flush(cm);
+        batch
+    }
+}

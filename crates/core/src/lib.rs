@@ -36,6 +36,7 @@ pub mod engine;
 pub mod enumerate;
 pub mod exact;
 pub mod gdd;
+pub mod kernel;
 pub mod mem;
 pub(crate) mod metrics;
 pub mod motifs;
@@ -50,6 +51,7 @@ pub(crate) mod trace;
 pub use engine::{
     count_template, count_template_labeled, rooted_counts, CountConfig, CountError, CountResult,
 };
+pub use kernel::KernelKind;
 pub use mem::{MemCollector, NodeMemStats};
 pub use parallel::ParallelMode;
 pub use progress::{Progress, ProgressConfig, ProgressSnapshot};

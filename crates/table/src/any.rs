@@ -8,7 +8,9 @@
 //! [`TableKind`] — the virtual-dispatch cost is paid only when a budget is
 //! configured.
 
-use crate::{CountTable, DenseTable, HashCountTable, LazyTable, Rows, TableKind, TableStats};
+use crate::{
+    CountTable, DenseTable, HashCountTable, LazyTable, RowBatch, Rows, TableKind, TableStats,
+};
 
 /// One of the three layouts, chosen at construction time.
 #[derive(Debug, Clone)]
@@ -45,6 +47,14 @@ impl CountTable for AnyTable {
         }
     }
 
+    fn from_batch_kind(kind: TableKind, batch: RowBatch) -> Self {
+        match kind {
+            TableKind::Dense => AnyTable::Dense(DenseTable::from_batch_kind(kind, batch)),
+            TableKind::Lazy => AnyTable::Lazy(LazyTable::from_batch_kind(kind, batch)),
+            TableKind::Hash => AnyTable::Hash(HashCountTable::from_batch_kind(kind, batch)),
+        }
+    }
+
     #[inline]
     fn num_vertices(&self) -> usize {
         dispatch!(self, t => t.num_vertices())
@@ -68,6 +78,21 @@ impl CountTable for AnyTable {
     #[inline]
     fn row_slice(&self, v: usize) -> Option<&[f64]> {
         dispatch!(self, t => t.row_slice(v))
+    }
+
+    #[inline]
+    fn has_row_slices(&self) -> bool {
+        dispatch!(self, t => t.has_row_slices())
+    }
+
+    #[inline]
+    fn add_row_into(&self, v: usize, acc: &mut [f64]) {
+        dispatch!(self, t => t.add_row_into(v, acc))
+    }
+
+    #[inline]
+    fn prefetch_row_hint(&self, v: usize) {
+        dispatch!(self, t => t.prefetch_row_hint(v))
     }
 
     fn bytes(&self) -> usize {

@@ -6,7 +6,7 @@
 //! lazy and hashed layouts.
 
 use crate::access::{recorder_for, AccessRecorder};
-use crate::{CountTable, Rows, TableKind, TableStats};
+use crate::{CountTable, RowBatch, Rows, TableKind, TableStats};
 use std::sync::Arc;
 
 /// Flat row-major `n x Nc` array of counts.
@@ -33,6 +33,29 @@ impl CountTable for DenseTable {
                 let is_active = row.iter().any(|&x| x != 0.0);
                 data[v * nc..(v + 1) * nc].copy_from_slice(&row);
                 active[v] = is_active;
+            }
+        }
+        Self {
+            n,
+            nc,
+            data,
+            active,
+            access: recorder_for(n),
+        }
+    }
+
+    fn from_batch_kind(_kind: TableKind, batch: RowBatch) -> Self {
+        let n = batch.num_vertices();
+        let nc = batch.num_colorsets();
+        let mut data = vec![0.0f64; n * nc];
+        let mut active = vec![false; n];
+        for v in 0..n {
+            if let Some(row) = batch.row(v) {
+                data[v * nc..(v + 1) * nc].copy_from_slice(row);
+                // Committed rows are active by the staging contract (the
+                // kernel commits only non-zero rows), matching the lazy
+                // arena's slot semantics without rescanning every row.
+                active[v] = true;
             }
         }
         Self {
@@ -81,6 +104,11 @@ impl CountTable for DenseTable {
             }
             Some(&self.data[v * self.nc..(v + 1) * self.nc])
         } else {
+            // A slice miss doubles as the activity check (see
+            // `CountTable::has_row_slices`), so account it as one.
+            if let Some(rec) = &self.access {
+                rec.note_inactive();
+            }
             None
         }
     }

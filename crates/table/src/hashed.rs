@@ -11,7 +11,7 @@
 //! reduction versus the dense layout.
 
 use crate::access::{recorder_for, AccessRecorder};
-use crate::{CountTable, ProbeStats, Rows, TableKind, TableStats};
+use crate::{CountTable, ProbeStats, RowBatch, Rows, TableKind, TableStats};
 use std::sync::Arc;
 
 const EMPTY: u64 = u64::MAX;
@@ -87,6 +87,26 @@ impl HashCountTable {
     pub fn probe_stats(&self) -> ProbeStats {
         self.probe
     }
+
+    /// Inserts `val` under `key`, counting the probe chain.
+    #[inline]
+    fn insert(&mut self, key: u64, val: f64) {
+        let mut i = (key % self.capacity as u64) as usize;
+        let mut chain = 1u64;
+        while self.keys[i] != EMPTY {
+            debug_assert_ne!(self.keys[i], key, "duplicate key");
+            chain += 1;
+            i += 1;
+            if i == self.capacity {
+                i = 0;
+            }
+        }
+        self.keys[i] = key;
+        self.vals[i] = val;
+        self.probe.inserts += 1;
+        self.probe.probes += chain;
+        self.probe.max_probe = self.probe.max_probe.max(chain);
+    }
 }
 
 impl CountTable for HashCountTable {
@@ -121,22 +141,36 @@ impl CountTable for HashCountTable {
                     continue;
                 }
                 table.active[v] = true;
-                let key = (v * nc + cs) as u64;
-                let mut i = (key % capacity as u64) as usize;
-                let mut chain = 1u64;
-                while table.keys[i] != EMPTY {
-                    debug_assert_ne!(table.keys[i], key, "duplicate key");
-                    chain += 1;
-                    i += 1;
-                    if i == capacity {
-                        i = 0;
-                    }
+                table.insert((v * nc + cs) as u64, val);
+            }
+        }
+        table
+    }
+
+    fn from_batch_kind(_kind: TableKind, batch: RowBatch) -> Self {
+        let n = batch.num_vertices();
+        let nc = batch.num_colorsets();
+        let live = batch.live_entries();
+        let capacity = (2 * live).max(16) + 1;
+        let mut table = Self {
+            n,
+            nc,
+            capacity,
+            keys: vec![EMPTY; capacity],
+            vals: vec![0.0; capacity],
+            active: vec![false; n],
+            live,
+            probe: ProbeStats::default(),
+            access: recorder_for(n),
+        };
+        for v in 0..n {
+            let Some(row) = batch.row(v) else { continue };
+            for (cs, &val) in row.iter().enumerate() {
+                if val == 0.0 {
+                    continue;
                 }
-                table.keys[i] = key;
-                table.vals[i] = val;
-                table.probe.inserts += 1;
-                table.probe.probes += chain;
-                table.probe.max_probe = table.probe.max_probe.max(chain);
+                table.active[v] = true;
+                table.insert((v * nc + cs) as u64, val);
             }
         }
         table
@@ -190,6 +224,82 @@ impl CountTable for HashCountTable {
     #[inline]
     fn row_slice(&self, _v: usize) -> Option<&[f64]> {
         None // no contiguous rows in the hashed layout
+    }
+
+    #[inline]
+    fn has_row_slices(&self) -> bool {
+        false
+    }
+
+    /// Batched row accumulation: the keys of one row are consecutive
+    /// (`v*nc .. v*nc+nc`), and `key mod size` maps consecutive keys to
+    /// consecutive home slots — so the division happens once per row and
+    /// each subsequent home slot is a wrapping increment. Probe chains and
+    /// results are identical to `nc` separate [`CountTable::get`] calls.
+    fn add_row_into(&self, v: usize, acc: &mut [f64]) {
+        if !self.active[v] {
+            if let Some(rec) = &self.access {
+                // The per-slot default would hit the inactive check once
+                // per colorset; keep the telemetry identical.
+                for _ in 0..acc.len() {
+                    rec.note_inactive();
+                }
+            }
+            return;
+        }
+        let base = (v * self.nc) as u64;
+        let mut home = (base % self.capacity as u64) as usize;
+        for (cs, a) in acc.iter_mut().enumerate() {
+            let key = base + cs as u64;
+            let mut i = home;
+            let mut chain = 1u64;
+            loop {
+                let k = self.keys[i];
+                if k == key {
+                    *a += self.vals[i];
+                    break;
+                }
+                if k == EMPTY {
+                    break;
+                }
+                chain += 1;
+                i += 1;
+                if i == self.capacity {
+                    i = 0;
+                }
+            }
+            if let Some(rec) = &self.access {
+                rec.note_get(v);
+                rec.note_probe(chain);
+            }
+            home += 1;
+            if home == self.capacity {
+                home = 0;
+            }
+        }
+    }
+
+    /// Prefetches the probe window a row's consecutive home slots land in,
+    /// so a later [`CountTable::add_row_into`] finds the key and value
+    /// lines resident. No-op off x86-64.
+    fn prefetch_row_hint(&self, v: usize) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            if !self.active[v] {
+                return;
+            }
+            let home = ((v * self.nc) as u64 % self.capacity as u64) as usize;
+            // The row's nc home slots start here; one line of keys and one
+            // of values covers the short chains of a half-loaded table.
+            // Safety: prefetch is a hint and the indices are in bounds.
+            unsafe {
+                _mm_prefetch(self.keys.as_ptr().add(home).cast::<i8>(), _MM_HINT_T0);
+                _mm_prefetch(self.vals.as_ptr().add(home).cast::<i8>(), _MM_HINT_T0);
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = v;
     }
 
     fn bytes(&self) -> usize {

@@ -1,45 +1,99 @@
-//! The improved lazily-materialized table.
+//! The improved lazily-materialized table, stored as a row arena.
 //!
 //! "We only initialize storage for a given vertex v if that vertex has a
 //! value stored in it for any color set" (§III-C). Inactive vertices cost
-//! one pointer; the activity check is a null test. On the Portland network
-//! with unlabeled templates the paper reports ~20% peak-memory savings,
-//! and >90% with labels, purely from this row laziness.
+//! one 4-byte slot; the activity check is a sentinel test. On the Portland
+//! network with unlabeled templates the paper reports ~20% peak-memory
+//! savings, and >90% with labels, purely from this row laziness.
+//!
+//! # Layout
+//!
+//! Earlier versions stored `Vec<Option<Box<[f64]>>>` — one heap
+//! allocation per active row, scattered wherever the allocator put them.
+//! The vectorized DP kernel (DESIGN.md §15) reads child rows in bulk, so
+//! the layout is now a single arena:
+//!
+//! ```text
+//! data:  [ row of v3 | row of v7 | row of v9 | ... ]   (nc doubles each,
+//! slots: [ ⊥ ⊥ ⊥ 0 ⊥ ⊥ ⊥ 1 ⊥ 2 ... ]                  ascending vertex order)
+//! ```
+//!
+//! `slots[v]` is the arena row index of vertex `v` (or a sentinel when
+//! inactive), so `row_slice` is one bounds-checked slice view and
+//! consecutive active rows are physically adjacent — the property the
+//! colorset-major kernel's sequential sweeps rely on. A [`RowBatch`]
+//! produced by that kernel already *is* this layout, so
+//! [`LazyTable::from_batch_kind`] moves the arena instead of copying rows.
 
 use crate::access::{recorder_for, AccessRecorder};
+use crate::batch::{RowBatch, NO_ROW};
 use crate::{CountTable, Rows, TableKind, TableStats};
 use std::sync::Arc;
 
-/// Per-vertex optional rows.
+/// Arena-backed per-vertex optional rows.
 #[derive(Debug, Clone)]
 pub struct LazyTable {
     nc: usize,
-    rows: Rows,
+    /// Active rows, `nc` doubles each, in ascending vertex order.
+    data: Vec<f64>,
+    /// Per-vertex arena row index; `u32::MAX` marks an inactive vertex.
+    slots: Vec<u32>,
     /// Opt-in access telemetry; excluded from `bytes()` accounting.
     access: Option<Arc<AccessRecorder>>,
 }
 
 impl CountTable for LazyTable {
-    fn from_rows(n: usize, nc: usize, mut rows: Rows) -> Self {
+    fn from_rows(n: usize, nc: usize, rows: Rows) -> Self {
         assert_eq!(rows.len(), n, "row count must equal vertex count");
-        for row in rows.iter_mut() {
-            if let Some(r) = row {
+        let active = rows
+            .iter()
+            .flatten()
+            .filter(|r| {
                 assert_eq!(r.len(), nc, "row width must equal colorset count");
-                if r.iter().all(|&x| x == 0.0) {
-                    *row = None;
+                r.iter().any(|&x| x != 0.0)
+            })
+            .count();
+        let mut data = Vec::with_capacity(active * nc);
+        let mut slots = Vec::with_capacity(n);
+        let mut next = 0u32;
+        for row in &rows {
+            match row {
+                Some(r) if r.iter().any(|&x| x != 0.0) => {
+                    slots.push(next);
+                    next += 1;
+                    data.extend_from_slice(r);
                 }
+                // All-zero rows are normalized to "inactive" so every
+                // layout sees the same logical content.
+                _ => slots.push(NO_ROW),
             }
         }
         Self {
             nc,
-            rows,
+            data,
+            slots,
+            access: recorder_for(n),
+        }
+    }
+
+    fn from_batch_kind(_kind: TableKind, mut batch: RowBatch) -> Self {
+        let n = batch.num_vertices();
+        let nc = batch.num_colorsets();
+        batch.data.truncate(batch.committed * nc);
+        // The arena may carry growth slack from staging; return it so
+        // `bytes()` reports (and the process holds) exactly the rows kept.
+        batch.data.shrink_to_fit();
+        Self {
+            nc,
+            data: batch.data,
+            slots: batch.slots,
             access: recorder_for(n),
         }
     }
 
     #[inline]
     fn num_vertices(&self) -> usize {
-        self.rows.len()
+        self.slots.len()
     }
 
     #[inline]
@@ -49,25 +103,25 @@ impl CountTable for LazyTable {
 
     #[inline]
     fn get(&self, v: usize, cs: usize) -> f64 {
-        match &self.rows[v] {
-            Some(row) => {
-                if let Some(rec) = &self.access {
-                    rec.note_get(v);
-                }
-                row[cs]
-            }
-            None => {
+        match self.slots[v] {
+            NO_ROW => {
                 if let Some(rec) = &self.access {
                     rec.note_inactive();
                 }
                 0.0
+            }
+            slot => {
+                if let Some(rec) = &self.access {
+                    rec.note_get(v);
+                }
+                self.data[slot as usize * self.nc + cs]
             }
         }
     }
 
     #[inline]
     fn vertex_active(&self, v: usize) -> bool {
-        let a = self.rows[v].is_some();
+        let a = self.slots[v] != NO_ROW;
         if !a {
             if let Some(rec) = &self.access {
                 rec.note_inactive();
@@ -78,49 +132,47 @@ impl CountTable for LazyTable {
 
     #[inline]
     fn row_slice(&self, v: usize) -> Option<&[f64]> {
-        let row = self.rows[v].as_deref();
-        if row.is_some() {
-            if let Some(rec) = &self.access {
-                rec.note_row_read(v);
+        match self.slots[v] {
+            NO_ROW => {
+                // A slice miss doubles as the activity check (see
+                // `CountTable::has_row_slices`), so account it as one.
+                if let Some(rec) = &self.access {
+                    rec.note_inactive();
+                }
+                None
+            }
+            slot => {
+                if let Some(rec) = &self.access {
+                    rec.note_row_read(v);
+                }
+                let start = slot as usize * self.nc;
+                Some(&self.data[start..start + self.nc])
             }
         }
-        row
     }
 
     fn bytes(&self) -> usize {
-        let row_bytes: usize = self
-            .rows
-            .iter()
-            .map(|r| r.as_ref().map_or(0, |row| row.len() * 8))
-            .sum();
-        row_bytes + self.rows.capacity() * std::mem::size_of::<Option<Box<[f64]>>>()
+        // Length-based on purpose: `from_batch_kind` shrinks the arena to
+        // its kept rows, and `projected_bytes` mirrors this formula.
+        self.data.len() * std::mem::size_of::<f64>() + self.slots.len() * std::mem::size_of::<u32>()
     }
 
     fn stats(&self) -> TableStats {
-        let materialized = self.rows.iter().filter(|r| r.is_some()).count();
+        let materialized = self.slots.iter().filter(|&&s| s != NO_ROW).count();
         TableStats {
             allocated_bytes: self.bytes(),
             // Lazy materializes exactly the active rows — that is the
             // paper's "improved" memory scheme.
             rows_materialized: materialized,
             nonzero_rows: materialized,
-            live_entries: self
-                .rows
-                .iter()
-                .flatten()
-                .map(|row| row.iter().filter(|&&x| x != 0.0).count())
-                .sum(),
+            live_entries: self.data.iter().filter(|&&x| x != 0.0).count(),
             probe: None,
             access: self.access.as_ref().map(|rec| rec.snapshot()),
         }
     }
 
     fn total(&self) -> f64 {
-        self.rows
-            .iter()
-            .flatten()
-            .map(|row| row.iter().sum::<f64>())
-            .sum()
+        self.data.iter().sum()
     }
 
     fn kind(&self) -> TableKind {
@@ -181,6 +233,46 @@ mod tests {
             for cs in 0..9 {
                 assert_eq!(lazy.get(v, cs), dense.get(v, cs));
             }
+        }
+    }
+
+    #[test]
+    fn arena_rows_are_adjacent_in_vertex_order() {
+        let mut rows = sample_rows(17, 4);
+        crate::prune_zero_rows(&mut rows);
+        let t = LazyTable::from_rows(17, 4, rows.clone());
+        let mut expect_start = 0;
+        for (v, row) in rows.iter().enumerate() {
+            if let Some(r) = row {
+                let slice = t.row_slice(v).unwrap();
+                assert_eq!(slice, &r[..]);
+                // Each active row starts right where the previous ended.
+                assert_eq!(
+                    slice.as_ptr() as usize - t.data.as_ptr() as usize,
+                    expect_start * 8
+                );
+                expect_start += 4;
+            }
+        }
+    }
+
+    #[test]
+    fn from_batch_matches_from_rows() {
+        let mut rows = sample_rows(23, 5);
+        crate::prune_zero_rows(&mut rows);
+        let mut batch = RowBatch::new(23, 5);
+        for (v, row) in rows.iter().enumerate() {
+            if let Some(r) = row {
+                batch.stage().copy_from_slice(r);
+                batch.commit(v);
+            }
+        }
+        let a = LazyTable::from_batch_kind(TableKind::Lazy, batch);
+        let b = LazyTable::from_rows(23, 5, rows);
+        assert_eq!(a.bytes(), b.bytes());
+        assert_eq!(a.total().to_bits(), b.total().to_bits());
+        for v in 0..23 {
+            assert_eq!(a.row_slice(v), b.row_slice(v), "vertex {v}");
         }
     }
 }

@@ -6,10 +6,12 @@
 //!
 //! * [`DenseTable`] — the naive layout: a flat `n x Nc` array fully
 //!   allocated up front regardless of need,
-//! * [`LazyTable`] — the "improved" layout: per-vertex rows allocated only
-//!   when the vertex has at least one non-zero count, enabling both the
-//!   memory saving and the O(1) "is this vertex initialized" check that
-//!   skips work in the inner loops,
+//! * [`LazyTable`] — the "improved" layout: rows materialized only for
+//!   vertices with at least one non-zero count, packed into one contiguous
+//!   arena in vertex order, enabling the memory saving, the O(1) "is this
+//!   vertex initialized" check that skips work in the inner loops, *and*
+//!   the sequential row reads the vectorized DP kernel depends on
+//!   (DESIGN.md §15),
 //! * [`HashCountTable`] — the hashing scheme for high-selectivity
 //!   templates: key `vid * Nc + I`, hashed by plain modulo into an
 //!   open-addressing table (the paper's `key mod size` with a table sized
@@ -28,10 +30,15 @@
 //! * dense — `8 * n * Nc` bytes, always. Fastest access (one multiply),
 //!   right when most vertices are active and `Nc` is small (small
 //!   templates on dense graphs).
-//! * lazy — `8 * r * Nc` plus a pointer per vertex: `~16n + 8 * r * Nc`
-//!   on 64-bit. The default: same O(1) row addressing as dense, but pays
-//!   only for active vertices — a large win on sparse or road-like graphs
-//!   where most vertices never accumulate a count.
+//! * lazy — `8 * r * Nc` plus a 4-byte arena slot per vertex:
+//!   `4n + 8 * r * Nc`. The default: same O(1) row addressing as dense,
+//!   but pays only for active vertices — a large win on sparse or
+//!   road-like graphs where most vertices never accumulate a count. Its
+//!   arena keeps active rows adjacent in vertex order, so neighbor-row
+//!   sweeps read memory almost sequentially (watch
+//!   `access.sequential_ratio` under `--mem-stats`, and see the PR 6
+//!   occupancy recipe in EXPERIMENTS.md for picking a layout from
+//!   measured occupancy).
 //! * hash — `~16 * e / load` bytes (key + value per live entry at the
 //!   configured load factor). Right for *high-selectivity* workloads —
 //!   labeled or large templates where `e << r * Nc` — at the cost of a
@@ -59,8 +66,6 @@
 //! assert!(!lazy.vertex_active(1));
 //! assert_eq!(lazy.total(), dense.total()); // layouts agree on content
 //! // ...but lazy materialized only the 2 active rows, dense all 4.
-//! // (At this toy scale the per-vertex pointers dominate; the byte
-//! // saving kicks in once Nc outgrows a pointer, i.e. Nc > 2.)
 //! assert_eq!(lazy.stats().rows_materialized, 2);
 //! assert_eq!(dense.stats().rows_materialized, 4);
 //! ```
@@ -69,6 +74,7 @@
 
 pub mod access;
 pub mod any;
+pub mod batch;
 pub mod dense;
 pub mod hashed;
 pub mod lazy;
@@ -77,6 +83,7 @@ pub use access::{
     access_tracking_enabled, set_access_tracking, AccessRecorder, AccessSnapshot, ACCESS_BUCKETS,
 };
 pub use any::AnyTable;
+pub use batch::RowBatch;
 pub use dense::DenseTable;
 pub use hashed::HashCountTable;
 pub use lazy::LazyTable;
@@ -125,7 +132,7 @@ impl TableKind {
 ///
 /// The formulas mirror each layout's [`CountTable::bytes`] accounting
 /// exactly (dense: full `n x nc` doubles plus the activity bitmap; lazy:
-/// doubles for active rows plus one `Option<Box<[f64]>>` slot per vertex;
+/// doubles for the active-row arena plus one 4-byte slot per vertex;
 /// hash: the open-addressing key/value arrays at factor-of-two occupancy
 /// plus the activity bitmap), so a projection can be compared against a
 /// memory budget before committing to a layout.
@@ -138,7 +145,7 @@ pub fn projected_bytes(
 ) -> usize {
     match kind {
         TableKind::Dense => n * nc * 8 + n,
-        TableKind::Lazy => active_rows * nc * 8 + n * std::mem::size_of::<Option<Box<[f64]>>>(),
+        TableKind::Lazy => active_rows * nc * 8 + n * std::mem::size_of::<u32>(),
         TableKind::Hash => {
             let capacity = (2 * live_entries).max(16) + 1;
             capacity * 16 + n
@@ -215,6 +222,26 @@ pub trait CountTable: Send + Sync + Sized {
         Self::from_rows(n, nc, rows)
     }
 
+    /// Builds a table from an arena-staged [`RowBatch`] (the vectorized DP
+    /// kernel's output), honoring `kind` as in
+    /// [`CountTable::from_rows_kind`]. Every layout overrides the default
+    /// with a direct construction so no per-row boxes are allocated; for
+    /// [`LazyTable`] the batch arena is *moved*, not copied.
+    ///
+    /// ```
+    /// use fascia_table::{CountTable, DenseTable, RowBatch, TableKind};
+    /// let mut batch = RowBatch::new(3, 2);
+    /// batch.stage()[0] = 7.0;
+    /// batch.commit(2);
+    /// let t = DenseTable::from_batch_kind(TableKind::Dense, batch);
+    /// assert_eq!(t.get(2, 0), 7.0);
+    /// assert!(!t.vertex_active(0));
+    /// ```
+    fn from_batch_kind(kind: TableKind, batch: RowBatch) -> Self {
+        let (n, nc) = (batch.num_vertices(), batch.num_colorsets());
+        Self::from_rows_kind(kind, n, nc, batch.into_rows())
+    }
+
     /// Number of graph vertices this table covers.
     fn num_vertices(&self) -> usize;
 
@@ -232,6 +259,34 @@ pub trait CountTable: Send + Sync + Sized {
     /// Contiguous row of vertex `v` when the layout materializes one
     /// (`None` for inactive vertices and for the hash layout).
     fn row_slice(&self, v: usize) -> Option<&[f64]>;
+
+    /// Whether this layout materializes contiguous rows at all: when
+    /// `true`, `row_slice(v).is_some()` is equivalent to
+    /// `vertex_active(v)`, so a single [`CountTable::row_slice`] probe can
+    /// serve as both the activity check and the row read. The hash layout
+    /// returns `false`.
+    fn has_row_slices(&self) -> bool {
+        true
+    }
+
+    /// Adds vertex `v`'s whole row into `acc` slot-by-slot, equivalent to
+    /// `acc[cs] += self.get(v, cs)` for every `cs` in `0..acc.len()`, in
+    /// ascending `cs` order. Layouts without contiguous rows override this
+    /// with a batched probe (the hashed layout amortizes one hash
+    /// computation over the row's consecutive keys); results are bitwise
+    /// identical to the per-slot default.
+    fn add_row_into(&self, v: usize, acc: &mut [f64]) {
+        for (cs, a) in acc.iter_mut().enumerate() {
+            *a += self.get(v, cs);
+        }
+    }
+
+    /// Hints that vertex `v`'s row is about to be read (e.g. by
+    /// [`CountTable::add_row_into`]): layouts may prefetch the backing
+    /// storage. Semantically a no-op; the default does nothing.
+    fn prefetch_row_hint(&self, v: usize) {
+        let _ = v;
+    }
 
     /// Approximate heap bytes held (peak-memory accounting, Figs. 6–7).
     fn bytes(&self) -> usize;
