@@ -10,6 +10,9 @@
 //!   U5-2 central orbit,
 //! * `sample <dataset|path> <template> <count>` — draw uniform random
 //!   occurrences,
+//! * `serve --spool <dir>` — resident counting service over a durable job
+//!   spool (supervision, retry/backoff, graceful degradation, crash
+//!   recovery),
 //! * `gen <dataset> <out.txt>` — write a synthetic dataset as an edge list,
 //! * `info <dataset|path>` — print network statistics,
 //! * `templates` — list the Figure 2 template gallery.
@@ -26,6 +29,7 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 mod report;
+mod serve;
 
 use fascia_core::engine::{count_template, CountConfig, CountError};
 use fascia_core::exact::count_exact;
@@ -166,6 +170,7 @@ fn run(args: &[String]) -> Result<i32, CliError> {
         "gen" => cmd_gen(rest),
         "info" => cmd_info(rest),
         "report" => report::cmd_report(rest),
+        "serve" => serve::cmd_serve(rest),
         "templates" => {
             cmd_templates();
             Ok(EXIT_OK)
@@ -182,13 +187,21 @@ fn run(args: &[String]) -> Result<i32, CliError> {
 }
 
 fn usage_text() -> String {
-    "usage: fascia <count|exact|motifs|gdd|sample|distsim|gen|info|report|templates|help> ...\n\
+    "usage: fascia <count|exact|motifs|gdd|sample|distsim|serve|gen|info|report|templates|help> ...\n\
      \x20 count  <dataset|file> <template> [--iters N] [--table naive|improved|hash] [--kernel scalar|vectorized] [--strategy one|balanced] [--parallel serial|inner|outer|auto] [--seed S] [--metrics off|pretty|json|prom] [adaptive flags] [resilience flags] [observability flags]\n\
      \x20 exact  <dataset|file> <template>\n\
      \x20 motifs <dataset|file> <size> [--iters N]\n\
      \x20 gdd    <dataset|file> [--iters N]\n\
      \x20 sample <dataset|file> <template> <count> [--iters N] [--seed S]\n\
      \x20 distsim <dataset|file> <template> <ranks> [--iters N]\n\
+     \x20 serve  [--spool] DIR [--once] [--stdin] [--chaos SPEC] [--poll-ms N] [--stall-timeout-ms N]\n\
+     \x20        [--grace-ms N] [--scan-ms N] [--max-attempts N] [--backoff-base-ms N] [--backoff-cap-ms N]\n\
+     \x20        resident counting service: runs fascia-job/1 documents from DIR/jobs (add more any\n\
+     \x20        time; --stdin also queues a JSONL stream), writes durable fascia-job-result/1\n\
+     \x20        documents to DIR/results, retries transient failures with capped jittered backoff,\n\
+     \x20        degrades to honest partial estimates on deadline/budget, and resumes killed jobs\n\
+     \x20        from their checkpoints; --once drains the queue and exits; --chaos (or env\n\
+     \x20        FASCIA_CHAOS) runs a deterministic fault schedule, logged to DIR/chaos.events\n\
      \x20 gen    <dataset> <out.txt>\n\
      \x20 info   <dataset|file>\n\
      \x20 report <run-dir> [--baseline BENCH.json] [--html FILE] [--no-html]\n\
@@ -573,6 +586,7 @@ fn parse_flags(rest: &[String]) -> Result<(CountConfig, ObsFlags), CliError> {
             stderr_line: want_line,
             heartbeat,
             min_interval: Duration::from_millis(200),
+            job_id: None,
         })));
     }
     // Every counting run watches the process-wide interrupt flag; the

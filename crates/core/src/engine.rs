@@ -26,6 +26,7 @@
 //!   handful live (§III-C),
 //! * vertex labels prune every base case (Fig. 4's speedup).
 
+use crate::chaos::{Chaos, IoSite};
 use crate::coloring::{iteration_seed, random_coloring};
 use crate::kernel::{cut_batch, KernelKind};
 use crate::mem::{MemCollector, RunMem};
@@ -158,6 +159,15 @@ pub struct CountConfig {
     pub resume: Option<Checkpoint>,
     /// Deterministic fault hooks for tests; the default injects nothing.
     pub fault: FaultInjection,
+    /// Optional seed-scheduled chaos layer ([`crate::chaos`]). Each
+    /// counting run claims a run index with [`Chaos::begin_run`] and then
+    /// consults the schedule for worker panics (per iteration/attempt),
+    /// injected checkpoint-write IO errors, DP stalls, and memory-budget
+    /// squeezes. All decisions are pure functions of the schedule seed
+    /// and fault coordinates, so a replay with the same spec and job
+    /// order reproduces the identical event sequence. Ignored by
+    /// [`rooted_counts`] (chaos targets the end-to-end counting path).
+    pub chaos: Option<Arc<Chaos>>,
     /// Optional memory-observability collector. When present the engine
     /// attributes allocator traffic to the shared phase taxonomy (effective
     /// when the binary installed [`fascia_obs::CountingAlloc`]) and folds
@@ -225,6 +235,7 @@ impl Default for CountConfig {
             progress: None,
             resume: None,
             fault: FaultInjection::default(),
+            chaos: None,
             mem: None,
         }
     }
@@ -672,6 +683,10 @@ fn count_impl(
     }
 
     let fault = cfg.fault;
+    // Each counting run claims one chaos run index; faults then address
+    // (run, iteration, attempt) coordinates, so a supervisor retry rolls
+    // fresh coordinates and injected faults stay transient.
+    let chaos_run = cfg.chaos.as_ref().map(|c| c.begin_run());
     // A fault that cancels needs a token even when the caller passed none.
     let cancel: Option<CancelToken> = cfg
         .cancel
@@ -695,9 +710,12 @@ fn count_impl(
         _ => 1,
     };
     // Outer-loop workers each hold a private set of live tables, so a
-    // memory budget is split between them.
+    // memory budget is split between them. A chaos squeeze halves (or
+    // worse) the whole-run budget before the split, exercising the
+    // dense→lazy→hashed degradation ladder under schedule control.
+    let squeeze = chaos_run.as_ref().map_or(0, |c| c.budget_squeeze_shift());
     let gate = cfg.memory_budget_bytes.map(|limit| BudgetGate {
-        limit: limit / check_interval.max(1),
+        limit: (limit >> squeeze) / check_interval.max(1),
         preferred: cfg.table,
     });
 
@@ -715,6 +733,12 @@ fn count_impl(
         drop(col_ph);
         drop(col_tspan);
         drop(col_span);
+        // A scheduled DP stall rides the existing sleep hook so the slow
+        // path through the kernel needs no extra plumbing.
+        let mut eff_fault = fault;
+        if let Some(d) = chaos_run.as_ref().and_then(|c| c.dp_stall(i)) {
+            eff_fault.sleep_in_dp = Some(eff_fault.sleep_in_dp.map_or(d, |s| s + d));
+        }
         let out = dispatch_iteration(
             g,
             labels,
@@ -728,7 +752,7 @@ fn count_impl(
             gate.as_ref(),
             cancel.as_ref(),
             false,
-            fault,
+            eff_fault,
             rm.as_ref(),
             tr.as_ref(),
             pr.as_ref(),
@@ -760,6 +784,9 @@ fn count_impl(
             if fault.panic_on_iteration == Some(i) {
                 panic!("injected fault at iteration {i}");
             }
+            if chaos_run.as_ref().is_some_and(|c| c.should_panic(i, 0)) {
+                panic!("chaos: scheduled worker panic at iteration {i}");
+            }
             run_attempt(i, inner, cfg.seed)
         }));
         match first {
@@ -775,6 +802,9 @@ fn count_impl(
                 }
                 RunTrace::instant_opt(tr.as_ref(), |t| t.panic_retry, i as u64);
                 match catch_unwind(AssertUnwindSafe(|| {
+                    if chaos_run.as_ref().is_some_and(|c| c.should_panic(i, 1)) {
+                        panic!("chaos: scheduled worker panic at iteration {i} (retry)");
+                    }
                     run_attempt(i, inner, cfg.seed ^ RETRY_SEED_SALT)
                 })) {
                     Ok(res) => res,
@@ -783,6 +813,7 @@ fn count_impl(
             }
         }
     };
+    let flush_ordinal = std::cell::Cell::new(0u64);
     let flush_checkpoint = |raw: &[(f64, usize)]| -> Result<(), CountError> {
         let Some(ckcfg) = &cfg.checkpoint else {
             return Ok(());
@@ -808,7 +839,16 @@ fn count_impl(
             per_iteration: raw.iter().map(|&(x, _)| x).collect(),
             peak_table_bytes: peak,
         };
-        ck.save(&ckcfg.path)
+        // The schedule can fail a flush before any bytes move; `op` is the
+        // flush ordinal, so successive flushes roll independent faults.
+        if let Some(cr) = chaos_run.as_ref() {
+            let op = flush_ordinal.get();
+            flush_ordinal.set(op + 1);
+            if let Some(e) = cr.io_error(IoSite::CheckpointSave, op) {
+                return Err(CountError::CheckpointWrite(e.to_string()));
+            }
+        }
+        ck.save_opts(&ckcfg.path, ckcfg.durable)
             .map_err(|e| CountError::CheckpointWrite(e.to_string()))?;
         if let Some(m) = rm.as_ref() {
             m.checkpoint_writes.inc();
@@ -820,8 +860,10 @@ fn count_impl(
     // short so cancellation latency and checkpoint staleness stay bounded;
     // without any of those features the schedule below reduces exactly to
     // the classic one.
-    let resilient =
-        cancel.is_some() || cfg.checkpoint.is_some() || fault != FaultInjection::default();
+    let resilient = cancel.is_some()
+        || cfg.checkpoint.is_some()
+        || cfg.chaos.is_some()
+        || fault != FaultInjection::default();
     let mut stream = Welford::new();
     let mut raw: Vec<(f64, usize)> = Vec::with_capacity(resumed.len());
     for &x in resumed {

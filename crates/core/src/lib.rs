@@ -29,6 +29,7 @@
 //! via [`engine::CountConfig::metrics`]; see the `metrics` module docs for
 //! the metric names the engine records.
 
+pub mod chaos;
 pub mod coloring;
 pub mod directed;
 pub mod distsim;
@@ -48,6 +49,7 @@ pub mod sample;
 pub mod stats;
 pub(crate) mod trace;
 
+pub use chaos::{Chaos, ChaosParseError, ChaosRun, ChaosSpec, IoSite, CHAOS_ENV};
 pub use engine::{
     count_template, count_template_labeled, rooted_counts, CountConfig, CountError, CountResult,
 };
@@ -56,7 +58,8 @@ pub use mem::{MemCollector, NodeMemStats};
 pub use parallel::ParallelMode;
 pub use progress::{Progress, ProgressConfig, ProgressSnapshot};
 pub use resilience::{
-    atomic_write, CancelToken, Checkpoint, CheckpointConfig, FaultInjection, Json, StopCause,
+    atomic_write, atomic_write_durable, CancelToken, Checkpoint, CheckpointConfig, FaultInjection,
+    Json, StopCause,
 };
 pub use sample::sample_embeddings;
 pub use stats::{count_until_converged, normal_quantile, EstimateStats, StopRule, Welford};

@@ -16,7 +16,8 @@
 //! ```json
 //! {
 //!   "schema": "fascia-heartbeat/1",
-//!   "pid": u64, "phase": "counting", "status": "running" | "finished",
+//!   "pid": u64, "job_id": string | null, "seq": u64,
+//!   "phase": "counting", "status": "running" | "finished",
 //!   "stop_cause": "completed" | "converged" | "cancelled" | "deadline-exceeded" | null,
 //!   "iterations_done": u64, "budget": u64, "percent": f64,
 //!   "estimate": f64, "ci_rel": f64 | null, "target_rel": f64 | null,
@@ -24,6 +25,14 @@
 //!   "updates": u64
 //! }
 //! ```
+//!
+//! `pid` + `job_id` + `seq` are the supervision triple (DESIGN.md §16): a
+//! supervisor matches the document to the job it expects (`job_id`),
+//! confirms which process wrote it (`pid`), and watches `seq` — a
+//! strictly monotonic per-run emission counter — to distinguish a live
+//! worker from a dead or wedged one. A heartbeat whose `seq` stops
+//! advancing is *stale* no matter what wall-clock timestamps might claim,
+//! which is what makes the protocol immune to clock steps.
 
 use crate::resilience::{atomic_write, StopCause};
 use fascia_obs::json::ObjectWriter;
@@ -43,6 +52,10 @@ pub struct ProgressConfig {
     /// Minimum time between emissions (first and final always emit).
     /// `Duration::ZERO` emits on every wave.
     pub min_interval: Duration,
+    /// Job identifier stamped into the heartbeat's `job_id` field, so a
+    /// supervisor can tell *whose* heartbeat it is reading (`None`
+    /// renders as JSON `null` — standalone CLI runs have no job).
+    pub job_id: Option<String>,
 }
 
 impl ProgressConfig {
@@ -126,10 +139,18 @@ impl ProgressSnapshot {
         line
     }
 
-    fn render_heartbeat(&self, updates: u64) -> String {
+    fn render_heartbeat(&self, updates: u64, job_id: Option<&str>) -> String {
         let mut o = ObjectWriter::new();
         o.field_str("schema", "fascia-heartbeat/1")
-            .field_u64("pid", std::process::id() as u64)
+            .field_u64("pid", std::process::id() as u64);
+        match job_id {
+            Some(id) => o.field_str("job_id", id),
+            None => o.field_raw("job_id", "null"),
+        };
+        // `seq` mirrors `updates` under a supervision-protocol name: the
+        // strictly monotonic emission counter a supervisor watches for
+        // staleness (both kept so pre-hardening consumers stay valid).
+        o.field_u64("seq", updates)
             .field_str("phase", "counting")
             .field_str(
                 "status",
@@ -246,7 +267,10 @@ impl Progress {
         if let Some(path) = &self.cfg.heartbeat {
             // A heartbeat failure must never fail the run: the estimate
             // matters more than the status file.
-            let _ = atomic_write(path, &snap.render_heartbeat(st.updates));
+            let _ = atomic_write(
+                path,
+                &snap.render_heartbeat(st.updates, self.cfg.job_id.as_deref()),
+            );
         }
     }
 }
@@ -276,6 +300,7 @@ mod tests {
             stderr_line: false,
             heartbeat: Some(path.clone()),
             min_interval: Duration::ZERO,
+            job_id: Some("job-7".to_string()),
         });
         p.wave(&snap(3, 10));
         let text = std::fs::read_to_string(&path).unwrap();
@@ -283,6 +308,10 @@ mod tests {
         assert!(text.contains("\"iterations_done\":3"));
         assert!(text.contains("\"status\":\"running\""));
         assert!(text.contains("\"stop_cause\":null"));
+        // Supervision triple: job id, writer pid, monotonic sequence.
+        assert!(text.contains("\"job_id\":\"job-7\""), "{text}");
+        assert!(text.contains(&format!("\"pid\":{}", std::process::id())));
+        assert!(text.contains("\"seq\":1"), "{text}");
         let mut fin = snap(10, 10);
         fin.stop_cause = Some(StopCause::Completed);
         p.finish(&fin);
@@ -307,6 +336,7 @@ mod tests {
             stderr_line: false,
             heartbeat: Some(path.clone()),
             min_interval: Duration::ZERO,
+            job_id: None,
         });
         let mut fin = snap(10, 10);
         fin.stop_cause = Some(StopCause::Completed);
@@ -322,6 +352,7 @@ mod tests {
             stderr_line: false,
             heartbeat: None,
             min_interval: Duration::from_secs(3600),
+            job_id: None,
         });
         p.wave(&snap(1, 10)); // first: emits
         p.wave(&snap(2, 10)); // throttled
@@ -358,15 +389,15 @@ mod tests {
         // stay finite and the heartbeat parseable.
         let mut s = snap(0, 0);
         s.elapsed = Duration::ZERO;
-        for text in [s.render_line(), s.render_heartbeat(1)] {
+        for text in [s.render_line(), s.render_heartbeat(1, None)] {
             assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
         }
-        assert!(s.render_heartbeat(1).contains("\"percent\":0"));
+        assert!(s.render_heartbeat(1, None).contains("\"percent\":0"));
         assert!(s.est_remaining_secs().is_none());
         // Iterations done against a zero budget: percent guard still holds.
         let s = snap(3, 0);
         assert!(s.render_line().contains("(0%)"));
-        assert!(!s.render_heartbeat(2).contains("NaN"));
+        assert!(!s.render_heartbeat(2, None).contains("NaN"));
         // Zero elapsed with work done extrapolates to a zero ETA, not NaN.
         let mut s = snap(4, 10);
         s.elapsed = Duration::ZERO;

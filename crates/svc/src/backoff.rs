@@ -1,0 +1,106 @@
+//! Capped exponential backoff with deterministic jitter (DESIGN.md §16).
+//!
+//! A transiently-failed attempt waits `base · 2^(attempt-1)` capped at
+//! `cap`, then jittered into `[delay/2, delay)` so a burst of failing
+//! jobs does not retry in lockstep. The jitter is a *hash* of
+//! (seed, job salt, attempt) — not an RNG draw — so a chaos-soak replay
+//! schedules byte-for-byte identical waits.
+
+use std::time::Duration;
+
+/// Retry policy for transient job failures.
+#[derive(Debug, Clone)]
+pub struct BackoffPolicy {
+    /// First retry delay (before jitter).
+    pub base: Duration,
+    /// Upper bound on the un-jittered delay.
+    pub cap: Duration,
+    /// Total attempts per job (first run + retries). At least 1.
+    pub max_attempts: u32,
+    /// Seed for the deterministic jitter hash.
+    pub jitter_seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        Self {
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            max_attempts: 4,
+            jitter_seed: 0xB0FF_0FF5,
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl BackoffPolicy {
+    /// The wait before retry number `attempt` (1 = first retry) of the
+    /// job identified by `job_salt`. Deterministic: same policy + same
+    /// coordinates ⇒ same delay.
+    pub fn delay(&self, job_salt: u64, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(32);
+        let raw = self
+            .base
+            .saturating_mul(1u32 << exp.min(31))
+            .min(self.cap)
+            .max(Duration::from_nanos(1));
+        let h = splitmix64(splitmix64(self.jitter_seed ^ job_salt) ^ u64::from(attempt));
+        let frac = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        // Jitter into [raw/2, raw): bounded below so backoff still backs
+        // off, bounded above so the cap still caps.
+        raw.mul_f64(0.5 + 0.5 * frac)
+    }
+
+    /// A stable per-job salt from its id, feeding [`BackoffPolicy::delay`].
+    pub fn job_salt(id: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in id.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_exponentially_then_caps() {
+        let p = BackoffPolicy {
+            base: Duration::from_millis(100),
+            cap: Duration::from_millis(450),
+            ..BackoffPolicy::default()
+        };
+        let salt = BackoffPolicy::job_salt("job-a");
+        let d: Vec<Duration> = (1..=5).map(|a| p.delay(salt, a)).collect();
+        // Each delay lands in [raw/2, raw) of its un-jittered schedule
+        // 100, 200, 400, 450, 450.
+        for (delay, raw_ms) in d.iter().zip([100u64, 200, 400, 450, 450]) {
+            let raw = Duration::from_millis(raw_ms);
+            assert!(*delay >= raw / 2 && *delay < raw, "{delay:?} vs {raw:?}");
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_but_desynchronizes_jobs() {
+        let p = BackoffPolicy::default();
+        let a = BackoffPolicy::job_salt("job-a");
+        let b = BackoffPolicy::job_salt("job-b");
+        assert_eq!(p.delay(a, 1), p.delay(a, 1), "replay must match");
+        assert_ne!(p.delay(a, 1), p.delay(b, 1), "jobs must not sync up");
+    }
+
+    #[test]
+    fn huge_attempt_numbers_do_not_overflow() {
+        let p = BackoffPolicy::default();
+        assert!(p.delay(7, u32::MAX) <= p.cap);
+    }
+}

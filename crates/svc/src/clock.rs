@@ -1,0 +1,208 @@
+//! Monotonic time for supervision (DESIGN.md §16).
+//!
+//! Every deadline, stall-timeout, and backoff decision in the service is
+//! computed from [`Clock::monotonic`] — never from the wall clock — so a
+//! system-clock step (NTP correction, manual `date`, VM resume) can
+//! neither extend nor prematurely expire a job. The wall clock exists in
+//! this module only as [`Clock::wall_unix_ms`], a *label* stamped into
+//! result documents for humans; nothing reads it back.
+//!
+//! The [`TestClock`] double carries both a controllable monotonic offset
+//! and a controllable wall clock, so the regression test can slam the
+//! wall clock hours backwards and prove deadlines do not move.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The service's notion of time. Production code uses
+/// [`MonotonicClock`]; tests inject a [`TestClock`].
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// A monotonic reading: never decreases, unaffected by wall-clock
+    /// steps. All supervision arithmetic uses this.
+    fn monotonic(&self) -> Instant;
+
+    /// Milliseconds since the Unix epoch — for stamping documents only.
+    /// MUST NOT feed any deadline/timeout computation.
+    fn wall_unix_ms(&self) -> u64;
+
+    /// Sleeps for `d` (virtual time in test doubles).
+    fn sleep(&self, d: Duration);
+}
+
+/// The real clock: `Instant` + `SystemTime` + `thread::sleep`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MonotonicClock;
+
+impl Clock for MonotonicClock {
+    fn monotonic(&self) -> Instant {
+        Instant::now()
+    }
+
+    fn wall_unix_ms(&self) -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0)
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// A fully controllable clock for tests: monotonic time advances only
+/// via [`TestClock::advance`] (and `sleep`), and the wall clock can be
+/// stepped arbitrarily — including backwards — without touching the
+/// monotonic reading.
+#[derive(Debug)]
+pub struct TestClock {
+    origin: Instant,
+    state: Mutex<TestClockState>,
+}
+
+#[derive(Debug)]
+struct TestClockState {
+    elapsed: Duration,
+    wall_unix_ms: u64,
+}
+
+impl Default for TestClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TestClock {
+    /// A clock at monotonic zero with an arbitrary wall time.
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+            state: Mutex::new(TestClockState {
+                elapsed: Duration::ZERO,
+                wall_unix_ms: 1_700_000_000_000,
+            }),
+        }
+    }
+
+    /// Advances monotonic time (wall time follows, as on a healthy host).
+    pub fn advance(&self, d: Duration) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.elapsed += d;
+        s.wall_unix_ms = s.wall_unix_ms.saturating_add(d.as_millis() as u64);
+    }
+
+    /// Steps the wall clock alone — the misbehavior under test. Monotonic
+    /// time is untouched, exactly like a real NTP step.
+    pub fn step_wall_ms(&self, delta_ms: i64) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.wall_unix_ms = if delta_ms < 0 {
+            s.wall_unix_ms.saturating_sub(delta_ms.unsigned_abs())
+        } else {
+            s.wall_unix_ms.saturating_add(delta_ms as u64)
+        };
+    }
+}
+
+impl Clock for TestClock {
+    fn monotonic(&self) -> Instant {
+        let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        self.origin + s.elapsed
+    }
+
+    fn wall_unix_ms(&self) -> u64 {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .wall_unix_ms
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+}
+
+/// A job's deadline, anchored to the monotonic clock at job start. The
+/// anchor is fixed once: retries run under the *same* deadline (a
+/// flapping job cannot extend its budget by failing), and wall-clock
+/// steps are invisible by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct JobDeadline {
+    anchor: Instant,
+    limit: Duration,
+}
+
+impl JobDeadline {
+    /// Starts the deadline now (monotonic).
+    pub fn start(clock: &dyn Clock, limit: Duration) -> Self {
+        Self {
+            anchor: clock.monotonic(),
+            limit,
+        }
+    }
+
+    /// Monotonic time left before expiry (zero once expired).
+    pub fn remaining(&self, clock: &dyn Clock) -> Duration {
+        self.limit
+            .saturating_sub(clock.monotonic().saturating_duration_since(self.anchor))
+    }
+
+    /// Whether the deadline has passed (monotonic).
+    pub fn expired(&self, clock: &dyn Clock) -> bool {
+        self.remaining(clock) == Duration::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite regression test (ISSUE 8): a backdated system clock must
+    /// neither extend nor expire a job deadline. The deadline is pure
+    /// monotonic arithmetic; stepping the wall clock hours in either
+    /// direction changes nothing, and expiry happens exactly when the
+    /// monotonic clock has advanced past the limit.
+    #[test]
+    fn backdated_wall_clock_cannot_move_a_deadline() {
+        let clock = TestClock::new();
+        let dl = JobDeadline::start(&clock, Duration::from_secs(10));
+        assert_eq!(dl.remaining(&clock), Duration::from_secs(10));
+
+        // Wall clock jumps 2 hours backwards: remaining is unchanged.
+        clock.step_wall_ms(-2 * 3600 * 1000);
+        assert_eq!(dl.remaining(&clock), Duration::from_secs(10));
+        assert!(!dl.expired(&clock));
+
+        // Wall clock jumps a day forward: still not expired.
+        clock.step_wall_ms(24 * 3600 * 1000);
+        assert!(!dl.expired(&clock));
+
+        // Only monotonic progress expires it, at exactly the limit.
+        clock.advance(Duration::from_secs(9));
+        assert_eq!(dl.remaining(&clock), Duration::from_secs(1));
+        clock.advance(Duration::from_secs(1));
+        assert!(dl.expired(&clock));
+        assert_eq!(dl.remaining(&clock), Duration::ZERO);
+
+        // And once expired, a backdated wall clock cannot resurrect it.
+        clock.step_wall_ms(-48 * 3600 * 1000);
+        assert!(dl.expired(&clock));
+    }
+
+    #[test]
+    fn test_clock_sleep_advances_monotonic_time() {
+        let clock = TestClock::new();
+        let t0 = clock.monotonic();
+        clock.sleep(Duration::from_millis(250));
+        assert_eq!(clock.monotonic().duration_since(t0).as_millis(), 250);
+    }
+
+    #[test]
+    fn retries_share_the_original_anchor() {
+        let clock = TestClock::new();
+        let dl = JobDeadline::start(&clock, Duration::from_millis(100));
+        clock.advance(Duration::from_millis(60));
+        // A retry consulting the same deadline sees the *remaining*
+        // budget, not a fresh one.
+        assert_eq!(dl.remaining(&clock), Duration::from_millis(40));
+    }
+}

@@ -1,0 +1,579 @@
+//! Job and result documents (DESIGN.md §16).
+//!
+//! A job is one JSON object, schema `fascia-job/1`:
+//!
+//! ```json
+//! {
+//!   "schema": "fascia-job/1",
+//!   "id": "job-001",                  // required, filesystem-safe
+//!   "graph": "graphs/yeast.txt",      // edge-list path or Table I name
+//!   "template": "U5-1",               // named template, pathK, starK
+//!   "iterations": 200,                // fixed rule (default 10)
+//!   "adaptive": {"epsilon": 0.05, "delta": 0.05, "max_iters": 10000},
+//!   "seed": 7,                        // default engine seed
+//!   "deadline_ms": 60000,             // per-job, anchored at job start
+//!   "memory_budget": 268435456,       // bytes, engine degradation ladder
+//!   "table": "improved",              // naive|dense / improved|lazy / hash
+//!   "parallel": "serial",             // serial|inner|outer|hybrid|auto
+//!   "max_attempts": 4                 // overrides the service policy
+//! }
+//! ```
+//!
+//! Unknown keys are rejected (a typo must not silently change a run).
+//! The result is schema `fascia-job-result/1`, written atomically and
+//! durably next to the job; its `status` is the three-way contract:
+//! `completed` (full estimate), `partial` (honest reduced-iteration
+//! estimate with `ci95` and a `stop_cause`), or `failed` (typed error).
+
+use fascia_core::parallel::ParallelMode;
+use fascia_core::resilience::Json;
+use fascia_core::stats::StopRule;
+use fascia_obs::json::ObjectWriter;
+use fascia_table::TableKind;
+
+/// Schema tag of a job document.
+pub const JOB_SCHEMA: &str = "fascia-job/1";
+/// Schema tag of a result document.
+pub const RESULT_SCHEMA: &str = "fascia-job-result/1";
+
+/// One parsed counting job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Unique id; names the result/checkpoint/heartbeat files.
+    pub id: String,
+    /// Graph: edge-list path or a Table I dataset name.
+    pub graph: String,
+    /// Template: Figure 2 name, `pathK`, `starK`, or a template file.
+    pub template: String,
+    /// Fixed iteration count (ignored when `adaptive` is set).
+    pub iterations: usize,
+    /// Adaptive stop parameters `(epsilon, delta, max_iters)`.
+    pub adaptive: Option<(f64, f64, usize)>,
+    /// Coloring seed (fixed-rule runs are bitwise deterministic in it).
+    pub seed: u64,
+    /// Per-job deadline in milliseconds, anchored at job start (retries
+    /// run under the remaining budget, never a fresh one).
+    pub deadline_ms: Option<u64>,
+    /// DP-table memory budget in bytes (engine degradation ladder).
+    pub memory_budget: Option<usize>,
+    /// Preferred table layout.
+    pub table: TableKind,
+    /// Engine parallel mode. Defaults to serial: service throughput comes
+    /// from job-level concurrency, and serial runs keep chaos event logs
+    /// in deterministic order.
+    pub parallel: ParallelMode,
+    /// Per-job override of the service's `max_attempts`.
+    pub max_attempts: Option<u32>,
+}
+
+impl JobSpec {
+    /// A minimal job: everything defaulted except identity and inputs.
+    pub fn new(id: &str, graph: &str, template: &str) -> Self {
+        Self {
+            id: id.to_string(),
+            graph: graph.to_string(),
+            template: template.to_string(),
+            iterations: 10,
+            adaptive: None,
+            seed: 0x00FA_5C1A,
+            deadline_ms: None,
+            memory_budget: None,
+            table: TableKind::Lazy,
+            parallel: ParallelMode::Serial,
+            max_attempts: None,
+        }
+    }
+
+    /// The effective stop rule.
+    pub fn stop_rule(&self) -> StopRule {
+        match self.adaptive {
+            Some((epsilon, delta, max_iters)) => StopRule::RelativeError {
+                epsilon,
+                delta,
+                min_iters: self.iterations.max(2),
+                max_iters,
+            },
+            None => StopRule::FixedIterations(self.iterations),
+        }
+    }
+
+    /// Parses a `fascia-job/1` document. Every failure is a
+    /// [`JobError::Invalid`] — terminal, never retried.
+    pub fn from_json(text: &str) -> Result<Self, JobError> {
+        let bad = |m: String| JobError::Invalid(m);
+        let doc = Json::parse(text).map_err(|e| bad(format!("unparseable job: {e}")))?;
+        let obj = doc
+            .as_obj()
+            .ok_or_else(|| bad("job is not an object".into()))?;
+        let str_field = |k: &str| Json::get(obj, k).and_then(|v| v.as_str()).map(String::from);
+        let schema = str_field("schema").ok_or_else(|| bad("missing schema".into()))?;
+        if schema != JOB_SCHEMA {
+            return Err(bad(format!("schema {schema:?}, expected {JOB_SCHEMA:?}")));
+        }
+        let id = str_field("id").ok_or_else(|| bad("missing id".into()))?;
+        if id.is_empty()
+            || !id
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        {
+            return Err(bad(format!(
+                "id {id:?} must be non-empty [A-Za-z0-9._-] (it names files)"
+            )));
+        }
+        let mut spec = JobSpec::new(
+            &id,
+            &str_field("graph").ok_or_else(|| bad("missing graph".into()))?,
+            &str_field("template").ok_or_else(|| bad("missing template".into()))?,
+        );
+        for (k, v) in obj {
+            match k.as_str() {
+                "schema" | "id" | "graph" | "template" => {}
+                "iterations" => {
+                    spec.iterations = v
+                        .as_u64()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| bad("iterations must be a positive integer".into()))?
+                        as usize;
+                }
+                "seed" => {
+                    spec.seed = v.as_u64().ok_or_else(|| bad("seed must be a u64".into()))?;
+                }
+                "deadline_ms" => {
+                    spec.deadline_ms = Some(
+                        v.as_u64()
+                            .ok_or_else(|| bad("deadline_ms: not a u64".into()))?,
+                    );
+                }
+                "memory_budget" => {
+                    spec.memory_budget = Some(
+                        v.as_u64()
+                            .ok_or_else(|| bad("memory_budget: not a u64".into()))?
+                            as usize,
+                    );
+                }
+                "max_attempts" => {
+                    spec.max_attempts = Some(
+                        v.as_u64()
+                            .filter(|&n| (1..=u64::from(u32::MAX)).contains(&n))
+                            .ok_or_else(|| bad("max_attempts must be ≥ 1".into()))?
+                            as u32,
+                    );
+                }
+                "table" => {
+                    spec.table = match v.as_str() {
+                        Some("naive") | Some("dense") => TableKind::Dense,
+                        Some("improved") | Some("lazy") => TableKind::Lazy,
+                        Some("hash") => TableKind::Hash,
+                        other => return Err(bad(format!("table: unknown layout {other:?}"))),
+                    };
+                }
+                "parallel" => {
+                    spec.parallel = match v.as_str() {
+                        Some("serial") => ParallelMode::Serial,
+                        Some("inner") => ParallelMode::InnerLoop,
+                        Some("outer") => ParallelMode::OuterLoop,
+                        Some("hybrid") => ParallelMode::Hybrid,
+                        Some("auto") => ParallelMode::Auto,
+                        other => return Err(bad(format!("parallel: unknown mode {other:?}"))),
+                    };
+                }
+                "adaptive" => {
+                    let a = v
+                        .as_obj()
+                        .ok_or_else(|| bad("adaptive must be an object".into()))?;
+                    let f = |k: &str, dflt: f64| Json::get(a, k).map_or(Some(dflt), |v| v.as_f64());
+                    let epsilon = f("epsilon", 0.05)
+                        .filter(|e| *e > 0.0)
+                        .ok_or_else(|| bad("adaptive.epsilon must be > 0".into()))?;
+                    let delta = f("delta", 0.05)
+                        .filter(|d| (0.0..1.0).contains(d) && *d > 0.0)
+                        .ok_or_else(|| bad("adaptive.delta must be in (0, 1)".into()))?;
+                    let max_iters = Json::get(a, "max_iters")
+                        .map_or(Some(10_000), |v| v.as_u64().map(|n| n as usize))
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| bad("adaptive.max_iters must be ≥ 1".into()))?;
+                    spec.adaptive = Some((epsilon, delta, max_iters));
+                }
+                other => {
+                    return Err(bad(format!(
+                        "unknown key {other:?} (typos must not silently change a run)"
+                    )));
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Renders the job back to its `fascia-job/1` document (used by the
+    /// stdin-queue ingest to persist submitted jobs into the spool).
+    pub fn to_json(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.field_str("schema", JOB_SCHEMA)
+            .field_str("id", &self.id)
+            .field_str("graph", &self.graph)
+            .field_str("template", &self.template)
+            .field_u64("iterations", self.iterations as u64)
+            .field_u64("seed", self.seed);
+        if let Some((epsilon, delta, max_iters)) = self.adaptive {
+            let mut a = ObjectWriter::new();
+            a.field_f64("epsilon", epsilon)
+                .field_f64("delta", delta)
+                .field_u64("max_iters", max_iters as u64);
+            w.field_raw("adaptive", &a.finish());
+        }
+        if let Some(ms) = self.deadline_ms {
+            w.field_u64("deadline_ms", ms);
+        }
+        if let Some(b) = self.memory_budget {
+            w.field_u64("memory_budget", b as u64);
+        }
+        if let Some(n) = self.max_attempts {
+            w.field_u64("max_attempts", u64::from(n));
+        }
+        w.field_str(
+            "table",
+            match self.table {
+                TableKind::Dense => "naive",
+                TableKind::Lazy => "improved",
+                TableKind::Hash => "hash",
+            },
+        );
+        w.field_str(
+            "parallel",
+            match self.parallel {
+                ParallelMode::Serial => "serial",
+                ParallelMode::InnerLoop => "inner",
+                ParallelMode::OuterLoop => "outer",
+                ParallelMode::Hybrid => "hybrid",
+                ParallelMode::Auto => "auto",
+            },
+        );
+        w.finish()
+    }
+}
+
+/// Typed job failure. [`JobError::is_transient`] decides retry vs
+/// terminal; the `kind` string is stable (scripts and the soak gate
+/// match on it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// Malformed or unsatisfiable job document — terminal.
+    Invalid(String),
+    /// Even the hashed layout cannot fit the memory budget — terminal
+    /// (the supervisor first tries to harvest a partial estimate).
+    Budget(String),
+    /// Graph could not be loaded — transient (NFS flake, injected IO).
+    GraphLoad(String),
+    /// Checkpoint write failed mid-run — transient; the run stops rather
+    /// than continue unprotected, and the retry resumes from the last
+    /// durable checkpoint.
+    Checkpoint(String),
+    /// The worker thread died (double panic) — transient.
+    WorkerPanic(String),
+    /// The worker's heartbeat sequence went stale — transient; the
+    /// supervisor cancelled and detached it rather than hang.
+    WorkerDead(String),
+    /// Any other engine rejection (bad colors, partition failure…) —
+    /// terminal: the same input will fail the same way.
+    Engine(String),
+    /// The job's deadline expired before a single iteration finished, so
+    /// not even a partial estimate exists — terminal.
+    Deadline(String),
+    /// Transient failures exhausted the attempt budget — terminal.
+    RetriesExhausted {
+        /// Attempts consumed.
+        attempts: u32,
+        /// The final transient error's message.
+        last: String,
+    },
+    /// The result document could not be written — terminal, surfaced in
+    /// the service summary (there is nowhere durable left to record it).
+    ResultWrite(String),
+}
+
+impl JobError {
+    /// Stable kind string for documents and gates.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobError::Invalid(_) => "invalid",
+            JobError::Budget(_) => "budget-exceeded",
+            JobError::GraphLoad(_) => "graph-load",
+            JobError::Checkpoint(_) => "checkpoint-write",
+            JobError::WorkerPanic(_) => "worker-panic",
+            JobError::WorkerDead(_) => "worker-dead",
+            JobError::Engine(_) => "engine",
+            JobError::Deadline(_) => "deadline",
+            JobError::RetriesExhausted { .. } => "retries-exhausted",
+            JobError::ResultWrite(_) => "result-write",
+        }
+    }
+
+    /// Whether the supervisor should retry (with backoff) rather than
+    /// fail the job.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            JobError::GraphLoad(_)
+                | JobError::Checkpoint(_)
+                | JobError::WorkerPanic(_)
+                | JobError::WorkerDead(_)
+        )
+    }
+
+    /// Human-readable message (the payload).
+    pub fn message(&self) -> String {
+        match self {
+            JobError::Invalid(m)
+            | JobError::Budget(m)
+            | JobError::GraphLoad(m)
+            | JobError::Checkpoint(m)
+            | JobError::WorkerPanic(m)
+            | JobError::WorkerDead(m)
+            | JobError::Engine(m)
+            | JobError::Deadline(m)
+            | JobError::ResultWrite(m) => m.clone(),
+            JobError::RetriesExhausted { attempts, last } => {
+                format!("{attempts} attempts exhausted; last: {last}")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Terminal state of a supervised job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The stop rule ran to completion (or converged).
+    Completed,
+    /// The run ended early (deadline, budget) but ≥ 1 iteration
+    /// finished: the estimate is an honest reduced-iteration mean with
+    /// its own `ci95`.
+    Partial,
+    /// No usable estimate; `error` is the typed cause.
+    Failed,
+}
+
+impl JobStatus {
+    /// Stable lower-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Completed => "completed",
+            JobStatus::Partial => "partial",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// The terminal record of one job, rendered to `fascia-job-result/1`.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The job's id.
+    pub id: String,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Why the counting stopped (`completed`, `converged`,
+    /// `deadline-exceeded`, …) when an estimate exists.
+    pub stop_cause: Option<String>,
+    /// Point estimate (absent only for `failed`).
+    pub estimate: Option<f64>,
+    /// ~95% CI half-width of the estimate.
+    pub ci95: Option<f64>,
+    /// Iterations behind the estimate.
+    pub iterations: usize,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Typed error (always present for `failed`, optionally annotating a
+    /// `partial` that degraded because of one).
+    pub error: Option<JobError>,
+    /// Wall-clock from job start to terminal state, milliseconds
+    /// (monotonic difference; stamped for humans).
+    pub elapsed_ms: u64,
+}
+
+impl JobReport {
+    /// Renders the `fascia-job-result/1` document.
+    pub fn to_json(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.field_str("schema", RESULT_SCHEMA)
+            .field_str("id", &self.id)
+            .field_str("status", self.status.name());
+        match &self.stop_cause {
+            Some(c) => w.field_str("stop_cause", c),
+            None => w.field_raw("stop_cause", "null"),
+        };
+        match self.estimate {
+            Some(e) => w.field_f64("estimate", e),
+            None => w.field_raw("estimate", "null"),
+        };
+        match self.ci95 {
+            Some(c) => w.field_f64("ci95", c),
+            None => w.field_raw("ci95", "null"),
+        };
+        w.field_u64("iterations", self.iterations as u64)
+            .field_u64("attempts", u64::from(self.attempts));
+        match &self.error {
+            Some(e) => {
+                let mut ew = ObjectWriter::new();
+                ew.field_str("kind", e.kind())
+                    .field_str("message", &e.message());
+                w.field_raw("error", &ew.finish());
+            }
+            None => {
+                w.field_raw("error", "null");
+            }
+        }
+        w.field_u64("elapsed_ms", self.elapsed_ms);
+        w.finish()
+    }
+
+    /// Parses a result document back (tests and the soak gate).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text).map_err(|e| format!("unparseable result: {e}"))?;
+        let obj = doc.as_obj().ok_or("result is not an object")?;
+        let get_str = |k: &str| Json::get(obj, k).and_then(|v| v.as_str()).map(String::from);
+        if get_str("schema").as_deref() != Some(RESULT_SCHEMA) {
+            return Err(format!("not a {RESULT_SCHEMA} document"));
+        }
+        let status = match get_str("status").as_deref() {
+            Some("completed") => JobStatus::Completed,
+            Some("partial") => JobStatus::Partial,
+            Some("failed") => JobStatus::Failed,
+            other => return Err(format!("unknown status {other:?}")),
+        };
+        let error = match Json::get(obj, "error") {
+            Some(Json::Obj(e)) => {
+                let kind = Json::get(e, "kind").and_then(|v| v.as_str()).unwrap_or("?");
+                let msg = Json::get(e, "message")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("")
+                    .to_string();
+                Some(match kind {
+                    "invalid" => JobError::Invalid(msg),
+                    "budget-exceeded" => JobError::Budget(msg),
+                    "graph-load" => JobError::GraphLoad(msg),
+                    "checkpoint-write" => JobError::Checkpoint(msg),
+                    "worker-panic" => JobError::WorkerPanic(msg),
+                    "worker-dead" => JobError::WorkerDead(msg),
+                    "engine" => JobError::Engine(msg),
+                    "deadline" => JobError::Deadline(msg),
+                    "result-write" => JobError::ResultWrite(msg),
+                    "retries-exhausted" => JobError::RetriesExhausted {
+                        attempts: 0,
+                        last: msg,
+                    },
+                    other => JobError::Engine(format!("{other}: {msg}")),
+                })
+            }
+            _ => None,
+        };
+        Ok(Self {
+            id: get_str("id").ok_or("missing id")?,
+            status,
+            stop_cause: get_str("stop_cause"),
+            estimate: Json::get(obj, "estimate").and_then(|v| v.as_f64()),
+            ci95: Json::get(obj, "ci95").and_then(|v| v.as_f64()),
+            iterations: Json::get(obj, "iterations")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0) as usize,
+            attempts: Json::get(obj, "attempts")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0) as u32,
+            error,
+            elapsed_ms: Json::get(obj, "elapsed_ms")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_roundtrips_through_json() {
+        let mut spec = JobSpec::new("j-1", "graphs/a.txt", "U5-1");
+        spec.iterations = 128;
+        spec.seed = 42;
+        spec.deadline_ms = Some(5000);
+        spec.memory_budget = Some(1 << 20);
+        spec.table = TableKind::Hash;
+        spec.max_attempts = Some(2);
+        let parsed = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(parsed, spec);
+
+        let mut adaptive = JobSpec::new("j-2", "yeast", "path5");
+        adaptive.adaptive = Some((0.1, 0.05, 500));
+        let parsed = JobSpec::from_json(&adaptive.to_json()).unwrap();
+        assert_eq!(parsed, adaptive);
+        assert!(matches!(parsed.stop_rule(), StopRule::RelativeError { .. }));
+    }
+
+    #[test]
+    fn bad_jobs_are_terminal_invalid() {
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"schema":"fascia-job/9","id":"a","graph":"g","template":"t"}"#,
+            r#"{"schema":"fascia-job/1","id":"../etc","graph":"g","template":"t"}"#,
+            r#"{"schema":"fascia-job/1","id":"","graph":"g","template":"t"}"#,
+            r#"{"schema":"fascia-job/1","id":"a","graph":"g","template":"t","iterations":0}"#,
+            r#"{"schema":"fascia-job/1","id":"a","graph":"g","template":"t","typo":1}"#,
+        ] {
+            let err = JobSpec::from_json(bad).unwrap_err();
+            assert_eq!(err.kind(), "invalid", "for {bad:?}");
+            assert!(!err.is_transient());
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_and_keeps_estimate_bits() {
+        let r = JobReport {
+            id: "j".into(),
+            status: JobStatus::Partial,
+            stop_cause: Some("deadline-exceeded".into()),
+            estimate: Some(1_234.567_890_123_4),
+            ci95: Some(12.5),
+            iterations: 37,
+            attempts: 2,
+            error: None,
+            elapsed_ms: 250,
+        };
+        let text = r.to_json();
+        let back = JobReport::from_json(&text).unwrap();
+        // Shortest-roundtrip float formatting makes the JSON text a
+        // faithful carrier of the exact bits — the property the bitwise
+        // crash-resume acceptance test relies on.
+        assert_eq!(
+            back.estimate.unwrap().to_bits(),
+            1_234.567_890_123_4_f64.to_bits()
+        );
+        assert_eq!(back.status, JobStatus::Partial);
+        assert_eq!(back.stop_cause.as_deref(), Some("deadline-exceeded"));
+
+        let failed = JobReport {
+            id: "k".into(),
+            status: JobStatus::Failed,
+            stop_cause: None,
+            estimate: None,
+            ci95: None,
+            iterations: 0,
+            attempts: 4,
+            error: Some(JobError::RetriesExhausted {
+                attempts: 4,
+                last: "worker-panic: chaos".into(),
+            }),
+            elapsed_ms: 9,
+        };
+        let back = JobReport::from_json(&failed.to_json()).unwrap();
+        assert_eq!(back.error.as_ref().unwrap().kind(), "retries-exhausted");
+        assert!(back.estimate.is_none());
+    }
+}

@@ -1,0 +1,353 @@
+//! `fascia-svc` — the supervised resident counting service (DESIGN.md
+//! §16; ROADMAP item 3).
+//!
+//! Turns the CLI-per-run model into a daemon: a [`Spool`] directory is
+//! the durable job queue, a [`GraphPool`] keeps CSR graphs resident and
+//! shared across jobs, and a [`Supervisor`] drives every job to exactly
+//! one terminal result — `completed`, `partial` (honest reduced-iteration
+//! estimate), or `failed` (typed error) — through per-job deadlines,
+//! memory budgets, capped-exponential retry with deterministic jitter,
+//! heartbeat-sequence liveness, and checkpoint-based crash recovery.
+//!
+//! Recovery contract: the service can be SIGKILLed at any instant and
+//! restarted; jobs with results are skipped, in-flight jobs resume from
+//! their last durable checkpoint, and a fixed-rule job's final estimate
+//! is bitwise-equal to an uninterrupted run (the engine's resume is
+//! bit-for-bit, and every service write is atomic-rename + fsync).
+//!
+//! The whole composition is proved by injected faults: a
+//! [`fascia_core::chaos`] schedule (env `FASCIA_CHAOS` or
+//! `--chaos`) fires worker panics, checkpoint/graph/result IO errors,
+//! DP stalls, and budget squeezes at seed-scheduled coordinates, and the
+//! fired-event log lands in `<spool>/chaos.events` so any failing seed
+//! replays byte-for-byte.
+
+pub mod backoff;
+pub mod clock;
+pub mod job;
+pub mod pool;
+pub mod spool;
+pub mod supervisor;
+
+pub use backoff::BackoffPolicy;
+pub use clock::{Clock, JobDeadline, MonotonicClock, TestClock};
+pub use job::{JobError, JobReport, JobSpec, JobStatus, JOB_SCHEMA, RESULT_SCHEMA};
+pub use pool::GraphPool;
+pub use spool::Spool;
+pub use supervisor::{Supervisor, SupervisorConfig};
+
+use fascia_core::chaos::{Chaos, ChaosRun, ChaosSpec, IoSite};
+use fascia_core::resilience::atomic_write;
+use fascia_obs::json::ObjectWriter;
+use std::io::BufRead;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Service-level configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// Supervision knobs (backoff, poll, stall timeout).
+    pub supervisor: SupervisorConfig,
+    /// Drain the queue once and exit (tests, batch runs). Off = daemon:
+    /// keep rescanning the spool for new jobs.
+    pub once: bool,
+    /// Daemon mode: how often to rescan an empty queue.
+    pub scan_interval: Duration,
+    /// Chaos schedule for soak runs.
+    pub chaos: Option<ChaosSpec>,
+}
+
+/// What one service run did — rendered as `fascia-svc-report/1`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ServiceSummary {
+    /// Job files seen across all passes.
+    pub jobs_seen: usize,
+    /// Skipped because a terminal result already existed (recovery).
+    pub skipped: usize,
+    /// Terminal `completed` results written this run.
+    pub completed: usize,
+    /// Terminal `partial` results written this run.
+    pub partial: usize,
+    /// Terminal `failed` results written this run.
+    pub failed: usize,
+    /// Worker attempts consumed across all jobs.
+    pub attempts: u64,
+    /// Results that could not be written even with retries.
+    pub result_write_failures: usize,
+    /// Stale `.tmp` staging files swept at startup.
+    pub tmp_swept: usize,
+    /// Chaos events fired (0 without a schedule).
+    pub chaos_events: usize,
+    /// Graphs resident in the pool at exit.
+    pub graphs_resident: usize,
+    /// Pool cache hits (jobs that reused a resident graph).
+    pub pool_hits: u64,
+}
+
+impl ServiceSummary {
+    /// Renders the `fascia-svc-report/1` document.
+    pub fn to_json(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.field_str("schema", "fascia-svc-report/1")
+            .field_u64("jobs_seen", self.jobs_seen as u64)
+            .field_u64("skipped", self.skipped as u64)
+            .field_u64("completed", self.completed as u64)
+            .field_u64("partial", self.partial as u64)
+            .field_u64("failed", self.failed as u64)
+            .field_u64("attempts", self.attempts)
+            .field_u64("result_write_failures", self.result_write_failures as u64)
+            .field_u64("tmp_swept", self.tmp_swept as u64)
+            .field_u64("chaos_events", self.chaos_events as u64)
+            .field_u64("graphs_resident", self.graphs_resident as u64)
+            .field_u64("pool_hits", self.pool_hits);
+        w.finish()
+    }
+}
+
+/// The resident service: owns the spool, pool, chaos schedule, and
+/// supervision config; [`Service::run`] is the daemon loop.
+pub struct Service {
+    spool: Spool,
+    pool: GraphPool,
+    cfg: ServiceConfig,
+    chaos: Option<Arc<Chaos>>,
+    /// Service-scope chaos run (result-write faults); engine runs claim
+    /// their own indices, so this is always run index 0 — deterministic.
+    svc_run: Option<ChaosRun>,
+    result_write_ops: std::sync::atomic::AtomicU64,
+}
+
+impl Service {
+    /// Opens (creating as needed) a service over the spool at `root`.
+    /// Sweeps stale `.tmp` staging files before anything else runs.
+    pub fn open(root: impl Into<std::path::PathBuf>, cfg: ServiceConfig) -> std::io::Result<Self> {
+        let spool = Spool::open(root)?;
+        let tmp_swept = spool.sweep_tmp();
+        let chaos = cfg.chaos.clone().map(|s| Arc::new(Chaos::new(s)));
+        let svc_run = chaos.as_ref().map(|c| c.begin_run());
+        let pool = GraphPool::new(svc_run.clone());
+        let mut svc = Self {
+            spool,
+            pool,
+            cfg,
+            chaos,
+            svc_run,
+            result_write_ops: std::sync::atomic::AtomicU64::new(0),
+        };
+        svc.cfg.scan_interval = svc.cfg.scan_interval.max(Duration::from_millis(10));
+        let _ = tmp_swept; // recorded in run()'s summary
+        Ok(svc)
+    }
+
+    /// The spool this service serves.
+    pub fn spool(&self) -> &Spool {
+        &self.spool
+    }
+
+    /// Ingests a JSONL job stream (one `fascia-job/1` object per line)
+    /// into the spool. Returns `(accepted, rejected)`; rejected lines
+    /// are reported on stderr and dropped — a malformed submission must
+    /// not wedge the queue.
+    pub fn ingest_jsonl(&self, reader: impl BufRead) -> std::io::Result<(usize, usize)> {
+        let (mut accepted, mut rejected) = (0, 0);
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match JobSpec::from_json(&line) {
+                Ok(spec) => {
+                    self.spool.submit(&spec.id, &spec.to_json())?;
+                    accepted += 1;
+                }
+                Err(e) => {
+                    eprintln!("fascia-svc: rejected job line: {e}");
+                    rejected += 1;
+                }
+            }
+        }
+        Ok((accepted, rejected))
+    }
+
+    /// Runs the service until the queue drains (`once`) or `stop` is
+    /// set (daemon). Every queued job reaches a terminal result exactly
+    /// once; the summary says what happened.
+    pub fn run(&self, clock: &dyn Clock, stop: Option<&AtomicBool>) -> ServiceSummary {
+        let mut summary = ServiceSummary {
+            tmp_swept: 0, // swept in open(); re-sweep below is what this run saw
+            ..ServiceSummary::default()
+        };
+        summary.tmp_swept = self.spool.sweep_tmp();
+        let sup = Supervisor {
+            spool: &self.spool,
+            pool: &self.pool,
+            clock,
+            cfg: &self.cfg.supervisor,
+            chaos: self.chaos.clone(),
+        };
+        let stopped = || stop.is_some_and(|s| s.load(Ordering::Relaxed));
+        loop {
+            let pending = self.spool.pending_jobs().unwrap_or_default();
+            let mut ran_any = false;
+            for path in pending {
+                if stopped() {
+                    break;
+                }
+                summary.jobs_seen += 1;
+                let report = match self.job_from_file(&path) {
+                    Ok(spec) => {
+                        if self.spool.has_result(&spec.id) {
+                            summary.skipped += 1;
+                            continue;
+                        }
+                        ran_any = true;
+                        sup.run_job(&spec)
+                    }
+                    Err((id, e)) => {
+                        if self.spool.has_result(&id) {
+                            summary.skipped += 1;
+                            continue;
+                        }
+                        ran_any = true;
+                        JobReport {
+                            id,
+                            status: JobStatus::Failed,
+                            stop_cause: None,
+                            estimate: None,
+                            ci95: None,
+                            iterations: 0,
+                            attempts: 0,
+                            error: Some(e),
+                            elapsed_ms: 0,
+                        }
+                    }
+                };
+                summary.attempts += u64::from(report.attempts);
+                match report.status {
+                    JobStatus::Completed => summary.completed += 1,
+                    JobStatus::Partial => summary.partial += 1,
+                    JobStatus::Failed => summary.failed += 1,
+                }
+                if self.write_result(clock, &report).is_err() {
+                    summary.result_write_failures += 1;
+                    eprintln!(
+                        "fascia-svc: could not record result for job {} (retries exhausted)",
+                        report.id
+                    );
+                }
+            }
+            self.dump_chaos_events();
+            if self.cfg.once || stopped() {
+                break;
+            }
+            if !ran_any {
+                clock.sleep(self.cfg.scan_interval);
+            }
+        }
+        if let Some(c) = &self.chaos {
+            summary.chaos_events = c.events().len();
+        }
+        let (resident, hits) = self.pool.stats();
+        summary.graphs_resident = resident;
+        summary.pool_hits = hits;
+        summary
+    }
+
+    /// Reads and parses one queued job file. A file whose very name or
+    /// contents are unusable still produces a terminal `failed` result
+    /// (keyed by the filename stem) so it cannot clog the queue forever.
+    fn job_from_file(&self, path: &std::path::Path) -> Result<JobSpec, (String, JobError)> {
+        let stem = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "unnamed-job".to_string());
+        let fallback_id: String = stem
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            (
+                fallback_id.clone(),
+                JobError::Invalid(format!("unreadable job file: {e}")),
+            )
+        })?;
+        let spec = JobSpec::from_json(&text).map_err(|e| (fallback_id.clone(), e))?;
+        if format!("{}.json", spec.id) != path.file_name().unwrap_or_default().to_string_lossy() {
+            return Err((
+                fallback_id,
+                JobError::Invalid(format!(
+                    "job id {:?} does not match its file name (idempotency key)",
+                    spec.id
+                )),
+            ));
+        }
+        Ok(spec)
+    }
+
+    /// Durably records a terminal result. Result writes are a chaos IO
+    /// site; injected (and real) failures retry under the service
+    /// backoff policy because losing a terminal result would rerun a
+    /// finished job on restart.
+    fn write_result(&self, clock: &dyn Clock, report: &JobReport) -> Result<(), JobError> {
+        let json = report.to_json();
+        let policy = &self.cfg.supervisor.backoff;
+        let salt = BackoffPolicy::job_salt(&report.id) ^ 0x5E17;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let injected = self.svc_run.as_ref().and_then(|r| {
+                let op = self.result_write_ops.fetch_add(1, Ordering::Relaxed);
+                r.io_error(IoSite::ResultWrite, op)
+            });
+            let outcome = match injected {
+                Some(e) => Err(e),
+                None => self.spool.write_result(&report.id, &json),
+            };
+            match outcome {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt < policy.max_attempts.max(1) => {
+                    let _ = e;
+                    clock.sleep(policy.delay(salt, attempt));
+                }
+                Err(e) => return Err(JobError::ResultWrite(e.to_string())),
+            }
+        }
+    }
+
+    /// Rewrites `<spool>/chaos.events` with every fault fired so far —
+    /// the byte-for-byte replay artifact.
+    fn dump_chaos_events(&self) {
+        if let Some(c) = &self.chaos {
+            let mut text = c.events().join("\n");
+            if !text.is_empty() {
+                text.push('\n');
+            }
+            let _ = atomic_write(&self.spool.root().join("chaos.events"), &text);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_renders_schema() {
+        let s = ServiceSummary {
+            jobs_seen: 3,
+            completed: 2,
+            failed: 1,
+            ..ServiceSummary::default()
+        };
+        let text = s.to_json();
+        assert!(text.contains("\"schema\":\"fascia-svc-report/1\""));
+        assert!(text.contains("\"completed\":2"));
+    }
+}

@@ -1,0 +1,235 @@
+//! On-disk spool: the service's durable state machine.
+//!
+//! ```text
+//! <root>/
+//!   jobs/<name>.json      submitted fascia-job/1 documents (the queue)
+//!   results/<id>.json     terminal fascia-job-result/1 documents
+//!   ckpt/<id>.a<K>.ckpt   per-attempt fascia-ckpt/1 checkpoints
+//!   hb/<id>.hb            the running attempt's fascia-heartbeat/1 file
+//!   chaos.events          fired chaos schedule (when chaos is active)
+//! ```
+//!
+//! Idempotency contract: a job whose id already has a result file is
+//! *done* and is skipped on every later pass — that is the whole
+//! restart-recovery story. A killed service leaves at worst a valid
+//! checkpoint (writes are atomic and, in the service path, durable:
+//! tmp → fsync → rename → fsync dir) plus `.tmp` staging siblings,
+//! which [`Spool::sweep_tmp`] removes at startup.
+//!
+//! Checkpoints are *per attempt* (`<id>.a<K>.ckpt`): a detached zombie
+//! worker from attempt K can keep flushing its own file without ever
+//! regressing attempt K+1's, and resume picks the best valid checkpoint
+//! across attempts.
+
+use fascia_core::resilience::{atomic_write_durable, Checkpoint};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Handle to a spool directory tree.
+#[derive(Debug, Clone)]
+pub struct Spool {
+    root: PathBuf,
+}
+
+impl Spool {
+    /// Opens (creating as needed) the spool at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        for sub in ["jobs", "results", "ckpt", "hb"] {
+            std::fs::create_dir_all(root.join(sub))?;
+        }
+        Ok(Self { root })
+    }
+
+    /// The spool root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Submits a job document into the queue (atomic + durable write,
+    /// named by the job id so resubmission is idempotent).
+    pub fn submit(&self, id: &str, job_json: &str) -> io::Result<PathBuf> {
+        let path = self.root.join("jobs").join(format!("{id}.json"));
+        atomic_write_durable(&path, job_json)?;
+        Ok(path)
+    }
+
+    /// Queued job files in deterministic (byte-sorted filename) order —
+    /// the order that makes chaos run indices replayable.
+    pub fn pending_jobs(&self) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(self.root.join("jobs"))? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "json") {
+                out.push(path);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Where the job's terminal result lives.
+    pub fn result_path(&self, id: &str) -> PathBuf {
+        self.root.join("results").join(format!("{id}.json"))
+    }
+
+    /// Whether the job already reached a terminal state.
+    pub fn has_result(&self, id: &str) -> bool {
+        self.result_path(id).exists()
+    }
+
+    /// Writes the terminal result durably (atomic rename + dir fsync):
+    /// once this returns, a crash cannot resurrect the job.
+    pub fn write_result(&self, id: &str, json: &str) -> io::Result<()> {
+        atomic_write_durable(&self.result_path(id), json)
+    }
+
+    /// Attempt `k`'s checkpoint path for the job.
+    pub fn ckpt_path(&self, id: &str, attempt: u32) -> PathBuf {
+        self.root.join("ckpt").join(format!("{id}.a{attempt}.ckpt"))
+    }
+
+    /// The job's heartbeat path (shared across attempts; the supervision
+    /// triple `pid`/`job_id`/`seq` tells writers apart).
+    pub fn hb_path(&self, id: &str) -> PathBuf {
+        self.root.join("hb").join(format!("{id}.hb"))
+    }
+
+    /// The most advanced *valid* checkpoint among the job's attempts,
+    /// with its iteration count. Corrupt or unreadable files are skipped
+    /// (a torn write cannot exist thanks to atomic renames, but a zombie
+    /// writer's file might be from a stale fingerprint — the engine's
+    /// resume check still guards that).
+    pub fn best_checkpoint(&self, id: &str) -> Option<(Checkpoint, usize)> {
+        let prefix = format!("{id}.a");
+        let dir = std::fs::read_dir(self.root.join("ckpt")).ok()?;
+        let mut best: Option<(Checkpoint, usize)> = None;
+        for entry in dir.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.starts_with(&prefix) || !name.ends_with(".ckpt") {
+                continue;
+            }
+            if let Ok(ck) = Checkpoint::load(&entry.path()) {
+                let n = ck.iterations_done();
+                if best.as_ref().is_none_or(|(_, b)| n > *b) {
+                    best = Some((ck, n));
+                }
+            }
+        }
+        best
+    }
+
+    /// Removes the job's working files (checkpoints, heartbeat) after a
+    /// terminal result is durably recorded.
+    pub fn cleanup_job(&self, id: &str) {
+        let prefix = format!("{id}.a");
+        if let Ok(dir) = std::fs::read_dir(self.root.join("ckpt")) {
+            for entry in dir.flatten() {
+                if entry
+                    .file_name()
+                    .to_str()
+                    .is_some_and(|n| n.starts_with(&prefix) && n.ends_with(".ckpt"))
+                {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        let _ = std::fs::remove_file(self.hb_path(id));
+    }
+
+    /// Sweeps `.tmp` staging files left by a killed writer. Returns how
+    /// many were removed. Call at service start, before any job runs.
+    pub fn sweep_tmp(&self) -> usize {
+        let mut removed = 0;
+        for sub in ["jobs", "results", "ckpt", "hb"] {
+            let Ok(dir) = std::fs::read_dir(self.root.join(sub)) else {
+                continue;
+            };
+            for entry in dir.flatten() {
+                let path = entry.path();
+                if path.extension().is_some_and(|e| e == "tmp")
+                    && std::fs::remove_file(&path).is_ok()
+                {
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fascia_core::stats::StopRule;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("fascia-spool-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn ckpt(iters: usize) -> Checkpoint {
+        Checkpoint {
+            seed: 1,
+            colors: 5,
+            template_size: 5,
+            graph_vertices: 10,
+            graph_edges: 12,
+            rule: StopRule::FixedIterations(100),
+            per_iteration: (0..iters).map(|i| i as f64).collect(),
+            peak_table_bytes: 64,
+        }
+    }
+
+    #[test]
+    fn queue_order_is_deterministic_and_results_gate_jobs() {
+        let spool = Spool::open(tmp_root("order")).unwrap();
+        spool.submit("b-job", "{}").unwrap();
+        spool.submit("a-job", "{}").unwrap();
+        let names: Vec<String> = spool
+            .pending_jobs()
+            .unwrap()
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, ["a-job.json", "b-job.json"]);
+        assert!(!spool.has_result("a-job"));
+        spool.write_result("a-job", "{}").unwrap();
+        assert!(spool.has_result("a-job"));
+        let _ = std::fs::remove_dir_all(spool.root());
+    }
+
+    #[test]
+    fn best_checkpoint_picks_most_iterations_and_skips_corrupt() {
+        let spool = Spool::open(tmp_root("best")).unwrap();
+        ckpt(3).save(&spool.ckpt_path("j", 0)).unwrap();
+        ckpt(7).save(&spool.ckpt_path("j", 1)).unwrap();
+        std::fs::write(spool.ckpt_path("j", 2), "garbage").unwrap();
+        ckpt(9).save(&spool.ckpt_path("other", 0)).unwrap();
+        let (best, n) = spool.best_checkpoint("j").unwrap();
+        assert_eq!(n, 7);
+        assert_eq!(best.iterations_done(), 7);
+        assert!(spool.best_checkpoint("missing").is_none());
+        spool.cleanup_job("j");
+        assert!(spool.best_checkpoint("j").is_none());
+        assert!(
+            spool.best_checkpoint("other").is_some(),
+            "cleanup is scoped"
+        );
+        let _ = std::fs::remove_dir_all(spool.root());
+    }
+
+    #[test]
+    fn sweep_removes_only_tmp_files() {
+        let spool = Spool::open(tmp_root("sweep")).unwrap();
+        std::fs::write(spool.root().join("ckpt/x.ckpt.tmp"), "half").unwrap();
+        std::fs::write(spool.root().join("results/y.json.tmp"), "half").unwrap();
+        spool.submit("keep", "{}").unwrap();
+        assert_eq!(spool.sweep_tmp(), 2);
+        assert_eq!(spool.pending_jobs().unwrap().len(), 1);
+        assert_eq!(spool.sweep_tmp(), 0);
+        let _ = std::fs::remove_dir_all(spool.root());
+    }
+}

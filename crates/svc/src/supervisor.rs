@@ -1,0 +1,526 @@
+//! Per-job supervision: the state machine of DESIGN.md §16.
+//!
+//! ```text
+//!           ┌────────── transient error / dead worker ──────────┐
+//!           ▼                                                   │
+//! queued ─► attempt K (worker thread) ──ok──► classify ──► terminal
+//!           │    ▲                                          result
+//!           │    └── backoff (capped exp + det. jitter)     (completed |
+//!           │                                                partial |
+//!           └── deadline expired ─► harvest checkpoint ────  failed)
+//! ```
+//!
+//! Each attempt runs the engine on a dedicated worker thread under a
+//! [`CancelToken`] carrying the job's *remaining* monotonic deadline.
+//! The supervisor polls two channels: the worker's result channel and
+//! the heartbeat file's `seq` counter. A worker whose sequence stops
+//! advancing for `stall_timeout` is declared dead — it is cancelled,
+//! granted a short grace, then *detached* (never joined), so one wedged
+//! iteration cannot hang the service. Detached zombies keep writing only
+//! their own per-attempt checkpoint file, which is why checkpoints are
+//! attempt-suffixed.
+//!
+//! Graceful degradation: when the deadline (or the attempt budget, or a
+//! terminal memory-budget failure) cuts a job short, the supervisor
+//! harvests the most advanced valid checkpoint and reports an honest
+//! reduced-iteration `partial` estimate — mean and ~95% CI over the
+//! iterations that actually ran — rather than an error, annotated with
+//! the error that forced the degradation.
+
+use crate::backoff::BackoffPolicy;
+use crate::clock::{Clock, JobDeadline};
+use crate::job::{JobError, JobReport, JobSpec, JobStatus};
+use crate::pool::GraphPool;
+use crate::spool::Spool;
+use fascia_core::chaos::Chaos;
+use fascia_core::engine::{count_template, CountConfig, CountError, CountResult};
+use fascia_core::progress::{Progress, ProgressConfig};
+use fascia_core::resilience::{CancelToken, Checkpoint, CheckpointConfig, Json};
+use fascia_core::stats::{EstimateStats, StopRule};
+use fascia_template::{NamedTemplate, Template};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Supervision knobs (service-wide; jobs can override `max_attempts`).
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Retry policy for transient failures.
+    pub backoff: BackoffPolicy,
+    /// How often the supervisor polls the worker + heartbeat.
+    pub poll: Duration,
+    /// A heartbeat sequence older than this (monotonic) marks the worker
+    /// dead. Must exceed the longest expected wave, with margin.
+    pub stall_timeout: Duration,
+    /// After cancelling a stalled worker, how long to wait for it to
+    /// surface a result before detaching it.
+    pub grace: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            backoff: BackoffPolicy::default(),
+            poll: Duration::from_millis(20),
+            stall_timeout: Duration::from_secs(10),
+            grace: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Watches a heartbeat's `(pid, seq)` for progress. Pure bookkeeping
+/// over monotonic instants — unit-testable without files or threads.
+#[derive(Debug)]
+pub struct HeartbeatWatch {
+    last: Option<(u64, u64)>,
+    changed_at: Instant,
+}
+
+impl HeartbeatWatch {
+    /// Starts watching; the attempt's spawn time is the first "change".
+    pub fn new(now: Instant) -> Self {
+        Self {
+            last: None,
+            changed_at: now,
+        }
+    }
+
+    /// Feeds one reading (`None` = heartbeat file absent/unreadable).
+    /// Any change — seq advance, writer pid change, file appearing —
+    /// counts as life. A *stale-sequence* reading (same pid, same or
+    /// lower seq) does not.
+    pub fn observe(&mut self, reading: Option<(u64, u64)>, now: Instant) {
+        let advanced = match (self.last, reading) {
+            (_, None) => false,
+            (None, Some(_)) => true,
+            (Some((lp, ls)), Some((p, s))) => p != lp || s > ls,
+        };
+        if advanced {
+            self.last = reading;
+            self.changed_at = now;
+        }
+    }
+
+    /// Monotonic time since the last sign of life.
+    pub fn stale_for(&self, now: Instant) -> Duration {
+        now.saturating_duration_since(self.changed_at)
+    }
+}
+
+/// Reads the supervision triple from a heartbeat file: `(pid, seq)`.
+fn read_heartbeat(path: &std::path::Path) -> Option<(u64, u64)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = Json::parse(&text).ok()?;
+    let obj = doc.as_obj()?;
+    let pid = Json::get(obj, "pid")?.as_u64()?;
+    let seq = Json::get(obj, "seq")?.as_u64()?;
+    Some((pid, seq))
+}
+
+/// Parses a job's template spec (Figure 2 name, `pathK`, `starK`, or a
+/// template file path). Failures are terminal [`JobError::Invalid`].
+pub fn parse_template(spec: &str) -> Result<Template, JobError> {
+    if let Some(named) = NamedTemplate::by_name(spec) {
+        return Ok(named.template());
+    }
+    if let Some(k) = spec.strip_prefix("path").and_then(|s| s.parse().ok()) {
+        return Ok(Template::path(k));
+    }
+    if let Some(k) = spec.strip_prefix("star").and_then(|s| s.parse().ok()) {
+        return Ok(Template::star(k));
+    }
+    if std::path::Path::new(spec).exists() {
+        return fascia_template::io::load_template(spec)
+            .map_err(|e| JobError::Invalid(format!("template file {spec:?}: {e}")));
+    }
+    Err(JobError::Invalid(format!(
+        "unknown template {spec:?} (use U7-2, path5, star6, or a file path)"
+    )))
+}
+
+/// How one worker attempt ended.
+enum Attempt {
+    /// The engine returned (successfully or not).
+    Finished(Result<CountResult, CountError>),
+    /// The worker thread died without reporting (double panic).
+    Panicked(String),
+    /// The heartbeat went stale; the worker was cancelled and detached.
+    Dead(String),
+    /// The attempt failed before a worker even started (graph load).
+    Aborted(JobError),
+}
+
+/// Runs jobs under supervision. One per service; stateless across jobs
+/// apart from the shared pool/spool/chaos handles.
+pub struct Supervisor<'a> {
+    /// Durable state tree (queue, results, checkpoints, heartbeats).
+    pub spool: &'a Spool,
+    /// Shared resident graphs.
+    pub pool: &'a GraphPool,
+    /// Monotonic time source (tests inject a double).
+    pub clock: &'a dyn Clock,
+    /// Supervision knobs.
+    pub cfg: &'a SupervisorConfig,
+    /// Chaos schedule handed to every engine run (each claims its own
+    /// run index).
+    pub chaos: Option<Arc<Chaos>>,
+}
+
+impl Supervisor<'_> {
+    /// Drives `spec` to a terminal state and returns its report. Never
+    /// panics and never blocks forever: every wait is bounded by the
+    /// poll interval, the stall timeout, or the job deadline.
+    pub fn run_job(&self, spec: &JobSpec) -> JobReport {
+        let t0 = self.clock.monotonic();
+        let elapsed_ms =
+            |clock: &dyn Clock| clock.monotonic().saturating_duration_since(t0).as_millis() as u64;
+        let template = match parse_template(&spec.template) {
+            Ok(t) => t,
+            Err(e) => return self.failed(spec, 0, e, elapsed_ms(self.clock)),
+        };
+        let deadline = spec
+            .deadline_ms
+            .map(|ms| JobDeadline::start(self.clock, Duration::from_millis(ms)));
+        let max_attempts = spec
+            .max_attempts
+            .unwrap_or(self.cfg.backoff.max_attempts)
+            .max(1);
+        let salt = BackoffPolicy::job_salt(&spec.id);
+
+        let mut attempts = 0u32;
+        loop {
+            if let Some(d) = &deadline {
+                if d.expired(self.clock) {
+                    return self.degrade(
+                        spec,
+                        attempts,
+                        "deadline-exceeded",
+                        JobError::Deadline(format!(
+                            "deadline of {} ms expired",
+                            spec.deadline_ms.unwrap_or(0)
+                        )),
+                        elapsed_ms(self.clock),
+                    );
+                }
+            }
+            attempts += 1;
+            let verdict = self.attempt(spec, &template, attempts, deadline.as_ref());
+            let err = match verdict {
+                Attempt::Finished(Ok(res)) => {
+                    return self.report_result(spec, attempts, &res, elapsed_ms(self.clock));
+                }
+                Attempt::Finished(Err(e)) => classify(e),
+                Attempt::Panicked(m) => JobError::WorkerPanic(m),
+                Attempt::Dead(m) => JobError::WorkerDead(m),
+                Attempt::Aborted(e) => e,
+            };
+            // A cancellation with zero finished iterations loops back to
+            // the deadline check above, which harvests or fails typed.
+            // (Only the deadline cancels service runs; without one this
+            // must not spin.)
+            if matches!(err, JobError::Engine(ref m) if m == "cancelled") {
+                if deadline.is_some() {
+                    continue;
+                }
+                return self.failed(
+                    spec,
+                    attempts,
+                    JobError::Engine("cancelled before the first iteration".into()),
+                    elapsed_ms(self.clock),
+                );
+            }
+            if !err.is_transient() {
+                if matches!(err, JobError::Budget(_)) {
+                    // Budget ladder already degraded inside the engine;
+                    // if even hashed tables cannot fit, salvage what any
+                    // earlier attempt checkpointed.
+                    return self.degrade(
+                        spec,
+                        attempts,
+                        "budget-exceeded",
+                        err,
+                        elapsed_ms(self.clock),
+                    );
+                }
+                return self.failed(spec, attempts, err, elapsed_ms(self.clock));
+            }
+            if attempts >= max_attempts {
+                return self.degrade(
+                    spec,
+                    attempts,
+                    "retries-exhausted",
+                    JobError::RetriesExhausted {
+                        attempts,
+                        last: err.to_string(),
+                    },
+                    elapsed_ms(self.clock),
+                );
+            }
+            // Transient: wait out the backoff (never past the deadline)
+            // and go again. The next attempt resumes from the best
+            // checkpoint any attempt managed to flush.
+            let mut wait = self.cfg.backoff.delay(salt, attempts);
+            if let Some(d) = &deadline {
+                wait = wait.min(d.remaining(self.clock));
+            }
+            self.clock.sleep(wait);
+        }
+    }
+
+    /// One supervised worker attempt.
+    fn attempt(
+        &self,
+        spec: &JobSpec,
+        template: &Template,
+        attempt_no: u32,
+        deadline: Option<&JobDeadline>,
+    ) -> Attempt {
+        let graph = match self.pool.get(&spec.graph) {
+            Ok(g) => g,
+            Err(e) => return Attempt::Aborted(e),
+        };
+        let hb_path = self.spool.hb_path(&spec.id);
+        let rule = spec.stop_rule();
+        // Resume only from a checkpoint this exact run would accept —
+        // a zombie's stale-fingerprint file must not poison the attempt.
+        let resume = self
+            .spool
+            .best_checkpoint(&spec.id)
+            .map(|(ck, _)| ck)
+            .filter(|ck| fingerprint_matches(ck, spec, template, &rule, &graph));
+        let mut cancel = CancelToken::new();
+        if let Some(d) = deadline {
+            cancel = cancel.deadline(d.remaining(self.clock));
+        }
+        let mut cfg = CountConfig {
+            iterations: spec.iterations,
+            seed: spec.seed,
+            table: spec.table,
+            parallel: spec.parallel,
+            memory_budget_bytes: spec.memory_budget,
+            checkpoint: Some(
+                CheckpointConfig::new(self.spool.ckpt_path(&spec.id, attempt_no - 1)).durable(),
+            ),
+            progress: Some(Arc::new(Progress::new(ProgressConfig {
+                stderr_line: false,
+                heartbeat: Some(hb_path.clone()),
+                // Every wave must bump `seq`: liveness resolution is the
+                // point, throttling is not.
+                min_interval: Duration::ZERO,
+                job_id: Some(spec.id.clone()),
+            }))),
+            resume,
+            cancel: Some(cancel.clone()),
+            chaos: self.chaos.clone(),
+            ..CountConfig::default()
+        };
+        if let StopRule::RelativeError { .. } = rule {
+            cfg.stop = Some(rule);
+        }
+
+        let (tx, rx) = mpsc::channel();
+        let worker_template = template.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("fascia-job-{}", spec.id))
+            .spawn(move || {
+                let _ = tx.send(count_template(&graph, &worker_template, &cfg));
+            });
+        let handle = match spawned {
+            Ok(h) => h,
+            Err(e) => return Attempt::Panicked(format!("cannot spawn worker: {e}")),
+        };
+
+        let mut watch = HeartbeatWatch::new(self.clock.monotonic());
+        loop {
+            match rx.recv_timeout(self.cfg.poll) {
+                Ok(res) => {
+                    let _ = handle.join();
+                    return Attempt::Finished(res);
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    let msg = match handle.join() {
+                        Err(payload) => panic_message(&payload),
+                        Ok(()) => "worker exited without reporting".to_string(),
+                    };
+                    return Attempt::Panicked(msg);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    let now = self.clock.monotonic();
+                    watch.observe(read_heartbeat(&hb_path), now);
+                    if watch.stale_for(now) >= self.cfg.stall_timeout {
+                        // Stale sequence ⇒ dead worker. Cancel, grant a
+                        // grace period, then detach rather than hang.
+                        cancel.cancel();
+                        if let Ok(res) = rx.recv_timeout(self.cfg.grace) {
+                            let _ = handle.join();
+                            return Attempt::Finished(res);
+                        }
+                        drop(handle); // detach: never joined
+                        return Attempt::Dead(format!(
+                            "heartbeat seq stale for {:?} (attempt {attempt_no})",
+                            self.cfg.stall_timeout
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Report for an engine run that returned a result.
+    fn report_result(
+        &self,
+        spec: &JobSpec,
+        attempts: u32,
+        res: &CountResult,
+        elapsed_ms: u64,
+    ) -> JobReport {
+        let partial = res.stop_cause.is_partial();
+        self.spool.cleanup_job(&spec.id);
+        JobReport {
+            id: spec.id.clone(),
+            status: if partial {
+                JobStatus::Partial
+            } else {
+                JobStatus::Completed
+            },
+            stop_cause: Some(res.stop_cause.name().to_string()),
+            estimate: Some(res.estimate),
+            ci95: Some(res.ci95),
+            iterations: res.iterations_run,
+            attempts,
+            error: None,
+            elapsed_ms,
+        }
+    }
+
+    /// Graceful degradation: harvest the best checkpoint into an honest
+    /// reduced-iteration partial estimate; fall back to a typed failure
+    /// when not a single iteration survives.
+    fn degrade(
+        &self,
+        spec: &JobSpec,
+        attempts: u32,
+        stop_cause: &str,
+        err: JobError,
+        elapsed_ms: u64,
+    ) -> JobReport {
+        match self.spool.best_checkpoint(&spec.id) {
+            Some((ck, n)) if n > 0 => {
+                let stats = EstimateStats::from_series(&ck.per_iteration);
+                self.spool.cleanup_job(&spec.id);
+                JobReport {
+                    id: spec.id.clone(),
+                    status: JobStatus::Partial,
+                    stop_cause: Some(stop_cause.to_string()),
+                    estimate: Some(stats.mean),
+                    ci95: Some(stats.ci95_half_width),
+                    iterations: n,
+                    attempts,
+                    error: Some(err),
+                    elapsed_ms,
+                }
+            }
+            _ => self.failed(spec, attempts, err, elapsed_ms),
+        }
+    }
+
+    fn failed(&self, spec: &JobSpec, attempts: u32, err: JobError, elapsed_ms: u64) -> JobReport {
+        self.spool.cleanup_job(&spec.id);
+        JobReport {
+            id: spec.id.clone(),
+            status: JobStatus::Failed,
+            stop_cause: None,
+            estimate: None,
+            ci95: None,
+            iterations: 0,
+            attempts,
+            error: Some(err),
+            elapsed_ms,
+        }
+    }
+}
+
+/// Maps an engine error onto the typed job error taxonomy.
+fn classify(e: CountError) -> JobError {
+    match e {
+        CountError::BudgetExceeded { required, budget } => JobError::Budget(format!(
+            "hashed layout needs {required} bytes, budget {budget}"
+        )),
+        CountError::CheckpointWrite(m) => JobError::Checkpoint(m),
+        CountError::Cancelled => JobError::Engine("cancelled".to_string()),
+        other => JobError::Engine(other.to_string()),
+    }
+}
+
+/// Whether a checkpoint would pass the engine's resume fingerprint for
+/// this job (mirrors `count_impl`'s checks; colors default to template
+/// size in the service, which never overrides them).
+fn fingerprint_matches(
+    ck: &Checkpoint,
+    spec: &JobSpec,
+    template: &Template,
+    rule: &StopRule,
+    graph: &fascia_graph::Graph,
+) -> bool {
+    ck.seed == spec.seed
+        && ck.colors == template.size()
+        && ck.template_size == template.size()
+        && ck.graph_vertices == graph.num_vertices()
+        && ck.graph_edges == graph.num_edges()
+        && ck.rule == *rule
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_watch_treats_stale_seq_as_death_and_resets_on_pid_change() {
+        let t0 = Instant::now();
+        let at = |ms: u64| t0 + Duration::from_millis(ms);
+        let mut w = HeartbeatWatch::new(at(0));
+
+        // No heartbeat yet: staleness accrues from spawn.
+        w.observe(None, at(50));
+        assert_eq!(w.stale_for(at(50)), Duration::from_millis(50));
+
+        // First reading is life; advancing seq keeps it alive.
+        w.observe(Some((100, 1)), at(60));
+        w.observe(Some((100, 2)), at(120));
+        assert_eq!(w.stale_for(at(130)), Duration::from_millis(10));
+
+        // Same pid, frozen (or regressed) seq: staleness accrues — the
+        // hardened protocol never trusts a non-advancing counter.
+        w.observe(Some((100, 2)), at(500));
+        w.observe(Some((100, 1)), at(900));
+        assert_eq!(w.stale_for(at(900)), Duration::from_millis(780));
+
+        // A new writer pid (restarted attempt) counts as life again.
+        w.observe(Some((101, 1)), at(950));
+        assert_eq!(w.stale_for(at(960)), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn classify_maps_the_engine_taxonomy() {
+        assert_eq!(
+            classify(CountError::BudgetExceeded {
+                required: 10,
+                budget: 5
+            })
+            .kind(),
+            "budget-exceeded"
+        );
+        assert!(classify(CountError::CheckpointWrite("x".into())).is_transient());
+        assert!(!classify(CountError::NoIterations).is_transient());
+    }
+}

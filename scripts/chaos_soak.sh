@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Seeded chaos soak of the resident counting service, plus a replay gate.
+#
+# Runs a batch of jobs through `fascia serve --once` under a
+# deterministic fault schedule (worker panics, checkpoint/graph/result
+# IO errors, DP stalls), then verifies the robustness contract:
+#
+#   * every submitted job reaches exactly one terminal result
+#     (completed | partial | failed-with-typed-error) — no hangs,
+#   * no `.tmp` staging litter (atomic writes never tear),
+#   * a second run under the same seed fires a byte-identical
+#     chaos event sequence and produces identical outcomes
+#     (modulo wall-clock `elapsed_ms`).
+#
+# Tunables: FASCIA_SOAK_SEED (default 1234), FASCIA_SOAK_JOBS (12),
+# FASCIA_SOAK_ITERS (10). Exit 0 = contract holds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${FASCIA_SOAK_SEED:-1234}"
+JOBS="${FASCIA_SOAK_JOBS:-12}"
+ITERS="${FASCIA_SOAK_ITERS:-10}"
+SCHEDULE="seed=${SEED},panic=0.08,io=0.1,stall=0.05,stall_ms=2"
+
+cargo build -q -p fascia-cli --offline
+FASCIA="./target/debug/fascia"
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+submit_batch() { # $1 = spool dir
+  mkdir -p "$1/jobs"
+  for i in $(seq 0 $((JOBS - 1))); do
+    id=$(printf 'soak-%03d' "$i")
+    printf '{"schema":"fascia-job/1","id":"%s","graph":"circuit","template":"path4","iterations":%d,"seed":%d}' \
+      "$id" "$ITERS" $((9000 + i)) > "$1/jobs/$id.json"
+  done
+}
+
+run_soak() { # $1 = spool dir
+  submit_batch "$1"
+  FASCIA_CHAOS="$SCHEDULE" "$FASCIA" serve --once --spool "$1" \
+    --backoff-base-ms 5 --backoff-cap-ms 40 --poll-ms 5 2> "$1/stderr.log"
+}
+
+echo "=== chaos soak: $JOBS jobs, schedule $SCHEDULE ==="
+run_soak "$WORK/a"
+
+echo "--- verifying terminal results ---"
+for i in $(seq 0 $((JOBS - 1))); do
+  id=$(printf 'soak-%03d' "$i")
+  result="$WORK/a/results/$id.json"
+  [ -f "$result" ] || { echo "FAIL: $id has no terminal result"; exit 1; }
+  grep -q '"schema":"fascia-job-result/1"' "$result" \
+    || { echo "FAIL: $id result is not a fascia-job-result/1 document"; exit 1; }
+  grep -Eq '"status":"(completed|partial|failed)"' "$result" \
+    || { echo "FAIL: $id has no terminal status"; exit 1; }
+  if grep -q '"status":"failed"' "$result"; then
+    grep -q '"kind":"' "$result" \
+      || { echo "FAIL: $id failed without a typed error"; exit 1; }
+  fi
+done
+
+echo "--- verifying no staging litter, schedule actually fired ---"
+litter=$(find "$WORK/a" -name '*.tmp' | wc -l)
+[ "$litter" -eq 0 ] || { echo "FAIL: $litter .tmp file(s) left behind"; exit 1; }
+[ -s "$WORK/a/chaos.events" ] || { echo "FAIL: chaos schedule fired no events"; exit 1; }
+
+echo "--- replaying seed $SEED ---"
+run_soak "$WORK/b"
+diff "$WORK/a/chaos.events" "$WORK/b/chaos.events" \
+  || { echo "FAIL: replay fired a different event sequence"; exit 1; }
+for dir in a b; do
+  for f in "$WORK/$dir"/results/*.json; do
+    sed 's/"elapsed_ms":[0-9]*//' "$f"; echo
+  done > "$WORK/$dir.normalized"
+done
+diff "$WORK/a.normalized" "$WORK/b.normalized" \
+  || { echo "FAIL: replay produced different outcomes"; exit 1; }
+
+events=$(wc -l < "$WORK/a/chaos.events")
+echo "chaos soak: all $JOBS jobs terminal, $events event(s) fired, replay byte-identical"

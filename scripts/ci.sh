@@ -85,4 +85,12 @@ grep -q '^## Allocator' "$MEMDIR/report.txt"
 grep -q '^## DP tables' "$MEMDIR/report.txt"
 grep -q '<!doctype html>' "$MEMDIR/report.html"
 
+# Chaos-smoke gate: a seeded soak of the resident service under injected
+# worker panics, IO faults, and DP stalls. The script asserts the whole
+# robustness contract — every job terminal (completed or cleanly failed
+# with a typed error), zero torn/staging files, and a byte-identical
+# replay of the fired event sequence under the same seed.
+echo "=== service chaos-smoke gate ==="
+FASCIA_SOAK_JOBS=6 FASCIA_SOAK_ITERS=6 scripts/chaos_soak.sh
+
 echo "ci: all green"
