@@ -8,17 +8,27 @@
 //! the report prints the measured pool hit count.
 //!
 //! ```text
-//! svc_throughput [--jobs N] [--iters N] [--template T] [--chaos SPEC]
+//! svc_throughput [--jobs N] [--iters N] [--reps N] [--template T] [--chaos SPEC]
 //! ```
+//!
+//! With `FASCIA_PERF_APPEND=<path>` set, the measured repetitions are
+//! also appended as a one-line `fascia-perf/1` document (benchmarks
+//! `svc_throughput/clean` and `svc_throughput/chaos`, seconds per batch),
+//! the same JSON-lines contract the criterion shim uses — so queue
+//! throughput is a pinned perf axis that `perf compare` can diff and
+//! `BENCH_<date>.json` can archive.
 
+use fascia_bench::perf::{PerfDoc, PerfRecord, DEFAULT_THRESHOLD};
 use fascia_core::chaos::ChaosSpec;
 use fascia_svc::supervisor::SupervisorConfig;
 use fascia_svc::{BackoffPolicy, JobSpec, MonotonicClock, Service, ServiceConfig};
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 struct Opts {
     jobs: usize,
     iters: usize,
+    reps: usize,
     template: String,
     chaos: String,
 }
@@ -27,6 +37,7 @@ fn parse_opts() -> Result<Opts, String> {
     let mut opts = Opts {
         jobs: 32,
         iters: 8,
+        reps: 1,
         template: "path4".to_string(),
         chaos: "seed=9,panic=0.05,io_ckpt=0.1,io_result=0.05".to_string(),
     };
@@ -40,11 +51,15 @@ fn parse_opts() -> Result<Opts, String> {
         match args[i].as_str() {
             "--jobs" => opts.jobs = value(i)?.parse().map_err(|e| format!("--jobs: {e}"))?,
             "--iters" => opts.iters = value(i)?.parse().map_err(|e| format!("--iters: {e}"))?,
+            "--reps" => opts.reps = value(i)?.parse().map_err(|e| format!("--reps: {e}"))?,
             "--template" => opts.template = value(i)?.clone(),
             "--chaos" => opts.chaos = value(i)?.clone(),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
+    }
+    if opts.reps == 0 {
+        return Err("--reps must be ≥ 1".to_string());
     }
     Ok(opts)
 }
@@ -106,6 +121,38 @@ fn run_batch(opts: &Opts, chaos: Option<ChaosSpec>) -> Result<(Duration, String)
     Ok((elapsed, line))
 }
 
+/// Appends the measured batches to `FASCIA_PERF_APPEND` (when set) as a
+/// one-line `fascia-perf/1` document, mirroring the criterion shim's
+/// JSON-lines append contract.
+fn append_perf_records(reps: &[(&'static str, Vec<f64>)]) -> Result<(), String> {
+    let Some(path) = std::env::var_os("FASCIA_PERF_APPEND") else {
+        return Ok(());
+    };
+    let mut doc = PerfDoc::new_now();
+    for (tag, reps_s) in reps {
+        doc.benchmarks.insert(
+            format!("svc_throughput/{tag}"),
+            PerfRecord {
+                warmup: 0,
+                threshold: DEFAULT_THRESHOLD,
+                peak_table_bytes: 0,
+                reps_s: reps_s.clone(),
+            },
+        );
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| format!("cannot open {}: {e}", path.to_string_lossy()))?;
+    writeln!(f, "{}", doc.to_json()).map_err(|e| format!("perf append: {e}"))?;
+    eprintln!(
+        "svc_throughput: appended fascia-perf/1 record to {}",
+        path.to_string_lossy()
+    );
+    Ok(())
+}
+
 fn main() -> std::process::ExitCode {
     let opts = match parse_opts() {
         Ok(o) => o,
@@ -122,17 +169,31 @@ fn main() -> std::process::ExitCode {
         }
     };
     println!(
-        "service throughput: {} jobs x {} iterations of {} on circuit",
-        opts.jobs, opts.iters, opts.template
+        "service throughput: {} jobs x {} iterations of {} on circuit, {} rep(s)",
+        opts.jobs, opts.iters, opts.template, opts.reps
     );
-    for spec in [None, Some(chaos)] {
-        match run_batch(&opts, spec) {
-            Ok((_, line)) => println!("{line}"),
-            Err(e) => {
-                eprintln!("svc_throughput: {e}");
-                return std::process::ExitCode::from(1);
+    let mut measured: Vec<(&'static str, Vec<f64>)> = Vec::new();
+    for (tag, spec) in [("clean", None), ("chaos", Some(chaos))] {
+        let mut reps_s = Vec::with_capacity(opts.reps);
+        for rep in 0..opts.reps {
+            match run_batch(&opts, spec.clone()) {
+                Ok((elapsed, line)) => {
+                    if rep == 0 {
+                        println!("{line}");
+                    }
+                    reps_s.push(elapsed.as_secs_f64());
+                }
+                Err(e) => {
+                    eprintln!("svc_throughput: {e}");
+                    return std::process::ExitCode::from(1);
+                }
             }
         }
+        measured.push((tag, reps_s));
+    }
+    if let Err(e) = append_perf_records(&measured) {
+        eprintln!("svc_throughput: {e}");
+        return std::process::ExitCode::from(1);
     }
     std::process::ExitCode::SUCCESS
 }

@@ -194,20 +194,26 @@ fn usage_text() -> String {
      \x20 gdd    <dataset|file> [--iters N]\n\
      \x20 sample <dataset|file> <template> <count> [--iters N] [--seed S]\n\
      \x20 distsim <dataset|file> <template> <ranks> [--iters N]\n\
-     \x20 serve  [--spool] DIR [--once] [--stdin] [--chaos SPEC] [--poll-ms N] [--stall-timeout-ms N]\n\
-     \x20        [--grace-ms N] [--scan-ms N] [--max-attempts N] [--backoff-base-ms N] [--backoff-cap-ms N]\n\
+     \x20 serve  [--spool] DIR [--once] [--stdin] [--chaos SPEC] [--admin-addr HOST:PORT] [--poll-ms N]\n\
+     \x20        [--stall-timeout-ms N] [--grace-ms N] [--scan-ms N] [--max-attempts N]\n\
+     \x20        [--backoff-base-ms N] [--backoff-cap-ms N]\n\
      \x20        resident counting service: runs fascia-job/1 documents from DIR/jobs (add more any\n\
      \x20        time; --stdin also queues a JSONL stream), writes durable fascia-job-result/1\n\
      \x20        documents to DIR/results, retries transient failures with capped jittered backoff,\n\
      \x20        degrades to honest partial estimates on deadline/budget, and resumes killed jobs\n\
      \x20        from their checkpoints; --once drains the queue and exits; --chaos (or env\n\
-     \x20        FASCIA_CHAOS) runs a deterministic fault schedule, logged to DIR/chaos.events\n\
+     \x20        FASCIA_CHAOS) runs a deterministic fault schedule, logged to DIR/chaos.events;\n\
+     \x20        every lifecycle transition lands in DIR/events/events.jsonl (fascia-events/1);\n\
+     \x20        --admin-addr serves read-only /healthz /metrics /jobs /jobs/<id> /version over\n\
+     \x20        HTTP (port 0 picks a free port; the bound address lands in DIR/admin.addr)\n\
      \x20 gen    <dataset> <out.txt>\n\
      \x20 info   <dataset|file>\n\
      \x20 report <run-dir> [--baseline BENCH.json] [--html FILE] [--no-html]\n\
      \x20        render one unified terminal + self-contained HTML report from a directory of\n\
      \x20        observability artifacts (fascia-obs/mem/perf/heartbeat JSON, Chrome traces,\n\
-     \x20        collapsed profiles); --baseline diffs fascia-perf/1 medians against an archive\n\
+     \x20        collapsed profiles); --baseline diffs fascia-perf/1 medians against an archive;\n\
+     \x20        a spool dir's events/events.jsonl adds a service section (job table, retry\n\
+     \x20        causes, queue-wait / end-to-end latency quantiles)\n\
      \x20 templates\n\
      adaptive flags (every counting subcommand): --adaptive [--epsilon E] [--delta D] [--max-iters M]\n\
      \x20 stop iterating once the estimate is within ±E (relative, default 0.05)\n\

@@ -13,6 +13,11 @@
 //! against the record's own threshold — the statistical Mann–Whitney gate
 //! stays in `fascia-bench`; the report is a readable overview, not a CI
 //! gate).
+//!
+//! When the directory is (or contains) a service spool — an
+//! `events/events.jsonl` (or bare `events.jsonl`) `fascia-events/1` log —
+//! a Service section is added: the per-job table folded from the event
+//! stream, retry causes, and queue-wait / end-to-end latency quantiles.
 
 use crate::{flag_value, usage_err, CliError, EXIT_OK};
 use fascia_core::resilience::{atomic_write, Json};
@@ -162,7 +167,74 @@ fn build_report(dir: &Path, arts: &Artifacts, baseline: Option<&Json>) -> Report
     if !arts.profiles.is_empty() {
         report.push_section(profile_section(&arts.profiles));
     }
+    // A spool directory (or a copy of one) carries the service event log.
+    if let Some(path) = [
+        dir.join("events").join("events.jsonl"),
+        dir.join("events.jsonl"),
+    ]
+    .into_iter()
+    .find(|p| p.exists())
+    {
+        report.push_section(service_section(&path));
+    }
     report
+}
+
+/// The service section: job table, retry causes, and latency quantiles
+/// recovered from a `fascia-events/1` lifecycle log.
+fn service_section(path: &Path) -> Section {
+    use fascia_svc::events::{job_table, latency_histograms, read_events, retry_causes};
+    let mut s = Section::new("Service");
+    s.line(format!("source: {}", path.display()));
+    let events = read_events(path);
+    if events.is_empty() {
+        s.line("event log is empty");
+        return s;
+    }
+    s.line(format!(
+        "{} lifecycle events (fascia-events/1)",
+        events.len()
+    ));
+    let mut t = TableView::new(["job", "state", "attempts", "retries", "cause", "iterations"]);
+    for row in job_table(&events) {
+        t.row([
+            row.id,
+            row.state.to_string(),
+            row.attempts.to_string(),
+            row.retries.to_string(),
+            row.cause.unwrap_or_else(|| "-".to_string()),
+            row.iterations
+                .map_or_else(|| "-".to_string(), |n| n.to_string()),
+        ]);
+    }
+    s.table(t);
+    let causes = retry_causes(&events);
+    if !causes.is_empty() {
+        let mut t = TableView::new(["retry cause", "count"]);
+        for (cause, n) in causes {
+            t.row([cause, n.to_string()]);
+        }
+        s.table(t);
+    }
+    let (queue_wait, e2e) = latency_histograms(&events);
+    let mut t = TableView::new(["latency", "count", "p50 ms", "p95 ms", "p99 ms", "max ms"]);
+    for (name, h) in [("queue wait", &queue_wait), ("end to end", &e2e)] {
+        let Some((p50, p95, p99)) = h.quantile_summary() else {
+            continue;
+        };
+        t.row([
+            name.to_string(),
+            h.count().to_string(),
+            p50.to_string(),
+            p95.to_string(),
+            p99.to_string(),
+            h.max().unwrap_or(0).to_string(),
+        ]);
+    }
+    if !t.rows.is_empty() {
+        s.table(t);
+    }
+    s
 }
 
 fn overview_section(arts: &Artifacts) -> Section {
@@ -634,5 +706,31 @@ mod tests {
         let html = report.render_html();
         assert!(html.starts_with("<!doctype html>"));
         assert!(html.contains("DP tables"));
+    }
+
+    #[test]
+    fn service_section_folds_an_event_log() {
+        let dir = std::env::temp_dir().join(format!("fascia-report-svc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("events")).unwrap();
+        let log = fascia_obs::EventLog::open(dir.join("events").join("events.jsonl")).unwrap();
+        use fascia_obs::{JobEvent, JobEventKind};
+        for ev in [
+            JobEvent::new(1000, "j1", JobEventKind::Submitted, 0),
+            JobEvent::new(1010, "j1", JobEventKind::Dequeued, 0),
+            JobEvent::new(1020, "j1", JobEventKind::Retried, 1).cause("worker-panic"),
+            JobEvent::new(1100, "j1", JobEventKind::Completed, 2).iterations(16),
+        ] {
+            log.append(ev).unwrap();
+        }
+        let report = build_report(&dir, &Artifacts::default(), None);
+        let text = report.render_terminal();
+        assert!(text.contains("Service"));
+        assert!(text.contains("4 lifecycle events"));
+        assert!(text.contains("completed"));
+        assert!(text.contains("worker-panic"));
+        assert!(text.contains("queue wait"));
+        assert!(text.contains("end to end"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -10,7 +10,10 @@
 
 use crate::{flag_parse, flag_value, usage_err, CliError, EXIT_OK, INTERRUPTED};
 use fascia_core::chaos::{ChaosSpec, CHAOS_ENV};
-use fascia_svc::{BackoffPolicy, MonotonicClock, Service, ServiceConfig, SupervisorConfig};
+use fascia_svc::{
+    AdminConfig, AdminServer, AdminState, BackoffPolicy, MonotonicClock, Service, ServiceConfig,
+    SupervisorConfig,
+};
 use std::time::Duration;
 
 pub(crate) fn cmd_serve(rest: &[String]) -> Result<i32, CliError> {
@@ -20,6 +23,7 @@ pub(crate) fn cmd_serve(rest: &[String]) -> Result<i32, CliError> {
         ..ServiceConfig::default()
     };
     let mut from_stdin = false;
+    let mut admin_addr: Option<String> = None;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -29,6 +33,10 @@ pub(crate) fn cmd_serve(rest: &[String]) -> Result<i32, CliError> {
             }
             "--once" => cfg.once = true,
             "--stdin" => from_stdin = true,
+            "--admin-addr" => {
+                admin_addr = Some(flag_value(rest, i, "--admin-addr")?.to_string());
+                i += 1;
+            }
             "--chaos" => {
                 let raw = flag_value(rest, i, "--chaos")?;
                 cfg.chaos = Some(
@@ -100,11 +108,37 @@ pub(crate) fn cmd_serve(rest: &[String]) -> Result<i32, CliError> {
     if from_stdin {
         let stdin = std::io::stdin();
         let (accepted, rejected) = svc
-            .ingest_jsonl(stdin.lock())
+            .ingest_jsonl(&MonotonicClock, stdin.lock())
             .map_err(|e| CliError::Io(format!("stdin job stream: {e}")))?;
         eprintln!("fascia-svc: queued {accepted} job(s), rejected {rejected}");
     }
+    // The admin plane is opt-in and read-only: it scrapes the shared
+    // metrics registry and the spool's files, so enabling it cannot
+    // perturb job execution or chaos replay. The bound address (useful
+    // with port 0) is announced on stderr and in `<spool>/admin.addr`.
+    let admin = match admin_addr.as_deref() {
+        Some(addr) => {
+            let state = AdminState {
+                spool: svc.spool().clone(),
+                metrics: svc.metrics(),
+            };
+            let server = AdminServer::start(addr, state, AdminConfig::default())
+                .map_err(|e| CliError::Io(format!("cannot bind admin addr {addr:?}: {e}")))?;
+            let bound = server.local_addr().to_string();
+            let _ = fascia_core::resilience::atomic_write(
+                &svc.spool().root().join("admin.addr"),
+                &format!("{bound}\n"),
+            );
+            eprintln!("fascia-svc: admin endpoint on http://{bound}");
+            Some(server)
+        }
+        None => None,
+    };
     let summary = svc.run(&MonotonicClock, Some(&INTERRUPTED));
+    if let Some(server) = admin {
+        server.shutdown();
+        let _ = std::fs::remove_file(svc.spool().root().join("admin.addr"));
+    }
     println!("{}", summary.to_json());
     if summary.result_write_failures > 0 {
         return Err(CliError::Run(format!(

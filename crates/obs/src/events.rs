@@ -1,0 +1,347 @@
+//! Structured job-lifecycle event log (`fascia-events/1`).
+//!
+//! The service's flight recorder for *jobs* rather than iterations: one
+//! JSONL line per lifecycle transition — submitted, dequeued,
+//! attempt-started, heartbeat-observed, checkpointed, retried (with its
+//! typed cause), degraded, completed, failed — appended durably enough
+//! to replay into a per-job timeline after any crash.
+//!
+//! Design contract (DESIGN.md §17):
+//!
+//! * **Append-only.** Lines are never rewritten; each append is one
+//!   `write_all` of a complete line on an `O_APPEND` descriptor, so
+//!   concurrent readers see either the whole line or nothing (a torn
+//!   final line from a SIGKILL mid-write is possible and readers must
+//!   skip it — the replay helpers in `fascia-svc` do).
+//! * **Monotonic sequence numbers.** `seq` increases strictly within a
+//!   process, and [`EventLog::open`] resumes from the highest `seq`
+//!   already on disk, so a restarted service continues the sequence
+//!   instead of reusing numbers. Replay orders by `seq`, never by
+//!   timestamp: the wall clock is a label (it can step backwards under
+//!   NTP), the sequence is the truth.
+//! * **Hand-rolled JSON**, like every other schema in the repo: written
+//!   with [`ObjectWriter`], readable by the depth-capped parser in
+//!   `fascia-core`. The schema is additive-only; optional fields are
+//!   omitted, not `null`.
+
+use crate::json::ObjectWriter;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Schema tag of one event line.
+pub const EVENTS_SCHEMA: &str = "fascia-events/1";
+
+/// A job lifecycle transition. The names are stable: scripts, the admin
+/// endpoint, and the soak gate match on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobEventKind {
+    /// The job entered the queue (ingested or first seen in the spool).
+    Submitted,
+    /// The serve loop picked the job up to run it.
+    Dequeued,
+    /// A supervised worker attempt began.
+    AttemptStarted,
+    /// The supervisor saw the attempt's first heartbeat advance.
+    HeartbeatObserved,
+    /// A durable checkpoint with ≥ 1 iteration exists for the job.
+    Checkpointed,
+    /// A transient failure triggered a retry; `cause` is the
+    /// `JobError::kind` string.
+    Retried,
+    /// The job ended `partial` (honest reduced-iteration estimate);
+    /// `cause` is the stop cause.
+    Degraded,
+    /// The job ended `completed`.
+    Completed,
+    /// The job ended `failed`; `cause` is the `JobError::kind` string.
+    Failed,
+}
+
+impl JobEventKind {
+    /// Stable lower-case name written into the document.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobEventKind::Submitted => "submitted",
+            JobEventKind::Dequeued => "dequeued",
+            JobEventKind::AttemptStarted => "attempt-started",
+            JobEventKind::HeartbeatObserved => "heartbeat-observed",
+            JobEventKind::Checkpointed => "checkpointed",
+            JobEventKind::Retried => "retried",
+            JobEventKind::Degraded => "degraded",
+            JobEventKind::Completed => "completed",
+            JobEventKind::Failed => "failed",
+        }
+    }
+
+    /// Parses a stable name back (replay).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "submitted" => JobEventKind::Submitted,
+            "dequeued" => JobEventKind::Dequeued,
+            "attempt-started" => JobEventKind::AttemptStarted,
+            "heartbeat-observed" => JobEventKind::HeartbeatObserved,
+            "checkpointed" => JobEventKind::Checkpointed,
+            "retried" => JobEventKind::Retried,
+            "degraded" => JobEventKind::Degraded,
+            "completed" => JobEventKind::Completed,
+            "failed" => JobEventKind::Failed,
+            _ => return None,
+        })
+    }
+
+    /// Whether this kind ends the job's lifecycle.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobEventKind::Degraded | JobEventKind::Completed | JobEventKind::Failed
+        )
+    }
+}
+
+/// One event line. Build with [`JobEvent::new`] plus the optional-field
+/// builders; [`EventLog::append`] stamps `seq`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobEvent {
+    /// Monotonic per-log sequence number (0 until appended).
+    pub seq: u64,
+    /// Wall-clock label in milliseconds since the Unix epoch. Comes from
+    /// the service's single `Clock` handle; never used for ordering.
+    pub ts_unix_ms: u64,
+    /// The job id this transition belongs to.
+    pub job: String,
+    /// The transition.
+    pub kind: JobEventKind,
+    /// Attempt index (1-based; 0 for queue-level events).
+    pub attempt: u32,
+    /// Typed cause: a `JobError::kind` string for retried/failed, the
+    /// stop cause for degraded.
+    pub cause: Option<String>,
+    /// Iterations backing the event (checkpointed/terminal events).
+    pub iterations: Option<u64>,
+    /// Observed heartbeat sequence (heartbeat-observed events).
+    pub hb_seq: Option<u64>,
+}
+
+impl JobEvent {
+    /// A bare event; chain the builders for the optional fields.
+    pub fn new(ts_unix_ms: u64, job: &str, kind: JobEventKind, attempt: u32) -> Self {
+        Self {
+            seq: 0,
+            ts_unix_ms,
+            job: job.to_string(),
+            kind,
+            attempt,
+            cause: None,
+            iterations: None,
+            hb_seq: None,
+        }
+    }
+
+    /// Sets the typed cause string.
+    pub fn cause(mut self, cause: &str) -> Self {
+        self.cause = Some(cause.to_string());
+        self
+    }
+
+    /// Sets the backing iteration count.
+    pub fn iterations(mut self, n: u64) -> Self {
+        self.iterations = Some(n);
+        self
+    }
+
+    /// Sets the observed heartbeat sequence.
+    pub fn hb_seq(mut self, seq: u64) -> Self {
+        self.hb_seq = Some(seq);
+        self
+    }
+
+    /// Renders the one-line `fascia-events/1` document (no trailing
+    /// newline; the log adds it). Optional fields are omitted when
+    /// absent — the schema is additive-only.
+    pub fn to_json(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.field_str("schema", EVENTS_SCHEMA)
+            .field_u64("seq", self.seq)
+            .field_u64("ts_unix_ms", self.ts_unix_ms)
+            .field_str("job", &self.job)
+            .field_str("kind", self.kind.name())
+            .field_u64("attempt", u64::from(self.attempt));
+        if let Some(c) = &self.cause {
+            w.field_str("cause", c);
+        }
+        if let Some(n) = self.iterations {
+            w.field_u64("iterations", n);
+        }
+        if let Some(s) = self.hb_seq {
+            w.field_u64("hb_seq", s);
+        }
+        w.finish()
+    }
+}
+
+/// The append-only event log: one open `O_APPEND` file plus the process's
+/// sequence counter. Cheap to share behind the service; appends take a
+/// short mutex (one per lifecycle transition, nowhere near a hot loop).
+#[derive(Debug)]
+pub struct EventLog {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+    next_seq: AtomicU64,
+}
+
+impl EventLog {
+    /// Opens (creating as needed) the log at `path` and resumes the
+    /// sequence after the highest `seq` already recorded, so restarts
+    /// keep the log strictly ordered.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let next_seq = match std::fs::read_to_string(&path) {
+            Ok(text) => text.lines().filter_map(scan_seq).max().map_or(0, |s| s + 1),
+            Err(_) => 0,
+        };
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(Self {
+            path,
+            file: Mutex::new(file),
+            next_seq: AtomicU64::new(next_seq),
+        })
+    }
+
+    /// Where the log lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The sequence number the next append will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Stamps `seq`, appends the event as one line, and returns the
+    /// sequence it got. The line is written with a single `write_all` on
+    /// an append-mode descriptor: concurrent tail readers never see an
+    /// interleaved line (a crash can still tear the final one — readers
+    /// skip unparseable lines).
+    pub fn append(&self, mut ev: JobEvent) -> std::io::Result<u64> {
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        // Stamp under the lock so seq order and file order are identical.
+        ev.seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut line = ev.to_json();
+        line.push('\n');
+        file.write_all(line.as_bytes())?;
+        Ok(ev.seq)
+    }
+}
+
+/// Extracts the `"seq"` value from a raw event line without a full JSON
+/// parse (this crate is write-only; the read half lives in `fascia-core`).
+/// Returns `None` for torn or foreign lines — exactly the lines a resumed
+/// sequence must not be derailed by.
+fn scan_seq(line: &str) -> Option<u64> {
+    let rest = &line[line.find("\"seq\":")? + "\"seq\":".len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    // A torn line may cut the number itself short; only a line that still
+    // terminates properly after the digits counts.
+    if digits.is_empty() || !line.ends_with('}') {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_log(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "fascia-events-{tag}-{}/events.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn append_stamps_monotonic_seq_and_one_line_per_event() {
+        let path = tmp_log("basic");
+        let _ = std::fs::remove_file(&path);
+        let log = EventLog::open(&path).unwrap();
+        assert_eq!(log.next_seq(), 0);
+        let s0 = log
+            .append(JobEvent::new(1000, "j1", JobEventKind::Submitted, 0))
+            .unwrap();
+        let s1 = log
+            .append(
+                JobEvent::new(1001, "j1", JobEventKind::Retried, 1)
+                    .cause("worker-panic")
+                    .iterations(3),
+            )
+            .unwrap();
+        assert_eq!((s0, s1), (0, 1));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"schema\":\"fascia-events/1\""));
+        assert!(lines[0].contains("\"seq\":0"));
+        assert!(lines[1].contains("\"cause\":\"worker-panic\""));
+        assert!(lines[1].contains("\"iterations\":3"));
+        assert!(!lines[0].contains("cause"), "absent fields are omitted");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reopen_resumes_after_the_highest_seq_even_past_a_torn_line() {
+        let path = tmp_log("resume");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = EventLog::open(&path).unwrap();
+            for _ in 0..3 {
+                log.append(JobEvent::new(1, "j", JobEventKind::Submitted, 0))
+                    .unwrap();
+            }
+        }
+        // Simulate a SIGKILL mid-append: a torn final line.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(b"{\"schema\":\"fascia-events/1\",\"seq\":99")
+                .unwrap();
+        }
+        let log = EventLog::open(&path).unwrap();
+        assert_eq!(log.next_seq(), 3, "torn line must not derail the seq");
+        let s = log
+            .append(JobEvent::new(2, "j", JobEventKind::Completed, 1))
+            .unwrap();
+        assert_eq!(s, 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn event_kinds_roundtrip_their_names() {
+        for kind in [
+            JobEventKind::Submitted,
+            JobEventKind::Dequeued,
+            JobEventKind::AttemptStarted,
+            JobEventKind::HeartbeatObserved,
+            JobEventKind::Checkpointed,
+            JobEventKind::Retried,
+            JobEventKind::Degraded,
+            JobEventKind::Completed,
+            JobEventKind::Failed,
+        ] {
+            assert_eq!(JobEventKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(JobEventKind::parse("bogus"), None);
+        assert!(JobEventKind::Completed.is_terminal());
+        assert!(!JobEventKind::Retried.is_terminal());
+    }
+}

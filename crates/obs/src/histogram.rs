@@ -116,6 +116,17 @@ impl Histogram {
         self.max()
     }
 
+    /// The p50/p95/p99 quantile triple the service exports everywhere
+    /// (latency gauges, admin metrics, report tables); `None` if empty.
+    /// Each value is a log2-bucket upper bound, within 2x of exact.
+    pub fn quantile_summary(&self) -> Option<(u64, u64, u64)> {
+        Some((
+            self.quantile(0.50)?,
+            self.quantile(0.95)?,
+            self.quantile(0.99)?,
+        ))
+    }
+
     /// Non-empty buckets as `(exclusive_upper_bound, count)`, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets

@@ -14,6 +14,9 @@
 //! * [`Gauge`] — a last-value / high-watermark cell (table bytes, rows),
 //! * [`Histogram`] — a lock-free log2-bucketed value distribution with
 //!   approximate quantiles (span durations, row sizes),
+//! * [`EventLog`] — the service's append-only `fascia-events/1` job
+//!   lifecycle log: one JSONL line per transition, monotonic sequence
+//!   numbers, replayable into per-job timelines,
 //! * [`SpanTimer`] — an RAII scope timer recording into a histogram,
 //! * [`Metrics`] — the registry that owns all of the above, explicitly
 //!   threaded through the engine (no globals), with [`Metrics::merge`] for
@@ -46,6 +49,7 @@
 
 pub mod alloc;
 pub mod counter;
+pub mod events;
 pub mod histogram;
 pub mod json;
 pub mod profiler;
@@ -56,6 +60,7 @@ pub mod trace;
 
 pub use alloc::{CountingAlloc, MemPhaseGuard, MemPhaseId, MemSnapshot, MAX_MEM_PHASES};
 pub use counter::{thread_slot, Counter, Gauge, SHARDS};
+pub use events::{EventLog, JobEvent, JobEventKind, EVENTS_SCHEMA};
 pub use histogram::Histogram;
 pub use profiler::{PhaseGuard, PhaseId, PhaseStat, Profiler, MAX_PHASE_DEPTH, PROFILE_SHARDS};
 pub use registry::{

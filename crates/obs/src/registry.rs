@@ -18,7 +18,7 @@
 //!   "gauges":     { "<name>": u64 },
 //!   "histograms": { "<name>": {
 //!       "count": u64, "sum": u64, "min": u64, "max": u64, "mean": f64,
-//!       "p50": u64, "p90": u64, "p99": u64,
+//!       "p50": u64, "p90": u64, "p95": u64, "p99": u64,
 //!       "buckets": [ { "le": u64, "count": u64 }, ... ]
 //!   } }
 //! }
@@ -145,6 +145,7 @@ impl Metrics {
                 .field_f64("mean", h.mean().unwrap_or(0.0))
                 .field_u64("p50", h.quantile(0.50).unwrap_or(0))
                 .field_u64("p90", h.quantile(0.90).unwrap_or(0))
+                .field_u64("p95", h.quantile(0.95).unwrap_or(0))
                 .field_u64("p99", h.quantile(0.99).unwrap_or(0))
                 .field_raw(
                     "buckets",

@@ -1,0 +1,374 @@
+//! Zero-dependency HTTP/1.1 admin endpoint for `fascia serve`.
+//!
+//! Opt-in via `--admin-addr HOST:PORT` (port 0 binds an ephemeral port;
+//! the bound address is written to `<spool>/admin.addr`). The server is
+//! deliberately minimal and std-only, consistent with the repo's
+//! no-third-party-deps shims policy: a blocking accept loop on its own
+//! thread, one short-lived thread per connection under a hard connection
+//! cap, a read deadline against slow-loris clients, and a request-line
+//! byte cap. GET only.
+//!
+//! | route         | payload                                              |
+//! |---------------|------------------------------------------------------|
+//! | `/healthz`    | liveness JSON: uptime, queue depth, spool lag        |
+//! | `/metrics`    | Prometheus text 0.0.4 ([`Metrics::render_prom`])     |
+//! | `/jobs`       | job table replayed from the `fascia-events/1` log    |
+//! | `/jobs/<id>`  | the job's timeline: verbatim event-log lines         |
+//! | `/version`    | crate version + git sha                              |
+//!
+//! The server only ever *reads* the spool — it never appends events,
+//! claims chaos indices, or touches supervision state — so scraping it
+//! mid-soak cannot perturb a deterministic chaos replay (proved by the
+//! concurrent-scrape test in `tests/admin.rs`).
+
+use crate::events::{job_table, raw_timeline};
+use crate::spool::Spool;
+use fascia_obs::json::{array_of, ObjectWriter};
+use fascia_obs::Metrics;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Hardening knobs; the defaults suit a scrape-only endpoint.
+#[derive(Debug, Clone)]
+pub struct AdminConfig {
+    /// Connections served concurrently; excess requests get 503.
+    pub max_connections: usize,
+    /// Read deadline per connection (slow-loris cutoff).
+    pub read_timeout: Duration,
+    /// Request head cap in bytes; longer requests get 400.
+    pub max_request_bytes: usize,
+}
+
+impl Default for AdminConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 8,
+            read_timeout: Duration::from_secs(2),
+            max_request_bytes: 8 * 1024,
+        }
+    }
+}
+
+/// What the endpoint exposes: the spool (queue + event log, read-only)
+/// and the live metrics registry the serve loop records into.
+#[derive(Debug, Clone)]
+pub struct AdminState {
+    /// The served spool.
+    pub spool: Spool,
+    /// The service's metrics registry (shared with the serve loop).
+    pub metrics: Arc<Metrics>,
+}
+
+/// A running admin server; dropping it without [`AdminServer::shutdown`]
+/// leaves the accept thread running until process exit.
+#[derive(Debug)]
+pub struct AdminServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl AdminServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts the accept loop on
+    /// its own thread.
+    pub fn start(addr: &str, state: AdminState, cfg: AdminConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let started = Instant::now();
+        let active = Arc::new(AtomicUsize::new(0));
+        let accept_thread = std::thread::Builder::new()
+            .name("fascia-admin".to_string())
+            .spawn(move || {
+                accept_loop(&listener, &accept_stop, &active, &state, &cfg, started);
+            })?;
+        Ok(Self {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept thread. In-flight connection
+    /// threads finish on their own (bounded by the read deadline).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &Arc<AtomicBool>,
+    active: &Arc<AtomicUsize>,
+    state: &AdminState,
+    cfg: &AdminConfig,
+    started: Instant,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        // Connection cap: shed load in the accept thread itself — a 503
+        // is cheaper than a thread.
+        if active.load(Ordering::Relaxed) >= cfg.max_connections {
+            let _ = write_response(
+                &mut stream,
+                503,
+                "Service Unavailable",
+                "text/plain",
+                "busy\n",
+            );
+            continue;
+        }
+        active.fetch_add(1, Ordering::Relaxed);
+        let conn_active = Arc::clone(active);
+        let state = state.clone();
+        let cfg = cfg.clone();
+        let spawned = std::thread::Builder::new()
+            .name("fascia-admin-conn".to_string())
+            .spawn(move || {
+                handle_connection(&mut stream, &state, &cfg, started);
+                conn_active.fetch_sub(1, Ordering::Relaxed);
+            });
+        if spawned.is_err() {
+            active.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn handle_connection(
+    stream: &mut TcpStream,
+    state: &AdminState,
+    cfg: &AdminConfig,
+    started: Instant,
+) {
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.read_timeout));
+    match read_request_head(stream, cfg.max_request_bytes) {
+        Ok(head) => match parse_request_line(&head) {
+            Some(("GET", path)) => {
+                let (status, reason, content_type, body) = route(state, started, path);
+                let _ = write_response(stream, status, reason, content_type, &body);
+            }
+            Some((_, _)) => {
+                let _ = write_response(
+                    stream,
+                    405,
+                    "Method Not Allowed",
+                    "text/plain",
+                    "GET only\n",
+                );
+            }
+            None => {
+                let _ = write_response(stream, 400, "Bad Request", "text/plain", "bad request\n");
+            }
+        },
+        Err(status) => {
+            let (reason, body) = match status {
+                408 => ("Request Timeout", "read deadline exceeded\n"),
+                _ => ("Bad Request", "request too large\n"),
+            };
+            let _ = write_response(stream, status, reason, "text/plain", body);
+        }
+    }
+}
+
+/// Reads until the end of the request head (`\r\n\r\n`), the byte cap,
+/// or the read deadline. Returns the head text or an HTTP status.
+fn read_request_head(stream: &mut TcpStream, max_bytes: usize) -> Result<String, u16> {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if head_complete(&buf) {
+            break;
+        }
+        if buf.len() >= max_bytes {
+            return Err(400);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // client closed; maybe a bare request line
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(408)
+            }
+            Err(_) => return Err(400),
+        }
+    }
+    String::from_utf8(buf).map_err(|_| 400)
+}
+
+fn head_complete(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+}
+
+/// `GET /path HTTP/1.1` → `("GET", "/path")`.
+fn parse_request_line(head: &str) -> Option<(&str, &str)> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if !path.starts_with('/') {
+        return None;
+    }
+    // Ignore any query string: the API takes no parameters.
+    let path = path.split('?').next().unwrap_or(path);
+    Some((method, path))
+}
+
+fn route(
+    state: &AdminState,
+    started: Instant,
+    path: &str,
+) -> (u16, &'static str, &'static str, String) {
+    let ok = |ct: &'static str, body: String| (200, "OK", ct, body);
+    match path {
+        "/healthz" => ok("application/json", healthz_json(state, started)),
+        "/metrics" => ok("text/plain; version=0.0.4", state.metrics.render_prom()),
+        "/jobs" => ok("application/json", jobs_json(state)),
+        "/version" => ok("application/json", version_json()),
+        _ => match path.strip_prefix("/jobs/") {
+            Some(id) if !id.is_empty() && !id.contains('/') => match timeline_json(state, id) {
+                Some(body) => ok("application/json", body),
+                None => (
+                    404,
+                    "Not Found",
+                    "text/plain",
+                    format!("no events for job {id:?}\n"),
+                ),
+            },
+            _ => (404, "Not Found", "text/plain", "not found\n".to_string()),
+        },
+    }
+}
+
+fn healthz_json(state: &AdminState, started: Instant) -> String {
+    let (depth, oldest_mtime_ms) = state.spool.queue_snapshot();
+    let now_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut w = ObjectWriter::new();
+    w.field_str("status", "ok")
+        .field_u64("uptime_ms", started.elapsed().as_millis() as u64)
+        .field_u64("queue_depth", depth as u64)
+        .field_u64(
+            "spool_lag_ms",
+            oldest_mtime_ms.map_or(0, |m| now_ms.saturating_sub(m)),
+        );
+    w.finish()
+}
+
+fn jobs_json(state: &AdminState) -> String {
+    let events = crate::events::read_events(&state.spool.events_path());
+    let rows = job_table(&events).into_iter().map(|row| {
+        let mut w = ObjectWriter::new();
+        w.field_str("id", &row.id)
+            .field_str("state", row.state)
+            .field_u64("attempts", u64::from(row.attempts))
+            .field_u64("retries", u64::from(row.retries))
+            .field_u64("last_seq", row.last_seq)
+            .field_u64("last_ts_unix_ms", row.last_ts_unix_ms);
+        if let Some(c) = &row.cause {
+            w.field_str("cause", c);
+        }
+        if let Some(n) = row.iterations {
+            w.field_u64("iterations", n);
+        }
+        w.finish()
+    });
+    let mut w = ObjectWriter::new();
+    w.field_str("schema", "fascia-jobs/1")
+        .field_raw("jobs", &array_of(rows));
+    w.finish()
+}
+
+/// The job's timeline as the *verbatim* event-log lines, so the response
+/// body provably matches the `fascia-events/1` file. `None` = unknown id.
+fn timeline_json(state: &AdminState, id: &str) -> Option<String> {
+    let lines = raw_timeline(&state.spool.events_path(), id);
+    if lines.is_empty() {
+        return None;
+    }
+    let mut w = ObjectWriter::new();
+    w.field_str("schema", "fascia-job-timeline/1")
+        .field_str("job", id)
+        .field_raw("events", &array_of(lines));
+    w.finish().into()
+}
+
+fn version_json() -> String {
+    let mut w = ObjectWriter::new();
+    w.field_str("name", "fascia-svc")
+        .field_str("version", env!("CARGO_PKG_VERSION"));
+    if let Some(sha) = fascia_obs::detect_git_sha() {
+        w.field_str("git_sha", &sha);
+    }
+    w.finish()
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_parse_and_reject_garbage() {
+        assert_eq!(
+            parse_request_line("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"),
+            Some(("GET", "/healthz"))
+        );
+        assert_eq!(
+            parse_request_line("POST /jobs HTTP/1.1\r\n\r\n"),
+            Some(("POST", "/jobs"))
+        );
+        assert_eq!(
+            parse_request_line("GET /jobs?limit=5 HTTP/1.1\r\n\r\n"),
+            Some(("GET", "/jobs"))
+        );
+        assert_eq!(parse_request_line("GET\r\n\r\n"), None);
+        assert_eq!(parse_request_line("GET relative HTTP/1.1\r\n\r\n"), None);
+        assert_eq!(parse_request_line(""), None);
+    }
+
+    #[test]
+    fn head_detection_handles_both_line_endings() {
+        assert!(head_complete(b"GET / HTTP/1.1\r\n\r\n"));
+        assert!(head_complete(b"GET / HTTP/1.1\n\n"));
+        assert!(!head_complete(b"GET / HTTP/1.1\r\n"));
+    }
+}

@@ -188,6 +188,61 @@ mod tests {
         assert!(dl.expired(&clock));
     }
 
+    /// Satellite regression test (ISSUE 9): event-log ordering survives a
+    /// backdated wall clock. The supervisor and the event log share one
+    /// [`Clock`] handle, so the wall time stamped into events is whatever
+    /// that clock says — but replay order is defined by `seq`, which is
+    /// stamped at append time and strictly increases no matter how the
+    /// wall clock steps. A log whose timestamps run backwards mid-stream
+    /// still replays in exactly the emission order.
+    #[test]
+    fn backdated_wall_clock_cannot_reorder_the_event_log() {
+        use fascia_obs::{EventLog, JobEvent, JobEventKind};
+
+        let clock = TestClock::new();
+        let dir = std::env::temp_dir().join(format!("fascia-clock-events-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("events.jsonl");
+        let log = EventLog::open(&path).unwrap();
+
+        let kinds = [
+            JobEventKind::Submitted,
+            JobEventKind::Dequeued,
+            JobEventKind::AttemptStarted,
+            JobEventKind::Retried,
+            JobEventKind::Completed,
+        ];
+        let mut seqs = Vec::new();
+        let mut stamps = Vec::new();
+        for (i, kind) in kinds.into_iter().enumerate() {
+            // Slam the wall clock two hours backwards mid-lifecycle.
+            if i == 2 {
+                clock.step_wall_ms(-2 * 3600 * 1000);
+            }
+            let ts = clock.wall_unix_ms();
+            stamps.push(ts);
+            seqs.push(
+                log.append(JobEvent::new(ts, "job-x", kind, i as u32))
+                    .unwrap(),
+            );
+            clock.advance(Duration::from_millis(5));
+        }
+
+        // The wall-clock labels really did go backwards...
+        assert!(stamps[2] < stamps[1], "the step must be visible in labels");
+        // ...but seq is strictly monotonic,
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        // ...and replay (seq order) reproduces the emission order exactly.
+        let replayed = crate::events::read_events(&path);
+        assert_eq!(replayed.len(), kinds.len());
+        for (i, (ev, kind)) in replayed.iter().zip(kinds).enumerate() {
+            assert_eq!(ev.kind, kind);
+            assert_eq!(ev.seq, seqs[i]);
+            assert_eq!(ev.ts_unix_ms, stamps[i]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn test_clock_sleep_advances_monotonic_time() {
         let clock = TestClock::new();

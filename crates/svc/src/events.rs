@@ -1,0 +1,257 @@
+//! Replay of the `fascia-events/1` job lifecycle log.
+//!
+//! The write half lives in [`fascia_obs::events`]; this module is the
+//! read half: parse the JSONL log back through the same depth-capped
+//! parser that guards checkpoint resume, rebuild per-job timelines, and
+//! aggregate the job table / retry causes / latency distributions that
+//! the admin endpoint and `fascia report` render.
+//!
+//! Ordering contract: everything here orders by `seq` (the per-process
+//! monotonic counter stamped at append time), never by `ts_unix_ms` —
+//! the wall clock is a label and may step backwards mid-log.
+
+use fascia_core::resilience::Json;
+use fascia_obs::{Histogram, JobEvent, JobEventKind, EVENTS_SCHEMA};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parses one event line. Returns `None` for blank, torn, or foreign
+/// lines — a crashed writer's final partial line must not poison replay.
+pub fn parse_event(line: &str) -> Option<JobEvent> {
+    let doc = Json::parse(line.trim()).ok()?;
+    let obj = doc.as_obj()?;
+    if Json::get(obj, "schema")?.as_str()? != EVENTS_SCHEMA {
+        return None;
+    }
+    let u = |k: &str| Json::get(obj, k).and_then(Json::as_u64);
+    let kind = JobEventKind::parse(Json::get(obj, "kind")?.as_str()?)?;
+    let mut ev = JobEvent::new(
+        u("ts_unix_ms")?,
+        Json::get(obj, "job")?.as_str()?,
+        kind,
+        u("attempt")? as u32,
+    );
+    ev.seq = u("seq")?;
+    ev.cause = Json::get(obj, "cause")
+        .and_then(Json::as_str)
+        .map(String::from);
+    ev.iterations = u("iterations");
+    ev.hb_seq = u("hb_seq");
+    Some(ev)
+}
+
+/// Reads and parses the whole log, in `seq` order. Missing file reads as
+/// empty (a service that never emitted an event has an empty timeline,
+/// not an error).
+pub fn read_events(path: &Path) -> Vec<JobEvent> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut events: Vec<JobEvent> = text.lines().filter_map(parse_event).collect();
+    events.sort_by_key(|e| e.seq);
+    events
+}
+
+/// Raw timeline of one job: the verbatim log lines (still valid JSON,
+/// byte-identical to the file) whose `job` field matches `id`, in file
+/// order. The admin `/jobs/<id>` endpoint serves exactly these, which is
+/// what makes "the timeline matches the log" checkable with `diff`.
+pub fn raw_timeline(path: &Path, id: &str) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter(|l| parse_event(l).is_some_and(|e| e.job == id))
+        .map(String::from)
+        .collect()
+}
+
+/// One row of the aggregated job table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRow {
+    /// Job id.
+    pub id: String,
+    /// Lifecycle state derived from the latest event: `queued`,
+    /// `running`, or a terminal `completed`/`partial`/`failed`.
+    pub state: &'static str,
+    /// Highest attempt index seen.
+    pub attempts: u32,
+    /// `retried` events counted.
+    pub retries: u32,
+    /// Sequence of the job's latest event.
+    pub last_seq: u64,
+    /// Timestamp label of the job's latest event.
+    pub last_ts_unix_ms: u64,
+    /// Cause attached to the latest event that carried one.
+    pub cause: Option<String>,
+    /// Iterations reported by the latest event that carried them.
+    pub iterations: Option<u64>,
+}
+
+/// Lifecycle state a kind leaves the job in.
+fn state_after(kind: JobEventKind) -> &'static str {
+    match kind {
+        JobEventKind::Submitted => "queued",
+        JobEventKind::Dequeued
+        | JobEventKind::AttemptStarted
+        | JobEventKind::HeartbeatObserved
+        | JobEventKind::Checkpointed
+        | JobEventKind::Retried => "running",
+        JobEventKind::Degraded => "partial",
+        JobEventKind::Completed => "completed",
+        JobEventKind::Failed => "failed",
+    }
+}
+
+/// Folds the event stream into one row per job, sorted by id.
+pub fn job_table(events: &[JobEvent]) -> Vec<JobRow> {
+    let mut rows: BTreeMap<&str, JobRow> = BTreeMap::new();
+    for ev in events {
+        let row = rows.entry(&ev.job).or_insert_with(|| JobRow {
+            id: ev.job.clone(),
+            state: "queued",
+            attempts: 0,
+            retries: 0,
+            last_seq: 0,
+            last_ts_unix_ms: 0,
+            cause: None,
+            iterations: None,
+        });
+        row.state = state_after(ev.kind);
+        row.attempts = row.attempts.max(ev.attempt);
+        if ev.kind == JobEventKind::Retried {
+            row.retries += 1;
+        }
+        row.last_seq = ev.seq;
+        row.last_ts_unix_ms = ev.ts_unix_ms;
+        if let Some(c) = &ev.cause {
+            row.cause = Some(c.clone());
+        }
+        if let Some(n) = ev.iterations {
+            row.iterations = Some(n);
+        }
+    }
+    rows.into_values().collect()
+}
+
+/// Retry causes across the log as `(cause, count)`, sorted by cause.
+pub fn retry_causes(events: &[JobEvent]) -> Vec<(String, u64)> {
+    let mut causes: BTreeMap<String, u64> = BTreeMap::new();
+    for ev in events {
+        if ev.kind == JobEventKind::Retried {
+            let cause = ev.cause.clone().unwrap_or_else(|| "unknown".to_string());
+            *causes.entry(cause).or_insert(0) += 1;
+        }
+    }
+    causes.into_iter().collect()
+}
+
+/// Latency distributions recovered from the event stream: queue wait
+/// (submitted → dequeued) and end-to-end (submitted → terminal), in
+/// milliseconds of the wall-clock labels. Wall-clock steps can make a
+/// difference negative; those samples are clamped to zero rather than
+/// invented.
+pub fn latency_histograms(events: &[JobEvent]) -> (Histogram, Histogram) {
+    let queue_wait = Histogram::new();
+    let end_to_end = Histogram::new();
+    let mut submitted: BTreeMap<&str, u64> = BTreeMap::new();
+    for ev in events {
+        match ev.kind {
+            JobEventKind::Submitted => {
+                submitted.entry(&ev.job).or_insert(ev.ts_unix_ms);
+            }
+            JobEventKind::Dequeued => {
+                if let Some(&t0) = submitted.get(ev.job.as_str()) {
+                    queue_wait.record(ev.ts_unix_ms.saturating_sub(t0));
+                }
+            }
+            k if k.is_terminal() => {
+                if let Some(&t0) = submitted.get(ev.job.as_str()) {
+                    end_to_end.record(ev.ts_unix_ms.saturating_sub(t0));
+                }
+            }
+            _ => {}
+        }
+    }
+    (queue_wait, end_to_end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fascia_obs::EventLog;
+    use std::path::PathBuf;
+
+    fn tmp_log(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "fascia-svc-events-{tag}-{}/events.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn events_roundtrip_through_the_depth_capped_parser() {
+        let ev = JobEvent::new(1234, "job-7", JobEventKind::Retried, 2)
+            .cause("worker-dead")
+            .iterations(17)
+            .hb_seq(42);
+        let mut back = parse_event(&ev.to_json()).unwrap();
+        back.seq = ev.seq;
+        assert_eq!(back, ev);
+        // Torn / foreign / blank lines read as nothing.
+        assert!(parse_event("").is_none());
+        assert!(parse_event("{\"schema\":\"fascia-events/1\",\"seq\":9").is_none());
+        assert!(parse_event("{\"schema\":\"fascia-job/1\",\"id\":\"x\"}").is_none());
+    }
+
+    #[test]
+    fn job_table_folds_lifecycle_and_orders_by_seq_not_ts() {
+        let path = tmp_log("table");
+        let _ = std::fs::remove_file(&path);
+        let log = EventLog::open(&path).unwrap();
+        // Timestamps go *backwards* mid-stream (NTP step); seq rules.
+        let seq = [
+            JobEvent::new(5000, "a", JobEventKind::Submitted, 0),
+            JobEvent::new(5001, "a", JobEventKind::Dequeued, 0),
+            JobEvent::new(5002, "a", JobEventKind::AttemptStarted, 1),
+            JobEvent::new(100, "a", JobEventKind::Retried, 1).cause("worker-panic"),
+            JobEvent::new(101, "a", JobEventKind::AttemptStarted, 2),
+            JobEvent::new(102, "a", JobEventKind::Completed, 2).iterations(8),
+            JobEvent::new(103, "b", JobEventKind::Submitted, 0),
+        ];
+        for ev in seq {
+            log.append(ev).unwrap();
+        }
+        let events = read_events(&path);
+        assert_eq!(events.len(), 7);
+        let rows = job_table(&events);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].id, "a");
+        assert_eq!(rows[0].state, "completed");
+        assert_eq!(rows[0].attempts, 2);
+        assert_eq!(rows[0].retries, 1);
+        assert_eq!(rows[0].iterations, Some(8));
+        assert_eq!(rows[1].id, "b");
+        assert_eq!(rows[1].state, "queued");
+        assert_eq!(retry_causes(&events), vec![("worker-panic".to_string(), 1)]);
+        let timeline = raw_timeline(&path, "b");
+        assert_eq!(timeline.len(), 1);
+        assert!(timeline[0].contains("\"job\":\"b\""));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn latency_histograms_clamp_backdated_clocks() {
+        let events = [
+            JobEvent::new(1000, "a", JobEventKind::Submitted, 0),
+            JobEvent::new(1500, "a", JobEventKind::Dequeued, 0),
+            // Wall clock stepped back before the terminal event.
+            JobEvent::new(200, "a", JobEventKind::Completed, 1),
+        ];
+        let (queue_wait, e2e) = latency_histograms(&events);
+        assert_eq!(queue_wait.count(), 1);
+        assert_eq!(queue_wait.max(), Some(500));
+        assert_eq!(e2e.count(), 1);
+        assert_eq!(e2e.max(), Some(0), "negative deltas clamp to zero");
+    }
+}

@@ -22,13 +22,16 @@
 //! fired-event log lands in `<spool>/chaos.events` so any failing seed
 //! replays byte-for-byte.
 
+pub mod admin;
 pub mod backoff;
 pub mod clock;
+pub mod events;
 pub mod job;
 pub mod pool;
 pub mod spool;
 pub mod supervisor;
 
+pub use admin::{AdminConfig, AdminServer, AdminState};
 pub use backoff::BackoffPolicy;
 pub use clock::{Clock, JobDeadline, MonotonicClock, TestClock};
 pub use job::{JobError, JobReport, JobSpec, JobStatus, JOB_SCHEMA, RESULT_SCHEMA};
@@ -39,9 +42,11 @@ pub use supervisor::{Supervisor, SupervisorConfig};
 use fascia_core::chaos::{Chaos, ChaosRun, ChaosSpec, IoSite};
 use fascia_core::resilience::atomic_write;
 use fascia_obs::json::ObjectWriter;
+use fascia_obs::{EventLog, JobEvent, JobEventKind, Metrics};
+use std::collections::HashMap;
 use std::io::BufRead;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Service-level configuration.
@@ -116,6 +121,15 @@ pub struct Service {
     /// their own indices, so this is always run index 0 — deterministic.
     svc_run: Option<ChaosRun>,
     result_write_ops: std::sync::atomic::AtomicU64,
+    /// Live service metrics (queue gauges, terminal-state counters,
+    /// latency histograms); shared with the admin endpoint.
+    metrics: Arc<Metrics>,
+    /// The `fascia-events/1` lifecycle log under `<spool>/events/`.
+    events: EventLog,
+    /// First-sighting wall-clock label per job id — the queue-wait
+    /// anchor, and the guard that emits `submitted` exactly once per
+    /// process.
+    submitted_at: Mutex<HashMap<String, u64>>,
 }
 
 impl Service {
@@ -127,6 +141,30 @@ impl Service {
         let chaos = cfg.chaos.clone().map(|s| Arc::new(Chaos::new(s)));
         let svc_run = chaos.as_ref().map(|c| c.begin_run());
         let pool = GraphPool::new(svc_run.clone());
+        let events = EventLog::open(spool.events_path())?;
+        let metrics = Arc::new(Metrics::new());
+        // Register the service series up front so a scrape before the
+        // first job already sees every gauge/counter/histogram name.
+        for name in ["svc.queue.depth", "svc.oldest_job.age_ms"] {
+            metrics.gauge(name);
+        }
+        for name in [
+            "svc.jobs.completed",
+            "svc.jobs.partial",
+            "svc.jobs.failed",
+            "svc.jobs.skipped",
+            "svc.attempts.total",
+            "svc.events.write_failures",
+        ] {
+            metrics.counter(name);
+        }
+        for name in [
+            "svc.queue.wait_ms",
+            "svc.attempt.duration_ms",
+            "svc.job.e2e_ms",
+        ] {
+            metrics.histogram(name);
+        }
         let mut svc = Self {
             spool,
             pool,
@@ -134,6 +172,9 @@ impl Service {
             chaos,
             svc_run,
             result_write_ops: std::sync::atomic::AtomicU64::new(0),
+            metrics,
+            events,
+            submitted_at: Mutex::new(HashMap::new()),
         };
         svc.cfg.scan_interval = svc.cfg.scan_interval.max(Duration::from_millis(10));
         let _ = tmp_swept; // recorded in run()'s summary
@@ -145,11 +186,57 @@ impl Service {
         &self.spool
     }
 
+    /// The live metrics registry (shared with the admin endpoint).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The lifecycle event log.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Appends a lifecycle event; write failures only bump a counter
+    /// (telemetry must never wedge the queue).
+    fn emit(&self, ev: JobEvent) {
+        if self.events.append(ev).is_err() {
+            self.metrics.counter("svc.events.write_failures").inc();
+        }
+    }
+
+    /// Records the job's first sighting (ingest or spool scan): emits
+    /// `submitted` once per id per process and anchors its queue wait.
+    fn note_submitted(&self, clock: &dyn Clock, id: &str) -> u64 {
+        let mut map = self.submitted_at.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(&at) = map.get(id) {
+            return at;
+        }
+        let now = clock.wall_unix_ms();
+        map.insert(id.to_string(), now);
+        drop(map);
+        self.emit(JobEvent::new(now, id, JobEventKind::Submitted, 0));
+        now
+    }
+
+    /// Refreshes the queue gauges from a spool snapshot.
+    fn update_queue_gauges(&self, clock: &dyn Clock) {
+        let (depth, oldest_ms) = self.spool.queue_snapshot();
+        self.metrics.gauge("svc.queue.depth").set(depth as u64);
+        let age = oldest_ms.map_or(0, |m| clock.wall_unix_ms().saturating_sub(m));
+        self.metrics.gauge("svc.oldest_job.age_ms").set(age);
+    }
+
     /// Ingests a JSONL job stream (one `fascia-job/1` object per line)
     /// into the spool. Returns `(accepted, rejected)`; rejected lines
     /// are reported on stderr and dropped — a malformed submission must
-    /// not wedge the queue.
-    pub fn ingest_jsonl(&self, reader: impl BufRead) -> std::io::Result<(usize, usize)> {
+    /// not wedge the queue. Each accepted job gets a `submitted` event
+    /// timestamped by `clock` (the same handle that stamps the rest of
+    /// its lifecycle).
+    pub fn ingest_jsonl(
+        &self,
+        clock: &dyn Clock,
+        reader: impl BufRead,
+    ) -> std::io::Result<(usize, usize)> {
         let (mut accepted, mut rejected) = (0, 0);
         for line in reader.lines() {
             let line = line?;
@@ -159,6 +246,7 @@ impl Service {
             match JobSpec::from_json(&line) {
                 Ok(spec) => {
                     self.spool.submit(&spec.id, &spec.to_json())?;
+                    self.note_submitted(clock, &spec.id);
                     accepted += 1;
                 }
                 Err(e) => {
@@ -185,9 +273,12 @@ impl Service {
             clock,
             cfg: &self.cfg.supervisor,
             chaos: self.chaos.clone(),
+            events: Some(&self.events),
+            metrics: Some(&self.metrics),
         };
         let stopped = || stop.is_some_and(|s| s.load(Ordering::Relaxed));
         loop {
+            self.update_queue_gauges(clock);
             let pending = self.spool.pending_jobs().unwrap_or_default();
             let mut ran_any = false;
             for path in pending {
@@ -195,21 +286,32 @@ impl Service {
                     break;
                 }
                 summary.jobs_seen += 1;
-                let report = match self.job_from_file(&path) {
-                    Ok(spec) => {
-                        if self.spool.has_result(&spec.id) {
-                            summary.skipped += 1;
-                            continue;
-                        }
-                        ran_any = true;
-                        sup.run_job(&spec)
-                    }
+                let parsed = self.job_from_file(&path);
+                let id = match &parsed {
+                    Ok(spec) => spec.id.clone(),
+                    Err((id, _)) => id.clone(),
+                };
+                if self.spool.has_result(&id) {
+                    summary.skipped += 1;
+                    self.metrics.counter("svc.jobs.skipped").inc();
+                    continue;
+                }
+                ran_any = true;
+                let submitted_ms = self.note_submitted(clock, &id);
+                let now = clock.wall_unix_ms();
+                self.emit(JobEvent::new(now, &id, JobEventKind::Dequeued, 0));
+                self.metrics
+                    .histogram("svc.queue.wait_ms")
+                    .record(now.saturating_sub(submitted_ms));
+                let report = match parsed {
+                    Ok(spec) => sup.run_job(&spec),
                     Err((id, e)) => {
-                        if self.spool.has_result(&id) {
-                            summary.skipped += 1;
-                            continue;
-                        }
-                        ran_any = true;
+                        // The supervisor never ran, so the terminal
+                        // `failed` event is emitted here.
+                        self.emit(
+                            JobEvent::new(clock.wall_unix_ms(), &id, JobEventKind::Failed, 0)
+                                .cause(e.kind()),
+                        );
                         JobReport {
                             id,
                             status: JobStatus::Failed,
@@ -224,11 +326,26 @@ impl Service {
                     }
                 };
                 summary.attempts += u64::from(report.attempts);
+                self.metrics
+                    .counter("svc.attempts.total")
+                    .add(u64::from(report.attempts));
                 match report.status {
-                    JobStatus::Completed => summary.completed += 1,
-                    JobStatus::Partial => summary.partial += 1,
-                    JobStatus::Failed => summary.failed += 1,
+                    JobStatus::Completed => {
+                        summary.completed += 1;
+                        self.metrics.counter("svc.jobs.completed").inc();
+                    }
+                    JobStatus::Partial => {
+                        summary.partial += 1;
+                        self.metrics.counter("svc.jobs.partial").inc();
+                    }
+                    JobStatus::Failed => {
+                        summary.failed += 1;
+                        self.metrics.counter("svc.jobs.failed").inc();
+                    }
                 }
+                self.metrics
+                    .histogram("svc.job.e2e_ms")
+                    .record(report.elapsed_ms);
                 if self.write_result(clock, &report).is_err() {
                     summary.result_write_failures += 1;
                     eprintln!(
@@ -236,6 +353,7 @@ impl Service {
                         report.id
                     );
                 }
+                self.update_queue_gauges(clock);
             }
             self.dump_chaos_events();
             if self.cfg.once || stopped() {
@@ -245,6 +363,7 @@ impl Service {
                 clock.sleep(self.cfg.scan_interval);
             }
         }
+        self.update_queue_gauges(clock);
         if let Some(c) = &self.chaos {
             summary.chaos_events = c.events().len();
         }

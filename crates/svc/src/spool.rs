@@ -35,7 +35,7 @@ impl Spool {
     /// Opens (creating as needed) the spool at `root`.
     pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
         let root = root.into();
-        for sub in ["jobs", "results", "ckpt", "hb"] {
+        for sub in ["jobs", "results", "ckpt", "hb", "events"] {
             std::fs::create_dir_all(root.join(sub))?;
         }
         Ok(Self { root })
@@ -138,11 +138,43 @@ impl Spool {
         let _ = std::fs::remove_file(self.hb_path(id));
     }
 
+    /// The job lifecycle event log (`fascia-events/1` JSONL).
+    pub fn events_path(&self) -> PathBuf {
+        self.root.join("events").join("events.jsonl")
+    }
+
+    /// Queue snapshot for gauges and `/healthz`: how many jobs still
+    /// wait for a terminal result, and the oldest such job file's mtime
+    /// in unix milliseconds (the spool-lag anchor).
+    pub fn queue_snapshot(&self) -> (usize, Option<u64>) {
+        let mut depth = 0;
+        let mut oldest: Option<u64> = None;
+        for path in self.pending_jobs().unwrap_or_default() {
+            let id = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if self.has_result(&id) {
+                continue;
+            }
+            depth += 1;
+            let mtime_ms = std::fs::metadata(&path)
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+                .map(|d| d.as_millis() as u64);
+            if let Some(ms) = mtime_ms {
+                oldest = Some(oldest.map_or(ms, |o| o.min(ms)));
+            }
+        }
+        (depth, oldest)
+    }
+
     /// Sweeps `.tmp` staging files left by a killed writer. Returns how
     /// many were removed. Call at service start, before any job runs.
     pub fn sweep_tmp(&self) -> usize {
         let mut removed = 0;
-        for sub in ["jobs", "results", "ckpt", "hb"] {
+        for sub in ["jobs", "results", "ckpt", "hb", "events"] {
             let Ok(dir) = std::fs::read_dir(self.root.join(sub)) else {
                 continue;
             };
@@ -222,14 +254,33 @@ mod tests {
     }
 
     #[test]
-    fn sweep_removes_only_tmp_files() {
+    fn sweep_removes_only_tmp_files_including_events_dir() {
         let spool = Spool::open(tmp_root("sweep")).unwrap();
         std::fs::write(spool.root().join("ckpt/x.ckpt.tmp"), "half").unwrap();
         std::fs::write(spool.root().join("results/y.json.tmp"), "half").unwrap();
+        // Regression (ISSUE 9 satellite): a stale staging file in the
+        // events dir is swept under the same contract, while the event
+        // log itself survives.
+        std::fs::write(spool.root().join("events/events.jsonl.tmp"), "half").unwrap();
+        std::fs::write(spool.events_path(), "{}\n").unwrap();
         spool.submit("keep", "{}").unwrap();
-        assert_eq!(spool.sweep_tmp(), 2);
+        assert_eq!(spool.sweep_tmp(), 3);
+        assert!(spool.events_path().exists(), "the log is not staging");
         assert_eq!(spool.pending_jobs().unwrap().len(), 1);
         assert_eq!(spool.sweep_tmp(), 0);
+        let _ = std::fs::remove_dir_all(spool.root());
+    }
+
+    #[test]
+    fn queue_snapshot_counts_only_unresolved_jobs() {
+        let spool = Spool::open(tmp_root("snapshot")).unwrap();
+        assert_eq!(spool.queue_snapshot(), (0, None));
+        spool.submit("done", "{}").unwrap();
+        spool.submit("waiting", "{}").unwrap();
+        spool.write_result("done", "{}").unwrap();
+        let (depth, oldest) = spool.queue_snapshot();
+        assert_eq!(depth, 1);
+        assert!(oldest.is_some(), "pending job carries its mtime");
         let _ = std::fs::remove_dir_all(spool.root());
     }
 }

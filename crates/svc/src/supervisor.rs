@@ -37,6 +37,7 @@ use fascia_core::engine::{count_template, CountConfig, CountError, CountResult};
 use fascia_core::progress::{Progress, ProgressConfig};
 use fascia_core::resilience::{CancelToken, Checkpoint, CheckpointConfig, Json};
 use fascia_core::stats::{EstimateStats, StopRule};
+use fascia_obs::{EventLog, JobEvent, JobEventKind, Metrics};
 use fascia_template::{NamedTemplate, Template};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -88,8 +89,9 @@ impl HeartbeatWatch {
     /// Feeds one reading (`None` = heartbeat file absent/unreadable).
     /// Any change — seq advance, writer pid change, file appearing —
     /// counts as life. A *stale-sequence* reading (same pid, same or
-    /// lower seq) does not.
-    pub fn observe(&mut self, reading: Option<(u64, u64)>, now: Instant) {
+    /// lower seq) does not. Returns whether the reading counted as life
+    /// (the event log records the attempt's first one).
+    pub fn observe(&mut self, reading: Option<(u64, u64)>, now: Instant) -> bool {
         let advanced = match (self.last, reading) {
             (_, None) => false,
             (None, Some(_)) => true,
@@ -99,6 +101,7 @@ impl HeartbeatWatch {
             self.last = reading;
             self.changed_at = now;
         }
+        advanced
     }
 
     /// Monotonic time since the last sign of life.
@@ -157,16 +160,41 @@ pub struct Supervisor<'a> {
     pub spool: &'a Spool,
     /// Shared resident graphs.
     pub pool: &'a GraphPool,
-    /// Monotonic time source (tests inject a double).
+    /// Monotonic time source (tests inject a double). Also the *only*
+    /// source of the wall-clock labels stamped into events — one clock
+    /// handle end to end, so tests and chaos replays get deterministic
+    /// timestamps.
     pub clock: &'a dyn Clock,
     /// Supervision knobs.
     pub cfg: &'a SupervisorConfig,
     /// Chaos schedule handed to every engine run (each claims its own
     /// run index).
     pub chaos: Option<Arc<Chaos>>,
+    /// Lifecycle event log (`fascia-events/1`); absent in bare tests.
+    pub events: Option<&'a EventLog>,
+    /// Service metrics registry (attempt-duration histogram, event-write
+    /// failure counter); absent in bare tests.
+    pub metrics: Option<&'a Metrics>,
 }
 
 impl Supervisor<'_> {
+    /// Appends a lifecycle event (when a log is attached). Telemetry must
+    /// never fail a job: write errors only bump a counter.
+    fn emit(&self, ev: JobEvent) {
+        if let Some(log) = self.events {
+            if log.append(ev).is_err() {
+                if let Some(m) = self.metrics {
+                    m.counter("svc.events.write_failures").inc();
+                }
+            }
+        }
+    }
+
+    /// A bare event stamped with the supervisor's clock.
+    fn event(&self, job: &str, kind: JobEventKind, attempt: u32) -> JobEvent {
+        JobEvent::new(self.clock.wall_unix_ms(), job, kind, attempt)
+    }
+
     /// Drives `spec` to a terminal state and returns its report. Never
     /// panics and never blocks forever: every wait is bounded by the
     /// poll interval, the stall timeout, or the job deadline.
@@ -204,7 +232,14 @@ impl Supervisor<'_> {
                 }
             }
             attempts += 1;
+            self.emit(self.event(&spec.id, JobEventKind::AttemptStarted, attempts));
+            let attempt_t0 = self.clock.monotonic();
             let verdict = self.attempt(spec, &template, attempts, deadline.as_ref());
+            if let Some(m) = self.metrics {
+                let took = self.clock.monotonic().saturating_duration_since(attempt_t0);
+                m.histogram("svc.attempt.duration_ms")
+                    .record(took.as_millis() as u64);
+            }
             let err = match verdict {
                 Attempt::Finished(Ok(res)) => {
                     return self.report_result(spec, attempts, &res, elapsed_ms(self.clock));
@@ -259,6 +294,18 @@ impl Supervisor<'_> {
             // Transient: wait out the backoff (never past the deadline)
             // and go again. The next attempt resumes from the best
             // checkpoint any attempt managed to flush.
+            if let Some((_, n)) = self.spool.best_checkpoint(&spec.id) {
+                if n > 0 {
+                    self.emit(
+                        self.event(&spec.id, JobEventKind::Checkpointed, attempts)
+                            .iterations(n as u64),
+                    );
+                }
+            }
+            self.emit(
+                self.event(&spec.id, JobEventKind::Retried, attempts)
+                    .cause(err.kind()),
+            );
             let mut wait = self.cfg.backoff.delay(salt, attempts);
             if let Some(d) = &deadline {
                 wait = wait.min(d.remaining(self.clock));
@@ -331,6 +378,10 @@ impl Supervisor<'_> {
         };
 
         let mut watch = HeartbeatWatch::new(self.clock.monotonic());
+        // One heartbeat-observed event per attempt (the first sign of
+        // life) keeps the log's volume proportional to attempts, not to
+        // poll frequency.
+        let mut hb_reported = false;
         loop {
             match rx.recv_timeout(self.cfg.poll) {
                 Ok(res) => {
@@ -346,7 +397,16 @@ impl Supervisor<'_> {
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     let now = self.clock.monotonic();
-                    watch.observe(read_heartbeat(&hb_path), now);
+                    let alive = watch.observe(read_heartbeat(&hb_path), now);
+                    if alive && !hb_reported {
+                        hb_reported = true;
+                        let mut ev =
+                            self.event(&spec.id, JobEventKind::HeartbeatObserved, attempt_no);
+                        if let Some((_, seq)) = watch.last {
+                            ev = ev.hb_seq(seq);
+                        }
+                        self.emit(ev);
+                    }
                     if watch.stale_for(now) >= self.cfg.stall_timeout {
                         // Stale sequence ⇒ dead worker. Cancel, grant a
                         // grace period, then detach rather than hang.
@@ -376,6 +436,16 @@ impl Supervisor<'_> {
     ) -> JobReport {
         let partial = res.stop_cause.is_partial();
         self.spool.cleanup_job(&spec.id);
+        let kind = if partial {
+            JobEventKind::Degraded
+        } else {
+            JobEventKind::Completed
+        };
+        self.emit(
+            self.event(&spec.id, kind, attempts)
+                .cause(res.stop_cause.name())
+                .iterations(res.iterations_run as u64),
+        );
         JobReport {
             id: spec.id.clone(),
             status: if partial {
@@ -408,6 +478,15 @@ impl Supervisor<'_> {
             Some((ck, n)) if n > 0 => {
                 let stats = EstimateStats::from_series(&ck.per_iteration);
                 self.spool.cleanup_job(&spec.id);
+                self.emit(
+                    self.event(&spec.id, JobEventKind::Checkpointed, attempts)
+                        .iterations(n as u64),
+                );
+                self.emit(
+                    self.event(&spec.id, JobEventKind::Degraded, attempts)
+                        .cause(stop_cause)
+                        .iterations(n as u64),
+                );
                 JobReport {
                     id: spec.id.clone(),
                     status: JobStatus::Partial,
@@ -426,6 +505,10 @@ impl Supervisor<'_> {
 
     fn failed(&self, spec: &JobSpec, attempts: u32, err: JobError, elapsed_ms: u64) -> JobReport {
         self.spool.cleanup_job(&spec.id);
+        self.emit(
+            self.event(&spec.id, JobEventKind::Failed, attempts)
+                .cause(err.kind()),
+        );
         JobReport {
             id: spec.id.clone(),
             status: JobStatus::Failed,

@@ -1,0 +1,108 @@
+//! Golden-file test for the `fascia-events/1` lifecycle log.
+//!
+//! The event log is a durable schema consumed by the admin endpoint,
+//! `fascia report`, and external tooling, so its exact line shape —
+//! field order, optional-field omission, string escaping — is a
+//! compatibility surface pinned here. A deterministic lifecycle is
+//! written through the real [`fascia_obs::EventLog`] (fixed timestamps
+//! from a [`fascia_svc::TestClock`]-style script, seq stamped by the
+//! log) and compared byte-for-byte. Regenerate with
+//! `BLESS=1 cargo test -p fascia-svc --test events_golden` after an
+//! intentional schema change.
+//!
+//! The round-trip test is the CI gate's contract: every golden line must
+//! parse through the same depth-capped JSON parser that guards
+//! checkpoint resume, and re-render byte-identically.
+
+use fascia_obs::{EventLog, JobEvent, JobEventKind};
+use fascia_svc::events::parse_event;
+use fascia_svc::{Clock, TestClock};
+use std::path::PathBuf;
+
+/// A scripted two-job lifecycle covering every event kind and every
+/// optional field, with a wall-clock step backwards mid-stream.
+fn build_log(path: &PathBuf) -> EventLog {
+    let _ = std::fs::remove_file(path);
+    let clock = TestClock::new();
+    let log = EventLog::open(path).unwrap();
+    let emit = |job: &str, kind: JobEventKind, attempt: u32, f: &dyn Fn(JobEvent) -> JobEvent| {
+        let ev = JobEvent::new(clock.wall_unix_ms(), job, kind, attempt);
+        log.append(f(ev)).unwrap();
+        clock.advance(std::time::Duration::from_millis(7));
+    };
+    let id = |ev: JobEvent| ev;
+    emit("job-a", JobEventKind::Submitted, 0, &id);
+    emit("job-b", JobEventKind::Submitted, 0, &id);
+    emit("job-a", JobEventKind::Dequeued, 0, &id);
+    emit("job-a", JobEventKind::AttemptStarted, 1, &id);
+    emit("job-a", JobEventKind::HeartbeatObserved, 1, &|ev| {
+        ev.hb_seq(3)
+    });
+    emit("job-a", JobEventKind::Checkpointed, 1, &|ev| {
+        ev.iterations(5)
+    });
+    emit("job-a", JobEventKind::Retried, 1, &|ev| {
+        ev.cause("worker-panic")
+    });
+    // The wall clock steps 1h backwards mid-lifecycle; seq keeps order.
+    clock.step_wall_ms(-3_600_000);
+    emit("job-a", JobEventKind::AttemptStarted, 2, &id);
+    emit("job-a", JobEventKind::Completed, 2, &|ev| {
+        ev.cause("completed").iterations(8)
+    });
+    emit("job-b", JobEventKind::Dequeued, 0, &id);
+    emit("job-b", JobEventKind::AttemptStarted, 1, &id);
+    emit("job-b", JobEventKind::Degraded, 1, &|ev| {
+        ev.cause("deadline").iterations(2)
+    });
+    log
+}
+
+fn written_log() -> String {
+    let path = std::env::temp_dir().join(format!(
+        "fascia-events-golden-{}/events.jsonl",
+        std::process::id()
+    ));
+    build_log(&path);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    text
+}
+
+#[test]
+fn event_log_matches_golden_file() {
+    let written = written_log();
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/events.jsonl");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(golden_path).parent().unwrap())
+            .expect("golden dir");
+        std::fs::write(golden_path, &written).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("golden file exists");
+    assert_eq!(
+        written, golden,
+        "fascia-events/1 line shape drifted from the golden file; \
+         if intentional, re-bless with BLESS=1"
+    );
+}
+
+#[test]
+fn golden_lines_roundtrip_through_the_depth_capped_parser() {
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/events.jsonl"
+    ))
+    .expect("golden file exists");
+    let mut last_seq = None;
+    for line in golden.lines() {
+        let ev = parse_event(line).expect("every golden line parses");
+        // Re-rendering the parsed event reproduces the line byte-for-byte
+        // (stable field order, optional fields omitted when absent).
+        assert_eq!(ev.to_json(), line, "round-trip must be lossless");
+        // seq strictly increases in file order.
+        assert!(last_seq.is_none_or(|s| ev.seq > s), "seq order broken");
+        last_seq = Some(ev.seq);
+    }
+    assert_eq!(golden.lines().count(), 12, "the scripted lifecycle");
+}

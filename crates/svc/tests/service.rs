@@ -68,7 +68,7 @@ fn clean_job_completes_end_to_end() {
     let mut spec = JobSpec::new("clean-1", &graph.to_string_lossy(), "path4");
     spec.iterations = 8;
     let line = spec.to_json();
-    let (accepted, rejected) = svc.ingest_jsonl(line.as_bytes()).unwrap();
+    let (accepted, rejected) = svc.ingest_jsonl(&MonotonicClock, line.as_bytes()).unwrap();
     assert_eq!((accepted, rejected), (1, 0));
 
     let summary = svc.run(&MonotonicClock, None);

@@ -37,6 +37,14 @@ cargo test -q --offline -p fascia-cli --test cli -- \
   trace_does_not_change_the_estimate
 cargo test -q --offline -p fascia-obs --test prom_golden --test stress
 
+# Telemetry-plane gate: the fascia-events/1 golden file must round-trip
+# through the depth-capped parser, and the admin endpoint must survive
+# its hardening suite (oversized lines, slow-loris, concurrent scrapes
+# during a chaos soak with byte-identical replay).
+echo "=== event-log & admin-endpoint gates ==="
+cargo test -q --offline -p fascia-svc --test events_golden --test admin
+cargo test -q --offline -p fascia-cli --test admin_e2e
+
 # Performance gates: the fascia-perf/1 schema and Mann–Whitney compare
 # rules, profiler result-identity invariants, and a 1-rep smoke of the
 # pinned suite against the checked-in baseline. A single rep cannot
@@ -72,7 +80,13 @@ echo "=== kernel speedup gate ==="
 echo "=== mem-stats & report gate ==="
 cargo build -q -p fascia-cli --offline
 MEMDIR=$(mktemp -d)
-trap 'rm -rf "$MEMDIR"' EXIT
+ADMINDIR=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$MEMDIR" "$ADMINDIR"
+}
+trap cleanup EXIT
 ./target/debug/fascia count circuit U5-2 --iters 2 --seed 1 \
   --parallel serial --metrics json --mem-stats \
   --mem-out "$MEMDIR/mem.json" --heartbeat "$MEMDIR/hb.json" \
@@ -84,6 +98,39 @@ grep '"schema":"fascia-obs/1"' "$MEMDIR/stdout.txt" > "$MEMDIR/metrics.json"
 grep -q '^## Allocator' "$MEMDIR/report.txt"
 grep -q '^## DP tables' "$MEMDIR/report.txt"
 grep -q '<!doctype html>' "$MEMDIR/report.html"
+
+# Live-admin gate: a real `fascia serve` daemon with the opt-in admin
+# plane on an ephemeral port, scraped with curl exactly as an operator
+# would. Asserts the liveness answer, the Prometheus service series, the
+# job table, and that every line the daemon wrote to the events log is a
+# fascia-events/1 record.
+echo "=== live admin-endpoint gate ==="
+printf '{"schema":"fascia-job/1","id":"ci-admin","graph":"circuit","template":"path4","iterations":4,"seed":11}\n' \
+  > "$ADMINDIR/job.jsonl"
+./target/debug/fascia serve --spool "$ADMINDIR/spool" --scan-ms 50 \
+  --admin-addr 127.0.0.1:0 --stdin < "$ADMINDIR/job.jsonl" \
+  > "$ADMINDIR/serve.out" 2> "$ADMINDIR/serve.err" &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+  [ -f "$ADMINDIR/spool/admin.addr" ] && break
+  sleep 0.1
+done
+ADMIN_ADDR=$(cat "$ADMINDIR/spool/admin.addr")
+curl -sf "http://$ADMIN_ADDR/healthz" | grep -q '"status":"ok"'
+for _ in $(seq 1 100); do
+  [ -f "$ADMINDIR/spool/results/ci-admin.json" ] && break
+  sleep 0.1
+done
+curl -sf "http://$ADMIN_ADDR/metrics" > "$ADMINDIR/metrics.prom"
+grep -q '^svc_queue_depth' "$ADMINDIR/metrics.prom"
+grep -q '^svc_jobs_completed 1' "$ADMINDIR/metrics.prom"
+curl -sf "http://$ADMIN_ADDR/jobs" | grep -q '"schema":"fascia-jobs/1"'
+curl -sf "http://$ADMIN_ADDR/jobs/ci-admin" | grep -q '"schema":"fascia-job-timeline/1"'
+! grep -qv '"schema":"fascia-events/1"' "$ADMINDIR/spool/events/events.jsonl"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+grep -q '"schema":"fascia-svc-report/1"' "$ADMINDIR/serve.out"
 
 # Chaos-smoke gate: a seeded soak of the resident service under injected
 # worker panics, IO faults, and DP stalls. The script asserts the whole
