@@ -496,6 +496,17 @@ pub struct Comparison {
     pub old_median_s: f64,
     /// Candidate median seconds (0 when [`Verdict::Removed`]).
     pub new_median_s: f64,
+    /// Baseline repetition count (0 when [`Verdict::Added`]). Cells with
+    /// fewer than 4 reps on either side skip the Mann–Whitney gate and
+    /// fall back to the ratio alone — the printed counts make that
+    /// fallback visible per row.
+    pub old_n: usize,
+    /// Candidate repetition count (0 when [`Verdict::Removed`]).
+    pub new_n: usize,
+    /// Baseline median absolute deviation, seconds.
+    pub old_mad_s: f64,
+    /// Candidate median absolute deviation, seconds.
+    pub new_mad_s: f64,
     /// `new_median_s / old_median_s` (∞-safe: 0-second baselines yield 1).
     pub ratio: f64,
     /// One-sided Mann–Whitney p-value that new is slower, when both
@@ -525,6 +536,10 @@ pub fn compare(
                 name: name.clone(),
                 old_median_s: o.median_s(),
                 new_median_s: 0.0,
+                old_n: o.reps_s.len(),
+                new_n: 0,
+                old_mad_s: o.mad_s(),
+                new_mad_s: 0.0,
                 ratio: 1.0,
                 p_greater: None,
                 verdict: Verdict::Removed,
@@ -565,6 +580,10 @@ pub fn compare(
             name: name.clone(),
             old_median_s: old_med,
             new_median_s: new_med,
+            old_n: o.reps_s.len(),
+            new_n: n.reps_s.len(),
+            old_mad_s: o.mad_s(),
+            new_mad_s: n.mad_s(),
             ratio,
             p_greater,
             verdict,
@@ -576,6 +595,10 @@ pub fn compare(
                 name: name.clone(),
                 old_median_s: 0.0,
                 new_median_s: n.median_s(),
+                old_n: 0,
+                new_n: n.reps_s.len(),
+                old_mad_s: 0.0,
+                new_mad_s: n.mad_s(),
                 ratio: 1.0,
                 p_greater: None,
                 verdict: Verdict::Added,
@@ -591,14 +614,16 @@ pub fn any_regression(rows: &[Comparison]) -> bool {
     rows.iter().any(|r| r.verdict == Verdict::Regressed)
 }
 
-/// Renders a compare report as an aligned table.
+/// Renders a compare report as an aligned table. Each side prints its
+/// rep count and MAD next to the median, so a `p` of `-` is visibly a
+/// sub-4-rep ratio-only fallback rather than a passed statistical gate.
 pub fn render_comparisons(rows: &[Comparison]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<36} {:>12} {:>12} {:>8} {:>10}  verdict",
-        "benchmark", "old_ms", "new_ms", "ratio", "p"
+        "{:<36} {:>12} {:>5} {:>9} {:>12} {:>5} {:>9} {:>8} {:>10}  verdict",
+        "benchmark", "old_ms", "old_n", "old_mad", "new_ms", "new_n", "new_mad", "ratio", "p"
     );
     for r in rows {
         let p = r
@@ -606,10 +631,14 @@ pub fn render_comparisons(rows: &[Comparison]) -> String {
             .map_or_else(|| "-".to_string(), |p| format!("{p:.4}"));
         let _ = writeln!(
             out,
-            "{:<36} {:>12.3} {:>12.3} {:>8.3} {:>10}  {}",
+            "{:<36} {:>12.3} {:>5} {:>9.3} {:>12.3} {:>5} {:>9.3} {:>8.3} {:>10}  {}",
             r.name,
             r.old_median_s * 1e3,
+            r.old_n,
+            r.old_mad_s * 1e3,
             r.new_median_s * 1e3,
+            r.new_n,
+            r.new_mad_s * 1e3,
             r.ratio,
             p,
             r.verdict.name()

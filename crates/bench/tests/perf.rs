@@ -267,6 +267,18 @@ fn compare_small_samples_use_ratio_only() {
     assert_eq!(a.verdict, Verdict::Regressed);
     assert_eq!(a.p_greater, None);
     assert_eq!(b.verdict, Verdict::Similar);
+    // The rendered table exposes the fallback: per-cell rep counts and
+    // MAD columns show 1-rep cells whose `p` is `-` (ratio-only verdict).
+    assert_eq!((a.old_n, a.new_n), (1, 1));
+    assert_eq!((a.old_mad_s, a.new_mad_s), (0.0, 0.0));
+    let table = render_comparisons(&rows);
+    let header = table.lines().next().unwrap();
+    for col in ["old_n", "new_n", "old_mad", "new_mad"] {
+        assert!(header.contains(col), "missing {col} in {header:?}");
+    }
+    let row_a = table.lines().find(|l| l.starts_with("a ")).unwrap();
+    assert!(row_a.contains(" 1 "), "rep count visible in {row_a:?}");
+    assert!(row_a.ends_with("REGRESSED"));
 }
 
 #[test]

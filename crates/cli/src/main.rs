@@ -32,6 +32,7 @@ mod report;
 mod serve;
 
 use fascia_core::engine::{count_template, CountConfig, CountError};
+use fascia_core::est::EstCollector;
 use fascia_core::exact::count_exact;
 use fascia_core::gdd::{estimate_gdd, GddHistogram};
 use fascia_core::mem::MemCollector;
@@ -243,6 +244,10 @@ fn usage_text() -> String {
      \x20                      fascia-mem/1 document (own stdout line with --metrics json, summary\n\
      \x20                      on stderr otherwise); observe-only — counts are bitwise unchanged\n\
      \x20 --mem-out FILE       also write the fascia-mem/1 document to FILE (implies --mem-stats)\n\
+     \x20 --est-trace FILE     capture the estimator's convergence: a bounded per-iteration ledger\n\
+     \x20                      plus per-colorset / per-degree-class variance strata, written to FILE\n\
+     \x20                      as a fascia-est/1 document (also its own stdout line with --metrics\n\
+     \x20                      json); observe-only — counts are bitwise unchanged\n\
      Ctrl-C cancels cooperatively: the current wave is discarded, a final checkpoint is\n\
      written (with --checkpoint), and the partial estimate is reported.\n\
      exit codes: 0 ok, 1 runtime failure, 2 usage, 3 i/o or bad input file,\n\
@@ -351,6 +356,8 @@ struct ObsFlags {
     mem_stats: bool,
     /// Write the fascia-mem/1 document here after the run (atomically).
     mem_out: Option<PathBuf>,
+    /// Write the fascia-est/1 document here after the run (atomically).
+    est_trace: Option<PathBuf>,
     started_unix_ms: u64,
     t0: Instant,
 }
@@ -374,6 +381,7 @@ fn parse_flags(rest: &[String]) -> Result<(CountConfig, ObsFlags), CliError> {
     let mut progress_flag = false;
     let mut mem_stats = false;
     let mut mem_out: Option<PathBuf> = None;
+    let mut est_trace: Option<PathBuf> = None;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -515,6 +523,10 @@ fn parse_flags(rest: &[String]) -> Result<(CountConfig, ObsFlags), CliError> {
                 mem_stats = true;
                 i += 2;
             }
+            "--est-trace" => {
+                est_trace = Some(PathBuf::from(flag_value(rest, i, "--est-trace")?));
+                i += 2;
+            }
             other => {
                 return Err(CliError::Usage(format!("unknown flag '{other}'")));
             }
@@ -567,6 +579,12 @@ fn parse_flags(rest: &[String]) -> Result<(CountConfig, ObsFlags), CliError> {
         fascia_table::set_access_tracking(true);
         cfg.mem = Some(Arc::new(MemCollector::new()));
     }
+    // The estimator collector rides along whenever its file was requested
+    // or the run reports JSON metrics (the fascia-est/1 document is then
+    // embedded as its own stdout line next to fascia-obs/1).
+    if est_trace.is_some() || report == MetricsReport::Json {
+        cfg.est = Some(Arc::new(EstCollector::new()));
+    }
     if trace_path.is_some() || trace_buffer.is_some() {
         cfg.tracer = Some(Arc::new(match trace_buffer {
             Some(n) => Tracer::with_capacity(n),
@@ -613,6 +631,7 @@ fn parse_flags(rest: &[String]) -> Result<(CountConfig, ObsFlags), CliError> {
             profile_path,
             mem_stats,
             mem_out,
+            est_trace,
             started_unix_ms,
             t0: Instant::now(),
         },
@@ -694,6 +713,13 @@ fn emit_observability(obs: &ObsFlags, cfg: &CountConfig) -> Result<(), CliError>
     } else {
         None
     };
+    let est_doc = cfg.est.as_deref().map(|c| c.to_json());
+    if let (Some(doc), Some(path)) = (&est_doc, &obs.est_trace) {
+        atomic_write(path, doc).map_err(|e| {
+            CliError::Io(format!("cannot write est trace '{}': {e}", path.display()))
+        })?;
+        eprintln!("est: fascia-est/1 -> {}", path.display());
+    }
     let Some(m) = cfg.metrics.as_deref() else {
         // The `--metrics pretty` top-phase table rides on the metrics
         // report; without a registry the profile file above is the output.
@@ -721,9 +747,13 @@ fn emit_observability(obs: &ObsFlags, cfg: &CountConfig) -> Result<(), CliError>
             run.probe_host();
             let summary = cfg.tracer.as_ref().map(|t| t.summary_json());
             println!("{}", m.to_json_full(Some(&run), summary.as_deref()));
-            // The fascia-mem/1 document is its own stdout line, so
-            // line-oriented consumers can pick either schema by its tag.
+            // The fascia-mem/1 and fascia-est/1 documents are each their
+            // own stdout line, so line-oriented consumers can pick any
+            // schema by its tag.
             if let Some(doc) = &mem_doc {
+                println!("{doc}");
+            }
+            if let Some(doc) = &est_doc {
                 println!("{doc}");
             }
         }

@@ -4,7 +4,8 @@
 //! [`fascia_obs::Report`]. The subcommand scans a directory
 //! (non-recursive) for the repo's observability documents, classifies
 //! each file by its `"schema"` tag — `fascia-obs/1`, `fascia-mem/1`,
-//! `fascia-perf/1`, `fascia-heartbeat/1`, `fascia-ckpt/1` — or by shape
+//! `fascia-est/1`, `fascia-perf/1`, `fascia-heartbeat/1`,
+//! `fascia-ckpt/1` — or by shape
 //! (Chrome trace-event arrays, `*.collapsed` profiles), and renders one
 //! aligned terminal view plus one self-contained HTML file.
 //!
@@ -29,7 +30,10 @@ use std::path::{Path, PathBuf};
 struct Artifacts {
     obs: Vec<(String, Json)>,
     mem: Vec<(String, Json)>,
+    est: Vec<(String, Json)>,
     perf: Vec<(String, Json)>,
+    /// `fascia-svc-report/1` service summaries (saved `serve` stdout).
+    svc: Vec<(String, Json)>,
     heartbeat: Vec<(String, Json)>,
     checkpoints: Vec<String>,
     /// Chrome trace files: name and event count.
@@ -133,6 +137,8 @@ fn ingest_dir(dir: &Path) -> Result<Artifacts, CliError> {
         match schema_of(&v) {
             Some("fascia-obs/1") => arts.obs.push((name, v)),
             Some("fascia-mem/1") => arts.mem.push((name, v)),
+            Some("fascia-est/1") => arts.est.push((name, v)),
+            Some("fascia-svc-report/1") => arts.svc.push((name, v)),
             Some("fascia-perf/1") => arts.perf.push((name, v)),
             Some("fascia-heartbeat/1") => arts.heartbeat.push((name, v)),
             Some("fascia-ckpt/1") => arts.checkpoints.push(name),
@@ -143,6 +149,28 @@ fn ingest_dir(dir: &Path) -> Result<Artifacts, CliError> {
                 arts.traces.push((name, events));
             }
             None => arts.skipped.push(name),
+        }
+    }
+    // A spool directory keeps per-job estimate traces in est/ the same
+    // way it keeps the event log in events/ — fold those in so
+    // `fascia report <spool>` renders a service run's convergence.
+    let est_dir = dir.join("est");
+    if let Ok(entries) = std::fs::read_dir(&est_dir) {
+        let mut names: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.ends_with(".json"))
+            .collect();
+        names.sort();
+        for name in names {
+            let Ok(text) = std::fs::read_to_string(est_dir.join(&name)) else {
+                continue;
+            };
+            let Ok(v) = Json::parse(&text) else { continue };
+            if schema_of(&v) == Some("fascia-est/1") {
+                arts.est.push((format!("est/{name}"), v));
+            }
         }
     }
     Ok(arts)
@@ -157,6 +185,9 @@ fn build_report(dir: &Path, arts: &Artifacts, baseline: Option<&Json>) -> Report
     }
     if let Some((name, doc)) = arts.obs.last() {
         report.push_section(metrics_section(name, doc));
+    }
+    if let Some((name, doc)) = arts.est.last() {
+        report.push_section(estimator_section(name, doc));
     }
     if !arts.perf.is_empty() {
         report.push_section(perf_section(&arts.perf, baseline));
@@ -175,17 +206,33 @@ fn build_report(dir: &Path, arts: &Artifacts, baseline: Option<&Json>) -> Report
     .into_iter()
     .find(|p| p.exists())
     {
-        report.push_section(service_section(&path));
+        report.push_section(service_section(&path, arts.svc.last()));
     }
     report
 }
 
 /// The service section: job table, retry causes, and latency quantiles
 /// recovered from a `fascia-events/1` lifecycle log.
-fn service_section(path: &Path) -> Section {
+fn service_section(path: &Path, summary: Option<&(String, Json)>) -> Section {
     use fascia_svc::events::{job_table, latency_histograms, read_events, retry_causes};
     let mut s = Section::new("Service");
     s.line(format!("source: {}", path.display()));
+    // Telemetry-loss counters from a saved fascia-svc-report/1 summary:
+    // lifecycle events the log failed to append, and trace-ring events
+    // the attempts' rings dropped when full.
+    if let Some((name, doc)) = summary {
+        let g = |k: &str| {
+            doc.as_obj()
+                .and_then(|o| Json::get(o, k))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        s.line(format!(
+            "telemetry loss ({name}): {} event-log write failures, {} trace-ring events dropped",
+            g("events_write_failures"),
+            g("trace_events_dropped"),
+        ));
+    }
     let events = read_events(path);
     if events.is_empty() {
         s.line("event log is empty");
@@ -242,7 +289,9 @@ fn overview_section(arts: &Artifacts) -> Section {
     let counts = [
         ("fascia-obs/1 metrics", arts.obs.len()),
         ("fascia-mem/1 memory", arts.mem.len()),
+        ("fascia-est/1 estimator", arts.est.len()),
         ("fascia-perf/1 benchmarks", arts.perf.len()),
+        ("fascia-svc-report/1 summaries", arts.svc.len()),
         ("fascia-heartbeat/1 status", arts.heartbeat.len()),
         ("fascia-ckpt/1 checkpoints", arts.checkpoints.len()),
         ("Chrome traces", arts.traces.len()),
@@ -481,6 +530,130 @@ fn metrics_section(name: &str, doc: &Json) -> Section {
     s
 }
 
+/// The Estimator section: convergence summary, CI-trajectory sparkline
+/// from the bounded ledger, and the per-taxonomy variance decomposition
+/// of a `fascia-est/1` document.
+fn estimator_section(name: &str, doc: &Json) -> Section {
+    let mut s = Section::new("Estimator");
+    s.line(format!("source: {name}"));
+    let Some(obj) = doc.as_obj() else { return s };
+    let get = |k: &str| Json::get(obj, k);
+    let fopt = |k: &str| get(k).and_then(Json::as_f64);
+    let iterations = get("iterations").and_then(Json::as_u64).unwrap_or(0);
+    if iterations == 0 {
+        s.line("no iterations recorded");
+        return s;
+    }
+    let mut t = TableView::new(["field", "value"]);
+    t.row(["iterations".to_string(), iterations.to_string()]);
+    if let Some(est) = fopt("estimate") {
+        t.row(["estimate".to_string(), format!("{est:.6}")]);
+    }
+    if let Some(se) = fopt("std_error") {
+        t.row(["std error".to_string(), format!("{se:.6}")]);
+    }
+    if let Some(ci) = fopt("relative_ci95") {
+        t.row([
+            "relative CI (95%)".to_string(),
+            format!("{:.3}%", 100.0 * ci),
+        ]);
+    }
+    if let Some(eps) = fopt("target_epsilon") {
+        t.row(["target epsilon".to_string(), format!("{eps}")]);
+    }
+    let adaptive = matches!(get("adaptive"), Some(Json::Bool(true)));
+    t.row(["adaptive stop rule".to_string(), adaptive.to_string()]);
+    if let Some(apriori) = get("apriori_iterations").and_then(Json::as_u64) {
+        t.row(["a-priori (AYZ) bound".to_string(), apriori.to_string()]);
+    }
+    let to_target = get("iterations_to_target")
+        .and_then(Json::as_u64)
+        .map_or_else(|| "-".to_string(), |n| n.to_string());
+    t.row(["iterations to target".to_string(), to_target]);
+    let stalled = matches!(get("stalled"), Some(Json::Bool(true)));
+    t.row(["stalled".to_string(), stalled.to_string()]);
+    s.table(t);
+    // The CI trajectory from the retained ledger entries (skips the
+    // leading NaN entries where the CI is still undefined).
+    if let Some(ledger) = get("ledger").and_then(Json::as_obj) {
+        let entries = Json::get(ledger, "entries")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[]);
+        let rel_ci: Vec<f64> = entries
+            .iter()
+            .filter_map(|e| Json::get(e.as_obj()?, "rel_ci").and_then(Json::as_f64))
+            .collect();
+        let spark = fascia_obs::sparkline(&rel_ci, 48);
+        if !spark.is_empty() {
+            s.line(format!(
+                "relative CI trajectory ({} of {} iterations retained, stride {}):",
+                entries.len(),
+                Json::get(ledger, "offered")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                Json::get(ledger, "stride")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(1),
+            ));
+            s.line(format!("  {spark}"));
+        }
+    }
+    if let Some(strata) = get("strata").and_then(Json::as_obj) {
+        for (taxonomy, title) in [
+            ("colorset", "colorset count"),
+            ("degree_class", "root degree class"),
+        ] {
+            let Some(tax) = Json::get(strata, taxonomy).and_then(Json::as_obj) else {
+                continue;
+            };
+            let Some(classes) = Json::get(tax, "classes").and_then(Json::as_arr) else {
+                continue;
+            };
+            let mut rows: Vec<(String, u64, f64, f64, f64)> = classes
+                .iter()
+                .filter_map(|c| {
+                    let o = c.as_obj()?;
+                    Some((
+                        Json::get(o, "label").and_then(Json::as_str)?.to_string(),
+                        Json::get(o, "n").and_then(Json::as_u64).unwrap_or(0),
+                        Json::get(o, "mean").and_then(Json::as_f64).unwrap_or(0.0),
+                        Json::get(o, "variance")
+                            .and_then(Json::as_f64)
+                            .unwrap_or(0.0),
+                        Json::get(o, "share_pct")
+                            .and_then(Json::as_f64)
+                            .unwrap_or(0.0),
+                    ))
+                })
+                .collect();
+            rows.sort_by(|a, b| b.4.partial_cmp(&a.4).unwrap_or(std::cmp::Ordering::Equal));
+            let mut t = TableView::new([
+                format!("stratum ({title})"),
+                "n".to_string(),
+                "mean".to_string(),
+                "variance".to_string(),
+                "share".to_string(),
+            ]);
+            for (label, n, mean, var, share) in rows {
+                t.row([
+                    label,
+                    n.to_string(),
+                    format!("{mean:.4}"),
+                    format!("{var:.4}"),
+                    format!("{share:.1}%"),
+                ]);
+            }
+            s.table(t);
+            if let Some(cov) = Json::get(tax, "covariance_pct").and_then(Json::as_f64) {
+                s.line(format!(
+                    "{title}: cross-stratum covariance {cov:.1}% of total variance"
+                ));
+            }
+        }
+    }
+    s
+}
+
 /// Median of an already-parsed `reps_s` array (0 when empty).
 fn median_of(reps: &[Json]) -> f64 {
     let mut v: Vec<f64> = reps.iter().filter_map(Json::as_f64).collect();
@@ -709,6 +882,49 @@ mod tests {
     }
 
     #[test]
+    fn estimator_section_renders_trajectory_and_strata() {
+        let mut arts = Artifacts::default();
+        arts.est.push((
+            "est.json".to_string(),
+            Json::parse(
+                "{\"schema\":\"fascia-est/1\",\"iterations\":12,\
+                 \"estimate\":4200.5,\"std_error\":21.25,\"relative_ci95\":0.0099,\
+                 \"target_epsilon\":0.05,\"target_delta\":0.05,\"adaptive\":false,\
+                 \"apriori_iterations\":17784,\"iterations_to_target\":34,\
+                 \"stalled\":false,\"apriori_exhausted\":false,\
+                 \"ledger\":{\"cap\":512,\"stride\":1,\"offered\":12,\"entries\":[\
+                 {\"iteration\":0,\"estimate\":4000,\"mean\":4000,\"rel_ci\":null},\
+                 {\"iteration\":1,\"estimate\":4400,\"mean\":4200,\"rel_ci\":0.4},\
+                 {\"iteration\":2,\"estimate\":4200,\"mean\":4200,\"rel_ci\":0.2},\
+                 {\"iteration\":3,\"estimate\":4201,\"mean\":4200.5,\"rel_ci\":0.1}]},\
+                 \"strata\":{\"colorset\":{\"covariance_pct\":12.5,\"classes\":[\
+                 {\"label\":\"color 0\",\"n\":12,\"mean\":2100.0,\"variance\":10.0,\
+                 \"share_pct\":62.5},\
+                 {\"label\":\"color 1\",\"n\":12,\"mean\":2100.5,\"variance\":6.0,\
+                 \"share_pct\":37.5}]},\
+                 \"degree_class\":{\"covariance_pct\":-3.0,\"classes\":[\
+                 {\"label\":\"deg[4,8)\",\"n\":12,\"mean\":4200.5,\"variance\":16.0,\
+                 \"share_pct\":100.0}]}}}",
+            )
+            .unwrap(),
+        ));
+        let report = build_report(Path::new("/tmp/run"), &arts, None);
+        let text = report.render_terminal();
+        assert!(text.contains("Estimator"));
+        assert!(text.contains("relative CI trajectory"));
+        assert!(text.contains("stride 1"));
+        // Strata rows sorted by descending share; covariance note present.
+        assert!(text.contains("color 0"));
+        assert!(text.contains("62.5%"));
+        assert!(text.contains("deg[4,8)"));
+        assert!(text.contains("cross-stratum covariance"));
+        // The sparkline made it through (block characters, terminal-safe).
+        assert!(text.contains('█') || text.contains('▁'));
+        let html = report.render_html();
+        assert!(html.contains("Estimator"));
+    }
+
+    #[test]
     fn service_section_folds_an_event_log() {
         let dir = std::env::temp_dir().join(format!("fascia-report-svc-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -723,9 +939,20 @@ mod tests {
         ] {
             log.append(ev).unwrap();
         }
-        let report = build_report(&dir, &Artifacts::default(), None);
+        let mut arts = Artifacts::default();
+        arts.svc.push((
+            "summary.json".to_string(),
+            Json::parse(
+                "{\"schema\":\"fascia-svc-report/1\",\"jobs_seen\":1,\
+                 \"events_write_failures\":2,\"trace_events_dropped\":7}",
+            )
+            .unwrap(),
+        ));
+        let report = build_report(&dir, &arts, None);
         let text = report.render_terminal();
         assert!(text.contains("Service"));
+        assert!(text.contains("2 event-log write failures"));
+        assert!(text.contains("7 trace-ring events dropped"));
         assert!(text.contains("4 lifecycle events"));
         assert!(text.contains("completed"));
         assert!(text.contains("worker-panic"));

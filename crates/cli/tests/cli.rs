@@ -551,6 +551,56 @@ fn metrics_json_carries_run_metadata_and_trace_summary() {
     }
 }
 
+/// Multi-line `--metrics json` stdout contract: every emitted JSON line
+/// is a standalone document — it parses through the depth-capped parser
+/// on its own and carries a known schema tag — so run scripts can split
+/// stdout by line and archive each document independently.
+#[test]
+fn metrics_json_stdout_lines_are_standalone_tagged_documents() {
+    use fascia_core::resilience::Json;
+    let out = fascia()
+        .args([
+            "count",
+            "circuit",
+            "U3-1",
+            "--iters",
+            "10",
+            "--seed",
+            "3",
+            "--metrics",
+            "json",
+            "--mem-stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    const KNOWN: [&str; 4] = [
+        "fascia-obs/1",
+        "fascia-mem/1",
+        "fascia-est/1",
+        "fascia-ckpt/1",
+    ];
+    let mut seen = Vec::new();
+    for line in text.lines().filter(|l| l.starts_with('{')) {
+        let doc = Json::parse(line)
+            .unwrap_or_else(|e| panic!("stdout line is not standalone JSON ({e:?}): {line}"));
+        let schema = doc
+            .as_obj()
+            .and_then(|o| Json::get(o, "schema"))
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("stdout JSON line has no schema tag: {line}"));
+        assert!(KNOWN.contains(&schema), "unknown schema {schema:?}: {line}");
+        seen.push(schema.to_string());
+    }
+    for expected in ["fascia-obs/1", "fascia-mem/1", "fascia-est/1"] {
+        assert!(
+            seen.iter().any(|s| s == expected),
+            "missing a {expected} stdout line; saw {seen:?}"
+        );
+    }
+}
+
 #[test]
 fn trace_does_not_change_the_estimate() {
     let plain = fascia()

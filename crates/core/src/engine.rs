@@ -28,6 +28,7 @@
 
 use crate::chaos::{Chaos, IoSite};
 use crate::coloring::{iteration_seed, random_coloring};
+use crate::est::{EstCollector, EstIterStrata, RunEst};
 use crate::kernel::{cut_batch, KernelKind};
 use crate::mem::{MemCollector, RunMem};
 use crate::metrics::{CutMetrics, RunMetrics, TriangleMetrics};
@@ -177,6 +178,17 @@ pub struct CountConfig {
     /// bitwise identical with it absent, attached, or fully enabled.
     /// `None` costs one pointer check per site.
     pub mem: Option<Arc<MemCollector>>,
+    /// Optional estimator-convergence collector. When present the engine
+    /// feeds every finished iteration's scaled estimate (plus the running
+    /// mean and relative CI) into a bounded, deterministically-downsampled
+    /// ledger and decomposes each iteration's root-table total across
+    /// per-colorset and per-root-vertex-degree-class strata, from which
+    /// [`EstCollector::to_json`] renders the `fascia-est/1` document.
+    /// Purely observational — the stratum capture only re-reads the root
+    /// table and the ledger is fed at wave barriers, so counting results
+    /// are bitwise identical with it absent or attached. `None` costs one
+    /// pointer check per site. Ignored by [`rooted_counts`].
+    pub est: Option<Arc<EstCollector>>,
 }
 
 impl CountConfig {
@@ -237,6 +249,7 @@ impl Default for CountConfig {
             fault: FaultInjection::default(),
             chaos: None,
             mem: None,
+            est: None,
         }
     }
 }
@@ -484,6 +497,7 @@ pub fn rooted_counts(
             tr.as_ref(),
             pr.as_ref(),
             mm.as_ref(),
+            None,
         )?;
         drop(iter_mph);
         drop(iter_ph);
@@ -652,11 +666,23 @@ fn count_impl(
     let tr = RunTrace::resolve(cfg.tracer.as_ref(), &pt);
     let pr = RunProf::resolve(cfg.profiler.as_ref(), &pt);
     let mm = RunMem::resolve(cfg.mem.as_ref(), &pt);
+    let es = RunEst::resolve(cfg.est.as_ref(), g);
     let alpha = automorphisms(t);
     let p = colorful_probability(k, t.size());
     let scale = p * alpha as f64;
     let rule = cfg.stop_rule();
     let budget = rule.budget();
+    if let Some(e) = es.as_ref() {
+        // Resolve the stop-rule targets (or the library defaults for a
+        // fixed run) and the AYZ a-priori bound once, so the document can
+        // compare the observed trajectory against the guarantee.
+        let (eps, delta) = match &rule {
+            StopRule::RelativeError { epsilon, delta, .. } => (*epsilon, *delta),
+            _ => (0.05, 0.05),
+        };
+        let apriori = fascia_combin::iterations_for(eps, delta, t.size());
+        e.set_run_context(eps, delta, apriori, rule.is_adaptive());
+    }
     let start = Instant::now();
 
     // A resume checkpoint's fingerprint must match this run exactly
@@ -719,7 +745,8 @@ fn count_impl(
         preferred: cfg.table,
     });
 
-    let run_attempt = |i: usize, inner: bool, seed: u64| -> Result<(f64, usize), CountError> {
+    type IterOk = (f64, usize, Option<EstIterStrata>);
+    let run_attempt = |i: usize, inner: bool, seed: u64| -> Result<IterOk, CountError> {
         let iter_span = SpanTimer::start_opt(rm.as_ref().map(|m| &*m.iteration_ns));
         let iter_tspan = RunTrace::span_opt(tr.as_ref(), |t| t.iteration, i as u64);
         let iter_ph = RunProf::enter_opt(pr.as_ref(), |p| p.iteration);
@@ -757,6 +784,7 @@ fn count_impl(
             tr.as_ref(),
             pr.as_ref(),
             mm.as_ref(),
+            es.as_ref(),
         )?;
         drop(iter_mph);
         drop(iter_ph);
@@ -769,9 +797,9 @@ fn count_impl(
             }
             m.table.bytes_peak.set_max(out.peak_bytes as u64);
         }
-        Ok((out.colorful_total, out.peak_bytes))
+        Ok((out.colorful_total, out.peak_bytes, out.est_strata))
     };
-    let run_one = |i: usize, inner: bool| -> Result<(f64, usize), CountError> {
+    let run_one = |i: usize, inner: bool| -> Result<IterOk, CountError> {
         if let Some(tok) = &cancel {
             if fault.cancel_on_iteration == Some(i) {
                 tok.cancel();
@@ -866,8 +894,30 @@ fn count_impl(
         || fault != FaultInjection::default();
     let mut stream = Welford::new();
     let mut raw: Vec<(f64, usize)> = Vec::with_capacity(resumed.len());
+    // Running relative CI at the stop rule's critical value (NaN while
+    // undefined), shared by the ledger feed for resumed and live
+    // iterations.
+    let rel_ci_now = |stream: &Welford| -> f64 {
+        if stream.count() >= 2 && stream.mean() != 0.0 {
+            stream.ci_half_width(rule.z()) / stream.mean().abs()
+        } else {
+            f64::NAN
+        }
+    };
     for &x in resumed {
         stream.push(x);
+        if let Some(e) = es.as_ref() {
+            // Resumed iterations re-enter the ledger (their root tables
+            // are gone, so they carry no stratum decomposition).
+            e.record_iteration(
+                raw.len() as u64,
+                x,
+                stream.mean(),
+                rel_ci_now(&stream),
+                None,
+                scale,
+            );
+        }
         raw.push((x, 0));
     }
     let resumed_iterations = resumed.len();
@@ -906,7 +956,7 @@ fn count_impl(
         };
         let wave_tspan = RunTrace::span_opt(tr.as_ref(), |t| t.wave, (target - done) as u64);
         let wave_ph = RunProf::enter_opt(pr.as_ref(), |p| p.wave);
-        let wave: Vec<Result<(f64, usize), CountError>> = match mode {
+        let wave: Vec<Result<IterOk, CountError>> = match mode {
             ParallelMode::OuterLoop => (done..target)
                 .into_par_iter()
                 .map(|i| run_one(i, false))
@@ -933,9 +983,19 @@ fn count_impl(
             break;
         }
         for r in wave {
-            let (c, b) = r?;
+            let (c, b, strata) = r?;
             let x = c / scale;
             stream.push(x);
+            if let Some(e) = es.as_ref() {
+                e.record_iteration(
+                    raw.len() as u64,
+                    x,
+                    stream.mean(),
+                    rel_ci_now(&stream),
+                    strata.as_ref(),
+                    scale,
+                );
+            }
             raw.push((x, b));
         }
         if let Some(m) = &rm {
@@ -1182,6 +1242,7 @@ struct IterationOutput {
     colorful_total: f64,
     peak_bytes: usize,
     root_row_sums: Option<Vec<f64>>,
+    est_strata: Option<EstIterStrata>,
 }
 
 /// Records the flight-recorder instants for one materialized DP table: a
@@ -1230,6 +1291,7 @@ fn dispatch_iteration(
     tr: Option<&RunTrace>,
     pr: Option<&RunProf>,
     mm: Option<&RunMem>,
+    es: Option<&RunEst>,
 ) -> Result<IterationOutput, CountError> {
     if gate.is_some() {
         return run_iteration::<AnyTable>(
@@ -1250,6 +1312,7 @@ fn dispatch_iteration(
             tr,
             pr,
             mm,
+            es,
         );
     }
     match kind {
@@ -1271,6 +1334,7 @@ fn dispatch_iteration(
             tr,
             pr,
             mm,
+            es,
         ),
         TableKind::Lazy => run_iteration::<LazyTable>(
             g,
@@ -1290,6 +1354,7 @@ fn dispatch_iteration(
             tr,
             pr,
             mm,
+            es,
         ),
         TableKind::Hash => run_iteration::<HashCountTable>(
             g,
@@ -1309,6 +1374,7 @@ fn dispatch_iteration(
             tr,
             pr,
             mm,
+            es,
         ),
     }
 }
@@ -1333,6 +1399,7 @@ fn run_iteration<T: CountTable>(
     tr: Option<&RunTrace>,
     pr: Option<&RunProf>,
     mm: Option<&RunMem>,
+    es: Option<&RunEst>,
 ) -> Result<IterationOutput, CountError> {
     let n = g.num_vertices();
     let mut stored: Vec<Option<Stored<T>>> = Vec::new();
@@ -1573,6 +1640,49 @@ fn run_iteration<T: CountTable>(
             }
         };
 
+    // Estimator-observability stratum capture: re-read the root table
+    // (read-only, after the aggregation above) and split its total by the
+    // root vertex's assigned color and by its degree class. Color is the
+    // stratum key (not the root table's colorset columns — the root
+    // subtemplate spans all k colors, so that dimension is always a
+    // single column). Purely additional reads — `colorful_total` is
+    // already fixed, so attaching an estimator collector cannot perturb
+    // the count.
+    let est_strata = es.map(|e| {
+        let mut by_class = vec![0.0f64; e.num_classes];
+        let mut by_color = vec![0.0f64; ctx.k];
+        match stored[root_cid].as_ref().expect("root table computed") {
+            Stored::Single { label } => {
+                for v in 0..n {
+                    let ok = match (label, labels) {
+                        (Some(l), Some(gl)) => gl[v] == *l,
+                        _ => true,
+                    };
+                    if ok {
+                        by_color[coloring[v] as usize] += 1.0;
+                        by_class[e.deg_class[v] as usize] += 1.0;
+                    }
+                }
+            }
+            Stored::Table(table) => {
+                for v in 0..n {
+                    let row_sum = match table.row_slice(v) {
+                        Some(row) => row.iter().sum::<f64>(),
+                        None => (0..table.num_colorsets()).map(|cs| table.get(v, cs)).sum(),
+                    };
+                    if row_sum != 0.0 {
+                        by_color[coloring[v] as usize] += row_sum;
+                        by_class[e.deg_class[v] as usize] += row_sum;
+                    }
+                }
+            }
+        };
+        EstIterStrata {
+            by_colorset: by_color,
+            by_class,
+        }
+    });
+
     // Record tables still alive at the end of the iteration (the root and
     // any stragglers kept by the use-count discipline). Doing it after
     // aggregation means the root's access counters include the final
@@ -1592,6 +1702,7 @@ fn run_iteration<T: CountTable>(
         colorful_total,
         peak_bytes,
         root_row_sums,
+        est_strata,
     })
 }
 

@@ -35,6 +35,7 @@ pub mod directed;
 pub mod distsim;
 pub mod engine;
 pub mod enumerate;
+pub mod est;
 pub mod exact;
 pub mod gdd;
 pub mod kernel;
@@ -53,6 +54,7 @@ pub use chaos::{Chaos, ChaosParseError, ChaosRun, ChaosSpec, IoSite, CHAOS_ENV};
 pub use engine::{
     count_template, count_template_labeled, rooted_counts, CountConfig, CountError, CountResult,
 };
+pub use est::EstCollector;
 pub use kernel::KernelKind;
 pub use mem::{MemCollector, NodeMemStats};
 pub use parallel::ParallelMode;

@@ -1,0 +1,213 @@
+//! Estimator-convergence primitives: a bounded per-iteration estimate
+//! ledger and a textual sparkline for CI trajectories.
+//!
+//! The ledger is the storage half of the `fascia-est/1` observability
+//! plane (the statistics half lives next to the engine, which owns the
+//! Welford accumulators). It captures one entry per color-coding
+//! iteration as a stream and keeps memory `O(cap)` no matter how many
+//! iterations a run executes: once more than `cap` entries are retained
+//! the ledger doubles its sampling stride and drops every entry whose
+//! iteration index no longer lies on the coarser grid. The rule is
+//! deterministic — which entries survive depends only on the iteration
+//! indices offered, never on timing — so two runs of the same schedule
+//! produce byte-identical ledgers.
+
+/// Schema tag of the estimator-convergence document.
+pub const EST_SCHEMA: &str = "fascia-est/1";
+
+/// One captured iteration: the estimate it contributed and the running
+/// aggregate right after it was folded in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LedgerEntry {
+    /// Zero-based iteration index within the run.
+    pub iteration: u64,
+    /// This iteration's (scaled) estimate contribution.
+    pub estimate: f64,
+    /// Running mean after this iteration.
+    pub running_mean: f64,
+    /// Running relative CI half-width after this iteration (`NaN` while
+    /// undefined, i.e. fewer than two samples or a zero mean).
+    pub relative_ci: f64,
+}
+
+/// Bounded-memory iteration ledger with deterministic power-of-two
+/// downsampling (see module docs).
+#[derive(Debug, Clone)]
+pub struct IterLedger {
+    cap: usize,
+    stride: u64,
+    offered: u64,
+    entries: Vec<LedgerEntry>,
+}
+
+impl IterLedger {
+    /// Creates a ledger retaining at most `cap` entries (`cap` is clamped
+    /// to at least 2 so decimation always makes progress).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(2),
+            stride: 1,
+            offered: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Offers the next iteration's entry. Entries must arrive in
+    /// ascending iteration order; off-stride entries are dropped without
+    /// being stored.
+    pub fn offer(&mut self, e: LedgerEntry) {
+        self.offered += 1;
+        if !e.iteration.is_multiple_of(self.stride) {
+            return;
+        }
+        self.entries.push(e);
+        if self.entries.len() > self.cap {
+            self.stride *= 2;
+            let stride = self.stride;
+            self.entries.retain(|e| e.iteration.is_multiple_of(stride));
+        }
+    }
+
+    /// Entries currently retained, in iteration order.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Current sampling stride (1 until the cap is first exceeded).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// The retention cap this ledger was created with.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Total entries offered (the run's iteration count as the ledger
+    /// saw it), independent of how many survived decimation.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+}
+
+/// Block-character levels from lowest to highest.
+const SPARK_LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as a fixed-width Unicode sparkline (▁▂▃▄▅▆▇█),
+/// bucket-averaging when there are more values than columns. Non-finite
+/// values are skipped; an empty or all-non-finite series renders empty.
+/// Plain characters, no markup — safe for both terminal and HTML-escaped
+/// report cells.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() || width == 0 {
+        return String::new();
+    }
+    let cols = width.min(finite.len());
+    // Mean of each of `cols` contiguous buckets.
+    let mut bucketed = Vec::with_capacity(cols);
+    for c in 0..cols {
+        let lo = c * finite.len() / cols;
+        let hi = ((c + 1) * finite.len() / cols).max(lo + 1);
+        let slice = &finite[lo..hi];
+        bucketed.push(slice.iter().sum::<f64>() / slice.len() as f64);
+    }
+    let min = bucketed.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = bucketed.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    bucketed
+        .iter()
+        .map(|&v| {
+            let level = if span <= 0.0 {
+                0
+            } else {
+                (((v - min) / span) * (SPARK_LEVELS.len() - 1) as f64).round() as usize
+            };
+            SPARK_LEVELS[level.min(SPARK_LEVELS.len() - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(i: u64) -> LedgerEntry {
+        LedgerEntry {
+            iteration: i,
+            estimate: i as f64,
+            running_mean: i as f64 / 2.0,
+            relative_ci: 1.0 / (i + 1) as f64,
+        }
+    }
+
+    #[test]
+    fn ledger_keeps_everything_under_cap() {
+        let mut l = IterLedger::new(8);
+        for i in 0..8 {
+            l.offer(entry(i));
+        }
+        assert_eq!(l.stride(), 1);
+        assert_eq!(l.entries().len(), 8);
+        assert_eq!(l.offered(), 8);
+    }
+
+    #[test]
+    fn ledger_decimates_by_powers_of_two_and_stays_bounded() {
+        let cap = 8;
+        let mut l = IterLedger::new(cap);
+        for i in 0..10_000 {
+            l.offer(entry(i));
+            assert!(l.entries().len() <= cap + 1);
+        }
+        assert!(l.stride().is_power_of_two());
+        assert!(l.stride() > 1);
+        // Every survivor lies on the final stride grid, in order.
+        let s = l.stride();
+        let iters: Vec<u64> = l.entries().iter().map(|e| e.iteration).collect();
+        assert!(iters.iter().all(|i| i % s == 0));
+        assert!(iters.windows(2).all(|w| w[0] < w[1]));
+        // Iteration 0 always survives: it lies on every power-of-two grid.
+        assert_eq!(iters[0], 0);
+        assert_eq!(l.offered(), 10_000);
+    }
+
+    #[test]
+    fn ledger_is_deterministic() {
+        let run = |n: u64| {
+            let mut l = IterLedger::new(16);
+            for i in 0..n {
+                l.offer(entry(i));
+            }
+            l.entries().to_vec()
+        };
+        assert_eq!(run(5000), run(5000));
+    }
+
+    #[test]
+    fn tiny_cap_is_clamped() {
+        let mut l = IterLedger::new(0);
+        for i in 0..100 {
+            l.offer(entry(i));
+        }
+        assert_eq!(l.cap(), 2);
+        assert!(l.entries().len() <= 3);
+    }
+
+    #[test]
+    fn sparkline_monotone_series_uses_full_range() {
+        let vals: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let s = sparkline(&vals, 8);
+        assert_eq!(s.chars().count(), 8);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn sparkline_handles_flat_empty_and_nonfinite() {
+        assert_eq!(sparkline(&[], 8), "");
+        assert_eq!(sparkline(&[f64::NAN, f64::INFINITY], 8), "");
+        assert_eq!(sparkline(&[1.0; 4], 8), "▁▁▁▁");
+        assert_eq!(sparkline(&[1.0, f64::NAN, 2.0], 8), "▁█");
+    }
+}

@@ -36,7 +36,11 @@
 //!   taxonomy the tracer and profiler publish,
 //! * [`Report`] — the presentation layer of the unified `fascia report`
 //!   tool: schema-agnostic sections/tables rendered as aligned terminal
-//!   text or one self-contained HTML document.
+//!   text or one self-contained HTML document,
+//! * [`IterLedger`] — the bounded, deterministically-downsampling
+//!   per-iteration estimate ledger behind the `fascia-est/1`
+//!   estimator-convergence document (the statistics half lives next to
+//!   the engine, which owns the stratified accumulators).
 //!
 //! # Overhead discipline
 //!
@@ -49,6 +53,7 @@
 
 pub mod alloc;
 pub mod counter;
+pub mod est;
 pub mod events;
 pub mod histogram;
 pub mod json;
@@ -60,6 +65,7 @@ pub mod trace;
 
 pub use alloc::{CountingAlloc, MemPhaseGuard, MemPhaseId, MemSnapshot, MAX_MEM_PHASES};
 pub use counter::{thread_slot, Counter, Gauge, SHARDS};
+pub use est::{sparkline, IterLedger, LedgerEntry, EST_SCHEMA};
 pub use events::{EventLog, JobEvent, JobEventKind, EVENTS_SCHEMA};
 pub use histogram::Histogram;
 pub use profiler::{PhaseGuard, PhaseId, PhaseStat, Profiler, MAX_PHASE_DEPTH, PROFILE_SHARDS};

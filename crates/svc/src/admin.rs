@@ -8,13 +8,15 @@
 //! cap, a read deadline against slow-loris clients, and a request-line
 //! byte cap. GET only.
 //!
-//! | route         | payload                                              |
-//! |---------------|------------------------------------------------------|
-//! | `/healthz`    | liveness JSON: uptime, queue depth, spool lag        |
-//! | `/metrics`    | Prometheus text 0.0.4 ([`Metrics::render_prom`])     |
-//! | `/jobs`       | job table replayed from the `fascia-events/1` log    |
-//! | `/jobs/<id>`  | the job's timeline: verbatim event-log lines         |
-//! | `/version`    | crate version + git sha                              |
+//! | route                 | payload                                          |
+//! |-----------------------|--------------------------------------------------|
+//! | `/healthz`            | liveness JSON: uptime, queue depth, spool lag,   |
+//! |                       | event-write failures, trace-ring drops           |
+//! | `/metrics`            | Prometheus text 0.0.4 ([`Metrics::render_prom`]) |
+//! | `/jobs`               | job table replayed from `fascia-events/1`        |
+//! | `/jobs/<id>`          | the job's timeline: verbatim event-log lines     |
+//! | `/jobs/<id>/estimate` | the job's live `fascia-est/1` convergence trace  |
+//! | `/version`            | crate version + git sha                          |
 //!
 //! The server only ever *reads* the spool — it never appends events,
 //! claims chaos indices, or touches supervision state — so scraping it
@@ -247,6 +249,23 @@ fn route(
         "/jobs" => ok("application/json", jobs_json(state)),
         "/version" => ok("application/json", version_json()),
         _ => match path.strip_prefix("/jobs/") {
+            // The estimator trace is spool-backed and refreshed while the
+            // job runs, so this serves *live* convergence mid-run.
+            Some(rest) if rest.ends_with("/estimate") => {
+                let id = &rest[..rest.len() - "/estimate".len()];
+                if id.is_empty() || id.contains('/') {
+                    return (404, "Not Found", "text/plain", "not found\n".to_string());
+                }
+                match std::fs::read_to_string(state.spool.est_path(id)) {
+                    Ok(body) => ok("application/json", body),
+                    Err(_) => (
+                        404,
+                        "Not Found",
+                        "text/plain",
+                        format!("no estimate trace for job {id:?}\n"),
+                    ),
+                }
+            }
             Some(id) if !id.is_empty() && !id.contains('/') => match timeline_json(state, id) {
                 Some(body) => ok("application/json", body),
                 None => (
@@ -274,6 +293,14 @@ fn healthz_json(state: &AdminState, started: Instant) -> String {
         .field_u64(
             "spool_lag_ms",
             oldest_mtime_ms.map_or(0, |m| now_ms.saturating_sub(m)),
+        )
+        .field_u64(
+            "events_write_failures",
+            state.metrics.counter("svc.events.write_failures").get(),
+        )
+        .field_u64(
+            "trace_events_dropped",
+            state.metrics.counter("svc.trace.events_dropped").get(),
         );
     w.finish()
 }

@@ -80,6 +80,10 @@ pub struct ServiceSummary {
     pub attempts: u64,
     /// Results that could not be written even with retries.
     pub result_write_failures: usize,
+    /// Lifecycle-event appends that failed (the log never wedges a job).
+    pub events_write_failures: u64,
+    /// Trace-ring events dropped across all attempts (full rings).
+    pub trace_events_dropped: u64,
     /// Stale `.tmp` staging files swept at startup.
     pub tmp_swept: usize,
     /// Chaos events fired (0 without a schedule).
@@ -102,6 +106,8 @@ impl ServiceSummary {
             .field_u64("failed", self.failed as u64)
             .field_u64("attempts", self.attempts)
             .field_u64("result_write_failures", self.result_write_failures as u64)
+            .field_u64("events_write_failures", self.events_write_failures)
+            .field_u64("trace_events_dropped", self.trace_events_dropped)
             .field_u64("tmp_swept", self.tmp_swept as u64)
             .field_u64("chaos_events", self.chaos_events as u64)
             .field_u64("graphs_resident", self.graphs_resident as u64)
@@ -155,6 +161,8 @@ impl Service {
             "svc.jobs.skipped",
             "svc.attempts.total",
             "svc.events.write_failures",
+            "svc.trace.events_recorded",
+            "svc.trace.events_dropped",
         ] {
             metrics.counter(name);
         }
@@ -370,6 +378,8 @@ impl Service {
         let (resident, hits) = self.pool.stats();
         summary.graphs_resident = resident;
         summary.pool_hits = hits;
+        summary.events_write_failures = self.metrics.counter("svc.events.write_failures").get();
+        summary.trace_events_dropped = self.metrics.counter("svc.trace.events_dropped").get();
         summary
     }
 

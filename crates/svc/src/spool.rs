@@ -6,6 +6,7 @@
 //!   results/<id>.json     terminal fascia-job-result/1 documents
 //!   ckpt/<id>.a<K>.ckpt   per-attempt fascia-ckpt/1 checkpoints
 //!   hb/<id>.hb            the running attempt's fascia-heartbeat/1 file
+//!   est/<id>.json         per-job fascia-est/1 estimator-convergence traces
 //!   chaos.events          fired chaos schedule (when chaos is active)
 //! ```
 //!
@@ -21,7 +22,7 @@
 //! regressing attempt K+1's, and resume picks the best valid checkpoint
 //! across attempts.
 
-use fascia_core::resilience::{atomic_write_durable, Checkpoint};
+use fascia_core::resilience::{atomic_write, atomic_write_durable, Checkpoint};
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -35,7 +36,7 @@ impl Spool {
     /// Opens (creating as needed) the spool at `root`.
     pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
         let root = root.into();
-        for sub in ["jobs", "results", "ckpt", "hb", "events"] {
+        for sub in ["jobs", "results", "ckpt", "hb", "events", "est"] {
             std::fs::create_dir_all(root.join(sub))?;
         }
         Ok(Self { root })
@@ -138,6 +139,19 @@ impl Spool {
         let _ = std::fs::remove_file(self.hb_path(id));
     }
 
+    /// The job's estimator-convergence trace (`fascia-est/1`), written
+    /// when an attempt finishes and served live by the admin plane.
+    pub fn est_path(&self, id: &str) -> PathBuf {
+        self.root.join("est").join(format!("{id}.json"))
+    }
+
+    /// Writes (or refreshes) the job's estimator trace. Atomic but not
+    /// durable: the trace is observability, not recovery state, and it
+    /// is rewritten on every live flush — a lost write costs nothing.
+    pub fn write_est(&self, id: &str, json: &str) -> io::Result<()> {
+        atomic_write(&self.est_path(id), json)
+    }
+
     /// The job lifecycle event log (`fascia-events/1` JSONL).
     pub fn events_path(&self) -> PathBuf {
         self.root.join("events").join("events.jsonl")
@@ -174,7 +188,7 @@ impl Spool {
     /// many were removed. Call at service start, before any job runs.
     pub fn sweep_tmp(&self) -> usize {
         let mut removed = 0;
-        for sub in ["jobs", "results", "ckpt", "hb", "events"] {
+        for sub in ["jobs", "results", "ckpt", "hb", "events", "est"] {
             let Ok(dir) = std::fs::read_dir(self.root.join(sub)) else {
                 continue;
             };
@@ -263,9 +277,14 @@ mod tests {
         // log itself survives.
         std::fs::write(spool.root().join("events/events.jsonl.tmp"), "half").unwrap();
         std::fs::write(spool.events_path(), "{}\n").unwrap();
+        // Regression (ISSUE 10 satellite): a stale staging file in the
+        // estimate-trace dir is swept too, while a finished trace stays.
+        std::fs::write(spool.root().join("est/z.json.tmp"), "half").unwrap();
+        std::fs::write(spool.est_path("z"), "{\"schema\":\"fascia-est/1\"}").unwrap();
         spool.submit("keep", "{}").unwrap();
-        assert_eq!(spool.sweep_tmp(), 3);
+        assert_eq!(spool.sweep_tmp(), 4);
         assert!(spool.events_path().exists(), "the log is not staging");
+        assert!(spool.est_path("z").exists(), "finished traces survive");
         assert_eq!(spool.pending_jobs().unwrap().len(), 1);
         assert_eq!(spool.sweep_tmp(), 0);
         let _ = std::fs::remove_dir_all(spool.root());

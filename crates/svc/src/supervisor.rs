@@ -37,7 +37,8 @@ use fascia_core::engine::{count_template, CountConfig, CountError, CountResult};
 use fascia_core::progress::{Progress, ProgressConfig};
 use fascia_core::resilience::{CancelToken, Checkpoint, CheckpointConfig, Json};
 use fascia_core::stats::{EstimateStats, StopRule};
-use fascia_obs::{EventLog, JobEvent, JobEventKind, Metrics};
+use fascia_core::EstCollector;
+use fascia_obs::{EventLog, JobEvent, JobEventKind, Metrics, Tracer};
 use fascia_template::{NamedTemplate, Template};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -339,6 +340,12 @@ impl Supervisor<'_> {
         if let Some(d) = deadline {
             cancel = cancel.deadline(d.remaining(self.clock));
         }
+        // Both rails are observe-only (bitwise-identical results, enforced
+        // by the engine's differential tests): the estimator collector
+        // feeds the spool's fascia-est/1 trace and the admin estimate
+        // endpoint; the tracer's ring counts feed service metrics.
+        let est = Arc::new(EstCollector::new());
+        let tracer = Arc::new(Tracer::new());
         let mut cfg = CountConfig {
             iterations: spec.iterations,
             seed: spec.seed,
@@ -359,6 +366,8 @@ impl Supervisor<'_> {
             resume,
             cancel: Some(cancel.clone()),
             chaos: self.chaos.clone(),
+            est: Some(Arc::clone(&est)),
+            tracer: Some(Arc::clone(&tracer)),
             ..CountConfig::default()
         };
         if let StopRule::RelativeError { .. } = rule {
@@ -377,26 +386,51 @@ impl Supervisor<'_> {
             Err(e) => return Attempt::Panicked(format!("cannot spawn worker: {e}")),
         };
 
+        // Seals the attempt's observe-only telemetry into the spool and
+        // metrics before a verdict is returned: the final fascia-est/1
+        // trace (best effort — telemetry never fails a job) and the
+        // attempt's trace-ring recorded/dropped counts.
+        let seal = |verdict: Attempt| {
+            if est.iterations() > 0 {
+                let _ = self.spool.write_est(&spec.id, &est.to_json());
+            }
+            if let Some(m) = self.metrics {
+                m.counter("svc.trace.events_recorded")
+                    .add(tracer.recorded());
+                m.counter("svc.trace.events_dropped").add(tracer.dropped());
+            }
+            verdict
+        };
         let mut watch = HeartbeatWatch::new(self.clock.monotonic());
         // One heartbeat-observed event per attempt (the first sign of
         // life) keeps the log's volume proportional to attempts, not to
         // poll frequency.
         let mut hb_reported = false;
+        // Iterations already flushed into the live estimate trace.
+        let mut est_flushed = 0u64;
         loop {
             match rx.recv_timeout(self.cfg.poll) {
                 Ok(res) => {
                     let _ = handle.join();
-                    return Attempt::Finished(res);
+                    return seal(Attempt::Finished(res));
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
                     let msg = match handle.join() {
                         Err(payload) => panic_message(&payload),
                         Ok(()) => "worker exited without reporting".to_string(),
                     };
-                    return Attempt::Panicked(msg);
+                    return seal(Attempt::Panicked(msg));
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     let now = self.clock.monotonic();
+                    // Live convergence: refresh the job's estimate trace
+                    // whenever new iterations landed, so the admin
+                    // `GET /jobs/<id>/estimate` tracks the running job.
+                    let done = est.iterations();
+                    if done > est_flushed {
+                        est_flushed = done;
+                        let _ = self.spool.write_est(&spec.id, &est.to_json());
+                    }
                     let alive = watch.observe(read_heartbeat(&hb_path), now);
                     if alive && !hb_reported {
                         hb_reported = true;
@@ -413,13 +447,13 @@ impl Supervisor<'_> {
                         cancel.cancel();
                         if let Ok(res) = rx.recv_timeout(self.cfg.grace) {
                             let _ = handle.join();
-                            return Attempt::Finished(res);
+                            return seal(Attempt::Finished(res));
                         }
                         drop(handle); // detach: never joined
-                        return Attempt::Dead(format!(
+                        return seal(Attempt::Dead(format!(
                             "heartbeat seq stale for {:?} (attempt {attempt_no})",
                             self.cfg.stall_timeout
-                        ));
+                        )));
                     }
                 }
             }

@@ -121,12 +121,15 @@ fn endpoints_serve_health_metrics_jobs_and_timelines() {
     .unwrap();
     let addr = server.local_addr();
 
-    // /healthz: liveness plus queue stats (drained queue = depth 0).
+    // /healthz: liveness plus queue stats (drained queue = depth 0) and
+    // telemetry-loss counters (no failures or drops in a clean run).
     let (status, body) = http_get(addr, "/healthz");
     assert_eq!(status, 200);
     assert!(body.contains("\"status\":\"ok\""), "{body}");
     assert!(body.contains("\"queue_depth\":0"), "{body}");
     assert!(body.contains("\"spool_lag_ms\""), "{body}");
+    assert!(body.contains("\"events_write_failures\":0"), "{body}");
+    assert!(body.contains("\"trace_events_dropped\":0"), "{body}");
 
     // /metrics: Prometheus text with the service series, parseable shape
     // (every non-comment line is `name{...} value` or `name value`).
@@ -180,6 +183,17 @@ fn endpoints_serve_health_metrics_jobs_and_timelines() {
         expected.len(),
         "timeline carries exactly the job's events"
     );
+
+    // /jobs/<id>/estimate: the spool-backed fascia-est/1 trace the
+    // supervisor persisted for the finished job, served verbatim.
+    let (status, body) = http_get(addr, "/jobs/adm-0/estimate");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"schema\":\"fascia-est/1\""), "{body}");
+    assert!(body.contains("\"iterations\":4"), "{body}");
+    assert!(body.contains("\"ledger\""), "{body}");
+    assert!(body.contains("\"strata\""), "{body}");
+    assert_eq!(http_get(addr, "/jobs/no-such-job/estimate").0, 404);
+    assert_eq!(http_get(addr, "/jobs//estimate").0, 404);
 
     // /version names the crate.
     let (status, body) = http_get(addr, "/version");

@@ -80,11 +80,12 @@ echo "=== kernel speedup gate ==="
 echo "=== mem-stats & report gate ==="
 cargo build -q -p fascia-cli --offline
 MEMDIR=$(mktemp -d)
+ESTDIR=$(mktemp -d)
 ADMINDIR=$(mktemp -d)
 SERVE_PID=""
 cleanup() {
   [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
-  rm -rf "$MEMDIR" "$ADMINDIR"
+  rm -rf "$MEMDIR" "$ESTDIR" "$ADMINDIR"
 }
 trap cleanup EXIT
 ./target/debug/fascia count circuit U5-2 --iters 2 --seed 1 \
@@ -98,6 +99,30 @@ grep '"schema":"fascia-obs/1"' "$MEMDIR/stdout.txt" > "$MEMDIR/metrics.json"
 grep -q '^## Allocator' "$MEMDIR/report.txt"
 grep -q '^## DP tables' "$MEMDIR/report.txt"
 grep -q '<!doctype html>' "$MEMDIR/report.html"
+
+# Estimator-observability gate: a real counting run with --est-trace must
+# emit a fascia-est/1 document (its own stdout line AND the trace file),
+# every JSON line on stdout must carry a known schema tag, `fascia report`
+# must render the Estimator section, and — the observe-only contract —
+# the final estimate must be byte-identical with the ledger absent vs.
+# attached. The structural checks (strata shares, ledger bound, golden)
+# live in the core/cli test suites above.
+echo "=== estimator convergence gate ==="
+./target/debug/fascia count circuit U5-2 --iters 20 --seed 1 \
+  --parallel serial --metrics json --est-trace "$ESTDIR/est.json" \
+  > "$ESTDIR/stdout.txt"
+grep -q '"schema":"fascia-est/1"' "$ESTDIR/stdout.txt"
+grep -q '"schema":"fascia-est/1"' "$ESTDIR/est.json"
+! grep '^{' "$ESTDIR/stdout.txt" | grep -qv '"schema":"fascia-'
+./target/debug/fascia report "$ESTDIR" > "$ESTDIR/report.txt"
+grep -q '^## Estimator' "$ESTDIR/report.txt"
+grep -q 'relative CI trajectory' "$ESTDIR/report.txt"
+grep -q '<!doctype html>' "$ESTDIR/report.html"
+./target/debug/fascia count circuit U5-2 --iters 20 --seed 1 \
+  --parallel serial > "$ESTDIR/plain.txt"
+grep '^estimate:' "$ESTDIR/stdout.txt" > "$ESTDIR/est_on.txt"
+grep '^estimate:' "$ESTDIR/plain.txt" > "$ESTDIR/est_off.txt"
+cmp "$ESTDIR/est_on.txt" "$ESTDIR/est_off.txt"
 
 # Live-admin gate: a real `fascia serve` daemon with the opt-in admin
 # plane on an ephemeral port, scraped with curl exactly as an operator
